@@ -1,0 +1,88 @@
+// Reproduces paper Figure 3: empirical E (aggregated over both features) of
+// the repaired research and archival data as the research set size n_R
+// grows, with the unrepaired E as reference. Paper setting: n_A = 5000,
+// n_Q = 50, n_R in [25, 750].
+//
+// Run:  ./build/bench/fig3_research_size [--trials=10] [--n_archive=5000]
+//           [--n_q=50] [--sizes=25,50,100,200,300,400,500,750] [--seed=3]
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "fairness/emetric.h"
+#include "sim/gaussian_mixture.h"
+#include "sim/monte_carlo.h"
+
+using otfair::common::FlagParser;
+using otfair::common::Result;
+using otfair::common::Rng;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const size_t trials = static_cast<size_t>(flags.GetInt("trials", 20));
+  const size_t n_archive = static_cast<size_t>(flags.GetInt("n_archive", 5000));
+  const size_t n_q = static_cast<size_t>(flags.GetInt("n_q", 50));
+  const uint64_t seed = flags.GetUint64("seed", 3);
+  const std::vector<int> sizes =
+      flags.GetIntList("sizes", {25, 50, 100, 200, 300, 400, 500, 750});
+  if (auto status = flags.Validate({"trials", "n_archive", "n_q", "sizes", "seed"});
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const auto config = otfair::sim::GaussianSimConfig::PaperDefault();
+
+  std::printf("FIGURE 3: E (aggregated over both features) vs research size n_R\n");
+  std::printf("(n_A=%zu, n_Q=%zu, %zu MC trials per point, seed=%llu)\n\n", n_archive, n_q,
+              trials, static_cast<unsigned long long>(seed));
+  std::printf("%8s  %22s  %22s  %22s\n", "n_R", "E repaired (research)",
+              "E repaired (archive)", "E unrepaired (archive)");
+
+  for (const int n_research : sizes) {
+    auto trial = [&](Rng& rng) -> Result<std::map<std::string, double>> {
+      // Tiny research sets can miss an (u, s) group entirely; resample the
+      // research draw until the design is feasible, as an experimenter
+      // running the paper's protocol would.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        auto research = otfair::sim::SimulateGaussianMixture(
+            static_cast<size_t>(n_research), config, rng);
+        if (!research.ok()) return research.status();
+        auto archive = otfair::sim::SimulateGaussianMixture(n_archive, config, rng);
+        if (!archive.ok()) return archive.status();
+        otfair::core::PipelineOptions options;
+        options.design.n_q = n_q;
+        options.repair.seed = rng.Next64();
+        auto pipeline = otfair::core::RunRepairPipeline(*research, *archive, options);
+        if (!pipeline.ok()) continue;
+        auto e_res = otfair::fairness::AggregateE(pipeline->repaired_research);
+        auto e_arc = otfair::fairness::AggregateE(pipeline->repaired_archive);
+        auto e_raw = otfair::fairness::AggregateE(*archive);
+        if (!e_res.ok() || !e_arc.ok() || !e_raw.ok()) continue;
+        return std::map<std::string, double>{
+            {"research", *e_res}, {"archive", *e_arc}, {"unrepaired", *e_raw}};
+      }
+      return otfair::common::Status::FailedPrecondition(
+          "could not draw a feasible research set");
+    };
+    auto summary = otfair::sim::RunMonteCarlo(trials, seed + static_cast<uint64_t>(n_research),
+                                              trial);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "n_R=%d failed: %s\n", n_research,
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d  %10.4f +- %-9.4f  %10.4f +- %-9.4f  %10.4f +- %-9.4f\n", n_research,
+                summary->at("research").mean, summary->at("research").std,
+                summary->at("archive").mean, summary->at("archive").std,
+                summary->at("unrepaired").mean, summary->at("unrepaired").std);
+  }
+  std::printf("\nExpected shape (paper Fig. 3): both repaired series fall steeply and\n"
+              "flatten once n_R ~ 10%% of n_A; the archive series converges to a\n"
+              "slightly higher plateau than the research series; both sit far below\n"
+              "the unrepaired reference.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces paper Figure 4: empirical E of the *composite* repaired data
+// (research + archive) as the interpolated-support resolution n_Q grows.
+// Paper setting: n_R = 500, n_A = 5000, n_Q in {5, ..., 50}; performance
+// converges above n_Q ~ 30.
+//
+// Run:  ./build/bench/fig4_support_resolution [--trials=10] [--n_research=500]
+//           [--n_archive=5000] [--grid_sizes=5,10,15,20,25,30,35,40,45,50]
+//           [--seed=4]
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "fairness/emetric.h"
+#include "sim/gaussian_mixture.h"
+#include "sim/monte_carlo.h"
+
+using otfair::common::FlagParser;
+using otfair::common::Result;
+using otfair::common::Rng;
+
+namespace {
+
+/// Concatenates two row-aligned datasets (same schema).
+otfair::data::Dataset Concatenate(const otfair::data::Dataset& a,
+                                  const otfair::data::Dataset& b) {
+  otfair::common::Matrix features(a.size() + b.size(), a.dim());
+  std::vector<int> s;
+  std::vector<int> u;
+  s.reserve(features.rows());
+  u.reserve(features.rows());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t k = 0; k < a.dim(); ++k) features(i, k) = a.feature(i, k);
+    s.push_back(a.s(i));
+    u.push_back(a.u(i));
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    for (size_t k = 0; k < b.dim(); ++k) features(a.size() + i, k) = b.feature(i, k);
+    s.push_back(b.s(i));
+    u.push_back(b.u(i));
+  }
+  return *otfair::data::Dataset::Create(std::move(features), std::move(s), std::move(u),
+                                        a.feature_names());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const size_t trials = static_cast<size_t>(flags.GetInt("trials", 20));
+  const size_t n_research = static_cast<size_t>(flags.GetInt("n_research", 500));
+  const size_t n_archive = static_cast<size_t>(flags.GetInt("n_archive", 5000));
+  const uint64_t seed = flags.GetUint64("seed", 4);
+  const std::vector<int> grid_sizes =
+      flags.GetIntList("grid_sizes", {5, 10, 15, 20, 25, 30, 35, 40, 45, 50});
+  if (auto status =
+          flags.Validate({"trials", "n_research", "n_archive", "grid_sizes", "seed"});
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const auto config = otfair::sim::GaussianSimConfig::PaperDefault();
+
+  std::printf("FIGURE 4: E of the composite repaired data (X_R u X_A) vs n_Q\n");
+  std::printf("(n_R=%zu, n_A=%zu, %zu MC trials per point, seed=%llu)\n\n", n_research,
+              n_archive, trials, static_cast<unsigned long long>(seed));
+  std::printf("%8s  %26s\n", "n_Q", "E composite (repaired)");
+
+  for (const int n_q : grid_sizes) {
+    auto trial = [&](Rng& rng) -> Result<std::map<std::string, double>> {
+      auto research = otfair::sim::SimulateGaussianMixture(n_research, config, rng);
+      if (!research.ok()) return research.status();
+      auto archive = otfair::sim::SimulateGaussianMixture(n_archive, config, rng);
+      if (!archive.ok()) return archive.status();
+      otfair::core::PipelineOptions options;
+      options.design.n_q = static_cast<size_t>(n_q);
+      options.repair.seed = rng.Next64();
+      auto pipeline = otfair::core::RunRepairPipeline(*research, *archive, options);
+      if (!pipeline.ok()) return pipeline.status();
+      const otfair::data::Dataset composite =
+          Concatenate(pipeline->repaired_research, pipeline->repaired_archive);
+      auto e = otfair::fairness::AggregateE(composite);
+      if (!e.ok()) return e.status();
+      return std::map<std::string, double>{{"composite", *e}};
+    };
+    auto summary =
+        otfair::sim::RunMonteCarlo(trials, seed + static_cast<uint64_t>(n_q), trial);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "n_Q=%d failed: %s\n", n_q, summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d  %12.4f +- %-10.4f\n", n_q, summary->at("composite").mean,
+                summary->at("composite").std);
+  }
+  std::printf("\nExpected shape (paper Fig. 4): E falls as n_Q grows and is\n"
+              "statistically flat above n_Q ~ 30 — an order of magnitude fewer\n"
+              "interpolants than research points, i.e. the pseudo-sufficient-\n"
+              "statistics compression the paper highlights.\n");
+  return 0;
+}

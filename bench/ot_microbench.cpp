@@ -1,0 +1,138 @@
+// Micro-benchmarks for the OT solvers, backing the complexity discussion of
+// paper §IV-A1: unregularized exact OT is ~cubic in the support size n_Q,
+// Sinkhorn is ~n_Q^2/eps^2, and the 1-D monotone solver is linear — which
+// is why interpolating onto a small support Q (and, in 1-D, using the
+// monotone solver) makes the design step cheap.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ot/barycenter.h"
+#include "ot/cost.h"
+#include "ot/exact.h"
+#include "ot/measure.h"
+#include "ot/monotone.h"
+#include "ot/sinkhorn.h"
+
+namespace {
+
+using otfair::common::Matrix;
+using otfair::common::Rng;
+using otfair::ot::DiscreteMeasure;
+
+struct Instance {
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  Matrix cost;
+};
+
+Instance MakeInstance(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.a.resize(n);
+  inst.b.resize(n);
+  inst.xs.resize(n);
+  inst.ys.resize(n);
+  double sa = 0.0;
+  double sb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    inst.xs[i] = -2.0 + 4.0 * static_cast<double>(i) / static_cast<double>(n - 1);
+    inst.ys[i] = inst.xs[i];
+    sa += (inst.a[i] = rng.Uniform(0.2, 1.0));
+    sb += (inst.b[i] = rng.Uniform(0.2, 1.0));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    inst.a[i] /= sa;
+    inst.b[i] /= sb;
+  }
+  inst.cost = otfair::ot::SquaredEuclideanCost(inst.xs, inst.ys);
+  return inst;
+}
+
+void BM_ExactSolver(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Instance inst = MakeInstance(n, 1);
+  for (auto _ : state) {
+    auto plan = otfair::ot::SolveExact(inst.a, inst.b, inst.cost);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExactSolver)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_Sinkhorn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Instance inst = MakeInstance(n, 2);
+  otfair::ot::SinkhornOptions options;
+  options.epsilon = 0.05;
+  for (auto _ : state) {
+    auto result = otfair::ot::SolveSinkhorn(inst.a, inst.b, inst.cost, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sinkhorn)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_Monotone1D(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Instance inst = MakeInstance(n, 3);
+  const DiscreteMeasure mu = *DiscreteMeasure::Create(inst.xs, inst.a);
+  const DiscreteMeasure nu = *DiscreteMeasure::Create(inst.ys, inst.b);
+  for (auto _ : state) {
+    auto coupling = otfair::ot::SolveMonotone1D(mu, nu);
+    benchmark::DoNotOptimize(coupling);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Monotone1D)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_Wasserstein1D(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = rng.Normal(0.0, 1.0);
+    ys[i] = rng.Normal(1.0, 2.0);
+  }
+  const DiscreteMeasure mu = *DiscreteMeasure::FromSamples(xs);
+  const DiscreteMeasure nu = *DiscreteMeasure::FromSamples(ys);
+  for (auto _ : state) {
+    auto w = otfair::ot::Wasserstein1D(mu, nu, 2);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_Wasserstein1D)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_QuantileBarycenterOnGrid(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Instance inst = MakeInstance(n, 5);
+  const DiscreteMeasure mu = *DiscreteMeasure::Create(inst.xs, inst.a);
+  const DiscreteMeasure nu = *DiscreteMeasure::Create(inst.ys, inst.b);
+  for (auto _ : state) {
+    auto bary = otfair::ot::QuantileBarycenterOnGrid(mu, nu, 0.5, inst.xs);
+    benchmark::DoNotOptimize(bary);
+  }
+}
+BENCHMARK(BM_QuantileBarycenterOnGrid)->RangeMultiplier(2)->Range(16, 1024);
+
+void BM_BregmanBarycenter(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Instance inst = MakeInstance(n, 6);
+  const DiscreteMeasure mu = *DiscreteMeasure::Create(inst.xs, inst.a);
+  const DiscreteMeasure nu = *DiscreteMeasure::Create(inst.ys, inst.b);
+  otfair::ot::BregmanBarycenterOptions options;
+  options.epsilon = 0.1;
+  options.max_iterations = 200;
+  for (auto _ : state) {
+    auto bary = otfair::ot::BregmanBarycenter({mu, nu}, {0.5, 0.5}, inst.xs, options);
+    benchmark::DoNotOptimize(bary);
+  }
+}
+BENCHMARK(BM_BregmanBarycenter)->RangeMultiplier(2)->Range(16, 128);
+
+}  // namespace

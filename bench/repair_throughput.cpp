@@ -1,0 +1,115 @@
+// Micro-benchmarks for the repair hot paths, backing the paper's "torrents
+// of archival data" claim (§VI): once the plan is designed, each archival
+// value costs O(1) — independent of both the archive size and (thanks to
+// alias tables) the support resolution n_Q.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/designer.h"
+#include "core/geometric.h"
+#include "core/repairer.h"
+#include "sim/gaussian_mixture.h"
+
+namespace {
+
+using otfair::common::Rng;
+
+otfair::core::RepairPlanSet MakePlans(size_t n_q, uint64_t seed) {
+  Rng rng(seed);
+  auto research = otfair::sim::SimulateGaussianMixture(
+      1000, otfair::sim::GaussianSimConfig::PaperDefault(), rng);
+  otfair::core::DesignOptions options;
+  options.n_q = n_q;
+  auto plans = otfair::core::DesignDistributionalRepair(*research, options);
+  return *plans;
+}
+
+void BM_RepairValueStochastic(benchmark::State& state) {
+  const size_t n_q = static_cast<size_t>(state.range(0));
+  auto repairer = otfair::core::OffSampleRepairer::Create(MakePlans(n_q, 1), {});
+  Rng rng(2);
+  for (auto _ : state) {
+    const double x = rng.Normal(0.0, 1.0);
+    benchmark::DoNotOptimize(repairer->RepairValue(0, 1, 0, x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RepairValueStochastic)->Arg(10)->Arg(50)->Arg(250)->Arg(1000);
+
+void BM_RepairValueConditionalMean(benchmark::State& state) {
+  const size_t n_q = static_cast<size_t>(state.range(0));
+  otfair::core::RepairOptions options;
+  options.mode = otfair::core::TransportMode::kConditionalMean;
+  auto repairer = otfair::core::OffSampleRepairer::Create(MakePlans(n_q, 3), options);
+  Rng rng(4);
+  for (auto _ : state) {
+    const double x = rng.Normal(0.0, 1.0);
+    benchmark::DoNotOptimize(repairer->RepairValue(0, 1, 0, x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RepairValueConditionalMean)->Arg(50)->Arg(250);
+
+void BM_RepairDatasetBatch(benchmark::State& state) {
+  const size_t n_archive = static_cast<size_t>(state.range(0));
+  auto plans = MakePlans(50, 5);
+  Rng rng(6);
+  auto archive = otfair::sim::SimulateGaussianMixture(
+      n_archive, otfair::sim::GaussianSimConfig::PaperDefault(), rng);
+  auto repairer = otfair::core::OffSampleRepairer::Create(std::move(plans), {});
+  for (auto _ : state) {
+    auto repaired = repairer->RepairDataset(*archive);
+    benchmark::DoNotOptimize(repaired);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n_archive));
+}
+BENCHMARK(BM_RepairDatasetBatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DesignDistributionalRepair(benchmark::State& state) {
+  const size_t n_q = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  auto research = otfair::sim::SimulateGaussianMixture(
+      1000, otfair::sim::GaussianSimConfig::PaperDefault(), rng);
+  otfair::core::DesignOptions options;
+  options.n_q = n_q;
+  for (auto _ : state) {
+    auto plans = otfair::core::DesignDistributionalRepair(*research, options);
+    benchmark::DoNotOptimize(plans);
+  }
+}
+BENCHMARK(BM_DesignDistributionalRepair)->Arg(25)->Arg(50)->Arg(250);
+
+void BM_DesignWithExactSolver(benchmark::State& state) {
+  const size_t n_q = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  auto research = otfair::sim::SimulateGaussianMixture(
+      1000, otfair::sim::GaussianSimConfig::PaperDefault(), rng);
+  otfair::core::DesignOptions options;
+  options.n_q = n_q;
+  options.solver = otfair::core::OtSolverKind::kExact;
+  for (auto _ : state) {
+    auto plans = otfair::core::DesignDistributionalRepair(*research, options);
+    benchmark::DoNotOptimize(plans);
+  }
+}
+BENCHMARK(BM_DesignWithExactSolver)->Arg(25)->Arg(50);
+
+void BM_GeometricRepair(benchmark::State& state) {
+  // The baseline repairs only on-sample, and its OT problem grows with the
+  // research size — the scaling the distributional design avoids.
+  const size_t n_research = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  auto research = otfair::sim::SimulateGaussianMixture(
+      n_research, otfair::sim::GaussianSimConfig::PaperDefault(), rng);
+  for (auto _ : state) {
+    auto repaired = otfair::core::GeometricRepairDataset(*research, {});
+    benchmark::DoNotOptimize(repaired);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n_research));
+}
+BENCHMARK(BM_GeometricRepair)->Arg(500)->Arg(5000)->Arg(20000);
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Micro-benchmarks for the statistical substrate: KDE interpolation of the
+// marginals (Algorithm 1 line 8) and the E-metric evaluation, the two
+// statistics-heavy steps of the experiment harness.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fairness/emetric.h"
+#include "sim/gaussian_mixture.h"
+#include "stats/divergence.h"
+#include "stats/gmm.h"
+#include "stats/kde.h"
+#include "stats/sampling.h"
+
+namespace {
+
+using otfair::common::Rng;
+
+std::vector<double> NormalSample(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.Normal();
+  return xs;
+}
+
+std::vector<double> UniformGrid(size_t n) {
+  std::vector<double> g(n);
+  for (size_t i = 0; i < n; ++i)
+    g[i] = -4.0 + 8.0 * static_cast<double>(i) / static_cast<double>(n - 1);
+  return g;
+}
+
+void BM_KdePmfOnGrid(benchmark::State& state) {
+  const size_t n_samples = static_cast<size_t>(state.range(0));
+  const size_t n_grid = static_cast<size_t>(state.range(1));
+  const auto samples = NormalSample(n_samples, 1);
+  const auto grid = UniformGrid(n_grid);
+  const auto kde = otfair::stats::GaussianKde::FitSilverman(samples);
+  for (auto _ : state) {
+    auto pmf = kde->PmfOnGrid(grid);
+    benchmark::DoNotOptimize(pmf);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n_samples * n_grid));
+}
+BENCHMARK(BM_KdePmfOnGrid)
+    ->Args({500, 50})
+    ->Args({500, 250})
+    ->Args({5000, 50})
+    ->Args({10000, 250});
+
+void BM_SymmetrizedKl(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> p(n);
+  std::vector<double> q(n);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = rng.Uniform(0.0, 1.0);
+    q[i] = rng.Uniform(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    auto kl = otfair::stats::SymmetrizedKl(p, q);
+    benchmark::DoNotOptimize(kl);
+  }
+}
+BENCHMARK(BM_SymmetrizedKl)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_AggregateEMetric(benchmark::State& state) {
+  const size_t n_rows = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  auto dataset = otfair::sim::SimulateGaussianMixture(
+      n_rows, otfair::sim::GaussianSimConfig::PaperDefault(), rng);
+  for (auto _ : state) {
+    auto e = otfair::fairness::AggregateE(*dataset);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n_rows));
+}
+BENCHMARK(BM_AggregateEMetric)->Arg(500)->Arg(5000)->Arg(20000);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.Uniform(0.0, 1.0);
+  for (auto _ : state) {
+    auto table = otfair::stats::AliasTable::Build(weights);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_AliasTableBuild)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.Uniform(0.0, 1.0);
+  auto table = otfair::stats::AliasTable::Build(weights);
+  Rng sample_rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Sample(sample_rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AliasTableSample)->Arg(50)->Arg(250)->Arg(4096);
+
+void BM_GmmEmFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  otfair::common::Matrix data(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    const bool first = rng.Bernoulli(0.5);
+    data(i, 0) = rng.Normal(first ? -2.0 : 2.0, 1.0);
+    data(i, 1) = rng.Normal(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    Rng fit_rng(8);
+    auto model = otfair::stats::GaussianMixture::FitEm(data, 2, fit_rng);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_GmmEmFit)->Arg(500)->Arg(2000);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Quickstart: the five-minute tour of the otfair public API.
+//
+// 1. Simulate labelled data (the paper's §V-A bivariate Gaussian setting).
+// 2. Split into a small labelled *research* set and a large *archive*.
+// 3. Design the distributional OT repair on the research data (Algorithm 1).
+// 4. Repair both sets (Algorithm 2) and measure the E fairness metric.
+//
+// Run:  ./build/examples/quickstart [--n_research=500] [--n_archive=5000]
+//                                   [--n_q=50] [--seed=7]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "fairness/emetric.h"
+#include "fairness/report.h"
+#include "sim/gaussian_mixture.h"
+
+using otfair::common::FlagParser;
+using otfair::common::Rng;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const size_t n_research = static_cast<size_t>(flags.GetInt("n_research", 500));
+  const size_t n_archive = static_cast<size_t>(flags.GetInt("n_archive", 5000));
+  const size_t n_q = static_cast<size_t>(flags.GetInt("n_q", 50));
+  const uint64_t seed = flags.GetUint64("seed", 7);
+  if (auto status = flags.Validate({"n_research", "n_archive", "n_q", "seed"}); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // (1) Simulate the paper's mixture: two u-strata, two s-classes each.
+  Rng rng(seed);
+  const auto config = otfair::sim::GaussianSimConfig::PaperDefault();
+  auto research = otfair::sim::SimulateGaussianMixture(n_research, config, rng);
+  auto archive = otfair::sim::SimulateGaussianMixture(n_archive, config, rng);
+  if (!research.ok() || !archive.ok()) {
+    std::fprintf(stderr, "simulation failed\n");
+    return 1;
+  }
+
+  std::printf("== Before repair ==\n");
+  std::printf("research: %s", otfair::fairness::MakeFairnessReport(*research)->ToString().c_str());
+  std::printf("archive:  %s", otfair::fairness::MakeFairnessReport(*archive)->ToString().c_str());
+
+  // (2)+(3)+(4) Design on research, repair both sets.
+  otfair::core::PipelineOptions options;
+  options.design.n_q = n_q;
+  options.repair.seed = seed;
+  auto result = otfair::core::RunRepairPipeline(*research, *archive, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n== After distributional OT repair (t = 0.5 barycentre) ==\n");
+  std::printf("research (on-sample):  %s",
+              otfair::fairness::MakeFairnessReport(result->repaired_research)->ToString().c_str());
+  std::printf("archive (off-sample):  %s",
+              otfair::fairness::MakeFairnessReport(result->repaired_archive)->ToString().c_str());
+  std::printf("\nrepaired %zu values (%zu clamped to the research range)\n",
+              result->stats.values_repaired, result->stats.values_clamped);
+  std::printf("\nThe repair was *designed* on %zu research rows only, then applied\n"
+              "off-sample to %zu archival rows — the paper's headline capability.\n",
+              n_research, n_archive);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef OTFAIR_COMMON_CHECK_H_
+#define OTFAIR_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace otfair::common::internal {
+
+/// Accumulates a fatal-error message and aborts the process on destruction.
+/// Used only via the OTFAIR_CHECK family of macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when a check passes; enables the
+/// `cond ? Voidify() : stream` ternary used by the macros.
+struct Voidify {
+  void operator&(const CheckFailureStream&) const {}
+};
+
+}  // namespace otfair::common::internal
+
+/// Aborts with a diagnostic if `cond` is false. For contract violations
+/// (programmer errors), not for recoverable runtime failures — those use
+/// Status/Result. Additional context can be streamed:
+///
+///     OTFAIR_CHECK(i < n) << "index " << i << " out of bounds " << n;
+#define OTFAIR_CHECK(cond)                                       \
+  (cond) ? (void)0                                               \
+         : ::otfair::common::internal::Voidify() &               \
+               ::otfair::common::internal::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define OTFAIR_CHECK_EQ(a, b) OTFAIR_CHECK((a) == (b))
+#define OTFAIR_CHECK_NE(a, b) OTFAIR_CHECK((a) != (b))
+#define OTFAIR_CHECK_LT(a, b) OTFAIR_CHECK((a) < (b))
+#define OTFAIR_CHECK_LE(a, b) OTFAIR_CHECK((a) <= (b))
+#define OTFAIR_CHECK_GT(a, b) OTFAIR_CHECK((a) > (b))
+#define OTFAIR_CHECK_GE(a, b) OTFAIR_CHECK((a) >= (b))
+
+/// Debug-only variant: compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define OTFAIR_DCHECK(cond) OTFAIR_CHECK(true)
+#else
+#define OTFAIR_DCHECK(cond) OTFAIR_CHECK(cond)
+#endif
+
+#endif  // OTFAIR_COMMON_CHECK_H_

@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace otfair::common {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int FlagParser::GetInt(const std::string& name, int default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atoi(it->second.c_str());
+}
+
+uint64_t FlagParser::GetUint64(const std::string& name, uint64_t default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value
+                             : static_cast<uint64_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+}
+
+double FlagParser::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<int> FlagParser::GetIntList(const std::string& name,
+                                        const std::vector<int>& default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::vector<int> out;
+  for (const std::string& tok : Split(it->second, ',')) {
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+  }
+  return out;
+}
+
+Status FlagParser::Validate(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::InvalidArgument("unknown flag --" + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace otfair::common

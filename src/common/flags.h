@@ -1,0 +1,54 @@
+#ifndef OTFAIR_COMMON_FLAGS_H_
+#define OTFAIR_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace otfair::common {
+
+/// Minimal command-line flag parser for examples and experiment binaries.
+///
+/// Accepts `--name=value`, `--name value`, and boolean `--name`. Anything
+/// not starting with `--` is collected as a positional argument. Typical
+/// use:
+///
+///     FlagParser flags(argc, argv);
+///     int trials = flags.GetInt("trials", 50);
+///     uint64_t seed = flags.GetUint64("seed", 42);
+///     if (!flags.Validate({"trials", "seed"}).ok()) { ... }
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  /// True if the flag was present on the command line.
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name, const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  uint64_t GetUint64(const std::string& name, uint64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated list of ints, e.g. `--sizes=25,50,100`.
+  std::vector<int> GetIntList(const std::string& name, const std::vector<int>& default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+  /// Returns InvalidArgument if any flag on the command line is not in
+  /// `known`; guards against typos in experiment invocations.
+  Status Validate(const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_FLAGS_H_

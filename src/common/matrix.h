@@ -1,0 +1,101 @@
+#ifndef OTFAIR_COMMON_MATRIX_H_
+#define OTFAIR_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace otfair::common {
+
+/// Dense row-major matrix of doubles.
+///
+/// A deliberately small linear-algebra surface: the OT solvers, KDE and GMM
+/// code need contiguous storage, element access, row views and a few
+/// reductions — not a full BLAS. Sized for n_Q × n_Q cost matrices and OT
+/// plans (typically <= 1000 x 1000).
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized (or filled with `init`).
+  Matrix(size_t rows, size_t cols, double init = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  /// Builds from nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    OTFAIR_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    OTFAIR_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw contiguous storage (row-major).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Pointer to the start of row r.
+  double* row(size_t r) {
+    OTFAIR_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row(size_t r) const {
+    OTFAIR_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// Copies row r into a vector.
+  std::vector<double> RowVector(size_t r) const;
+  /// Copies column c into a vector.
+  std::vector<double> ColVector(size_t c) const;
+
+  /// Sum over all elements.
+  double Sum() const;
+  /// Per-row sums (length rows()).
+  std::vector<double> RowSums() const;
+  /// Per-column sums (length cols()).
+  std::vector<double> ColSums() const;
+  /// Largest |a_ij|.
+  double MaxAbs() const;
+
+  /// Frobenius inner product <A, B>; shapes must match.
+  double Dot(const Matrix& other) const;
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * other; inner dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Multiplies every element by s, in place.
+  void Scale(double s);
+
+  /// Element-wise maximum deviation from `other`; shapes must match.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Multi-line debug rendering with fixed precision.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_MATRIX_H_

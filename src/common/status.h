@@ -1,0 +1,101 @@
+#ifndef OTFAIR_COMMON_STATUS_H_
+#define OTFAIR_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace otfair::common {
+
+/// Canonical error space for all fallible operations in otfair.
+///
+/// The library follows a no-exceptions discipline: every operation that can
+/// fail at runtime (bad input data, non-convergence, IO errors, ...) reports
+/// through `Status` or `Result<T>`. Programmer errors (violated contracts)
+/// use `CHECK` from `common/check.h` instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+  kNotConverged = 8,
+};
+
+/// Human-readable name of a status code (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, modelled on absl::Status.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// a message string in the error case. Typical use:
+///
+///     Status s = plan.Validate();
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code clears
+  /// the message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Early-return helper: propagates a non-OK status to the caller.
+#define OTFAIR_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::otfair::common::Status _otfair_st = (expr);     \
+    if (!_otfair_st.ok()) return _otfair_st;          \
+  } while (false)
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_STATUS_H_

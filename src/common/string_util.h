@@ -1,0 +1,29 @@
+#ifndef OTFAIR_COMMON_STRING_UTIL_H_
+#define OTFAIR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace otfair::common {
+
+/// Splits `input` on `delimiter`, keeping empty tokens ("a,,b" -> 3 tokens).
+std::vector<std::string> Split(const std::string& input, char delimiter);
+
+/// Joins tokens with `delimiter`.
+std::string Join(const std::vector<std::string>& tokens, const std::string& delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& input);
+
+/// True if `input` begins with `prefix`.
+bool StartsWith(const std::string& input, const std::string& prefix);
+
+/// Formats a double with `precision` significant decimal places (fixed).
+std::string FormatDouble(double value, int precision = 4);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef OTFAIR_COMMON_TIMER_H_
+#define OTFAIR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace otfair::common {
+
+/// Monotonic wall-clock stopwatch for experiment instrumentation.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_TIMER_H_

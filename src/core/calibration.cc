@@ -1,0 +1,126 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "core/marginals.h"
+#include "core/support_grid.h"
+#include "ot/monotone.h"
+
+namespace otfair::core {
+
+using common::Result;
+using common::Rng;
+using common::Status;
+
+namespace {
+
+/// Normalized 1-Wasserstein distance between two channel marginals: W1
+/// divided by the span of their combined support, so 0 = identical and 1 =
+/// mass fully separated across the range.
+Result<double> NormalizedW1(const ot::DiscreteMeasure& a, const ot::DiscreteMeasure& b) {
+  auto w1 = ot::Wasserstein1D(a, b, 1);
+  if (!w1.ok()) return w1.status();
+  const double lo = std::min(a.support().front(), b.support().front());
+  const double hi = std::max(a.support().back(), b.support().back());
+  const double span = hi - lo;
+  return span > 0.0 ? *w1 / span : 0.0;
+}
+
+}  // namespace
+
+Result<ResearchSufficiency> CheckResearchSufficiency(const data::Dataset& research,
+                                                     const SufficiencyOptions& options) {
+  if (research.empty()) return Status::InvalidArgument("empty research dataset");
+  if (options.splits == 0) return Status::InvalidArgument("splits must be positive");
+  if (!(options.threshold > 0.0)) return Status::InvalidArgument("threshold must be positive");
+
+  Rng rng(options.seed);
+  ResearchSufficiency verdict;
+  verdict.sufficient = true;
+
+  for (int u = 0; u <= 1; ++u) {
+    for (int s = 0; s <= 1; ++s) {
+      const std::vector<size_t> indices = research.GroupIndices({u, s});
+      for (size_t k = 0; k < research.dim(); ++k) {
+        double instability = 1.0;  // pessimistic default: not estimable
+        if (indices.size() >= 2 * options.min_group_size) {
+          const std::vector<double> column = research.FeatureColumn(k, indices);
+          auto grid = SupportGrid::FromSamples(column, options.n_q);
+          if (!grid.ok()) return grid.status();
+          double acc = 0.0;
+          size_t used = 0;
+          for (size_t split = 0; split < options.splits; ++split) {
+            const std::vector<size_t> perm = rng.Permutation(column.size());
+            const size_t half = column.size() / 2;
+            std::vector<double> first;
+            std::vector<double> second;
+            first.reserve(half);
+            second.reserve(column.size() - half);
+            for (size_t i = 0; i < column.size(); ++i)
+              (i < half ? first : second).push_back(column[perm[i]]);
+            auto ma = InterpolateMarginal(first, *grid);
+            auto mb = InterpolateMarginal(second, *grid);
+            if (!ma.ok() || !mb.ok()) continue;
+            auto w1 = NormalizedW1(*ma, *mb);
+            if (!w1.ok()) continue;
+            acc += *w1;
+            ++used;
+          }
+          if (used > 0) instability = acc / static_cast<double>(used);
+        }
+        verdict.instability.push_back(instability);
+        if (instability > verdict.worst_instability) {
+          verdict.worst_instability = instability;
+          verdict.worst_channel = "u=" + std::to_string(u) + ",s=" + std::to_string(s) +
+                                  ",k=" + std::to_string(k);
+        }
+        if (instability > options.threshold) verdict.sufficient = false;
+      }
+    }
+  }
+  return verdict;
+}
+
+Result<size_t> SelectSupportResolution(const data::Dataset& research,
+                                       const ResolutionOptions& options) {
+  if (research.empty()) return Status::InvalidArgument("empty research dataset");
+  if (options.min_n_q < 2 || options.max_n_q < options.min_n_q)
+    return Status::InvalidArgument("resolution bounds invalid");
+  if (!(options.tolerance > 0.0)) return Status::InvalidArgument("tolerance must be positive");
+
+  for (size_t n_q = options.min_n_q; n_q < options.max_n_q; n_q *= 2) {
+    const size_t refined = std::min(2 * n_q, options.max_n_q);
+    double worst = 0.0;
+    bool estimable = true;
+    for (int u = 0; u <= 1 && estimable; ++u) {
+      for (int s = 0; s <= 1 && estimable; ++s) {
+        const std::vector<size_t> indices = research.GroupIndices({u, s});
+        if (indices.size() < options.min_group_size) {
+          estimable = false;
+          break;
+        }
+        for (size_t k = 0; k < research.dim(); ++k) {
+          const std::vector<double> column = research.FeatureColumn(k, indices);
+          auto coarse_grid = SupportGrid::FromSamples(column, n_q);
+          auto fine_grid = SupportGrid::FromSamples(column, refined);
+          if (!coarse_grid.ok() || !fine_grid.ok()) return coarse_grid.status();
+          auto coarse = InterpolateMarginal(column, *coarse_grid);
+          auto fine = InterpolateMarginal(column, *fine_grid);
+          if (!coarse.ok()) return coarse.status();
+          if (!fine.ok()) return fine.status();
+          auto w1 = NormalizedW1(*coarse, *fine);
+          if (!w1.ok()) return w1.status();
+          worst = std::max(worst, *w1);
+        }
+      }
+    }
+    if (!estimable)
+      return Status::FailedPrecondition("research group too small for calibration");
+    if (worst < options.tolerance) return n_q;
+  }
+  return options.max_n_q;
+}
+
+}  // namespace otfair::core

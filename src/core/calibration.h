@@ -1,0 +1,71 @@
+#ifndef OTFAIR_CORE_CALIBRATION_H_
+#define OTFAIR_CORE_CALIBRATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace otfair::core {
+
+/// Operating-condition calibration — practical answers to the two open
+/// questions of paper §VI: a *stopping rule* for research-data collection
+/// and a data-driven choice of the support resolution n_Q ("in practice, we
+/// will increase n_Q and monitor convergence", §V-A2b (iv)).
+
+/// Verdict of the research-sufficiency check.
+struct ResearchSufficiency {
+  /// True when every (u, s, k) channel's marginal estimate is stable.
+  bool sufficient = false;
+  /// Worst split-half instability across channels (normalized W1 between
+  /// marginals estimated from disjoint halves of the research data; 0 =
+  /// perfectly stable).
+  double worst_instability = 0.0;
+  /// Channel that drives worst_instability, "u=?,s=?,k=?".
+  std::string worst_channel;
+  /// Per-channel instabilities, ordered (u, s, k) row-major.
+  std::vector<double> instability;
+};
+
+/// Options for the sufficiency check.
+struct SufficiencyOptions {
+  size_t n_q = 50;
+  /// Number of random half-splits averaged per channel.
+  size_t splits = 8;
+  /// A channel is stable when its average normalized split-half W1 falls
+  /// below this. 0.05 ~= the Fig. 3 plateau on the paper's simulation.
+  double threshold = 0.05;
+  size_t min_group_size = 4;
+  uint64_t seed = 0xca11b;
+};
+
+/// Split-half stopping rule: the research set is declared sufficient when
+/// KDE marginals estimated from two random halves agree (normalized W1)
+/// on every channel. Under the LLN this is exactly the convergence the
+/// paper's Fig. 3 tracks — E flattens when the per-channel marginals stop
+/// moving with more data — but it needs no archive and no repair run.
+common::Result<ResearchSufficiency> CheckResearchSufficiency(
+    const data::Dataset& research, const SufficiencyOptions& options = {});
+
+/// Options for resolution selection.
+struct ResolutionOptions {
+  size_t min_n_q = 5;
+  size_t max_n_q = 400;
+  /// Stop when doubling n_Q moves every channel's interpolated marginal by
+  /// less than this (normalized W1).
+  double tolerance = 0.01;
+  size_t min_group_size = 4;
+};
+
+/// Data-driven n_Q selection (§V-A2b (iv)): doubles n_Q from min_n_q until
+/// the interpolated marginals stop changing, and returns the first
+/// sufficient resolution. Returns max_n_q if the tolerance is never met.
+common::Result<size_t> SelectSupportResolution(const data::Dataset& research,
+                                               const ResolutionOptions& options = {});
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_CALIBRATION_H_

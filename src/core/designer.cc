@@ -1,0 +1,105 @@
+#include "core/designer.h"
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "ot/barycenter.h"
+#include "ot/cost.h"
+#include "ot/exact.h"
+#include "ot/monotone.h"
+
+namespace otfair::core {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Solves mu -> nu on the shared grid with squared-Euclidean cost using the
+/// configured solver; returns the dense n_Q x n_Q coupling.
+Result<Matrix> SolveChannelPlan(const ot::DiscreteMeasure& mu, const ot::DiscreteMeasure& nu,
+                                const SupportGrid& grid, const DesignOptions& options) {
+  switch (options.solver) {
+    case OtSolverKind::kMonotone: {
+      // Both measures live on the sorted grid, so sparse entries index grid
+      // states directly.
+      auto coupling = ot::SolveMonotone1D(mu, nu);
+      if (!coupling.ok()) return coupling.status();
+      return ot::SparseToDense(coupling->entries, grid.size(), grid.size());
+    }
+    case OtSolverKind::kExact: {
+      const Matrix cost = ot::SquaredEuclideanCost(grid.points(), grid.points());
+      auto plan = ot::SolveExact(mu.weights(), nu.weights(), cost);
+      if (!plan.ok()) return plan.status();
+      return std::move(plan->coupling);
+    }
+    case OtSolverKind::kSinkhorn: {
+      const Matrix cost = ot::SquaredEuclideanCost(grid.points(), grid.points());
+      auto result = ot::SolveSinkhorn(mu.weights(), nu.weights(), cost, options.sinkhorn);
+      if (!result.ok()) return result.status();
+      return std::move(result->plan.coupling);
+    }
+  }
+  return Status::Internal("unknown solver kind");
+}
+
+}  // namespace
+
+Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
+                                                 const DesignOptions& options) {
+  if (research.empty()) return Status::InvalidArgument("empty research dataset");
+  if (options.n_q < 2) return Status::InvalidArgument("n_q must be >= 2");
+  if (!(options.target_t >= 0.0 && options.target_t <= 1.0))
+    return Status::InvalidArgument("target_t must lie in [0, 1]");
+
+  RepairPlanSet plans(research.dim(), research.feature_names());
+  plans.set_target_t(options.target_t);
+
+  for (int u = 0; u <= 1; ++u) {
+    const std::vector<size_t> idx0 = research.GroupIndices({u, 0});
+    const std::vector<size_t> idx1 = research.GroupIndices({u, 1});
+    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size)
+      return Status::FailedPrecondition(
+          "research group (u=" + std::to_string(u) +
+          ") lacks labelled rows for one or both s classes; collect more research data");
+    const std::vector<size_t> idx_all = research.UIndices(u);
+
+    for (size_t k = 0; k < research.dim(); ++k) {
+      ChannelPlan& channel = plans.At(u, k);
+
+      // (i) Interpolated support over the u-stratum's research range
+      // (Algorithm 1, lines 3-5).
+      auto grid = SupportGrid::FromSamples(research.FeatureColumn(k, idx_all), options.n_q);
+      if (!grid.ok()) return grid.status();
+      channel.grid = std::move(*grid);
+
+      // (ii) KDE-interpolated s-conditional marginals (line 8, Eq. 11).
+      for (int s = 0; s <= 1; ++s) {
+        auto marginal = InterpolateMarginal(
+            research.FeatureColumn(k, s == 0 ? idx0 : idx1), channel.grid, options.marginal);
+        if (!marginal.ok()) return marginal.status();
+        channel.marginal[static_cast<size_t>(s)] = std::move(*marginal);
+      }
+
+      // (iii) Barycentric repair target on the same support (line 9, Eq. 7).
+      auto barycenter =
+          ot::QuantileBarycenterOnGrid(channel.marginal[0], channel.marginal[1],
+                                       options.target_t, channel.grid.points());
+      if (!barycenter.ok()) return barycenter.status();
+      channel.barycenter = std::move(*barycenter);
+
+      // (iv) The two OT plans mu_s -> nu (lines 10-11, Eq. 13).
+      for (int s = 0; s <= 1; ++s) {
+        auto plan = SolveChannelPlan(channel.marginal[static_cast<size_t>(s)],
+                                     channel.barycenter, channel.grid, options);
+        if (!plan.ok()) return plan.status();
+        channel.plan[static_cast<size_t>(s)] = std::move(*plan);
+      }
+    }
+  }
+  return plans;
+}
+
+}  // namespace otfair::core

@@ -1,0 +1,60 @@
+#ifndef OTFAIR_CORE_DESIGNER_H_
+#define OTFAIR_CORE_DESIGNER_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/marginals.h"
+#include "core/repair_plan.h"
+#include "data/dataset.h"
+#include "ot/sinkhorn.h"
+
+namespace otfair::core {
+
+/// Which OT solver builds the per-channel plans pi*_{u,s,k} (Eq. 13).
+enum class OtSolverKind {
+  /// O(n_Q) monotone coupling — exact for the 1-D squared-Euclidean cost
+  /// used here, and the default.
+  kMonotone,
+  /// General exact solver (successive shortest paths); same optimum as
+  /// kMonotone on these problems, provided for cross-validation and for
+  /// non-convex custom costs.
+  kExact,
+  /// Entropy-regularized Sinkhorn (approximate; O(n_Q^2 / eps^2)).
+  kSinkhorn,
+};
+
+/// Options for Algorithm 1 (on-sample design of the distributional repair).
+struct DesignOptions {
+  /// Number of interpolated support states n_Q per (u, k) channel. The
+  /// paper finds performance converges for n_Q ≳ 30 on Gaussian channels
+  /// (§V-A2b) and uses 250 for Adult (§V-B).
+  size_t n_q = 50;
+  /// Barycentre position t along the W2 geodesic (Eq. 7); 0.5 is the
+  /// paper's fair barycentre, equidistant from both s-conditionals.
+  double target_t = 0.5;
+  OtSolverKind solver = OtSolverKind::kMonotone;
+  /// Used only when solver == kSinkhorn.
+  ot::SinkhornOptions sinkhorn;
+  MarginalOptions marginal;
+  /// Minimum research rows per (u, s) group; below this the design is
+  /// rejected (the conditional marginal cannot be estimated).
+  size_t min_group_size = 2;
+};
+
+/// Algorithm 1: designs the (u, s, k)-indexed distributional repair plans
+/// from the s|u-labelled research data.
+///
+/// For every u-stratum and feature k it (i) builds the uniform interpolated
+/// support Q_{u,k} over the stratum's research range, (ii) KDE-interpolates
+/// the two s-conditional marginals onto Q (Eq. 11), (iii) computes the
+/// t-barycentre nu on Q (Eq. 7), and (iv) solves the two OT problems
+/// mu_s -> nu (Eq. 13). Complexity is dominated by the d*|U|*|S| OT solves
+/// on n_Q states — independent of the archive size, which is the point of
+/// the method.
+common::Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
+                                                         const DesignOptions& options = {});
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_DESIGNER_H_

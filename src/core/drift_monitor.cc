@@ -1,0 +1,125 @@
+#include "core/drift_monitor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace otfair::core {
+
+using common::Result;
+using common::Status;
+
+std::string DriftReport::ToString() const {
+  std::ostringstream os;
+  os << (drifted ? "DRIFT DETECTED" : "stationary") << "  worst W1=" << common::FormatDouble(worst_w1, 4)
+     << "  worst out-of-range=" << common::FormatDouble(worst_out_of_range, 4) << "\n";
+  for (const ChannelDrift& c : channels) {
+    os << "  (u=" << c.u << ", s=" << c.s << ", k=" << c.k << ") n=" << c.count
+       << "  W1=" << common::FormatDouble(c.w1_normalized, 4)
+       << "  oor=" << common::FormatDouble(c.out_of_range_rate, 4) << "\n";
+  }
+  return os.str();
+}
+
+Result<DriftMonitor> DriftMonitor::Create(const RepairPlanSet& plans,
+                                          const DriftMonitorOptions& options) {
+  Status valid = plans.Validate(1e-5);
+  if (!valid.ok()) return valid;
+  if (options.min_count == 0) return Status::InvalidArgument("min_count must be positive");
+  DriftMonitor monitor(plans.dim(), options);
+  monitor.states_.resize(4 * plans.dim());
+  for (int u = 0; u <= 1; ++u) {
+    for (int s = 0; s <= 1; ++s) {
+      for (size_t k = 0; k < plans.dim(); ++k) {
+        const ChannelPlan& channel = plans.At(u, k);
+        ChannelState& state = monitor.StateFor(u, s, k);
+        state.grid = channel.grid.points();
+        state.design_pmf = channel.marginal[static_cast<size_t>(s)].weights();
+        state.counts.assign(state.grid.size(), 0);
+      }
+    }
+  }
+  return monitor;
+}
+
+DriftMonitor::ChannelState& DriftMonitor::StateFor(int u, int s, size_t k) {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK(s == 0 || s == 1);
+  OTFAIR_CHECK_LT(k, dim_);
+  return states_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * dim_ + k];
+}
+
+const DriftMonitor::ChannelState& DriftMonitor::StateFor(int u, int s, size_t k) const {
+  return const_cast<DriftMonitor*>(this)->StateFor(u, s, k);
+}
+
+void DriftMonitor::Observe(int u, int s, size_t k, double x) {
+  ChannelState& state = StateFor(u, s, k);
+  ++state.total;
+  const double lo = state.grid.front();
+  const double hi = state.grid.back();
+  if (x < lo || x > hi) ++state.out_of_range;
+  // Nearest grid state (uniform spacing).
+  const double step = (hi - lo) / static_cast<double>(state.grid.size() - 1);
+  double offset = (x - lo) / step;
+  if (offset < 0.0) offset = 0.0;
+  size_t idx = static_cast<size_t>(offset + 0.5);
+  if (idx >= state.grid.size()) idx = state.grid.size() - 1;
+  ++state.counts[idx];
+}
+
+DriftReport DriftMonitor::Report() const {
+  DriftReport report;
+  for (int u = 0; u <= 1; ++u) {
+    for (int s = 0; s <= 1; ++s) {
+      for (size_t k = 0; k < dim_; ++k) {
+        const ChannelState& state = StateFor(u, s, k);
+        ChannelDrift drift;
+        drift.u = u;
+        drift.s = s;
+        drift.k = k;
+        drift.count = state.total;
+        if (state.total > 0) {
+          drift.out_of_range_rate =
+              static_cast<double>(state.out_of_range) / static_cast<double>(state.total);
+          // W1 between pmfs on a shared 1-D grid = step * sum_q |CDF gap|.
+          const double span = state.grid.back() - state.grid.front();
+          const double step = span / static_cast<double>(state.grid.size() - 1);
+          double cum_design = 0.0;
+          double cum_stream = 0.0;
+          double w1 = 0.0;
+          for (size_t q = 0; q < state.grid.size(); ++q) {
+            cum_design += state.design_pmf[q];
+            cum_stream +=
+                static_cast<double>(state.counts[q]) / static_cast<double>(state.total);
+            w1 += std::fabs(cum_design - cum_stream) * step;
+          }
+          drift.w1_normalized = span > 0.0 ? w1 / span : 0.0;
+        }
+        if (state.total >= options_.min_count) {
+          report.worst_w1 = std::max(report.worst_w1, drift.w1_normalized);
+          report.worst_out_of_range =
+              std::max(report.worst_out_of_range, drift.out_of_range_rate);
+          if (drift.w1_normalized > options_.w1_threshold ||
+              drift.out_of_range_rate > options_.out_of_range_threshold) {
+            report.drifted = true;
+          }
+        }
+        report.channels.push_back(drift);
+      }
+    }
+  }
+  return report;
+}
+
+void DriftMonitor::Reset() {
+  for (ChannelState& state : states_) {
+    state.counts.assign(state.counts.size(), 0);
+    state.total = 0;
+    state.out_of_range = 0;
+  }
+}
+
+}  // namespace otfair::core

@@ -1,0 +1,37 @@
+#ifndef OTFAIR_CORE_GEOMETRIC_H_
+#define OTFAIR_CORE_GEOMETRIC_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace otfair::core {
+
+/// Options for the geometric (on-sample) repair baseline.
+struct GeometricOptions {
+  /// Geodesic position t (paper Eqs. 8-9); 0.5 meets both classes at the
+  /// fair barycentre, matching the distributional repair's default target.
+  double t = 0.5;
+  /// Minimum rows per (u, s) group.
+  size_t min_group_size = 2;
+};
+
+/// The geometric OT repair of Del Barrio et al. (ICML 2019), applied per
+/// (u, k) channel as in paper §III-B — the baseline Tables I and II compare
+/// against:
+///
+///     x'_{0,i} = (1 - t) x_{0,i} + n_0 t     * sum_j pi*_{ij} x_{1,j}   (Eq. 8)
+///     x'_{1,j} = n_1 (1 - t) * sum_i pi*_{ij} x_{0,i} + t x_{1,j}       (Eq. 9)
+///
+/// with pi* the optimal coupling between the *empirical* s-conditional
+/// measures of the research data (computed here by the 1-D monotone
+/// solver, which is exact for the squared-Euclidean cost).
+///
+/// This repair is defined point-wise on the research sample, so — as the
+/// paper stresses — it cannot repair off-sample (archival) points; it only
+/// returns a repaired copy of `research`.
+common::Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
+                                                     const GeometricOptions& options = {});
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_GEOMETRIC_H_

@@ -1,0 +1,301 @@
+#include "core/joint_repair.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "stats/kde2d.h"
+
+namespace otfair::core {
+
+using common::Matrix;
+using common::Result;
+using common::Rng;
+using common::Status;
+
+namespace {
+
+// Rows with less mass than this are treated as empty.
+constexpr double kRowMassFloor = 1e-300;
+
+/// Separable Gibbs kernel over the product grid: K((a,b),(c,d)) =
+/// Kx(a,c) * Ky(b,d). Applying it to a flattened state vector costs
+/// O(n_q^3) instead of the O(n_q^4) dense product.
+struct SeparableKernel {
+  Matrix kx;  // n_qx x n_qx
+  Matrix ky;  // n_qy x n_qy
+
+  /// result = K v, with v flattened row-major over (a, b).
+  std::vector<double> Apply(const std::vector<double>& v) const {
+    const size_t nx = kx.rows();
+    const size_t ny = ky.rows();
+    OTFAIR_CHECK_EQ(v.size(), nx * ny);
+    // V as nx x ny matrix; result = Kx * V * Ky (Ky symmetric).
+    Matrix value(nx, ny);
+    for (size_t a = 0; a < nx; ++a) {
+      for (size_t b = 0; b < ny; ++b) value(a, b) = v[a * ny + b];
+    }
+    Matrix mid = kx.Multiply(value);
+    Matrix out = mid.Multiply(ky);
+    std::vector<double> result(nx * ny);
+    for (size_t a = 0; a < nx; ++a) {
+      for (size_t b = 0; b < ny; ++b) result[a * ny + b] = out(a, b);
+    }
+    return result;
+  }
+
+  double Entry(size_t i, size_t j, size_t ny) const {
+    return kx(i / ny, j / ny) * ky(i % ny, j % ny);
+  }
+};
+
+SeparableKernel BuildKernel(const SupportGrid& gx, const SupportGrid& gy, double epsilon) {
+  SeparableKernel kernel;
+  kernel.kx = Matrix(gx.size(), gx.size());
+  kernel.ky = Matrix(gy.size(), gy.size());
+  for (size_t a = 0; a < gx.size(); ++a) {
+    for (size_t c = 0; c < gx.size(); ++c) {
+      const double d = gx.point(a) - gx.point(c);
+      kernel.kx(a, c) = std::exp(-d * d / epsilon);
+    }
+  }
+  for (size_t b = 0; b < gy.size(); ++b) {
+    for (size_t d = 0; d < gy.size(); ++d) {
+      const double delta = gy.point(b) - gy.point(d);
+      kernel.ky(b, d) = std::exp(-delta * delta / epsilon);
+    }
+  }
+  return kernel;
+}
+
+/// Entropic barycenter of two pmfs on the shared product grid (iterative
+/// Bregman projections).
+Result<std::vector<double>> EntropicBarycenter(const SeparableKernel& kernel,
+                                               const std::vector<double>& p0,
+                                               const std::vector<double>& p1, double t,
+                                               size_t max_iterations, double tolerance) {
+  const size_t states = p0.size();
+  const double lambda[2] = {1.0 - t, t};
+  const std::vector<double>* p[2] = {&p0, &p1};
+  std::vector<std::vector<double>> scaling(2, std::vector<double>(states, 1.0));
+  std::vector<double> bary(states, 1.0 / static_cast<double>(states));
+  std::vector<double> prev(states, 0.0);
+
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    std::vector<double> log_bary(states, 0.0);
+    std::vector<std::vector<double>> kv(2);
+    for (int m = 0; m < 2; ++m) {
+      std::vector<double> ku = kernel.Apply(scaling[m]);
+      std::vector<double> v(states, 0.0);
+      for (size_t i = 0; i < states; ++i) v[i] = ku[i] > 0.0 ? (*p[m])[i] / ku[i] : 0.0;
+      kv[m] = kernel.Apply(v);
+      for (size_t i = 0; i < states; ++i)
+        log_bary[i] += lambda[m] * (kv[m][i] > 0.0 ? std::log(kv[m][i]) : -1e30);
+    }
+    double total = 0.0;
+    for (size_t i = 0; i < states; ++i) {
+      bary[i] = std::exp(log_bary[i]);
+      if (!std::isfinite(bary[i])) return Status::NotConverged("joint barycenter diverged");
+      total += bary[i];
+    }
+    if (total <= 0.0) return Status::NotConverged("joint barycenter lost all mass");
+    for (int m = 0; m < 2; ++m) {
+      for (size_t i = 0; i < states; ++i)
+        scaling[m][i] = kv[m][i] > 0.0 ? bary[i] / kv[m][i] : 0.0;
+    }
+    double delta = 0.0;
+    for (size_t i = 0; i < states; ++i) delta = std::max(delta, std::fabs(bary[i] - prev[i]));
+    prev = bary;
+    if (delta < tolerance * total) break;
+  }
+  double total = 0.0;
+  for (double w : bary) total += w;
+  for (double& w : bary) w /= total;
+  return bary;
+}
+
+/// Sinkhorn plan between two pmfs on the shared product grid, returned as a
+/// dense states x states coupling.
+Result<Matrix> EntropicPlan(const SeparableKernel& kernel, const std::vector<double>& source,
+                            const std::vector<double>& target, size_t ny,
+                            size_t max_iterations, double tolerance) {
+  const size_t states = source.size();
+  std::vector<double> alpha(states, 1.0);
+  std::vector<double> beta(states, 1.0);
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    std::vector<double> kb = kernel.Apply(beta);
+    for (size_t i = 0; i < states; ++i) alpha[i] = kb[i] > 0.0 ? source[i] / kb[i] : 0.0;
+    std::vector<double> ka = kernel.Apply(alpha);
+    double err = 0.0;
+    for (size_t j = 0; j < states; ++j) {
+      const double col = beta[j] * ka[j];
+      err = std::max(err, std::fabs(col - target[j]));
+      beta[j] = ka[j] > 0.0 ? target[j] / ka[j] : 0.0;
+    }
+    if (err < tolerance) break;
+  }
+  Matrix plan(states, states);
+  for (size_t i = 0; i < states; ++i) {
+    if (alpha[i] == 0.0) continue;
+    double* row = plan.row(i);
+    for (size_t j = 0; j < states; ++j) {
+      row[j] = alpha[i] * kernel.Entry(i, j, ny) * beta[j];
+      if (!std::isfinite(row[j])) return Status::NotConverged("joint plan diverged");
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& research, size_t k1,
+                                                    size_t k2,
+                                                    const JointDesignOptions& options) {
+  if (research.empty()) return Status::InvalidArgument("empty research dataset");
+  if (k1 >= research.dim() || k2 >= research.dim() || k1 == k2)
+    return Status::InvalidArgument("feature pair must be two distinct valid columns");
+  if (options.n_q < 2 || options.n_q > 64)
+    return Status::InvalidArgument("n_q must lie in [2, 64] (states scale as n_q^2)");
+  if (!(options.target_t >= 0.0 && options.target_t <= 1.0))
+    return Status::InvalidArgument("target_t must lie in [0, 1]");
+  if (!(options.epsilon > 0.0)) return Status::InvalidArgument("epsilon must be positive");
+
+  JointPairRepairer repairer;
+  repairer.k1_ = k1;
+  repairer.k2_ = k2;
+
+  for (int u = 0; u <= 1; ++u) {
+    const std::vector<size_t> idx0 = research.GroupIndices({u, 0});
+    const std::vector<size_t> idx1 = research.GroupIndices({u, 1});
+    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size)
+      return Status::FailedPrecondition("research group (u=" + std::to_string(u) +
+                                        ") too small for joint design");
+    const std::vector<size_t> idx_all = research.UIndices(u);
+
+    StratumPlan& stratum = repairer.strata_[static_cast<size_t>(u)];
+    auto grid_x = SupportGrid::FromSamples(research.FeatureColumn(k1, idx_all), options.n_q);
+    if (!grid_x.ok()) return grid_x.status();
+    auto grid_y = SupportGrid::FromSamples(research.FeatureColumn(k2, idx_all), options.n_q);
+    if (!grid_y.ok()) return grid_y.status();
+    stratum.grid_x = std::move(*grid_x);
+    stratum.grid_y = std::move(*grid_y);
+    const size_t ny = stratum.grid_y.size();
+    const size_t states = stratum.grid_x.size() * ny;
+
+    // Effective epsilon scales with the squared support span, so the same
+    // dimensionless option works across feature scales.
+    const double span_x = stratum.grid_x.hi() - stratum.grid_x.lo();
+    const double span_y = stratum.grid_y.hi() - stratum.grid_y.lo();
+    const double epsilon = options.epsilon * (span_x * span_x + span_y * span_y);
+    const SeparableKernel kernel = BuildKernel(stratum.grid_x, stratum.grid_y, epsilon);
+
+    // 2-D KDE-interpolated joint marginals, flattened row-major.
+    std::array<std::vector<double>, 2> marginal;
+    for (int s = 0; s <= 1; ++s) {
+      const std::vector<size_t>& idx = (s == 0) ? idx0 : idx1;
+      auto kde = options.bandwidth > 0.0
+                     ? stats::GaussianKde2d::Fit(research.FeatureColumn(k1, idx),
+                                                 research.FeatureColumn(k2, idx),
+                                                 options.bandwidth, options.bandwidth)
+                     : stats::GaussianKde2d::FitSilverman(research.FeatureColumn(k1, idx),
+                                                          research.FeatureColumn(k2, idx));
+      if (!kde.ok()) return kde.status();
+      auto pmf = kde->PmfOnGrid(stratum.grid_x.points(), stratum.grid_y.points());
+      if (!pmf.ok()) return pmf.status();
+      marginal[static_cast<size_t>(s)].assign(pmf->data(), pmf->data() + pmf->size());
+    }
+
+    auto barycenter =
+        EntropicBarycenter(kernel, marginal[0], marginal[1], options.target_t,
+                           options.max_iterations, options.tolerance);
+    if (!barycenter.ok()) return barycenter.status();
+
+    for (int s = 0; s <= 1; ++s) {
+      auto plan = EntropicPlan(kernel, marginal[static_cast<size_t>(s)], *barycenter, ny,
+                               options.max_iterations, options.tolerance);
+      if (!plan.ok()) return plan.status();
+      stratum.plan[static_cast<size_t>(s)] = std::move(*plan);
+
+      // Alias tables + fallbacks per row.
+      auto& alias = stratum.alias[static_cast<size_t>(s)];
+      auto& fallback = stratum.fallback_row[static_cast<size_t>(s)];
+      alias.resize(states);
+      fallback.assign(states, 0);
+      std::vector<char> has_mass(states, 0);
+      const Matrix& pi = stratum.plan[static_cast<size_t>(s)];
+      for (size_t q = 0; q < states; ++q) {
+        const double* row = pi.row(q);
+        double mass = 0.0;
+        for (size_t j = 0; j < states; ++j) mass += row[j];
+        if (mass > kRowMassFloor) {
+          has_mass[q] = 1;
+          auto table = stats::AliasTable::Build(std::vector<double>(row, row + states));
+          if (!table.ok()) return Status::Internal("alias build failed");
+          alias[q] = std::move(*table);
+        }
+      }
+      bool any = false;
+      for (size_t q = 0; q < states; ++q) any = any || has_mass[q];
+      if (!any) return Status::FailedPrecondition("joint plan has no transportable mass");
+      for (size_t q = 0; q < states; ++q) {
+        if (has_mass[q]) {
+          fallback[q] = q;
+          continue;
+        }
+        for (size_t delta = 1; delta < states; ++delta) {
+          if (q >= delta && has_mass[q - delta]) {
+            fallback[q] = q - delta;
+            break;
+          }
+          if (q + delta < states && has_mass[q + delta]) {
+            fallback[q] = q + delta;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return repairer;
+}
+
+const JointPairRepairer::StratumPlan& JointPairRepairer::PlanFor(int u) const {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  return strata_[static_cast<size_t>(u)];
+}
+
+std::pair<double, double> JointPairRepairer::RepairPair(int u, int s, double x, double y,
+                                                        Rng& rng) const {
+  OTFAIR_CHECK(s == 0 || s == 1);
+  const StratumPlan& stratum = PlanFor(u);
+  const size_t ny = stratum.grid_y.size();
+
+  SupportGrid::Location loc_x = stratum.grid_x.Locate(x);
+  SupportGrid::Location loc_y = stratum.grid_y.Locate(y);
+  size_t qx = loc_x.lower;
+  size_t qy = loc_y.lower;
+  if (rng.Bernoulli(loc_x.tau) && qx + 1 < stratum.grid_x.size()) ++qx;
+  if (rng.Bernoulli(loc_y.tau) && qy + 1 < ny) ++qy;
+  size_t row = qx * ny + qy;
+  const auto& alias = stratum.alias[static_cast<size_t>(s)];
+  if (!alias[row].has_value()) row = stratum.fallback_row[static_cast<size_t>(s)][row];
+  const size_t j = alias[row]->Sample(rng);
+  return {stratum.grid_x.point(j / ny), stratum.grid_y.point(j % ny)};
+}
+
+Result<data::Dataset> JointPairRepairer::RepairDataset(const data::Dataset& dataset,
+                                                       uint64_t seed) const {
+  if (k1_ >= dataset.dim() || k2_ >= dataset.dim())
+    return Status::InvalidArgument("dataset lacks the designed feature pair");
+  Rng rng(seed);
+  data::Dataset repaired = dataset.Clone();
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const auto [x, y] = RepairPair(dataset.u(i), dataset.s(i), dataset.feature(i, k1_),
+                                   dataset.feature(i, k2_), rng);
+    repaired.set_feature(i, k1_, x);
+    repaired.set_feature(i, k2_, y);
+  }
+  return repaired;
+}
+
+}  // namespace otfair::core

@@ -1,0 +1,82 @@
+#include "core/label_estimator.h"
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace otfair::core {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+Result<LabelEstimator> LabelEstimator::Fit(const data::Dataset& research) {
+  if (research.empty()) return Status::InvalidArgument("empty research dataset");
+  LabelEstimator estimator;
+  for (int u = 0; u <= 1; ++u) {
+    const std::vector<size_t> indices = research.UIndices(u);
+    if (indices.empty())
+      return Status::FailedPrecondition("research data has no rows for one u stratum");
+    Matrix features(indices.size(), research.dim());
+    std::vector<size_t> labels(indices.size());
+    for (size_t r = 0; r < indices.size(); ++r) {
+      for (size_t k = 0; k < research.dim(); ++k)
+        features(r, k) = research.feature(indices[r], k);
+      labels[r] = static_cast<size_t>(research.s(indices[r]));
+    }
+    auto model = stats::GaussianMixture::FitSupervised(features, labels, 2);
+    if (!model.ok())
+      return Status(model.status().code(),
+                    "u=" + std::to_string(u) + " stratum: " + model.status().message());
+    (u == 0 ? estimator.model_u0_ : estimator.model_u1_) = std::move(*model);
+  }
+  return estimator;
+}
+
+int LabelEstimator::EstimateOne(int u, const std::vector<double>& x) const {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  const stats::GaussianMixture& model = (u == 0) ? *model_u0_ : *model_u1_;
+  return static_cast<int>(model.Classify(x));
+}
+
+double LabelEstimator::PosteriorS1(int u, const std::vector<double>& x) const {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  const stats::GaussianMixture& model = (u == 0) ? *model_u0_ : *model_u1_;
+  return model.Responsibilities(x)[1];
+}
+
+Result<std::vector<int>> LabelEstimator::EstimateS(const data::Dataset& dataset) const {
+  if (!model_u0_.has_value() || !model_u1_.has_value())
+    return Status::FailedPrecondition("estimator not fitted");
+  if (dataset.dim() != model_u0_->dim())
+    return Status::InvalidArgument("dataset dimensionality does not match the fitted models");
+  std::vector<int> out;
+  out.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i)
+    out.push_back(EstimateOne(dataset.u(i), dataset.Row(i)));
+  return out;
+}
+
+Result<std::vector<double>> LabelEstimator::PosteriorsS1(const data::Dataset& dataset) const {
+  if (!model_u0_.has_value() || !model_u1_.has_value())
+    return Status::FailedPrecondition("estimator not fitted");
+  if (dataset.dim() != model_u0_->dim())
+    return Status::InvalidArgument("dataset dimensionality does not match the fitted models");
+  std::vector<double> out;
+  out.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i)
+    out.push_back(PosteriorS1(dataset.u(i), dataset.Row(i)));
+  return out;
+}
+
+Result<double> LabelEstimator::AccuracyOn(const data::Dataset& labelled) const {
+  auto estimates = EstimateS(labelled);
+  if (!estimates.ok()) return estimates.status();
+  size_t correct = 0;
+  for (size_t i = 0; i < labelled.size(); ++i) {
+    if ((*estimates)[i] == labelled.s(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labelled.size());
+}
+
+}  // namespace otfair::core

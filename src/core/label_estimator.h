@@ -1,0 +1,56 @@
+#ifndef OTFAIR_CORE_LABEL_ESTIMATOR_H_
+#define OTFAIR_CORE_LABEL_ESTIMATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "stats/gmm.h"
+
+namespace otfair::core {
+
+/// Estimates the protected labels s_hat|u of unlabelled archival rows
+/// (paper §IV, Eq. 10 and §VI).
+///
+/// The archival stream typically lacks S; the paper identifies the
+/// u-conditional mixture F(x|u) = sum_s F(x|s,u) Pr[s|u] by "standard
+/// methods" [Bishop 2006] and assigns MAP labels. This estimator fits, per
+/// u-stratum, a two-component diagonal-Gaussian model *supervised* on the
+/// s-labelled research data (so component identities stay aligned with s),
+/// then classifies archival rows with the stratum model of their observed
+/// u.
+class LabelEstimator {
+ public:
+  /// Fits both u-stratum models from the labelled research data; every
+  /// (u, s) group must contain at least one row.
+  static common::Result<LabelEstimator> Fit(const data::Dataset& research);
+
+  /// MAP estimate s_hat for one row with known u.
+  int EstimateOne(int u, const std::vector<double>& x) const;
+
+  /// Posterior Pr[s = 1 | x, u] for one row — the probabilistic protected
+  /// attribute of §VI / ref. [39], consumed by the soft repair modes.
+  double PosteriorS1(int u, const std::vector<double>& x) const;
+
+  /// MAP estimates for every row of `dataset` (uses each row's u label;
+  /// ignores its s label if present).
+  common::Result<std::vector<int>> EstimateS(const data::Dataset& dataset) const;
+
+  /// Posteriors Pr[s = 1 | row] for every row of `dataset`.
+  common::Result<std::vector<double>> PosteriorsS1(const data::Dataset& dataset) const;
+
+  /// Fraction of rows whose estimate matches the dataset's true s labels;
+  /// for measuring label-noise sensitivity on data where truth is known.
+  common::Result<double> AccuracyOn(const data::Dataset& labelled) const;
+
+ private:
+  LabelEstimator() = default;
+
+  std::optional<stats::GaussianMixture> model_u0_;
+  std::optional<stats::GaussianMixture> model_u1_;
+};
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_LABEL_ESTIMATOR_H_

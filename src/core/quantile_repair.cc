@@ -1,0 +1,156 @@
+#include "core/quantile_repair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace otfair::core {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Builds the midpoint-interpolated CDF of a pmf on grid points: the mass of
+/// state q is centred at the grid point, so F(zeta_q) = cum_{q-1} + w_q / 2.
+/// Knots with (numerically) zero incremental mass are merged so the table is
+/// strictly increasing and invertible.
+void BuildCdfTable(const ot::DiscreteMeasure& marginal, std::vector<double>* knots,
+                   std::vector<double>* cdf) {
+  knots->clear();
+  cdf->clear();
+  double cum = 0.0;
+  for (size_t q = 0; q < marginal.size(); ++q) {
+    const double w = marginal.weight_at(q);
+    const double value = cum + 0.5 * w;
+    cum += w;
+    if (!cdf->empty() && value <= cdf->back() + 1e-15) continue;  // merge flats
+    knots->push_back(marginal.support_at(q));
+    cdf->push_back(value);
+  }
+  OTFAIR_CHECK(!knots->empty());
+}
+
+}  // namespace
+
+double QuantileMapRepairer::CdfTable::Evaluate(double x) const {
+  if (x <= knots.front()) return cdf.front();
+  if (x >= knots.back()) return cdf.back();
+  const auto it = std::upper_bound(knots.begin(), knots.end(), x);
+  const size_t hi = static_cast<size_t>(it - knots.begin());
+  const size_t lo = hi - 1;
+  const double frac = (x - knots[lo]) / (knots[hi] - knots[lo]);
+  return cdf[lo] + frac * (cdf[hi] - cdf[lo]);
+}
+
+double QuantileMapRepairer::CdfTable::Quantile(double q) const {
+  if (q <= cdf.front()) return knots.front();
+  if (q >= cdf.back()) return knots.back();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), q);
+  const size_t hi = static_cast<size_t>(it - cdf.begin());
+  const size_t lo = hi - 1;
+  const double frac = (q - cdf[lo]) / (cdf[hi] - cdf[lo]);
+  return knots[lo] + frac * (knots[hi] - knots[lo]);
+}
+
+Result<QuantileMapRepairer> QuantileMapRepairer::Create(RepairPlanSet plans, double strength) {
+  if (!(strength >= 0.0 && strength <= 1.0))
+    return Status::InvalidArgument("strength must lie in [0, 1]");
+  Status valid = plans.Validate(1e-5);
+  if (!valid.ok()) return valid;
+  QuantileMapRepairer repairer(std::move(plans), strength);
+  repairer.BuildTables();
+  return repairer;
+}
+
+void QuantileMapRepairer::BuildTables() {
+  const size_t dim = plans_.dim();
+  source_.resize(4 * dim);
+  target_.resize(2 * dim);
+  for (int u = 0; u <= 1; ++u) {
+    for (size_t k = 0; k < dim; ++k) {
+      const ChannelPlan& channel = plans_.At(u, k);
+      for (int s = 0; s <= 1; ++s) {
+        CdfTable& table =
+            source_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * dim + k];
+        BuildCdfTable(channel.marginal[static_cast<size_t>(s)], &table.knots, &table.cdf);
+      }
+      CdfTable& target = target_[static_cast<size_t>(u) * dim + k];
+      BuildCdfTable(channel.barycenter, &target.knots, &target.cdf);
+    }
+  }
+}
+
+const QuantileMapRepairer::CdfTable& QuantileMapRepairer::SourceCdf(int u, int s,
+                                                                    size_t k) const {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK(s == 0 || s == 1);
+  OTFAIR_CHECK_LT(k, plans_.dim());
+  return source_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * plans_.dim() + k];
+}
+
+const QuantileMapRepairer::CdfTable& QuantileMapRepairer::TargetCdf(int u, size_t k) const {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK_LT(k, plans_.dim());
+  return target_[static_cast<size_t>(u) * plans_.dim() + k];
+}
+
+double QuantileMapRepairer::RepairValue(int u, int s, size_t k, double x) const {
+  const double q = SourceCdf(u, s, k).Evaluate(x);
+  const double transported = TargetCdf(u, k).Quantile(q);
+  return (1.0 - strength_) * x + strength_ * transported;
+}
+
+double QuantileMapRepairer::RepairValueSoft(int u, double pr_s1, size_t k, double x) const {
+  OTFAIR_CHECK(pr_s1 >= 0.0 && pr_s1 <= 1.0);
+  const double repaired0 = RepairValue(u, 0, k, x);
+  const double repaired1 = RepairValue(u, 1, k, x);
+  return (1.0 - pr_s1) * repaired0 + pr_s1 * repaired1;
+}
+
+Result<data::Dataset> QuantileMapRepairer::RepairDataset(const data::Dataset& dataset) const {
+  return RepairDatasetWithLabels(dataset, dataset.s_labels());
+}
+
+Result<data::Dataset> QuantileMapRepairer::RepairDatasetWithLabels(
+    const data::Dataset& dataset, const std::vector<int>& s_labels) const {
+  if (dataset.dim() != plans_.dim())
+    return Status::InvalidArgument("dataset dimensionality does not match the plan set");
+  if (s_labels.size() != dataset.size())
+    return Status::InvalidArgument("s_labels length must match dataset size");
+  for (int s : s_labels) {
+    if (s != 0 && s != 1) return Status::InvalidArgument("s_labels must be binary");
+  }
+  data::Dataset repaired = dataset.Clone();
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (size_t k = 0; k < dataset.dim(); ++k) {
+      repaired.set_feature(
+          i, k, RepairValue(dataset.u(i), s_labels[i], k, dataset.feature(i, k)));
+    }
+  }
+  return repaired;
+}
+
+Result<data::Dataset> QuantileMapRepairer::RepairDatasetSoft(
+    const data::Dataset& dataset, const std::vector<double>& pr_s1) const {
+  if (dataset.dim() != plans_.dim())
+    return Status::InvalidArgument("dataset dimensionality does not match the plan set");
+  if (pr_s1.size() != dataset.size())
+    return Status::InvalidArgument("pr_s1 length must match dataset size");
+  for (double p : pr_s1) {
+    if (!(p >= 0.0 && p <= 1.0))
+      return Status::InvalidArgument("posteriors must lie in [0, 1]");
+  }
+  data::Dataset repaired = dataset.Clone();
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (size_t k = 0; k < dataset.dim(); ++k) {
+      repaired.set_feature(
+          i, k, RepairValueSoft(dataset.u(i), pr_s1[i], k, dataset.feature(i, k)));
+    }
+  }
+  return repaired;
+}
+
+}  // namespace otfair::core

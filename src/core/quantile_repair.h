@@ -1,0 +1,95 @@
+#ifndef OTFAIR_CORE_QUANTILE_REPAIR_H_
+#define OTFAIR_CORE_QUANTILE_REPAIR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/repair_plan.h"
+#include "data/dataset.h"
+
+namespace otfair::core {
+
+/// Monge-style quantile-map repair — the continuum limit the paper
+/// anticipates in §VI: as n_Q → ∞ the Kantorovich plans converge to Monge
+/// *maps* (Brenier), mass splitting disappears, and feature-similar records
+/// are repaired similarly (individual fairness).
+///
+/// This repairer realizes that limit directly: per (u, s, k) channel it
+/// composes the interpolated source CDF with the barycentre's quantile
+/// function,
+///
+///     T_{u,s,k}(x) = F_nu^{-1}( F_{mu_s}(x) ),
+///
+/// where both distribution functions are the piecewise-linear (midpoint)
+/// interpolations of the design-time pmfs on Q. Properties (tested in
+/// tests/core/quantile_repair_test.cc):
+///
+///  * deterministic — no RNG; two equal inputs repair identically;
+///  * monotone non-decreasing in x within each channel — order statistics
+///    (rankings) of a group are preserved, the individual-fairness property
+///    the stochastic Algorithm 2 cannot give;
+///  * continuous in x — no grid snapping; repaired values interpolate
+///    between grid states;
+///  * push-forward correct — repairing mu_s-distributed inputs yields
+///    (approximately) barycentre-distributed outputs, so conditional
+///    independence is still quenched.
+///
+/// It consumes the same RepairPlanSet artifact as OffSampleRepairer, so the
+/// two application modes are interchangeable at deployment time.
+class QuantileMapRepairer {
+ public:
+  /// Validates the plan set and precomputes the per-channel CDF tables.
+  /// `strength` is the partial-repair knob: x' = (1-strength) x +
+  /// strength T(x).
+  static common::Result<QuantileMapRepairer> Create(RepairPlanSet plans,
+                                                    double strength = 1.0);
+
+  /// Repairs one value of channel (u, s, k); O(log n_Q) per call.
+  double RepairValue(int u, int s, size_t k, double x) const;
+
+  /// Soft-label repair for archives with probabilistic protected
+  /// attributes (paper §VI, refs [37]/[39]): the posterior-weighted mix of
+  /// the two class maps, `(1 - p1) T_{u,0,k}(x) + p1 T_{u,1,k}(x)`.
+  double RepairValueSoft(int u, double pr_s1, size_t k, double x) const;
+
+  /// Repairs a whole dataset using its own labels.
+  common::Result<data::Dataset> RepairDataset(const data::Dataset& dataset) const;
+
+  /// Repairs with externally supplied hard labels.
+  common::Result<data::Dataset> RepairDatasetWithLabels(
+      const data::Dataset& dataset, const std::vector<int>& s_labels) const;
+
+  /// Repairs with per-row posteriors Pr[s = 1 | row].
+  common::Result<data::Dataset> RepairDatasetSoft(
+      const data::Dataset& dataset, const std::vector<double>& pr_s1) const;
+
+  const RepairPlanSet& plans() const { return plans_; }
+
+ private:
+  /// Piecewise-linear distribution function of one channel marginal:
+  /// knots_ are the grid points, cdf_ the midpoint-interpolated cumulative
+  /// masses (strictly increasing after deduplication).
+  struct CdfTable {
+    std::vector<double> knots;
+    std::vector<double> cdf;
+
+    double Evaluate(double x) const;   // F(x) in [0, 1]
+    double Quantile(double q) const;   // F^{-1}(q)
+  };
+
+  QuantileMapRepairer(RepairPlanSet plans, double strength)
+      : plans_(std::move(plans)), strength_(strength) {}
+
+  void BuildTables();
+  const CdfTable& SourceCdf(int u, int s, size_t k) const;
+  const CdfTable& TargetCdf(int u, size_t k) const;
+
+  RepairPlanSet plans_;
+  double strength_ = 1.0;
+  std::vector<CdfTable> source_;  // index: (u * 2 + s) * dim + k
+  std::vector<CdfTable> target_;  // index: u * dim + k
+};
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_QUANTILE_REPAIR_H_

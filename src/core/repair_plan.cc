@@ -1,0 +1,214 @@
+#include "core/repair_plan.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace otfair::core {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4F544652;  // "OTFR"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ofstream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void WriteDoubles(std::ofstream& out, const double* data, size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(double)));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadF64(std::ifstream& in, double* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint64_t len = 0;
+  if (!ReadU64(in, &len)) return false;
+  if (len > (1u << 20)) return false;  // sanity bound on name length
+  s->resize(len);
+  return static_cast<bool>(in.read(s->data(), static_cast<std::streamsize>(len)));
+}
+bool ReadDoubles(std::ifstream& in, double* data, size_t count) {
+  return static_cast<bool>(
+      in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(count * sizeof(double))));
+}
+
+void WriteMeasure(std::ofstream& out, const ot::DiscreteMeasure& m) {
+  WriteU64(out, m.size());
+  WriteDoubles(out, m.support().data(), m.size());
+  WriteDoubles(out, m.weights().data(), m.size());
+}
+
+Result<ot::DiscreteMeasure> ReadMeasure(std::ifstream& in) {
+  uint64_t n = 0;
+  if (!ReadU64(in, &n) || n == 0 || n > (1u << 24))
+    return Status::IoError("corrupt measure header");
+  std::vector<double> support(n);
+  std::vector<double> weights(n);
+  if (!ReadDoubles(in, support.data(), n) || !ReadDoubles(in, weights.data(), n))
+    return Status::IoError("truncated measure payload");
+  return ot::DiscreteMeasure::Create(std::move(support), std::move(weights));
+}
+
+}  // namespace
+
+Status ChannelPlan::Validate(double tolerance) const {
+  const size_t nq = grid.size();
+  if (nq < 2) return Status::FailedPrecondition("channel grid too small");
+  if (barycenter.size() != nq)
+    return Status::FailedPrecondition("barycenter support size mismatch");
+  for (int s = 0; s <= 1; ++s) {
+    const Matrix& pi = plan[static_cast<size_t>(s)];
+    const ot::DiscreteMeasure& mu = marginal[static_cast<size_t>(s)];
+    if (mu.size() != nq) return Status::FailedPrecondition("marginal support size mismatch");
+    if (pi.rows() != nq || pi.cols() != nq)
+      return Status::FailedPrecondition("plan matrix shape mismatch");
+    const std::vector<double> rows = pi.RowSums();
+    const std::vector<double> cols = pi.ColSums();
+    for (size_t q = 0; q < nq; ++q) {
+      if (std::fabs(rows[q] - mu.weight_at(q)) > tolerance)
+        return Status::FailedPrecondition("plan row marginal violates mu_s");
+      if (std::fabs(cols[q] - barycenter.weight_at(q)) > tolerance)
+        return Status::FailedPrecondition("plan column marginal violates barycenter");
+    }
+  }
+  return Status::Ok();
+}
+
+RepairPlanSet::RepairPlanSet(size_t dim, std::vector<std::string> feature_names)
+    : dim_(dim), feature_names_(std::move(feature_names)), channels_(2 * dim) {
+  OTFAIR_CHECK_GT(dim_, 0u);
+  OTFAIR_CHECK_EQ(feature_names_.size(), dim_);
+}
+
+ChannelPlan& RepairPlanSet::At(int u, size_t k) {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK_LT(k, dim_);
+  return channels_[static_cast<size_t>(u) * dim_ + k];
+}
+
+const ChannelPlan& RepairPlanSet::At(int u, size_t k) const {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK_LT(k, dim_);
+  return channels_[static_cast<size_t>(u) * dim_ + k];
+}
+
+Status RepairPlanSet::Validate(double tolerance) const {
+  if (dim_ == 0) return Status::FailedPrecondition("empty plan set");
+  for (int u = 0; u <= 1; ++u) {
+    for (size_t k = 0; k < dim_; ++k) {
+      Status status = At(u, k).Validate(tolerance);
+      if (!status.ok())
+        return Status(status.code(), "channel (u=" + std::to_string(u) +
+                                         ", k=" + std::to_string(k) + "): " + status.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status RepairPlanSet::SaveToFile(const std::string& path) const {
+  if (dim_ == 0) return Status::FailedPrecondition("cannot save empty plan set");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  WriteU64(out, dim_);
+  WriteF64(out, target_t_);
+  for (const std::string& name : feature_names_) WriteString(out, name);
+  for (int u = 0; u <= 1; ++u) {
+    for (size_t k = 0; k < dim_; ++k) {
+      const ChannelPlan& channel = At(u, k);
+      WriteU64(out, channel.grid.size());
+      WriteF64(out, channel.grid.lo());
+      WriteF64(out, channel.grid.hi());
+      for (int s = 0; s <= 1; ++s) WriteMeasure(out, channel.marginal[static_cast<size_t>(s)]);
+      WriteMeasure(out, channel.barycenter);
+      for (int s = 0; s <= 1; ++s) {
+        const Matrix& pi = channel.plan[static_cast<size_t>(s)];
+        WriteDoubles(out, pi.data(), pi.size());
+      }
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic)
+    return Status::IoError("not a repair-plan file: " + path);
+  if (!ReadU32(in, &version) || version != kVersion)
+    return Status::IoError("unsupported plan version in " + path);
+  uint64_t dim = 0;
+  double target_t = 0.5;
+  if (!ReadU64(in, &dim) || dim == 0 || dim > (1u << 16))
+    return Status::IoError("corrupt plan header: " + path);
+  if (!ReadF64(in, &target_t)) return Status::IoError("corrupt plan header: " + path);
+  std::vector<std::string> names(dim);
+  for (uint64_t k = 0; k < dim; ++k) {
+    if (!ReadString(in, &names[k])) return Status::IoError("corrupt feature names: " + path);
+  }
+
+  RepairPlanSet set(dim, std::move(names));
+  set.set_target_t(target_t);
+  for (int u = 0; u <= 1; ++u) {
+    for (size_t k = 0; k < dim; ++k) {
+      ChannelPlan& channel = set.At(u, k);
+      uint64_t nq = 0;
+      double lo = 0.0;
+      double hi = 0.0;
+      if (!ReadU64(in, &nq) || nq < 2 || nq > (1u << 24))
+        return Status::IoError("corrupt channel grid: " + path);
+      if (!ReadF64(in, &lo) || !ReadF64(in, &hi))
+        return Status::IoError("corrupt channel grid: " + path);
+      auto grid = SupportGrid::Create(lo, hi, nq);
+      if (!grid.ok()) return grid.status();
+      channel.grid = std::move(*grid);
+      for (int s = 0; s <= 1; ++s) {
+        auto m = ReadMeasure(in);
+        if (!m.ok()) return m.status();
+        channel.marginal[static_cast<size_t>(s)] = std::move(*m);
+      }
+      auto bary = ReadMeasure(in);
+      if (!bary.ok()) return bary.status();
+      channel.barycenter = std::move(*bary);
+      for (int s = 0; s <= 1; ++s) {
+        Matrix pi(nq, nq);
+        if (!ReadDoubles(in, pi.data(), pi.size()))
+          return Status::IoError("truncated plan matrix: " + path);
+        channel.plan[static_cast<size_t>(s)] = std::move(pi);
+      }
+    }
+  }
+  Status valid = set.Validate(1e-5);
+  if (!valid.ok()) return Status(valid.code(), "loaded plan invalid: " + valid.message());
+  return set;
+}
+
+}  // namespace otfair::core

@@ -1,0 +1,71 @@
+#ifndef OTFAIR_CORE_REPAIR_PLAN_H_
+#define OTFAIR_CORE_REPAIR_PLAN_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/support_grid.h"
+#include "ot/measure.h"
+
+namespace otfair::core {
+
+/// Everything Algorithm 1 produces for one (u, k) channel: the interpolated
+/// support Q_{u,k}, the two KDE-interpolated s-conditional marginals
+/// mu_{u,s,k}, the barycentric target nu_{u,k}, and the two OT plans
+/// pi*_{u,s,k} in P(Q x Q) (rows: source states, columns: target states).
+struct ChannelPlan {
+  SupportGrid grid;
+  std::array<ot::DiscreteMeasure, 2> marginal;   // indexed by s
+  ot::DiscreteMeasure barycenter;
+  std::array<common::Matrix, 2> plan;            // indexed by s; n_Q x n_Q
+
+  /// Structural invariants: square plans matching the grid size, plan
+  /// marginals consistent with `marginal` (row sums) and `barycenter`
+  /// (column sums) within `tolerance`. Exercised by tests and after
+  /// deserialization.
+  common::Status Validate(double tolerance = 1e-6) const;
+};
+
+/// The complete output of repair design: one ChannelPlan per
+/// (u, k) in {0, 1} x {1..d}, plus the design metadata needed to apply it
+/// (paper Algorithm 1 output, consumed by Algorithm 2).
+class RepairPlanSet {
+ public:
+  RepairPlanSet() = default;
+  RepairPlanSet(size_t dim, std::vector<std::string> feature_names);
+
+  size_t dim() const { return dim_; }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  ChannelPlan& At(int u, size_t k);
+  const ChannelPlan& At(int u, size_t k) const;
+
+  /// Barycentre position t used at design time (0.5 = the fair barycentre).
+  double target_t() const { return target_t_; }
+  void set_target_t(double t) { target_t_ = t; }
+
+  /// Validates every channel (see ChannelPlan::Validate).
+  common::Status Validate(double tolerance = 1e-6) const;
+
+  /// Binary persistence: a designed plan is a deployable artifact — design
+  /// once on the research data, then ship the file to the systems that
+  /// repair archival torrents. Format: magic/version header, dims, then
+  /// per-channel grids, marginals, barycenters and plan matrices
+  /// (little-endian doubles).
+  common::Status SaveToFile(const std::string& path) const;
+  static common::Result<RepairPlanSet> LoadFromFile(const std::string& path);
+
+ private:
+  size_t dim_ = 0;
+  double target_t_ = 0.5;
+  std::vector<std::string> feature_names_;
+  std::vector<ChannelPlan> channels_;  // index: u * dim_ + k
+};
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_REPAIR_PLAN_H_

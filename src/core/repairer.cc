@@ -1,0 +1,196 @@
+#include "core/repairer.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace otfair::core {
+
+using common::Result;
+using common::Status;
+
+namespace {
+// Row mass below this is treated as empty (KDE tails can underflow).
+constexpr double kRowMassFloor = 1e-300;
+}  // namespace
+
+Result<OffSampleRepairer> OffSampleRepairer::Create(RepairPlanSet plans,
+                                                    const RepairOptions& options) {
+  if (!(options.strength >= 0.0 && options.strength <= 1.0))
+    return Status::InvalidArgument("strength must lie in [0, 1]");
+  Status valid = plans.Validate(1e-5);
+  if (!valid.ok()) return valid;
+  OffSampleRepairer repairer(std::move(plans), options);
+  OTFAIR_RETURN_IF_ERROR(repairer.BuildTables());
+  return repairer;
+}
+
+OffSampleRepairer::OffSampleRepairer(RepairPlanSet plans, const RepairOptions& options)
+    : plans_(std::move(plans)), options_(options), rng_(options.seed) {}
+
+Status OffSampleRepairer::BuildTables() {
+  const size_t dim = plans_.dim();
+  tables_.resize(4 * dim);
+  for (int u = 0; u <= 1; ++u) {
+    for (int s = 0; s <= 1; ++s) {
+      for (size_t k = 0; k < dim; ++k) {
+        const ChannelPlan& channel = plans_.At(u, k);
+        const common::Matrix& pi = channel.plan[static_cast<size_t>(s)];
+        const size_t nq = channel.grid.size();
+        RowTables tables;
+        tables.alias.resize(nq);
+        tables.conditional_mean.assign(nq, 0.0);
+        tables.fallback_row.assign(nq, 0);
+
+        std::vector<char> has_mass(nq, 0);
+        for (size_t q = 0; q < nq; ++q) {
+          const double* row = pi.row(q);
+          double mass = 0.0;
+          double mean = 0.0;
+          for (size_t j = 0; j < nq; ++j) {
+            mass += row[j];
+            mean += row[j] * channel.grid.point(j);
+          }
+          if (mass > kRowMassFloor) {
+            has_mass[q] = 1;
+            tables.conditional_mean[q] = mean / mass;
+            auto alias = stats::AliasTable::Build(std::vector<double>(row, row + nq));
+            if (!alias.ok())
+              return Status::Internal("alias build failed on massive row: " +
+                                      alias.status().message());
+            tables.alias[q] = std::move(*alias);
+          }
+        }
+
+        // Nearest massive row for each empty row (outward scan).
+        bool any_mass = false;
+        for (size_t q = 0; q < nq; ++q) any_mass = any_mass || has_mass[q];
+        if (!any_mass)
+          return Status::FailedPrecondition("plan channel has no transportable mass");
+        for (size_t q = 0; q < nq; ++q) {
+          if (has_mass[q]) {
+            tables.fallback_row[q] = q;
+            continue;
+          }
+          for (size_t delta = 1; delta < nq; ++delta) {
+            if (q >= delta && has_mass[q - delta]) {
+              tables.fallback_row[q] = q - delta;
+              break;
+            }
+            if (q + delta < nq && has_mass[q + delta]) {
+              tables.fallback_row[q] = q + delta;
+              break;
+            }
+          }
+        }
+        tables_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * dim + k] =
+            std::move(tables);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+const OffSampleRepairer::RowTables& OffSampleRepairer::TablesFor(int u, int s, size_t k) const {
+  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK(s == 0 || s == 1);
+  OTFAIR_CHECK_LT(k, plans_.dim());
+  return tables_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * plans_.dim() + k];
+}
+
+double OffSampleRepairer::RepairValue(int u, int s, size_t k, double x) {
+  const ChannelPlan& channel = plans_.At(u, k);
+  const RowTables& tables = TablesFor(u, s, k);
+  const SupportGrid::Location loc = channel.grid.Locate(x);
+  ++stats_.values_repaired;
+  if (loc.clamped) ++stats_.values_clamped;
+
+  double transported;
+  if (options_.mode == TransportMode::kStochastic) {
+    // Algorithm 2 lines 6-9: Bernoulli neighbour choice, then one draw from
+    // the normalized plan row (Eq. 15).
+    size_t q = loc.lower;
+    if (rng_.Bernoulli(loc.tau) && q + 1 < channel.grid.size()) ++q;
+    if (!tables.alias[q].has_value()) {
+      ++stats_.empty_row_fallbacks;
+      q = tables.fallback_row[q];
+    }
+    const size_t j = tables.alias[q]->Sample(rng_);
+    transported = channel.grid.point(j);
+  } else {
+    // Deterministic ablation: tau-weighted mix of neighbouring rows'
+    // conditional means.
+    size_t q0 = loc.lower;
+    size_t q1 = std::min(q0 + 1, channel.grid.size() - 1);
+    if (!tables.alias[q0].has_value()) {
+      ++stats_.empty_row_fallbacks;
+      q0 = tables.fallback_row[q0];
+    }
+    if (!tables.alias[q1].has_value()) {
+      ++stats_.empty_row_fallbacks;
+      q1 = tables.fallback_row[q1];
+    }
+    transported = (1.0 - loc.tau) * tables.conditional_mean[q0] +
+                  loc.tau * tables.conditional_mean[q1];
+  }
+
+  // Partial repair (strength < 1) interpolates toward the transported
+  // value.
+  return (1.0 - options_.strength) * x + options_.strength * transported;
+}
+
+double OffSampleRepairer::RepairValueSoft(int u, double pr_s1, size_t k, double x) {
+  OTFAIR_CHECK(pr_s1 >= 0.0 && pr_s1 <= 1.0);
+  const int s = rng_.Bernoulli(pr_s1) ? 1 : 0;
+  return RepairValue(u, s, k, x);
+}
+
+Result<data::Dataset> OffSampleRepairer::RepairDataset(const data::Dataset& dataset) {
+  return RepairDatasetWithLabels(dataset, dataset.s_labels());
+}
+
+Result<data::Dataset> OffSampleRepairer::RepairDatasetWithLabels(
+    const data::Dataset& dataset, const std::vector<int>& s_labels) {
+  if (dataset.dim() != plans_.dim())
+    return Status::InvalidArgument("dataset dimensionality does not match the plan set");
+  if (s_labels.size() != dataset.size())
+    return Status::InvalidArgument("s_labels length must match dataset size");
+  for (int s : s_labels) {
+    if (s != 0 && s != 1) return Status::InvalidArgument("s_labels must be binary");
+  }
+  data::Dataset repaired = dataset.Clone();
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const int u = dataset.u(i);
+    const int s = s_labels[i];
+    for (size_t k = 0; k < dataset.dim(); ++k) {
+      repaired.set_feature(i, k, RepairValue(u, s, k, dataset.feature(i, k)));
+    }
+  }
+  return repaired;
+}
+
+Result<data::Dataset> OffSampleRepairer::RepairDatasetSoft(const data::Dataset& dataset,
+                                                           const std::vector<double>& pr_s1) {
+  if (dataset.dim() != plans_.dim())
+    return Status::InvalidArgument("dataset dimensionality does not match the plan set");
+  if (pr_s1.size() != dataset.size())
+    return Status::InvalidArgument("pr_s1 length must match dataset size");
+  for (double p : pr_s1) {
+    if (!(p >= 0.0 && p <= 1.0))
+      return Status::InvalidArgument("posteriors must lie in [0, 1]");
+  }
+  data::Dataset repaired = dataset.Clone();
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    // One class draw per row, shared by all channels: a record is repaired
+    // coherently under a single imputed protected label.
+    const int s = rng_.Bernoulli(pr_s1[i]) ? 1 : 0;
+    for (size_t k = 0; k < dataset.dim(); ++k) {
+      repaired.set_feature(i, k, RepairValue(dataset.u(i), s, k, dataset.feature(i, k)));
+    }
+  }
+  return repaired;
+}
+
+}  // namespace otfair::core

@@ -1,0 +1,115 @@
+#ifndef OTFAIR_CORE_REPAIRER_H_
+#define OTFAIR_CORE_REPAIRER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/repair_plan.h"
+#include "data/dataset.h"
+#include "stats/sampling.h"
+
+namespace otfair::core {
+
+/// How a located archival value is pushed through the plan row.
+enum class TransportMode {
+  /// The paper's Algorithm 2: Bernoulli neighbour choice from tau (Eq. 14)
+  /// followed by a multinomial draw from the normalized plan row (Eq. 15).
+  /// Randomized mass splitting preserves the target distribution exactly.
+  kStochastic,
+  /// Deterministic ablation: the tau-weighted mix of the two neighbouring
+  /// rows' conditional-mean targets (a barycentric-projection / Monge-style
+  /// map). No sampling noise, but mass splitting is collapsed, so the
+  /// repaired marginal is a smoothed version of the target.
+  kConditionalMean,
+};
+
+/// Options for Algorithm 2.
+struct RepairOptions {
+  uint64_t seed = 0x07fa12u;
+  TransportMode mode = TransportMode::kStochastic;
+  /// Partial-repair strength lambda in [0, 1] (§VI future-work knob):
+  /// x' = (1 - lambda) * x + lambda * T(x). 1 is the paper's full repair.
+  double strength = 1.0;
+};
+
+/// Statistics accumulated while repairing.
+struct RepairStats {
+  size_t values_repaired = 0;
+  /// Archival values outside the research range (clamped to the grid edge);
+  /// the paper's stationarity assumption expects this to be rare.
+  size_t values_clamped = 0;
+  /// Plan rows with (numerically) zero mass that fell back to the nearest
+  /// massive row.
+  size_t empty_row_fallbacks = 0;
+};
+
+/// Algorithm 2: off-sample (archival) repair driven by the plans designed
+/// on the research data.
+///
+/// Construction precomputes, per (u, s, k) channel and per grid row, an
+/// alias table over the normalized plan row, so each repaired value costs
+/// O(1) — independent of both the archive size n_A and (post-setup) n_Q.
+/// That is what makes "torrents of archival data" feasible (§VI).
+///
+/// The repairer owns a copy of the plan set and its own RNG; repairs are
+/// reproducible for a fixed seed and call sequence.
+class OffSampleRepairer {
+ public:
+  /// Validates the plan set and builds sampling tables.
+  static common::Result<OffSampleRepairer> Create(RepairPlanSet plans,
+                                                  const RepairOptions& options = {});
+
+  /// Repairs one labelled value of channel (u, s, k) — the streaming
+  /// entry point. CHECK-fails on out-of-range u/s/k (programmer error).
+  double RepairValue(int u, int s, size_t k, double x);
+
+  /// Soft-label streaming repair for probabilistic protected attributes
+  /// (§VI / ref. [39]): draws s ~ Bernoulli(pr_s1) and repairs under the
+  /// drawn class, so the marginal of the output is the posterior-weighted
+  /// mixture of the two class repairs.
+  double RepairValueSoft(int u, double pr_s1, size_t k, double x);
+
+  /// Repairs every feature of every row, using the dataset's own (u, s)
+  /// labels. Returns a repaired copy; the input is untouched.
+  common::Result<data::Dataset> RepairDataset(const data::Dataset& dataset);
+
+  /// As RepairDataset but with externally supplied s-labels (e.g. the
+  /// s_hat|u estimates of core::LabelEstimator when archives are
+  /// unlabelled).
+  common::Result<data::Dataset> RepairDatasetWithLabels(const data::Dataset& dataset,
+                                                        const std::vector<int>& s_labels);
+
+  /// As RepairDataset but with per-row posteriors Pr[s = 1 | row] instead
+  /// of hard labels.
+  common::Result<data::Dataset> RepairDatasetSoft(const data::Dataset& dataset,
+                                                  const std::vector<double>& pr_s1);
+
+  const RepairStats& stats() const { return stats_; }
+  const RepairPlanSet& plans() const { return plans_; }
+
+ private:
+  OffSampleRepairer(RepairPlanSet plans, const RepairOptions& options);
+
+  /// Per-(u, s, k) sampling structures: one alias table and conditional
+  /// mean per plan row, plus the nearest massive row for empty rows.
+  struct RowTables {
+    std::vector<std::optional<stats::AliasTable>> alias;  // per grid row
+    std::vector<double> conditional_mean;                 // per grid row
+    std::vector<size_t> fallback_row;                     // per grid row
+  };
+
+  common::Status BuildTables();
+  const RowTables& TablesFor(int u, int s, size_t k) const;
+
+  RepairPlanSet plans_;
+  RepairOptions options_;
+  common::Rng rng_;
+  RepairStats stats_;
+  std::vector<RowTables> tables_;  // index: (u * 2 + s) * dim + k
+};
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_REPAIRER_H_

@@ -1,0 +1,72 @@
+#include "core/support_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace otfair::core {
+
+using common::Result;
+using common::Status;
+
+namespace {
+/// Half-width used to widen a zero-spread sample range.
+constexpr double kDegenerateHalfWidth = 0.5;
+}  // namespace
+
+SupportGrid::SupportGrid(std::vector<double> points) : points_(std::move(points)) {
+  OTFAIR_CHECK_GE(points_.size(), 2u);
+  step_ = (points_.back() - points_.front()) / static_cast<double>(points_.size() - 1);
+}
+
+Result<SupportGrid> SupportGrid::Create(double lo, double hi, size_t n) {
+  if (n < 2) return Status::InvalidArgument("grid needs at least two states");
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    return Status::InvalidArgument("grid bounds must be finite");
+  if (!(hi > lo)) {
+    const double centre = 0.5 * (lo + hi);
+    lo = centre - kDegenerateHalfWidth;
+    hi = centre + kDegenerateHalfWidth;
+  }
+  std::vector<double> points(n);
+  const double nq = static_cast<double>(n);
+  for (size_t i = 1; i <= n; ++i) {
+    // Literal transcription of Algorithm 1, line 4.
+    const double fi = static_cast<double>(i);
+    points[i - 1] = (nq - fi) / (nq - 1.0) * lo + (fi - 1.0) / (nq - 1.0) * hi;
+  }
+  return SupportGrid(std::move(points));
+}
+
+Result<SupportGrid> SupportGrid::FromSamples(const std::vector<double>& samples, size_t n) {
+  if (samples.empty()) return Status::InvalidArgument("empty sample");
+  const auto [lo_it, hi_it] = std::minmax_element(samples.begin(), samples.end());
+  return Create(*lo_it, *hi_it, n);
+}
+
+SupportGrid::Location SupportGrid::Locate(double x) const {
+  Location loc;
+  if (x <= lo()) {
+    loc.lower = 0;
+    loc.tau = 0.0;
+    loc.clamped = x < lo();
+    return loc;
+  }
+  if (x >= hi()) {
+    loc.lower = points_.size() - 1;
+    loc.tau = 0.0;
+    loc.clamped = x > hi();
+    return loc;
+  }
+  const double offset = (x - lo()) / step_;
+  size_t lower = static_cast<size_t>(offset);
+  if (lower >= points_.size() - 1) lower = points_.size() - 2;  // fp edge at hi()
+  loc.lower = lower;
+  loc.tau = (x - points_[lower]) / (points_[lower + 1] - points_[lower]);
+  loc.tau = std::clamp(loc.tau, 0.0, 1.0);
+  return loc;
+}
+
+}  // namespace otfair::core

@@ -1,0 +1,63 @@
+#ifndef OTFAIR_CORE_SUPPORT_GRID_H_
+#define OTFAIR_CORE_SUPPORT_GRID_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace otfair::core {
+
+/// The uniform interpolated support Q of Algorithm 1 (lines 3-5):
+///
+///     zeta_i = (n_Q - i)/(n_Q - 1) * min(X) + (i - 1)/(n_Q - 1) * max(X)
+///
+/// i.e. n_Q equally spaced states spanning the research-data range of one
+/// (u, k) channel. Also implements the quantization step of Algorithm 2
+/// (lines 5-6): locating an archival value's round-down state and the
+/// interpolation ratio tau of Eq. 14.
+class SupportGrid {
+ public:
+  SupportGrid() = default;
+
+  /// Grid of `n` points spanning [lo, hi]; requires n >= 2 and hi > lo
+  /// (a degenerate range is widened symmetrically by `kDegenerateHalfWidth`
+  /// so downstream OT stays well-posed).
+  static common::Result<SupportGrid> Create(double lo, double hi, size_t n);
+
+  /// Grid spanning the sample range (paper line 4 uses min/max of the
+  /// research channel).
+  static common::Result<SupportGrid> FromSamples(const std::vector<double>& samples, size_t n);
+
+  size_t size() const { return points_.size(); }
+  double lo() const { return points_.front(); }
+  double hi() const { return points_.back(); }
+  double step() const { return step_; }
+  const std::vector<double>& points() const { return points_; }
+  double point(size_t i) const { return points_[i]; }
+
+  /// Quantization of one value (Algorithm 2 lines 5-6).
+  struct Location {
+    /// Round-down state index q with zeta_q <= x < zeta_{q+1}.
+    size_t lower = 0;
+    /// tau = (x - zeta_q) / (zeta_{q+1} - zeta_q) in [0, 1) (Eq. 14).
+    double tau = 0.0;
+    /// x fell outside [lo, hi] and was clamped. The paper assumes archival
+    /// points lie in the research range (§IV-B); clamping is the documented
+    /// out-of-range policy and callers can count these events.
+    bool clamped = false;
+  };
+
+  /// Locates x on the grid. O(1) (uniform spacing).
+  Location Locate(double x) const;
+
+ private:
+  explicit SupportGrid(std::vector<double> points);
+
+  std::vector<double> points_;
+  double step_ = 0.0;
+};
+
+}  // namespace otfair::core
+
+#endif  // OTFAIR_CORE_SUPPORT_GRID_H_

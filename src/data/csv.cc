@@ -1,0 +1,104 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace otfair::data {
+
+using common::Result;
+using common::Status;
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "s,u";
+  if (dataset.has_outcome()) out << ",y";
+  for (const std::string& name : dataset.feature_names()) out << "," << name;
+  out << "\n";
+  out.precision(17);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    out << dataset.s(i) << "," << dataset.u(i);
+    if (dataset.has_outcome()) out << "," << dataset.y(i);
+    for (size_t k = 0; k < dataset.dim(); ++k) out << "," << dataset.feature(i, k);
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  std::vector<std::string> header = common::Split(common::Trim(line), ',');
+  if (header.size() < 3 || common::Trim(header[0]) != "s" || common::Trim(header[1]) != "u")
+    return Status::InvalidArgument("header must be 's,u[,y],<features...>': " + path);
+  const bool has_outcome = common::Trim(header[2]) == "y";
+  const size_t feature_start = has_outcome ? 3 : 2;
+  if (header.size() <= feature_start)
+    return Status::InvalidArgument("no feature columns in header: " + path);
+  std::vector<std::string> names;
+  for (size_t c = feature_start; c < header.size(); ++c) names.push_back(common::Trim(header[c]));
+  const size_t d = names.size();
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> s;
+  std::vector<int> u;
+  std::vector<int> y;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = common::Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> cells = common::Split(trimmed, ',');
+    if (cells.size() != header.size())
+      return Status::InvalidArgument("row " + std::to_string(line_number) +
+                                     ": wrong column count in " + path);
+    auto parse_label = [&](const std::string& cell, int* out_label) -> bool {
+      const std::string t = common::Trim(cell);
+      if (t == "0") {
+        *out_label = 0;
+        return true;
+      }
+      if (t == "1") {
+        *out_label = 1;
+        return true;
+      }
+      return false;
+    };
+    int si = 0;
+    int ui = 0;
+    if (!parse_label(cells[0], &si) || !parse_label(cells[1], &ui))
+      return Status::InvalidArgument("row " + std::to_string(line_number) +
+                                     ": labels must be 0/1 in " + path);
+    s.push_back(si);
+    u.push_back(ui);
+    if (has_outcome) {
+      int yi = 0;
+      if (!parse_label(cells[2], &yi))
+        return Status::InvalidArgument("row " + std::to_string(line_number) +
+                                       ": outcome must be 0/1 in " + path);
+      y.push_back(yi);
+    }
+    std::vector<double> row(d);
+    for (size_t k = 0; k < d; ++k) {
+      const std::string cell = common::Trim(cells[feature_start + k]);
+      char* end = nullptr;
+      row[k] = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0')
+        return Status::InvalidArgument("row " + std::to_string(line_number) +
+                                       ": bad number '" + cell + "' in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::InvalidArgument("no data rows in " + path);
+  return Dataset::Create(common::Matrix::FromRows(rows), std::move(s), std::move(u),
+                         std::move(names), std::move(y));
+}
+
+}  // namespace otfair::data

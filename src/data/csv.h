@@ -1,0 +1,30 @@
+#ifndef OTFAIR_DATA_CSV_H_
+#define OTFAIR_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace otfair::data {
+
+/// CSV persistence for datasets.
+///
+/// File layout: a header row `s,u[,y],<feature names...>` followed by one
+/// row per record. `s`, `u` (and `y` when present) are 0/1; features are
+/// decimal doubles. This is the interchange format for loading externally
+/// prepared data (e.g. a preprocessed copy of the genuine UCI Adult file)
+/// into the repair pipeline.
+
+/// Writes `dataset` to `path`, overwriting any existing file.
+common::Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset from `path`. The header must start with `s,u`
+/// (optionally followed by `y`), and every row must parse as numbers with
+/// binary labels.
+common::Result<Dataset> ReadCsv(const std::string& path);
+
+}  // namespace otfair::data
+
+#endif  // OTFAIR_DATA_CSV_H_

@@ -1,0 +1,135 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace otfair::data {
+
+using common::Matrix;
+using common::Result;
+using common::Rng;
+using common::Status;
+
+std::vector<GroupKey> AllGroups() {
+  return {GroupKey{0, 0}, GroupKey{0, 1}, GroupKey{1, 0}, GroupKey{1, 1}};
+}
+
+Result<Dataset> Dataset::Create(Matrix features, std::vector<int> s, std::vector<int> u,
+                                std::vector<std::string> feature_names, std::vector<int> outcome) {
+  const size_t n = features.rows();
+  if (n == 0) return Status::InvalidArgument("dataset must have at least one row");
+  if (s.size() != n || u.size() != n)
+    return Status::InvalidArgument("label vectors must match the number of rows");
+  if (!outcome.empty() && outcome.size() != n)
+    return Status::InvalidArgument("outcome vector must match the number of rows");
+  if (feature_names.size() != features.cols())
+    return Status::InvalidArgument("feature_names must match the number of feature columns");
+  for (size_t i = 0; i < n; ++i) {
+    if (s[i] != 0 && s[i] != 1) return Status::InvalidArgument("s labels must be binary");
+    if (u[i] != 0 && u[i] != 1) return Status::InvalidArgument("u labels must be binary");
+    if (!outcome.empty() && outcome[i] != 0 && outcome[i] != 1)
+      return Status::InvalidArgument("outcomes must be binary");
+  }
+  Dataset out;
+  out.features_ = std::move(features);
+  out.s_ = std::move(s);
+  out.u_ = std::move(u);
+  out.y_ = std::move(outcome);
+  out.feature_names_ = std::move(feature_names);
+  return out;
+}
+
+std::vector<double> Dataset::Row(size_t i) const {
+  OTFAIR_CHECK_LT(i, size());
+  return std::vector<double>(features_.row(i), features_.row(i) + dim());
+}
+
+std::vector<size_t> Dataset::GroupIndices(const GroupKey& group) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < size(); ++i) {
+    if (u_[i] == group.u && s_[i] == group.s) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::UIndices(int u) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < size(); ++i) {
+    if (u_[i] == u) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<double> Dataset::FeatureColumn(size_t k, const std::vector<size_t>& indices) const {
+  OTFAIR_CHECK_LT(k, dim());
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) {
+    OTFAIR_CHECK_LT(i, size());
+    out.push_back(features_(i, k));
+  }
+  return out;
+}
+
+std::vector<double> Dataset::FeatureColumn(size_t k) const {
+  OTFAIR_CHECK_LT(k, dim());
+  std::vector<double> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) out.push_back(features_(i, k));
+  return out;
+}
+
+std::map<GroupKey, size_t> Dataset::GroupCounts() const {
+  std::map<GroupKey, size_t> counts;
+  for (const GroupKey& g : AllGroups()) counts[g] = 0;
+  for (size_t i = 0; i < size(); ++i) ++counts[GroupKey{u_[i], s_[i]}];
+  return counts;
+}
+
+double Dataset::ProportionU1() const {
+  size_t count = 0;
+  for (int u : u_) count += static_cast<size_t>(u);
+  return static_cast<double>(count) / static_cast<double>(size());
+}
+
+double Dataset::ProportionS1GivenU(int u) const {
+  size_t in_group = 0;
+  size_t s1 = 0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (u_[i] == u) {
+      ++in_group;
+      s1 += static_cast<size_t>(s_[i]);
+    }
+  }
+  return in_group == 0 ? 0.0 : static_cast<double>(s1) / static_cast<double>(in_group);
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.features_ = Matrix(indices.size(), dim());
+  out.s_.reserve(indices.size());
+  out.u_.reserve(indices.size());
+  if (has_outcome()) out.y_.reserve(indices.size());
+  out.feature_names_ = feature_names_;
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const size_t i = indices[r];
+    OTFAIR_CHECK_LT(i, size());
+    for (size_t k = 0; k < dim(); ++k) out.features_(r, k) = features_(i, k);
+    out.s_.push_back(s_[i]);
+    out.u_.push_back(u_[i]);
+    if (has_outcome()) out.y_.push_back(y_[i]);
+  }
+  return out;
+}
+
+Result<std::pair<Dataset, Dataset>> SplitResearchArchive(const Dataset& dataset,
+                                                         size_t n_research, Rng& rng) {
+  if (n_research == 0 || n_research >= dataset.size())
+    return Status::InvalidArgument("research size must be in (0, dataset size)");
+  std::vector<size_t> perm = rng.Permutation(dataset.size());
+  std::vector<size_t> research(perm.begin(), perm.begin() + static_cast<long>(n_research));
+  std::vector<size_t> archive(perm.begin() + static_cast<long>(n_research), perm.end());
+  return std::make_pair(dataset.Subset(research), dataset.Subset(archive));
+}
+
+}  // namespace otfair::data

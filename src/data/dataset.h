@@ -1,0 +1,114 @@
+#ifndef OTFAIR_DATA_DATASET_H_
+#define OTFAIR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace otfair::data {
+
+/// A (u, s) sub-group key: the paper stratifies every operation by the
+/// unprotected attribute u and the protected attribute s (both binary).
+struct GroupKey {
+  int u = 0;
+  int s = 0;
+
+  friend bool operator==(const GroupKey& a, const GroupKey& b) {
+    return a.u == b.u && a.s == b.s;
+  }
+  friend bool operator<(const GroupKey& a, const GroupKey& b) {
+    return a.u != b.u ? a.u < b.u : a.s < b.s;
+  }
+};
+
+/// All four (u, s) groups in canonical order.
+std::vector<GroupKey> AllGroups();
+
+/// Columnar data set realizing the paper's observation model Z = {X, S, U}
+/// (§II): an n x d feature matrix X, a binary protected attribute S, a
+/// binary unprotected attribute U, and an optional binary outcome Y used
+/// when training/evaluating downstream classifiers.
+///
+/// Features are mutable (repair rewrites them); labels are fixed at
+/// construction.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Validates shapes and label ranges ({0,1}); `outcome` may be empty.
+  static common::Result<Dataset> Create(common::Matrix features, std::vector<int> s,
+                                        std::vector<int> u,
+                                        std::vector<std::string> feature_names,
+                                        std::vector<int> outcome = {});
+
+  size_t size() const { return s_.size(); }
+  size_t dim() const { return features_.cols(); }
+  bool empty() const { return s_.empty(); }
+  bool has_outcome() const { return !y_.empty(); }
+
+  const common::Matrix& features() const { return features_; }
+  double feature(size_t i, size_t k) const { return features_(i, k); }
+  void set_feature(size_t i, size_t k, double value) { features_(i, k) = value; }
+  int s(size_t i) const { return s_[i]; }
+  int u(size_t i) const { return u_[i]; }
+  int y(size_t i) const { return y_[i]; }
+  const std::vector<int>& s_labels() const { return s_; }
+  const std::vector<int>& u_labels() const { return u_; }
+  const std::vector<int>& outcomes() const { return y_; }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  /// Row i as a vector (length dim()).
+  std::vector<double> Row(size_t i) const;
+
+  /// Indices of rows in group (u, s).
+  std::vector<size_t> GroupIndices(const GroupKey& group) const;
+
+  /// Indices of rows with the given u label (both s groups).
+  std::vector<size_t> UIndices(int u) const;
+
+  /// Feature column k restricted to `indices` (all rows if empty
+  /// `indices` is passed explicitly as the full index set by callers).
+  std::vector<double> FeatureColumn(size_t k, const std::vector<size_t>& indices) const;
+
+  /// Feature column k over all rows.
+  std::vector<double> FeatureColumn(size_t k) const;
+
+  /// Row counts per (u, s) group.
+  std::map<GroupKey, size_t> GroupCounts() const;
+
+  /// Empirical Pr[u = 1].
+  double ProportionU1() const;
+  /// Empirical Pr[s = 1 | u].
+  double ProportionS1GivenU(int u) const;
+
+  /// New dataset containing the selected rows (in the given order).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Deep copy (features are value-copied so repairs don't alias).
+  Dataset Clone() const { return *this; }
+
+ private:
+  common::Matrix features_;
+  std::vector<int> s_;
+  std::vector<int> u_;
+  std::vector<int> y_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Randomly splits a dataset into a research set of `n_research` rows and an
+/// archive with the remainder, mirroring the paper's small-research /
+/// large-archive regime (n_R << n_A). Returns InvalidArgument when
+/// `n_research` is 0 or >= dataset size.
+common::Result<std::pair<Dataset, Dataset>> SplitResearchArchive(const Dataset& dataset,
+                                                                 size_t n_research,
+                                                                 common::Rng& rng);
+
+}  // namespace otfair::data
+
+#endif  // OTFAIR_DATA_DATASET_H_

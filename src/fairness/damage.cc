@@ -1,0 +1,43 @@
+#include "fairness/damage.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace otfair::fairness {
+
+using common::Result;
+using common::Status;
+
+Result<DamageReport> ComputeDamage(const data::Dataset& before, const data::Dataset& after) {
+  if (before.size() != after.size() || before.dim() != after.dim())
+    return Status::InvalidArgument("datasets must be row-aligned with equal dimension");
+  if (before.empty()) return Status::InvalidArgument("empty dataset");
+
+  const size_t n = before.size();
+  const size_t d = before.dim();
+  DamageReport report;
+  report.mean_abs_displacement.assign(d, 0.0);
+  report.rms_displacement.assign(d, 0.0);
+
+  double l2_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double row_sq = 0.0;
+    for (size_t k = 0; k < d; ++k) {
+      const double delta = after.feature(i, k) - before.feature(i, k);
+      report.mean_abs_displacement[k] += std::fabs(delta);
+      report.rms_displacement[k] += delta * delta;
+      row_sq += delta * delta;
+    }
+    l2_total += std::sqrt(row_sq);
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t k = 0; k < d; ++k) {
+    report.mean_abs_displacement[k] *= inv_n;
+    report.rms_displacement[k] = std::sqrt(report.rms_displacement[k] * inv_n);
+  }
+  report.mean_l2_displacement = l2_total * inv_n;
+  return report;
+}
+
+}  // namespace otfair::fairness

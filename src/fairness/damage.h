@@ -1,0 +1,31 @@
+#ifndef OTFAIR_FAIRNESS_DAMAGE_H_
+#define OTFAIR_FAIRNESS_DAMAGE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace otfair::fairness {
+
+/// Data-damage metrics: how far a repair moved the data. The paper's
+/// discussion (§VI) frames the partial-repair trade-off as fairness gained
+/// (E reduced) versus information lost (features displaced); these are the
+/// displacement side of that trade-off.
+struct DamageReport {
+  /// Per-feature mean |x' - x|.
+  std::vector<double> mean_abs_displacement;
+  /// Per-feature root-mean-square displacement.
+  std::vector<double> rms_displacement;
+  /// Mean Euclidean displacement of full feature vectors.
+  double mean_l2_displacement = 0.0;
+};
+
+/// Compares two row-aligned datasets (same rows, same order; `after` is the
+/// repaired copy of `before`).
+common::Result<DamageReport> ComputeDamage(const data::Dataset& before,
+                                           const data::Dataset& after);
+
+}  // namespace otfair::fairness
+
+#endif  // OTFAIR_FAIRNESS_DAMAGE_H_

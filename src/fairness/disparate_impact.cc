@@ -1,0 +1,98 @@
+#include "fairness/disparate_impact.h"
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace otfair::fairness {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status ValidatePredictions(const data::Dataset& dataset, const std::vector<int>& predictions) {
+  if (predictions.size() != dataset.size())
+    return Status::InvalidArgument("predictions length must match dataset size");
+  for (int p : predictions) {
+    if (p != 0 && p != 1) return Status::InvalidArgument("predictions must be binary");
+  }
+  return Status::Ok();
+}
+
+/// Positive rate over an index set; count==0 reported via ok=false.
+struct Rate {
+  double value = 0.0;
+  bool ok = false;
+};
+
+Rate RateOver(const std::vector<int>& predictions, const std::vector<size_t>& indices) {
+  Rate r;
+  if (indices.empty()) return r;
+  size_t positives = 0;
+  for (size_t i : indices) positives += static_cast<size_t>(predictions[i]);
+  r.value = static_cast<double>(positives) / static_cast<double>(indices.size());
+  r.ok = true;
+  return r;
+}
+
+Result<double> Ratio(double numerator, double denominator) {
+  if (denominator > 0.0) return numerator / denominator;
+  if (numerator > 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0;  // neither group receives positives: trivially at parity
+}
+
+}  // namespace
+
+Result<double> PositiveRate(const data::Dataset& dataset, const std::vector<int>& predictions,
+                            int u, int s) {
+  OTFAIR_RETURN_IF_ERROR(ValidatePredictions(dataset, predictions));
+  const Rate r = RateOver(predictions, dataset.GroupIndices({u, s}));
+  if (!r.ok) return Status::FailedPrecondition("empty (u, s) group");
+  return r.value;
+}
+
+Result<double> DisparateImpact(const data::Dataset& dataset, const std::vector<int>& predictions,
+                               int u) {
+  auto rate0 = PositiveRate(dataset, predictions, u, 0);
+  if (!rate0.ok()) return rate0.status();
+  auto rate1 = PositiveRate(dataset, predictions, u, 1);
+  if (!rate1.ok()) return rate1.status();
+  return Ratio(*rate0, *rate1);
+}
+
+Result<double> DisparateImpactUnconditional(const data::Dataset& dataset,
+                                            const std::vector<int>& predictions) {
+  OTFAIR_RETURN_IF_ERROR(ValidatePredictions(dataset, predictions));
+  std::vector<size_t> s0;
+  std::vector<size_t> s1;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    (dataset.s(i) == 0 ? s0 : s1).push_back(i);
+  }
+  const Rate r0 = RateOver(predictions, s0);
+  const Rate r1 = RateOver(predictions, s1);
+  if (!r0.ok || !r1.ok) return Status::FailedPrecondition("empty s group");
+  return Ratio(r0.value, r1.value);
+}
+
+Result<double> StatisticalParityDifference(const data::Dataset& dataset,
+                                           const std::vector<int>& predictions, int u) {
+  auto rate0 = PositiveRate(dataset, predictions, u, 0);
+  if (!rate0.ok()) return rate0.status();
+  auto rate1 = PositiveRate(dataset, predictions, u, 1);
+  if (!rate1.ok()) return rate1.status();
+  return *rate1 - *rate0;
+}
+
+Result<double> Accuracy(const data::Dataset& dataset, const std::vector<int>& predictions) {
+  OTFAIR_RETURN_IF_ERROR(ValidatePredictions(dataset, predictions));
+  if (!dataset.has_outcome())
+    return Status::FailedPrecondition("dataset has no outcome column");
+  size_t correct = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (predictions[i] == dataset.y(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace otfair::fairness

@@ -1,0 +1,46 @@
+#ifndef OTFAIR_FAIRNESS_DISPARATE_IMPACT_H_
+#define OTFAIR_FAIRNESS_DISPARATE_IMPACT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace otfair::fairness {
+
+/// Classifier-output fairness proxies from paper §II-B, computed against a
+/// vector of binary predictions aligned with the dataset rows.
+
+/// u-conditional disparate impact (Def. 2.3):
+///
+///     DI(g, u) = Pr[g(x)=1 | s=0, u] / Pr[g(x)=1 | s=1, u]
+///
+/// DI == 1 is unbiased; DI > 0.8 passes the EEOC four-fifths rule the paper
+/// cites. Returns +infinity when the denominator group never receives a
+/// positive outcome but the numerator group does, and 1 when neither does.
+/// Fails if either (u, s) group is empty.
+common::Result<double> DisparateImpact(const data::Dataset& dataset,
+                                       const std::vector<int>& predictions, int u);
+
+/// Unconditional disparate impact Pr[g=1|s=0] / Pr[g=1|s=1].
+common::Result<double> DisparateImpactUnconditional(const data::Dataset& dataset,
+                                                    const std::vector<int>& predictions);
+
+/// u-conditional statistical parity difference
+/// Pr[g=1|s=1,u] - Pr[g=1|s=0,u]; 0 is parity.
+common::Result<double> StatisticalParityDifference(const data::Dataset& dataset,
+                                                   const std::vector<int>& predictions, int u);
+
+/// Positive-prediction rate within group (u, s); the building block of both
+/// proxies, exposed for reporting.
+common::Result<double> PositiveRate(const data::Dataset& dataset,
+                                    const std::vector<int>& predictions, int u, int s);
+
+/// Classification accuracy against the dataset's outcome column (requires
+/// has_outcome()).
+common::Result<double> Accuracy(const data::Dataset& dataset,
+                                const std::vector<int>& predictions);
+
+}  // namespace otfair::fairness
+
+#endif  // OTFAIR_FAIRNESS_DISPARATE_IMPACT_H_

@@ -1,0 +1,107 @@
+#include "fairness/emetric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+#include "stats/divergence.h"
+#include "stats/kde.h"
+
+namespace otfair::fairness {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Uniform grid of `count` points over [lo, hi] (single midpoint when
+/// degenerate).
+std::vector<double> UniformGrid(double lo, double hi, size_t count) {
+  std::vector<double> grid;
+  grid.reserve(count);
+  if (count == 1 || !(hi > lo)) {
+    grid.push_back(0.5 * (lo + hi));
+    return grid;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (size_t i = 0; i < count; ++i) grid.push_back(lo + step * static_cast<double>(i));
+  return grid;
+}
+
+}  // namespace
+
+Result<EMetricBreakdown> FeatureEMetric(const data::Dataset& dataset, size_t k,
+                                        const EMetricOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (k >= dataset.dim()) return Status::InvalidArgument("feature index out of range");
+  if (options.grid_size < 2) return Status::InvalidArgument("grid_size must be >= 2");
+
+  EMetricBreakdown out;
+  out.e_u.assign(2, std::numeric_limits<double>::quiet_NaN());
+  out.pr_u.assign(2, 0.0);
+
+  const double n_total = static_cast<double>(dataset.size());
+  double usable_weight = 0.0;
+  double weighted_e = 0.0;
+
+  for (int u = 0; u <= 1; ++u) {
+    const std::vector<size_t> idx0 = dataset.GroupIndices({u, 0});
+    const std::vector<size_t> idx1 = dataset.GroupIndices({u, 1});
+    const double pr_u = static_cast<double>(idx0.size() + idx1.size()) / n_total;
+    out.pr_u[static_cast<size_t>(u)] = pr_u;
+    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size) {
+      continue;  // stratum not estimable; weight renormalized below
+    }
+
+    const std::vector<double> x0 = dataset.FeatureColumn(k, idx0);
+    const std::vector<double> x1 = dataset.FeatureColumn(k, idx1);
+
+    double lo = std::min(*std::min_element(x0.begin(), x0.end()),
+                         *std::min_element(x1.begin(), x1.end()));
+    double hi = std::max(*std::max_element(x0.begin(), x0.end()),
+                         *std::max_element(x1.begin(), x1.end()));
+    const std::vector<double> grid = UniformGrid(lo, hi, options.grid_size);
+
+    auto kde0 = stats::GaussianKde::FitSilverman(x0);
+    if (!kde0.ok()) return kde0.status();
+    auto kde1 = stats::GaussianKde::FitSilverman(x1);
+    if (!kde1.ok()) return kde1.status();
+    auto pmf0 = kde0->PmfOnGrid(grid);
+    if (!pmf0.ok()) return pmf0.status();
+    auto pmf1 = kde1->PmfOnGrid(grid);
+    if (!pmf1.ok()) return pmf1.status();
+
+    auto e_u = stats::SymmetrizedKl(*pmf0, *pmf1, options.kl_floor);
+    if (!e_u.ok()) return e_u.status();
+
+    out.e_u[static_cast<size_t>(u)] = *e_u;
+    usable_weight += pr_u;
+    weighted_e += pr_u * (*e_u);
+  }
+
+  if (usable_weight <= 0.0)
+    return Status::FailedPrecondition(
+        "no u-stratum has both s-groups populated; E is undefined");
+  out.e = weighted_e / usable_weight;
+  return out;
+}
+
+Result<double> FeatureE(const data::Dataset& dataset, size_t k, const EMetricOptions& options) {
+  auto breakdown = FeatureEMetric(dataset, k, options);
+  if (!breakdown.ok()) return breakdown.status();
+  return breakdown->e;
+}
+
+Result<double> AggregateE(const data::Dataset& dataset, const EMetricOptions& options) {
+  if (dataset.dim() == 0) return Status::InvalidArgument("dataset has no features");
+  double acc = 0.0;
+  for (size_t k = 0; k < dataset.dim(); ++k) {
+    auto e = FeatureE(dataset, k, options);
+    if (!e.ok()) return e.status();
+    acc += *e;
+  }
+  return acc / static_cast<double>(dataset.dim());
+}
+
+}  // namespace otfair::fairness

@@ -1,0 +1,56 @@
+#ifndef OTFAIR_FAIRNESS_EMETRIC_H_
+#define OTFAIR_FAIRNESS_EMETRIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace otfair::fairness {
+
+/// Options for the KDE-based conditional-dependence metric.
+struct EMetricOptions {
+  /// Number of evaluation points for the common KDE grid per u-stratum.
+  size_t grid_size = 100;
+  /// Smoothing floor applied to pmf states before KL (Def. 2.4 uses finite
+  /// supports, so zero states must be floored to keep E finite).
+  double kl_floor = 1e-12;
+  /// Strata whose (u, s) sub-groups have fewer samples than this are
+  /// skipped (their Pr[u] weight is renormalized over the remaining
+  /// strata). Tiny research sets can lack a sub-group entirely; skipping
+  /// matches how the paper's empirical E behaves at small n_R.
+  size_t min_group_size = 2;
+};
+
+/// Per-u-stratum breakdown of the s|u-dependence metric for one feature.
+struct EMetricBreakdown {
+  double e = 0.0;                   // the u-weighted aggregate E_k (Eq. 3)
+  std::vector<double> e_u;          // E_{u,k} per u in {0, 1}; NaN if skipped
+  std::vector<double> pr_u;         // empirical Pr[u]
+};
+
+/// The paper's fairness measure for feature k (Def. 2.4 + Eq. 3):
+///
+///     E_u,k = 1/2 D[f(x_k|0,u) || f(x_k|1,u)] + 1/2 D[f(x_k|1,u) || f(x_k|0,u)]
+///     E_k   = sum_u Pr[u] * E_u,k
+///
+/// where the conditional densities are Gaussian-KDE estimates (Silverman
+/// bandwidth) evaluated on a shared uniform grid spanning the combined
+/// sample range of the u-stratum. Lower is fairer; 0 means the
+/// s|u-conditionals are indistinguishable.
+common::Result<EMetricBreakdown> FeatureEMetric(const data::Dataset& dataset, size_t k,
+                                                const EMetricOptions& options = {});
+
+/// Convenience: just the scalar E_k.
+common::Result<double> FeatureE(const data::Dataset& dataset, size_t k,
+                                const EMetricOptions& options = {});
+
+/// E aggregated over all features (arithmetic mean of the per-feature E_k,
+/// matching the "aggregated over both features" series of paper Figs. 3-4).
+common::Result<double> AggregateE(const data::Dataset& dataset,
+                                  const EMetricOptions& options = {});
+
+}  // namespace otfair::fairness
+
+#endif  // OTFAIR_FAIRNESS_EMETRIC_H_

@@ -1,0 +1,91 @@
+#include "fairness/joint_emetric.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "stats/divergence.h"
+#include "stats/kde2d.h"
+
+namespace otfair::fairness {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::vector<double> UniformGrid(double lo, double hi, size_t count) {
+  std::vector<double> grid(count);
+  if (!(hi > lo)) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  for (size_t i = 0; i < count; ++i)
+    grid[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count - 1);
+  return grid;
+}
+
+std::vector<double> Flatten(const Matrix& m) {
+  return std::vector<double>(m.data(), m.data() + m.size());
+}
+
+}  // namespace
+
+Result<double> JointFeaturePairE(const data::Dataset& dataset, size_t k1, size_t k2,
+                                 const JointEMetricOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (k1 >= dataset.dim() || k2 >= dataset.dim())
+    return Status::InvalidArgument("feature index out of range");
+  if (k1 == k2) return Status::InvalidArgument("feature pair must be distinct");
+  if (options.grid_size < 2) return Status::InvalidArgument("grid_size must be >= 2");
+
+  const double n_total = static_cast<double>(dataset.size());
+  double usable_weight = 0.0;
+  double weighted_e = 0.0;
+
+  for (int u = 0; u <= 1; ++u) {
+    const std::vector<size_t> idx0 = dataset.GroupIndices({u, 0});
+    const std::vector<size_t> idx1 = dataset.GroupIndices({u, 1});
+    const double pr_u = static_cast<double>(idx0.size() + idx1.size()) / n_total;
+    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size)
+      continue;
+
+    const std::vector<double> x0 = dataset.FeatureColumn(k1, idx0);
+    const std::vector<double> y0 = dataset.FeatureColumn(k2, idx0);
+    const std::vector<double> x1 = dataset.FeatureColumn(k1, idx1);
+    const std::vector<double> y1 = dataset.FeatureColumn(k2, idx1);
+
+    const double lo_x = std::min(*std::min_element(x0.begin(), x0.end()),
+                                 *std::min_element(x1.begin(), x1.end()));
+    const double hi_x = std::max(*std::max_element(x0.begin(), x0.end()),
+                                 *std::max_element(x1.begin(), x1.end()));
+    const double lo_y = std::min(*std::min_element(y0.begin(), y0.end()),
+                                 *std::min_element(y1.begin(), y1.end()));
+    const double hi_y = std::max(*std::max_element(y0.begin(), y0.end()),
+                                 *std::max_element(y1.begin(), y1.end()));
+    const std::vector<double> grid_x = UniformGrid(lo_x, hi_x, options.grid_size);
+    const std::vector<double> grid_y = UniformGrid(lo_y, hi_y, options.grid_size);
+
+    auto kde0 = stats::GaussianKde2d::FitSilverman(x0, y0);
+    if (!kde0.ok()) return kde0.status();
+    auto kde1 = stats::GaussianKde2d::FitSilverman(x1, y1);
+    if (!kde1.ok()) return kde1.status();
+    auto pmf0 = kde0->PmfOnGrid(grid_x, grid_y);
+    if (!pmf0.ok()) return pmf0.status();
+    auto pmf1 = kde1->PmfOnGrid(grid_x, grid_y);
+    if (!pmf1.ok()) return pmf1.status();
+
+    auto e_u = stats::SymmetrizedKl(Flatten(*pmf0), Flatten(*pmf1), options.kl_floor);
+    if (!e_u.ok()) return e_u.status();
+    usable_weight += pr_u;
+    weighted_e += pr_u * (*e_u);
+  }
+
+  if (usable_weight <= 0.0)
+    return Status::FailedPrecondition("no u-stratum has both s-groups populated");
+  return weighted_e / usable_weight;
+}
+
+}  // namespace otfair::fairness

@@ -1,0 +1,35 @@
+#ifndef OTFAIR_FAIRNESS_JOINT_EMETRIC_H_
+#define OTFAIR_FAIRNESS_JOINT_EMETRIC_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace otfair::fairness {
+
+/// Options for the joint (bivariate) dependence metric.
+struct JointEMetricOptions {
+  /// Grid points per axis (total states = grid_size^2).
+  size_t grid_size = 40;
+  double kl_floor = 1e-12;
+  size_t min_group_size = 4;
+};
+
+/// Joint-distribution analogue of the per-feature E metric, over a feature
+/// *pair* (k1, k2):
+///
+///     E_u = symmKL( f(x_{k1}, x_{k2} | 0, u) || f(x_{k1}, x_{k2} | 1, u) )
+///     E   = sum_u Pr[u] E_u
+///
+/// with 2-D KDE-estimated conditionals on a shared product grid. This is
+/// the diagnostic the per-feature repair cannot drive to zero when the
+/// *correlation structure* of (x_{k1}, x_{k2}) depends on s (paper §VI
+/// intra-feature correlation discussion): the per-feature marginals match
+/// after repair, but the copulas still differ, and this metric sees that.
+common::Result<double> JointFeaturePairE(const data::Dataset& dataset, size_t k1, size_t k2,
+                                         const JointEMetricOptions& options = {});
+
+}  // namespace otfair::fairness
+
+#endif  // OTFAIR_FAIRNESS_JOINT_EMETRIC_H_

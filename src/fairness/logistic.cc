@@ -1,0 +1,113 @@
+#include "fairness/logistic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace otfair::fairness {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+Result<LogisticRegression> LogisticRegression::Fit(const Matrix& features,
+                                                   const std::vector<int>& labels,
+                                                   const LogisticOptions& options) {
+  const size_t n = features.rows();
+  const size_t d = features.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("empty training data");
+  if (labels.size() != n) return Status::InvalidArgument("labels length mismatch");
+  for (int y : labels) {
+    if (y != 0 && y != 1) return Status::InvalidArgument("labels must be binary");
+  }
+
+  LogisticRegression model;
+  model.feature_mean_.assign(d, 0.0);
+  model.feature_sd_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = features.row(i);
+    for (size_t k = 0; k < d; ++k) model.feature_mean_[k] += x[k];
+  }
+  for (size_t k = 0; k < d; ++k) model.feature_mean_[k] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = features.row(i);
+    for (size_t k = 0; k < d; ++k) {
+      const double dlt = x[k] - model.feature_mean_[k];
+      model.feature_sd_[k] += dlt * dlt;
+    }
+  }
+  for (size_t k = 0; k < d; ++k) {
+    model.feature_sd_[k] = std::sqrt(model.feature_sd_[k] / static_cast<double>(n));
+    if (model.feature_sd_[k] <= 0.0) model.feature_sd_[k] = 1.0;  // constant column
+  }
+
+  // Standardize once up front.
+  Matrix z(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = features.row(i);
+    double* zr = z.row(i);
+    for (size_t k = 0; k < d; ++k)
+      zr[k] = (x[k] - model.feature_mean_[k]) / model.feature_sd_[k];
+  }
+
+  model.weights_.assign(d, 0.0);
+  model.bias_ = 0.0;
+  std::vector<double> grad(d);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    model.iterations_ = iter;
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* zr = z.row(i);
+      double act = model.bias_;
+      for (size_t k = 0; k < d; ++k) act += model.weights_[k] * zr[k];
+      const double err = Sigmoid(act) - static_cast<double>(labels[i]);
+      for (size_t k = 0; k < d; ++k) grad[k] += err * zr[k];
+      grad_bias += err;
+    }
+    double grad_norm2 = grad_bias * inv_n * grad_bias * inv_n;
+    for (size_t k = 0; k < d; ++k) {
+      grad[k] = grad[k] * inv_n + options.l2 * model.weights_[k];
+      grad_norm2 += grad[k] * grad[k];
+    }
+    for (size_t k = 0; k < d; ++k) model.weights_[k] -= options.learning_rate * grad[k];
+    model.bias_ -= options.learning_rate * grad_bias * inv_n;
+    if (grad_norm2 < options.tolerance * options.tolerance) break;
+  }
+  return model;
+}
+
+Result<LogisticRegression> LogisticRegression::FitDataset(const data::Dataset& dataset,
+                                                          const LogisticOptions& options) {
+  if (!dataset.has_outcome())
+    return Status::FailedPrecondition("dataset has no outcome column to fit against");
+  return Fit(dataset.features(), dataset.outcomes(), options);
+}
+
+double LogisticRegression::PredictProbability(const std::vector<double>& x) const {
+  OTFAIR_CHECK_EQ(x.size(), dim());
+  double act = bias_;
+  for (size_t k = 0; k < dim(); ++k)
+    act += weights_[k] * (x[k] - feature_mean_[k]) / feature_sd_[k];
+  return Sigmoid(act);
+}
+
+int LogisticRegression::Classify(const std::vector<double>& x) const {
+  return PredictProbability(x) >= 0.5 ? 1 : 0;
+}
+
+std::vector<int> LogisticRegression::ClassifyDataset(const data::Dataset& dataset) const {
+  std::vector<int> out;
+  out.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) out.push_back(Classify(dataset.Row(i)));
+  return out;
+}
+
+}  // namespace otfair::fairness

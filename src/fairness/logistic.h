@@ -1,0 +1,65 @@
+#ifndef OTFAIR_FAIRNESS_LOGISTIC_H_
+#define OTFAIR_FAIRNESS_LOGISTIC_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace otfair::fairness {
+
+/// Options for logistic-regression training.
+struct LogisticOptions {
+  size_t max_iterations = 500;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  /// Stop when the gradient norm falls below this.
+  double tolerance = 1e-7;
+};
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent on standardized features.
+///
+/// This is the classification rule g(X) -> Y_hat of the paper's model
+/// (Fig. 1): the pipeline trains g on (un)repaired data and evaluates
+/// disparate impact / accuracy before vs after repair, demonstrating the
+/// "sufficient condition for classifier outcome fairness" claim of §II-A.
+class LogisticRegression {
+ public:
+  /// Fits to an n x d feature matrix and binary labels.
+  static common::Result<LogisticRegression> Fit(const common::Matrix& features,
+                                                const std::vector<int>& labels,
+                                                const LogisticOptions& options = {});
+
+  /// Fits to a dataset's features against its outcome column.
+  static common::Result<LogisticRegression> FitDataset(const data::Dataset& dataset,
+                                                       const LogisticOptions& options = {});
+
+  /// P(y = 1 | x); x must have length dim().
+  double PredictProbability(const std::vector<double>& x) const;
+
+  /// Hard 0/1 prediction at threshold 0.5.
+  int Classify(const std::vector<double>& x) const;
+
+  /// Hard predictions for every row of a dataset.
+  std::vector<int> ClassifyDataset(const data::Dataset& dataset) const;
+
+  size_t dim() const { return weights_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  size_t iterations() const { return iterations_; }
+
+ private:
+  LogisticRegression() = default;
+
+  std::vector<double> weights_;       // in standardized feature space
+  double bias_ = 0.0;
+  std::vector<double> feature_mean_;  // standardization parameters
+  std::vector<double> feature_sd_;
+  size_t iterations_ = 0;
+};
+
+}  // namespace otfair::fairness
+
+#endif  // OTFAIR_FAIRNESS_LOGISTIC_H_

@@ -1,0 +1,43 @@
+#include "fairness/report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace otfair::fairness {
+
+using common::Result;
+
+std::string FairnessReport::ToString() const {
+  std::ostringstream os;
+  os << "rows=" << rows << "  Pr[u=1]=" << common::FormatDouble(pr_u1, 3)
+     << "  Pr[s=1|u=0]=" << common::FormatDouble(pr_s1_given_u0, 3)
+     << "  Pr[s=1|u=1]=" << common::FormatDouble(pr_s1_given_u1, 3) << "\n";
+  for (size_t k = 0; k < feature_names.size(); ++k) {
+    os << "  E[" << feature_names[k] << "] = " << common::FormatDouble(e_per_feature[k], 4)
+       << "\n";
+  }
+  os << "  E (aggregate) = " << common::FormatDouble(e_aggregate, 4) << "\n";
+  return os.str();
+}
+
+Result<FairnessReport> MakeFairnessReport(const data::Dataset& dataset,
+                                          const EMetricOptions& options) {
+  FairnessReport report;
+  report.feature_names = dataset.feature_names();
+  report.rows = dataset.size();
+  report.pr_u1 = dataset.ProportionU1();
+  report.pr_s1_given_u0 = dataset.ProportionS1GivenU(0);
+  report.pr_s1_given_u1 = dataset.ProportionS1GivenU(1);
+  double acc = 0.0;
+  for (size_t k = 0; k < dataset.dim(); ++k) {
+    auto e = FeatureE(dataset, k, options);
+    if (!e.ok()) return e.status();
+    report.e_per_feature.push_back(*e);
+    acc += *e;
+  }
+  report.e_aggregate = acc / static_cast<double>(dataset.dim());
+  return report;
+}
+
+}  // namespace otfair::fairness

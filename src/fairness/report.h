@@ -1,0 +1,34 @@
+#ifndef OTFAIR_FAIRNESS_REPORT_H_
+#define OTFAIR_FAIRNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "fairness/emetric.h"
+
+namespace otfair::fairness {
+
+/// One dataset's fairness summary: per-feature E_k plus group composition.
+/// Rendered as the human-readable block the example binaries print.
+struct FairnessReport {
+  std::vector<std::string> feature_names;
+  std::vector<double> e_per_feature;
+  double e_aggregate = 0.0;
+  double pr_u1 = 0.0;
+  double pr_s1_given_u0 = 0.0;
+  double pr_s1_given_u1 = 0.0;
+  size_t rows = 0;
+
+  /// Multi-line fixed-width rendering.
+  std::string ToString() const;
+};
+
+/// Computes the full report for a dataset.
+common::Result<FairnessReport> MakeFairnessReport(const data::Dataset& dataset,
+                                                  const EMetricOptions& options = {});
+
+}  // namespace otfair::fairness
+
+#endif  // OTFAIR_FAIRNESS_REPORT_H_

@@ -1,0 +1,57 @@
+#ifndef OTFAIR_OT_BARYCENTER_H_
+#define OTFAIR_OT_BARYCENTER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ot/measure.h"
+#include "ot/sinkhorn.h"
+
+namespace otfair::ot {
+
+/// Wasserstein-2 barycenters between two 1-D measures (paper Eq. 7):
+///
+///     nu_t = argmin_nu (1 - t) W2²(mu0, nu) + t W2²(mu1, nu),  t in [0, 1]
+///
+/// In one dimension the minimizer is the displacement interpolation along
+/// the W2 geodesic, with quantile function
+/// `F_nu^{-1} = (1 - t) F_0^{-1} + t F_1^{-1}`. The paper's "fair
+/// barycentre" is `t = 0.5`, equidistant from both s-conditionals.
+
+/// Exact t-barycenter via the monotone coupling: each coupled mass chunk
+/// (x0, x1, m) contributes an atom at `(1 - t) x0 + t x1` with mass m.
+/// The result has at most n + m - 1 atoms and is returned sorted.
+common::Result<DiscreteMeasure> QuantileBarycenter1D(const DiscreteMeasure& mu0,
+                                                     const DiscreteMeasure& mu1, double t);
+
+/// Exact t-barycenter projected onto a fixed grid: atoms of the quantile
+/// barycenter are split between their two neighbouring grid points in
+/// proportion to proximity (mass- and mean-preserving for interior atoms;
+/// atoms outside the grid range snap to the nearest end point). This is how
+/// the repair pipeline represents `nu` on the shared interpolated support Q
+/// (paper §IV-A2).
+common::Result<DiscreteMeasure> QuantileBarycenterOnGrid(const DiscreteMeasure& mu0,
+                                                         const DiscreteMeasure& mu1, double t,
+                                                         const std::vector<double>& grid);
+
+/// Options for the general fixed-support entropic barycenter.
+struct BregmanBarycenterOptions {
+  double epsilon = 0.05;
+  size_t max_iterations = 2000;
+  double tolerance = 1e-8;
+};
+
+/// Fixed-support Wasserstein barycenter of N weighted measures sharing the
+/// support `grid`, by iterative Bregman projections (Benamou et al. 2015).
+/// `lambdas` are the barycentric weights (non-negative, summing to one after
+/// normalization); the two-measure case with lambdas {1-t, t} matches
+/// `QuantileBarycenterOnGrid` up to entropic smoothing. Provided both as a
+/// general capability and as an independent cross-check of the quantile
+/// method.
+common::Result<DiscreteMeasure> BregmanBarycenter(
+    const std::vector<DiscreteMeasure>& measures, const std::vector<double>& lambdas,
+    const std::vector<double>& grid, const BregmanBarycenterOptions& options = {});
+
+}  // namespace otfair::ot
+
+#endif  // OTFAIR_OT_BARYCENTER_H_

@@ -1,0 +1,36 @@
+#include "ot/cost.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace otfair::ot {
+
+common::Matrix SquaredEuclideanCost(const std::vector<double>& xs,
+                                    const std::vector<double>& ys) {
+  common::Matrix cost(xs.size(), ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double* row = cost.row(i);
+    for (size_t j = 0; j < ys.size(); ++j) {
+      const double d = xs[i] - ys[j];
+      row[j] = d * d;
+    }
+  }
+  return cost;
+}
+
+common::Matrix LpCost(const std::vector<double>& xs, const std::vector<double>& ys, int p) {
+  OTFAIR_CHECK_GE(p, 1);
+  if (p == 2) return SquaredEuclideanCost(xs, ys);
+  common::Matrix cost(xs.size(), ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double* row = cost.row(i);
+    for (size_t j = 0; j < ys.size(); ++j) {
+      const double d = std::fabs(xs[i] - ys[j]);
+      row[j] = (p == 1) ? d : std::pow(d, p);
+    }
+  }
+  return cost;
+}
+
+}  // namespace otfair::ot

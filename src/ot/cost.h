@@ -1,0 +1,26 @@
+#ifndef OTFAIR_OT_COST_H_
+#define OTFAIR_OT_COST_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace otfair::ot {
+
+/// Ground-cost builders for Kantorovich OT problems (paper Eq. 5/13).
+///
+/// The canonical choice in the paper is the squared Euclidean cost
+/// `C(x, y) = |x - y|^2` (so that the optimal objective is W2^2 and
+/// Brenier's theorem applies in the continuum limit); `LpCost` generalizes
+/// to arbitrary integer p >= 1 with `C = |x - y|^p`.
+
+/// C(i, j) = |x_i - y_j|^2.
+common::Matrix SquaredEuclideanCost(const std::vector<double>& xs,
+                                    const std::vector<double>& ys);
+
+/// C(i, j) = |x_i - y_j|^p, p >= 1.
+common::Matrix LpCost(const std::vector<double>& xs, const std::vector<double>& ys, int p);
+
+}  // namespace otfair::ot
+
+#endif  // OTFAIR_OT_COST_H_

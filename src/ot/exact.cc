@@ -1,0 +1,219 @@
+#include "ot/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace otfair::ot {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// State for one successive-shortest-path run. Node numbering: sources are
+/// [0, n), sinks are [n, n + m).
+struct SspState {
+  size_t n;
+  size_t m;
+  const Matrix* cost;
+  Matrix flow;                     // n x m transported mass
+  std::vector<double> potential;   // Johnson potentials, length n + m
+  std::vector<double> rem_supply;  // length n
+  std::vector<double> rem_demand;  // length m
+
+  std::vector<double> dist;    // Dijkstra distances
+  std::vector<int> parent;     // predecessor node, -1 for roots
+  std::vector<char> visited;
+};
+
+/// Dense Dijkstra over the residual graph, rooted at every source with
+/// remaining supply. Returns the index of the nearest sink with remaining
+/// demand, or -1 if none is reachable.
+int RunDijkstra(SspState& s, double mass_tol) {
+  const size_t total = s.n + s.m;
+  s.dist.assign(total, kInf);
+  s.parent.assign(total, -1);
+  s.visited.assign(total, 0);
+  for (size_t i = 0; i < s.n; ++i) {
+    if (s.rem_supply[i] > mass_tol) s.dist[i] = 0.0;
+  }
+
+  for (size_t round = 0; round < total; ++round) {
+    // Extract the unvisited node with smallest tentative distance.
+    int u = -1;
+    double best = kInf;
+    for (size_t v = 0; v < total; ++v) {
+      if (!s.visited[v] && s.dist[v] < best) {
+        best = s.dist[v];
+        u = static_cast<int>(v);
+      }
+    }
+    if (u < 0) break;  // remaining nodes unreachable
+    s.visited[u] = 1;
+
+    if (static_cast<size_t>(u) < s.n) {
+      // Source node: forward arcs to every sink.
+      const size_t i = static_cast<size_t>(u);
+      const double* crow = s.cost->row(i);
+      const double pu = s.potential[i];
+      for (size_t j = 0; j < s.m; ++j) {
+        const size_t v = s.n + j;
+        if (s.visited[v]) continue;
+        double rc = crow[j] + pu - s.potential[v];
+        if (rc < 0.0) rc = 0.0;  // floating-point slack
+        const double nd = s.dist[u] + rc;
+        if (nd < s.dist[v]) {
+          s.dist[v] = nd;
+          s.parent[v] = u;
+        }
+      }
+    } else {
+      // Sink node: backward arcs along existing flow.
+      const size_t j = static_cast<size_t>(u) - s.n;
+      const double pu = s.potential[u];
+      for (size_t i = 0; i < s.n; ++i) {
+        if (s.visited[i] || s.flow(i, j) <= mass_tol) continue;
+        double rc = -(*s.cost)(i, j) + pu - s.potential[i];
+        if (rc < 0.0) rc = 0.0;
+        const double nd = s.dist[u] + rc;
+        if (nd < s.dist[i]) {
+          s.dist[i] = nd;
+          s.parent[i] = u;
+        }
+      }
+    }
+  }
+
+  int target = -1;
+  double best = kInf;
+  for (size_t j = 0; j < s.m; ++j) {
+    const size_t v = s.n + j;
+    if (s.rem_demand[j] > mass_tol && s.dist[v] < best) {
+      best = s.dist[v];
+      target = static_cast<int>(v);
+    }
+  }
+  return target;
+}
+
+/// Augments along the parent path ending at sink node `target`; returns the
+/// mass moved.
+double Augment(SspState& s, int target, double mass_tol) {
+  // Walk back to the root source, computing the bottleneck.
+  double bottleneck = s.rem_demand[static_cast<size_t>(target) - s.n];
+  int node = target;
+  while (s.parent[node] >= 0) {
+    const int prev = s.parent[node];
+    if (static_cast<size_t>(prev) >= s.n) {
+      // Backward arc sink(prev) -> source(node): bounded by existing flow.
+      const size_t j = static_cast<size_t>(prev) - s.n;
+      const size_t i = static_cast<size_t>(node);
+      bottleneck = std::min(bottleneck, s.flow(i, j));
+    }
+    node = prev;
+  }
+  OTFAIR_CHECK_LT(static_cast<size_t>(node), s.n);
+  bottleneck = std::min(bottleneck, s.rem_supply[static_cast<size_t>(node)]);
+  if (bottleneck <= mass_tol) return 0.0;
+
+  // Apply the augmentation.
+  int v = target;
+  while (s.parent[v] >= 0) {
+    const int prev = s.parent[v];
+    if (static_cast<size_t>(prev) < s.n) {
+      // Forward arc source(prev) -> sink(v).
+      s.flow(static_cast<size_t>(prev), static_cast<size_t>(v) - s.n) += bottleneck;
+    } else {
+      // Backward arc sink(prev) -> source(v).
+      s.flow(static_cast<size_t>(v), static_cast<size_t>(prev) - s.n) -= bottleneck;
+    }
+    v = prev;
+  }
+  s.rem_supply[static_cast<size_t>(v)] -= bottleneck;
+  s.rem_demand[static_cast<size_t>(target) - s.n] -= bottleneck;
+  return bottleneck;
+}
+
+}  // namespace
+
+Result<TransportPlan> SolveExact(const std::vector<double>& a, const std::vector<double>& b,
+                                 const Matrix& cost, const ExactSolverOptions& options) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return Status::InvalidArgument("empty marginal");
+  if (cost.rows() != n || cost.cols() != m)
+    return Status::InvalidArgument("cost matrix shape mismatch");
+
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (double w : a) {
+    if (!(w >= 0.0) || !std::isfinite(w))
+      return Status::InvalidArgument("source weights must be non-negative and finite");
+    sum_a += w;
+  }
+  for (double w : b) {
+    if (!(w >= 0.0) || !std::isfinite(w))
+      return Status::InvalidArgument("target weights must be non-negative and finite");
+    sum_b += w;
+  }
+  if (sum_a <= 0.0 || sum_b <= 0.0) return Status::InvalidArgument("marginals must carry mass");
+  if (std::fabs(sum_a - sum_b) > 1e-9 * std::max(sum_a, sum_b))
+    return Status::InvalidArgument("unbalanced problem: marginal totals differ");
+
+  SspState state;
+  state.n = n;
+  state.m = m;
+  state.cost = &cost;
+  state.flow = Matrix(n, m);
+  state.potential.assign(n + m, 0.0);
+  state.rem_supply = a;
+  state.rem_demand = b;
+  // Rescale demand so totals match bit-exactly (guards accumulation drift).
+  const double scale = sum_a / sum_b;
+  for (double& w : state.rem_demand) w *= scale;
+
+  // Initial sink potentials keep all forward reduced costs non-negative even
+  // for negative ground costs.
+  for (size_t j = 0; j < m; ++j) {
+    double lo = kInf;
+    for (size_t i = 0; i < n; ++i) lo = std::min(lo, cost(i, j));
+    state.potential[n + j] = lo;
+  }
+
+  const double mass_tol = options.mass_tolerance * std::max(1.0, sum_a);
+  size_t max_rounds = options.max_augmentations;
+  if (max_rounds == 0) max_rounds = n * m + 16 * (n + m);
+
+  double remaining = sum_a;
+  size_t rounds = 0;
+  while (remaining > mass_tol) {
+    if (++rounds > max_rounds)
+      return Status::NotConverged("exact OT solver exceeded augmentation budget");
+    const int target = RunDijkstra(state, mass_tol);
+    if (target < 0)
+      return Status::Internal("exact OT solver: no augmenting path in balanced problem");
+    // Johnson potential update keeps reduced costs non-negative.
+    const double dt = state.dist[static_cast<size_t>(target)];
+    for (size_t v = 0; v < n + m; ++v) {
+      state.potential[v] += std::min(state.dist[v], dt);
+    }
+    const double moved = Augment(state, target, mass_tol);
+    if (moved <= 0.0)
+      return Status::Internal("exact OT solver: degenerate augmentation");
+    remaining -= moved;
+  }
+
+  TransportPlan plan;
+  plan.cost = state.flow.Dot(cost);
+  plan.coupling = std::move(state.flow);
+  return plan;
+}
+
+}  // namespace otfair::ot

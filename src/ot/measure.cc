@@ -1,0 +1,103 @@
+#include "ot/measure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace otfair::ot {
+
+using common::Result;
+using common::Status;
+
+Result<DiscreteMeasure> DiscreteMeasure::Create(std::vector<double> support,
+                                                std::vector<double> weights) {
+  if (support.empty()) return Status::InvalidArgument("measure needs at least one atom");
+  if (support.size() != weights.size())
+    return Status::InvalidArgument("support/weights length mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0))  // catches NaN too
+      return Status::InvalidArgument("weights must be non-negative and finite");
+    total += w;
+  }
+  if (!(total > 0.0)) return Status::InvalidArgument("weights must not all be zero");
+  for (double x : support) {
+    if (!std::isfinite(x)) return Status::InvalidArgument("support atoms must be finite");
+  }
+  for (double& w : weights) w /= total;
+  return DiscreteMeasure(std::move(support), std::move(weights));
+}
+
+Result<DiscreteMeasure> DiscreteMeasure::FromSamples(std::vector<double> samples) {
+  if (samples.empty()) return Status::InvalidArgument("empty sample");
+  std::vector<double> weights(samples.size(), 1.0 / static_cast<double>(samples.size()));
+  return Create(std::move(samples), std::move(weights));
+}
+
+Result<DiscreteMeasure> DiscreteMeasure::Uniform(std::vector<double> support) {
+  if (support.empty()) return Status::InvalidArgument("empty support");
+  std::vector<double> weights(support.size(), 1.0 / static_cast<double>(support.size()));
+  return Create(std::move(support), std::move(weights));
+}
+
+bool DiscreteMeasure::IsSorted() const {
+  return std::is_sorted(support_.begin(), support_.end());
+}
+
+DiscreteMeasure DiscreteMeasure::SortedBySupport() const {
+  std::vector<size_t> order(support_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](size_t a, size_t b) { return support_[a] < support_[b]; });
+  std::vector<double> s(support_.size());
+  std::vector<double> w(support_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    s[i] = support_[order[i]];
+    w[i] = weights_[order[i]];
+  }
+  return DiscreteMeasure(std::move(s), std::move(w));
+}
+
+double DiscreteMeasure::Mean() const {
+  double m = 0.0;
+  for (size_t i = 0; i < support_.size(); ++i) m += weights_[i] * support_[i];
+  return m;
+}
+
+double DiscreteMeasure::Variance() const {
+  const double m = Mean();
+  double v = 0.0;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    const double d = support_[i] - m;
+    v += weights_[i] * d * d;
+  }
+  return v;
+}
+
+double DiscreteMeasure::Cdf(double x) const {
+  OTFAIR_DCHECK(IsSorted());
+  double acc = 0.0;
+  for (size_t i = 0; i < support_.size() && support_[i] <= x; ++i) acc += weights_[i];
+  return acc;
+}
+
+double DiscreteMeasure::Quantile(double q) const {
+  OTFAIR_DCHECK(IsSorted());
+  OTFAIR_CHECK(q >= 0.0 && q <= 1.0);
+  double acc = 0.0;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    acc += weights_[i];
+    if (acc >= q - 1e-15) return support_[i];
+  }
+  return support_.back();
+}
+
+double DiscreteMeasure::NormalizationError() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return std::fabs(total - 1.0);
+}
+
+}  // namespace otfair::ot

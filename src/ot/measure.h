@@ -1,0 +1,77 @@
+#ifndef OTFAIR_OT_MEASURE_H_
+#define OTFAIR_OT_MEASURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace otfair::ot {
+
+/// A discrete probability measure on a one-dimensional support:
+/// `mu = sum_i w_i * delta(x_i)`.
+///
+/// This is the measure type used throughout the repair pipeline: the paper
+/// designs one OT plan per feature (channel) k, so all transported measures
+/// are univariate (see paper §IV-A). Weights are kept explicitly normalized;
+/// the support need not be sorted but many operations (CDF, quantiles,
+/// monotone coupling) require it, and `SortedBySupport()` returns a sorted
+/// copy.
+class DiscreteMeasure {
+ public:
+  DiscreteMeasure() = default;
+
+  /// Builds a measure from atoms and weights (same length, weights >= 0 and
+  /// not all zero). Weights are normalized to sum to one.
+  static common::Result<DiscreteMeasure> Create(std::vector<double> support,
+                                                std::vector<double> weights);
+
+  /// Empirical measure of samples: every sample gets weight 1/n.
+  /// Duplicate positions are kept as separate atoms.
+  static common::Result<DiscreteMeasure> FromSamples(std::vector<double> samples);
+
+  /// Uniform measure on the given support points.
+  static common::Result<DiscreteMeasure> Uniform(std::vector<double> support);
+
+  size_t size() const { return support_.size(); }
+  bool empty() const { return support_.empty(); }
+  const std::vector<double>& support() const { return support_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double support_at(size_t i) const { return support_[i]; }
+  double weight_at(size_t i) const { return weights_[i]; }
+
+  /// True if support is non-decreasing.
+  bool IsSorted() const;
+
+  /// Returns a copy with atoms sorted by support position (weights of
+  /// coincident atoms are preserved as separate atoms, stably ordered).
+  DiscreteMeasure SortedBySupport() const;
+
+  /// Mean of the measure.
+  double Mean() const;
+  /// Variance of the measure.
+  double Variance() const;
+
+  /// Right-continuous CDF evaluated at x. Requires sorted support.
+  double Cdf(double x) const;
+
+  /// Generalized inverse CDF (quantile function) at q in [0, 1]. Requires
+  /// sorted support. Returns the smallest atom x with CDF(x) >= q.
+  double Quantile(double q) const;
+
+  /// Largest absolute deviation of `weights` from a proper pmf; used by
+  /// validation tests.
+  double NormalizationError() const;
+
+ private:
+  DiscreteMeasure(std::vector<double> support, std::vector<double> weights)
+      : support_(std::move(support)), weights_(std::move(weights)) {}
+
+  std::vector<double> support_;
+  std::vector<double> weights_;
+};
+
+}  // namespace otfair::ot
+
+#endif  // OTFAIR_OT_MEASURE_H_

@@ -1,0 +1,63 @@
+#include "ot/monotone.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace otfair::ot {
+
+using common::Result;
+using common::Status;
+
+Result<MonotoneCoupling> SolveMonotone1D(const DiscreteMeasure& mu, const DiscreteMeasure& nu) {
+  if (mu.empty() || nu.empty()) return Status::InvalidArgument("empty measure");
+
+  MonotoneCoupling out;
+  out.sorted_source = mu.IsSorted() ? mu : mu.SortedBySupport();
+  out.sorted_target = nu.IsSorted() ? nu : nu.SortedBySupport();
+
+  const std::vector<double>& wa = out.sorted_source.weights();
+  const std::vector<double>& wb = out.sorted_target.weights();
+  const size_t n = wa.size();
+  const size_t m = wb.size();
+  out.entries.reserve(n + m);
+
+  // March both pmfs in quantile order, peeling off the smaller remaining
+  // mass at each step (north-west-corner rule).
+  size_t i = 0;
+  size_t j = 0;
+  double ra = wa[0];
+  double rb = wb[0];
+  constexpr double kTol = 1e-15;
+  while (i < n && j < m) {
+    const double moved = std::min(ra, rb);
+    if (moved > kTol) out.entries.push_back({i, j, moved});
+    ra -= moved;
+    rb -= moved;
+    if (ra <= kTol) {
+      ++i;
+      if (i < n) ra = wa[i];
+    }
+    if (rb <= kTol) {
+      ++j;
+      if (j < m) rb = wb[j];
+    }
+  }
+  return out;
+}
+
+Result<double> Wasserstein1D(const DiscreteMeasure& mu, const DiscreteMeasure& nu, int p) {
+  if (p < 1) return Status::InvalidArgument("Wasserstein order p must be >= 1");
+  auto coupling = SolveMonotone1D(mu, nu);
+  if (!coupling.ok()) return coupling.status();
+  const std::vector<double>& xs = coupling->sorted_source.support();
+  const std::vector<double>& ys = coupling->sorted_target.support();
+  double total = 0.0;
+  for (const PlanEntry& e : coupling->entries) {
+    const double d = std::fabs(xs[e.i] - ys[e.j]);
+    total += e.mass * ((p == 1) ? d : (p == 2) ? d * d : std::pow(d, p));
+  }
+  return std::pow(total, 1.0 / static_cast<double>(p));
+}
+
+}  // namespace otfair::ot

@@ -1,0 +1,47 @@
+#include "ot/plan.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace otfair::ot {
+
+std::vector<PlanEntry> TransportPlan::ToSparse(double threshold) const {
+  std::vector<PlanEntry> out;
+  for (size_t i = 0; i < coupling.rows(); ++i) {
+    const double* row = coupling.row(i);
+    for (size_t j = 0; j < coupling.cols(); ++j) {
+      if (row[j] > threshold) out.push_back({i, j, row[j]});
+    }
+  }
+  return out;
+}
+
+double TransportPlan::MarginalError(const std::vector<double>& a,
+                                    const std::vector<double>& b) const {
+  OTFAIR_CHECK_EQ(coupling.rows(), a.size());
+  OTFAIR_CHECK_EQ(coupling.cols(), b.size());
+  double err = 0.0;
+  std::vector<double> row_sums = coupling.RowSums();
+  std::vector<double> col_sums = coupling.ColSums();
+  for (size_t i = 0; i < a.size(); ++i) err = std::max(err, std::fabs(row_sums[i] - a[i]));
+  for (size_t j = 0; j < b.size(); ++j) err = std::max(err, std::fabs(col_sums[j] - b[j]));
+  return err;
+}
+
+common::Matrix SparseToDense(const std::vector<PlanEntry>& entries, size_t n, size_t m) {
+  common::Matrix dense(n, m);
+  for (const PlanEntry& e : entries) {
+    OTFAIR_CHECK(e.i < n && e.j < m);
+    dense(e.i, e.j) += e.mass;
+  }
+  return dense;
+}
+
+double SparsePlanCost(const std::vector<PlanEntry>& entries, const common::Matrix& cost) {
+  double total = 0.0;
+  for (const PlanEntry& e : entries) total += e.mass * cost(e.i, e.j);
+  return total;
+}
+
+}  // namespace otfair::ot

@@ -1,0 +1,45 @@
+#ifndef OTFAIR_OT_PLAN_H_
+#define OTFAIR_OT_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace otfair::ot {
+
+/// One atom of a sparse transport plan: move `mass` from source atom `i` to
+/// target atom `j`.
+struct PlanEntry {
+  size_t i;
+  size_t j;
+  double mass;
+};
+
+/// A Kantorovich coupling between two discrete measures, plus the achieved
+/// transport objective `<C, pi>` (paper Eq. 5/6).
+///
+/// The coupling is stored densely (n x m); optimal plans are sparse (at most
+/// n + m - 1 non-zeros for exact solvers) and `ToSparse()` extracts the
+/// non-zero entries.
+struct TransportPlan {
+  common::Matrix coupling;
+  double cost = 0.0;
+
+  /// Non-zero entries above `threshold`.
+  std::vector<PlanEntry> ToSparse(double threshold = 1e-15) const;
+
+  /// Largest violation of the two marginal constraints against `a` (rows)
+  /// and `b` (columns); exact solvers should report ~1e-12 here.
+  double MarginalError(const std::vector<double>& a, const std::vector<double>& b) const;
+};
+
+/// Densifies a sparse plan into an n x m coupling matrix.
+common::Matrix SparseToDense(const std::vector<PlanEntry>& entries, size_t n, size_t m);
+
+/// Transport objective of a sparse plan under cost matrix C.
+double SparsePlanCost(const std::vector<PlanEntry>& entries, const common::Matrix& cost);
+
+}  // namespace otfair::ot
+
+#endif  // OTFAIR_OT_PLAN_H_

@@ -1,0 +1,192 @@
+#include "ot/sinkhorn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace otfair::ot {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Worst marginal violation of the current plan.
+double MarginalViolation(const Matrix& plan, const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double err = 0.0;
+  std::vector<double> rows = plan.RowSums();
+  std::vector<double> cols = plan.ColSums();
+  for (size_t i = 0; i < a.size(); ++i) err = std::max(err, std::fabs(rows[i] - a[i]));
+  for (size_t j = 0; j < b.size(); ++j) err = std::max(err, std::fabs(cols[j] - b[j]));
+  return err;
+}
+
+/// log(sum_k exp(v_k)) computed stably; empty/all -inf input gives -inf.
+double LogSumExp(const std::vector<double>& v) {
+  double hi = kNegInf;
+  for (double x : v) hi = std::max(hi, x);
+  if (hi == kNegInf) return kNegInf;
+  double acc = 0.0;
+  for (double x : v) acc += std::exp(x - hi);
+  return hi + std::log(acc);
+}
+
+Result<SinkhornResult> SolveStandard(const std::vector<double>& a, const std::vector<double>& b,
+                                     const Matrix& cost, const SinkhornOptions& opt) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Gibbs kernel K = exp(-C / eps).
+  Matrix kernel(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    const double* crow = cost.row(i);
+    double* krow = kernel.row(i);
+    for (size_t j = 0; j < m; ++j) krow[j] = std::exp(-crow[j] / opt.epsilon);
+  }
+
+  std::vector<double> u(n, 1.0);
+  std::vector<double> v(m, 1.0);
+  SinkhornResult out;
+  Matrix plan(n, m);
+
+  auto rebuild_plan = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      const double* krow = kernel.row(i);
+      double* prow = plan.row(i);
+      for (size_t j = 0; j < m; ++j) prow[j] = u[i] * krow[j] * v[j];
+    }
+  };
+
+  for (size_t iter = 1; iter <= opt.max_iterations; ++iter) {
+    // u = a ./ (K v)
+    for (size_t i = 0; i < n; ++i) {
+      const double* krow = kernel.row(i);
+      double denom = 0.0;
+      for (size_t j = 0; j < m; ++j) denom += krow[j] * v[j];
+      u[i] = (denom > 0.0) ? a[i] / denom : 0.0;
+      if (std::isnan(u[i]))
+        return Status::NotConverged("sinkhorn diverged (NaN scaling); use log_domain or larger epsilon");
+    }
+    // v = b ./ (K' u)
+    for (size_t j = 0; j < m; ++j) {
+      double denom = 0.0;
+      for (size_t i = 0; i < n; ++i) denom += kernel(i, j) * u[i];
+      v[j] = (denom > 0.0) ? b[j] / denom : 0.0;
+      if (std::isnan(v[j]))
+        return Status::NotConverged("sinkhorn diverged (NaN scaling); use log_domain or larger epsilon");
+    }
+    out.iterations = iter;
+    if (iter % 10 == 0 || iter == opt.max_iterations) {
+      rebuild_plan();
+      if (MarginalViolation(plan, a, b) < opt.tolerance) {
+        out.converged = true;
+        break;
+      }
+    }
+  }
+  rebuild_plan();
+  if (!out.converged) out.converged = MarginalViolation(plan, a, b) < opt.tolerance;
+  out.plan.cost = plan.Dot(cost);
+  out.plan.coupling = std::move(plan);
+  return out;
+}
+
+Result<SinkhornResult> SolveLogDomain(const std::vector<double>& a, const std::vector<double>& b,
+                                      const Matrix& cost, const SinkhornOptions& opt) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<double> log_a(n);
+  std::vector<double> log_b(m);
+  for (size_t i = 0; i < n; ++i) log_a[i] = a[i] > 0.0 ? std::log(a[i]) : kNegInf;
+  for (size_t j = 0; j < m; ++j) log_b[j] = b[j] > 0.0 ? std::log(b[j]) : kNegInf;
+
+  std::vector<double> f(n, 0.0);  // f = eps * log(u)
+  std::vector<double> g(m, 0.0);  // g = eps * log(v)
+  std::vector<double> scratch(std::max(n, m));
+
+  SinkhornResult out;
+  Matrix plan(n, m);
+  auto rebuild_plan = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      const double* crow = cost.row(i);
+      double* prow = plan.row(i);
+      for (size_t j = 0; j < m; ++j) {
+        const double e = (f[i] + g[j] - crow[j]) / opt.epsilon;
+        prow[j] = (e == kNegInf) ? 0.0 : std::exp(e);
+      }
+    }
+  };
+
+  for (size_t iter = 1; iter <= opt.max_iterations; ++iter) {
+    // f_i = eps log a_i - eps LSE_j((g_j - C_ij)/eps)
+    for (size_t i = 0; i < n; ++i) {
+      if (log_a[i] == kNegInf) {
+        f[i] = kNegInf;
+        continue;
+      }
+      const double* crow = cost.row(i);
+      scratch.resize(m);
+      for (size_t j = 0; j < m; ++j) scratch[j] = (g[j] - crow[j]) / opt.epsilon;
+      f[i] = opt.epsilon * (log_a[i] - LogSumExp(scratch));
+    }
+    // g_j = eps log b_j - eps LSE_i((f_i - C_ij)/eps)
+    for (size_t j = 0; j < m; ++j) {
+      if (log_b[j] == kNegInf) {
+        g[j] = kNegInf;
+        continue;
+      }
+      scratch.resize(n);
+      for (size_t i = 0; i < n; ++i) scratch[i] = (f[i] - cost(i, j)) / opt.epsilon;
+      g[j] = opt.epsilon * (log_b[j] - LogSumExp(scratch));
+    }
+    out.iterations = iter;
+    if (iter % 10 == 0 || iter == opt.max_iterations) {
+      rebuild_plan();
+      if (MarginalViolation(plan, a, b) < opt.tolerance) {
+        out.converged = true;
+        break;
+      }
+    }
+  }
+  rebuild_plan();
+  if (!out.converged) out.converged = MarginalViolation(plan, a, b) < opt.tolerance;
+  out.plan.cost = plan.Dot(cost);
+  out.plan.coupling = std::move(plan);
+  return out;
+}
+
+}  // namespace
+
+Result<SinkhornResult> SolveSinkhorn(const std::vector<double>& a, const std::vector<double>& b,
+                                     const Matrix& cost, const SinkhornOptions& options) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return Status::InvalidArgument("empty marginal");
+  if (cost.rows() != n || cost.cols() != m)
+    return Status::InvalidArgument("cost matrix shape mismatch");
+  if (!(options.epsilon > 0.0)) return Status::InvalidArgument("epsilon must be positive");
+
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (double w : a) {
+    if (!(w >= 0.0)) return Status::InvalidArgument("negative source weight");
+    sum_a += w;
+  }
+  for (double w : b) {
+    if (!(w >= 0.0)) return Status::InvalidArgument("negative target weight");
+    sum_b += w;
+  }
+  if (sum_a <= 0.0 || sum_b <= 0.0) return Status::InvalidArgument("marginals must carry mass");
+  if (std::fabs(sum_a - sum_b) > 1e-9 * std::max(sum_a, sum_b))
+    return Status::InvalidArgument("unbalanced problem: marginal totals differ");
+
+  return options.log_domain ? SolveLogDomain(a, b, cost, options)
+                            : SolveStandard(a, b, cost, options);
+}
+
+}  // namespace otfair::ot

@@ -1,0 +1,50 @@
+#ifndef OTFAIR_OT_SINKHORN_H_
+#define OTFAIR_OT_SINKHORN_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "ot/plan.h"
+
+namespace otfair::ot {
+
+/// Options for entropy-regularized OT (Cuturi 2013; Sinkhorn-Knopp 1967).
+struct SinkhornOptions {
+  /// Entropic regularization strength. Smaller -> closer to the exact plan,
+  /// but slower convergence and (without log_domain) numerical underflow.
+  double epsilon = 0.05;
+  /// Maximum Sinkhorn iterations before giving up.
+  size_t max_iterations = 10000;
+  /// Converged when the worst marginal violation falls below this.
+  double tolerance = 1e-9;
+  /// Run the iteration on log-scaled potentials; slower per iteration but
+  /// immune to under/overflow at small epsilon.
+  bool log_domain = false;
+};
+
+/// Result of a Sinkhorn solve: the regularized plan, its *unregularized*
+/// transport objective `<C, pi>`, iterations used and convergence flag.
+struct SinkhornResult {
+  TransportPlan plan;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solves entropy-regularized OT between weight vectors `a`, `b` under
+/// ground cost `cost`:
+///
+///     pi_eps = argmin <C, pi> - eps * H(pi)  s.t.  pi in Pi(a, b)
+///
+/// by Sinkhorn-Knopp matrix scaling. This is the O(n^2 / eps^2) alternative
+/// the paper cites (§IV-A1, refs [33]-[35]) to the cubic exact solver.
+/// Returns NotConverged only if the iteration diverges (NaN); hitting the
+/// iteration cap reports `converged = false` with the best plan found.
+common::Result<SinkhornResult> SolveSinkhorn(const std::vector<double>& a,
+                                             const std::vector<double>& b,
+                                             const common::Matrix& cost,
+                                             const SinkhornOptions& options = {});
+
+}  // namespace otfair::ot
+
+#endif  // OTFAIR_OT_SINKHORN_H_

@@ -1,0 +1,22 @@
+#include "ot/wasserstein.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "ot/cost.h"
+#include "ot/exact.h"
+
+namespace otfair::ot {
+
+using common::Result;
+using common::Status;
+
+Result<double> WassersteinExact(const DiscreteMeasure& mu, const DiscreteMeasure& nu, int p) {
+  if (p < 1) return Status::InvalidArgument("Wasserstein order p must be >= 1");
+  common::Matrix cost = LpCost(mu.support(), nu.support(), p);
+  auto plan = SolveExact(mu.weights(), nu.weights(), cost);
+  if (!plan.ok()) return plan.status();
+  return std::pow(plan->cost, 1.0 / static_cast<double>(p));
+}
+
+}  // namespace otfair::ot

@@ -1,0 +1,18 @@
+#ifndef OTFAIR_OT_WASSERSTEIN_H_
+#define OTFAIR_OT_WASSERSTEIN_H_
+
+#include "common/result.h"
+#include "ot/measure.h"
+
+namespace otfair::ot {
+
+/// p-Wasserstein distance between two discrete measures with explicit cost
+/// construction and the exact solver (paper Eq. 6). Works for any p >= 1;
+/// for 1-D measures `Wasserstein1D` (ot/monotone.h) computes the same value
+/// in O(n log n) and the two are cross-checked in tests.
+common::Result<double> WassersteinExact(const DiscreteMeasure& mu, const DiscreteMeasure& nu,
+                                        int p = 2);
+
+}  // namespace otfair::ot
+
+#endif  // OTFAIR_OT_WASSERSTEIN_H_

@@ -1,0 +1,78 @@
+#include "sim/gaussian_mixture.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace otfair::sim {
+
+using common::Matrix;
+using common::Result;
+using common::Rng;
+using common::Status;
+
+GaussianSimConfig GaussianSimConfig::PaperDefault() {
+  GaussianSimConfig config;
+  config.dim = 2;
+  config.sigma = 1.0;
+  config.pr_u0 = 0.5;
+  config.pr_s0_given_u0 = 0.3;
+  config.pr_s0_given_u1 = 0.1;
+  config.mean[0][0] = {-1.0, -1.0};
+  config.mean[0][1] = {0.0, 0.0};
+  config.mean[1][0] = {1.0, 1.0};
+  config.mean[1][1] = {0.0, 0.0};
+  return config;
+}
+
+Result<data::Dataset> SimulateGaussianMixture(size_t n, const GaussianSimConfig& config,
+                                              Rng& rng) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (config.dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (!(config.sigma > 0.0)) return Status::InvalidArgument("sigma must be positive");
+  for (int u = 0; u <= 1; ++u) {
+    for (int s = 0; s <= 1; ++s) {
+      if (config.mean[u][s].size() != config.dim)
+        return Status::InvalidArgument("component mean has wrong dimension");
+    }
+  }
+  auto valid_prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!valid_prob(config.pr_u0) || !valid_prob(config.pr_s0_given_u0) ||
+      !valid_prob(config.pr_s0_given_u1))
+    return Status::InvalidArgument("probabilities must lie in [0, 1]");
+  if (!(config.rho > -1.0 && config.rho < 1.0))
+    return Status::InvalidArgument("rho must lie in (-1, 1)");
+
+  Matrix features(n, config.dim);
+  std::vector<int> s_labels(n);
+  std::vector<int> u_labels(n);
+  // Cholesky factor of [[1, rho], [rho, 1]] applied to consecutive pairs.
+  const double cross = config.rho;
+  const double residual = std::sqrt(1.0 - config.rho * config.rho);
+  for (size_t i = 0; i < n; ++i) {
+    const int u = rng.Bernoulli(config.pr_u0) ? 0 : 1;
+    const double pr_s0 = (u == 0) ? config.pr_s0_given_u0 : config.pr_s0_given_u1;
+    const int s = rng.Bernoulli(pr_s0) ? 0 : 1;
+    u_labels[i] = u;
+    s_labels[i] = s;
+    for (size_t k = 0; k < config.dim; ++k) {
+      double z = rng.Normal();
+      if (config.rho != 0.0 && k % 2 == 1) {
+        // Correlate with the previous channel's standardized deviate.
+        const double prev =
+            (features(i, k - 1) - config.mean[u][s][k - 1]) / config.sigma;
+        z = cross * prev + residual * z;
+      }
+      features(i, k) = config.mean[u][s][k] + config.sigma * z;
+    }
+  }
+
+  std::vector<std::string> names;
+  for (size_t k = 0; k < config.dim; ++k) names.push_back("x" + std::to_string(k + 1));
+  return data::Dataset::Create(std::move(features), std::move(s_labels), std::move(u_labels),
+                               std::move(names));
+}
+
+}  // namespace otfair::sim

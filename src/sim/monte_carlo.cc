@@ -1,0 +1,42 @@
+#include "sim/monte_carlo.h"
+
+#include "common/status.h"
+#include "stats/descriptive.h"
+
+namespace otfair::sim {
+
+using common::Result;
+using common::Rng;
+using common::Status;
+
+Result<std::map<std::string, McSummary>> RunMonteCarlo(size_t trials, uint64_t seed,
+                                                       const McTrialFn& trial) {
+  if (trials == 0) return Status::InvalidArgument("trials must be positive");
+  Rng master(seed);
+  std::map<std::string, std::vector<double>> series;
+  for (size_t t = 0; t < trials; ++t) {
+    Rng trial_rng = master.Fork();
+    auto metrics = trial(trial_rng);
+    if (!metrics.ok()) return metrics.status();
+    if (t == 0) {
+      for (const auto& [key, value] : *metrics) series[key] = {value};
+    } else {
+      if (metrics->size() != series.size())
+        return Status::Internal("trial emitted inconsistent metric keys");
+      for (const auto& [key, value] : *metrics) {
+        auto it = series.find(key);
+        if (it == series.end())
+          return Status::Internal("trial emitted unknown metric key: " + key);
+        it->second.push_back(value);
+      }
+    }
+  }
+  std::map<std::string, McSummary> out;
+  for (const auto& [key, values] : series) {
+    const stats::MeanStd ms = stats::ComputeMeanStd(values);
+    out[key] = McSummary{ms.mean, ms.std, values.size()};
+  }
+  return out;
+}
+
+}  // namespace otfair::sim

@@ -1,0 +1,36 @@
+#ifndef OTFAIR_SIM_MONTE_CARLO_H_
+#define OTFAIR_SIM_MONTE_CARLO_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace otfair::sim {
+
+/// Mean ± std summary of one Monte-Carlo metric.
+struct McSummary {
+  double mean = 0.0;
+  double std = 0.0;
+  size_t trials = 0;
+};
+
+/// One trial returns named scalar metrics (e.g. "E_k1_research"); it
+/// receives its own forked, reproducible RNG stream.
+using McTrialFn = std::function<common::Result<std::map<std::string, double>>(common::Rng&)>;
+
+/// Runs `trials` independent repetitions and aggregates every metric to
+/// mean ± std, matching the paper's "200 independent Monte-Carlo
+/// simulations" protocol (§V-A). Each trial gets a forked RNG so results
+/// are reproducible for a given `seed` regardless of per-trial consumption.
+/// Trials returning errors abort the run with that error; all trials must
+/// emit the same metric keys.
+common::Result<std::map<std::string, McSummary>> RunMonteCarlo(size_t trials, uint64_t seed,
+                                                               const McTrialFn& trial);
+
+}  // namespace otfair::sim
+
+#endif  // OTFAIR_SIM_MONTE_CARLO_H_

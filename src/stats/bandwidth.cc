@@ -1,0 +1,35 @@
+#include "stats/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace otfair::stats {
+
+namespace {
+// Bandwidth used when the sample carries no spread at all; keeps the KDE a
+// proper (if narrow) density instead of a delta.
+constexpr double kDegenerateBandwidth = 1e-3;
+}  // namespace
+
+double SilvermanBandwidth(const std::vector<double>& samples) {
+  OTFAIR_CHECK(!samples.empty());
+  const double n = static_cast<double>(samples.size());
+  const double sigma = StdDev(samples);
+  const double iqr = Iqr(samples);
+  double scale = std::min(sigma, iqr / 1.34);
+  if (scale <= 0.0) scale = sigma;  // robust scale collapsed
+  if (scale <= 0.0) return kDegenerateBandwidth;
+  return 0.9 * scale * std::pow(n, -0.2);
+}
+
+double ScottBandwidth(const std::vector<double>& samples) {
+  OTFAIR_CHECK(!samples.empty());
+  const double sigma = StdDev(samples);
+  if (sigma <= 0.0) return kDegenerateBandwidth;
+  return sigma * std::pow(static_cast<double>(samples.size()), -0.2);
+}
+
+}  // namespace otfair::stats

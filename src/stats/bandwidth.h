@@ -1,0 +1,26 @@
+#ifndef OTFAIR_STATS_BANDWIDTH_H_
+#define OTFAIR_STATS_BANDWIDTH_H_
+
+#include <vector>
+
+namespace otfair::stats {
+
+/// Kernel bandwidth selectors for 1-D Gaussian KDE.
+
+/// Silverman's rule of thumb (Silverman 1986, the selector prescribed by the
+/// paper, Eq. 12):
+///
+///     h = 0.9 * min(sigma_hat, IQR / 1.34) * n^(-1/5)
+///
+/// Falls back to `sigma_hat * n^(-1/5)` when the robust scale collapses
+/// (e.g. heavily duplicated data), and to a small positive constant when the
+/// sample is degenerate (all values equal), so the returned bandwidth is
+/// always strictly positive.
+double SilvermanBandwidth(const std::vector<double>& samples);
+
+/// Scott's rule: `h = sigma_hat * n^(-1/5)`; provided for ablations.
+double ScottBandwidth(const std::vector<double>& samples);
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_BANDWIDTH_H_

@@ -1,0 +1,47 @@
+#ifndef OTFAIR_STATS_DESCRIPTIVE_H_
+#define OTFAIR_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace otfair::stats {
+
+/// Descriptive statistics over a sample. All functions CHECK-fail on empty
+/// input (empty samples are contract violations at this layer; callers
+/// validate upstream).
+
+/// Arithmetic mean.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased (n-1) sample variance; 0 for n == 1.
+double Variance(const std::vector<double>& xs);
+
+/// Square root of `Variance`.
+double StdDev(const std::vector<double>& xs);
+
+/// Smallest element.
+double Min(const std::vector<double>& xs);
+
+/// Largest element.
+double Max(const std::vector<double>& xs);
+
+/// Linear-interpolation sample quantile, q in [0, 1] (type-7, the numpy
+/// default).
+double Quantile(const std::vector<double>& xs, double q);
+
+/// Median (Quantile at 0.5).
+double Median(const std::vector<double>& xs);
+
+/// Interquartile range Q3 - Q1.
+double Iqr(const std::vector<double>& xs);
+
+/// Mean and std in one pass over Monte-Carlo results.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& xs);
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_DESCRIPTIVE_H_

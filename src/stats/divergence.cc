@@ -1,0 +1,85 @@
+#include "stats/divergence.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace otfair::stats {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Validates and normalizes a pmf, applying the floor to zero states.
+Result<std::vector<double>> NormalizePmf(const std::vector<double>& p, double floor) {
+  if (p.empty()) return Status::InvalidArgument("empty pmf");
+  std::vector<double> out(p.size());
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (!(p[i] >= 0.0) || !std::isfinite(p[i]))
+      return Status::InvalidArgument("pmf entries must be non-negative and finite");
+    out[i] = p[i] < floor ? floor : p[i];
+    total += out[i];
+  }
+  if (!(total > 0.0)) return Status::InvalidArgument("pmf has zero total mass");
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace
+
+Result<double> KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                            double floor) {
+  if (p.size() != q.size()) return Status::InvalidArgument("pmf length mismatch");
+  auto pn = NormalizePmf(p, floor);
+  if (!pn.ok()) return pn.status();
+  auto qn = NormalizePmf(q, floor);
+  if (!qn.ok()) return qn.status();
+  double kl = 0.0;
+  for (size_t i = 0; i < pn->size(); ++i) {
+    const double pi = (*pn)[i];
+    const double qi = (*qn)[i];
+    if (pi > 0.0) kl += pi * std::log(pi / qi);
+  }
+  // Smoothing can leave a vanishingly small negative value; clamp.
+  return kl < 0.0 ? 0.0 : kl;
+}
+
+Result<double> SymmetrizedKl(const std::vector<double>& p, const std::vector<double>& q,
+                             double floor) {
+  auto forward = KlDivergence(p, q, floor);
+  if (!forward.ok()) return forward.status();
+  auto backward = KlDivergence(q, p, floor);
+  if (!backward.ok()) return backward.status();
+  return 0.5 * (*forward + *backward);
+}
+
+Result<double> JensenShannon(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.size() != q.size()) return Status::InvalidArgument("pmf length mismatch");
+  auto pn = NormalizePmf(p, 0.0);
+  if (!pn.ok()) return pn.status();
+  auto qn = NormalizePmf(q, 0.0);
+  if (!qn.ok()) return qn.status();
+  std::vector<double> mid(pn->size());
+  for (size_t i = 0; i < mid.size(); ++i) mid[i] = 0.5 * ((*pn)[i] + (*qn)[i]);
+  double js = 0.0;
+  for (size_t i = 0; i < mid.size(); ++i) {
+    if ((*pn)[i] > 0.0) js += 0.5 * (*pn)[i] * std::log((*pn)[i] / mid[i]);
+    if ((*qn)[i] > 0.0) js += 0.5 * (*qn)[i] * std::log((*qn)[i] / mid[i]);
+  }
+  return js < 0.0 ? 0.0 : js;
+}
+
+Result<double> TotalVariation(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.size() != q.size()) return Status::InvalidArgument("pmf length mismatch");
+  auto pn = NormalizePmf(p, 0.0);
+  if (!pn.ok()) return pn.status();
+  auto qn = NormalizePmf(q, 0.0);
+  if (!qn.ok()) return qn.status();
+  double tv = 0.0;
+  for (size_t i = 0; i < pn->size(); ++i) tv += std::fabs((*pn)[i] - (*qn)[i]);
+  return 0.5 * tv;
+}
+
+}  // namespace otfair::stats

@@ -1,0 +1,37 @@
+#ifndef OTFAIR_STATS_DIVERGENCE_H_
+#define OTFAIR_STATS_DIVERGENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace otfair::stats {
+
+/// Kullback–Leibler divergence D[p || q] between two pmfs defined on the
+/// same support (paper Def. 2.4 evaluates it between KDE-interpolated
+/// conditionals on the shared grid Q).
+///
+/// States where q == 0 but p > 0 make the divergence infinite; to keep the
+/// fairness metric finite on finite supports we floor q at `floor`
+/// (default 1e-12) and renormalize, the standard smoothing used when
+/// comparing empirical pmfs. Inputs need not be normalized; they are
+/// normalized internally. Returns InvalidArgument on length mismatch,
+/// negative entries or zero total mass.
+common::Result<double> KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                                    double floor = 1e-12);
+
+/// Symmetrized KL: (D[p||q] + D[q||p]) / 2 — the paper's s|u-dependence
+/// building block (Def. 2.4).
+common::Result<double> SymmetrizedKl(const std::vector<double>& p, const std::vector<double>& q,
+                                     double floor = 1e-12);
+
+/// Jensen–Shannon divergence (base e), a bounded alternative reported by the
+/// fairness module for diagnostics.
+common::Result<double> JensenShannon(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Total variation distance 0.5 * sum |p_i - q_i| between normalized pmfs.
+common::Result<double> TotalVariation(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_DIVERGENCE_H_

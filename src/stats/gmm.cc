@@ -1,0 +1,294 @@
+#include "stats/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace otfair::stats {
+
+using common::Matrix;
+using common::Result;
+using common::Rng;
+using common::Status;
+
+namespace {
+
+/// Log-density of a diagonal Gaussian at row `x`.
+double ComponentLogPdf(const GmmComponent& c, const double* x, size_t d) {
+  double acc = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double z2 = (x[j] - c.mean[j]) * (x[j] - c.mean[j]) / c.var[j];
+    acc += -0.5 * z2 - 0.5 * std::log(2.0 * std::numbers::pi * c.var[j]);
+  }
+  return acc;
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double x : v) hi = std::max(hi, x);
+  if (!std::isfinite(hi)) return hi;
+  double acc = 0.0;
+  for (double x : v) acc += std::exp(x - hi);
+  return hi + std::log(acc);
+}
+
+/// k-means++-style seeding: first centre uniform, later centres weighted by
+/// squared distance to the nearest existing centre.
+std::vector<size_t> SeedCentres(const Matrix& data, size_t k, Rng& rng) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  std::vector<size_t> centres;
+  centres.push_back(rng.UniformInt(n));
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  while (centres.size() < k) {
+    const double* c = data.row(centres.back());
+    for (size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const double* x = data.row(i);
+      for (size_t j = 0; j < d; ++j) acc += (x[j] - c[j]) * (x[j] - c[j]);
+      dist2[i] = std::min(dist2[i], acc);
+    }
+    double total = 0.0;
+    for (double v : dist2) total += v;
+    if (total <= 0.0) {
+      centres.push_back(rng.UniformInt(n));  // all points identical
+      continue;
+    }
+    double u = rng.Uniform() * total;
+    size_t pick = n - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += dist2[i];
+      if (u < acc) {
+        pick = i;
+        break;
+      }
+    }
+    centres.push_back(pick);
+  }
+  return centres;
+}
+
+}  // namespace
+
+Result<GaussianMixture> GaussianMixture::FitEm(const Matrix& data, size_t k, Rng& rng,
+                                               const GmmOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("empty data matrix");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (n < k) return Status::InvalidArgument("fewer rows than components");
+
+  // Global per-dimension variance for initialization and flooring.
+  std::vector<double> global_mean(d, 0.0);
+  std::vector<double> global_var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = data.row(i);
+    for (size_t j = 0; j < d; ++j) global_mean[j] += x[j];
+  }
+  for (size_t j = 0; j < d; ++j) global_mean[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = data.row(i);
+    for (size_t j = 0; j < d; ++j)
+      global_var[j] += (x[j] - global_mean[j]) * (x[j] - global_mean[j]);
+  }
+  for (size_t j = 0; j < d; ++j)
+    global_var[j] = std::max(global_var[j] / static_cast<double>(n), options.variance_floor);
+
+  // Initialize from a hard nearest-seed assignment (one k-means step).
+  // Seeding each component with the *global* covariance flattens the first
+  // E-step responsibilities and EM stalls on a saddle; cluster-local
+  // moments give it a usable gradient from iteration one.
+  std::vector<GmmComponent> comps(k);
+  const std::vector<size_t> seeds = SeedCentres(data, k, rng);
+  std::vector<size_t> assignment(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = data.row(i);
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      const double* seed = data.row(seeds[c]);
+      double dist = 0.0;
+      for (size_t j = 0; j < d; ++j) dist += (x[j] - seed[j]) * (x[j] - seed[j]);
+      if (dist < best) {
+        best = dist;
+        assignment[i] = c;
+      }
+    }
+  }
+  std::vector<size_t> cluster_sizes(k, 0);
+  for (size_t c = 0; c < k; ++c) {
+    comps[c].mean.assign(d, 0.0);
+    comps[c].var.assign(d, 0.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ++cluster_sizes[assignment[i]];
+    const double* x = data.row(i);
+    for (size_t j = 0; j < d; ++j) comps[assignment[i]].mean[j] += x[j];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (cluster_sizes[c] == 0) {
+      comps[c].mean.assign(data.row(seeds[c]), data.row(seeds[c]) + d);
+      comps[c].var = global_var;
+      comps[c].weight = 1.0 / static_cast<double>(k);
+      continue;
+    }
+    for (size_t j = 0; j < d; ++j) comps[c].mean[j] /= static_cast<double>(cluster_sizes[c]);
+    comps[c].weight = static_cast<double>(cluster_sizes[c]) / static_cast<double>(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = data.row(i);
+    GmmComponent& c = comps[assignment[i]];
+    for (size_t j = 0; j < d; ++j) c.var[j] += (x[j] - c.mean[j]) * (x[j] - c.mean[j]);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (cluster_sizes[c] == 0) continue;
+    for (size_t j = 0; j < d; ++j) {
+      comps[c].var[j] =
+          std::max(comps[c].var[j] / static_cast<double>(cluster_sizes[c]),
+                   options.variance_floor);
+    }
+  }
+
+  Matrix resp(n, k);
+  std::vector<double> logp(k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  size_t iterations = 0;
+
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    iterations = iter;
+    // E-step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = data.row(i);
+      for (size_t c = 0; c < k; ++c)
+        logp[c] = std::log(std::max(comps[c].weight, 1e-300)) + ComponentLogPdf(comps[c], x, d);
+      const double lse = LogSumExp(logp);
+      ll += lse;
+      for (size_t c = 0; c < k; ++c) resp(i, c) = std::exp(logp[c] - lse);
+    }
+    ll /= static_cast<double>(n);
+
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (size_t i = 0; i < n; ++i) nk += resp(i, c);
+      if (nk < 1e-10) {
+        // Dead component: re-seed it on a random data point with the global
+        // spread so EM can recover instead of dividing by ~zero.
+        const size_t pick = rng.UniformInt(n);
+        comps[c].mean.assign(data.row(pick), data.row(pick) + d);
+        comps[c].var = global_var;
+        comps[c].weight = 1.0 / static_cast<double>(k);
+        continue;
+      }
+      comps[c].weight = nk / static_cast<double>(n);
+      for (size_t j = 0; j < d; ++j) {
+        double m = 0.0;
+        for (size_t i = 0; i < n; ++i) m += resp(i, c) * data(i, j);
+        comps[c].mean[j] = m / nk;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        double v = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double dlt = data(i, j) - comps[c].mean[j];
+          v += resp(i, c) * dlt * dlt;
+        }
+        comps[c].var[j] = std::max(v / nk, options.variance_floor);
+      }
+    }
+
+    if (std::fabs(ll - prev_ll) < options.tolerance) break;
+    prev_ll = ll;
+  }
+
+  GaussianMixture model(std::move(comps));
+  model.em_iterations_ = iterations;
+  return model;
+}
+
+Result<GaussianMixture> GaussianMixture::FitSupervised(const Matrix& data,
+                                                       const std::vector<size_t>& labels, size_t k,
+                                                       double variance_floor) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("empty data matrix");
+  if (labels.size() != n) return Status::InvalidArgument("labels length mismatch");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+
+  std::vector<GmmComponent> comps(k);
+  std::vector<size_t> counts(k, 0);
+  for (size_t c = 0; c < k; ++c) {
+    comps[c].mean.assign(d, 0.0);
+    comps[c].var.assign(d, 0.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] >= k) return Status::InvalidArgument("label out of range");
+    ++counts[labels[i]];
+    const double* x = data.row(i);
+    for (size_t j = 0; j < d; ++j) comps[labels[i]].mean[j] += x[j];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) return Status::InvalidArgument("empty class in supervised GMM fit");
+    for (size_t j = 0; j < d; ++j) comps[c].mean[j] /= static_cast<double>(counts[c]);
+    comps[c].weight = static_cast<double>(counts[c]) / static_cast<double>(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = data.row(i);
+    GmmComponent& c = comps[labels[i]];
+    for (size_t j = 0; j < d; ++j) c.var[j] += (x[j] - c.mean[j]) * (x[j] - c.mean[j]);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t j = 0; j < d; ++j)
+      comps[c].var[j] = std::max(comps[c].var[j] / static_cast<double>(counts[c]), variance_floor);
+  }
+  return GaussianMixture(std::move(comps));
+}
+
+double GaussianMixture::LogDensity(const std::vector<double>& x) const {
+  OTFAIR_CHECK_EQ(x.size(), dim());
+  std::vector<double> logp(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    logp[c] = std::log(std::max(components_[c].weight, 1e-300)) +
+              ComponentLogPdf(components_[c], x.data(), x.size());
+  }
+  return LogSumExp(logp);
+}
+
+std::vector<double> GaussianMixture::Responsibilities(const std::vector<double>& x) const {
+  OTFAIR_CHECK_EQ(x.size(), dim());
+  std::vector<double> logp(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    logp[c] = std::log(std::max(components_[c].weight, 1e-300)) +
+              ComponentLogPdf(components_[c], x.data(), x.size());
+  }
+  const double lse = LogSumExp(logp);
+  std::vector<double> resp(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) resp[c] = std::exp(logp[c] - lse);
+  return resp;
+}
+
+size_t GaussianMixture::Classify(const std::vector<double>& x) const {
+  const std::vector<double> resp = Responsibilities(x);
+  size_t best = 0;
+  for (size_t c = 1; c < resp.size(); ++c) {
+    if (resp[c] > resp[best]) best = c;
+  }
+  return best;
+}
+
+double GaussianMixture::MeanLogLikelihood(const Matrix& data) const {
+  OTFAIR_CHECK_GT(data.rows(), 0u);
+  double acc = 0.0;
+  std::vector<double> x(data.cols());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    x.assign(data.row(i), data.row(i) + data.cols());
+    acc += LogDensity(x);
+  }
+  return acc / static_cast<double>(data.rows());
+}
+
+}  // namespace otfair::stats

@@ -1,0 +1,80 @@
+#ifndef OTFAIR_STATS_GMM_H_
+#define OTFAIR_STATS_GMM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace otfair::stats {
+
+/// One diagonal-covariance Gaussian mixture component.
+struct GmmComponent {
+  std::vector<double> mean;
+  std::vector<double> var;  // per-dimension variances (diagonal covariance)
+  double weight = 0.0;
+};
+
+/// Options for EM fitting.
+struct GmmOptions {
+  size_t max_iterations = 200;
+  /// Stop when the per-sample log-likelihood improves by less than this.
+  double tolerance = 1e-6;
+  /// Variance floor guarding against component collapse.
+  double variance_floor = 1e-6;
+};
+
+/// Diagonal-covariance Gaussian mixture model over d-dimensional rows.
+///
+/// Two fitting paths:
+///  * `FitEm` — unsupervised EM from a k-means++-style seeding. This is the
+///    "standard method" (paper §IV, ref. [27]) for identifying the
+///    u-conditional mixture F(x|u) = sum_s F(x|s,u) Pr[s|u] (Eq. 10) when
+///    archival s-labels are missing.
+///  * `FitSupervised` — closed-form per-class Gaussians from labelled data
+///    (diagonal QDA); used by core::LabelEstimator to seed/compare.
+///
+/// `Classify` performs the MAP component assignment that produces the
+/// s_hat|u labels consumed by Algorithm 2.
+class GaussianMixture {
+ public:
+  static common::Result<GaussianMixture> FitEm(const common::Matrix& data, size_t k,
+                                               common::Rng& rng, const GmmOptions& options = {});
+
+  /// `labels[i]` in [0, k); every class must be non-empty.
+  static common::Result<GaussianMixture> FitSupervised(const common::Matrix& data,
+                                                       const std::vector<size_t>& labels, size_t k,
+                                                       double variance_floor = 1e-6);
+
+  size_t num_components() const { return components_.size(); }
+  size_t dim() const { return components_.empty() ? 0 : components_[0].mean.size(); }
+  const std::vector<GmmComponent>& components() const { return components_; }
+
+  /// Log of the mixture density at `x` (length dim()).
+  double LogDensity(const std::vector<double>& x) const;
+
+  /// Posterior responsibilities p(component | x), length num_components().
+  std::vector<double> Responsibilities(const std::vector<double>& x) const;
+
+  /// MAP component index for `x`.
+  size_t Classify(const std::vector<double>& x) const;
+
+  /// Mean per-row log-likelihood over a data matrix.
+  double MeanLogLikelihood(const common::Matrix& data) const;
+
+  /// Final EM iteration count (0 for supervised fits).
+  size_t em_iterations() const { return em_iterations_; }
+
+ private:
+  explicit GaussianMixture(std::vector<GmmComponent> components)
+      : components_(std::move(components)) {}
+
+  std::vector<GmmComponent> components_;
+  size_t em_iterations_ = 0;
+};
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_GMM_H_

@@ -1,0 +1,63 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "stats/descriptive.h"
+
+namespace otfair::stats {
+
+using common::Result;
+using common::Status;
+
+Result<UniformHistogram> UniformHistogram::Build(const std::vector<double>& samples,
+                                                 size_t num_bins, double lo, double hi) {
+  if (samples.empty()) return Status::InvalidArgument("empty sample");
+  if (num_bins == 0) return Status::InvalidArgument("num_bins must be positive");
+  if (!(hi > lo)) return Status::InvalidArgument("hi must exceed lo");
+  std::vector<size_t> counts(num_bins, 0);
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (double x : samples) {
+    if (!std::isfinite(x)) return Status::InvalidArgument("samples must be finite");
+    long bin = static_cast<long>(std::floor((x - lo) / width));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(num_bins) - 1);
+    ++counts[static_cast<size_t>(bin)];
+  }
+  return UniformHistogram(std::move(counts), lo, hi, samples.size());
+}
+
+Result<UniformHistogram> UniformHistogram::BuildAuto(const std::vector<double>& samples,
+                                                     size_t num_bins) {
+  if (samples.empty()) return Status::InvalidArgument("empty sample");
+  double lo = Min(samples);
+  double hi = Max(samples);
+  if (!(hi > lo)) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  return Build(samples, num_bins, lo, hi);
+}
+
+double UniformHistogram::BinCenter(size_t b) const {
+  OTFAIR_CHECK_LT(b, counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * bin_width();
+}
+
+std::vector<double> UniformHistogram::Pmf() const {
+  std::vector<double> pmf(counts_.size());
+  for (size_t b = 0; b < counts_.size(); ++b)
+    pmf[b] = static_cast<double>(counts_[b]) / static_cast<double>(total_);
+  return pmf;
+}
+
+double UniformHistogram::Density(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  long bin = static_cast<long>(std::floor((x - lo_) / bin_width()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  return static_cast<double>(counts_[static_cast<size_t>(bin)]) /
+         (static_cast<double>(total_) * bin_width());
+}
+
+}  // namespace otfair::stats

@@ -1,0 +1,54 @@
+#ifndef OTFAIR_STATS_HISTOGRAM_H_
+#define OTFAIR_STATS_HISTOGRAM_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace otfair::stats {
+
+/// Fixed-width histogram over [lo, hi] with `num_bins` equal bins.
+///
+/// Serves as the non-smoothed alternative to KDE when estimating marginal
+/// pmfs (used in ablation benchmarks comparing marginal estimators), and as
+/// a goodness-of-fit utility in tests.
+class UniformHistogram {
+ public:
+  /// Builds a histogram; values outside [lo, hi] are clamped to the end
+  /// bins. Requires hi > lo and num_bins >= 1.
+  static common::Result<UniformHistogram> Build(const std::vector<double>& samples,
+                                                size_t num_bins, double lo, double hi);
+
+  /// Builds over the sample range (expanded slightly when degenerate).
+  static common::Result<UniformHistogram> BuildAuto(const std::vector<double>& samples,
+                                                    size_t num_bins);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return (hi_ - lo_) / static_cast<double>(counts_.size()); }
+  const std::vector<size_t>& counts() const { return counts_; }
+  size_t total_count() const { return total_; }
+
+  /// Centre of bin b.
+  double BinCenter(size_t b) const;
+
+  /// Normalized pmf over the bins.
+  std::vector<double> Pmf() const;
+
+  /// Density estimate (pmf / bin_width) at x; 0 outside [lo, hi].
+  double Density(double x) const;
+
+ private:
+  UniformHistogram(std::vector<size_t> counts, double lo, double hi, size_t total)
+      : counts_(std::move(counts)), lo_(lo), hi_(hi), total_(total) {}
+
+  std::vector<size_t> counts_;
+  double lo_;
+  double hi_;
+  size_t total_;
+};
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_HISTOGRAM_H_

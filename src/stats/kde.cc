@@ -1,0 +1,58 @@
+#include "stats/kde.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/status.h"
+#include "stats/bandwidth.h"
+
+namespace otfair::stats {
+
+using common::Result;
+using common::Status;
+
+Result<GaussianKde> GaussianKde::Fit(std::vector<double> samples, double bandwidth) {
+  if (samples.empty()) return Status::InvalidArgument("KDE needs at least one sample");
+  if (!(bandwidth > 0.0)) return Status::InvalidArgument("bandwidth must be positive");
+  for (double x : samples) {
+    if (!std::isfinite(x)) return Status::InvalidArgument("KDE samples must be finite");
+  }
+  return GaussianKde(std::move(samples), bandwidth);
+}
+
+Result<GaussianKde> GaussianKde::FitSilverman(std::vector<double> samples) {
+  if (samples.empty()) return Status::InvalidArgument("KDE needs at least one sample");
+  const double h = SilvermanBandwidth(samples);
+  return Fit(std::move(samples), h);
+}
+
+double GaussianKde::Evaluate(double x) const {
+  const double inv_h = 1.0 / bandwidth_;
+  double acc = 0.0;
+  for (double xi : samples_) {
+    const double z = (x - xi) * inv_h;
+    acc += std::exp(-0.5 * z * z);
+  }
+  const double norm =
+      1.0 / (static_cast<double>(samples_.size()) * bandwidth_ * std::sqrt(2.0 * std::numbers::pi));
+  return acc * norm;
+}
+
+std::vector<double> GaussianKde::EvaluateOnGrid(const std::vector<double>& grid) const {
+  std::vector<double> out(grid.size());
+  for (size_t q = 0; q < grid.size(); ++q) out[q] = Evaluate(grid[q]);
+  return out;
+}
+
+Result<std::vector<double>> GaussianKde::PmfOnGrid(const std::vector<double>& grid) const {
+  if (grid.empty()) return Status::InvalidArgument("empty grid");
+  std::vector<double> pmf = EvaluateOnGrid(grid);
+  double total = 0.0;
+  for (double p : pmf) total += p;
+  if (!(total > 0.0))
+    return Status::InvalidArgument("KDE mass underflowed on grid (grid outside data range?)");
+  for (double& p : pmf) p /= total;
+  return pmf;
+}
+
+}  // namespace otfair::stats

@@ -1,0 +1,62 @@
+#include "stats/normal.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace otfair::stats {
+
+double NormalPdf(double x, double mean, double sd) {
+  OTFAIR_CHECK_GT(sd, 0.0);
+  const double z = (x - mean) / sd;
+  return std::exp(-0.5 * z * z) / (sd * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double NormalLogPdf(double x, double mean, double sd) {
+  OTFAIR_CHECK_GT(sd, 0.0);
+  const double z = (x - mean) / sd;
+  return -0.5 * z * z - std::log(sd) - 0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double NormalCdf(double x, double mean, double sd) {
+  OTFAIR_CHECK_GT(sd, 0.0);
+  return 0.5 * std::erfc(-(x - mean) / (sd * std::numbers::sqrt2));
+}
+
+double NormalQuantile(double q) {
+  OTFAIR_CHECK(q > 0.0 && q < 1.0);
+  // Acklam's algorithm: rational approximations on central and tail
+  // regions.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1.0 - plow;
+  double x;
+  if (q < plow) {
+    const double u = std::sqrt(-2.0 * std::log(q));
+    x = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (q > phigh) {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - q));
+    x = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else {
+    const double u = q - 0.5;
+    const double r = u * u;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  return x;
+}
+
+}  // namespace otfair::stats

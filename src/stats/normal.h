@@ -1,0 +1,23 @@
+#ifndef OTFAIR_STATS_NORMAL_H_
+#define OTFAIR_STATS_NORMAL_H_
+
+namespace otfair::stats {
+
+/// Standard-normal and general Gaussian density utilities.
+
+/// Density of N(mean, sd^2) at x; sd must be > 0.
+double NormalPdf(double x, double mean = 0.0, double sd = 1.0);
+
+/// Log-density of N(mean, sd^2) at x; sd must be > 0.
+double NormalLogPdf(double x, double mean = 0.0, double sd = 1.0);
+
+/// CDF of N(mean, sd^2) at x via erf.
+double NormalCdf(double x, double mean = 0.0, double sd = 1.0);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |error| <
+/// 1.2e-9); q must lie in (0, 1).
+double NormalQuantile(double q);
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_NORMAL_H_

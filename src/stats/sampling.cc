@@ -1,0 +1,74 @@
+#include "stats/sampling.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace otfair::stats {
+
+using common::Result;
+using common::Rng;
+using common::Status;
+
+Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
+  if (weights.empty()) return Status::InvalidArgument("empty weight vector");
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w))
+      return Status::InvalidArgument("weights must be non-negative and finite");
+    total += w;
+  }
+  if (!(total > 0.0)) return Status::InvalidArgument("weights must not all be zero");
+
+  std::vector<double> pmf(n);
+  for (size_t i = 0; i < n; ++i) pmf[i] = weights[i] / total;
+
+  // Vose's stable construction: partition scaled probabilities into
+  // "small" (< 1) and "large" (>= 1) worklists and pair them off.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = pmf[i] * static_cast<double>(n);
+  std::vector<size_t> small;
+  std::vector<size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  std::vector<double> prob(n, 1.0);
+  std::vector<size_t> alias(n, 0);
+  for (size_t i = 0; i < n; ++i) alias[i] = i;
+
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are numerically 1.
+  for (size_t s : small) prob[s] = 1.0;
+  for (size_t l : large) prob[l] = 1.0;
+
+  return AliasTable(std::move(prob), std::move(alias), std::move(pmf));
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t bucket = static_cast<size_t>(rng.UniformInt(prob_.size()));
+  return rng.Bernoulli(prob_[bucket]) ? bucket : alias_[bucket];
+}
+
+double AliasTable::Probability(size_t i) const { return i < pmf_.size() ? pmf_[i] : 0.0; }
+
+std::vector<size_t> SampleCategorical(const std::vector<double>& weights, size_t n, Rng& rng) {
+  std::vector<size_t> out;
+  out.reserve(n);
+  for (size_t k = 0; k < n; ++k) out.push_back(rng.Categorical(weights));
+  return out;
+}
+
+}  // namespace otfair::stats

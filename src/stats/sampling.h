@@ -1,0 +1,49 @@
+#ifndef OTFAIR_STATS_SAMPLING_H_
+#define OTFAIR_STATS_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace otfair::stats {
+
+/// Walker/Vose alias table for O(1) categorical sampling.
+///
+/// Algorithm 2 of the paper draws, for every archival record, one state from
+/// the normalized row of an OT plan (Eq. 15). With torrents of archival
+/// data that draw dominates repair cost, so the repairer precomputes one
+/// alias table per plan row: O(n_Q) setup once, O(1) per record thereafter.
+class AliasTable {
+ public:
+  /// Builds a table from unnormalized, non-negative weights (at least one
+  /// strictly positive).
+  static common::Result<AliasTable> Build(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to the
+  /// original weights. Consumes one uniform and one Bernoulli from `rng`.
+  size_t Sample(common::Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Reconstructed sampling probability of index i (for tests).
+  double Probability(size_t i) const;
+
+ private:
+  AliasTable(std::vector<double> prob, std::vector<size_t> alias, std::vector<double> pmf)
+      : prob_(std::move(prob)), alias_(std::move(alias)), pmf_(std::move(pmf)) {}
+
+  std::vector<double> prob_;    // acceptance probability per bucket
+  std::vector<size_t> alias_;   // fallback index per bucket
+  std::vector<double> pmf_;     // normalized input, kept for Probability()
+};
+
+/// Draws `n` indices from the pmf by inverse CDF (reference implementation
+/// used to cross-check AliasTable in tests).
+std::vector<size_t> SampleCategorical(const std::vector<double>& weights, size_t n,
+                                      common::Rng& rng);
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_SAMPLING_H_

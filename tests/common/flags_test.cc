@@ -1,0 +1,86 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace otfair::common {
+namespace {
+
+FlagParser MakeParser(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags = MakeParser({"--trials=200", "--seed=42"});
+  EXPECT_EQ(flags.GetInt("trials", 0), 200);
+  EXPECT_EQ(flags.GetUint64("seed", 0), 42u);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser flags = MakeParser({"--name", "adult"});
+  EXPECT_EQ(flags.GetString("name", ""), "adult");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagParser flags = MakeParser({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+}
+
+TEST(FlagsTest, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(MakeParser({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(MakeParser({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(MakeParser({"--x=yes"}).GetBool("x", false));
+  EXPECT_FALSE(MakeParser({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(MakeParser({"--x=0"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  FlagParser flags = MakeParser({});
+  EXPECT_EQ(flags.GetInt("trials", 50), 50);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.05), 0.05);
+  EXPECT_EQ(flags.GetString("name", "default"), "default");
+  EXPECT_FALSE(flags.Has("trials"));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  FlagParser flags = MakeParser({"--t=0.75"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("t", 0.0), 0.75);
+}
+
+TEST(FlagsTest, IntListParsing) {
+  FlagParser flags = MakeParser({"--sizes=25,50,100"});
+  EXPECT_EQ(flags.GetIntList("sizes", {}), (std::vector<int>{25, 50, 100}));
+}
+
+TEST(FlagsTest, IntListDefault) {
+  FlagParser flags = MakeParser({});
+  EXPECT_EQ(flags.GetIntList("sizes", {5, 10}), (std::vector<int>{5, 10}));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagParser flags = MakeParser({"input.csv", "--n=3", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, ValidateAcceptsKnownFlags) {
+  FlagParser flags = MakeParser({"--trials=5", "--seed=1"});
+  EXPECT_TRUE(flags.Validate({"trials", "seed", "unused"}).ok());
+}
+
+TEST(FlagsTest, ValidateRejectsUnknownFlags) {
+  FlagParser flags = MakeParser({"--trails=5"});  // typo
+  Status status = flags.Validate({"trials"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("trails"), std::string::npos);
+}
+
+TEST(FlagsTest, ProgramNameCaptured) {
+  FlagParser flags = MakeParser({});
+  EXPECT_EQ(flags.program_name(), "prog");
+}
+
+}  // namespace
+}  // namespace otfair::common

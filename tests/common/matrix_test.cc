@@ -1,0 +1,120 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace otfair::common {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(MatrixTest, FillValueConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+  EXPECT_EQ(m.Sum(), 30.0);
+}
+
+TEST(MatrixTest, FromRowsRoundTrip) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(MatrixTest, IdentityDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id.Sum(), 3.0);
+  EXPECT_EQ(id(1, 1), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAndColSums) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.RowSums(), (std::vector<double>{3, 7}));
+  EXPECT_EQ(m.ColSums(), (std::vector<double>{4, 6}));
+}
+
+TEST(MatrixTest, RowAndColVectors) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.RowVector(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.ColVector(0), (std::vector<double>{1, 3}));
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix m = Matrix::FromRows({{1, -9}, {3, 4}});
+  EXPECT_EQ(m.MaxAbs(), 9.0);
+}
+
+TEST(MatrixTest, FrobeniusDot) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  EXPECT_EQ(a.Dot(b), 5.0 + 12.0 + 21.0 + 32.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t(0, 0), 1.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix p = a.Multiply(b);
+  EXPECT_EQ(p(0, 0), 19.0);
+  EXPECT_EQ(p(0, 1), 22.0);
+  EXPECT_EQ(p(1, 0), 43.0);
+  EXPECT_EQ(p(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix p = a.Multiply(Matrix::Identity(2));
+  EXPECT_EQ(p.MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, ScaleInPlace) {
+  Matrix m = Matrix::FromRows({{1, 2}});
+  m.Scale(3.0);
+  EXPECT_EQ(m(0, 1), 6.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{1.5, 1}});
+  EXPECT_EQ(a.MaxAbsDiff(b), 1.0);
+}
+
+TEST(MatrixTest, RowPointerWritable) {
+  Matrix m(2, 2);
+  m.row(1)[0] = 9.0;
+  EXPECT_EQ(m(1, 0), 9.0);
+}
+
+TEST(MatrixTest, ToStringContainsValues) {
+  Matrix m = Matrix::FromRows({{1.25, 2.5}});
+  const std::string s = m.ToString(2);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+}
+
+TEST(MatrixDeathTest, RaggedFromRowsAborts) {
+  EXPECT_DEATH(Matrix::FromRows({{1, 2}, {3}}), "ragged");
+}
+
+}  // namespace
+}  // namespace otfair::common

@@ -1,0 +1,83 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace otfair::common {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(err.value_or(-1), -1);
+  Result<int> ok(7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r.value().push_back(3);
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacroExtractsValue) {
+  auto inner = []() -> Result<int> { return 10; };
+  auto outer = [&]() -> Result<int> {
+    OTFAIR_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  auto result = outer();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 20);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::IoError("disk"); };
+  auto outer = [&]() -> Result<int> {
+    OTFAIR_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  auto result = outer();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::Internal("bad"));
+  EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+TEST(ResultDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH(Result<int>{Status::Ok()}, "OK status");
+}
+
+}  // namespace
+}  // namespace otfair::common

@@ -1,0 +1,65 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace otfair::common {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyTokens) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  const std::vector<std::string> tokens = {"x", "y", "z"};
+  EXPECT_EQ(Join(tokens, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(tokens, ","), ','), tokens);
+}
+
+TEST(StringUtilTest, JoinEmpty) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-flag", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 2.5), "2.50");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  const std::string long_str(500, 'x');
+  EXPECT_EQ(StrFormat("%s", long_str.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace otfair::common

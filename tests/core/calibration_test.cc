@@ -1,0 +1,126 @@
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::core {
+namespace {
+
+data::Dataset Simulated(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  auto d = sim::SimulateGaussianMixture(n, sim::GaussianSimConfig::PaperDefault(), rng);
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+TEST(SufficiencyTest, LargeResearchSetSufficient) {
+  data::Dataset research = Simulated(4000, 1);
+  auto verdict = CheckResearchSufficiency(research);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->sufficient) << "worst=" << verdict->worst_instability << " at "
+                                   << verdict->worst_channel;
+}
+
+TEST(SufficiencyTest, TinyResearchSetInsufficient) {
+  data::Dataset research = Simulated(60, 2);
+  auto verdict = CheckResearchSufficiency(research);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(verdict->sufficient);
+  EXPECT_GT(verdict->worst_instability, 0.05);
+  EXPECT_FALSE(verdict->worst_channel.empty());
+}
+
+TEST(SufficiencyTest, InstabilityDecreasesWithData) {
+  data::Dataset small = Simulated(150, 3);
+  data::Dataset large = Simulated(6000, 3);
+  auto v_small = CheckResearchSufficiency(small);
+  auto v_large = CheckResearchSufficiency(large);
+  ASSERT_TRUE(v_small.ok() && v_large.ok());
+  EXPECT_GT(v_small->worst_instability, 2.0 * v_large->worst_instability);
+}
+
+TEST(SufficiencyTest, PerChannelVectorShape) {
+  data::Dataset research = Simulated(1000, 4);
+  auto verdict = CheckResearchSufficiency(research);
+  ASSERT_TRUE(verdict.ok());
+  // 2 u-strata x 2 s-classes x 2 features.
+  EXPECT_EQ(verdict->instability.size(), 8u);
+  for (double v : verdict->instability) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SufficiencyTest, DeterministicGivenSeed) {
+  data::Dataset research = Simulated(500, 5);
+  auto a = CheckResearchSufficiency(research);
+  auto b = CheckResearchSufficiency(research);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->worst_instability, b->worst_instability);
+}
+
+TEST(SufficiencyTest, RejectsBadOptions) {
+  data::Dataset research = Simulated(100, 6);
+  SufficiencyOptions options;
+  options.splits = 0;
+  EXPECT_FALSE(CheckResearchSufficiency(research, options).ok());
+  options.splits = 4;
+  options.threshold = 0.0;
+  EXPECT_FALSE(CheckResearchSufficiency(research, options).ok());
+}
+
+TEST(ResolutionTest, SelectsModerateResolutionForGaussians) {
+  // The paper finds n_Q ~ 30 suffices for these channels; the automatic
+  // rule should land in the same regime (within the doubling ladder).
+  data::Dataset research = Simulated(1000, 7);
+  auto n_q = SelectSupportResolution(research);
+  ASSERT_TRUE(n_q.ok());
+  EXPECT_GE(*n_q, 10u);
+  EXPECT_LE(*n_q, 160u);
+}
+
+TEST(ResolutionTest, TighterToleranceNeedsMoreStates) {
+  data::Dataset research = Simulated(1500, 8);
+  ResolutionOptions loose;
+  loose.tolerance = 0.05;
+  ResolutionOptions tight;
+  tight.tolerance = 0.002;
+  auto coarse = SelectSupportResolution(research, loose);
+  auto fine = SelectSupportResolution(research, tight);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_LE(*coarse, *fine);
+}
+
+TEST(ResolutionTest, RespectsBounds) {
+  data::Dataset research = Simulated(500, 9);
+  ResolutionOptions options;
+  options.min_n_q = 8;
+  options.max_n_q = 16;
+  options.tolerance = 1e-9;  // never met -> capped at max
+  auto n_q = SelectSupportResolution(research, options);
+  ASSERT_TRUE(n_q.ok());
+  EXPECT_EQ(*n_q, 16u);
+}
+
+TEST(ResolutionTest, RejectsBadOptions) {
+  data::Dataset research = Simulated(200, 10);
+  ResolutionOptions options;
+  options.min_n_q = 1;
+  EXPECT_FALSE(SelectSupportResolution(research, options).ok());
+  options.min_n_q = 32;
+  options.max_n_q = 16;
+  EXPECT_FALSE(SelectSupportResolution(research, options).ok());
+}
+
+TEST(ResolutionTest, FailsCleanlyOnMissingGroup) {
+  common::Matrix features = common::Matrix::FromRows({{0.0}, {1.0}, {2.0}, {3.0}});
+  auto d = data::Dataset::Create(std::move(features), {1, 1, 1, 1}, {0, 0, 1, 1}, {"x"});
+  ASSERT_TRUE(d.ok());
+  auto n_q = SelectSupportResolution(*d);
+  EXPECT_FALSE(n_q.ok());
+}
+
+}  // namespace
+}  // namespace otfair::core

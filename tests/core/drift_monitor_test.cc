@@ -1,0 +1,139 @@
+#include "core/drift_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/designer.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::core {
+namespace {
+
+struct Fixture {
+  data::Dataset research;
+  RepairPlanSet plans;
+  sim::GaussianSimConfig config;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Fixture fx;
+  fx.config = sim::GaussianSimConfig::PaperDefault();
+  common::Rng rng(seed);
+  auto research = sim::SimulateGaussianMixture(1000, fx.config, rng);
+  EXPECT_TRUE(research.ok());
+  fx.research = std::move(*research);
+  auto plans = DesignDistributionalRepair(fx.research, {});
+  EXPECT_TRUE(plans.ok());
+  fx.plans = std::move(*plans);
+  return fx;
+}
+
+/// Streams `n` draws from the configured mixture (optionally shifted) into
+/// the monitor.
+void StreamMixture(DriftMonitor& monitor, const sim::GaussianSimConfig& config, size_t n,
+                   double shift, common::Rng& rng) {
+  for (size_t i = 0; i < n; ++i) {
+    const int u = rng.Bernoulli(config.pr_u0) ? 0 : 1;
+    const double pr_s0 = (u == 0) ? config.pr_s0_given_u0 : config.pr_s0_given_u1;
+    const int s = rng.Bernoulli(pr_s0) ? 0 : 1;
+    for (size_t k = 0; k < 2; ++k) {
+      monitor.Observe(u, s, k, rng.Normal(config.mean[u][s][k] + shift, config.sigma));
+    }
+  }
+}
+
+TEST(DriftMonitorTest, StationaryStreamNotFlagged) {
+  Fixture fx = MakeFixture(1);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  common::Rng rng(2);
+  StreamMixture(*monitor, fx.config, 20000, 0.0, rng);
+  const DriftReport report = monitor->Report();
+  EXPECT_FALSE(report.drifted) << report.ToString();
+  EXPECT_LT(report.worst_w1, 0.1);
+}
+
+TEST(DriftMonitorTest, ShiftedStreamFlagged) {
+  Fixture fx = MakeFixture(3);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  common::Rng rng(4);
+  StreamMixture(*monitor, fx.config, 20000, 1.5, rng);  // 1.5 sigma shift
+  const DriftReport report = monitor->Report();
+  EXPECT_TRUE(report.drifted) << report.ToString();
+  EXPECT_GT(report.worst_w1, 0.1);
+}
+
+TEST(DriftMonitorTest, OutOfRangeRateDetected) {
+  Fixture fx = MakeFixture(5);
+  DriftMonitorOptions options;
+  options.w1_threshold = 10.0;  // isolate the out-of-range signal
+  auto monitor = DriftMonitor::Create(fx.plans, options);
+  ASSERT_TRUE(monitor.ok());
+  common::Rng rng(6);
+  StreamMixture(*monitor, fx.config, 5000, 6.0, rng);  // way outside the grid
+  const DriftReport report = monitor->Report();
+  EXPECT_TRUE(report.drifted);
+  EXPECT_GT(report.worst_out_of_range, 0.05);
+}
+
+TEST(DriftMonitorTest, SmallCountsNotJudged) {
+  Fixture fx = MakeFixture(7);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  // A handful of wildly shifted values must not trip the alarm yet.
+  for (int i = 0; i < 20; ++i) monitor->Observe(0, 0, 0, 100.0);
+  EXPECT_FALSE(monitor->Report().drifted);
+}
+
+TEST(DriftMonitorTest, PerChannelBreakdownExposed) {
+  Fixture fx = MakeFixture(8);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  common::Rng rng(9);
+  // Drift only channel (u=0, s=0, k=1).
+  for (int i = 0; i < 5000; ++i) {
+    monitor->Observe(0, 0, 0, rng.Normal(-1.0, 1.0));         // on-distribution
+    monitor->Observe(0, 0, 1, rng.Normal(-1.0 + 2.0, 1.0));   // shifted
+  }
+  const DriftReport report = monitor->Report();
+  double drifted_w1 = -1.0;
+  double clean_w1 = -1.0;
+  for (const ChannelDrift& c : report.channels) {
+    if (c.u == 0 && c.s == 0 && c.k == 1) drifted_w1 = c.w1_normalized;
+    if (c.u == 0 && c.s == 0 && c.k == 0) clean_w1 = c.w1_normalized;
+  }
+  EXPECT_GT(drifted_w1, 3.0 * clean_w1);
+}
+
+TEST(DriftMonitorTest, ResetClearsState) {
+  Fixture fx = MakeFixture(10);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  common::Rng rng(11);
+  StreamMixture(*monitor, fx.config, 5000, 2.0, rng);
+  EXPECT_TRUE(monitor->Report().drifted);
+  monitor->Reset();
+  const DriftReport report = monitor->Report();
+  EXPECT_FALSE(report.drifted);
+  for (const ChannelDrift& c : report.channels) EXPECT_EQ(c.count, 0u);
+}
+
+TEST(DriftMonitorTest, ReportRendering) {
+  Fixture fx = MakeFixture(12);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  const std::string text = monitor->Report().ToString();
+  EXPECT_NE(text.find("stationary"), std::string::npos);
+  EXPECT_NE(text.find("(u=0, s=0, k=0)"), std::string::npos);
+}
+
+TEST(DriftMonitorTest, RejectsBadOptions) {
+  Fixture fx = MakeFixture(13);
+  DriftMonitorOptions options;
+  options.min_count = 0;
+  EXPECT_FALSE(DriftMonitor::Create(fx.plans, options).ok());
+}
+
+}  // namespace
+}  // namespace otfair::core

@@ -1,0 +1,113 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fairness/emetric.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::core {
+namespace {
+
+struct Data {
+  data::Dataset research;
+  data::Dataset archive;
+};
+
+Data MakeData(uint64_t seed, size_t n_research = 500, size_t n_archive = 3000) {
+  common::Rng rng(seed);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(n_research, config, rng);
+  auto archive = sim::SimulateGaussianMixture(n_archive, config, rng);
+  EXPECT_TRUE(research.ok() && archive.ok());
+  return Data{std::move(*research), std::move(*archive)};
+}
+
+TEST(PipelineTest, EndToEndRepairsBothSets) {
+  Data d = MakeData(1);
+  auto result = RunRepairPipeline(d.research, d.archive, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired_research.size(), d.research.size());
+  EXPECT_EQ(result->repaired_archive.size(), d.archive.size());
+  EXPECT_FALSE(result->label_estimate_accuracy.has_value());
+
+  auto e_res_before = fairness::AggregateE(d.research);
+  auto e_res_after = fairness::AggregateE(result->repaired_research);
+  auto e_arc_before = fairness::AggregateE(d.archive);
+  auto e_arc_after = fairness::AggregateE(result->repaired_archive);
+  ASSERT_TRUE(e_res_before.ok() && e_res_after.ok() && e_arc_before.ok() && e_arc_after.ok());
+  EXPECT_LT(*e_res_after, *e_res_before / 5.0);
+  EXPECT_LT(*e_arc_after, *e_arc_before / 5.0);
+}
+
+TEST(PipelineTest, StatsAccumulateAcrossBothRepairs) {
+  Data d = MakeData(2, 300, 700);
+  auto result = RunRepairPipeline(d.research, d.archive, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.values_repaired,
+            (d.research.size() + d.archive.size()) * d.research.dim());
+}
+
+TEST(PipelineTest, LabelEstimationModeReportsAccuracy) {
+  Data d = MakeData(3, 1500, 3000);
+  PipelineOptions options;
+  options.estimate_archive_labels = true;
+  auto result = RunRepairPipeline(d.research, d.archive, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->label_estimate_accuracy.has_value());
+  EXPECT_GT(*result->label_estimate_accuracy, 0.6);
+  EXPECT_LE(*result->label_estimate_accuracy, 1.0);
+}
+
+TEST(PipelineTest, LabelEstimationStillRepairs) {
+  Data d = MakeData(4, 1500, 4000);
+  PipelineOptions options;
+  options.estimate_archive_labels = true;
+  auto result = RunRepairPipeline(d.research, d.archive, options);
+  ASSERT_TRUE(result.ok());
+  auto before = fairness::AggregateE(d.archive);
+  auto after = fairness::AggregateE(result->repaired_archive);
+  ASSERT_TRUE(before.ok() && after.ok());
+  // Label noise costs repair quality (the paper's config has overlapping
+  // components, so s_hat is ~70-75% accurate); the repair must still help
+  // clearly. Paper §VI assumes labels "estimated with low error" for the
+  // full effect.
+  EXPECT_LT(*after, *before * 0.75);
+}
+
+TEST(PipelineTest, CustomDesignOptionsFlowThrough) {
+  Data d = MakeData(5, 400, 400);
+  PipelineOptions options;
+  options.design.n_q = 17;
+  options.design.target_t = 0.25;
+  auto result = RunRepairPipeline(d.research, d.archive, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plans.At(0, 0).grid.size(), 17u);
+  EXPECT_DOUBLE_EQ(result->plans.target_t(), 0.25);
+}
+
+TEST(PipelineTest, RejectsDimensionMismatch) {
+  Data d = MakeData(6, 200, 200);
+  common::Matrix features = common::Matrix::FromRows({{0.0}, {1.0}});
+  auto one_dim = data::Dataset::Create(std::move(features), {0, 1}, {0, 1}, {"x"});
+  ASSERT_TRUE(one_dim.ok());
+  EXPECT_FALSE(RunRepairPipeline(d.research, *one_dim, {}).ok());
+}
+
+TEST(PipelineTest, DeterministicGivenSeeds) {
+  Data d = MakeData(7, 300, 500);
+  PipelineOptions options;
+  options.repair.seed = 99;
+  auto a = RunRepairPipeline(d.research, d.archive, options);
+  auto b = RunRepairPipeline(d.research, d.archive, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < d.archive.size(); ++i) {
+    for (size_t k = 0; k < d.archive.dim(); ++k) {
+      EXPECT_DOUBLE_EQ(a->repaired_archive.feature(i, k),
+                       b->repaired_archive.feature(i, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otfair::core

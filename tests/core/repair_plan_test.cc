@@ -1,0 +1,137 @@
+#include "core/repair_plan.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/designer.h"
+#include "core/repairer.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::core {
+namespace {
+
+RepairPlanSet DesignedPlans(uint64_t seed, size_t n_q = 25) {
+  common::Rng rng(seed);
+  auto research =
+      sim::SimulateGaussianMixture(400, sim::GaussianSimConfig::PaperDefault(), rng);
+  EXPECT_TRUE(research.ok());
+  DesignOptions options;
+  options.n_q = n_q;
+  auto plans = DesignDistributionalRepair(*research, options);
+  EXPECT_TRUE(plans.ok());
+  return *plans;
+}
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(RepairPlanTest, DesignedPlanValidates) {
+  RepairPlanSet plans = DesignedPlans(1);
+  EXPECT_TRUE(plans.Validate().ok());
+}
+
+TEST(RepairPlanTest, ValidateCatchesCorruptedRowMarginal) {
+  RepairPlanSet plans = DesignedPlans(2);
+  plans.At(0, 0).plan[0](0, 0) += 0.1;  // break the row-sum constraint
+  EXPECT_FALSE(plans.Validate().ok());
+}
+
+TEST(RepairPlanTest, ValidateCatchesShapeMismatch) {
+  RepairPlanSet plans = DesignedPlans(3);
+  plans.At(1, 1).plan[1] = common::Matrix(3, 3);
+  auto status = plans.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("u=1"), std::string::npos);
+}
+
+TEST(RepairPlanTest, SaveLoadRoundTrip) {
+  RepairPlanSet plans = DesignedPlans(4);
+  const std::string path = TempPath("plans.bin");
+  ASSERT_TRUE(plans.SaveToFile(path).ok());
+  auto loaded = RepairPlanSet::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dim(), plans.dim());
+  EXPECT_EQ(loaded->feature_names(), plans.feature_names());
+  EXPECT_DOUBLE_EQ(loaded->target_t(), plans.target_t());
+  for (int u = 0; u <= 1; ++u) {
+    for (size_t k = 0; k < plans.dim(); ++k) {
+      const ChannelPlan& a = plans.At(u, k);
+      const ChannelPlan& b = loaded->At(u, k);
+      EXPECT_EQ(a.grid.size(), b.grid.size());
+      EXPECT_DOUBLE_EQ(a.grid.lo(), b.grid.lo());
+      EXPECT_DOUBLE_EQ(a.grid.hi(), b.grid.hi());
+      for (int s = 0; s <= 1; ++s) {
+        EXPECT_EQ(a.plan[s].MaxAbsDiff(b.plan[s]), 0.0);
+        for (size_t q = 0; q < a.grid.size(); ++q) {
+          EXPECT_DOUBLE_EQ(a.marginal[s].weight_at(q), b.marginal[s].weight_at(q));
+        }
+      }
+      for (size_t q = 0; q < a.grid.size(); ++q)
+        EXPECT_DOUBLE_EQ(a.barycenter.weight_at(q), b.barycenter.weight_at(q));
+    }
+  }
+}
+
+TEST(RepairPlanTest, LoadedPlanDrivesIdenticalRepairs) {
+  RepairPlanSet plans = DesignedPlans(5);
+  const std::string path = TempPath("plans_repair.bin");
+  ASSERT_TRUE(plans.SaveToFile(path).ok());
+  auto loaded = RepairPlanSet::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+
+  RepairOptions options;
+  options.seed = 42;
+  auto ra = OffSampleRepairer::Create(plans, options);
+  auto rb = OffSampleRepairer::Create(*loaded, options);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  common::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(0.0, 1.0);
+    const int u = rng.Bernoulli(0.5) ? 1 : 0;
+    const int s = rng.Bernoulli(0.5) ? 1 : 0;
+    EXPECT_DOUBLE_EQ(ra->RepairValue(u, s, 0, x), rb->RepairValue(u, s, 0, x));
+  }
+}
+
+TEST(RepairPlanTest, LoadRejectsGarbageFile) {
+  const std::string path = TempPath("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a plan file at all";
+  }
+  auto loaded = RepairPlanSet::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kIoError);
+}
+
+TEST(RepairPlanTest, LoadRejectsTruncatedFile) {
+  RepairPlanSet plans = DesignedPlans(7);
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(plans.SaveToFile(path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string content(static_cast<size_t>(size) / 2, '\0');
+  in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  EXPECT_FALSE(RepairPlanSet::LoadFromFile(path).ok());
+}
+
+TEST(RepairPlanTest, LoadMissingFileGivesIoError) {
+  auto loaded = RepairPlanSet::LoadFromFile(TempPath("nope.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kIoError);
+}
+
+TEST(RepairPlanTest, SaveEmptyPlanFails) {
+  RepairPlanSet empty;
+  EXPECT_FALSE(empty.SaveToFile(TempPath("empty.bin")).ok());
+}
+
+}  // namespace
+}  // namespace otfair::core

@@ -1,0 +1,118 @@
+#include "core/support_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace otfair::core {
+namespace {
+
+TEST(SupportGridTest, EndpointsAndSpacing) {
+  auto grid = SupportGrid::Create(0.0, 10.0, 11);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->size(), 11u);
+  EXPECT_DOUBLE_EQ(grid->lo(), 0.0);
+  EXPECT_DOUBLE_EQ(grid->hi(), 10.0);
+  EXPECT_DOUBLE_EQ(grid->step(), 1.0);
+  EXPECT_DOUBLE_EQ(grid->point(5), 5.0);
+}
+
+TEST(SupportGridTest, MatchesAlgorithmOneFormula) {
+  // zeta_i = (nQ-i)/(nQ-1) * lo + (i-1)/(nQ-1) * hi for i = 1..nQ.
+  const double lo = -2.0;
+  const double hi = 3.0;
+  const size_t nq = 7;
+  auto grid = SupportGrid::Create(lo, hi, nq);
+  ASSERT_TRUE(grid.ok());
+  for (size_t i = 1; i <= nq; ++i) {
+    const double fi = static_cast<double>(i);
+    const double expected =
+        (static_cast<double>(nq) - fi) / (nq - 1.0) * lo + (fi - 1.0) / (nq - 1.0) * hi;
+    EXPECT_DOUBLE_EQ(grid->point(i - 1), expected);
+  }
+}
+
+TEST(SupportGridTest, FromSamplesSpansRange) {
+  auto grid = SupportGrid::FromSamples({3.0, -1.0, 2.0, 0.5}, 5);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_DOUBLE_EQ(grid->lo(), -1.0);
+  EXPECT_DOUBLE_EQ(grid->hi(), 3.0);
+}
+
+TEST(SupportGridTest, DegenerateRangeWidened) {
+  auto grid = SupportGrid::FromSamples({5.0, 5.0, 5.0}, 4);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_LT(grid->lo(), 5.0);
+  EXPECT_GT(grid->hi(), 5.0);
+  EXPECT_GT(grid->step(), 0.0);
+}
+
+TEST(SupportGridTest, LocateInteriorPoint) {
+  auto grid = SupportGrid::Create(0.0, 10.0, 11);
+  ASSERT_TRUE(grid.ok());
+  const auto loc = grid->Locate(3.25);
+  EXPECT_EQ(loc.lower, 3u);
+  EXPECT_NEAR(loc.tau, 0.25, 1e-12);
+  EXPECT_FALSE(loc.clamped);
+}
+
+TEST(SupportGridTest, LocateExactGridPointHasZeroTau) {
+  auto grid = SupportGrid::Create(0.0, 10.0, 11);
+  ASSERT_TRUE(grid.ok());
+  const auto loc = grid->Locate(7.0);
+  EXPECT_EQ(loc.lower, 7u);
+  EXPECT_NEAR(loc.tau, 0.0, 1e-12);
+}
+
+TEST(SupportGridTest, LocateEndpoints) {
+  auto grid = SupportGrid::Create(0.0, 10.0, 11);
+  ASSERT_TRUE(grid.ok());
+  const auto lo = grid->Locate(0.0);
+  EXPECT_EQ(lo.lower, 0u);
+  EXPECT_FALSE(lo.clamped);
+  const auto hi = grid->Locate(10.0);
+  EXPECT_EQ(hi.lower, 10u);
+  EXPECT_DOUBLE_EQ(hi.tau, 0.0);
+  EXPECT_FALSE(hi.clamped);
+}
+
+TEST(SupportGridTest, LocateClampsOutOfRange) {
+  auto grid = SupportGrid::Create(0.0, 10.0, 11);
+  ASSERT_TRUE(grid.ok());
+  const auto below = grid->Locate(-3.0);
+  EXPECT_TRUE(below.clamped);
+  EXPECT_EQ(below.lower, 0u);
+  const auto above = grid->Locate(42.0);
+  EXPECT_TRUE(above.clamped);
+  EXPECT_EQ(above.lower, 10u);
+}
+
+TEST(SupportGridTest, TauAlwaysInUnitInterval) {
+  auto grid = SupportGrid::Create(-1.0, 1.0, 33);
+  ASSERT_TRUE(grid.ok());
+  for (double x = -1.5; x <= 1.5; x += 0.01) {
+    const auto loc = grid->Locate(x);
+    EXPECT_GE(loc.tau, 0.0);
+    EXPECT_LE(loc.tau, 1.0);
+    EXPECT_LT(loc.lower, grid->size());
+  }
+}
+
+TEST(SupportGridTest, LocateConsistentWithPoints) {
+  // Reconstruction: point(lower) + tau * step ~ x for interior x.
+  auto grid = SupportGrid::Create(2.0, 8.0, 25);
+  ASSERT_TRUE(grid.ok());
+  for (double x : {2.3, 4.77, 6.123, 7.999}) {
+    const auto loc = grid->Locate(x);
+    EXPECT_NEAR(grid->point(loc.lower) + loc.tau * grid->step(), x, 1e-9);
+  }
+}
+
+TEST(SupportGridTest, RejectsBadArguments) {
+  EXPECT_FALSE(SupportGrid::Create(0.0, 1.0, 1).ok());
+  EXPECT_FALSE(SupportGrid::Create(0.0, 1.0, 0).ok());
+  EXPECT_FALSE(SupportGrid::FromSamples({}, 5).ok());
+  EXPECT_FALSE(
+      SupportGrid::Create(std::numeric_limits<double>::quiet_NaN(), 1.0, 5).ok());
+}
+
+}  // namespace
+}  // namespace otfair::core

@@ -1,0 +1,145 @@
+#include "data/adult_like.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace otfair::data {
+namespace {
+
+TEST(AdultLikeTest, ShapeAndSchema) {
+  common::Rng rng(60);
+  auto d = GenerateAdultLike(500, rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 500u);
+  EXPECT_EQ(d->dim(), 2u);
+  EXPECT_TRUE(d->has_outcome());
+  EXPECT_EQ(d->feature_names(),
+            (std::vector<std::string>{"age", "hours_per_week"}));
+}
+
+TEST(AdultLikeTest, FeatureRangesRespectClamps) {
+  common::Rng rng(61);
+  auto d = GenerateAdultLike(5000, rng);
+  ASSERT_TRUE(d.ok());
+  for (size_t i = 0; i < d->size(); ++i) {
+    EXPECT_GE(d->feature(i, 0), 17.0);
+    EXPECT_LE(d->feature(i, 0), 90.0);
+    EXPECT_GE(d->feature(i, 1), 1.0);
+    EXPECT_LE(d->feature(i, 1), 99.0);
+  }
+}
+
+TEST(AdultLikeTest, GroupPriorsMatchCalibration) {
+  common::Rng rng(62);
+  auto d = GenerateAdultLike(40000, rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->ProportionU1(), 0.27, 0.01);
+  EXPECT_NEAR(d->ProportionS1GivenU(0), 0.64, 0.01);
+  EXPECT_NEAR(d->ProportionS1GivenU(1), 0.72, 0.015);
+}
+
+TEST(AdultLikeTest, StructuralSURelationship) {
+  // Pr[s=1|u=1] > Pr[s=1|u=0]: the structural dependence the paper keeps.
+  common::Rng rng(63);
+  auto d = GenerateAdultLike(30000, rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->ProportionS1GivenU(1), d->ProportionS1GivenU(0));
+}
+
+TEST(AdultLikeTest, MalesWorkMoreHoursWithinStratum) {
+  common::Rng rng(64);
+  auto d = GenerateAdultLike(30000, rng);
+  ASSERT_TRUE(d.ok());
+  for (int u = 0; u <= 1; ++u) {
+    const double women = stats::Mean(d->FeatureColumn(1, d->GroupIndices({u, 0})));
+    const double men = stats::Mean(d->FeatureColumn(1, d->GroupIndices({u, 1})));
+    EXPECT_GT(men, women + 1.0) << "u=" << u;
+  }
+}
+
+TEST(AdultLikeTest, CollegeEducatedAreOlder) {
+  common::Rng rng(65);
+  auto d = GenerateAdultLike(30000, rng);
+  ASSERT_TRUE(d.ok());
+  const double noncollege = stats::Mean(d->FeatureColumn(0, d->UIndices(0)));
+  const double college = stats::Mean(d->FeatureColumn(0, d->UIndices(1)));
+  EXPECT_GT(college, noncollege + 1.0);
+}
+
+TEST(AdultLikeTest, HoursSpikeAtForty) {
+  // The hallmark Adult non-Gaussianity: a large fraction near 40 h.
+  common::Rng rng(66);
+  auto d = GenerateAdultLike(20000, rng);
+  ASSERT_TRUE(d.ok());
+  size_t near40 = 0;
+  for (size_t i = 0; i < d->size(); ++i) {
+    if (std::fabs(d->feature(i, 1) - 40.0) < 3.0) ++near40;
+  }
+  EXPECT_GT(static_cast<double>(near40) / static_cast<double>(d->size()), 0.30);
+}
+
+TEST(AdultLikeTest, PositiveIncomeRatePlausible) {
+  common::Rng rng(67);
+  auto d = GenerateAdultLike(30000, rng);
+  ASSERT_TRUE(d.ok());
+  double positives = 0;
+  for (size_t i = 0; i < d->size(); ++i) positives += d->y(i);
+  const double rate = positives / static_cast<double>(d->size());
+  EXPECT_GT(rate, 0.12);
+  EXPECT_LT(rate, 0.40);
+}
+
+TEST(AdultLikeTest, IncomeFavoursCollegeAndMales) {
+  common::Rng rng(68);
+  auto d = GenerateAdultLike(40000, rng);
+  ASSERT_TRUE(d.ok());
+  auto rate_of = [&](const GroupKey& g) {
+    const auto idx = d->GroupIndices(g);
+    double pos = 0;
+    for (size_t i : idx) pos += d->y(i);
+    return pos / static_cast<double>(idx.size());
+  };
+  EXPECT_GT(rate_of({1, 1}), rate_of({0, 1}));  // education premium
+  EXPECT_GT(rate_of({1, 1}), rate_of({1, 0}));  // gender premium
+}
+
+TEST(AdultLikeTest, DriftShiftsArchiveDistribution) {
+  common::Rng rng_a(69);
+  common::Rng rng_b(69);
+  auto base = GenerateAdultLike(30000, rng_a, {.drift = 0.0});
+  auto drifted = GenerateAdultLike(30000, rng_b, {.drift = 1.0});
+  ASSERT_TRUE(base.ok() && drifted.ok());
+  EXPECT_GT(stats::Mean(drifted->FeatureColumn(0)), stats::Mean(base->FeatureColumn(0)) + 1.0);
+}
+
+TEST(AdultLikeTest, WithoutOutcomeOption) {
+  common::Rng rng(70);
+  auto d = GenerateAdultLike(100, rng, {.drift = 0.0, .with_outcome = false});
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->has_outcome());
+}
+
+TEST(AdultLikeTest, RejectsBadArguments) {
+  common::Rng rng(71);
+  EXPECT_FALSE(GenerateAdultLike(0, rng).ok());
+  EXPECT_FALSE(GenerateAdultLike(10, rng, {.drift = -0.5}).ok());
+  EXPECT_FALSE(GenerateAdultLike(10, rng, {.drift = 1.5}).ok());
+}
+
+TEST(AdultLikeTest, DeterministicGivenSeed) {
+  common::Rng a(72);
+  common::Rng b(72);
+  auto da = GenerateAdultLike(50, a);
+  auto db = GenerateAdultLike(50, b);
+  ASSERT_TRUE(da.ok() && db.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(da->feature(i, 0), db->feature(i, 0));
+    EXPECT_EQ(da->s(i), db->s(i));
+  }
+}
+
+}  // namespace
+}  // namespace otfair::data

@@ -1,0 +1,135 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+
+namespace otfair::data {
+namespace {
+
+using common::Matrix;
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, RoundTripWithOutcome) {
+  Matrix f = Matrix::FromRows({{1.5, -2.25}, {3.0, 4.125}});
+  auto original = Dataset::Create(f, {0, 1}, {1, 0}, {"age", "hours"}, {1, 0});
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(*original, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_TRUE(loaded->has_outcome());
+  EXPECT_EQ(loaded->feature_names(), (std::vector<std::string>{"age", "hours"}));
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded->s(i), original->s(i));
+    EXPECT_EQ(loaded->u(i), original->u(i));
+    EXPECT_EQ(loaded->y(i), original->y(i));
+    for (size_t k = 0; k < 2; ++k)
+      EXPECT_DOUBLE_EQ(loaded->feature(i, k), original->feature(i, k));
+  }
+}
+
+TEST_F(CsvTest, RoundTripWithoutOutcome) {
+  Matrix f = Matrix::FromRows({{7.0}});
+  auto original = Dataset::Create(f, {1}, {1}, {"x"});
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("no_outcome.csv");
+  ASSERT_TRUE(WriteCsv(*original, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->has_outcome());
+  EXPECT_DOUBLE_EQ(loaded->feature(0, 0), 7.0);
+}
+
+TEST_F(CsvTest, ReadHandWrittenFile) {
+  const std::string path = TempPath("hand.csv");
+  WriteFile(path, "s,u,age,hours\n0,1,25.5,40\n1,0,60,37.5\n");
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->feature(1, 1), 37.5);
+  EXPECT_EQ(loaded->u(0), 1);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  WriteFile(path, "s,u,x\n0,1,1.0\n\n1,0,2.0\n\n");
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST_F(CsvTest, TrimsWhitespace) {
+  const std::string path = TempPath("ws.csv");
+  WriteFile(path, "s, u, x\n 0 , 1 , 3.5 \n");
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->feature(0, 0), 3.5);
+}
+
+TEST_F(CsvTest, RejectsBadHeader) {
+  const std::string path = TempPath("badheader.csv");
+  WriteFile(path, "u,s,x\n1,0,1.0\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, RejectsHeaderWithoutFeatures) {
+  const std::string path = TempPath("nofeat.csv");
+  WriteFile(path, "s,u\n0,1\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, RejectsNonBinaryLabels) {
+  const std::string path = TempPath("badlabel.csv");
+  WriteFile(path, "s,u,x\n2,0,1.0\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, RejectsNonNumericFeature) {
+  const std::string path = TempPath("badnum.csv");
+  WriteFile(path, "s,u,x\n0,1,abc\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, RejectsWrongColumnCount) {
+  const std::string path = TempPath("badcols.csv");
+  WriteFile(path, "s,u,x,y2\n0,1,1.0\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, RejectsEmptyFile) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, RejectsHeaderOnlyFile) {
+  const std::string path = TempPath("headeronly.csv");
+  WriteFile(path, "s,u,x\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, MissingFileGivesIoError) {
+  auto loaded = ReadCsv(TempPath("does_not_exist.csv"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace otfair::data

@@ -1,0 +1,167 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace otfair::data {
+namespace {
+
+using common::Matrix;
+
+Dataset SmallDataset() {
+  // 6 rows covering all four (u, s) groups.
+  Matrix features = Matrix::FromRows(
+      {{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}, {5.0, 50.0}, {6.0, 60.0}});
+  auto d = Dataset::Create(std::move(features), {0, 1, 0, 1, 0, 1}, {0, 0, 1, 1, 1, 1},
+                           {"a", "b"}, {1, 0, 1, 0, 1, 0});
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+TEST(DatasetTest, CreateValidatesShapes) {
+  Matrix f = Matrix::FromRows({{1.0}});
+  EXPECT_TRUE(Dataset::Create(f, {0}, {1}, {"x"}).ok());
+  EXPECT_FALSE(Dataset::Create(f, {0, 1}, {1}, {"x"}).ok());
+  EXPECT_FALSE(Dataset::Create(f, {0}, {1, 0}, {"x"}).ok());
+  EXPECT_FALSE(Dataset::Create(f, {0}, {1}, {"x", "y"}).ok());
+  EXPECT_FALSE(Dataset::Create(f, {0}, {1}, {"x"}, {0, 1}).ok());
+  EXPECT_FALSE(Dataset::Create(Matrix(), {}, {}, {}).ok());
+}
+
+TEST(DatasetTest, CreateValidatesBinaryLabels) {
+  Matrix f = Matrix::FromRows({{1.0}});
+  EXPECT_FALSE(Dataset::Create(f, {2}, {0}, {"x"}).ok());
+  EXPECT_FALSE(Dataset::Create(f, {0}, {-1}, {"x"}).ok());
+  EXPECT_FALSE(Dataset::Create(f, {0}, {0}, {"x"}, {3}).ok());
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_TRUE(d.has_outcome());
+  EXPECT_EQ(d.s(1), 1);
+  EXPECT_EQ(d.u(0), 0);
+  EXPECT_EQ(d.y(0), 1);
+  EXPECT_DOUBLE_EQ(d.feature(2, 1), 30.0);
+  EXPECT_EQ(d.feature_names()[1], "b");
+}
+
+TEST(DatasetTest, SetFeatureMutates) {
+  Dataset d = SmallDataset();
+  d.set_feature(0, 0, 99.0);
+  EXPECT_DOUBLE_EQ(d.feature(0, 0), 99.0);
+}
+
+TEST(DatasetTest, RowExtraction) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.Row(3), (std::vector<double>{4.0, 40.0}));
+}
+
+TEST(DatasetTest, GroupIndices) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.GroupIndices({0, 0}), (std::vector<size_t>{0}));
+  EXPECT_EQ(d.GroupIndices({0, 1}), (std::vector<size_t>{1}));
+  EXPECT_EQ(d.GroupIndices({1, 0}), (std::vector<size_t>{2, 4}));
+  EXPECT_EQ(d.GroupIndices({1, 1}), (std::vector<size_t>{3, 5}));
+}
+
+TEST(DatasetTest, UIndices) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.UIndices(0), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(d.UIndices(1), (std::vector<size_t>{2, 3, 4, 5}));
+}
+
+TEST(DatasetTest, FeatureColumnWithIndices) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.FeatureColumn(1, {0, 2}), (std::vector<double>{10.0, 30.0}));
+  EXPECT_EQ(d.FeatureColumn(0), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(DatasetTest, GroupCountsCoverAllGroups) {
+  Dataset d = SmallDataset();
+  auto counts = d.GroupCounts();
+  EXPECT_EQ((counts[GroupKey{0, 0}]), 1u);
+  EXPECT_EQ((counts[GroupKey{1, 1}]), 2u);
+  size_t total = 0;
+  for (const auto& [key, count] : counts) total += count;
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(DatasetTest, Proportions) {
+  Dataset d = SmallDataset();
+  EXPECT_NEAR(d.ProportionU1(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(d.ProportionS1GivenU(0), 0.5, 1e-12);
+  EXPECT_NEAR(d.ProportionS1GivenU(1), 0.5, 1e-12);
+}
+
+TEST(DatasetTest, SubsetPreservesOrderAndLabels) {
+  Dataset d = SmallDataset();
+  Dataset sub = d.Subset({5, 0});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.feature(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sub.feature(1, 0), 1.0);
+  EXPECT_EQ(sub.s(0), 1);
+  EXPECT_EQ(sub.u(1), 0);
+  EXPECT_EQ(sub.y(0), 0);
+  EXPECT_EQ(sub.feature_names(), d.feature_names());
+}
+
+TEST(DatasetTest, CloneIsDeep) {
+  Dataset d = SmallDataset();
+  Dataset clone = d.Clone();
+  clone.set_feature(0, 0, -1.0);
+  EXPECT_DOUBLE_EQ(d.feature(0, 0), 1.0);
+}
+
+TEST(DatasetTest, AllGroupsCanonicalOrder) {
+  const auto groups = AllGroups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (GroupKey{0, 0}));
+  EXPECT_EQ(groups[3], (GroupKey{1, 1}));
+}
+
+TEST(SplitTest, SizesAndDisjointness) {
+  Dataset d = SmallDataset();
+  common::Rng rng(50);
+  auto split = SplitResearchArchive(d, 2, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->first.size(), 2u);
+  EXPECT_EQ(split->second.size(), 4u);
+}
+
+TEST(SplitTest, UnionPreservesFeatureMultiset) {
+  Dataset d = SmallDataset();
+  common::Rng rng(51);
+  auto split = SplitResearchArchive(d, 3, rng);
+  ASSERT_TRUE(split.ok());
+  std::vector<double> all;
+  for (size_t i = 0; i < split->first.size(); ++i) all.push_back(split->first.feature(i, 0));
+  for (size_t i = 0; i < split->second.size(); ++i) all.push_back(split->second.feature(i, 0));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SplitTest, RejectsDegenerateSizes) {
+  Dataset d = SmallDataset();
+  common::Rng rng(52);
+  EXPECT_FALSE(SplitResearchArchive(d, 0, rng).ok());
+  EXPECT_FALSE(SplitResearchArchive(d, 6, rng).ok());
+  EXPECT_FALSE(SplitResearchArchive(d, 7, rng).ok());
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  Dataset d = SmallDataset();
+  common::Rng a(53);
+  common::Rng b(53);
+  auto sa = SplitResearchArchive(d, 3, a);
+  auto sb = SplitResearchArchive(d, 3, b);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(sa->first.feature(i, 0), sb->first.feature(i, 0));
+}
+
+}  // namespace
+}  // namespace otfair::data

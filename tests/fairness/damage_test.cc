@@ -1,0 +1,79 @@
+#include "fairness/damage.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+
+namespace otfair::fairness {
+namespace {
+
+using common::Matrix;
+
+data::Dataset MakeDataset(const std::vector<std::vector<double>>& rows) {
+  Matrix features = Matrix::FromRows(rows);
+  std::vector<int> s(rows.size(), 0);
+  std::vector<int> u(rows.size(), 0);
+  std::vector<std::string> names;
+  for (size_t k = 0; k < rows[0].size(); ++k) names.push_back("f" + std::to_string(k));
+  auto d = data::Dataset::Create(std::move(features), std::move(s), std::move(u), names);
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+TEST(DamageTest, IdenticalDataZeroDamage) {
+  data::Dataset d = MakeDataset({{1.0, 2.0}, {3.0, 4.0}});
+  auto report = ComputeDamage(d, d);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_abs_displacement[0], 0.0);
+  EXPECT_DOUBLE_EQ(report->rms_displacement[1], 0.0);
+  EXPECT_DOUBLE_EQ(report->mean_l2_displacement, 0.0);
+}
+
+TEST(DamageTest, UniformShiftMeasuredExactly) {
+  data::Dataset before = MakeDataset({{0.0, 0.0}, {1.0, 1.0}});
+  data::Dataset after = MakeDataset({{2.0, 0.0}, {3.0, 1.0}});
+  auto report = ComputeDamage(before, after);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_abs_displacement[0], 2.0);
+  EXPECT_DOUBLE_EQ(report->mean_abs_displacement[1], 0.0);
+  EXPECT_DOUBLE_EQ(report->rms_displacement[0], 2.0);
+  EXPECT_DOUBLE_EQ(report->mean_l2_displacement, 2.0);
+}
+
+TEST(DamageTest, RmsExceedsMeanAbsForUnevenDisplacements) {
+  data::Dataset before = MakeDataset({{0.0}, {0.0}});
+  data::Dataset after = MakeDataset({{0.0}, {2.0}});
+  auto report = ComputeDamage(before, after);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_abs_displacement[0], 1.0);
+  EXPECT_DOUBLE_EQ(report->rms_displacement[0], std::sqrt(2.0));
+}
+
+TEST(DamageTest, L2CombinesFeatures) {
+  data::Dataset before = MakeDataset({{0.0, 0.0}});
+  data::Dataset after = MakeDataset({{3.0, 4.0}});
+  auto report = ComputeDamage(before, after);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_l2_displacement, 5.0);
+}
+
+TEST(DamageTest, SignIrrelevant) {
+  data::Dataset before = MakeDataset({{1.0}});
+  data::Dataset after = MakeDataset({{-1.0}});
+  auto report = ComputeDamage(before, after);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_abs_displacement[0], 2.0);
+}
+
+TEST(DamageTest, RejectsMisalignedDatasets) {
+  data::Dataset a = MakeDataset({{1.0}});
+  data::Dataset b = MakeDataset({{1.0}, {2.0}});
+  data::Dataset c = MakeDataset({{1.0, 2.0}});
+  EXPECT_FALSE(ComputeDamage(a, b).ok());
+  EXPECT_FALSE(ComputeDamage(a, c).ok());
+}
+
+}  // namespace
+}  // namespace otfair::fairness

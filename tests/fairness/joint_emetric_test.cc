@@ -1,0 +1,114 @@
+#include "fairness/joint_emetric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fairness/emetric.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::fairness {
+namespace {
+
+sim::GaussianSimConfig EqualMeansConfig() {
+  sim::GaussianSimConfig config = sim::GaussianSimConfig::PaperDefault();
+  config.mean[0][0] = {0.0, 0.0};
+  config.mean[0][1] = {0.0, 0.0};
+  config.mean[1][0] = {0.0, 0.0};
+  config.mean[1][1] = {0.0, 0.0};
+  config.pr_s0_given_u0 = 0.5;
+  config.pr_s0_given_u1 = 0.5;
+  return config;
+}
+
+TEST(JointEMetricTest, NearZeroWhenIdenticallyDistributed) {
+  common::Rng rng(1);
+  auto d = sim::SimulateGaussianMixture(6000, EqualMeansConfig(), rng);
+  ASSERT_TRUE(d.ok());
+  auto e = JointFeaturePairE(*d, 0, 1);
+  ASSERT_TRUE(e.ok());
+  // 2-D KDE + KL carries more small-sample bias than the 1-D metric;
+  // "near zero" here means an order of magnitude below any real signal.
+  EXPECT_LT(*e, 0.1);
+}
+
+TEST(JointEMetricTest, DetectsMeanShift) {
+  common::Rng rng(2);
+  auto d = sim::SimulateGaussianMixture(6000, sim::GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  auto e = JointFeaturePairE(*d, 0, 1);
+  ASSERT_TRUE(e.ok());
+  EXPECT_GT(*e, 0.3);
+}
+
+TEST(JointEMetricTest, DetectsCorrelationOnlyDifference) {
+  // Marginals identical, copulas different: the per-feature metric is
+  // blind, the joint one is not. Build a dataset whose s=0 rows are
+  // correlated and s=1 rows are not.
+  sim::GaussianSimConfig correlated = EqualMeansConfig();
+  correlated.rho = 0.85;
+  sim::GaussianSimConfig independent = EqualMeansConfig();
+
+  common::Rng rng(3);
+  auto d_corr = sim::SimulateGaussianMixture(8000, correlated, rng);
+  auto d_ind = sim::SimulateGaussianMixture(8000, independent, rng);
+  ASSERT_TRUE(d_corr.ok() && d_ind.ok());
+
+  std::vector<size_t> idx0;
+  std::vector<size_t> idx1;
+  for (size_t i = 0; i < d_corr->size(); ++i) {
+    if (d_corr->s(i) == 0) idx0.push_back(i);
+  }
+  for (size_t i = 0; i < d_ind->size(); ++i) {
+    if (d_ind->s(i) == 1) idx1.push_back(i);
+  }
+  data::Dataset part0 = d_corr->Subset(idx0);
+  data::Dataset part1 = d_ind->Subset(idx1);
+  common::Matrix features(part0.size() + part1.size(), 2);
+  std::vector<int> s;
+  std::vector<int> u;
+  for (size_t i = 0; i < part0.size(); ++i) {
+    features(i, 0) = part0.feature(i, 0);
+    features(i, 1) = part0.feature(i, 1);
+    s.push_back(0);
+    u.push_back(part0.u(i));
+  }
+  for (size_t i = 0; i < part1.size(); ++i) {
+    features(part0.size() + i, 0) = part1.feature(i, 0);
+    features(part0.size() + i, 1) = part1.feature(i, 1);
+    s.push_back(1);
+    u.push_back(part1.u(i));
+  }
+  auto d = data::Dataset::Create(std::move(features), std::move(s), std::move(u),
+                                 {"x1", "x2"});
+  ASSERT_TRUE(d.ok());
+
+  auto joint = JointFeaturePairE(*d, 0, 1);
+  auto marginal = AggregateE(*d);
+  ASSERT_TRUE(joint.ok() && marginal.ok());
+  EXPECT_GT(*joint, 0.15);
+  EXPECT_LT(*marginal, *joint / 3.0);
+}
+
+TEST(JointEMetricTest, SymmetricInFeatureOrder) {
+  common::Rng rng(4);
+  auto d = sim::SimulateGaussianMixture(4000, sim::GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  auto ab = JointFeaturePairE(*d, 0, 1);
+  auto ba = JointFeaturePairE(*d, 1, 0);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NEAR(*ab, *ba, 0.02 * (*ab + *ba) + 0.01);
+}
+
+TEST(JointEMetricTest, RejectsBadArguments) {
+  common::Rng rng(5);
+  auto d = sim::SimulateGaussianMixture(200, sim::GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(JointFeaturePairE(*d, 0, 0).ok());
+  EXPECT_FALSE(JointFeaturePairE(*d, 0, 7).ok());
+  JointEMetricOptions options;
+  options.grid_size = 1;
+  EXPECT_FALSE(JointFeaturePairE(*d, 0, 1, options).ok());
+}
+
+}  // namespace
+}  // namespace otfair::fairness

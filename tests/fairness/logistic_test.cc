@@ -1,0 +1,142 @@
+#include "fairness/logistic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace otfair::fairness {
+namespace {
+
+using common::Matrix;
+using common::Rng;
+
+TEST(LogisticTest, SeparatesLinearlySeparableData) {
+  Rng rng(90);
+  const size_t n = 400;
+  Matrix features(n, 1);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    features(i, 0) = labels[i] == 1 ? rng.Uniform(2.0, 4.0) : rng.Uniform(-4.0, -2.0);
+  }
+  auto model = LogisticRegression::Fit(features, labels);
+  ASSERT_TRUE(model.ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    correct += model->Classify({features(i, 0)}) == labels[i] ? 1 : 0;
+  }
+  EXPECT_EQ(correct, n);
+}
+
+TEST(LogisticTest, RecoversNoisyDecisionBoundary) {
+  Rng rng(91);
+  const size_t n = 4000;
+  Matrix features(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    features(i, 0) = rng.Normal(0.0, 2.0);
+    features(i, 1) = rng.Normal(0.0, 2.0);
+    const double z = 1.5 * features(i, 0) - 1.0 * features(i, 1);
+    labels[i] = rng.Bernoulli(1.0 / (1.0 + std::exp(-z))) ? 1 : 0;
+  }
+  auto model = LogisticRegression::Fit(features, labels);
+  ASSERT_TRUE(model.ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    correct += model->Classify({features(i, 0), features(i, 1)}) == labels[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.80);
+}
+
+TEST(LogisticTest, ProbabilitiesAreCalibratedDirectionally) {
+  Rng rng(92);
+  const size_t n = 2000;
+  Matrix features(n, 1);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    features(i, 0) = rng.Normal(0.0, 1.0);
+    labels[i] = rng.Bernoulli(1.0 / (1.0 + std::exp(-3.0 * features(i, 0)))) ? 1 : 0;
+  }
+  auto model = LogisticRegression::Fit(features, labels);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->PredictProbability({2.0}), 0.9);
+  EXPECT_LT(model->PredictProbability({-2.0}), 0.1);
+  EXPECT_NEAR(model->PredictProbability({0.0}), 0.5, 0.1);
+}
+
+TEST(LogisticTest, BalancedPriorWithNoSignal) {
+  Rng rng(93);
+  const size_t n = 3000;
+  Matrix features(n, 1);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    features(i, 0) = rng.Normal(0.0, 1.0);
+    labels[i] = rng.Bernoulli(0.7) ? 1 : 0;  // label independent of x
+  }
+  auto model = LogisticRegression::Fit(features, labels);
+  ASSERT_TRUE(model.ok());
+  // With no signal the model should predict roughly the base rate.
+  EXPECT_NEAR(model->PredictProbability({0.5}), 0.7, 0.05);
+}
+
+TEST(LogisticTest, ConstantFeatureColumnHandled) {
+  Matrix features = Matrix::FromRows({{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}, {4.0, 5.0}});
+  auto model = LogisticRegression::Fit(features, {0, 0, 1, 1});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Classify({1.0, 5.0}), 0);
+  EXPECT_EQ(model->Classify({4.0, 5.0}), 1);
+}
+
+TEST(LogisticTest, FitDatasetUsesOutcomeColumn) {
+  Rng rng(94);
+  const size_t n = 500;
+  Matrix features(n, 1);
+  std::vector<int> s(n, 0);
+  std::vector<int> u(n, 0);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    features(i, 0) = y[i] == 1 ? rng.Normal(3.0, 0.5) : rng.Normal(-3.0, 0.5);
+    s[i] = rng.Bernoulli(0.5);
+    u[i] = rng.Bernoulli(0.5);
+  }
+  auto d = data::Dataset::Create(std::move(features), std::move(s), std::move(u), {"x"},
+                                 std::move(y));
+  ASSERT_TRUE(d.ok());
+  auto model = LogisticRegression::FitDataset(*d);
+  ASSERT_TRUE(model.ok());
+  const auto preds = model->ClassifyDataset(*d);
+  size_t correct = 0;
+  for (size_t i = 0; i < d->size(); ++i) correct += preds[i] == d->y(i) ? 1 : 0;
+  EXPECT_GT(static_cast<double>(correct) / d->size(), 0.99);
+}
+
+TEST(LogisticTest, FitDatasetRequiresOutcome) {
+  Matrix features = Matrix::FromRows({{1.0}});
+  auto d = data::Dataset::Create(std::move(features), {0}, {0}, {"x"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(LogisticRegression::FitDataset(*d).ok());
+}
+
+TEST(LogisticTest, RejectsBadInputs) {
+  Matrix features = Matrix::FromRows({{1.0}, {2.0}});
+  EXPECT_FALSE(LogisticRegression::Fit(features, {0}).ok());
+  EXPECT_FALSE(LogisticRegression::Fit(features, {0, 3}).ok());
+  EXPECT_FALSE(LogisticRegression::Fit(Matrix(), {}).ok());
+}
+
+TEST(LogisticTest, DeterministicTraining) {
+  Matrix features = Matrix::FromRows({{0.0}, {1.0}, {2.0}, {3.0}});
+  const std::vector<int> labels = {0, 0, 1, 1};
+  auto a = LogisticRegression::Fit(features, labels);
+  auto b = LogisticRegression::Fit(features, labels);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->weights(), b->weights());
+  EXPECT_EQ(a->bias(), b->bias());
+}
+
+}  // namespace
+}  // namespace otfair::fairness

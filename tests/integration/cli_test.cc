@@ -1,0 +1,129 @@
+// End-to-end test of the otfair CLI binary: exercises design -> inspect ->
+// repair -> drift over real files, via std::system. The binary path is
+// injected by CMake (OTFAIR_CLI_PATH).
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/adult_like.h"
+#include "data/csv.h"
+#include "fairness/emetric.h"
+#include "sim/gaussian_mixture.h"
+
+#ifndef OTFAIR_CLI_PATH
+#define OTFAIR_CLI_PATH "./tools/otfair"
+#endif
+
+namespace otfair {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    common::Rng rng(1);
+    auto research = sim::SimulateGaussianMixture(
+        800, sim::GaussianSimConfig::PaperDefault(), rng);
+    auto archive = sim::SimulateGaussianMixture(
+        3000, sim::GaussianSimConfig::PaperDefault(), rng);
+    ASSERT_TRUE(research.ok() && archive.ok());
+    research_path_ = dir_ + "/research.csv";
+    archive_path_ = dir_ + "/archive.csv";
+    plan_path_ = dir_ + "/plan.bin";
+    repaired_path_ = dir_ + "/repaired.csv";
+    ASSERT_TRUE(data::WriteCsv(*research, research_path_).ok());
+    ASSERT_TRUE(data::WriteCsv(*archive, archive_path_).ok());
+  }
+
+  int Run(const std::string& args) {
+    const std::string command =
+        std::string(OTFAIR_CLI_PATH) + " " + args + " > /dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    return WEXITSTATUS(status);
+  }
+
+  std::string dir_;
+  std::string research_path_;
+  std::string archive_path_;
+  std::string plan_path_;
+  std::string repaired_path_;
+};
+
+TEST_F(CliTest, FullWorkflow) {
+  // design
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  // inspect plan and data
+  EXPECT_EQ(Run("inspect --plan=" + plan_path_), 0);
+  EXPECT_EQ(Run("inspect --data=" + archive_path_), 0);
+  // repair (stochastic)
+  ASSERT_EQ(Run("repair --plan=" + plan_path_ + " --input=" + archive_path_ +
+                " --output=" + repaired_path_ + " --seed=9"),
+            0);
+  auto archive = data::ReadCsv(archive_path_);
+  auto repaired = data::ReadCsv(repaired_path_);
+  ASSERT_TRUE(archive.ok() && repaired.ok());
+  EXPECT_EQ(repaired->size(), archive->size());
+  auto e_before = fairness::AggregateE(*archive);
+  auto e_after = fairness::AggregateE(*repaired);
+  ASSERT_TRUE(e_before.ok() && e_after.ok());
+  EXPECT_LT(*e_after, *e_before / 3.0);
+}
+
+TEST_F(CliTest, QuantileModeRepairs) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_), 0);
+  ASSERT_EQ(Run("repair --plan=" + plan_path_ + " --input=" + archive_path_ +
+                " --output=" + repaired_path_ + " --mode=quantile"),
+            0);
+  auto archive = data::ReadCsv(archive_path_);
+  auto repaired = data::ReadCsv(repaired_path_);
+  ASSERT_TRUE(archive.ok() && repaired.ok());
+  auto e_before = fairness::AggregateE(*archive);
+  auto e_after = fairness::AggregateE(*repaired);
+  ASSERT_TRUE(e_before.ok() && e_after.ok());
+  EXPECT_LT(*e_after, *e_before / 3.0);
+}
+
+TEST_F(CliTest, EstimatedLabelsMode) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_), 0);
+  EXPECT_EQ(Run("repair --plan=" + plan_path_ + " --input=" + archive_path_ +
+                " --output=" + repaired_path_ +
+                " --estimate_labels --research=" + research_path_),
+            0);
+}
+
+TEST_F(CliTest, DriftExitCodes) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_), 0);
+  // Stationary archive: exit 0.
+  EXPECT_EQ(Run("drift --plan=" + plan_path_ + " --input=" + archive_path_), 0);
+  // Shifted archive: exit 3 (the drift signal).
+  common::Rng rng(2);
+  sim::GaussianSimConfig shifted = sim::GaussianSimConfig::PaperDefault();
+  for (int u = 0; u <= 1; ++u)
+    for (int s = 0; s <= 1; ++s) shifted.mean[u][s][0] += 2.0;
+  auto drifted = sim::SimulateGaussianMixture(3000, shifted, rng);
+  ASSERT_TRUE(drifted.ok());
+  const std::string drifted_path = dir_ + "/drifted.csv";
+  ASSERT_TRUE(data::WriteCsv(*drifted, drifted_path).ok());
+  EXPECT_EQ(Run("drift --plan=" + plan_path_ + " --input=" + drifted_path), 3);
+}
+
+TEST_F(CliTest, BadInvocationsFailCleanly) {
+  EXPECT_EQ(Run(""), 2);
+  EXPECT_EQ(Run("unknown-command"), 2);
+  EXPECT_EQ(Run("design --research=/nonexistent.csv --plan=" + plan_path_), 1);
+  EXPECT_EQ(Run("repair --plan=/nonexistent.bin --input=" + archive_path_ +
+                " --output=" + repaired_path_),
+            1);
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_), 0);
+  EXPECT_EQ(Run("repair --plan=" + plan_path_ + " --input=" + archive_path_ +
+                " --output=" + repaired_path_ + " --mode=bogus"),
+            2);
+}
+
+}  // namespace
+}  // namespace otfair

@@ -1,0 +1,225 @@
+// Integration tests: the full Table-I / Table-II style flows, exercising
+// designer + repairer + baselines + metrics + persistence together.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/designer.h"
+#include "core/geometric.h"
+#include "core/pipeline.h"
+#include "core/repairer.h"
+#include "data/adult_like.h"
+#include "data/csv.h"
+#include "fairness/damage.h"
+#include "fairness/disparate_impact.h"
+#include "fairness/emetric.h"
+#include "fairness/logistic.h"
+#include "fairness/report.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair {
+namespace {
+
+TEST(EndToEndTest, SimulatedStudyReproducesTableIOrdering) {
+  // One draw of the paper's §V-A setting; orderings (not exact values)
+  // must match Table I: None >> Distributional, Geometric <= Distributional
+  // on research data, archive E above research E.
+  common::Rng rng(1);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(500, config, rng);
+  auto archive = sim::SimulateGaussianMixture(5000, config, rng);
+  ASSERT_TRUE(research.ok() && archive.ok());
+
+  auto result = core::RunRepairPipeline(*research, *archive, {});
+  ASSERT_TRUE(result.ok());
+  auto geometric = core::GeometricRepairDataset(*research, {});
+  ASSERT_TRUE(geometric.ok());
+
+  auto e_unrepaired_research = fairness::AggregateE(*research);
+  auto e_unrepaired_archive = fairness::AggregateE(*archive);
+  auto e_dist_research = fairness::AggregateE(result->repaired_research);
+  auto e_dist_archive = fairness::AggregateE(result->repaired_archive);
+  auto e_geom_research = fairness::AggregateE(*geometric);
+  ASSERT_TRUE(e_unrepaired_research.ok() && e_unrepaired_archive.ok() &&
+              e_dist_research.ok() && e_dist_archive.ok() && e_geom_research.ok());
+
+  // Table I *shape* (see EXPERIMENTS.md: our KDE-based E estimator sits on
+  // a scale ~10x below the paper's, but the reduction factors match):
+  // unrepaired ~0.5; distributional research ~0.006 (~80x, paper ~83x);
+  // archive ~0.04 (~12x, paper ~16x); geometric below distributional.
+  EXPECT_GT(*e_unrepaired_research, 0.3);
+  EXPECT_GT(*e_unrepaired_archive, 0.3);
+  EXPECT_LT(*e_dist_research, *e_unrepaired_research / 20.0);
+  EXPECT_LT(*e_dist_archive, *e_unrepaired_archive / 5.0);
+  EXPECT_LT(*e_geom_research, *e_dist_research);
+  EXPECT_LT(*e_dist_research, *e_dist_archive);
+}
+
+TEST(EndToEndTest, AdultLikeStudyReproducesTableIIOrdering) {
+  common::Rng rng(2);
+  auto research = data::GenerateAdultLike(4000, rng);
+  auto archive = data::GenerateAdultLike(8000, rng, {.drift = 0.15});
+  ASSERT_TRUE(research.ok() && archive.ok());
+
+  core::PipelineOptions options;
+  options.design.n_q = 250;
+  auto result = core::RunRepairPipeline(*research, *archive, options);
+  ASSERT_TRUE(result.ok());
+
+  for (size_t k = 0; k < 2; ++k) {
+    auto before_r = fairness::FeatureE(*research, k);
+    auto after_r = fairness::FeatureE(result->repaired_research, k);
+    auto before_a = fairness::FeatureE(*archive, k);
+    auto after_a = fairness::FeatureE(result->repaired_archive, k);
+    ASSERT_TRUE(before_r.ok() && after_r.ok() && before_a.ok() && after_a.ok());
+    EXPECT_LT(*after_r, *before_r) << "feature " << k;
+    EXPECT_LT(*after_a, *before_a) << "feature " << k;
+  }
+}
+
+TEST(EndToEndTest, RepairImprovesDownstreamDisparateImpact) {
+  // Train g on unrepaired vs repaired data; DI(u) of the repaired-model
+  // predictions should move toward 1.
+  common::Rng rng(3);
+  auto research = data::GenerateAdultLike(6000, rng);
+  auto archive = data::GenerateAdultLike(12000, rng);
+  ASSERT_TRUE(research.ok() && archive.ok());
+
+  auto result = core::RunRepairPipeline(*research, *archive, {});
+  ASSERT_TRUE(result.ok());
+
+  auto model_raw = fairness::LogisticRegression::FitDataset(*archive);
+  auto model_fair = fairness::LogisticRegression::FitDataset(result->repaired_archive);
+  ASSERT_TRUE(model_raw.ok() && model_fair.ok());
+
+  double worst_raw = 1.0;
+  double worst_fair = 1.0;
+  for (int u = 0; u <= 1; ++u) {
+    auto di_raw =
+        fairness::DisparateImpact(*archive, model_raw->ClassifyDataset(*archive), u);
+    auto di_fair = fairness::DisparateImpact(
+        result->repaired_archive, model_fair->ClassifyDataset(result->repaired_archive), u);
+    ASSERT_TRUE(di_raw.ok() && di_fair.ok());
+    worst_raw = std::min(worst_raw, *di_raw);
+    worst_fair = std::min(worst_fair, *di_fair);
+  }
+  EXPECT_GT(worst_fair, worst_raw);
+}
+
+TEST(EndToEndTest, DamageBoundedByFeatureScale) {
+  common::Rng rng(4);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(600, config, rng);
+  auto archive = sim::SimulateGaussianMixture(2000, config, rng);
+  ASSERT_TRUE(research.ok() && archive.ok());
+  auto result = core::RunRepairPipeline(*research, *archive, {});
+  ASSERT_TRUE(result.ok());
+  auto damage = fairness::ComputeDamage(*archive, result->repaired_archive);
+  ASSERT_TRUE(damage.ok());
+  // Components are ~1 sigma apart; the repair should move points by
+  // O(1 sigma), not more.
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_GT(damage->mean_abs_displacement[k], 0.0);
+    EXPECT_LT(damage->mean_abs_displacement[k], 2.0);
+  }
+}
+
+TEST(EndToEndTest, PlanShippedThroughFileRepairsIdentically) {
+  // The deployment story: design at HQ, save the plan artifact, load at
+  // the edge, and repair the stream there.
+  common::Rng rng(5);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(500, config, rng);
+  auto archive = sim::SimulateGaussianMixture(1000, config, rng);
+  ASSERT_TRUE(research.ok() && archive.ok());
+
+  auto plans = core::DesignDistributionalRepair(*research, {});
+  ASSERT_TRUE(plans.ok());
+  const std::string path = ::testing::TempDir() + "/e2e_plan.bin";
+  ASSERT_TRUE(plans->SaveToFile(path).ok());
+  auto loaded = core::RepairPlanSet::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+
+  core::RepairOptions options;
+  options.seed = 11;
+  auto local = core::OffSampleRepairer::Create(*plans, options);
+  auto remote = core::OffSampleRepairer::Create(*loaded, options);
+  ASSERT_TRUE(local.ok() && remote.ok());
+  auto a = local->RepairDataset(*archive);
+  auto b = remote->RepairDataset(*archive);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < archive->size(); ++i)
+    for (size_t k = 0; k < 2; ++k)
+      EXPECT_DOUBLE_EQ(a->feature(i, k), b->feature(i, k));
+}
+
+TEST(EndToEndTest, CsvRoundTripThroughRepair) {
+  common::Rng rng(6);
+  auto dataset = data::GenerateAdultLike(800, rng);
+  ASSERT_TRUE(dataset.ok());
+  const std::string raw_path = ::testing::TempDir() + "/raw.csv";
+  const std::string repaired_path = ::testing::TempDir() + "/repaired.csv";
+  ASSERT_TRUE(data::WriteCsv(*dataset, raw_path).ok());
+  auto loaded = data::ReadCsv(raw_path);
+  ASSERT_TRUE(loaded.ok());
+
+  common::Rng rng2(7);
+  auto research = data::GenerateAdultLike(3000, rng2);
+  ASSERT_TRUE(research.ok());
+  auto plans = core::DesignDistributionalRepair(*research, {});
+  ASSERT_TRUE(plans.ok());
+  auto repairer = core::OffSampleRepairer::Create(*plans, {});
+  ASSERT_TRUE(repairer.ok());
+  auto repaired = repairer->RepairDataset(*loaded);
+  ASSERT_TRUE(repaired.ok());
+  ASSERT_TRUE(data::WriteCsv(*repaired, repaired_path).ok());
+  auto reloaded = data::ReadCsv(repaired_path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->size(), dataset->size());
+}
+
+TEST(EndToEndTest, FairnessReportRenders) {
+  common::Rng rng(8);
+  auto dataset = data::GenerateAdultLike(2000, rng);
+  ASSERT_TRUE(dataset.ok());
+  auto report = fairness::MakeFairnessReport(*dataset);
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("age"), std::string::npos);
+  EXPECT_NE(text.find("hours_per_week"), std::string::npos);
+  EXPECT_NE(text.find("E (aggregate)"), std::string::npos);
+  EXPECT_EQ(report->rows, 2000u);
+}
+
+TEST(EndToEndTest, PartialRepairTradeoffMonotoneInStrength) {
+  // The §VI trade-off: more strength -> fairer but more damage.
+  common::Rng rng(9);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(800, config, rng);
+  auto archive = sim::SimulateGaussianMixture(4000, config, rng);
+  ASSERT_TRUE(research.ok() && archive.ok());
+  auto plans = core::DesignDistributionalRepair(*research, {});
+  ASSERT_TRUE(plans.ok());
+
+  double prev_e = 1e9;
+  double prev_damage = -1.0;
+  for (double strength : {0.25, 0.5, 1.0}) {
+    core::RepairOptions options;
+    options.strength = strength;
+    options.seed = 17;
+    auto repairer = core::OffSampleRepairer::Create(*plans, options);
+    ASSERT_TRUE(repairer.ok());
+    auto repaired = repairer->RepairDataset(*archive);
+    ASSERT_TRUE(repaired.ok());
+    auto e = fairness::AggregateE(*repaired);
+    auto damage = fairness::ComputeDamage(*archive, *repaired);
+    ASSERT_TRUE(e.ok() && damage.ok());
+    EXPECT_LT(*e, prev_e * 1.05) << "strength " << strength;
+    EXPECT_GT(damage->mean_l2_displacement, prev_damage) << "strength " << strength;
+    prev_e = *e;
+    prev_damage = damage->mean_l2_displacement;
+  }
+}
+
+}  // namespace
+}  // namespace otfair

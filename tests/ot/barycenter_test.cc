@@ -1,0 +1,167 @@
+#include "ot/barycenter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ot/monotone.h"
+
+namespace otfair::ot {
+namespace {
+
+std::vector<double> Grid(double lo, double hi, size_t n) {
+  std::vector<double> g(n);
+  for (size_t i = 0; i < n; ++i)
+    g[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  return g;
+}
+
+TEST(QuantileBarycenterTest, EndpointsRecoverInputs) {
+  auto mu0 = DiscreteMeasure::FromSamples({0.0, 1.0, 2.0});
+  auto mu1 = DiscreteMeasure::FromSamples({10.0, 11.0, 12.0});
+  auto at0 = QuantileBarycenter1D(*mu0, *mu1, 0.0);
+  auto at1 = QuantileBarycenter1D(*mu0, *mu1, 1.0);
+  ASSERT_TRUE(at0.ok() && at1.ok());
+  EXPECT_EQ(at0->support(), mu0->support());
+  EXPECT_EQ(at1->support(), mu1->support());
+}
+
+TEST(QuantileBarycenterTest, MidpointOfTranslatedMeasures) {
+  // Barycenter of mu and mu shifted by c is mu shifted by t*c.
+  auto mu0 = DiscreteMeasure::FromSamples({0.0, 1.0, 4.0});
+  auto mu1 = DiscreteMeasure::FromSamples({6.0, 7.0, 10.0});
+  auto mid = QuantileBarycenter1D(*mu0, *mu1, 0.5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->support(), (std::vector<double>{3.0, 4.0, 7.0}));
+}
+
+TEST(QuantileBarycenterTest, MeanInterpolatesLinearly) {
+  common::Rng rng(3);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.Normal(0.0, 1.0));
+  for (int i = 0; i < 70; ++i) ys.push_back(rng.Normal(5.0, 2.0));
+  auto mu0 = DiscreteMeasure::FromSamples(xs);
+  auto mu1 = DiscreteMeasure::FromSamples(ys);
+  for (double t : {0.25, 0.5, 0.75}) {
+    auto bary = QuantileBarycenter1D(*mu0, *mu1, t);
+    ASSERT_TRUE(bary.ok());
+    EXPECT_NEAR(bary->Mean(), (1.0 - t) * mu0->Mean() + t * mu1->Mean(), 1e-10);
+  }
+}
+
+TEST(QuantileBarycenterTest, FairBarycentreEquidistant) {
+  // W2(mu0, nu) == W2(mu1, nu) at t = 0.5 (centre of the geodesic).
+  common::Rng rng(9);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.Normal(-2.0, 1.0));
+  for (int i = 0; i < 40; ++i) ys.push_back(rng.Normal(3.0, 0.5));
+  auto mu0 = DiscreteMeasure::FromSamples(xs);
+  auto mu1 = DiscreteMeasure::FromSamples(ys);
+  auto nu = QuantileBarycenter1D(*mu0, *mu1, 0.5);
+  ASSERT_TRUE(nu.ok());
+  auto w0 = Wasserstein1D(*mu0, *nu, 2);
+  auto w1 = Wasserstein1D(*mu1, *nu, 2);
+  ASSERT_TRUE(w0.ok() && w1.ok());
+  EXPECT_NEAR(*w0, *w1, 1e-9);
+}
+
+TEST(QuantileBarycenterTest, GeodesicAdditivity) {
+  // W2(mu0, nu_t) == t * W2(mu0, mu1) along the geodesic.
+  auto mu0 = DiscreteMeasure::FromSamples({0.0, 2.0, 4.0, 8.0});
+  auto mu1 = DiscreteMeasure::FromSamples({1.0, 5.0, 9.0, 13.0});
+  auto full = Wasserstein1D(*mu0, *mu1, 2);
+  ASSERT_TRUE(full.ok());
+  for (double t : {0.2, 0.6}) {
+    auto nu = QuantileBarycenter1D(*mu0, *mu1, t);
+    ASSERT_TRUE(nu.ok());
+    auto part = Wasserstein1D(*mu0, *nu, 2);
+    ASSERT_TRUE(part.ok());
+    EXPECT_NEAR(*part, t * *full, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(QuantileBarycenterTest, RejectsBadT) {
+  auto mu = DiscreteMeasure::FromSamples({0.0, 1.0});
+  EXPECT_FALSE(QuantileBarycenter1D(*mu, *mu, -0.1).ok());
+  EXPECT_FALSE(QuantileBarycenter1D(*mu, *mu, 1.1).ok());
+}
+
+TEST(GridBarycenterTest, MassAndMeanPreservedInsideGrid) {
+  auto mu0 = DiscreteMeasure::FromSamples({1.0, 2.0, 3.0});
+  auto mu1 = DiscreteMeasure::FromSamples({5.0, 6.0, 7.0});
+  const std::vector<double> grid = Grid(0.0, 10.0, 101);
+  auto bary = QuantileBarycenterOnGrid(*mu0, *mu1, 0.5, grid);
+  ASSERT_TRUE(bary.ok());
+  EXPECT_LT(bary->NormalizationError(), 1e-12);
+  // Interior projection preserves the mean exactly.
+  auto atoms = QuantileBarycenter1D(*mu0, *mu1, 0.5);
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_NEAR(bary->Mean(), atoms->Mean(), 1e-10);
+}
+
+TEST(GridBarycenterTest, SupportsIsTheGrid) {
+  auto mu0 = DiscreteMeasure::FromSamples({1.0, 2.0});
+  auto mu1 = DiscreteMeasure::FromSamples({3.0, 4.0});
+  const std::vector<double> grid = Grid(0.0, 5.0, 11);
+  auto bary = QuantileBarycenterOnGrid(*mu0, *mu1, 0.5, grid);
+  ASSERT_TRUE(bary.ok());
+  EXPECT_EQ(bary->support(), grid);
+}
+
+TEST(BregmanBarycenterTest, AgreesWithQuantileMethodOnGaussians) {
+  common::Rng rng(41);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Normal(-1.0, 0.7));
+  for (int i = 0; i < 200; ++i) ys.push_back(rng.Normal(2.0, 0.7));
+  const std::vector<double> grid = Grid(-4.0, 5.0, 60);
+  auto mu0 = DiscreteMeasure::FromSamples(xs);
+  auto mu1 = DiscreteMeasure::FromSamples(ys);
+
+  auto quantile = QuantileBarycenterOnGrid(*mu0, *mu1, 0.5, grid);
+  ASSERT_TRUE(quantile.ok());
+  BregmanBarycenterOptions options;
+  options.epsilon = 0.05;
+  auto bregman = BregmanBarycenter({*mu0, *mu1}, {0.5, 0.5}, grid, options);
+  ASSERT_TRUE(bregman.ok());
+
+  // Entropic smoothing blurs the pmf, but the first moment should agree.
+  EXPECT_NEAR(bregman->Mean(), quantile->Mean(), 0.15);
+}
+
+TEST(BregmanBarycenterTest, DegenerateWeightRecoversThatMeasureMean) {
+  auto mu0 = DiscreteMeasure::FromSamples({0.0, 0.5, 1.0});
+  auto mu1 = DiscreteMeasure::FromSamples({8.0, 9.0, 10.0});
+  const std::vector<double> grid = Grid(-1.0, 11.0, 80);
+  BregmanBarycenterOptions options;
+  options.epsilon = 0.05;
+  auto bary = BregmanBarycenter({*mu0, *mu1}, {1.0, 0.0}, grid, options);
+  ASSERT_TRUE(bary.ok());
+  EXPECT_NEAR(bary->Mean(), mu0->Mean(), 0.2);
+}
+
+TEST(BregmanBarycenterTest, LambdasNormalized) {
+  auto mu0 = DiscreteMeasure::FromSamples({0.0, 1.0});
+  auto mu1 = DiscreteMeasure::FromSamples({4.0, 5.0});
+  const std::vector<double> grid = Grid(-1.0, 6.0, 50);
+  auto a = BregmanBarycenter({*mu0, *mu1}, {0.5, 0.5}, grid, {});
+  auto b = BregmanBarycenter({*mu0, *mu1}, {2.0, 2.0}, grid, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(a->weight_at(i), b->weight_at(i), 1e-9);
+}
+
+TEST(BregmanBarycenterTest, RejectsBadInputs) {
+  auto mu = DiscreteMeasure::FromSamples({0.0, 1.0});
+  const std::vector<double> grid = Grid(0.0, 1.0, 10);
+  EXPECT_FALSE(BregmanBarycenter({}, {}, grid, {}).ok());
+  EXPECT_FALSE(BregmanBarycenter({*mu}, {0.5, 0.5}, grid, {}).ok());
+  EXPECT_FALSE(BregmanBarycenter({*mu}, {0.0}, grid, {}).ok());
+  EXPECT_FALSE(BregmanBarycenter({*mu}, {-1.0}, grid, {}).ok());
+}
+
+}  // namespace
+}  // namespace otfair::ot

@@ -1,0 +1,56 @@
+#include "ot/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace otfair::ot {
+namespace {
+
+TEST(CostTest, SquaredEuclideanValues) {
+  common::Matrix c = SquaredEuclideanCost({0.0, 1.0}, {0.0, 3.0});
+  EXPECT_DOUBLE_EQ(c(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(CostTest, RectangularShape) {
+  common::Matrix c = SquaredEuclideanCost({0.0, 1.0, 2.0}, {5.0});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(2, 0), 9.0);
+}
+
+TEST(CostTest, L1CostIsAbsoluteDifference) {
+  common::Matrix c = LpCost({0.0, -2.0}, {1.0}, 1);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 3.0);
+}
+
+TEST(CostTest, Lp2MatchesSquaredEuclidean) {
+  const std::vector<double> xs = {0.0, 0.5, -1.0};
+  const std::vector<double> ys = {2.0, 1.0};
+  common::Matrix a = LpCost(xs, ys, 2);
+  common::Matrix b = SquaredEuclideanCost(xs, ys);
+  EXPECT_EQ(a.MaxAbsDiff(b), 0.0);
+}
+
+TEST(CostTest, CubicCost) {
+  common::Matrix c = LpCost({0.0}, {2.0}, 3);
+  EXPECT_DOUBLE_EQ(c(0, 0), 8.0);
+}
+
+TEST(CostTest, DiagonalOfSelfCostIsZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  common::Matrix c = SquaredEuclideanCost(xs, xs);
+  for (size_t i = 0; i < xs.size(); ++i) EXPECT_DOUBLE_EQ(c(i, i), 0.0);
+}
+
+TEST(CostTest, SymmetricOnSharedSupport) {
+  const std::vector<double> xs = {1.0, 4.0, 9.0};
+  common::Matrix c = SquaredEuclideanCost(xs, xs);
+  for (size_t i = 0; i < xs.size(); ++i)
+    for (size_t j = 0; j < xs.size(); ++j) EXPECT_DOUBLE_EQ(c(i, j), c(j, i));
+}
+
+}  // namespace
+}  // namespace otfair::ot

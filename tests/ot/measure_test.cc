@@ -1,0 +1,94 @@
+#include "ot/measure.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace otfair::ot {
+namespace {
+
+TEST(MeasureTest, CreateNormalizesWeights) {
+  auto m = DiscreteMeasure::Create({0.0, 1.0}, {2.0, 6.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->weight_at(0), 0.25);
+  EXPECT_DOUBLE_EQ(m->weight_at(1), 0.75);
+  EXPECT_LT(m->NormalizationError(), 1e-15);
+}
+
+TEST(MeasureTest, CreateRejectsBadInput) {
+  EXPECT_FALSE(DiscreteMeasure::Create({}, {}).ok());
+  EXPECT_FALSE(DiscreteMeasure::Create({0.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(DiscreteMeasure::Create({0.0}, {-1.0}).ok());
+  EXPECT_FALSE(DiscreteMeasure::Create({0.0, 1.0}, {0.0, 0.0}).ok());
+  EXPECT_FALSE(DiscreteMeasure::Create({std::nan("")}, {1.0}).ok());
+  EXPECT_FALSE(
+      DiscreteMeasure::Create({std::numeric_limits<double>::infinity()}, {1.0}).ok());
+}
+
+TEST(MeasureTest, FromSamplesGivesUniformWeights) {
+  auto m = DiscreteMeasure::FromSamples({3.0, 1.0, 2.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m->weight_at(i), 1.0 / 3.0);
+}
+
+TEST(MeasureTest, UniformFactory) {
+  auto m = DiscreteMeasure::Uniform({0.0, 1.0, 2.0, 3.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->weight_at(2), 0.25);
+}
+
+TEST(MeasureTest, SortedBySupportOrdersAtoms) {
+  auto m = DiscreteMeasure::Create({3.0, 1.0, 2.0}, {0.5, 0.25, 0.25});
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->IsSorted());
+  DiscreteMeasure sorted = m->SortedBySupport();
+  EXPECT_TRUE(sorted.IsSorted());
+  EXPECT_EQ(sorted.support(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(sorted.weight_at(2), 0.5);  // weight follows its atom
+}
+
+TEST(MeasureTest, MeanAndVariance) {
+  auto m = DiscreteMeasure::Create({0.0, 2.0}, {0.5, 0.5});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(m->Variance(), 1.0);
+}
+
+TEST(MeasureTest, PointMassHasZeroVariance) {
+  auto m = DiscreteMeasure::Create({5.0}, {1.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m->Variance(), 0.0);
+}
+
+TEST(MeasureTest, CdfIsRightContinuousStep) {
+  auto m = DiscreteMeasure::Create({1.0, 2.0, 3.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m->Cdf(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(m->Cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(m->Cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(m->Cdf(99.0), 1.0);
+}
+
+TEST(MeasureTest, QuantileInvertsCdf) {
+  auto m = DiscreteMeasure::Create({1.0, 2.0, 3.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m->Quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(m->Quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(m->Quantile(0.35), 2.0);
+  EXPECT_DOUBLE_EQ(m->Quantile(0.8), 3.0);
+  EXPECT_DOUBLE_EQ(m->Quantile(1.0), 3.0);
+}
+
+TEST(MeasureTest, DuplicateAtomsAreKept) {
+  auto m = DiscreteMeasure::FromSamples({1.0, 1.0, 2.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 3u);
+  EXPECT_DOUBLE_EQ(m->Cdf(1.0), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace otfair::ot

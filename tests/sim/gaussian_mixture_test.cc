@@ -1,0 +1,147 @@
+#include "sim/gaussian_mixture.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace otfair::sim {
+namespace {
+
+TEST(GaussianMixtureTest, PaperDefaultConfiguration) {
+  const GaussianSimConfig config = GaussianSimConfig::PaperDefault();
+  EXPECT_EQ(config.dim, 2u);
+  EXPECT_DOUBLE_EQ(config.sigma, 1.0);
+  EXPECT_DOUBLE_EQ(config.pr_u0, 0.5);
+  EXPECT_DOUBLE_EQ(config.pr_s0_given_u0, 0.3);
+  EXPECT_DOUBLE_EQ(config.pr_s0_given_u1, 0.1);
+  EXPECT_EQ(config.mean[0][0], (std::vector<double>{-1.0, -1.0}));
+  EXPECT_EQ(config.mean[1][0], (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(config.mean[0][1], (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(config.mean[1][1], (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(GaussianMixtureTest, ShapeAndNames) {
+  common::Rng rng(1);
+  auto d = SimulateGaussianMixture(100, GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 100u);
+  EXPECT_EQ(d->dim(), 2u);
+  EXPECT_EQ(d->feature_names(), (std::vector<std::string>{"x1", "x2"}));
+  EXPECT_FALSE(d->has_outcome());
+}
+
+TEST(GaussianMixtureTest, GroupPriorsMatch) {
+  common::Rng rng(2);
+  auto d = SimulateGaussianMixture(60000, GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->ProportionU1(), 0.5, 0.01);
+  // Pr[s=1|u] = 1 - Pr[s=0|u].
+  EXPECT_NEAR(d->ProportionS1GivenU(0), 0.7, 0.01);
+  EXPECT_NEAR(d->ProportionS1GivenU(1), 0.9, 0.01);
+}
+
+TEST(GaussianMixtureTest, ComponentMeansMatch) {
+  common::Rng rng(3);
+  auto d = SimulateGaussianMixture(40000, GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  const auto idx00 = d->GroupIndices({0, 0});
+  const auto idx10 = d->GroupIndices({1, 0});
+  EXPECT_NEAR(stats::Mean(d->FeatureColumn(0, idx00)), -1.0, 0.05);
+  EXPECT_NEAR(stats::Mean(d->FeatureColumn(1, idx00)), -1.0, 0.05);
+  EXPECT_NEAR(stats::Mean(d->FeatureColumn(0, idx10)), 1.0, 0.05);
+}
+
+TEST(GaussianMixtureTest, UnitVarianceComponents) {
+  common::Rng rng(4);
+  auto d = SimulateGaussianMixture(40000, GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  const auto idx = d->GroupIndices({0, 1});
+  EXPECT_NEAR(stats::StdDev(d->FeatureColumn(0, idx)), 1.0, 0.03);
+}
+
+TEST(GaussianMixtureTest, CustomConfigRespected) {
+  GaussianSimConfig config;
+  config.dim = 3;
+  config.sigma = 0.1;
+  config.pr_u0 = 1.0;          // all u = 0
+  config.pr_s0_given_u0 = 1.0;  // all s = 0
+  config.pr_s0_given_u1 = 0.5;
+  for (int u = 0; u <= 1; ++u)
+    for (int s = 0; s <= 1; ++s) config.mean[u][s] = {9.0, 9.0, 9.0};
+  common::Rng rng(5);
+  auto d = SimulateGaussianMixture(500, config, rng);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->dim(), 3u);
+  for (size_t i = 0; i < d->size(); ++i) {
+    EXPECT_EQ(d->u(i), 0);
+    EXPECT_EQ(d->s(i), 0);
+    EXPECT_NEAR(d->feature(i, 2), 9.0, 1.0);
+  }
+}
+
+TEST(GaussianMixtureTest, DeterministicGivenSeed) {
+  common::Rng a(6);
+  common::Rng b(6);
+  auto da = SimulateGaussianMixture(50, GaussianSimConfig::PaperDefault(), a);
+  auto db = SimulateGaussianMixture(50, GaussianSimConfig::PaperDefault(), b);
+  ASSERT_TRUE(da.ok() && db.ok());
+  for (size_t i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(da->feature(i, 0), db->feature(i, 0));
+}
+
+TEST(GaussianMixtureTest, CorrelationKnob) {
+  GaussianSimConfig config = GaussianSimConfig::PaperDefault();
+  config.rho = 0.8;
+  common::Rng rng(8);
+  auto d = SimulateGaussianMixture(30000, config, rng);
+  ASSERT_TRUE(d.ok());
+  // Empirical correlation within one component should approach rho.
+  const auto idx = d->GroupIndices({0, 1});
+  const auto xs = d->FeatureColumn(0, idx);
+  const auto ys = d->FeatureColumn(1, idx);
+  const double mx = stats::Mean(xs);
+  const double my = stats::Mean(ys);
+  double cov = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - mx) * (ys[i] - my);
+    vx += (xs[i] - mx) * (xs[i] - mx);
+    vy += (ys[i] - my) * (ys[i] - my);
+  }
+  EXPECT_NEAR(cov / std::sqrt(vx * vy), 0.8, 0.02);
+}
+
+TEST(GaussianMixtureTest, ZeroRhoUncorrelated) {
+  common::Rng rng(9);
+  auto d = SimulateGaussianMixture(30000, GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(d.ok());
+  const auto idx = d->GroupIndices({0, 1});
+  const auto xs = d->FeatureColumn(0, idx);
+  const auto ys = d->FeatureColumn(1, idx);
+  const double mx = stats::Mean(xs);
+  const double my = stats::Mean(ys);
+  double cov = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) cov += (xs[i] - mx) * (ys[i] - my);
+  cov /= static_cast<double>(xs.size());
+  EXPECT_NEAR(cov, 0.0, 0.03);
+}
+
+TEST(GaussianMixtureTest, RejectsBadConfig) {
+  common::Rng rng(7);
+  EXPECT_FALSE(SimulateGaussianMixture(0, GaussianSimConfig::PaperDefault(), rng).ok());
+  GaussianSimConfig bad_mean = GaussianSimConfig::PaperDefault();
+  bad_mean.mean[0][0] = {1.0};  // wrong dimension
+  EXPECT_FALSE(SimulateGaussianMixture(10, bad_mean, rng).ok());
+  GaussianSimConfig bad_sigma = GaussianSimConfig::PaperDefault();
+  bad_sigma.sigma = 0.0;
+  EXPECT_FALSE(SimulateGaussianMixture(10, bad_sigma, rng).ok());
+  GaussianSimConfig bad_prob = GaussianSimConfig::PaperDefault();
+  bad_prob.pr_u0 = 1.5;
+  EXPECT_FALSE(SimulateGaussianMixture(10, bad_prob, rng).ok());
+}
+
+}  // namespace
+}  // namespace otfair::sim

@@ -1,0 +1,73 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace otfair::stats {
+namespace {
+
+TEST(DescriptiveTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, VarianceUnbiased) {
+  // Sample variance of {1,2,3} with n-1 denominator is 1.
+  EXPECT_DOUBLE_EQ(Variance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Variance({4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(DescriptiveTest, StdDevIsSqrtVariance) {
+  EXPECT_DOUBLE_EQ(StdDev({0.0, 2.0}), std::sqrt(2.0));
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0, 0.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+}
+
+TEST(DescriptiveTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileEndpoints) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 20.0);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.75), 7.5);
+}
+
+TEST(DescriptiveTest, QuantileIgnoresInputOrder) {
+  EXPECT_DOUBLE_EQ(Quantile({30.0, 10.0, 20.0}, 0.5), 20.0);
+}
+
+TEST(DescriptiveTest, IqrOfUniformGrid) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_NEAR(Iqr(xs), 50.0, 1e-9);
+}
+
+TEST(DescriptiveTest, MeanStdCombined) {
+  const MeanStd ms = ComputeMeanStd({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ms.std, 1.0);
+}
+
+TEST(DescriptiveDeathTest, EmptyInputAborts) {
+  EXPECT_DEATH(Mean({}), "empty");
+  EXPECT_DEATH(Quantile({}, 0.5), "empty");
+}
+
+}  // namespace
+}  // namespace otfair::stats

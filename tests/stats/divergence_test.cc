@@ -1,0 +1,118 @@
+#include "stats/divergence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace otfair::stats {
+namespace {
+
+TEST(KlTest, IdenticalPmfsGiveZero) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  auto kl = KlDivergence(p, p);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(*kl, 0.0, 1e-12);
+}
+
+TEST(KlTest, NonNegative) {
+  const std::vector<double> p = {0.7, 0.2, 0.1};
+  const std::vector<double> q = {0.1, 0.2, 0.7};
+  auto kl = KlDivergence(p, q);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_GT(*kl, 0.0);
+}
+
+TEST(KlTest, HandComputedTwoState) {
+  // D[(0.5,0.5) || (0.25,0.75)] = 0.5 ln 2 + 0.5 ln(2/3).
+  auto kl = KlDivergence({0.5, 0.5}, {0.25, 0.75});
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(*kl, 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0), 1e-12);
+}
+
+TEST(KlTest, AsymmetricInGeneral) {
+  const std::vector<double> p = {0.9, 0.1};
+  const std::vector<double> q = {0.5, 0.5};
+  auto pq = KlDivergence(p, q);
+  auto qp = KlDivergence(q, p);
+  ASSERT_TRUE(pq.ok() && qp.ok());
+  EXPECT_GT(std::fabs(*pq - *qp), 1e-3);
+}
+
+TEST(KlTest, UnnormalizedInputsAreNormalized) {
+  auto a = KlDivergence({2.0, 2.0}, {1.0, 3.0});
+  auto b = KlDivergence({0.5, 0.5}, {0.25, 0.75});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(*a, *b, 1e-12);
+}
+
+TEST(KlTest, ZeroStatesFlooredNotInfinite) {
+  auto kl = KlDivergence({0.5, 0.5, 0.0}, {0.0, 0.5, 0.5});
+  ASSERT_TRUE(kl.ok());
+  EXPECT_TRUE(std::isfinite(*kl));
+  EXPECT_GT(*kl, 0.0);
+}
+
+TEST(KlTest, FloorControlsMagnitude) {
+  // A larger floor softens the penalty for mismatched zero states.
+  auto tight = KlDivergence({1.0, 0.0}, {0.0, 1.0}, 1e-12);
+  auto loose = KlDivergence({1.0, 0.0}, {0.0, 1.0}, 1e-3);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_GT(*tight, *loose);
+}
+
+TEST(KlTest, RejectsBadInput) {
+  EXPECT_FALSE(KlDivergence({0.5}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(KlDivergence({}, {}).ok());
+  EXPECT_FALSE(KlDivergence({-0.5, 1.5}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(KlDivergence({0.0, 0.0}, {0.5, 0.5}, 0.0).ok());
+}
+
+TEST(SymmetrizedKlTest, SymmetricByConstruction) {
+  const std::vector<double> p = {0.8, 0.15, 0.05};
+  const std::vector<double> q = {0.3, 0.3, 0.4};
+  auto pq = SymmetrizedKl(p, q);
+  auto qp = SymmetrizedKl(q, p);
+  ASSERT_TRUE(pq.ok() && qp.ok());
+  EXPECT_NEAR(*pq, *qp, 1e-14);
+}
+
+TEST(SymmetrizedKlTest, AverageOfBothDirections) {
+  const std::vector<double> p = {0.9, 0.1};
+  const std::vector<double> q = {0.4, 0.6};
+  auto sym = SymmetrizedKl(p, q);
+  auto pq = KlDivergence(p, q);
+  auto qp = KlDivergence(q, p);
+  ASSERT_TRUE(sym.ok() && pq.ok() && qp.ok());
+  EXPECT_NEAR(*sym, 0.5 * (*pq + *qp), 1e-14);
+}
+
+TEST(JensenShannonTest, BoundedByLog2) {
+  auto js = JensenShannon({1.0, 0.0}, {0.0, 1.0});
+  ASSERT_TRUE(js.ok());
+  EXPECT_NEAR(*js, std::log(2.0), 1e-12);  // maximal for disjoint supports
+  auto same = JensenShannon({0.5, 0.5}, {0.5, 0.5});
+  ASSERT_TRUE(same.ok());
+  EXPECT_NEAR(*same, 0.0, 1e-12);
+}
+
+TEST(TotalVariationTest, KnownValues) {
+  auto tv = TotalVariation({1.0, 0.0}, {0.0, 1.0});
+  ASSERT_TRUE(tv.ok());
+  EXPECT_NEAR(*tv, 1.0, 1e-12);
+  auto half = TotalVariation({0.75, 0.25}, {0.25, 0.75});
+  ASSERT_TRUE(half.ok());
+  EXPECT_NEAR(*half, 0.5, 1e-12);
+}
+
+TEST(TotalVariationTest, PinskerInequality) {
+  // KL >= 2 * TV^2 (Pinsker); verifies consistency between the metrics.
+  const std::vector<double> p = {0.6, 0.3, 0.1};
+  const std::vector<double> q = {0.2, 0.5, 0.3};
+  auto kl = KlDivergence(p, q, 0.0);
+  auto tv = TotalVariation(p, q);
+  ASSERT_TRUE(kl.ok() && tv.ok());
+  EXPECT_GE(*kl, 2.0 * (*tv) * (*tv) - 1e-12);
+}
+
+}  // namespace
+}  // namespace otfair::stats

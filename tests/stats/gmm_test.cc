@@ -1,0 +1,154 @@
+#include "stats/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace otfair::stats {
+namespace {
+
+using common::Matrix;
+using common::Rng;
+
+/// Draws n rows from a 2-component 2-D mixture with the given means.
+Matrix DrawMixture(Rng& rng, size_t n, const std::vector<double>& mean0,
+                   const std::vector<double>& mean1, double weight0,
+                   std::vector<size_t>* labels = nullptr) {
+  Matrix data(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    const bool first = rng.Bernoulli(weight0);
+    const std::vector<double>& mean = first ? mean0 : mean1;
+    data(i, 0) = rng.Normal(mean[0], 0.7);
+    data(i, 1) = rng.Normal(mean[1], 0.7);
+    if (labels) labels->push_back(first ? 0 : 1);
+  }
+  return data;
+}
+
+TEST(GmmSupervisedTest, RecoversClassParameters) {
+  Rng rng(31);
+  std::vector<size_t> labels;
+  Matrix data = DrawMixture(rng, 4000, {-2.0, 0.0}, {3.0, 1.0}, 0.3, &labels);
+  auto model = GaussianMixture::FitSupervised(data, labels, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->components()[0].weight, 0.3, 0.03);
+  EXPECT_NEAR(model->components()[0].mean[0], -2.0, 0.1);
+  EXPECT_NEAR(model->components()[1].mean[0], 3.0, 0.1);
+  EXPECT_NEAR(model->components()[0].var[0], 0.49, 0.08);
+}
+
+TEST(GmmSupervisedTest, ClassifiesWellSeparatedPoints) {
+  Rng rng(32);
+  std::vector<size_t> labels;
+  Matrix data = DrawMixture(rng, 1000, {-3.0, -3.0}, {3.0, 3.0}, 0.5, &labels);
+  auto model = GaussianMixture::FitSupervised(data, labels, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Classify({-3.0, -3.0}), 0u);
+  EXPECT_EQ(model->Classify({3.0, 3.0}), 1u);
+}
+
+TEST(GmmSupervisedTest, RejectsEmptyClass) {
+  Matrix data = Matrix::FromRows({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_FALSE(GaussianMixture::FitSupervised(data, {0, 0}, 2).ok());
+}
+
+TEST(GmmSupervisedTest, RejectsBadLabels) {
+  Matrix data = Matrix::FromRows({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_FALSE(GaussianMixture::FitSupervised(data, {0, 5}, 2).ok());
+  EXPECT_FALSE(GaussianMixture::FitSupervised(data, {0}, 2).ok());
+}
+
+TEST(GmmEmTest, RecoversSeparatedComponents) {
+  Rng rng(33);
+  Matrix data = DrawMixture(rng, 3000, {-3.0, 0.0}, {3.0, 0.0}, 0.5);
+  Rng fit_rng(34);
+  auto model = GaussianMixture::FitEm(data, 2, fit_rng);
+  ASSERT_TRUE(model.ok());
+  // Components can come out in either order.
+  std::vector<double> first_means = {model->components()[0].mean[0],
+                                     model->components()[1].mean[0]};
+  std::sort(first_means.begin(), first_means.end());
+  EXPECT_NEAR(first_means[0], -3.0, 0.25);
+  EXPECT_NEAR(first_means[1], 3.0, 0.25);
+}
+
+TEST(GmmEmTest, LikelihoodImprovesOverSingleComponent) {
+  Rng rng(35);
+  Matrix data = DrawMixture(rng, 2000, {-3.0, -1.0}, {3.0, 1.0}, 0.5);
+  Rng fit_rng_a(36);
+  Rng fit_rng_b(37);
+  auto one = GaussianMixture::FitEm(data, 1, fit_rng_a);
+  auto two = GaussianMixture::FitEm(data, 2, fit_rng_b);
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_GT(two->MeanLogLikelihood(data), one->MeanLogLikelihood(data) + 0.1);
+}
+
+TEST(GmmEmTest, ResponsibilitiesSumToOne) {
+  Rng rng(38);
+  Matrix data = DrawMixture(rng, 500, {-1.0, 0.0}, {1.0, 0.0}, 0.4);
+  Rng fit_rng(39);
+  auto model = GaussianMixture::FitEm(data, 2, fit_rng);
+  ASSERT_TRUE(model.ok());
+  for (double x : {-2.0, 0.0, 2.0}) {
+    const auto resp = model->Responsibilities({x, 0.0});
+    EXPECT_NEAR(resp[0] + resp[1], 1.0, 1e-10);
+    EXPECT_GE(resp[0], 0.0);
+    EXPECT_GE(resp[1], 0.0);
+  }
+}
+
+TEST(GmmEmTest, WeightsFormDistribution) {
+  Rng rng(40);
+  Matrix data = DrawMixture(rng, 800, {-2.0, 0.0}, {2.0, 0.0}, 0.25);
+  Rng fit_rng(41);
+  auto model = GaussianMixture::FitEm(data, 2, fit_rng);
+  ASSERT_TRUE(model.ok());
+  double total = 0.0;
+  for (const auto& c : model->components()) {
+    EXPECT_GE(c.weight, 0.0);
+    total += c.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GmmEmTest, VarianceFloorPreventsCollapse) {
+  // Many duplicated points invite zero-variance collapse.
+  Matrix data(50, 1);
+  for (size_t i = 0; i < 50; ++i) data(i, 0) = (i < 25) ? 0.0 : 1.0;
+  Rng fit_rng(42);
+  GmmOptions options;
+  options.variance_floor = 1e-4;
+  auto model = GaussianMixture::FitEm(data, 2, fit_rng, options);
+  ASSERT_TRUE(model.ok());
+  for (const auto& c : model->components()) EXPECT_GE(c.var[0], 1e-4);
+}
+
+TEST(GmmEmTest, RejectsBadArguments) {
+  Matrix data = Matrix::FromRows({{0.0}, {1.0}});
+  Rng rng(43);
+  EXPECT_FALSE(GaussianMixture::FitEm(Matrix(), 2, rng).ok());
+  EXPECT_FALSE(GaussianMixture::FitEm(data, 0, rng).ok());
+  EXPECT_FALSE(GaussianMixture::FitEm(data, 3, rng).ok());  // n < k
+}
+
+TEST(GmmTest, LogDensityIsMixture) {
+  // Single component: log density equals the diagonal-Gaussian log pdf.
+  Matrix data = Matrix::FromRows({{0.0, 0.0}, {0.1, -0.1}, {-0.1, 0.1}, {0.05, 0.0}});
+  auto model = GaussianMixture::FitSupervised(data, {0, 0, 0, 0}, 1);
+  ASSERT_TRUE(model.ok());
+  const auto& c = model->components()[0];
+  const std::vector<double> x = {0.2, -0.3};
+  double expected = 0.0;
+  for (size_t j = 0; j < 2; ++j) {
+    expected += -0.5 * (x[j] - c.mean[j]) * (x[j] - c.mean[j]) / c.var[j] -
+                0.5 * std::log(2.0 * std::numbers::pi * c.var[j]);
+  }
+  EXPECT_NEAR(model->LogDensity(x), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace otfair::stats

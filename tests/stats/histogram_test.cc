@@ -1,0 +1,97 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace otfair::stats {
+namespace {
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  auto h = UniformHistogram::Build({0.5, 1.5, 1.6, 2.5}, 3, 0.0, 3.0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->counts(), (std::vector<size_t>{1, 2, 1}));
+  EXPECT_EQ(h->total_count(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampedToEndBins) {
+  auto h = UniformHistogram::Build({-10.0, 10.0}, 2, 0.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->counts()[0], 1u);
+  EXPECT_EQ(h->counts()[1], 1u);
+}
+
+TEST(HistogramTest, PmfSumsToOne) {
+  common::Rng rng(20);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.Normal());
+  auto h = UniformHistogram::BuildAuto(xs, 20);
+  ASSERT_TRUE(h.ok());
+  double total = 0.0;
+  for (double p : h->Pmf()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, BinCenters) {
+  auto h = UniformHistogram::Build({0.5}, 4, 0.0, 4.0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->BinCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h->BinCenter(3), 3.5);
+  EXPECT_DOUBLE_EQ(h->bin_width(), 1.0);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  common::Rng rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.Uniform(0.0, 4.0));
+  auto h = UniformHistogram::Build(xs, 16, 0.0, 4.0);
+  ASSERT_TRUE(h.ok());
+  double integral = 0.0;
+  for (size_t b = 0; b < h->num_bins(); ++b)
+    integral += h->Density(h->BinCenter(b)) * h->bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, DensityZeroOutsideRange) {
+  auto h = UniformHistogram::Build({0.5}, 2, 0.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->Density(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(h->Density(1.1), 0.0);
+}
+
+TEST(HistogramTest, AutoRangeCoversSample) {
+  auto h = UniformHistogram::BuildAuto({-2.0, 5.0, 1.0}, 7);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->lo(), -2.0);
+  EXPECT_DOUBLE_EQ(h->hi(), 5.0);
+}
+
+TEST(HistogramTest, AutoRangeWidensDegenerateSample) {
+  auto h = UniformHistogram::BuildAuto({3.0, 3.0}, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_LT(h->lo(), 3.0);
+  EXPECT_GT(h->hi(), 3.0);
+  EXPECT_EQ(h->total_count(), 2u);
+}
+
+TEST(HistogramTest, UniformDataUniformCounts) {
+  common::Rng rng(22);
+  std::vector<double> xs;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.Uniform(0.0, 1.0));
+  auto h = UniformHistogram::Build(xs, 10, 0.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  for (double p : h->Pmf()) EXPECT_NEAR(p, 0.1, 0.01);
+}
+
+TEST(HistogramTest, RejectsBadInputs) {
+  EXPECT_FALSE(UniformHistogram::Build({}, 3, 0.0, 1.0).ok());
+  EXPECT_FALSE(UniformHistogram::Build({0.5}, 0, 0.0, 1.0).ok());
+  EXPECT_FALSE(UniformHistogram::Build({0.5}, 3, 1.0, 0.0).ok());
+  EXPECT_FALSE(UniformHistogram::Build({std::nan("")}, 3, 0.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace otfair::stats

@@ -1,0 +1,130 @@
+#include "stats/kde2d.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace otfair::stats {
+namespace {
+
+std::vector<double> Grid(double lo, double hi, size_t n) {
+  std::vector<double> g(n);
+  for (size_t i = 0; i < n; ++i)
+    g[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  return g;
+}
+
+TEST(Kde2dTest, SinglePointIsProductGaussian) {
+  auto kde = GaussianKde2d::Fit({0.0}, {0.0}, 1.0, 2.0);
+  ASSERT_TRUE(kde.ok());
+  const double expected =
+      std::exp(-0.5 * (1.0 + 0.25)) / (2.0 * std::numbers::pi * 1.0 * 2.0);
+  EXPECT_NEAR(kde->Evaluate(1.0, 1.0), expected, 1e-12);
+}
+
+TEST(Kde2dTest, DensityIntegratesToOne) {
+  common::Rng rng(1);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(rng.Normal(0.0, 1.0));
+    ys.push_back(rng.Normal(0.0, 1.0));
+  }
+  auto kde = GaussianKde2d::FitSilverman(xs, ys);
+  ASSERT_TRUE(kde.ok());
+  const auto grid = Grid(-6.0, 6.0, 121);
+  const double step = grid[1] - grid[0];
+  common::Matrix density = kde->EvaluateOnGrid(grid, grid);
+  EXPECT_NEAR(density.Sum() * step * step, 1.0, 5e-3);
+}
+
+TEST(Kde2dTest, GridEvaluationMatchesPointwise) {
+  common::Rng rng(2);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(rng.Normal());
+    ys.push_back(rng.Normal());
+  }
+  auto kde = GaussianKde2d::Fit(xs, ys, 0.5, 0.7);
+  ASSERT_TRUE(kde.ok());
+  const auto gx = Grid(-2.0, 2.0, 9);
+  const auto gy = Grid(-1.0, 3.0, 7);
+  common::Matrix density = kde->EvaluateOnGrid(gx, gy);
+  for (size_t a = 0; a < gx.size(); ++a) {
+    for (size_t b = 0; b < gy.size(); ++b) {
+      EXPECT_NEAR(density(a, b), kde->Evaluate(gx[a], gy[b]), 1e-12);
+    }
+  }
+}
+
+TEST(Kde2dTest, CapturesCorrelationStructure) {
+  // Strongly correlated cloud: density on the diagonal beats off-diagonal.
+  common::Rng rng(3);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double z = rng.Normal();
+    xs.push_back(z);
+    ys.push_back(0.9 * z + 0.44 * rng.Normal());
+  }
+  auto kde = GaussianKde2d::FitSilverman(xs, ys);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Evaluate(1.0, 1.0), 3.0 * kde->Evaluate(1.0, -1.0));
+}
+
+TEST(Kde2dTest, PmfNormalized) {
+  common::Rng rng(4);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(rng.Normal());
+    ys.push_back(rng.Normal());
+  }
+  auto kde = GaussianKde2d::FitSilverman(xs, ys);
+  ASSERT_TRUE(kde.ok());
+  auto pmf = kde->PmfOnGrid(Grid(-3.0, 3.0, 20), Grid(-3.0, 3.0, 25));
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_EQ(pmf->rows(), 20u);
+  EXPECT_EQ(pmf->cols(), 25u);
+  EXPECT_NEAR(pmf->Sum(), 1.0, 1e-12);
+}
+
+TEST(Kde2dTest, MarginalConsistentWith1dKde) {
+  // Summing the joint pmf over y approximates the x marginal shape.
+  common::Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(rng.Normal(1.0, 1.0));
+    ys.push_back(rng.Normal(0.0, 1.0));
+  }
+  auto kde = GaussianKde2d::FitSilverman(xs, ys);
+  ASSERT_TRUE(kde.ok());
+  auto pmf = kde->PmfOnGrid(Grid(-3.0, 5.0, 33), Grid(-4.0, 4.0, 33));
+  ASSERT_TRUE(pmf.ok());
+  const std::vector<double> marginal_x = pmf->RowSums();
+  // Mode of the x marginal near 1.0.
+  size_t argmax = 0;
+  for (size_t a = 1; a < marginal_x.size(); ++a) {
+    if (marginal_x[a] > marginal_x[argmax]) argmax = a;
+  }
+  const auto gx = Grid(-3.0, 5.0, 33);
+  EXPECT_NEAR(gx[argmax], 1.0, 0.5);
+}
+
+TEST(Kde2dTest, RejectsBadInputs) {
+  EXPECT_FALSE(GaussianKde2d::Fit({}, {}, 1.0, 1.0).ok());
+  EXPECT_FALSE(GaussianKde2d::Fit({0.0}, {0.0, 1.0}, 1.0, 1.0).ok());
+  EXPECT_FALSE(GaussianKde2d::Fit({0.0}, {0.0}, 0.0, 1.0).ok());
+  EXPECT_FALSE(GaussianKde2d::Fit({std::nan("")}, {0.0}, 1.0, 1.0).ok());
+  auto kde = GaussianKde2d::Fit({0.0}, {0.0}, 0.01, 0.01);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_FALSE(kde->PmfOnGrid(Grid(1e5, 2e5, 4), Grid(1e5, 2e5, 4)).ok());
+}
+
+}  // namespace
+}  // namespace otfair::stats

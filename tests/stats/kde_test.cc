@@ -1,0 +1,121 @@
+#include "stats/kde.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/normal.h"
+
+namespace otfair::stats {
+namespace {
+
+std::vector<double> Grid(double lo, double hi, size_t n) {
+  std::vector<double> g(n);
+  for (size_t i = 0; i < n; ++i)
+    g[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  return g;
+}
+
+TEST(KdeTest, SinglePointIsGaussianBump) {
+  auto kde = GaussianKde::Fit({0.0}, 1.0);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->Evaluate(0.0), NormalPdf(0.0), 1e-12);
+  EXPECT_NEAR(kde->Evaluate(1.0), NormalPdf(1.0), 1e-12);
+}
+
+TEST(KdeTest, DensityIntegratesToOne) {
+  common::Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.Normal());
+  auto kde = GaussianKde::FitSilverman(xs);
+  ASSERT_TRUE(kde.ok());
+  // Trapezoid rule over a wide grid.
+  const auto grid = Grid(-8.0, 8.0, 2001);
+  const double step = grid[1] - grid[0];
+  double integral = 0.0;
+  for (double g : grid) integral += kde->Evaluate(g) * step;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(KdeTest, RecoversNormalDensity) {
+  common::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Normal(2.0, 1.5));
+  auto kde = GaussianKde::FitSilverman(xs);
+  ASSERT_TRUE(kde.ok());
+  for (double x : {0.0, 1.0, 2.0, 3.5}) {
+    EXPECT_NEAR(kde->Evaluate(x), NormalPdf(x, 2.0, 1.5), 0.02) << "x=" << x;
+  }
+}
+
+TEST(KdeTest, BimodalDataGivesBimodalDensity) {
+  common::Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.Normal(-3.0, 0.5));
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.Normal(3.0, 0.5));
+  auto kde = GaussianKde::FitSilverman(xs);
+  ASSERT_TRUE(kde.ok());
+  const double at_modes = 0.5 * (kde->Evaluate(-3.0) + kde->Evaluate(3.0));
+  EXPECT_GT(at_modes, 3.0 * kde->Evaluate(0.0));  // valley between modes
+}
+
+TEST(KdeTest, EvaluateOnGridMatchesPointwise) {
+  auto kde = GaussianKde::Fit({0.0, 1.0, 2.0}, 0.5);
+  ASSERT_TRUE(kde.ok());
+  const auto grid = Grid(-1.0, 3.0, 17);
+  const auto values = kde->EvaluateOnGrid(grid);
+  ASSERT_EQ(values.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(values[i], kde->Evaluate(grid[i]));
+}
+
+TEST(KdeTest, PmfOnGridNormalized) {
+  auto kde = GaussianKde::Fit({0.0, 0.5}, 0.3);
+  ASSERT_TRUE(kde.ok());
+  auto pmf = kde->PmfOnGrid(Grid(-2.0, 2.0, 41));
+  ASSERT_TRUE(pmf.ok());
+  double total = 0.0;
+  for (double p : *pmf) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(KdeTest, PmfErrorsWhenGridFarOutsideData) {
+  auto kde = GaussianKde::Fit({0.0}, 0.01);
+  ASSERT_TRUE(kde.ok());
+  auto pmf = kde->PmfOnGrid(Grid(1e6, 2e6, 5));
+  EXPECT_FALSE(pmf.ok());
+}
+
+TEST(KdeTest, LargerBandwidthSmoothsPeaks) {
+  const std::vector<double> xs = {0.0, 0.0, 0.0, 5.0};
+  auto sharp = GaussianKde::Fit(xs, 0.1);
+  auto smooth = GaussianKde::Fit(xs, 2.0);
+  ASSERT_TRUE(sharp.ok() && smooth.ok());
+  EXPECT_GT(sharp->Evaluate(0.0), smooth->Evaluate(0.0));
+  EXPECT_LT(sharp->Evaluate(2.5), smooth->Evaluate(2.5));
+}
+
+TEST(KdeTest, RejectsBadInputs) {
+  EXPECT_FALSE(GaussianKde::Fit({}, 1.0).ok());
+  EXPECT_FALSE(GaussianKde::Fit({0.0}, 0.0).ok());
+  EXPECT_FALSE(GaussianKde::Fit({0.0}, -1.0).ok());
+  EXPECT_FALSE(GaussianKde::Fit({std::nan("")}, 1.0).ok());
+  EXPECT_FALSE(GaussianKde::FitSilverman({}).ok());
+}
+
+TEST(KdeTest, SilvermanBandwidthRecorded) {
+  common::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.Normal());
+  auto kde = GaussianKde::FitSilverman(xs);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->bandwidth(), 0.0);
+  EXPECT_EQ(kde->sample_size(), 100u);
+}
+
+}  // namespace
+}  // namespace otfair::stats

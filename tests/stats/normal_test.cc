@@ -1,0 +1,66 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace otfair::stats {
+namespace {
+
+TEST(NormalTest, StandardPdfAtZero) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+}
+
+TEST(NormalTest, PdfSymmetric) {
+  EXPECT_DOUBLE_EQ(NormalPdf(1.3), NormalPdf(-1.3));
+  EXPECT_DOUBLE_EQ(NormalPdf(5.0, 2.0, 3.0), NormalPdf(-1.0, 2.0, 3.0));
+}
+
+TEST(NormalTest, PdfScalesWithSd) {
+  // Peak height is 1/(sd * sqrt(2pi)).
+  EXPECT_NEAR(NormalPdf(0.0, 0.0, 2.0), 0.3989422804014327 / 2.0, 1e-12);
+}
+
+TEST(NormalTest, LogPdfConsistentWithPdf) {
+  for (double x : {-2.0, 0.0, 0.7, 3.5}) {
+    EXPECT_NEAR(std::exp(NormalLogPdf(x, 1.0, 1.5)), NormalPdf(x, 1.0, 1.5), 1e-12);
+  }
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(NormalTest, CdfMonotone) {
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    const double c = NormalCdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalTest, CdfShiftScale) {
+  EXPECT_NEAR(NormalCdf(3.0, 3.0, 10.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(5.0, 3.0, 2.0), NormalCdf(1.0), 1e-12);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double q : {0.001, 0.025, 0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(q)), q, 1e-8) << "q=" << q;
+  }
+}
+
+TEST(NormalTest, QuantileSymmetry) {
+  EXPECT_NEAR(NormalQuantile(0.3), -NormalQuantile(0.7), 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+}
+
+TEST(NormalTest, QuantileKnownValue) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-7);
+}
+
+}  // namespace
+}  // namespace otfair::stats

@@ -1,0 +1,108 @@
+#include "stats/sampling.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace otfair::stats {
+namespace {
+
+TEST(AliasTableTest, ReconstructedProbabilitiesMatchInput) {
+  auto table = AliasTable::Build({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table->Probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(table->Probability(3), 0.4, 1e-12);
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatch) {
+  auto table = AliasTable::Build({0.5, 0.2, 0.3});
+  ASSERT_TRUE(table.ok());
+  common::Rng rng(12);
+  std::vector<int> counts(3, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table->Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(AliasTableTest, SingleBucketAlwaysReturnsZero) {
+  auto table = AliasTable::Build({7.0});
+  ASSERT_TRUE(table.ok());
+  common::Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table->Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightBucketsNeverSampled) {
+  auto table = AliasTable::Build({0.0, 1.0, 0.0, 1.0});
+  ASSERT_TRUE(table.ok());
+  common::Rng rng(14);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t s = table->Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  auto table = AliasTable::Build({1e-6, 1.0});
+  ASSERT_TRUE(table.ok());
+  common::Rng rng(15);
+  int rare = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) rare += table->Sample(rng) == 0 ? 1 : 0;
+  EXPECT_LT(rare, 50);  // expected ~0.1
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  const size_t k = 10;
+  auto table = AliasTable::Build(std::vector<double>(k, 1.0));
+  ASSERT_TRUE(table.ok());
+  common::Rng rng(16);
+  std::vector<int> counts(k, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table->Sample(rng)];
+  for (int c : counts)
+    EXPECT_NEAR(c / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(AliasTableTest, MatchesInverseCdfReference) {
+  // Same distribution through both samplers; compare first moments.
+  const std::vector<double> weights = {0.05, 0.15, 0.4, 0.25, 0.15};
+  auto table = AliasTable::Build(weights);
+  ASSERT_TRUE(table.ok());
+  common::Rng rng_a(17);
+  common::Rng rng_b(17);
+  const int n = 100000;
+  double mean_alias = 0.0;
+  for (int i = 0; i < n; ++i) mean_alias += static_cast<double>(table->Sample(rng_a));
+  const std::vector<size_t> ref = SampleCategorical(weights, n, rng_b);
+  double mean_ref = 0.0;
+  for (size_t s : ref) mean_ref += static_cast<double>(s);
+  EXPECT_NEAR(mean_alias / n, mean_ref / n, 0.02);
+}
+
+TEST(AliasTableTest, RejectsBadWeights) {
+  EXPECT_FALSE(AliasTable::Build({}).ok());
+  EXPECT_FALSE(AliasTable::Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasTable::Build({-1.0, 2.0}).ok());
+  EXPECT_FALSE(AliasTable::Build({std::nan("")}).ok());
+}
+
+TEST(AliasTableTest, DeterministicGivenSeed) {
+  auto table = AliasTable::Build({0.3, 0.7});
+  ASSERT_TRUE(table.ok());
+  common::Rng a(18);
+  common::Rng b(18);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table->Sample(a), table->Sample(b));
+}
+
+TEST(SampleCategoricalTest, CountMatches) {
+  common::Rng rng(19);
+  const auto samples = SampleCategorical({1.0, 1.0}, 500, rng);
+  EXPECT_EQ(samples.size(), 500u);
+  for (size_t s : samples) EXPECT_LT(s, 2u);
+}
+
+}  // namespace
+}  // namespace otfair::stats

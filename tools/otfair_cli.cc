@@ -1,0 +1,193 @@
+// otfair — command-line front end for the repair pipeline.
+//
+// Subcommands:
+//   design   fit a repair plan on a labelled research CSV and save it
+//   repair   apply a saved plan to an archive CSV (hard, estimated or
+//            Monge-map modes)
+//   inspect  print a plan artifact's structure and a CSV's fairness report
+//   drift    compare an archive CSV against a plan's design distribution
+//
+// Examples:
+//   otfair design  --research=research.csv --plan=plan.bin --n_q=50
+//   otfair repair  --plan=plan.bin --input=archive.csv --output=repaired.csv
+//   otfair repair  --plan=plan.bin --input=archive.csv --output=o.csv
+//                  --mode=quantile --estimate_labels --research=research.csv
+//   otfair inspect --plan=plan.bin
+//   otfair inspect --data=archive.csv
+//   otfair drift   --plan=plan.bin --input=archive.csv
+//
+// CSV layout: header `s,u[,y],<feature names...>`, binary labels.
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/designer.h"
+#include "core/drift_monitor.h"
+#include "core/label_estimator.h"
+#include "core/quantile_repair.h"
+#include "core/repairer.h"
+#include "data/csv.h"
+#include "fairness/report.h"
+
+namespace {
+
+using otfair::common::FlagParser;
+using otfair::common::Status;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: otfair <design|repair|inspect|drift> [flags]\n"
+               "  design  --research=R.csv --plan=P.bin [--n_q=50] [--target_t=0.5]\n"
+               "  repair  --plan=P.bin --input=A.csv --output=O.csv\n"
+               "          [--mode=stochastic|mean|quantile] [--strength=1.0] [--seed=N]\n"
+               "          [--estimate_labels --research=R.csv]\n"
+               "  inspect --plan=P.bin | --data=D.csv\n"
+               "  drift   --plan=P.bin --input=A.csv\n");
+  return 2;
+}
+
+int RunDesign(const FlagParser& flags) {
+  const std::string research_path = flags.GetString("research", "");
+  const std::string plan_path = flags.GetString("plan", "");
+  if (research_path.empty() || plan_path.empty()) return Usage();
+  auto research = otfair::data::ReadCsv(research_path);
+  if (!research.ok()) return Fail(research.status());
+
+  otfair::core::DesignOptions options;
+  options.n_q = static_cast<size_t>(flags.GetInt("n_q", 50));
+  options.target_t = flags.GetDouble("target_t", 0.5);
+  auto plans = otfair::core::DesignDistributionalRepair(*research, options);
+  if (!plans.ok()) return Fail(plans.status());
+  if (Status status = plans->SaveToFile(plan_path); !status.ok()) return Fail(status);
+  std::printf("designed %zu channels (n_Q=%zu, t=%.2f) from %zu research rows -> %s\n",
+              2 * plans->dim(), options.n_q, options.target_t, research->size(),
+              plan_path.c_str());
+  return 0;
+}
+
+int RunRepair(const FlagParser& flags) {
+  const std::string plan_path = flags.GetString("plan", "");
+  const std::string input_path = flags.GetString("input", "");
+  const std::string output_path = flags.GetString("output", "");
+  if (plan_path.empty() || input_path.empty() || output_path.empty()) return Usage();
+  auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
+  if (!plans.ok()) return Fail(plans.status());
+  auto archive = otfair::data::ReadCsv(input_path);
+  if (!archive.ok()) return Fail(archive.status());
+
+  // Optional s-label estimation from a research CSV.
+  std::vector<int> labels = archive->s_labels();
+  if (flags.GetBool("estimate_labels", false)) {
+    const std::string research_path = flags.GetString("research", "");
+    if (research_path.empty()) {
+      std::fprintf(stderr, "--estimate_labels requires --research\n");
+      return 2;
+    }
+    auto research = otfair::data::ReadCsv(research_path);
+    if (!research.ok()) return Fail(research.status());
+    auto estimator = otfair::core::LabelEstimator::Fit(*research);
+    if (!estimator.ok()) return Fail(estimator.status());
+    auto estimated = estimator->EstimateS(*archive);
+    if (!estimated.ok()) return Fail(estimated.status());
+    labels = std::move(*estimated);
+    std::printf("estimated archive s-labels from %s\n", research_path.c_str());
+  }
+
+  const std::string mode = flags.GetString("mode", "stochastic");
+  const double strength = flags.GetDouble("strength", 1.0);
+  otfair::common::Result<otfair::data::Dataset> repaired(
+      Status::Internal("unreachable"));
+  if (mode == "quantile") {
+    auto repairer = otfair::core::QuantileMapRepairer::Create(std::move(*plans), strength);
+    if (!repairer.ok()) return Fail(repairer.status());
+    repaired = repairer->RepairDatasetWithLabels(*archive, labels);
+  } else if (mode == "stochastic" || mode == "mean") {
+    otfair::core::RepairOptions options;
+    options.seed = flags.GetUint64("seed", 0x07fa12u);
+    options.strength = strength;
+    options.mode = mode == "mean" ? otfair::core::TransportMode::kConditionalMean
+                                  : otfair::core::TransportMode::kStochastic;
+    auto repairer = otfair::core::OffSampleRepairer::Create(std::move(*plans), options);
+    if (!repairer.ok()) return Fail(repairer.status());
+    repaired = repairer->RepairDatasetWithLabels(*archive, labels);
+  } else {
+    std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
+    return 2;
+  }
+  if (!repaired.ok()) return Fail(repaired.status());
+  if (Status status = otfair::data::WriteCsv(*repaired, output_path); !status.ok())
+    return Fail(status);
+  std::printf("repaired %zu rows (%s mode, strength %.2f) -> %s\n", repaired->size(),
+              mode.c_str(), strength, output_path.c_str());
+  return 0;
+}
+
+int RunInspect(const FlagParser& flags) {
+  const std::string plan_path = flags.GetString("plan", "");
+  const std::string data_path = flags.GetString("data", "");
+  if (!plan_path.empty()) {
+    auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
+    if (!plans.ok()) return Fail(plans.status());
+    std::printf("plan artifact %s\n  features (%zu):", plan_path.c_str(), plans->dim());
+    for (const std::string& name : plans->feature_names()) std::printf(" %s", name.c_str());
+    std::printf("\n  barycentre position t = %.3f\n", plans->target_t());
+    for (int u = 0; u <= 1; ++u) {
+      for (size_t k = 0; k < plans->dim(); ++k) {
+        const auto& channel = plans->At(u, k);
+        std::printf("  channel (u=%d, %s): n_Q=%zu, range [%.4g, %.4g]\n", u,
+                    plans->feature_names()[k].c_str(), channel.grid.size(),
+                    channel.grid.lo(), channel.grid.hi());
+      }
+    }
+    return 0;
+  }
+  if (!data_path.empty()) {
+    auto dataset = otfair::data::ReadCsv(data_path);
+    if (!dataset.ok()) return Fail(dataset.status());
+    auto report = otfair::fairness::MakeFairnessReport(*dataset);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s\n%s", data_path.c_str(), report->ToString().c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+int RunDrift(const FlagParser& flags) {
+  const std::string plan_path = flags.GetString("plan", "");
+  const std::string input_path = flags.GetString("input", "");
+  if (plan_path.empty() || input_path.empty()) return Usage();
+  auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
+  if (!plans.ok()) return Fail(plans.status());
+  auto archive = otfair::data::ReadCsv(input_path);
+  if (!archive.ok()) return Fail(archive.status());
+  if (archive->dim() != plans->dim())
+    return Fail(Status::InvalidArgument("archive/plan dimensionality mismatch"));
+  auto monitor = otfair::core::DriftMonitor::Create(*plans);
+  if (!monitor.ok()) return Fail(monitor.status());
+  for (size_t i = 0; i < archive->size(); ++i) {
+    for (size_t k = 0; k < archive->dim(); ++k)
+      monitor->Observe(archive->u(i), archive->s(i), k, archive->feature(i, k));
+  }
+  const otfair::core::DriftReport report = monitor->Report();
+  std::printf("%s", report.ToString().c_str());
+  return report.drifted ? 3 : 0;  // non-zero exit signals drift to scripts
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  FlagParser flags(argc - 1, argv + 1);
+  if (command == "design") return RunDesign(flags);
+  if (command == "repair") return RunRepair(flags);
+  if (command == "inspect") return RunInspect(flags);
+  if (command == "drift") return RunDrift(flags);
+  return Usage();
+}
