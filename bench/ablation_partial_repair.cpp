@@ -20,6 +20,7 @@
 #include "core/repairer.h"
 #include "fairness/damage.h"
 #include "fairness/emetric.h"
+#include "ot/solver.h"
 #include "sim/gaussian_mixture.h"
 
 using otfair::common::FlagParser;
@@ -125,22 +126,23 @@ int main(int argc, char** argv) {
               "design ms");
   struct SolverCase {
     const char* name;
-    otfair::core::OtSolverKind kind;
+    const char* registry_name;
     double epsilon;
   };
   const SolverCase cases[] = {
-      {"monotone (exact)", otfair::core::OtSolverKind::kMonotone, 0.0},
-      {"network flow (exact)", otfair::core::OtSolverKind::kExact, 0.0},
-      {"sinkhorn eps=0.5", otfair::core::OtSolverKind::kSinkhorn, 0.5},
-      {"sinkhorn eps=0.05", otfair::core::OtSolverKind::kSinkhorn, 0.05},
+      {"monotone (exact)", "monotone", 0.0},
+      {"network flow (exact)", "exact", 0.0},
+      {"sinkhorn eps=0.5", "sinkhorn", 0.5},
+      {"sinkhorn eps=0.05", "sinkhorn", 0.05},
   };
   for (const SolverCase& c : cases) {
     otfair::core::DesignOptions design;
-    design.solver = c.kind;
+    otfair::ot::SolverOptions solver_options;
     if (c.epsilon > 0.0) {
-      design.sinkhorn.epsilon = c.epsilon;
-      design.sinkhorn.log_domain = true;
+      solver_options.sinkhorn.epsilon = c.epsilon;
+      solver_options.sinkhorn.log_domain = true;
     }
+    design.solver = *otfair::ot::MakeSolver(c.registry_name, solver_options);
     Timer timer;
     auto plans = otfair::core::DesignDistributionalRepair(*research, design);
     const double ms = timer.ElapsedMillis();

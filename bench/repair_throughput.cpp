@@ -9,6 +9,7 @@
 #include "core/designer.h"
 #include "core/geometric.h"
 #include "core/repairer.h"
+#include "ot/solver.h"
 #include "sim/gaussian_mixture.h"
 
 namespace {
@@ -88,7 +89,7 @@ void BM_DesignWithExactSolver(benchmark::State& state) {
       1000, otfair::sim::GaussianSimConfig::PaperDefault(), rng);
   otfair::core::DesignOptions options;
   options.n_q = n_q;
-  options.solver = otfair::core::OtSolverKind::kExact;
+  options.solver = *otfair::ot::MakeSolver("exact");
   for (auto _ : state) {
     auto plans = otfair::core::DesignDistributionalRepair(*research, options);
     benchmark::DoNotOptimize(plans);

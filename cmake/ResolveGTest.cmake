@@ -1,0 +1,42 @@
+# Resolves GoogleTest for the test suite, in order of preference:
+#
+#   1. An installed GTest (system package, conda, vcpkg, ...) via
+#      find_package — works offline and is the common case on dev boxes.
+#   2. Distro sources under /usr/src/googletest (Debian/Ubuntu
+#      `libgtest-dev` ships sources only on older releases).
+#   3. FetchContent from the upstream repository — covers fresh CI
+#      machines with network access but no preinstalled GTest.
+#
+# Defines the imported targets GTest::gtest and GTest::gtest_main either
+# way, plus `otfair_gtest_discover` as a guarded alias for
+# gtest_discover_tests.
+
+include(GoogleTest)
+
+find_package(GTest QUIET)
+
+if(GTest_FOUND)
+  message(STATUS "otfair: using installed GTest (${GTest_DIR})")
+elseif(EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "otfair: building GTest from /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest ${CMAKE_BINARY_DIR}/_deps/googletest-distro
+                   EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+else()
+  message(STATUS "otfair: fetching GTest from upstream (no local copy found)")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  # Honour the parent project's runtime on MSVC.
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()

@@ -5,47 +5,12 @@
 
 #include "common/status.h"
 #include "ot/barycenter.h"
-#include "ot/cost.h"
-#include "ot/exact.h"
-#include "ot/monotone.h"
+#include "ot/solver.h"
 
 namespace otfair::core {
 
-using common::Matrix;
 using common::Result;
 using common::Status;
-
-namespace {
-
-/// Solves mu -> nu on the shared grid with squared-Euclidean cost using the
-/// configured solver; returns the dense n_Q x n_Q coupling.
-Result<Matrix> SolveChannelPlan(const ot::DiscreteMeasure& mu, const ot::DiscreteMeasure& nu,
-                                const SupportGrid& grid, const DesignOptions& options) {
-  switch (options.solver) {
-    case OtSolverKind::kMonotone: {
-      // Both measures live on the sorted grid, so sparse entries index grid
-      // states directly.
-      auto coupling = ot::SolveMonotone1D(mu, nu);
-      if (!coupling.ok()) return coupling.status();
-      return ot::SparseToDense(coupling->entries, grid.size(), grid.size());
-    }
-    case OtSolverKind::kExact: {
-      const Matrix cost = ot::SquaredEuclideanCost(grid.points(), grid.points());
-      auto plan = ot::SolveExact(mu.weights(), nu.weights(), cost);
-      if (!plan.ok()) return plan.status();
-      return std::move(plan->coupling);
-    }
-    case OtSolverKind::kSinkhorn: {
-      const Matrix cost = ot::SquaredEuclideanCost(grid.points(), grid.points());
-      auto result = ot::SolveSinkhorn(mu.weights(), nu.weights(), cost, options.sinkhorn);
-      if (!result.ok()) return result.status();
-      return std::move(result->plan.coupling);
-    }
-  }
-  return Status::Internal("unknown solver kind");
-}
-
-}  // namespace
 
 Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
                                                  const DesignOptions& options) {
@@ -53,6 +18,7 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
   if (options.n_q < 2) return Status::InvalidArgument("n_q must be >= 2");
   if (!(options.target_t >= 0.0 && options.target_t <= 1.0))
     return Status::InvalidArgument("target_t must lie in [0, 1]");
+  const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
 
   RepairPlanSet plans(research.dim(), research.feature_names());
   plans.set_target_t(options.target_t);
@@ -90,10 +56,12 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
       if (!barycenter.ok()) return barycenter.status();
       channel.barycenter = std::move(*barycenter);
 
-      // (iv) The two OT plans mu_s -> nu (lines 10-11, Eq. 13).
+      // (iv) The two OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
+      // and barycentre all live on the sorted grid, so the backend's 1-D
+      // solve applies directly and its entries index grid states.
       for (int s = 0; s <= 1; ++s) {
-        auto plan = SolveChannelPlan(channel.marginal[static_cast<size_t>(s)],
-                                     channel.barycenter, channel.grid, options);
+        auto plan =
+            solver.Solve1DDense(channel.marginal[static_cast<size_t>(s)], channel.barycenter);
         if (!plan.ok()) return plan.status();
         channel.plan[static_cast<size_t>(s)] = std::move(*plan);
       }

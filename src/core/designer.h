@@ -2,27 +2,15 @@
 #define OTFAIR_CORE_DESIGNER_H_
 
 #include <cstddef>
+#include <memory>
 
 #include "common/result.h"
 #include "core/marginals.h"
 #include "core/repair_plan.h"
 #include "data/dataset.h"
-#include "ot/sinkhorn.h"
+#include "ot/solver.h"
 
 namespace otfair::core {
-
-/// Which OT solver builds the per-channel plans pi*_{u,s,k} (Eq. 13).
-enum class OtSolverKind {
-  /// O(n_Q) monotone coupling — exact for the 1-D squared-Euclidean cost
-  /// used here, and the default.
-  kMonotone,
-  /// General exact solver (successive shortest paths); same optimum as
-  /// kMonotone on these problems, provided for cross-validation and for
-  /// non-convex custom costs.
-  kExact,
-  /// Entropy-regularized Sinkhorn (approximate; O(n_Q^2 / eps^2)).
-  kSinkhorn,
-};
 
 /// Options for Algorithm 1 (on-sample design of the distributional repair).
 struct DesignOptions {
@@ -33,9 +21,12 @@ struct DesignOptions {
   /// Barycentre position t along the W2 geodesic (Eq. 7); 0.5 is the
   /// paper's fair barycentre, equidistant from both s-conditionals.
   double target_t = 0.5;
-  OtSolverKind solver = OtSolverKind::kMonotone;
-  /// Used only when solver == kSinkhorn.
-  ot::SinkhornOptions sinkhorn;
+  /// OT backend for the per-channel plans pi*_{u,s,k} (Eq. 13). Null
+  /// means `ot::DefaultSolver()` — the O(n_Q) monotone map, exact for the
+  /// 1-D squared-Euclidean cost used here. Any backend registered in
+  /// `ot::SolverRegistry` can be injected (e.g. `ot::MakeSolver("exact")`
+  /// for cross-validation, or "sinkhorn" with tuned `SolverOptions`).
+  std::shared_ptr<const ot::Solver> solver;
   MarginalOptions marginal;
   /// Minimum research rows per (u, s) group; below this the design is
   /// rejected (the conditional marginal cannot be estimated).

@@ -6,7 +6,7 @@
 
 #include "common/status.h"
 #include "ot/measure.h"
-#include "ot/monotone.h"
+#include "ot/plan.h"
 
 namespace otfair::core {
 
@@ -18,6 +18,7 @@ Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
   if (research.empty()) return Status::InvalidArgument("empty research dataset");
   if (!(options.t >= 0.0 && options.t <= 1.0))
     return Status::InvalidArgument("t must lie in [0, 1]");
+  const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
 
   data::Dataset repaired = research.Clone();
 
@@ -53,7 +54,9 @@ Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
       if (!mu0.ok()) return mu0.status();
       auto mu1 = ot::DiscreteMeasure::FromSamples(sorted1);
       if (!mu1.ok()) return mu1.status();
-      auto coupling = ot::SolveMonotone1D(*mu0, *mu1);
+      // Both measures are sorted, so the backend's entries index the
+      // sorted sample orders directly.
+      auto coupling = solver.Solve1D(*mu0, *mu1);
       if (!coupling.ok()) return coupling.status();
 
       // Conditional transports: sum_j pi_ij x1_j (and transpose). Row mass
@@ -61,7 +64,7 @@ Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
       // Eqs. 8-9 turn these sums into conditional means.
       std::vector<double> transport0(sorted0.size(), 0.0);
       std::vector<double> transport1(sorted1.size(), 0.0);
-      for (const ot::PlanEntry& e : coupling->entries) {
+      for (const ot::PlanEntry& e : *coupling) {
         transport0[e.i] += e.mass * sorted1[e.j];
         transport1[e.j] += e.mass * sorted0[e.i];
       }

@@ -1,8 +1,11 @@
 #ifndef OTFAIR_CORE_GEOMETRIC_H_
 #define OTFAIR_CORE_GEOMETRIC_H_
 
+#include <memory>
+
 #include "common/result.h"
 #include "data/dataset.h"
+#include "ot/solver.h"
 
 namespace otfair::core {
 
@@ -13,6 +16,11 @@ struct GeometricOptions {
   double t = 0.5;
   /// Minimum rows per (u, s) group.
   size_t min_group_size = 2;
+  /// OT backend for the empirical coupling pi* between the s-conditional
+  /// samples. Null means `ot::DefaultSolver()` (monotone — exact here and
+  /// O(n)); injecting "exact" or "sinkhorn" from the registry reproduces
+  /// the baseline under alternative solvers.
+  std::shared_ptr<const ot::Solver> solver;
 };
 
 /// The geometric OT repair of Del Barrio et al. (ICML 2019), applied per

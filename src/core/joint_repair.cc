@@ -147,6 +147,31 @@ Result<Matrix> EntropicPlan(const SeparableKernel& kernel, const std::vector<dou
   return plan;
 }
 
+/// Dense 2-D squared-Euclidean cost over the flattened product states,
+/// for solving the joint plans through an injected registry backend.
+Matrix ProductGridCost(const SupportGrid& gx, const SupportGrid& gy) {
+  const size_t ny = gy.size();
+  const size_t states = gx.size() * ny;
+  // Flattened per-state coordinates, so the O(states^2) loop below does
+  // no index arithmetic or grid lookups.
+  std::vector<double> xs(states);
+  std::vector<double> ys(states);
+  for (size_t i = 0; i < states; ++i) {
+    xs[i] = gx.point(i / ny);
+    ys[i] = gy.point(i % ny);
+  }
+  Matrix cost(states, states);
+  for (size_t i = 0; i < states; ++i) {
+    double* row = cost.row(i);
+    for (size_t j = 0; j < states; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      row[j] = dx * dx + dy * dy;
+    }
+  }
+  return cost;
+}
+
 }  // namespace
 
 Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& research, size_t k1,
@@ -160,6 +185,9 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
   if (!(options.target_t >= 0.0 && options.target_t <= 1.0))
     return Status::InvalidArgument("target_t must lie in [0, 1]");
   if (!(options.epsilon > 0.0)) return Status::InvalidArgument("epsilon must be positive");
+  if (options.solver && !options.solver->supports_general_cost())
+    return Status::Unimplemented("joint repair solves product-grid (2-D) problems; backend '" +
+                                 options.solver->name() + "' supports 1-D costs only");
 
   JointPairRepairer repairer;
   repairer.k1_ = k1;
@@ -211,9 +239,22 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
                            options.max_iterations, options.tolerance);
     if (!barycenter.ok()) return barycenter.status();
 
+    // An injected backend solves the dense product-grid problem under the
+    // true 2-D cost; the default path keeps the separable-kernel entropic
+    // iteration.
+    Matrix product_cost;
+    if (options.solver) product_cost = ProductGridCost(stratum.grid_x, stratum.grid_y);
+    auto solve_plan = [&](const std::vector<double>& source) -> Result<Matrix> {
+      if (!options.solver)
+        return EntropicPlan(kernel, source, *barycenter, ny, options.max_iterations,
+                            options.tolerance);
+      auto solved = options.solver->Solve(source, *barycenter, product_cost);
+      if (!solved.ok()) return solved.status();
+      return std::move(solved->coupling);
+    };
+
     for (int s = 0; s <= 1; ++s) {
-      auto plan = EntropicPlan(kernel, marginal[static_cast<size_t>(s)], *barycenter, ny,
-                               options.max_iterations, options.tolerance);
+      Result<Matrix> plan = solve_plan(marginal[static_cast<size_t>(s)]);
       if (!plan.ok()) return plan.status();
       stratum.plan[static_cast<size_t>(s)] = std::move(*plan);
 

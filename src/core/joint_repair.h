@@ -2,6 +2,7 @@
 #define OTFAIR_CORE_JOINT_REPAIR_H_
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -11,7 +12,7 @@
 #include "common/rng.h"
 #include "core/support_grid.h"
 #include "data/dataset.h"
-#include "ot/sinkhorn.h"
+#include "ot/solver.h"
 #include "stats/sampling.h"
 
 namespace otfair::core {
@@ -33,6 +34,15 @@ struct JointDesignOptions {
   size_t min_group_size = 8;
   /// KDE bandwidth per axis; 0 = Silverman.
   double bandwidth = 0.0;
+  /// Optional OT backend for the per-s plans mu_s -> nu on the flattened
+  /// product grid. Null (default) uses the built-in separable-kernel
+  /// entropic path, which exploits the product structure for an
+  /// O(n_q^3)-per-application kernel. A registry backend (e.g. "exact"
+  /// for cross-validation) instead solves the dense n_q^2-state problem
+  /// under the true 2-D squared-Euclidean cost — only sensible for
+  /// moderate n_q, and it must support general costs ("monotone" is
+  /// rejected, being 1-D only). The barycentre itself is always entropic.
+  std::shared_ptr<const ot::Solver> solver;
 };
 
 /// Joint repair of one feature *pair* (k1, k2): the correlation-aware

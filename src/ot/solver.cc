@@ -1,0 +1,189 @@
+#include "ot/solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ot/cost.h"
+#include "ot/monotone.h"
+
+namespace otfair::ot {
+
+using common::Matrix;
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status RequireSorted(const DiscreteMeasure& mu, const DiscreteMeasure& nu) {
+  if (!mu.IsSorted() || !nu.IsSorted())
+    return Status::InvalidArgument("Solve1D requires sorted supports");
+  return Status::Ok();
+}
+
+/// Exact successive-shortest-paths backend (ot/exact.h).
+class ExactSolver : public Solver {
+ public:
+  explicit ExactSolver(const ExactSolverOptions& options) : options_(options) {}
+
+  const std::string& name() const override {
+    static const std::string kName = "exact";
+    return kName;
+  }
+  bool is_exact() const override { return true; }
+  bool supports_general_cost() const override { return true; }
+
+  Result<TransportPlan> Solve(const std::vector<double>& a, const std::vector<double>& b,
+                              const Matrix& cost) const override {
+    return SolveExact(a, b, cost, options_);
+  }
+
+ private:
+  ExactSolverOptions options_;
+};
+
+/// Entropy-regularized Sinkhorn backend (ot/sinkhorn.h).
+class SinkhornSolver : public Solver {
+ public:
+  explicit SinkhornSolver(const SinkhornOptions& options) : options_(options) {}
+
+  const std::string& name() const override {
+    static const std::string kName = "sinkhorn";
+    return kName;
+  }
+  bool is_exact() const override { return false; }
+  bool supports_general_cost() const override { return true; }
+
+  Result<TransportPlan> Solve(const std::vector<double>& a, const std::vector<double>& b,
+                              const Matrix& cost) const override {
+    auto result = SolveSinkhorn(a, b, cost, options_);
+    if (!result.ok()) return result.status();
+    return std::move(result->plan);
+  }
+
+ private:
+  SinkhornOptions options_;
+};
+
+/// O(n + m) monotone-rearrangement backend, optimal for convex 1-D costs
+/// (ot/monotone.h). It has no general dense solve: the coupling is defined
+/// by the quantile structure of the line, not by a cost matrix.
+class MonotoneSolver : public Solver {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "monotone";
+    return kName;
+  }
+  bool is_exact() const override { return true; }
+  bool supports_general_cost() const override { return false; }
+
+  Result<TransportPlan> Solve(const std::vector<double>& /*a*/,
+                              const std::vector<double>& /*b*/,
+                              const Matrix& /*cost*/) const override {
+    return Status::Unimplemented(
+        "monotone solver is 1-D only (no general ground cost); use Solve1D "
+        "or pick the exact/sinkhorn backend");
+  }
+
+  Result<std::vector<PlanEntry>> Solve1D(const DiscreteMeasure& mu,
+                                         const DiscreteMeasure& nu) const override {
+    if (Status status = RequireSorted(mu, nu); !status.ok()) return status;
+    auto coupling = SolveMonotone1D(mu, nu);
+    if (!coupling.ok()) return coupling.status();
+    return std::move(coupling->entries);
+  }
+};
+
+}  // namespace
+
+Result<std::vector<PlanEntry>> Solver::Solve1D(const DiscreteMeasure& mu,
+                                               const DiscreteMeasure& nu) const {
+  if (Status status = RequireSorted(mu, nu); !status.ok()) return status;
+  const Matrix cost = SquaredEuclideanCost(mu.support(), nu.support());
+  auto plan = Solve(mu.weights(), nu.weights(), cost);
+  if (!plan.ok()) return plan.status();
+  return plan->ToSparse();
+}
+
+Result<Matrix> Solver::Solve1DDense(const DiscreteMeasure& mu,
+                                    const DiscreteMeasure& nu) const {
+  // Dense backends already produce the coupling matrix — return it
+  // directly rather than roundtripping through the sparse representation
+  // (this is the per-channel hot call of Algorithm 1).
+  if (supports_general_cost()) {
+    if (Status status = RequireSorted(mu, nu); !status.ok()) return status;
+    const Matrix cost = SquaredEuclideanCost(mu.support(), nu.support());
+    auto plan = Solve(mu.weights(), nu.weights(), cost);
+    if (!plan.ok()) return plan.status();
+    return std::move(plan->coupling);
+  }
+  auto entries = Solve1D(mu, nu);
+  if (!entries.ok()) return entries.status();
+  return SparseToDense(*entries, mu.size(), nu.size());
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    // Built-ins; registration into an empty map cannot fail.
+    (void)r->Register("monotone", [](const SolverOptions&) {
+      return std::make_shared<const MonotoneSolver>();
+    });
+    (void)r->Register("exact", [](const SolverOptions& options) {
+      return std::make_shared<const ExactSolver>(options.exact);
+    });
+    (void)r->Register("sinkhorn", [](const SolverOptions& options) {
+      return std::make_shared<const SinkhornSolver>(options.sinkhorn);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty()) return Status::InvalidArgument("solver name must be non-empty");
+  if (Contains(name))
+    return Status::InvalidArgument("solver '" + name + "' already registered");
+  factories_.emplace_back(name, std::move(factory));
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const Solver>> SolverRegistry::Create(
+    const std::string& name, const SolverOptions& options) const {
+  for (const auto& [known, factory] : factories_) {
+    if (known == name) return factory(options);
+  }
+  std::string known_names;
+  for (const std::string& n : Names()) {
+    if (!known_names.empty()) known_names += ", ";
+    known_names += n;
+  }
+  return Status::NotFound("unknown solver '" + name + "' (known: " + known_names + ")");
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  for (const auto& [known, factory] : factories_) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::shared_ptr<const Solver>> MakeSolver(const std::string& name,
+                                                 const SolverOptions& options) {
+  return SolverRegistry::Global().Create(name, options);
+}
+
+std::shared_ptr<const Solver> DefaultSolver() {
+  static const std::shared_ptr<const Solver> solver =
+      std::make_shared<const MonotoneSolver>();
+  return solver;
+}
+
+}  // namespace otfair::ot

@@ -1,0 +1,127 @@
+#ifndef OTFAIR_OT_SOLVER_H_
+#define OTFAIR_OT_SOLVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "ot/exact.h"
+#include "ot/measure.h"
+#include "ot/plan.h"
+#include "ot/sinkhorn.h"
+
+namespace otfair::ot {
+
+/// Polymorphic OT backend: the single seam through which the repair
+/// pipeline, the CLI and the benchmarks obtain Kantorovich couplings.
+///
+/// The paper's Algorithm 1 needs one OT solve per (u, s, k) channel
+/// (Eq. 13) and deliberately leaves the solver interchangeable — exact
+/// Kantorovich (§IV-A1's O(n^3 log n) regime), entropic Sinkhorn
+/// (O(n^2/eps^2)), or the O(n) 1-D monotone map, which is optimal for
+/// every convex ground cost on the line. Implementations wrap exactly one
+/// of those backends; callers hold a `shared_ptr<const Solver>` and never
+/// branch on a backend enum.
+///
+/// Two solve granularities are exposed:
+///  - `Solve` is the general dense problem under an arbitrary ground
+///    cost (used by the joint/bivariate repair on product grids);
+///  - `Solve1D` is the 1-D squared-Euclidean problem between two
+///    measures on their own (sorted) supports, returned sparse — the
+///    hot call of the per-channel pipeline.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry name of the backend ("monotone", "exact", "sinkhorn", ...).
+  virtual const std::string& name() const = 0;
+
+  /// True when returned couplings satisfy the marginal constraints to
+  /// machine precision; entropic backends are approximate and callers
+  /// should widen validation tolerances accordingly.
+  virtual bool is_exact() const = 0;
+
+  /// True when `Solve` accepts an arbitrary ground cost. The monotone
+  /// backend exploits 1-D convex-cost structure and returns
+  /// Unimplemented from `Solve`; probe this before dispatching product-
+  /// grid (multi-dimensional) problems.
+  virtual bool supports_general_cost() const = 0;
+
+  /// Solves the discrete Kantorovich problem between weight vectors `a`
+  /// (n) and `b` (m) under the n x m ground cost, returning the dense
+  /// coupling and its unregularized objective <C, pi>.
+  virtual common::Result<TransportPlan> Solve(const std::vector<double>& a,
+                                              const std::vector<double>& b,
+                                              const common::Matrix& cost) const = 0;
+
+  /// Solves mu -> nu under the squared-Euclidean cost on the measures'
+  /// own supports, which must be sorted (ascending). Entries index atoms
+  /// of `mu` (rows) and `nu` (columns). The base implementation builds
+  /// the dense cost and defers to `Solve`; backends with 1-D shortcuts
+  /// override it.
+  virtual common::Result<std::vector<PlanEntry>> Solve1D(const DiscreteMeasure& mu,
+                                                         const DiscreteMeasure& nu) const;
+
+  /// `Solve1D` densified into an n x m coupling matrix — the shape the
+  /// per-channel repair plans store (Eq. 13 couplings on the support
+  /// grid).
+  common::Result<common::Matrix> Solve1DDense(const DiscreteMeasure& mu,
+                                              const DiscreteMeasure& nu) const;
+};
+
+/// Tuning knobs consumed by the built-in backends at construction; a
+/// registry factory receives one of these so a CLI flag or config file can
+/// parameterize any backend uniformly.
+struct SolverOptions {
+  ExactSolverOptions exact;
+  SinkhornOptions sinkhorn;
+};
+
+/// Name -> factory map for OT backends. Registering a backend here makes
+/// it reachable everywhere a solver name is accepted: `DesignOptions`,
+/// `otfair_cli --solver=...`, the benches, and the parity tests.
+///
+/// The three built-ins ("monotone", "exact", "sinkhorn") are registered
+/// on first use of `Global()`. Thread-compatible: registration is
+/// expected at startup, lookups afterwards.
+class SolverRegistry {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<const Solver>(const SolverOptions& options)>;
+
+  /// Process-wide registry instance with the built-ins pre-registered.
+  static SolverRegistry& Global();
+
+  /// Registers `factory` under `name`; InvalidArgument on duplicates or
+  /// an empty name.
+  common::Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the backend registered under `name`; NotFound (with the
+  /// known names in the message) otherwise.
+  common::Result<std::shared_ptr<const Solver>> Create(
+      const std::string& name, const SolverOptions& options = {}) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Convenience: `SolverRegistry::Global().Create(name, options)`.
+common::Result<std::shared_ptr<const Solver>> MakeSolver(const std::string& name,
+                                                         const SolverOptions& options = {});
+
+/// The pipeline default: a shared monotone solver (exact and O(n) for the
+/// 1-D squared-Euclidean channels of Algorithm 1).
+std::shared_ptr<const Solver> DefaultSolver();
+
+}  // namespace otfair::ot
+
+#endif  // OTFAIR_OT_SOLVER_H_

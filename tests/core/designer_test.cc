@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "ot/cost.h"
 #include "ot/monotone.h"
+#include "ot/solver.h"
 #include "sim/gaussian_mixture.h"
 
 namespace otfair::core {
@@ -70,9 +71,9 @@ TEST(DesignerTest, SolversAgreeOnPlanCost) {
   data::Dataset research = PaperResearchData(4, 300);
   DesignOptions monotone;
   monotone.n_q = 25;
-  monotone.solver = OtSolverKind::kMonotone;
+  monotone.solver = *ot::MakeSolver("monotone");
   DesignOptions exact = monotone;
-  exact.solver = OtSolverKind::kExact;
+  exact.solver = *ot::MakeSolver("exact");
   auto a = DesignDistributionalRepair(research, monotone);
   auto b = DesignDistributionalRepair(research, exact);
   ASSERT_TRUE(a.ok() && b.ok());
@@ -94,9 +95,10 @@ TEST(DesignerTest, SinkhornSolverProducesValidPlans) {
   data::Dataset research = PaperResearchData(5, 300);
   DesignOptions options;
   options.n_q = 20;
-  options.solver = OtSolverKind::kSinkhorn;
-  options.sinkhorn.epsilon = 0.1;
-  options.sinkhorn.log_domain = true;
+  ot::SolverOptions solver_options;
+  solver_options.sinkhorn.epsilon = 0.1;
+  solver_options.sinkhorn.log_domain = true;
+  options.solver = *ot::MakeSolver("sinkhorn", solver_options);
   auto plans = DesignDistributionalRepair(research, options);
   ASSERT_TRUE(plans.ok());
   EXPECT_TRUE(plans->Validate(1e-4).ok());

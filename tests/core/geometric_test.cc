@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "fairness/emetric.h"
+#include "ot/solver.h"
 #include "sim/gaussian_mixture.h"
 #include "stats/descriptive.h"
 
@@ -132,6 +133,22 @@ TEST(GeometricTest, LabelsAndShapeUntouched) {
   for (size_t i = 0; i < research.size(); ++i) {
     EXPECT_EQ(repaired->s(i), research.s(i));
     EXPECT_EQ(repaired->u(i), research.u(i));
+  }
+}
+
+TEST(GeometricTest, InjectedExactSolverMatchesMonotoneDefault) {
+  // The empirical coupling is 1-D squared-Euclidean, so the exact network
+  // solver must reproduce the monotone default row for row.
+  data::Dataset research = PaperResearchData(9, 150);
+  GeometricOptions exact;
+  exact.solver = *ot::MakeSolver("exact");
+  auto a = GeometricRepairDataset(research, {});
+  auto b = GeometricRepairDataset(research, exact);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < research.size(); ++i) {
+    for (size_t k = 0; k < research.dim(); ++k) {
+      EXPECT_NEAR(a->feature(i, k), b->feature(i, k), 1e-8) << "i=" << i << " k=" << k;
+    }
   }
 }
 

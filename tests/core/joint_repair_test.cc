@@ -163,6 +163,33 @@ TEST(JointRepairTest, RemovesCorrelationDependencePerFeatureCannot) {
       << " joint after=" << *joint_after_joint;
 }
 
+TEST(JointRepairTest, InjectedBackendSolvesProductGridPlans) {
+  // A registry backend replaces the separable-kernel path: Sinkhorn on the
+  // dense 2-D cost still quenches dependence, and the 1-D-only monotone
+  // backend is rejected with a clean error instead of nonsense plans.
+  Fixture fx = MakeFixture(sim::GaussianSimConfig::PaperDefault(), 11, 1500, 2000);
+  JointDesignOptions options;
+  options.n_q = 8;
+  ot::SolverOptions solver_options;
+  solver_options.sinkhorn.epsilon = 0.1;
+  solver_options.sinkhorn.log_domain = true;
+  options.solver = *ot::MakeSolver("sinkhorn", solver_options);
+  auto repairer = JointPairRepairer::Design(fx.research, 0, 1, options);
+  ASSERT_TRUE(repairer.ok()) << repairer.status().ToString();
+  auto repaired = repairer->RepairDataset(fx.archive, 7);
+  ASSERT_TRUE(repaired.ok());
+  auto e_before = fairness::AggregateE(fx.archive);
+  auto e_after = fairness::AggregateE(*repaired);
+  ASSERT_TRUE(e_before.ok() && e_after.ok());
+  EXPECT_LT(*e_after, *e_before / 2.0);
+
+  JointDesignOptions bad = options;
+  bad.solver = *ot::MakeSolver("monotone");
+  auto rejected = JointPairRepairer::Design(fx.research, 0, 1, bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), common::StatusCode::kUnimplemented);
+}
+
 TEST(JointRepairTest, DeterministicGivenSeed) {
   Fixture fx = MakeFixture(sim::GaussianSimConfig::PaperDefault(), 9, 1000, 200);
   JointDesignOptions options;

@@ -4,6 +4,7 @@
 // method's structural invariants.
 
 #include <cmath>
+#include <string>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -12,13 +13,14 @@
 #include "core/designer.h"
 #include "core/repairer.h"
 #include "fairness/emetric.h"
+#include "ot/solver.h"
 #include "sim/gaussian_mixture.h"
 
 namespace otfair::core {
 namespace {
 
-// (n_q, solver, mode, strength, seed)
-using ParamType = std::tuple<size_t, OtSolverKind, TransportMode, double, uint64_t>;
+// (n_q, solver registry name, mode, strength, seed)
+using ParamType = std::tuple<size_t, const char*, TransportMode, double, uint64_t>;
 
 class RepairPropertyTest : public ::testing::TestWithParam<ParamType> {
  protected:
@@ -34,11 +36,12 @@ class RepairPropertyTest : public ::testing::TestWithParam<ParamType> {
 
     DesignOptions design;
     design.n_q = n_q;
-    design.solver = solver;
-    if (solver == OtSolverKind::kSinkhorn) {
-      design.sinkhorn.epsilon = 0.1;
-      design.sinkhorn.log_domain = true;
-    }
+    ot::SolverOptions solver_options;
+    solver_options.sinkhorn.epsilon = 0.1;
+    solver_options.sinkhorn.log_domain = true;
+    auto backend = ot::MakeSolver(solver, solver_options);
+    ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+    design.solver = std::move(*backend);
     auto plans = DesignDistributionalRepair(research_, design);
     ASSERT_TRUE(plans.ok()) << plans.status().ToString();
     plans_ = std::move(*plans);
@@ -61,10 +64,10 @@ class RepairPropertyTest : public ::testing::TestWithParam<ParamType> {
 };
 
 TEST_P(RepairPropertyTest, PlansSatisfyMarginalConstraints) {
-  const auto solver = std::get<1>(GetParam());
+  const std::string solver = std::get<1>(GetParam());
   // Sinkhorn plans meet the constraints approximately; exact solvers
   // tightly.
-  const double tolerance = solver == OtSolverKind::kSinkhorn ? 1e-4 : 1e-8;
+  const double tolerance = solver == "sinkhorn" ? 1e-4 : 1e-8;
   EXPECT_TRUE(plans_.Validate(tolerance).ok());
 }
 
@@ -117,20 +120,20 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, RepairPropertyTest,
     ::testing::Values(
         // n_q sweep, default solver/mode, full strength.
-        ParamType{10, OtSolverKind::kMonotone, TransportMode::kStochastic, 1.0, 1},
-        ParamType{25, OtSolverKind::kMonotone, TransportMode::kStochastic, 1.0, 2},
-        ParamType{50, OtSolverKind::kMonotone, TransportMode::kStochastic, 1.0, 3},
-        ParamType{100, OtSolverKind::kMonotone, TransportMode::kStochastic, 1.0, 4},
+        ParamType{10, "monotone", TransportMode::kStochastic, 1.0, 1},
+        ParamType{25, "monotone", TransportMode::kStochastic, 1.0, 2},
+        ParamType{50, "monotone", TransportMode::kStochastic, 1.0, 3},
+        ParamType{100, "monotone", TransportMode::kStochastic, 1.0, 4},
         // Solver sweep.
-        ParamType{30, OtSolverKind::kExact, TransportMode::kStochastic, 1.0, 5},
-        ParamType{30, OtSolverKind::kSinkhorn, TransportMode::kStochastic, 1.0, 6},
+        ParamType{30, "exact", TransportMode::kStochastic, 1.0, 5},
+        ParamType{30, "sinkhorn", TransportMode::kStochastic, 1.0, 6},
         // Mode sweep.
-        ParamType{50, OtSolverKind::kMonotone, TransportMode::kConditionalMean, 1.0, 7},
-        ParamType{30, OtSolverKind::kExact, TransportMode::kConditionalMean, 1.0, 8},
+        ParamType{50, "monotone", TransportMode::kConditionalMean, 1.0, 7},
+        ParamType{30, "exact", TransportMode::kConditionalMean, 1.0, 8},
         // Strength sweep.
-        ParamType{50, OtSolverKind::kMonotone, TransportMode::kStochastic, 0.0, 9},
-        ParamType{50, OtSolverKind::kMonotone, TransportMode::kStochastic, 0.5, 10},
-        ParamType{50, OtSolverKind::kMonotone, TransportMode::kConditionalMean, 0.5, 11}));
+        ParamType{50, "monotone", TransportMode::kStochastic, 0.0, 9},
+        ParamType{50, "monotone", TransportMode::kStochastic, 0.5, 10},
+        ParamType{50, "monotone", TransportMode::kConditionalMean, 0.5, 11}));
 
 // Target-t sweep: the repaired archive must approach mu_{t-target}'s mean
 // per stratum, for any t.

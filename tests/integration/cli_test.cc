@@ -74,6 +74,34 @@ TEST_F(CliTest, FullWorkflow) {
   EXPECT_LT(*e_after, *e_before / 3.0);
 }
 
+TEST_F(CliTest, EverySolverBackendReachable) {
+  // Each registered backend designs a working plan through --solver, and
+  // the repaired archive comes out fairer regardless of the backend.
+  for (const std::string solver : {"monotone", "exact", "sinkhorn"}) {
+    const std::string plan = dir_ + "/plan_" + solver + ".bin";
+    const std::string out = dir_ + "/repaired_" + solver + ".csv";
+    ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan +
+                  " --n_q=30 --solver=" + solver + " --epsilon=0.1"),
+              0)
+        << solver;
+    ASSERT_EQ(Run("repair --plan=" + plan + " --input=" + archive_path_ +
+                  " --output=" + out + " --seed=11"),
+              0)
+        << solver;
+    auto archive = data::ReadCsv(archive_path_);
+    auto repaired = data::ReadCsv(out);
+    ASSERT_TRUE(archive.ok() && repaired.ok());
+    auto e_before = fairness::AggregateE(*archive);
+    auto e_after = fairness::AggregateE(*repaired);
+    ASSERT_TRUE(e_before.ok() && e_after.ok());
+    EXPECT_LT(*e_after, *e_before / 2.0) << solver;
+  }
+  // Unknown backends fail with a clean error, not a crash.
+  EXPECT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --solver=does-not-exist"),
+            1);
+}
+
 TEST_F(CliTest, QuantileModeRepairs) {
   ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_), 0);
   ASSERT_EQ(Run("repair --plan=" + plan_path_ + " --input=" + archive_path_ +

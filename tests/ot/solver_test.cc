@@ -1,0 +1,147 @@
+// Unit tests for the ot::Solver seam and the SolverRegistry: the three
+// built-in backends must be constructible by name, report honest
+// capability flags, and solve a tiny instance correctly; custom backends
+// registered at runtime must become reachable through the same path the
+// pipeline and CLI use.
+
+#include "ot/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "ot/cost.h"
+
+namespace otfair::ot {
+namespace {
+
+using common::Matrix;
+
+DiscreteMeasure MakeMeasure(std::vector<double> support, std::vector<double> weights) {
+  auto m = DiscreteMeasure::Create(std::move(support), std::move(weights));
+  EXPECT_TRUE(m.ok());
+  return *m;
+}
+
+TEST(SolverRegistryTest, BuiltinsRegistered) {
+  // Containment, not equality: other tests in this binary may register
+  // extra backends into the process-global registry in any order.
+  for (const std::string name : {"exact", "monotone", "sinkhorn"}) {
+    EXPECT_TRUE(SolverRegistry::Global().Contains(name)) << name;
+    auto solver = MakeSolver(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    EXPECT_EQ((*solver)->name(), name);
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameReportsKnownOnes) {
+  auto solver = MakeSolver("simplex");
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), common::StatusCode::kNotFound);
+  EXPECT_NE(solver.status().message().find("monotone"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, DuplicateRegistrationRejected) {
+  auto status = SolverRegistry::Global().Register(
+      "monotone", [](const SolverOptions&) { return DefaultSolver(); });
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SolverRegistryTest, CustomBackendBecomesReachable) {
+  // A "backend" that just forwards to the default solver, under a fresh
+  // name. Registered once for the whole test binary.
+  static bool registered = [] {
+    auto status = SolverRegistry::Global().Register(
+        "custom-for-test",
+        [](const SolverOptions&) { return DefaultSolver(); });
+    return status.ok();
+  }();
+  EXPECT_TRUE(registered);
+  EXPECT_TRUE(SolverRegistry::Global().Contains("custom-for-test"));
+  auto solver = MakeSolver("custom-for-test");
+  ASSERT_TRUE(solver.ok());
+  EXPECT_EQ((*solver)->name(), "monotone");  // forwards to the default
+}
+
+TEST(SolverTest, CapabilityFlags) {
+  auto monotone = *MakeSolver("monotone");
+  auto exact = *MakeSolver("exact");
+  auto sinkhorn = *MakeSolver("sinkhorn");
+  EXPECT_TRUE(monotone->is_exact());
+  EXPECT_FALSE(monotone->supports_general_cost());
+  EXPECT_TRUE(exact->is_exact());
+  EXPECT_TRUE(exact->supports_general_cost());
+  EXPECT_FALSE(sinkhorn->is_exact());
+  EXPECT_TRUE(sinkhorn->supports_general_cost());
+}
+
+TEST(SolverTest, MonotoneRefusesGeneralCost) {
+  auto monotone = *MakeSolver("monotone");
+  const Matrix cost = SquaredEuclideanCost({0.0, 1.0}, {0.0, 1.0});
+  auto plan = monotone->Solve({0.5, 0.5}, {0.5, 0.5}, cost);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), common::StatusCode::kUnimplemented);
+}
+
+TEST(SolverTest, Solve1DRequiresSortedSupports) {
+  const DiscreteMeasure unsorted = MakeMeasure({1.0, 0.0}, {0.5, 0.5});
+  const DiscreteMeasure sorted = MakeMeasure({0.0, 1.0}, {0.5, 0.5});
+  for (const char* name : {"monotone", "exact", "sinkhorn"}) {
+    auto solver = *MakeSolver(name);
+    EXPECT_FALSE(solver->Solve1D(unsorted, sorted).ok()) << name;
+    EXPECT_FALSE(solver->Solve1D(sorted, unsorted).ok()) << name;
+  }
+}
+
+TEST(SolverTest, IdentitySolveOnSharedSupport) {
+  // mu == nu on a shared support: the optimal plan is diagonal with zero
+  // cost, for every exact backend.
+  const DiscreteMeasure mu = MakeMeasure({-1.0, 0.0, 2.0}, {0.2, 0.3, 0.5});
+  for (const char* name : {"monotone", "exact"}) {
+    auto solver = *MakeSolver(name);
+    auto dense = solver->Solve1DDense(mu, mu);
+    ASSERT_TRUE(dense.ok()) << name;
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t j = 0; j < 3; ++j) {
+        EXPECT_NEAR((*dense)(i, j), i == j ? mu.weight_at(i) : 0.0, 1e-12)
+            << name << " at (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(SolverTest, SolverOptionsReachTheBackend) {
+  // A Sinkhorn backend built with a huge tolerance and one iteration
+  // produces a sloppier plan than the defaults — proving the registry
+  // factory passes options through.
+  const DiscreteMeasure mu = MakeMeasure({0.0, 1.0, 2.0}, {0.6, 0.3, 0.1});
+  const DiscreteMeasure nu = MakeMeasure({0.0, 1.0, 2.0}, {0.1, 0.3, 0.6});
+
+  SolverOptions sloppy;
+  sloppy.sinkhorn.max_iterations = 1;
+  SolverOptions tight;
+  tight.sinkhorn.max_iterations = 10000;
+  tight.sinkhorn.tolerance = 1e-12;
+
+  auto plan_sloppy = (*MakeSolver("sinkhorn", sloppy))->Solve1DDense(mu, nu);
+  auto plan_tight = (*MakeSolver("sinkhorn", tight))->Solve1DDense(mu, nu);
+  ASSERT_TRUE(plan_sloppy.ok() && plan_tight.ok());
+
+  auto row_error = [&](const Matrix& plan) {
+    double worst = 0.0;
+    for (size_t i = 0; i < 3; ++i) {
+      double mass = 0.0;
+      for (size_t j = 0; j < 3; ++j) mass += plan(i, j);
+      worst = std::max(worst, std::fabs(mass - mu.weight_at(i)));
+    }
+    return worst;
+  };
+  EXPECT_GT(row_error(*plan_sloppy), row_error(*plan_tight));
+}
+
+}  // namespace
+}  // namespace otfair::ot

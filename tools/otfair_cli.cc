@@ -9,6 +9,8 @@
 //
 // Examples:
 //   otfair design  --research=research.csv --plan=plan.bin --n_q=50
+//   otfair design  --research=research.csv --plan=plan.bin --solver=sinkhorn
+//                  --epsilon=0.05
 //   otfair repair  --plan=plan.bin --input=archive.csv --output=repaired.csv
 //   otfair repair  --plan=plan.bin --input=archive.csv --output=o.csv
 //                  --mode=quantile --estimate_labels --research=research.csv
@@ -25,10 +27,12 @@
 #include "core/designer.h"
 #include "core/drift_monitor.h"
 #include "core/label_estimator.h"
+#include "core/pipeline.h"
 #include "core/quantile_repair.h"
 #include "core/repairer.h"
 #include "data/csv.h"
 #include "fairness/report.h"
+#include "ot/solver.h"
 
 namespace {
 
@@ -41,9 +45,17 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
+  std::string solvers;
+  for (const std::string& name : otfair::ot::SolverRegistry::Global().Names()) {
+    if (!solvers.empty()) solvers += "|";
+    solvers += name;
+  }
   std::fprintf(stderr,
                "usage: otfair <design|repair|inspect|drift> [flags]\n"
                "  design  --research=R.csv --plan=P.bin [--n_q=50] [--target_t=0.5]\n"
+               "          [--solver=%s] [--epsilon=0.05]\n",
+               solvers.c_str());
+  std::fprintf(stderr,
                "  repair  --plan=P.bin --input=A.csv --output=O.csv\n"
                "          [--mode=stochastic|mean|quantile] [--strength=1.0] [--seed=N]\n"
                "          [--estimate_labels --research=R.csv]\n"
@@ -59,15 +71,32 @@ int RunDesign(const FlagParser& flags) {
   auto research = otfair::data::ReadCsv(research_path);
   if (!research.ok()) return Fail(research.status());
 
-  otfair::core::DesignOptions options;
-  options.n_q = static_cast<size_t>(flags.GetInt("n_q", 50));
-  options.target_t = flags.GetDouble("target_t", 0.5);
-  auto plans = otfair::core::DesignDistributionalRepair(*research, options);
+  // The OT backend is resolved by name through the registry and carried in
+  // PipelineOptions, so any registered solver is reachable from here.
+  otfair::core::PipelineOptions options;
+  options.design.n_q = static_cast<size_t>(flags.GetInt("n_q", 50));
+  options.design.target_t = flags.GetDouble("target_t", 0.5);
+  const std::string solver_name = flags.GetString("solver", "monotone");
+  otfair::ot::SolverOptions solver_options;
+  solver_options.sinkhorn.epsilon = flags.GetDouble("epsilon", 0.05);
+  solver_options.sinkhorn.log_domain = true;
+  auto solver = otfair::ot::MakeSolver(solver_name, solver_options);
+  if (!solver.ok()) return Fail(solver.status());
+  options.design.solver = std::move(*solver);
+
+  auto plans = otfair::core::DesignDistributionalRepair(*research, options.design);
   if (!plans.ok()) return Fail(plans.status());
+  // Fail now, not at repair time: approximate backends can produce plans
+  // whose marginals are too sloppy for the loader's 1e-5 check.
+  if (Status status = plans->Validate(1e-5); !status.ok())
+    return Fail(Status::FailedPrecondition(
+        "designed plans fail validation (" + status.message() +
+        "); with --solver=sinkhorn, try a larger --epsilon"));
   if (Status status = plans->SaveToFile(plan_path); !status.ok()) return Fail(status);
-  std::printf("designed %zu channels (n_Q=%zu, t=%.2f) from %zu research rows -> %s\n",
-              2 * plans->dim(), options.n_q, options.target_t, research->size(),
-              plan_path.c_str());
+  std::printf(
+      "designed %zu channels (n_Q=%zu, t=%.2f, solver=%s) from %zu research rows -> %s\n",
+      2 * plans->dim(), options.design.n_q, options.design.target_t,
+      options.design.solver->name().c_str(), research->size(), plan_path.c_str());
   return 0;
 }
 

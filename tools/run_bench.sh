@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds and runs the OT microbench, emitting Google-Benchmark JSON for
+# trajectory tracking (future BENCH_*.json snapshots).
+#
+# Usage:
+#   tools/run_bench.sh [output.json] [extra benchmark flags...]
+#
+# Defaults to BENCH_ot_microbench.json in the repo root. Requires Google
+# Benchmark to be installed (the CMake build skips the microbench targets
+# without it, and this script then fails with a clear message).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+out="${1:-${repo_root}/BENCH_ot_microbench.json}"
+shift || true
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j --target ot_microbench 2>/dev/null || {
+  echo "error: ot_microbench target unavailable — is Google Benchmark installed?" >&2
+  exit 1
+}
+
+"${build_dir}/bench/ot_microbench" \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  "$@" >/dev/null
+
+echo "wrote ${out}"
