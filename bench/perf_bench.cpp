@@ -1,0 +1,275 @@
+// Performance trajectory harness: times the repo's hot paths with plain
+// steady-clock timing and emits a JSON snapshot. `tools/run_bench.sh`
+// drives it and the committed BENCH_*.json files are its output, so
+// speedup claims in perf PRs are measured, not asserted.
+//
+// Benchmarks:
+//   design_step        DesignDistributionalRepair wall time, per thread
+//                      count (the paper's Algorithm 1: 2*dim channels).
+//   repair_throughput  OffSampleRepairer::RepairDataset rows/sec, per
+//                      thread count (Algorithm 2 batch path).
+//   sinkhorn_standard  single-thread entropic solve, n x n, standard
+//   sinkhorn_log       domain and log domain; ms_per_iter is the
+//                      schedule-independent metric.
+//   exact_solver       successive-shortest-path Kantorovich solve, n x n.
+//
+// Flags:
+//   --out=FILE         JSON output path (default: perf_bench.json)
+//   --smoke            tiny sizes: a CI harness check, not a measurement
+//   --threads=1,2,4,8  thread counts for the scaling benchmarks
+//   --repeats=3        repetitions; the minimum wall time is reported
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/designer.h"
+#include "core/repairer.h"
+#include "ot/cost.h"
+#include "ot/exact.h"
+#include "ot/sinkhorn.h"
+#include "sim/gaussian_mixture.h"
+
+namespace {
+
+using otfair::common::FlagParser;
+using otfair::common::Matrix;
+using otfair::common::Rng;
+using otfair::common::Timer;
+
+struct BenchCase {
+  std::string name;
+  int threads = 0;  // 0: not a threaded benchmark
+  std::string params_json;
+  int repeats = 0;
+  double wall_ms = 0.0;
+  double rows_per_sec = 0.0;   // repair only
+  size_t iterations = 0;       // sinkhorn only
+  double ms_per_iter = 0.0;    // sinkhorn only
+};
+
+/// Paper-style mixture generalized to `dim` features: the +/-1 mean
+/// separation of the paper's bivariate config replicated across channels.
+otfair::sim::GaussianSimConfig WideConfig(size_t dim) {
+  otfair::sim::GaussianSimConfig config = otfair::sim::GaussianSimConfig::PaperDefault();
+  config.dim = dim;
+  config.mean[0][0].assign(dim, -1.0);
+  config.mean[0][1].assign(dim, 0.0);
+  config.mean[1][0].assign(dim, 1.0);
+  config.mean[1][1].assign(dim, 0.0);
+  return config;
+}
+
+struct OtProblem {
+  std::vector<double> a;
+  std::vector<double> b;
+  Matrix cost;
+};
+
+OtProblem RandomOtProblem(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  OtProblem p;
+  p.a.resize(n);
+  p.b.resize(n);
+  double sa = 0.0;
+  double sb = 0.0;
+  for (double& v : p.a) sa += (v = rng.Uniform(0.2, 1.0));
+  for (double& v : p.b) sb += (v = rng.Uniform(0.2, 1.0));
+  for (double& v : p.a) v /= sa;
+  for (double& v : p.b) v /= sb;
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (double& v : xs) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : ys) v = rng.Uniform(-1.0, 1.0);
+  p.cost = otfair::ot::SquaredEuclideanCost(xs, ys);
+  return p;
+}
+
+/// Minimum wall time of `repeats` runs of `body` (which must not fail).
+template <typename Fn>
+double BestWallMs(int repeats, const Fn& body) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    body();
+    const double ms = timer.ElapsedMillis();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void Die(const std::string& what) {
+  std::fprintf(stderr, "perf_bench: %s\n", what.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (auto status = flags.Validate({"out", "smoke", "threads", "repeats"}); !status.ok())
+    Die(status.ToString());
+  const std::string out_path = flags.GetString("out", "perf_bench.json");
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::vector<int> thread_counts = flags.GetIntList("threads", {1, 2, 4, 8});
+  const int repeats = flags.GetInt("repeats", smoke ? 1 : 3);
+  for (int t : thread_counts) {
+    if (t < 1) Die("--threads entries must be >= 1");
+  }
+
+  // Workload sizes: the full profile targets the paper's n_Q >= 512
+  // regime; smoke only proves the harness end-to-end.
+  const size_t dim = 8;
+  const size_t n_research = smoke ? 300 : 3000;
+  const size_t n_archive = smoke ? 2000 : 150000;
+  const size_t design_nq = smoke ? 48 : 512;
+  const size_t sinkhorn_n = smoke ? 64 : 512;
+  const size_t exact_n = smoke ? 24 : 256;
+
+  std::vector<BenchCase> cases;
+  char params[256];
+
+  // --- Fixtures (untimed) -------------------------------------------------
+  const otfair::sim::GaussianSimConfig config = WideConfig(dim);
+  Rng sim_rng(0xbe9c);
+  auto research = otfair::sim::SimulateGaussianMixture(n_research, config, sim_rng);
+  if (!research.ok()) Die(research.status().ToString());
+  auto archive = otfair::sim::SimulateGaussianMixture(n_archive, config, sim_rng);
+  if (!archive.ok()) Die(archive.status().ToString());
+
+  // --- design_step: thread scaling ---------------------------------------
+  for (int t : thread_counts) {
+    otfair::core::DesignOptions options;
+    options.n_q = design_nq;
+    options.threads = t;
+    const double ms = BestWallMs(repeats, [&] {
+      auto plans = otfair::core::DesignDistributionalRepair(*research, options);
+      if (!plans.ok()) Die(plans.status().ToString());
+    });
+    BenchCase c;
+    c.name = "design_step";
+    c.threads = t;
+    std::snprintf(params, sizeof(params), "{\"dim\": %zu, \"n_research\": %zu, \"n_q\": %zu}",
+                  dim, n_research, design_nq);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = ms;
+    cases.push_back(c);
+    std::fprintf(stderr, "design_step       threads=%d  %10.2f ms\n", t, ms);
+  }
+
+  // --- repair_throughput: thread scaling ----------------------------------
+  {
+    otfair::core::DesignOptions design_options;
+    design_options.n_q = design_nq;
+    auto plans = otfair::core::DesignDistributionalRepair(*research, design_options);
+    if (!plans.ok()) Die(plans.status().ToString());
+    for (int t : thread_counts) {
+      otfair::core::RepairOptions options;
+      options.threads = t;
+      auto repairer = otfair::core::OffSampleRepairer::Create(*plans, options);
+      if (!repairer.ok()) Die(repairer.status().ToString());
+      const double ms = BestWallMs(repeats, [&] {
+        auto repaired = repairer->RepairDataset(*archive);
+        if (!repaired.ok()) Die(repaired.status().ToString());
+      });
+      BenchCase c;
+      c.name = "repair_throughput";
+      c.threads = t;
+      std::snprintf(params, sizeof(params), "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu}",
+                    dim, n_archive, design_nq);
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = ms;
+      c.rows_per_sec = static_cast<double>(n_archive) / (ms / 1e3);
+      cases.push_back(c);
+      std::fprintf(stderr, "repair_throughput threads=%d  %10.2f ms  (%.0f rows/s)\n", t, ms,
+                   c.rows_per_sec);
+    }
+  }
+
+  // --- sinkhorn: single-thread, both domains -------------------------------
+  {
+    otfair::common::parallel::SetThreadCount(1);
+    const OtProblem p = RandomOtProblem(sinkhorn_n, 0x51f0);
+    for (const bool log_domain : {false, true}) {
+      otfair::ot::SinkhornOptions options;
+      options.epsilon = 0.05;
+      options.tolerance = 1e-6;
+      options.max_iterations = log_domain ? 300 : 1000;
+      options.log_domain = log_domain;
+      size_t iterations = 0;
+      const double ms = BestWallMs(repeats, [&] {
+        auto result = otfair::ot::SolveSinkhorn(p.a, p.b, p.cost, options);
+        if (!result.ok()) Die(result.status().ToString());
+        iterations = result->iterations;
+      });
+      BenchCase c;
+      c.name = log_domain ? "sinkhorn_log" : "sinkhorn_standard";
+      c.threads = 1;
+      std::snprintf(params, sizeof(params),
+                    "{\"n\": %zu, \"epsilon\": 0.05, \"tolerance\": 1e-6, "
+                    "\"max_iterations\": %zu}",
+                    sinkhorn_n, options.max_iterations);
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = ms;
+      c.iterations = iterations;
+      c.ms_per_iter = iterations > 0 ? ms / static_cast<double>(iterations) : 0.0;
+      cases.push_back(c);
+      std::fprintf(stderr, "%-17s threads=1  %10.2f ms  (%zu iters, %.4f ms/iter)\n",
+                   c.name.c_str(), ms, iterations, c.ms_per_iter);
+    }
+    otfair::common::parallel::SetThreadCount(0);
+  }
+
+  // --- exact solver --------------------------------------------------------
+  {
+    otfair::common::parallel::SetThreadCount(1);
+    const OtProblem p = RandomOtProblem(exact_n, 0xe8ac);
+    const double ms = BestWallMs(repeats, [&] {
+      auto plan = otfair::ot::SolveExact(p.a, p.b, p.cost);
+      if (!plan.ok()) Die(plan.status().ToString());
+    });
+    BenchCase c;
+    c.name = "exact_solver";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params), "{\"n\": %zu}", exact_n);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = ms;
+    cases.push_back(c);
+    std::fprintf(stderr, "exact_solver      threads=1  %10.2f ms\n", ms);
+    otfair::common::parallel::SetThreadCount(0);
+  }
+
+  // --- JSON out ------------------------------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) Die("cannot open " + out_path);
+  std::fprintf(out, "{\n  \"schema\": \"otfair-bench-v1\",\n");
+  std::fprintf(out, "  \"meta\": {\"hardware_threads\": %zu, \"smoke\": %s},\n",
+               static_cast<size_t>(otfair::common::parallel::DefaultThreadCount()),
+               smoke ? "true" : "false");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const BenchCase& c = cases[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"threads\": %d, \"params\": %s, "
+                 "\"repeats\": %d, \"wall_ms\": %.3f",
+                 c.name.c_str(), c.threads, c.params_json.c_str(), c.repeats, c.wall_ms);
+    if (c.rows_per_sec > 0.0) std::fprintf(out, ", \"rows_per_sec\": %.0f", c.rows_per_sec);
+    if (c.iterations > 0)
+      std::fprintf(out, ", \"iterations\": %zu, \"ms_per_iter\": %.5f", c.iterations,
+                   c.ms_per_iter);
+    std::fprintf(out, "}%s\n", i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

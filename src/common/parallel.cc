@@ -1,0 +1,239 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace otfair::common::parallel {
+
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+std::atomic<size_t>& ThreadCountOverride() {
+  static std::atomic<size_t> override_count{0};
+  return override_count;
+}
+
+}  // namespace
+
+size_t ParseThreadCount(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    const size_t digit = static_cast<size_t>(*p - '0');
+    if (value > (~size_t{0} - digit) / 10) return 0;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+size_t DefaultThreadCount() {
+  static const size_t cached = [] {
+    const size_t from_env = ParseThreadCount(std::getenv("OTFAIR_THREADS"));
+    if (from_env > 0) return from_env;
+    const size_t hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : size_t{1};
+  }();
+  return cached;
+}
+
+void SetThreadCount(size_t count) { ThreadCountOverride().store(count); }
+
+size_t ThreadCount() {
+  const size_t override_count = ThreadCountOverride().load();
+  return override_count > 0 ? override_count : DefaultThreadCount();
+}
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+struct ThreadPool::Impl {
+  /// One ParallelFor invocation. Lives on the shared_ptr so late workers
+  /// can still read it after Run() has returned.
+  struct Job {
+    size_t begin = 0;
+    size_t total = 0;
+    size_t chunk = 1;
+    size_t worker_limit = 0;  // workers with id >= limit sit this job out
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex error_mutex;
+    size_t error_index = ~size_t{0};
+    std::exception_ptr error;
+  };
+
+  std::mutex run_mutex;  // serializes whole Run() invocations
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> threads;
+  std::shared_ptr<Job> job;
+  uint64_t generation = 0;
+  bool stopping = false;
+
+  /// Claims and executes chunks until the job's index space is exhausted.
+  void WorkOn(Job& j) {
+    tls_in_parallel_region = true;
+    for (;;) {
+      const size_t start = j.next.fetch_add(j.chunk);
+      if (start >= j.total) break;
+      const size_t stop = std::min(j.total, start + j.chunk);
+      for (size_t i = start; i < stop; ++i) {
+        try {
+          (*j.fn)(j.begin + i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(j.error_mutex);
+          if (j.begin + i < j.error_index) {
+            j.error_index = j.begin + i;
+            j.error = std::current_exception();
+          }
+        }
+      }
+      const size_t finished = j.done.fetch_add(stop - start) + (stop - start);
+      if (finished == j.total) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+    tls_in_parallel_region = false;
+  }
+
+  void WorkerLoop(size_t id) {
+    uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> current;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        current = job;
+      }
+      if (current && id < current->worker_limit) WorkOn(*current);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t workers) : impl_(new Impl) {
+  impl_->threads.reserve(workers);
+  for (size_t id = 0; id < workers; ++id) {
+    impl_->threads.emplace_back([this, id] { impl_->WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+size_t ThreadPool::workers() const { return impl_->threads.size(); }
+
+void ThreadPool::Run(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+                     size_t max_concurrency) {
+  if (end <= begin) return;
+  // One job at a time: concurrent top-level callers queue here instead of
+  // overwriting each other's job slot. Each queued caller still gets the
+  // full pool once admitted.
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  const size_t total = end - begin;
+  const size_t lanes = std::max<size_t>(1, max_concurrency);
+
+  auto job = std::make_shared<Impl::Job>();
+  job->begin = begin;
+  job->total = total;
+  // Small chunks keep lanes busy on ragged per-index costs; 4 chunks per
+  // lane bounds the claim-counter contention.
+  job->chunk = std::max<size_t>(1, total / (lanes * 4));
+  job->worker_limit = lanes - 1;  // the caller is the remaining lane
+  job->fn = &fn;
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->generation;
+  }
+  if (job->worker_limit > 0) impl_->work_cv.notify_all();
+
+  impl_->WorkOn(*job);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] { return job->done.load() == total; });
+    impl_->job.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& GlobalPool(size_t min_lanes) {
+  static std::mutex pool_mutex;
+  // Outgrown pools are retired, not destroyed: another thread may still
+  // be inside Run() on the old instance, and joining it here would be a
+  // use-after-free for that caller. Retired pools idle until process
+  // exit; growth events are rare (monotone in the largest request).
+  static std::vector<std::unique_ptr<ThreadPool>>& pools =
+      *new std::vector<std::unique_ptr<ThreadPool>>();
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  const size_t lanes = std::max(ThreadCount(), min_lanes);
+  const size_t want_workers = lanes > 0 ? lanes - 1 : 0;
+  if (pools.empty() || pools.back()->workers() < want_workers) {
+    pools.push_back(std::make_unique<ThreadPool>(want_workers));
+  }
+  return *pools.back();
+}
+
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+                 size_t threads) {
+  if (end <= begin) return;
+  if (InParallelRegion()) {  // nested: the outer loop owns the lanes
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t count = threads > 0 ? threads : ThreadCount();
+  if (count <= 1) {
+    // An effective count of 1 is a promise of serial execution, so mark
+    // the region: nested loops (e.g. Sinkhorn inside a threads=1 design)
+    // must not fan out behind the caller's back.
+    tls_in_parallel_region = true;
+    try {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      tls_in_parallel_region = false;
+      throw;
+    }
+    tls_in_parallel_region = false;
+    return;
+  }
+  if (end - begin == 1) {
+    // Single index: run inline but leave the region unmarked — a nested
+    // loop inside the one task may still use the pool.
+    fn(begin);
+    return;
+  }
+  GlobalPool(count).Run(begin, end, fn, count);
+}
+
+Status ParallelForStatus(size_t begin, size_t end,
+                         const std::function<Status(size_t)>& fn, size_t threads) {
+  if (end <= begin) return Status::Ok();
+  std::vector<Status> slots(end - begin, Status::Ok());
+  ParallelFor(begin, end, [&](size_t i) { slots[i - begin] = fn(i); }, threads);
+  for (Status& status : slots) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::Ok();
+}
+
+}  // namespace otfair::common::parallel

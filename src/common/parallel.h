@@ -1,0 +1,105 @@
+#ifndef OTFAIR_COMMON_PARALLEL_H_
+#define OTFAIR_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+
+namespace otfair::common::parallel {
+
+/// Process-wide parallelism subsystem: a persistent thread pool plus a
+/// `ParallelFor` primitive the hot paths (channel design, batch repair,
+/// Sinkhorn row updates) are written against.
+///
+/// Design rules that make parallel output bit-identical to serial:
+///  - `ParallelFor(begin, end, fn)` runs `fn(i)` exactly once per index;
+///    callers write results into preallocated per-index slots and never
+///    share mutable state across indices, so the schedule cannot change
+///    the result.
+///  - Reductions (max error, stats totals) are computed serially from the
+///    per-index slots after the loop.
+///  - At an effective thread count of 1 the loop runs inline on the
+///    calling thread with zero pool involvement — the serial fallback.
+///
+/// Thread-count resolution order: an explicit per-call count, else the
+/// process override installed by `SetThreadCount` (CLI `--threads`), else
+/// the `OTFAIR_THREADS` environment variable, else
+/// `std::thread::hardware_concurrency()`.
+
+/// Parses a thread-count string; returns 0 unless `text` is a positive
+/// base-10 integer with no trailing garbage. Exposed for unit tests.
+size_t ParseThreadCount(const char* text);
+
+/// Default thread count: `OTFAIR_THREADS` when it parses to a positive
+/// integer, else `hardware_concurrency()` (never 0). Reads the
+/// environment once and caches.
+size_t DefaultThreadCount();
+
+/// Installs a process-wide override (the CLI `--threads` flag lands
+/// here); `count == 0` removes the override, restoring the default.
+void SetThreadCount(size_t count);
+
+/// Effective process-wide thread count (override, else default).
+size_t ThreadCount();
+
+/// True while the calling thread is executing a `ParallelFor` body;
+/// nested loops run serially instead of deadlocking the pool.
+bool InParallelRegion();
+
+/// Persistent worker pool. One process-wide instance serves every
+/// `ParallelFor`; the calling thread always participates, so a pool with
+/// W workers gives W + 1 concurrent lanes.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is valid: every Run executes on the
+  /// caller).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const;
+
+  /// Runs fn(i) for every i in [begin, end) using at most
+  /// `max_concurrency` lanes (caller included), blocking until every
+  /// index has completed. If bodies throw, the exception raised at the
+  /// smallest failing index is rethrown after the loop drains; the other
+  /// exceptions are dropped.
+  void Run(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+           size_t max_concurrency);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide pool, created on first use and replaced by a larger
+/// one when the configured thread count — or an explicit `min_lanes`
+/// request from a ParallelFor call — outgrows its worker count (the
+/// outgrown instance is retired, never destroyed mid-use, so concurrent
+/// callers are safe). Concurrent Run() invocations on one pool are
+/// serialized: each caller gets the full pool in admission order.
+ThreadPool& GlobalPool(size_t min_lanes = 0);
+
+/// Runs fn(i) for every i in [begin, end); blocks until all complete.
+/// `threads == 0` uses `ThreadCount()`. Runs inline (serial) when the
+/// effective count is 1, the range has a single index, or the caller is
+/// already inside a ParallelFor body. An effective count of 1 also marks
+/// the region, so nested loops stay serial — threads=1 is a promise that
+/// no pool lanes are used underneath.
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+                 size_t threads = 0);
+
+/// ParallelFor over fallible tasks: every index runs (no early abort),
+/// each status lands in a per-index slot, and the first failure in index
+/// order is returned — so error reporting is as deterministic as the
+/// results. This is the shape every task-parallel pipeline stage
+/// (channel design, geometric repair, ...) shares.
+Status ParallelForStatus(size_t begin, size_t end,
+                         const std::function<Status(size_t)>& fn, size_t threads = 0);
+
+}  // namespace otfair::common::parallel
+
+#endif  // OTFAIR_COMMON_PARALLEL_H_

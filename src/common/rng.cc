@@ -20,6 +20,14 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  // Hash the stream index through SplitMix64 before mixing it with the
+  // seed, so consecutive stream indices land on well-separated seeds (the
+  // Rng constructor then expands that seed through SplitMix64 again).
+  uint64_t sm = stream;
+  return Rng(seed ^ SplitMix64(&sm));
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(&sm);

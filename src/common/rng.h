@@ -26,6 +26,13 @@ class Rng {
   /// streams.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  /// Deterministic decorrelated sub-stream `stream` of `seed`: for a fixed
+  /// seed, distinct stream indices give independent-looking generators.
+  /// This is how batch repair assigns each dataset row its own stream, so
+  /// rows can be repaired in any order (or in parallel) with bit-identical
+  /// results.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
 

@@ -2,7 +2,9 @@
 
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "ot/barycenter.h"
 #include "ot/solver.h"
@@ -18,55 +20,81 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
   if (options.n_q < 2) return Status::InvalidArgument("n_q must be >= 2");
   if (!(options.target_t >= 0.0 && options.target_t <= 1.0))
     return Status::InvalidArgument("target_t must lie in [0, 1]");
+  if (options.threads < 0)
+    return Status::InvalidArgument("threads must be >= 1 (or 0 for the process default)");
   const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
 
   RepairPlanSet plans(research.dim(), research.feature_names());
   plans.set_target_t(options.target_t);
 
+  // Row-index strata, gathered (and validated) up front so the channel
+  // designs below are fully independent of one another.
+  struct Stratum {
+    std::vector<size_t> idx0;     // (u, s=0) rows
+    std::vector<size_t> idx1;     // (u, s=1) rows
+    std::vector<size_t> idx_all;  // all u rows
+  };
+  Stratum strata[2];
   for (int u = 0; u <= 1; ++u) {
-    const std::vector<size_t> idx0 = research.GroupIndices({u, 0});
-    const std::vector<size_t> idx1 = research.GroupIndices({u, 1});
-    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size)
+    Stratum& stratum = strata[u];
+    stratum.idx0 = research.GroupIndices({u, 0});
+    stratum.idx1 = research.GroupIndices({u, 1});
+    if (stratum.idx0.size() < options.min_group_size ||
+        stratum.idx1.size() < options.min_group_size)
       return Status::FailedPrecondition(
           "research group (u=" + std::to_string(u) +
           ") lacks labelled rows for one or both s classes; collect more research data");
-    const std::vector<size_t> idx_all = research.UIndices(u);
-
-    for (size_t k = 0; k < research.dim(); ++k) {
-      ChannelPlan& channel = plans.At(u, k);
-
-      // (i) Interpolated support over the u-stratum's research range
-      // (Algorithm 1, lines 3-5).
-      auto grid = SupportGrid::FromSamples(research.FeatureColumn(k, idx_all), options.n_q);
-      if (!grid.ok()) return grid.status();
-      channel.grid = std::move(*grid);
-
-      // (ii) KDE-interpolated s-conditional marginals (line 8, Eq. 11).
-      for (int s = 0; s <= 1; ++s) {
-        auto marginal = InterpolateMarginal(
-            research.FeatureColumn(k, s == 0 ? idx0 : idx1), channel.grid, options.marginal);
-        if (!marginal.ok()) return marginal.status();
-        channel.marginal[static_cast<size_t>(s)] = std::move(*marginal);
-      }
-
-      // (iii) Barycentric repair target on the same support (line 9, Eq. 7).
-      auto barycenter =
-          ot::QuantileBarycenterOnGrid(channel.marginal[0], channel.marginal[1],
-                                       options.target_t, channel.grid.points());
-      if (!barycenter.ok()) return barycenter.status();
-      channel.barycenter = std::move(*barycenter);
-
-      // (iv) The two OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
-      // and barycentre all live on the sorted grid, so the backend's 1-D
-      // solve applies directly and its entries index grid states.
-      for (int s = 0; s <= 1; ++s) {
-        auto plan =
-            solver.Solve1DDense(channel.marginal[static_cast<size_t>(s)], channel.barycenter);
-        if (!plan.ok()) return plan.status();
-        channel.plan[static_cast<size_t>(s)] = std::move(*plan);
-      }
-    }
+    stratum.idx_all = research.UIndices(u);
   }
+
+  auto design_channel = [&](int u, size_t k) -> Status {
+    const Stratum& stratum = strata[u];
+    ChannelPlan& channel = plans.At(u, k);
+
+    // (i) Interpolated support over the u-stratum's research range
+    // (Algorithm 1, lines 3-5).
+    auto grid = SupportGrid::FromSamples(research.FeatureColumn(k, stratum.idx_all),
+                                         options.n_q);
+    if (!grid.ok()) return grid.status();
+    channel.grid = std::move(*grid);
+
+    // (ii) KDE-interpolated s-conditional marginals (line 8, Eq. 11).
+    for (int s = 0; s <= 1; ++s) {
+      auto marginal = InterpolateMarginal(
+          research.FeatureColumn(k, s == 0 ? stratum.idx0 : stratum.idx1), channel.grid,
+          options.marginal);
+      if (!marginal.ok()) return marginal.status();
+      channel.marginal[static_cast<size_t>(s)] = std::move(*marginal);
+    }
+
+    // (iii) Barycentric repair target on the same support (line 9, Eq. 7).
+    auto barycenter = ot::QuantileBarycenterOnGrid(channel.marginal[0], channel.marginal[1],
+                                                   options.target_t, channel.grid.points());
+    if (!barycenter.ok()) return barycenter.status();
+    channel.barycenter = std::move(*barycenter);
+
+    // (iv) The two OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
+    // and barycentre all live on the sorted grid, so the backend's 1-D
+    // solve applies directly and its entries index grid states.
+    for (int s = 0; s <= 1; ++s) {
+      auto plan =
+          solver.Solve1DDense(channel.marginal[static_cast<size_t>(s)], channel.barycenter);
+      if (!plan.ok()) return plan.status();
+      channel.plan[static_cast<size_t>(s)] = std::move(*plan);
+    }
+    return Status::Ok();
+  };
+
+  // The d * |U| channels are independent: each task writes only its own
+  // ChannelPlan slot, so any schedule produces bit-identical plans (and
+  // a deterministic first error). Task order (u-major, k-minor) matches
+  // the historical serial loop.
+  const size_t dim = research.dim();
+  Status status = common::parallel::ParallelForStatus(
+      0, 2 * dim,
+      [&](size_t task) { return design_channel(task < dim ? 0 : 1, task % dim); },
+      static_cast<size_t>(options.threads));
+  if (!status.ok()) return status;
   return plans;
 }
 

@@ -31,6 +31,11 @@ struct DesignOptions {
   /// Minimum research rows per (u, s) group; below this the design is
   /// rejected (the conditional marginal cannot be estimated).
   size_t min_group_size = 2;
+  /// Worker threads for the independent (u, k) channel designs. 0 means
+  /// the process-wide default (`OTFAIR_THREADS`, else hardware
+  /// concurrency); 1 forces the serial path; negative is rejected.
+  /// Output is bit-identical across thread counts.
+  int threads = 0;
 };
 
 /// Algorithm 1: designs the (u, s, k)-indexed distributional repair plans

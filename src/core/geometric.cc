@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 #include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "ot/measure.h"
 #include "ot/plan.h"
@@ -22,63 +24,84 @@ Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
 
   data::Dataset repaired = research.Clone();
 
+  // Per-u row strata, validated up front so the per-channel repairs below
+  // are independent tasks.
+  struct Stratum {
+    std::vector<size_t> idx0;
+    std::vector<size_t> idx1;
+  };
+  Stratum strata[2];
   for (int u = 0; u <= 1; ++u) {
-    const std::vector<size_t> idx0 = research.GroupIndices({u, 0});
-    const std::vector<size_t> idx1 = research.GroupIndices({u, 1});
-    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size)
+    strata[u].idx0 = research.GroupIndices({u, 0});
+    strata[u].idx1 = research.GroupIndices({u, 1});
+    if (strata[u].idx0.size() < options.min_group_size ||
+        strata[u].idx1.size() < options.min_group_size)
       return Status::FailedPrecondition("research group (u=" + std::to_string(u) +
                                         ") lacks rows for one or both s classes");
+  }
+
+  auto repair_channel = [&](int u, size_t k) -> Status {
+    const std::vector<size_t>& idx0 = strata[u].idx0;
+    const std::vector<size_t>& idx1 = strata[u].idx1;
     const double n0 = static_cast<double>(idx0.size());
     const double n1 = static_cast<double>(idx1.size());
 
-    for (size_t k = 0; k < research.dim(); ++k) {
-      const std::vector<double> x0 = research.FeatureColumn(k, idx0);
-      const std::vector<double> x1 = research.FeatureColumn(k, idx1);
+    const std::vector<double> x0 = research.FeatureColumn(k, idx0);
+    const std::vector<double> x1 = research.FeatureColumn(k, idx1);
 
-      // Sort each class; the monotone coupling is expressed in sorted
-      // order, so keep the permutation to write results back to rows.
-      std::vector<size_t> order0(x0.size());
-      std::vector<size_t> order1(x1.size());
-      std::iota(order0.begin(), order0.end(), 0);
-      std::iota(order1.begin(), order1.end(), 0);
-      std::stable_sort(order0.begin(), order0.end(),
-                       [&](size_t a, size_t b) { return x0[a] < x0[b]; });
-      std::stable_sort(order1.begin(), order1.end(),
-                       [&](size_t a, size_t b) { return x1[a] < x1[b]; });
-      std::vector<double> sorted0(x0.size());
-      std::vector<double> sorted1(x1.size());
-      for (size_t i = 0; i < x0.size(); ++i) sorted0[i] = x0[order0[i]];
-      for (size_t j = 0; j < x1.size(); ++j) sorted1[j] = x1[order1[j]];
+    // Sort each class; the monotone coupling is expressed in sorted
+    // order, so keep the permutation to write results back to rows.
+    std::vector<size_t> order0(x0.size());
+    std::vector<size_t> order1(x1.size());
+    std::iota(order0.begin(), order0.end(), 0);
+    std::iota(order1.begin(), order1.end(), 0);
+    std::stable_sort(order0.begin(), order0.end(),
+                     [&](size_t a, size_t b) { return x0[a] < x0[b]; });
+    std::stable_sort(order1.begin(), order1.end(),
+                     [&](size_t a, size_t b) { return x1[a] < x1[b]; });
+    std::vector<double> sorted0(x0.size());
+    std::vector<double> sorted1(x1.size());
+    for (size_t i = 0; i < x0.size(); ++i) sorted0[i] = x0[order0[i]];
+    for (size_t j = 0; j < x1.size(); ++j) sorted1[j] = x1[order1[j]];
 
-      auto mu0 = ot::DiscreteMeasure::FromSamples(sorted0);
-      if (!mu0.ok()) return mu0.status();
-      auto mu1 = ot::DiscreteMeasure::FromSamples(sorted1);
-      if (!mu1.ok()) return mu1.status();
-      // Both measures are sorted, so the backend's entries index the
-      // sorted sample orders directly.
-      auto coupling = solver.Solve1D(*mu0, *mu1);
-      if (!coupling.ok()) return coupling.status();
+    auto mu0 = ot::DiscreteMeasure::FromSamples(sorted0);
+    if (!mu0.ok()) return mu0.status();
+    auto mu1 = ot::DiscreteMeasure::FromSamples(sorted1);
+    if (!mu1.ok()) return mu1.status();
+    // Both measures are sorted, so the backend's entries index the
+    // sorted sample orders directly.
+    auto coupling = solver.Solve1D(*mu0, *mu1);
+    if (!coupling.ok()) return coupling.status();
 
-      // Conditional transports: sum_j pi_ij x1_j (and transpose). Row mass
-      // of pi is 1/n0 and column mass 1/n1, so the n0/n1 factors in
-      // Eqs. 8-9 turn these sums into conditional means.
-      std::vector<double> transport0(sorted0.size(), 0.0);
-      std::vector<double> transport1(sorted1.size(), 0.0);
-      for (const ot::PlanEntry& e : *coupling) {
-        transport0[e.i] += e.mass * sorted1[e.j];
-        transport1[e.j] += e.mass * sorted0[e.i];
-      }
-
-      for (size_t i = 0; i < sorted0.size(); ++i) {
-        const double value = (1.0 - options.t) * sorted0[i] + n0 * options.t * transport0[i];
-        repaired.set_feature(idx0[order0[i]], k, value);
-      }
-      for (size_t j = 0; j < sorted1.size(); ++j) {
-        const double value = n1 * (1.0 - options.t) * transport1[j] + options.t * sorted1[j];
-        repaired.set_feature(idx1[order1[j]], k, value);
-      }
+    // Conditional transports: sum_j pi_ij x1_j (and transpose). Row mass
+    // of pi is 1/n0 and column mass 1/n1, so the n0/n1 factors in
+    // Eqs. 8-9 turn these sums into conditional means.
+    std::vector<double> transport0(sorted0.size(), 0.0);
+    std::vector<double> transport1(sorted1.size(), 0.0);
+    for (const ot::PlanEntry& e : *coupling) {
+      transport0[e.i] += e.mass * sorted1[e.j];
+      transport1[e.j] += e.mass * sorted0[e.i];
     }
-  }
+
+    for (size_t i = 0; i < sorted0.size(); ++i) {
+      const double value = (1.0 - options.t) * sorted0[i] + n0 * options.t * transport0[i];
+      repaired.set_feature(idx0[order0[i]], k, value);
+    }
+    for (size_t j = 0; j < sorted1.size(); ++j) {
+      const double value = n1 * (1.0 - options.t) * transport1[j] + options.t * sorted1[j];
+      repaired.set_feature(idx1[order1[j]], k, value);
+    }
+    return Status::Ok();
+  };
+
+  // Each (u, k) task touches only its own stratum's rows in column k, so
+  // the writes are disjoint and any schedule yields bit-identical output
+  // (and a deterministic first error).
+  const size_t dim = research.dim();
+  Status status = common::parallel::ParallelForStatus(0, 2 * dim, [&](size_t task) {
+    return repair_channel(task < dim ? 0 : 1, task % dim);
+  });
+  if (!status.ok()) return status;
   return repaired;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "stats/kde2d.h"
 
@@ -328,14 +329,16 @@ Result<data::Dataset> JointPairRepairer::RepairDataset(const data::Dataset& data
                                                        uint64_t seed) const {
   if (k1_ >= dataset.dim() || k2_ >= dataset.dim())
     return Status::InvalidArgument("dataset lacks the designed feature pair");
-  Rng rng(seed);
   data::Dataset repaired = dataset.Clone();
-  for (size_t i = 0; i < dataset.size(); ++i) {
+  // Row i draws from sub-stream (seed, i), so rows are order-independent
+  // and the parallel batch is bit-identical to the serial one.
+  common::parallel::ParallelFor(0, dataset.size(), [&](size_t i) {
+    Rng rng = Rng::ForStream(seed, i);
     const auto [x, y] = RepairPair(dataset.u(i), dataset.s(i), dataset.feature(i, k1_),
                                    dataset.feature(i, k2_), rng);
     repaired.set_feature(i, k1_, x);
     repaired.set_feature(i, k2_, y);
-  }
+  });
   return repaired;
 }
 

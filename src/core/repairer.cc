@@ -1,9 +1,12 @@
 #include "core/repairer.h"
 
+#include <atomic>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/status.h"
 
 namespace otfair::core {
@@ -14,12 +17,35 @@ using common::Status;
 namespace {
 // Row mass below this is treated as empty (KDE tails can underflow).
 constexpr double kRowMassFloor = 1e-300;
+
+/// Schedule-independent batch stats accumulator: per-row tallies fold in
+/// through commutative atomic integer adds, so the totals match the
+/// serial path at any thread count without a per-row stats buffer.
+struct StatCounters {
+  std::atomic<size_t> repaired{0};
+  std::atomic<size_t> clamped{0};
+  std::atomic<size_t> fallbacks{0};
+
+  void Add(const RepairStats& local) {
+    repaired.fetch_add(local.values_repaired, std::memory_order_relaxed);
+    clamped.fetch_add(local.values_clamped, std::memory_order_relaxed);
+    fallbacks.fetch_add(local.empty_row_fallbacks, std::memory_order_relaxed);
+  }
+
+  void FlushInto(RepairStats& stats) const {
+    stats.values_repaired += repaired.load();
+    stats.values_clamped += clamped.load();
+    stats.empty_row_fallbacks += fallbacks.load();
+  }
+};
 }  // namespace
 
 Result<OffSampleRepairer> OffSampleRepairer::Create(RepairPlanSet plans,
                                                     const RepairOptions& options) {
   if (!(options.strength >= 0.0 && options.strength <= 1.0))
     return Status::InvalidArgument("strength must lie in [0, 1]");
+  if (options.threads < 0)
+    return Status::InvalidArgument("threads must be >= 1 (or 0 for the process default)");
   Status valid = plans.Validate(1e-5);
   if (!valid.ok()) return valid;
   OffSampleRepairer repairer(std::move(plans), options);
@@ -101,23 +127,32 @@ const OffSampleRepairer::RowTables& OffSampleRepairer::TablesFor(int u, int s, s
 }
 
 double OffSampleRepairer::RepairValue(int u, int s, size_t k, double x) {
+  return RepairValueImpl(u, s, k, x, rng_, stats_);
+}
+
+double OffSampleRepairer::RepairValue(int u, int s, size_t k, double x, common::Rng& rng) {
+  return RepairValueImpl(u, s, k, x, rng, stats_);
+}
+
+double OffSampleRepairer::RepairValueImpl(int u, int s, size_t k, double x, common::Rng& rng,
+                                          RepairStats& stats) const {
   const ChannelPlan& channel = plans_.At(u, k);
   const RowTables& tables = TablesFor(u, s, k);
   const SupportGrid::Location loc = channel.grid.Locate(x);
-  ++stats_.values_repaired;
-  if (loc.clamped) ++stats_.values_clamped;
+  ++stats.values_repaired;
+  if (loc.clamped) ++stats.values_clamped;
 
   double transported;
   if (options_.mode == TransportMode::kStochastic) {
     // Algorithm 2 lines 6-9: Bernoulli neighbour choice, then one draw from
     // the normalized plan row (Eq. 15).
     size_t q = loc.lower;
-    if (rng_.Bernoulli(loc.tau) && q + 1 < channel.grid.size()) ++q;
+    if (rng.Bernoulli(loc.tau) && q + 1 < channel.grid.size()) ++q;
     if (!tables.alias[q].has_value()) {
-      ++stats_.empty_row_fallbacks;
+      ++stats.empty_row_fallbacks;
       q = tables.fallback_row[q];
     }
-    const size_t j = tables.alias[q]->Sample(rng_);
+    const size_t j = tables.alias[q]->Sample(rng);
     transported = channel.grid.point(j);
   } else {
     // Deterministic ablation: tau-weighted mix of neighbouring rows'
@@ -125,11 +160,11 @@ double OffSampleRepairer::RepairValue(int u, int s, size_t k, double x) {
     size_t q0 = loc.lower;
     size_t q1 = std::min(q0 + 1, channel.grid.size() - 1);
     if (!tables.alias[q0].has_value()) {
-      ++stats_.empty_row_fallbacks;
+      ++stats.empty_row_fallbacks;
       q0 = tables.fallback_row[q0];
     }
     if (!tables.alias[q1].has_value()) {
-      ++stats_.empty_row_fallbacks;
+      ++stats.empty_row_fallbacks;
       q1 = tables.fallback_row[q1];
     }
     transported = (1.0 - loc.tau) * tables.conditional_mean[q0] +
@@ -161,13 +196,28 @@ Result<data::Dataset> OffSampleRepairer::RepairDatasetWithLabels(
     if (s != 0 && s != 1) return Status::InvalidArgument("s_labels must be binary");
   }
   data::Dataset repaired = dataset.Clone();
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    const int u = dataset.u(i);
-    const int s = s_labels[i];
-    for (size_t k = 0; k < dataset.dim(); ++k) {
-      repaired.set_feature(i, k, RepairValue(u, s, k, dataset.feature(i, k)));
-    }
-  }
+  const size_t n = dataset.size();
+  const size_t dim = dataset.dim();
+  // Per-row RNG sub-stream and a per-row local stats tally: rows are
+  // order-independent, so the parallel schedule cannot change the output
+  // (see RepairDataset). The tallies fold into shared counters with
+  // commutative integer adds — totals are schedule-independent too.
+  StatCounters counters;
+  common::parallel::ParallelFor(
+      0, n,
+      [&](size_t i) {
+        common::Rng rng = common::Rng::ForStream(options_.seed, i);
+        const int u = dataset.u(i);
+        const int s = s_labels[i];
+        RepairStats local;
+        for (size_t k = 0; k < dim; ++k) {
+          repaired.set_feature(i, k,
+                               RepairValueImpl(u, s, k, dataset.feature(i, k), rng, local));
+        }
+        counters.Add(local);
+      },
+      static_cast<size_t>(options_.threads));
+  counters.FlushInto(stats_);
   return repaired;
 }
 
@@ -182,14 +232,25 @@ Result<data::Dataset> OffSampleRepairer::RepairDatasetSoft(const data::Dataset& 
       return Status::InvalidArgument("posteriors must lie in [0, 1]");
   }
   data::Dataset repaired = dataset.Clone();
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    // One class draw per row, shared by all channels: a record is repaired
-    // coherently under a single imputed protected label.
-    const int s = rng_.Bernoulli(pr_s1[i]) ? 1 : 0;
-    for (size_t k = 0; k < dataset.dim(); ++k) {
-      repaired.set_feature(i, k, RepairValue(dataset.u(i), s, k, dataset.feature(i, k)));
-    }
-  }
+  const size_t n = dataset.size();
+  const size_t dim = dataset.dim();
+  StatCounters counters;
+  common::parallel::ParallelFor(
+      0, n,
+      [&](size_t i) {
+        common::Rng rng = common::Rng::ForStream(options_.seed, i);
+        // One class draw per row, shared by all channels: a record is
+        // repaired coherently under a single imputed protected label.
+        const int s = rng.Bernoulli(pr_s1[i]) ? 1 : 0;
+        RepairStats local;
+        for (size_t k = 0; k < dim; ++k) {
+          repaired.set_feature(
+              i, k, RepairValueImpl(dataset.u(i), s, k, dataset.feature(i, k), rng, local));
+        }
+        counters.Add(local);
+      },
+      static_cast<size_t>(options_.threads));
+  counters.FlushInto(stats_);
   return repaired;
 }
 

@@ -32,6 +32,12 @@ struct RepairOptions {
   /// Partial-repair strength lambda in [0, 1] (§VI future-work knob):
   /// x' = (1 - lambda) * x + lambda * T(x). 1 is the paper's full repair.
   double strength = 1.0;
+  /// Worker threads for the batch RepairDataset* entry points. 0 means
+  /// the process-wide default (`OTFAIR_THREADS`, else hardware
+  /// concurrency); 1 forces the serial path; negative is rejected.
+  /// Batch output is bit-identical across thread counts (see the row
+  /// sub-stream note on RepairDataset).
+  int threads = 0;
 };
 
 /// Statistics accumulated while repairing.
@@ -62,8 +68,19 @@ class OffSampleRepairer {
                                                   const RepairOptions& options = {});
 
   /// Repairs one labelled value of channel (u, s, k) — the streaming
-  /// entry point. CHECK-fails on out-of-range u/s/k (programmer error).
+  /// entry point, consuming the repairer's own RNG stream. CHECK-fails on
+  /// out-of-range u/s/k (programmer error).
   double RepairValue(int u, int s, size_t k, double x);
+
+  /// As above but drawing from an externally supplied generator. This is
+  /// the batch path's primitive: row i of RepairDataset* is repaired with
+  /// `common::Rng::ForStream(options.seed, i)`, channels in k order, so a
+  /// caller can replay any subset of rows, in any order, and reproduce
+  /// the batch output bit-for-bit. Not safe to call concurrently on one
+  /// repairer (it updates the shared stats() counters); for parallel
+  /// repair use the RepairDataset* batch entry points, which shard rows
+  /// internally with per-row stats slots.
+  double RepairValue(int u, int s, size_t k, double x, common::Rng& rng);
 
   /// Soft-label streaming repair for probabilistic protected attributes
   /// (§VI / ref. [39]): draws s ~ Bernoulli(pr_s1) and repairs under the
@@ -73,6 +90,12 @@ class OffSampleRepairer {
 
   /// Repairs every feature of every row, using the dataset's own (u, s)
   /// labels. Returns a repaired copy; the input is untouched.
+  ///
+  /// Batch determinism: row i draws from the decorrelated sub-stream
+  /// `Rng::ForStream(options.seed, i)` rather than one shared sequential
+  /// stream, so the output is a pure function of (plans, options.seed,
+  /// dataset) — independent of row processing order and therefore
+  /// bit-identical across `options.threads` settings.
   common::Result<data::Dataset> RepairDataset(const data::Dataset& dataset);
 
   /// As RepairDataset but with externally supplied s-labels (e.g. the
@@ -102,6 +125,11 @@ class OffSampleRepairer {
 
   common::Status BuildTables();
   const RowTables& TablesFor(int u, int s, size_t k) const;
+
+  /// The transport itself; pure given (rng, stats) slots, so batch rows
+  /// can run concurrently with per-row rng/stats.
+  double RepairValueImpl(int u, int s, size_t k, double x, common::Rng& rng,
+                         RepairStats& stats) const;
 
   RepairPlanSet plans_;
   RepairOptions options_;

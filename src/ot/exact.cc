@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
@@ -33,30 +36,40 @@ struct SspState {
   std::vector<char> visited;
 };
 
-/// Dense Dijkstra over the residual graph, rooted at every source with
-/// remaining supply. Returns the index of the nearest sink with remaining
-/// demand, or -1 if none is reachable.
+/// Min-heap entry: (tentative distance, node). Stale entries (distance no
+/// longer current) are discarded lazily at pop time.
+using HeapEntry = std::pair<double, int>;
+
+/// Binary-heap Dijkstra over the residual graph, rooted at every source
+/// with remaining supply. Settles nodes in nondecreasing distance order
+/// and stops at the first settled sink with remaining demand — the
+/// nearest deficit sink — returning its node index, or -1 if none is
+/// reachable. On return, `visited` nodes carry exact distances; for every
+/// unvisited node the true shortest distance is >= the returned target's
+/// distance, which is what the caller's Johnson potential update
+/// (min(dist, dist_target)) relies on.
 int RunDijkstra(SspState& s, double mass_tol) {
   const size_t total = s.n + s.m;
   s.dist.assign(total, kInf);
   s.parent.assign(total, -1);
   s.visited.assign(total, 0);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
   for (size_t i = 0; i < s.n; ++i) {
-    if (s.rem_supply[i] > mass_tol) s.dist[i] = 0.0;
+    if (s.rem_supply[i] > mass_tol) {
+      s.dist[i] = 0.0;
+      heap.emplace(0.0, static_cast<int>(i));
+    }
   }
 
-  for (size_t round = 0; round < total; ++round) {
-    // Extract the unvisited node with smallest tentative distance.
-    int u = -1;
-    double best = kInf;
-    for (size_t v = 0; v < total; ++v) {
-      if (!s.visited[v] && s.dist[v] < best) {
-        best = s.dist[v];
-        u = static_cast<int>(v);
-      }
-    }
-    if (u < 0) break;  // remaining nodes unreachable
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (s.visited[u] || d > s.dist[u]) continue;  // stale entry
     s.visited[u] = 1;
+    if (static_cast<size_t>(u) >= s.n &&
+        s.rem_demand[static_cast<size_t>(u) - s.n] > mass_tol) {
+      return u;  // nearest sink with remaining demand
+    }
 
     if (static_cast<size_t>(u) < s.n) {
       // Source node: forward arcs to every sink.
@@ -68,10 +81,11 @@ int RunDijkstra(SspState& s, double mass_tol) {
         if (s.visited[v]) continue;
         double rc = crow[j] + pu - s.potential[v];
         if (rc < 0.0) rc = 0.0;  // floating-point slack
-        const double nd = s.dist[u] + rc;
+        const double nd = d + rc;
         if (nd < s.dist[v]) {
           s.dist[v] = nd;
           s.parent[v] = u;
+          heap.emplace(nd, static_cast<int>(v));
         }
       }
     } else {
@@ -82,25 +96,16 @@ int RunDijkstra(SspState& s, double mass_tol) {
         if (s.visited[i] || s.flow(i, j) <= mass_tol) continue;
         double rc = -(*s.cost)(i, j) + pu - s.potential[i];
         if (rc < 0.0) rc = 0.0;
-        const double nd = s.dist[u] + rc;
+        const double nd = d + rc;
         if (nd < s.dist[i]) {
           s.dist[i] = nd;
           s.parent[i] = u;
+          heap.emplace(nd, static_cast<int>(i));
         }
       }
     }
   }
-
-  int target = -1;
-  double best = kInf;
-  for (size_t j = 0; j < s.m; ++j) {
-    const size_t v = s.n + j;
-    if (s.rem_demand[j] > mass_tol && s.dist[v] < best) {
-      best = s.dist[v];
-      target = static_cast<int>(v);
-    }
-  }
-  return target;
+  return -1;  // no deficit sink reachable
 }
 
 /// Augments along the parent path ending at sink node `target`; returns the

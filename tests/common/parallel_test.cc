@@ -1,0 +1,180 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace otfair::common::parallel {
+namespace {
+
+/// Restores the process-wide override on scope exit so tests compose.
+struct ScopedThreadCount {
+  explicit ScopedThreadCount(size_t count) { SetThreadCount(count); }
+  ~ScopedThreadCount() { SetThreadCount(0); }
+};
+
+TEST(ParseThreadCountTest, AcceptsPositiveIntegers) {
+  EXPECT_EQ(ParseThreadCount("1"), 1u);
+  EXPECT_EQ(ParseThreadCount("8"), 8u);
+  EXPECT_EQ(ParseThreadCount("128"), 128u);
+}
+
+TEST(ParseThreadCountTest, RejectsGarbage) {
+  EXPECT_EQ(ParseThreadCount(nullptr), 0u);
+  EXPECT_EQ(ParseThreadCount(""), 0u);
+  EXPECT_EQ(ParseThreadCount("0"), 0u);
+  EXPECT_EQ(ParseThreadCount("-4"), 0u);
+  EXPECT_EQ(ParseThreadCount("4x"), 0u);
+  EXPECT_EQ(ParseThreadCount("3.5"), 0u);
+  EXPECT_EQ(ParseThreadCount("99999999999999999999999999"), 0u);  // overflow
+}
+
+TEST(ThreadCountTest, DefaultIsPositive) { EXPECT_GE(DefaultThreadCount(), 1u); }
+
+TEST(ThreadCountTest, OverrideWinsAndClears) {
+  {
+    ScopedThreadCount scope(3);
+    EXPECT_EQ(ThreadCount(), 3u);
+  }
+  EXPECT_EQ(ThreadCount(), DefaultThreadCount());
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, [&](size_t) { ++calls; });
+  ParallelFor(5, 5, [&](size_t) { ++calls; });
+  ParallelFor(7, 3, [&](size_t) { ++calls; });  // end < begin
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(0, n, [&](size_t i) { ++hits[i]; }, threads);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, RespectsBeginOffset) {
+  std::vector<int> slot(10, 0);
+  ParallelFor(4, 10, [&](size_t i) { slot[i] = 1; }, 4);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(slot[i], i >= 4 ? 1 : 0);
+}
+
+TEST(ParallelForTest, SerialAtOneThreadRunsInline) {
+  // threads=1 must execute on the calling thread, in index order.
+  const auto caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  ParallelFor(0, 100,
+              [&](size_t i) {
+                EXPECT_EQ(std::this_thread::get_id(), caller);
+                order.push_back(i);
+              },
+              1);
+  ASSERT_EQ(order.size(), 100u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, PerIndexSlotsAreDeterministicAcrossThreadCounts) {
+  const size_t n = 500;
+  auto run = [&](size_t threads) {
+    std::vector<double> slots(n, 0.0);
+    ParallelFor(0, n, [&](size_t i) { slots[i] = static_cast<double>(i) * 1.5 + 1.0; },
+                threads);
+    return slots;
+  };
+  const std::vector<double> serial = run(1);
+  for (size_t threads : {size_t{2}, size_t{5}, size_t{16}}) {
+    EXPECT_EQ(run(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, PropagatesExceptionsFromWorkers) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    EXPECT_THROW(
+        ParallelFor(0, 64,
+                    [&](size_t i) {
+                      if (i == 13) throw std::runtime_error("boom");
+                    },
+                    threads),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, DrainsAllIndicesDespiteException) {
+  // The loop must not abandon unprocessed indices when one body throws.
+  std::vector<std::atomic<int>> hits(256);
+  try {
+    ParallelFor(0, 256,
+                [&](size_t i) {
+                  ++hits[i];
+                  if (i % 32 == 0) throw std::runtime_error("boom");
+                },
+                4);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, NestedLoopsRunSerially) {
+  // A ParallelFor inside a ParallelFor body must not deadlock the pool;
+  // the inner loop falls back to inline execution.
+  std::vector<std::atomic<int>> hits(16 * 16);
+  ParallelFor(0, 16,
+              [&](size_t outer) {
+                ParallelFor(0, 16, [&](size_t inner) { ++hits[outer * 16 + inner]; }, 8);
+              },
+              4);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ExplicitSerialSuppressesNestedFanOut) {
+  // threads=1 is a promise of serial execution all the way down: a
+  // nested loop must stay on the calling thread even if it asks for
+  // more lanes.
+  const auto caller = std::this_thread::get_id();
+  ParallelFor(0, 4,
+              [&](size_t) {
+                ParallelFor(0, 8,
+                            [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); }, 8);
+              },
+              1);
+}
+
+TEST(ParallelForTest, ExplicitThreadsGrowThePoolBeyondProcessDefault) {
+  ScopedThreadCount scope(1);
+  // An explicit per-call count must win over a smaller process default:
+  // the global pool has to grow to offer threads-1 workers, not silently
+  // run the loop on ThreadCount() lanes.
+  std::vector<int> slot(64, 0);
+  ParallelFor(0, 64, [&](size_t i) { slot[i] = 1; }, 4);
+  for (int v : slot) EXPECT_EQ(v, 1);
+  EXPECT_GE(GlobalPool().workers(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::vector<int> slot(32, 0);
+  pool.Run(0, 32, [&](size_t i) { slot[i] = 1; }, 4);
+  for (int v : slot) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.Run(0, 100, [&](size_t i) { sum += i; }, 4);
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace otfair::common::parallel

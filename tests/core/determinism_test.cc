@@ -1,0 +1,226 @@
+// Parallel-vs-serial determinism suite: every parallelized pipeline stage
+// must produce bit-identical output at any thread count. The contract is
+// structural (per-index result slots, per-row RNG sub-streams, serial
+// reductions), so these tests compare exact doubles, not tolerances.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/designer.h"
+#include "core/geometric.h"
+#include "core/joint_repair.h"
+#include "core/pipeline.h"
+#include "core/repairer.h"
+#include "ot/sinkhorn.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::core {
+namespace {
+
+struct Fixture {
+  data::Dataset research;
+  data::Dataset archive;
+};
+
+Fixture MakeFixture(uint64_t seed, size_t n_research = 600, size_t n_archive = 1500) {
+  common::Rng rng(seed);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(n_research, config, rng);
+  auto archive = sim::SimulateGaussianMixture(n_archive, config, rng);
+  EXPECT_TRUE(research.ok() && archive.ok());
+  return Fixture{std::move(*research), std::move(*archive)};
+}
+
+void ExpectPlansIdentical(const RepairPlanSet& a, const RepairPlanSet& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (int u = 0; u <= 1; ++u) {
+    for (size_t k = 0; k < a.dim(); ++k) {
+      const ChannelPlan& ca = a.At(u, k);
+      const ChannelPlan& cb = b.At(u, k);
+      ASSERT_EQ(ca.grid.size(), cb.grid.size());
+      for (size_t q = 0; q < ca.grid.size(); ++q)
+        ASSERT_EQ(ca.grid.point(q), cb.grid.point(q)) << "u=" << u << " k=" << k;
+      for (int s = 0; s <= 1; ++s) {
+        ASSERT_EQ(ca.plan[s].MaxAbsDiff(cb.plan[s]), 0.0) << "u=" << u << " k=" << k;
+        const auto& wa = ca.marginal[s].weights();
+        const auto& wb = cb.marginal[s].weights();
+        ASSERT_EQ(wa, wb) << "u=" << u << " k=" << k;
+      }
+      ASSERT_EQ(ca.barycenter.weights(), cb.barycenter.weights()) << "u=" << u << " k=" << k;
+    }
+  }
+}
+
+void ExpectDatasetsIdentical(const data::Dataset& a, const data::Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.dim(), b.dim());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t k = 0; k < a.dim(); ++k)
+      ASSERT_EQ(a.feature(i, k), b.feature(i, k)) << "row " << i << " k " << k;
+  }
+}
+
+TEST(DeterminismTest, DesignBitIdenticalAcrossThreadCounts) {
+  Fixture fx = MakeFixture(21);
+  DesignOptions serial;
+  serial.n_q = 40;
+  serial.threads = 1;
+  auto reference = DesignDistributionalRepair(fx.research, serial);
+  ASSERT_TRUE(reference.ok());
+  for (int threads : {2, 3, 8}) {
+    DesignOptions options = serial;
+    options.threads = threads;
+    auto plans = DesignDistributionalRepair(fx.research, options);
+    ASSERT_TRUE(plans.ok()) << "threads=" << threads;
+    ExpectPlansIdentical(*reference, *plans);
+  }
+}
+
+TEST(DeterminismTest, RepairDatasetBitIdenticalAcrossThreadCounts) {
+  Fixture fx = MakeFixture(22);
+  DesignOptions design;
+  design.n_q = 40;
+  auto plans = DesignDistributionalRepair(fx.research, design);
+  ASSERT_TRUE(plans.ok());
+  RepairOptions serial;
+  serial.seed = 4242;
+  serial.threads = 1;
+  auto ref_repairer = OffSampleRepairer::Create(*plans, serial);
+  ASSERT_TRUE(ref_repairer.ok());
+  auto reference = ref_repairer->RepairDataset(fx.archive);
+  ASSERT_TRUE(reference.ok());
+  for (int threads : {2, 3, 8}) {
+    RepairOptions options = serial;
+    options.threads = threads;
+    auto repairer = OffSampleRepairer::Create(*plans, options);
+    ASSERT_TRUE(repairer.ok()) << "threads=" << threads;
+    auto repaired = repairer->RepairDataset(fx.archive);
+    ASSERT_TRUE(repaired.ok()) << "threads=" << threads;
+    ExpectDatasetsIdentical(*reference, *repaired);
+    // The serially-reduced stats totals are schedule-independent too.
+    EXPECT_EQ(repairer->stats().values_repaired, ref_repairer->stats().values_repaired);
+    EXPECT_EQ(repairer->stats().values_clamped, ref_repairer->stats().values_clamped);
+    EXPECT_EQ(repairer->stats().empty_row_fallbacks,
+              ref_repairer->stats().empty_row_fallbacks);
+  }
+}
+
+TEST(DeterminismTest, RepairDatasetSoftBitIdenticalAcrossThreadCounts) {
+  Fixture fx = MakeFixture(23, 600, 800);
+  DesignOptions design;
+  design.n_q = 32;
+  auto plans = DesignDistributionalRepair(fx.research, design);
+  ASSERT_TRUE(plans.ok());
+  std::vector<double> posteriors;
+  common::Rng rng(7);
+  for (size_t i = 0; i < fx.archive.size(); ++i) posteriors.push_back(rng.Uniform());
+
+  auto run = [&](int threads) {
+    RepairOptions options;
+    options.seed = 99;
+    options.threads = threads;
+    auto repairer = OffSampleRepairer::Create(*plans, options);
+    EXPECT_TRUE(repairer.ok());
+    auto repaired = repairer->RepairDatasetSoft(fx.archive, posteriors);
+    EXPECT_TRUE(repaired.ok());
+    return std::move(*repaired);
+  };
+  const data::Dataset reference = run(1);
+  for (int threads : {2, 8}) {
+    const data::Dataset repaired = run(threads);
+    ExpectDatasetsIdentical(reference, repaired);
+  }
+}
+
+TEST(DeterminismTest, PipelineThreadsOverrideBitIdentical) {
+  Fixture fx = MakeFixture(24, 500, 700);
+  PipelineOptions serial;
+  serial.design.n_q = 32;
+  serial.threads = 1;
+  auto reference = RunRepairPipeline(fx.research, fx.archive, serial);
+  ASSERT_TRUE(reference.ok());
+  PipelineOptions parallel = serial;
+  parallel.threads = 4;
+  auto result = RunRepairPipeline(fx.research, fx.archive, parallel);
+  ASSERT_TRUE(result.ok());
+  ExpectDatasetsIdentical(reference->repaired_research, result->repaired_research);
+  ExpectDatasetsIdentical(reference->repaired_archive, result->repaired_archive);
+  ExpectPlansIdentical(reference->plans, result->plans);
+}
+
+TEST(DeterminismTest, GeometricRepairBitIdenticalAcrossThreadCounts) {
+  Fixture fx = MakeFixture(25, 800, 1);
+  common::parallel::SetThreadCount(1);
+  auto reference = GeometricRepairDataset(fx.research, {});
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    common::parallel::SetThreadCount(threads);
+    auto repaired = GeometricRepairDataset(fx.research, {});
+    ASSERT_TRUE(repaired.ok()) << "threads=" << threads;
+    ExpectDatasetsIdentical(*reference, *repaired);
+  }
+  common::parallel::SetThreadCount(0);
+}
+
+TEST(DeterminismTest, JointRepairBitIdenticalAcrossThreadCounts) {
+  Fixture fx = MakeFixture(26, 900, 400);
+  JointDesignOptions options;
+  options.n_q = 10;
+  auto repairer = JointPairRepairer::Design(fx.research, 0, 1, options);
+  ASSERT_TRUE(repairer.ok());
+  common::parallel::SetThreadCount(1);
+  auto reference = repairer->RepairDataset(fx.archive, 77);
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    common::parallel::SetThreadCount(threads);
+    auto repaired = repairer->RepairDataset(fx.archive, 77);
+    ASSERT_TRUE(repaired.ok()) << "threads=" << threads;
+    ExpectDatasetsIdentical(*reference, *repaired);
+  }
+  common::parallel::SetThreadCount(0);
+}
+
+TEST(DeterminismTest, SinkhornBitIdenticalAcrossThreadCounts) {
+  // Sinkhorn's row updates write per-index slots, so its plans are exact
+  // matches across thread counts in both domains. n is chosen above the
+  // solver's small-problem grain threshold so the pool really engages.
+  const size_t n = 160;
+  common::Rng rng(31);
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  double sa = 0.0;
+  double sb = 0.0;
+  for (double& v : a) sa += (v = rng.Uniform(0.2, 1.0));
+  for (double& v : b) sb += (v = rng.Uniform(0.2, 1.0));
+  for (double& v : a) v /= sa;
+  for (double& v : b) v /= sb;
+  common::Matrix cost(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j)
+      cost(i, j) = (static_cast<double>(i) - static_cast<double>(j)) *
+                   (static_cast<double>(i) - static_cast<double>(j)) / static_cast<double>(n * n);
+
+  for (const bool log_domain : {false, true}) {
+    ot::SinkhornOptions options;
+    options.epsilon = 0.1;
+    options.log_domain = log_domain;
+    common::parallel::SetThreadCount(1);
+    auto reference = ot::SolveSinkhorn(a, b, cost, options);
+    ASSERT_TRUE(reference.ok());
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+      common::parallel::SetThreadCount(threads);
+      auto result = ot::SolveSinkhorn(a, b, cost, options);
+      ASSERT_TRUE(result.ok()) << "threads=" << threads;
+      EXPECT_EQ(result->iterations, reference->iterations) << "log=" << log_domain;
+      EXPECT_EQ(result->plan.coupling.MaxAbsDiff(reference->plan.coupling), 0.0)
+          << "log=" << log_domain << " threads=" << threads;
+    }
+    common::parallel::SetThreadCount(0);
+  }
+}
+
+}  // namespace
+}  // namespace otfair::core

@@ -120,7 +120,7 @@ TEST(RepairerTest, DeterministicGivenSeed) {
   }
 }
 
-TEST(RepairerTest, StreamingMatchesBatchGivenSameSeedAndOrder) {
+TEST(RepairerTest, StreamingMatchesBatchGivenRowSubStreams) {
   Fixture fx = MakeFixture(7, 300, 500);
   RepairOptions options;
   options.seed = 777;
@@ -129,13 +129,16 @@ TEST(RepairerTest, StreamingMatchesBatchGivenSameSeedAndOrder) {
   ASSERT_TRUE(batch.ok() && stream.ok());
   auto batch_out = batch->RepairDataset(fx.archive);
   ASSERT_TRUE(batch_out.ok());
-  // Replaying record-at-a-time in the same order consumes the RNG
-  // identically.
-  for (size_t i = 0; i < fx.archive.size(); ++i) {
+  // Batch repair gives row i the sub-stream Rng::ForStream(seed, i) and
+  // repairs channels in k order, so record-at-a-time replay under the
+  // same scheme reproduces the batch output — in any row order; walk the
+  // rows backwards to prove order independence.
+  for (size_t r = fx.archive.size(); r-- > 0;) {
+    common::Rng rng = common::Rng::ForStream(777, r);
     for (size_t k = 0; k < fx.archive.dim(); ++k) {
-      const double value = stream->RepairValue(fx.archive.u(i), fx.archive.s(i), k,
-                                               fx.archive.feature(i, k));
-      EXPECT_DOUBLE_EQ(value, batch_out->feature(i, k)) << "row " << i << " k " << k;
+      const double value = stream->RepairValue(fx.archive.u(r), fx.archive.s(r), k,
+                                               fx.archive.feature(r, k), rng);
+      EXPECT_DOUBLE_EQ(value, batch_out->feature(r, k)) << "row " << r << " k " << k;
     }
   }
 }

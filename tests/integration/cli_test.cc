@@ -2,6 +2,8 @@
 // repair -> drift over real files, via std::system. The binary path is
 // injected by CMake (OTFAIR_CLI_PATH).
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <string>
 
@@ -23,7 +25,12 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir();
+    // Unique per-process fixture paths: gtest_discover_tests runs every
+    // TEST as its own ctest entry, so under `ctest -j` several CliTest
+    // processes are alive at once and must not clobber each other's
+    // files in the shared TempDir.
+    dir_ = ::testing::TempDir() + "/otfair_cli_" + std::to_string(::getpid());
+    ASSERT_EQ(std::system(("mkdir -p " + dir_).c_str()), 0);
     common::Rng rng(1);
     auto research = sim::SimulateGaussianMixture(
         800, sim::GaussianSimConfig::PaperDefault(), rng);
@@ -36,6 +43,12 @@ class CliTest : public ::testing::Test {
     repaired_path_ = dir_ + "/repaired.csv";
     ASSERT_TRUE(data::WriteCsv(*research, research_path_).ok());
     ASSERT_TRUE(data::WriteCsv(*archive, archive_path_).ok());
+  }
+
+  void TearDown() override {
+    // Fixtures are per-pid (see SetUp); remove them so repeated ctest
+    // runs don't accumulate garbage in the shared temp dir.
+    if (!dir_.empty()) std::system(("rm -rf " + dir_).c_str());
   }
 
   int Run(const std::string& args) {

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "core/designer.h"
 #include "core/drift_monitor.h"
 #include "core/label_estimator.h"
@@ -44,6 +45,20 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Resolves the shared `--threads` flag: absent -> 0 (process default,
+/// i.e. OTFAIR_THREADS or hardware concurrency); present but < 1 -> error.
+/// On success the value is also installed as the process-wide default so
+/// every parallel region (including solver internals) honours it.
+otfair::common::Result<int> ResolveThreadsFlag(const FlagParser& flags) {
+  if (!flags.Has("threads")) return 0;
+  const int threads = flags.GetInt("threads", 0);
+  if (threads < 1)
+    return Status::InvalidArgument("--threads must be >= 1 (got " +
+                                   std::to_string(threads) + ")");
+  otfair::common::parallel::SetThreadCount(static_cast<size_t>(threads));
+  return threads;
+}
+
 int Usage() {
   std::string solvers;
   for (const std::string& name : otfair::ot::SolverRegistry::Global().Names()) {
@@ -53,12 +68,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage: otfair <design|repair|inspect|drift> [flags]\n"
                "  design  --research=R.csv --plan=P.bin [--n_q=50] [--target_t=0.5]\n"
-               "          [--solver=%s] [--epsilon=0.05]\n",
+               "          [--solver=%s] [--epsilon=0.05] [--threads=N]\n",
                solvers.c_str());
   std::fprintf(stderr,
                "  repair  --plan=P.bin --input=A.csv --output=O.csv\n"
                "          [--mode=stochastic|mean|quantile] [--strength=1.0] [--seed=N]\n"
                "          [--estimate_labels --research=R.csv]\n"
+               "          [--threads=N  (stochastic/mean modes; quantile is serial)]\n"
                "  inspect --plan=P.bin | --data=D.csv\n"
                "  drift   --plan=P.bin --input=A.csv\n");
   return 2;
@@ -76,6 +92,9 @@ int RunDesign(const FlagParser& flags) {
   otfair::core::PipelineOptions options;
   options.design.n_q = static_cast<size_t>(flags.GetInt("n_q", 50));
   options.design.target_t = flags.GetDouble("target_t", 0.5);
+  auto threads = ResolveThreadsFlag(flags);
+  if (!threads.ok()) return Fail(threads.status());
+  options.design.threads = *threads;
   const std::string solver_name = flags.GetString("solver", "monotone");
   otfair::ot::SolverOptions solver_options;
   solver_options.sinkhorn.epsilon = flags.GetDouble("epsilon", 0.05);
@@ -130,9 +149,13 @@ int RunRepair(const FlagParser& flags) {
 
   const std::string mode = flags.GetString("mode", "stochastic");
   const double strength = flags.GetDouble("strength", 1.0);
+  auto threads = ResolveThreadsFlag(flags);
+  if (!threads.ok()) return Fail(threads.status());
   otfair::common::Result<otfair::data::Dataset> repaired(
       Status::Internal("unreachable"));
   if (mode == "quantile") {
+    if (*threads > 0)
+      std::fprintf(stderr, "note: quantile repair is serial; --threads has no effect\n");
     auto repairer = otfair::core::QuantileMapRepairer::Create(std::move(*plans), strength);
     if (!repairer.ok()) return Fail(repairer.status());
     repaired = repairer->RepairDatasetWithLabels(*archive, labels);
@@ -140,6 +163,7 @@ int RunRepair(const FlagParser& flags) {
     otfair::core::RepairOptions options;
     options.seed = flags.GetUint64("seed", 0x07fa12u);
     options.strength = strength;
+    options.threads = *threads;
     options.mode = mode == "mean" ? otfair::core::TransportMode::kConditionalMean
                                   : otfair::core::TransportMode::kStochastic;
     auto repairer = otfair::core::OffSampleRepairer::Create(std::move(*plans), options);

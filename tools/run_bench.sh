@@ -1,31 +1,44 @@
 #!/usr/bin/env bash
-# Builds and runs the OT microbench, emitting Google-Benchmark JSON for
-# trajectory tracking (future BENCH_*.json snapshots).
+# Builds and runs the perf trajectory harness (bench/perf_bench.cpp),
+# emitting the JSON snapshot that BENCH_*.json files are taken from.
 #
 # Usage:
-#   tools/run_bench.sh [output.json] [extra benchmark flags...]
+#   tools/run_bench.sh [--smoke] [output.json] [extra perf_bench flags...]
 #
-# Defaults to BENCH_ot_microbench.json in the repo root. Requires Google
-# Benchmark to be installed (the CMake build skips the microbench targets
-# without it, and this script then fails with a clear message).
+# --smoke runs tiny sizes (a CI harness check, not a measurement) and
+# defaults the output into the build tree; otherwise the output defaults
+# to BENCH_perf.json in the repo root. Benchmarks must be compiled with
+# optimization: this script configures CMAKE_BUILD_TYPE=Release (the
+# repo's default build type).
+#
+# The legacy Google-Benchmark microbenches (ot_microbench etc.) still
+# build when libbenchmark is installed; run those binaries directly for
+# per-op microbenchmarks.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build"
-out="${1:-${repo_root}/BENCH_ot_microbench.json}"
+
+smoke=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  smoke=1
+  shift
+fi
+
+if [[ ${smoke} -eq 1 ]]; then
+  out="${1:-${build_dir}/BENCH_smoke.json}"
+else
+  out="${1:-${repo_root}/BENCH_perf.json}"
+fi
 shift || true
 
-cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
-cmake --build "${build_dir}" -j --target ot_microbench 2>/dev/null || {
-  echo "error: ot_microbench target unavailable — is Google Benchmark installed?" >&2
-  exit 1
-}
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" -j --target perf_bench >/dev/null
 
-"${build_dir}/bench/ot_microbench" \
-  --benchmark_format=json \
-  --benchmark_out="${out}" \
-  --benchmark_out_format=json \
-  "$@" >/dev/null
+args=("--out=${out}")
+if [[ ${smoke} -eq 1 ]]; then
+  args+=("--smoke" "--threads=1,2" "--repeats=1")
+fi
 
-echo "wrote ${out}"
+"${build_dir}/bench/perf_bench" "${args[@]}" "$@"
