@@ -12,6 +12,14 @@
 //   sinkhorn_log       domain and log domain; ms_per_iter is the
 //                      schedule-independent metric.
 //   exact_solver       successive-shortest-path Kantorovich solve, n x n.
+//   table_build        OffSampleRepairer::Create on CSR plans — the live
+//                      O(nnz) repair-table path.
+//   table_build_dense  the pre-sparse dense path (full n_Q-row scans +
+//                      alias tables over every state), emulated against
+//                      the same plans: the committed baseline for the
+//                      sparse speedup claim.
+//   plan_memory        resident CSR bytes and nnz per channel plan vs the
+//                      dense n_Q x n_Q equivalent (not timed).
 //
 // Flags:
 //   --out=FILE         JSON output path (default: perf_bench.json)
@@ -21,7 +29,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -34,6 +44,7 @@
 #include "ot/exact.h"
 #include "ot/sinkhorn.h"
 #include "sim/gaussian_mixture.h"
+#include "stats/sampling.h"
 
 namespace {
 
@@ -48,9 +59,12 @@ struct BenchCase {
   std::string params_json;
   int repeats = 0;
   double wall_ms = 0.0;
-  double rows_per_sec = 0.0;   // repair only
-  size_t iterations = 0;       // sinkhorn only
-  double ms_per_iter = 0.0;    // sinkhorn only
+  double rows_per_sec = 0.0;          // repair only
+  size_t iterations = 0;              // sinkhorn only
+  double ms_per_iter = 0.0;           // sinkhorn only
+  double nnz_per_plan = 0.0;          // plan_memory only
+  double sparse_bytes_per_plan = 0.0; // plan_memory only
+  double dense_bytes_per_plan = 0.0;  // plan_memory only
 };
 
 /// Paper-style mixture generalized to `dim` features: the +/-1 mean
@@ -193,6 +207,145 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- table_build / plan_memory: sparse vs dense repair tables -----------
+  {
+    otfair::common::parallel::SetThreadCount(1);
+    otfair::core::DesignOptions design_options;
+    design_options.n_q = design_nq;
+    design_options.threads = 1;
+    auto plans = otfair::core::DesignDistributionalRepair(*research, design_options);
+    if (!plans.ok()) Die(plans.status().ToString());
+    const size_t plan_count = 4 * dim;  // (u, s) x k
+
+    // The live path: OffSampleRepairer::Create = plan validation + alias
+    // tables, both O(nnz) over the CSR rows.
+    const double sparse_ms = BestWallMs(repeats, [&] {
+      auto repairer = otfair::core::OffSampleRepairer::Create(*plans, {});
+      if (!repairer.ok()) Die(repairer.status().ToString());
+    });
+    BenchCase c;
+    c.name = "table_build";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params), "{\"dim\": %zu, \"n_q\": %zu, \"solver\": \"monotone\"}",
+                  dim, design_nq);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = sparse_ms;
+    cases.push_back(c);
+    std::fprintf(stderr, "table_build       threads=1  %10.2f ms\n", sparse_ms);
+
+    // The pre-sparse baseline, emulated against the same plans: dense
+    // n_Q x n_Q matrices scanned row by row, one alias table over all
+    // n_Q states per massive row (weights copied into a fresh vector, as
+    // the old call sites did). Densification itself is untimed — the old
+    // path received dense matrices from the solver.
+    std::vector<otfair::common::Matrix> dense_plans;
+    std::vector<const otfair::core::ChannelPlan*> dense_channels;
+    dense_plans.reserve(plan_count);
+    dense_channels.reserve(plan_count);
+    for (int u = 0; u <= 1; ++u) {
+      for (int s = 0; s <= 1; ++s) {
+        for (size_t k = 0; k < dim; ++k) {
+          const auto& channel = plans->At(u, k);
+          dense_plans.push_back(channel.plan[static_cast<size_t>(s)].ToDense());
+          dense_channels.push_back(&channel);
+        }
+      }
+    }
+    const double dense_ms = BestWallMs(repeats, [&] {
+      for (size_t p = 0; p < dense_plans.size(); ++p) {
+        const otfair::common::Matrix& pi = dense_plans[p];
+        const auto& grid = dense_channels[p]->grid;
+        const size_t nq = grid.size();
+        std::vector<std::optional<otfair::stats::AliasTable>> alias(nq);
+        std::vector<double> conditional_mean(nq, 0.0);
+        std::vector<char> has_mass(nq, 0);
+        for (size_t q = 0; q < nq; ++q) {
+          const double* row = pi.row(q);
+          double mass = 0.0;
+          double mean = 0.0;
+          for (size_t j = 0; j < nq; ++j) {
+            mass += row[j];
+            mean += row[j] * grid.point(j);
+          }
+          if (mass > 1e-300) {
+            has_mass[q] = 1;
+            conditional_mean[q] = mean / mass;
+            auto table =
+                otfair::stats::AliasTable::Build(std::vector<double>(row, row + nq));
+            if (!table.ok()) Die(table.status().ToString());
+            alias[q] = std::move(*table);
+          }
+        }
+        // Keep the emulation honest: same fallback construction as the
+        // live path.
+        std::vector<size_t> fallback(nq, 0);
+        for (size_t q = 0; q < nq; ++q) {
+          if (has_mass[q]) {
+            fallback[q] = q;
+            continue;
+          }
+          for (size_t delta = 1; delta < nq; ++delta) {
+            if (q >= delta && has_mass[q - delta]) {
+              fallback[q] = q - delta;
+              break;
+            }
+            if (q + delta < nq && has_mass[q + delta]) {
+              fallback[q] = q + delta;
+              break;
+            }
+          }
+        }
+      }
+    });
+    c = BenchCase{};
+    c.name = "table_build_dense";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params), "{\"dim\": %zu, \"n_q\": %zu, \"solver\": \"monotone\"}",
+                  dim, design_nq);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = dense_ms;
+    cases.push_back(c);
+    std::fprintf(stderr, "table_build_dense threads=1  %10.2f ms  (sparse speedup %.1fx)\n",
+                 dense_ms, sparse_ms > 0.0 ? dense_ms / sparse_ms : 0.0);
+
+    // plan_memory: resident bytes of the CSR arrays per channel plan
+    // against the dense n_Q x n_Q footprint the plans used to occupy.
+    size_t nnz_total = 0;
+    size_t sparse_bytes_total = 0;
+    for (int u = 0; u <= 1; ++u) {
+      for (int s = 0; s <= 1; ++s) {
+        for (size_t k = 0; k < dim; ++k) {
+          const auto& pi = plans->At(u, k).plan[static_cast<size_t>(s)];
+          nnz_total += pi.nnz();
+          sparse_bytes_total += pi.MemoryBytes();
+        }
+      }
+    }
+    c = BenchCase{};
+    c.name = "plan_memory";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params),
+                  "{\"dim\": %zu, \"n_q\": %zu, \"solver\": \"monotone\", \"plans\": %zu}", dim,
+                  design_nq, plan_count);
+    c.params_json = params;
+    c.repeats = 1;
+    c.nnz_per_plan = static_cast<double>(nnz_total) / static_cast<double>(plan_count);
+    c.sparse_bytes_per_plan =
+        static_cast<double>(sparse_bytes_total) / static_cast<double>(plan_count);
+    c.dense_bytes_per_plan = static_cast<double>(design_nq * design_nq * sizeof(double));
+    cases.push_back(c);
+    std::fprintf(stderr,
+                 "plan_memory       threads=1  %10.0f nnz/plan  (%.1f KiB CSR vs %.1f KiB "
+                 "dense, %.0fx smaller)\n",
+                 c.nnz_per_plan, c.sparse_bytes_per_plan / 1024.0,
+                 c.dense_bytes_per_plan / 1024.0,
+                 c.sparse_bytes_per_plan > 0.0 ? c.dense_bytes_per_plan / c.sparse_bytes_per_plan
+                                               : 0.0);
+    otfair::common::parallel::SetThreadCount(0);
+  }
+
   // --- sinkhorn: single-thread, both domains -------------------------------
   {
     otfair::common::parallel::SetThreadCount(1);
@@ -266,6 +419,11 @@ int main(int argc, char** argv) {
     if (c.iterations > 0)
       std::fprintf(out, ", \"iterations\": %zu, \"ms_per_iter\": %.5f", c.iterations,
                    c.ms_per_iter);
+    if (c.nnz_per_plan > 0.0)
+      std::fprintf(out,
+                   ", \"nnz_per_plan\": %.1f, \"sparse_bytes_per_plan\": %.0f, "
+                   "\"dense_bytes_per_plan\": %.0f",
+                   c.nnz_per_plan, c.sparse_bytes_per_plan, c.dense_bytes_per_plan);
     std::fprintf(out, "}%s\n", i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

@@ -1,5 +1,6 @@
 #include "common/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -9,10 +10,12 @@ namespace otfair::common {
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
   const size_t cols = rows[0].size();
+  // Storage is allocated once up front; each row is a single contiguous
+  // copy into it (no per-element indexed stores).
   Matrix m(rows.size(), cols);
   for (size_t r = 0; r < rows.size(); ++r) {
     OTFAIR_CHECK_EQ(rows[r].size(), cols) << "ragged row " << r;
-    for (size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
   }
   return m;
 }

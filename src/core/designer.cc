@@ -75,10 +75,12 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
 
     // (iv) The two OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
     // and barycentre all live on the sorted grid, so the backend's 1-D
-    // solve applies directly and its entries index grid states.
+    // solve applies directly and its entries index grid states. The
+    // sparse-native solve keeps the monotone staircase (and the exact
+    // solver's support set) in CSR form end to end — nothing densifies.
     for (int s = 0; s <= 1; ++s) {
       auto plan =
-          solver.Solve1DDense(channel.marginal[static_cast<size_t>(s)], channel.barycenter);
+          solver.Solve1DSparse(channel.marginal[static_cast<size_t>(s)], channel.barycenter);
       if (!plan.ok()) return plan.status();
       channel.plan[static_cast<size_t>(s)] = std::move(*plan);
     }

@@ -68,19 +68,23 @@ Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
     if (!mu0.ok()) return mu0.status();
     auto mu1 = ot::DiscreteMeasure::FromSamples(sorted1);
     if (!mu1.ok()) return mu1.status();
-    // Both measures are sorted, so the backend's entries index the
+    // Both measures are sorted, so the backend's CSR rows index the
     // sorted sample orders directly.
-    auto coupling = solver.Solve1D(*mu0, *mu1);
+    auto coupling = solver.Solve1DSparse(*mu0, *mu1);
     if (!coupling.ok()) return coupling.status();
 
-    // Conditional transports: sum_j pi_ij x1_j (and transpose). Row mass
-    // of pi is 1/n0 and column mass 1/n1, so the n0/n1 factors in
-    // Eqs. 8-9 turn these sums into conditional means.
+    // Conditional transports: sum_j pi_ij x1_j (and transpose), one
+    // O(nnz) sweep over the CSR rows. Row mass of pi is 1/n0 and column
+    // mass 1/n1, so the n0/n1 factors in Eqs. 8-9 turn these sums into
+    // conditional means.
     std::vector<double> transport0(sorted0.size(), 0.0);
     std::vector<double> transport1(sorted1.size(), 0.0);
-    for (const ot::PlanEntry& e : *coupling) {
-      transport0[e.i] += e.mass * sorted1[e.j];
-      transport1[e.j] += e.mass * sorted0[e.i];
+    for (size_t i = 0; i < coupling->rows(); ++i) {
+      const ot::SparsePlan::RowView row = coupling->Row(i);
+      for (size_t t = 0; t < row.nnz; ++t) {
+        transport0[i] += row.values[t] * sorted1[row.cols[t]];
+        transport1[row.cols[t]] += row.values[t] * sorted0[i];
+      }
     }
 
     for (size_t i = 0; i < sorted0.size(); ++i) {

@@ -20,6 +20,12 @@ namespace {
 // Rows with less mass than this are treated as empty.
 constexpr double kRowMassFloor = 1e-300;
 
+// Mass-relative truncation for the CSR extraction of the entropic joint
+// plans (same contract as SinkhornOptions::plan_truncation): row
+// marginals stay exact to roundoff, column marginals move by at most
+// this fraction of the total mass.
+constexpr double kJointPlanTruncation = 1e-12;
+
 /// Separable Gibbs kernel over the product grid: K((a,b),(c,d)) =
 /// Kx(a,c) * Ky(b,d). Applying it to a flattened state vector costs
 /// O(n_q^3) instead of the O(n_q^4) dense product.
@@ -257,22 +263,26 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
     for (int s = 0; s <= 1; ++s) {
       Result<Matrix> plan = solve_plan(marginal[static_cast<size_t>(s)]);
       if (!plan.ok()) return plan.status();
-      stratum.plan[static_cast<size_t>(s)] = std::move(*plan);
+      // Truncated CSR extraction: the dense n_q^2 x n_q^2 coupling is a
+      // solver intermediate; only its effective support is retained.
+      stratum.plan[static_cast<size_t>(s)] =
+          ot::TruncateToSparse(*plan, kJointPlanTruncation);
 
-      // Alias tables + fallbacks per row.
+      // Alias tables + fallbacks per row, O(nnz) over the CSR support
+      // (value spans read in place, no per-row copies).
       auto& alias = stratum.alias[static_cast<size_t>(s)];
       auto& fallback = stratum.fallback_row[static_cast<size_t>(s)];
       alias.resize(states);
       fallback.assign(states, 0);
       std::vector<char> has_mass(states, 0);
-      const Matrix& pi = stratum.plan[static_cast<size_t>(s)];
+      const ot::SparsePlan& pi = stratum.plan[static_cast<size_t>(s)];
       for (size_t q = 0; q < states; ++q) {
-        const double* row = pi.row(q);
+        const ot::SparsePlan::RowView row = pi.Row(q);
         double mass = 0.0;
-        for (size_t j = 0; j < states; ++j) mass += row[j];
+        for (size_t t = 0; t < row.nnz; ++t) mass += row.values[t];
         if (mass > kRowMassFloor) {
           has_mass[q] = 1;
-          auto table = stats::AliasTable::Build(std::vector<double>(row, row + states));
+          auto table = stats::AliasTable::Build(row.values, row.nnz);
           if (!table.ok()) return Status::Internal("alias build failed");
           alias[q] = std::move(*table);
         }
@@ -321,7 +331,10 @@ std::pair<double, double> JointPairRepairer::RepairPair(int u, int s, double x, 
   size_t row = qx * ny + qy;
   const auto& alias = stratum.alias[static_cast<size_t>(s)];
   if (!alias[row].has_value()) row = stratum.fallback_row[static_cast<size_t>(s)][row];
-  const size_t j = alias[row]->Sample(rng);
+  // Local draw over the CSR row's support, mapped back to the flattened
+  // target state through the row's column indices.
+  const size_t j_local = alias[row]->Sample(rng);
+  const size_t j = stratum.plan[static_cast<size_t>(s)].Row(row).cols[j_local];
   return {stratum.grid_x.point(j / ny), stratum.grid_y.point(j % ny)};
 }
 

@@ -7,11 +7,11 @@
 #include <utility>
 #include <vector>
 
-#include "common/matrix.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/support_grid.h"
 #include "data/dataset.h"
+#include "ot/plan.h"
 #include "ot/solver.h"
 #include "stats/sampling.h"
 
@@ -59,9 +59,10 @@ struct JointDesignOptions {
 /// behind.
 ///
 /// Costs: design is O(iterations * n_q^3) per (u, s); repair is O(1) per
-/// record after alias-table setup — but the plan artifact is n_q^2 x n_q^2
-/// per (u, s), the quadratic blow-up the paper's d-fold stratification
-/// sidesteps.
+/// record after alias-table setup. The solved coupling is nominally
+/// n_q^2 x n_q^2 per (u, s) — the quadratic blow-up the paper's d-fold
+/// stratification sidesteps — but only its truncated CSR support is
+/// retained, so the resident artifact scales with the entropic band.
 class JointPairRepairer {
  public:
   /// Designs the joint repair for columns (k1, k2) of `research`.
@@ -85,9 +86,13 @@ class JointPairRepairer {
     SupportGrid grid_x;
     SupportGrid grid_y;
     /// Joint plans per s over flattened states (row = source state
-    /// a * n_qy + b, column = target state).
-    std::array<common::Matrix, 2> plan;
-    /// Alias tables per plan row (empty optional = massless row).
+    /// a * n_qy + b, column = target state), stored CSR: the entropic
+    /// coupling concentrates on a band, so truncated extraction cuts the
+    /// n_q^2 x n_q^2 artifact to its effective support.
+    std::array<ot::SparsePlan, 2> plan;
+    /// Alias tables per plan row over the row's CSR support (empty
+    /// optional = massless row); sampled local indices map to flattened
+    /// states through the row's column indices.
     std::array<std::vector<std::optional<stats::AliasTable>>, 2> alias;
     std::array<std::vector<size_t>, 2> fallback_row;
   };

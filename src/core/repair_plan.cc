@@ -15,7 +15,10 @@ using common::Status;
 namespace {
 
 constexpr uint32_t kMagic = 0x4F544652;  // "OTFR"
-constexpr uint32_t kVersion = 1;
+// v1 stored dense n_Q x n_Q plan matrices; v2 stores CSR plans. Loading
+// accepts both (v1 converts on the way in), saving always writes v2.
+constexpr uint32_t kVersionDense = 1;
+constexpr uint32_t kVersionCsr = 2;
 
 void WriteU32(std::ofstream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -33,6 +36,14 @@ void WriteString(std::ofstream& out, const std::string& s) {
 void WriteDoubles(std::ofstream& out, const double* data, size_t count) {
   out.write(reinterpret_cast<const char*>(data),
             static_cast<std::streamsize>(count * sizeof(double)));
+}
+void WriteU64s(std::ofstream& out, const uint64_t* data, size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(uint64_t)));
+}
+void WriteU32s(std::ofstream& out, const uint32_t* data, size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(uint32_t)));
 }
 
 bool ReadU32(std::ifstream& in, uint32_t* v) {
@@ -54,6 +65,14 @@ bool ReadString(std::ifstream& in, std::string* s) {
 bool ReadDoubles(std::ifstream& in, double* data, size_t count) {
   return static_cast<bool>(
       in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(count * sizeof(double))));
+}
+bool ReadU64s(std::ifstream& in, uint64_t* data, size_t count) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(data),
+                                   static_cast<std::streamsize>(count * sizeof(uint64_t))));
+}
+bool ReadU32s(std::ifstream& in, uint32_t* data, size_t count) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(data),
+                                   static_cast<std::streamsize>(count * sizeof(uint32_t))));
 }
 
 void WriteMeasure(std::ofstream& out, const ot::DiscreteMeasure& m) {
@@ -81,11 +100,12 @@ Status ChannelPlan::Validate(double tolerance) const {
   if (barycenter.size() != nq)
     return Status::FailedPrecondition("barycenter support size mismatch");
   for (int s = 0; s <= 1; ++s) {
-    const Matrix& pi = plan[static_cast<size_t>(s)];
+    const ot::SparsePlan& pi = plan[static_cast<size_t>(s)];
     const ot::DiscreteMeasure& mu = marginal[static_cast<size_t>(s)];
     if (mu.size() != nq) return Status::FailedPrecondition("marginal support size mismatch");
     if (pi.rows() != nq || pi.cols() != nq)
       return Status::FailedPrecondition("plan matrix shape mismatch");
+    // O(nnz) marginal checks on the CSR arrays.
     const std::vector<double> rows = pi.RowSums();
     const std::vector<double> cols = pi.ColSums();
     for (size_t q = 0; q < nq; ++q) {
@@ -134,7 +154,7 @@ Status RepairPlanSet::SaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   WriteU32(out, kMagic);
-  WriteU32(out, kVersion);
+  WriteU32(out, kVersionCsr);
   WriteU64(out, dim_);
   WriteF64(out, target_t_);
   for (const std::string& name : feature_names_) WriteString(out, name);
@@ -147,8 +167,16 @@ Status RepairPlanSet::SaveToFile(const std::string& path) const {
       for (int s = 0; s <= 1; ++s) WriteMeasure(out, channel.marginal[static_cast<size_t>(s)]);
       WriteMeasure(out, channel.barycenter);
       for (int s = 0; s <= 1; ++s) {
-        const Matrix& pi = channel.plan[static_cast<size_t>(s)];
-        WriteDoubles(out, pi.data(), pi.size());
+        // CSR payload: nnz, then offsets / column indices / values, each
+        // as one contiguous write. The artifact shrinks from O(n_Q^2) to
+        // O(nnz) doubles per plan. Offsets go through a u64 staging
+        // buffer so the on-disk width is fixed regardless of size_t.
+        const ot::SparsePlan& pi = channel.plan[static_cast<size_t>(s)];
+        WriteU64(out, pi.nnz());
+        const std::vector<uint64_t> offsets(pi.row_offsets().begin(), pi.row_offsets().end());
+        WriteU64s(out, offsets.data(), offsets.size());
+        WriteU32s(out, pi.col_indices().data(), pi.nnz());
+        WriteDoubles(out, pi.values().data(), pi.nnz());
       }
     }
   }
@@ -163,7 +191,7 @@ Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
   uint32_t version = 0;
   if (!ReadU32(in, &magic) || magic != kMagic)
     return Status::IoError("not a repair-plan file: " + path);
-  if (!ReadU32(in, &version) || version != kVersion)
+  if (!ReadU32(in, &version) || (version != kVersionDense && version != kVersionCsr))
     return Status::IoError("unsupported plan version in " + path);
   uint64_t dim = 0;
   double target_t = 0.5;
@@ -199,10 +227,32 @@ Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
       if (!bary.ok()) return bary.status();
       channel.barycenter = std::move(*bary);
       for (int s = 0; s <= 1; ++s) {
-        Matrix pi(nq, nq);
-        if (!ReadDoubles(in, pi.data(), pi.size()))
-          return Status::IoError("truncated plan matrix: " + path);
-        channel.plan[static_cast<size_t>(s)] = std::move(pi);
+        if (version == kVersionDense) {
+          // Legacy dense payload: read the full matrix and compress.
+          Matrix pi(nq, nq);
+          if (!ReadDoubles(in, pi.data(), pi.size()))
+            return Status::IoError("truncated plan matrix: " + path);
+          channel.plan[static_cast<size_t>(s)] = ot::SparsePlan::FromDense(pi);
+          continue;
+        }
+        uint64_t nnz = 0;
+        if (!ReadU64(in, &nnz) || nnz > nq * nq)
+          return Status::IoError("corrupt plan nnz: " + path);
+        std::vector<uint64_t> raw_offsets(nq + 1);
+        std::vector<uint32_t> cols(nnz);
+        std::vector<double> values(nnz);
+        if (!ReadU64s(in, raw_offsets.data(), raw_offsets.size()))
+          return Status::IoError("truncated plan offsets: " + path);
+        if (nnz > 0 && !ReadU32s(in, cols.data(), nnz))
+          return Status::IoError("truncated plan columns: " + path);
+        if (nnz > 0 && !ReadDoubles(in, values.data(), nnz))
+          return Status::IoError("truncated plan values: " + path);
+        auto pi = ot::SparsePlan::FromCsr(
+            nq, nq, std::vector<size_t>(raw_offsets.begin(), raw_offsets.end()),
+            std::move(cols), std::move(values));
+        if (!pi.ok())
+          return Status::IoError("corrupt CSR plan in " + path + ": " + pi.status().message());
+        channel.plan[static_cast<size_t>(s)] = std::move(*pi);
       }
     }
   }

@@ -5,11 +5,11 @@
 #include <string>
 #include <vector>
 
-#include "common/matrix.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/support_grid.h"
 #include "ot/measure.h"
+#include "ot/plan.h"
 
 namespace otfair::core {
 
@@ -17,11 +17,16 @@ namespace otfair::core {
 /// support Q_{u,k}, the two KDE-interpolated s-conditional marginals
 /// mu_{u,s,k}, the barycentric target nu_{u,k}, and the two OT plans
 /// pi*_{u,s,k} in P(Q x Q) (rows: source states, columns: target states).
+///
+/// Plans are stored in CSR form (`ot::SparsePlan`): the monotone backend
+/// produces at most 2 n_Q - 1 staircase entries per plan, so the artifact
+/// is O(n_Q) instead of O(n_Q^2) per channel — the representation that
+/// makes n_Q >= 4096 grids affordable.
 struct ChannelPlan {
   SupportGrid grid;
   std::array<ot::DiscreteMeasure, 2> marginal;   // indexed by s
   ot::DiscreteMeasure barycenter;
-  std::array<common::Matrix, 2> plan;            // indexed by s; n_Q x n_Q
+  std::array<ot::SparsePlan, 2> plan;            // indexed by s; n_Q x n_Q CSR
 
   /// Structural invariants: square plans matching the grid size, plan
   /// marginals consistent with `marginal` (row sums) and `barycenter`
@@ -53,9 +58,10 @@ class RepairPlanSet {
 
   /// Binary persistence: a designed plan is a deployable artifact — design
   /// once on the research data, then ship the file to the systems that
-  /// repair archival torrents. Format: magic/version header, dims, then
-  /// per-channel grids, marginals, barycenters and plan matrices
-  /// (little-endian doubles).
+  /// repair archival torrents. Format v2: magic/version header, dims, then
+  /// per-channel grids, marginals, barycenters and CSR plans (row offsets,
+  /// column indices, values; little-endian). Version-1 files (dense plan
+  /// matrices) still load, converting to CSR on the way in.
   common::Status SaveToFile(const std::string& path) const;
   static common::Result<RepairPlanSet> LoadFromFile(const std::string& path);
 

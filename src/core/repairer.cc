@@ -63,26 +63,31 @@ Status OffSampleRepairer::BuildTables() {
     for (int s = 0; s <= 1; ++s) {
       for (size_t k = 0; k < dim; ++k) {
         const ChannelPlan& channel = plans_.At(u, k);
-        const common::Matrix& pi = channel.plan[static_cast<size_t>(s)];
+        const ot::SparsePlan& pi = channel.plan[static_cast<size_t>(s)];
         const size_t nq = channel.grid.size();
         RowTables tables;
         tables.alias.resize(nq);
         tables.conditional_mean.assign(nq, 0.0);
         tables.fallback_row.assign(nq, 0);
 
+        // One pass over the CSR support per row — O(nnz) for the whole
+        // channel instead of the dense O(n_Q^2) scan. Alias tables are
+        // built over the row's support only (no copy: the builder reads
+        // the CSR value span in place); sampling maps the drawn local
+        // index back through the row's column indices.
         std::vector<char> has_mass(nq, 0);
         for (size_t q = 0; q < nq; ++q) {
-          const double* row = pi.row(q);
+          const ot::SparsePlan::RowView row = pi.Row(q);
           double mass = 0.0;
           double mean = 0.0;
-          for (size_t j = 0; j < nq; ++j) {
-            mass += row[j];
-            mean += row[j] * channel.grid.point(j);
+          for (size_t t = 0; t < row.nnz; ++t) {
+            mass += row.values[t];
+            mean += row.values[t] * channel.grid.point(row.cols[t]);
           }
           if (mass > kRowMassFloor) {
             has_mass[q] = 1;
             tables.conditional_mean[q] = mean / mass;
-            auto alias = stats::AliasTable::Build(std::vector<double>(row, row + nq));
+            auto alias = stats::AliasTable::Build(row.values, row.nnz);
             if (!alias.ok())
               return Status::Internal("alias build failed on massive row: " +
                                       alias.status().message());
@@ -152,8 +157,11 @@ double OffSampleRepairer::RepairValueImpl(int u, int s, size_t k, double x, comm
       ++stats.empty_row_fallbacks;
       q = tables.fallback_row[q];
     }
+    // The alias table indexes the CSR row's support; map the local draw
+    // back to its grid column.
     const size_t j = tables.alias[q]->Sample(rng);
-    transported = channel.grid.point(j);
+    const ot::SparsePlan& pi = channel.plan[static_cast<size_t>(s)];
+    transported = channel.grid.point(pi.Row(q).cols[j]);
   } else {
     // Deterministic ablation: tau-weighted mix of neighbouring rows'
     // conditional means.

@@ -117,8 +117,11 @@ class OffSampleRepairer {
 
   /// Per-(u, s, k) sampling structures: one alias table and conditional
   /// mean per plan row, plus the nearest massive row for empty rows.
+  /// Alias tables cover only the row's CSR support (built in O(nnz)
+  /// rather than O(n_Q^2) per channel); a sampled local index maps back
+  /// to its grid column through the plan row's column indices.
   struct RowTables {
-    std::vector<std::optional<stats::AliasTable>> alias;  // per grid row
+    std::vector<std::optional<stats::AliasTable>> alias;  // per grid row, over CSR support
     std::vector<double> conditional_mean;                 // per grid row
     std::vector<size_t> fallback_row;                     // per grid row
   };

@@ -24,19 +24,28 @@ Result<DiscreteMeasure> QuantileBarycenter1D(const DiscreteMeasure& mu0,
   const std::vector<double>& xs = coupling->sorted_source.support();
   const std::vector<double>& ys = coupling->sorted_target.support();
 
+  // The staircase goes straight into CSR (it is already row-major) and
+  // the interpolation walks its row views — the same sparse plan shape
+  // every other consumer of a coupling now iterates.
+  const SparsePlan plan =
+      SparsePlan::FromEntries(std::move(coupling->entries), xs.size(), ys.size());
+
   // Along the monotone coupling both endpoints are non-decreasing, so the
   // interpolated atoms come out already sorted; merge coincident positions.
   std::vector<double> support;
   std::vector<double> weights;
-  support.reserve(coupling->entries.size());
-  weights.reserve(coupling->entries.size());
-  for (const PlanEntry& e : coupling->entries) {
-    const double pos = (1.0 - t) * xs[e.i] + t * ys[e.j];
-    if (!support.empty() && pos == support.back()) {
-      weights.back() += e.mass;
-    } else {
-      support.push_back(pos);
-      weights.push_back(e.mass);
+  support.reserve(plan.nnz());
+  weights.reserve(plan.nnz());
+  for (size_t i = 0; i < plan.rows(); ++i) {
+    const SparsePlan::RowView row = plan.Row(i);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      const double pos = (1.0 - t) * xs[i] + t * ys[row.cols[k]];
+      if (!support.empty() && pos == support.back()) {
+        weights.back() += row.values[k];
+      } else {
+        support.push_back(pos);
+        weights.push_back(row.values[k]);
+      }
     }
   }
   return DiscreteMeasure::Create(std::move(support), std::move(weights));

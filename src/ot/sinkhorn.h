@@ -21,6 +21,18 @@ struct SinkhornOptions {
   /// Run the iteration on log-scaled potentials; slower per iteration but
   /// immune to under/overflow at small epsilon.
   bool log_domain = false;
+  /// Mass-relative truncation applied when the plan is materialized as a
+  /// `SparsePlan` (the Solver::Solve1DSparse path): row i drops entries
+  /// below `plan_truncation * row_mass / n` and folds the dropped mass
+  /// back proportionally, so row marginals stay exact (to roundoff) and
+  /// column marginals move by at most `plan_truncation` * total mass —
+  /// well inside the default solver tolerance. The entropic kernel decays
+  /// as exp(-c/epsilon), so the surviving band narrows as epsilon shrinks
+  /// ("epsilon-aware"): the threshold is relative, not absolute, and
+  /// adapts to however much the plan has concentrated. Non-positive
+  /// disables truncation (every positive entry is kept). Dense `Solve`
+  /// results are never truncated.
+  double plan_truncation = 1e-12;
 };
 
 /// Result of a Sinkhorn solve: the regularized plan, its *unregularized*

@@ -60,6 +60,18 @@ class SinkhornSolver : public Solver {
     return std::move(result->plan);
   }
 
+  /// Sparse materialization applies the epsilon-aware band truncation:
+  /// entries below the mass-relative `plan_truncation` threshold are
+  /// dropped at extraction time and their mass folded back onto the
+  /// surviving band, so the CSR plan keeps exact row marginals and
+  /// column marginals within solver tolerance (see SinkhornOptions).
+  Result<SparsePlan> Solve1DSparse(const DiscreteMeasure& mu,
+                                   const DiscreteMeasure& nu) const override {
+    auto dense = Solve1DDense(mu, nu);
+    if (!dense.ok()) return dense.status();
+    return TruncateToSparse(*dense, options_.plan_truncation);
+  }
+
  private:
   SinkhornOptions options_;
 };
@@ -119,6 +131,16 @@ Result<Matrix> Solver::Solve1DDense(const DiscreteMeasure& mu,
   auto entries = Solve1D(mu, nu);
   if (!entries.ok()) return entries.status();
   return SparseToDense(*entries, mu.size(), nu.size());
+}
+
+Result<SparsePlan> Solver::Solve1DSparse(const DiscreteMeasure& mu,
+                                         const DiscreteMeasure& nu) const {
+  // Default route: whatever `Solve1D` produces (the monotone staircase
+  // directly, or a dense backend's extracted support set) compresses to
+  // CSR in O(nnz) — external registry backends need no changes.
+  auto entries = Solve1D(mu, nu);
+  if (!entries.ok()) return entries.status();
+  return SparsePlan::FromEntries(std::move(*entries), mu.size(), nu.size());
 }
 
 SolverRegistry& SolverRegistry::Global() {

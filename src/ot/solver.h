@@ -66,11 +66,22 @@ class Solver {
   virtual common::Result<std::vector<PlanEntry>> Solve1D(const DiscreteMeasure& mu,
                                                          const DiscreteMeasure& nu) const;
 
-  /// `Solve1D` densified into an n x m coupling matrix — the shape the
-  /// per-channel repair plans store (Eq. 13 couplings on the support
-  /// grid).
+  /// `Solve1D` densified into an n x m coupling matrix — kept for
+  /// callers that want the dense shape (cross-validation, tests).
   common::Result<common::Matrix> Solve1DDense(const DiscreteMeasure& mu,
                                               const DiscreteMeasure& nu) const;
+
+  /// The sparse-native hot path: `Solve1D`'s coupling as a CSR
+  /// `SparsePlan` — the shape the per-channel repair plans store (Eq. 13
+  /// couplings on the support grid). The base implementation routes
+  /// through `Solve1D` (and therefore, for dense backends, the existing
+  /// dense `Solve`), so third-party `SolverRegistry` backends keep
+  /// working unchanged; built-ins with sparse structure override it:
+  /// the monotone staircase becomes CSR with zero densification, and the
+  /// Sinkhorn backend applies its `plan_truncation` band extraction
+  /// (see SinkhornOptions) at materialization time.
+  virtual common::Result<SparsePlan> Solve1DSparse(const DiscreteMeasure& mu,
+                                                   const DiscreteMeasure& nu) const;
 };
 
 /// Tuning knobs consumed by the built-in backends at construction; a

@@ -11,10 +11,15 @@ using common::Rng;
 using common::Status;
 
 Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
-  if (weights.empty()) return Status::InvalidArgument("empty weight vector");
-  const size_t n = weights.size();
+  return Build(weights.data(), weights.size());
+}
+
+Result<AliasTable> AliasTable::Build(const double* weights, size_t count) {
+  if (count == 0) return Status::InvalidArgument("empty weight vector");
+  const size_t n = count;
   double total = 0.0;
-  for (double w : weights) {
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
     if (!(w >= 0.0) || !std::isfinite(w))
       return Status::InvalidArgument("weights must be non-negative and finite");
     total += w;

@@ -21,6 +21,11 @@ class AliasTable {
   /// strictly positive).
   static common::Result<AliasTable> Build(const std::vector<double>& weights);
 
+  /// As above, from a raw pointer + length — the repair-table hot path
+  /// builds one table per CSR plan row and this overload reads the row's
+  /// value span in place instead of copying it into a fresh vector.
+  static common::Result<AliasTable> Build(const double* weights, size_t count);
+
   /// Draws an index in [0, size()) with probability proportional to the
   /// original weights. Consumes one uniform and one Bernoulli from `rng`.
   size_t Sample(common::Rng& rng) const;

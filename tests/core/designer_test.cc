@@ -84,7 +84,7 @@ TEST(DesignerTest, SolversAgreeOnPlanCost) {
         const auto& pb = b->At(u, k).plan[s];
         const auto cost = ot::SquaredEuclideanCost(a->At(u, k).grid.points(),
                                                    a->At(u, k).grid.points());
-        EXPECT_NEAR(pa.Dot(cost), pb.Dot(cost), 1e-8)
+        EXPECT_NEAR(pa.Cost(cost), pb.Cost(cost), 1e-8)
             << "u=" << u << " k=" << k << " s=" << s;
       }
     }

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "core/designer.h"
 #include "core/repairer.h"
+#include "ot/plan.h"
 #include "sim/gaussian_mixture.h"
 
 namespace otfair::core {
@@ -33,13 +35,14 @@ TEST(RepairPlanTest, DesignedPlanValidates) {
 
 TEST(RepairPlanTest, ValidateCatchesCorruptedRowMarginal) {
   RepairPlanSet plans = DesignedPlans(2);
-  plans.At(0, 0).plan[0](0, 0) += 0.1;  // break the row-sum constraint
+  // Perturb one stored CSR value: breaks the row-sum constraint.
+  plans.At(0, 0).plan[0].mutable_values()[0] += 0.1;
   EXPECT_FALSE(plans.Validate().ok());
 }
 
 TEST(RepairPlanTest, ValidateCatchesShapeMismatch) {
   RepairPlanSet plans = DesignedPlans(3);
-  plans.At(1, 1).plan[1] = common::Matrix(3, 3);
+  plans.At(1, 1).plan[1] = ot::SparsePlan::FromDense(common::Matrix(3, 3));
   auto status = plans.Validate();
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.message().find("u=1"), std::string::npos);
@@ -91,6 +94,64 @@ TEST(RepairPlanTest, LoadedPlanDrivesIdenticalRepairs) {
     const int u = rng.Bernoulli(0.5) ? 1 : 0;
     const int s = rng.Bernoulli(0.5) ? 1 : 0;
     EXPECT_DOUBLE_EQ(ra->RepairValue(u, s, 0, x), rb->RepairValue(u, s, 0, x));
+  }
+}
+
+TEST(RepairPlanTest, LegacyDenseV1FileLoadsAndMatches) {
+  // Writes the pre-CSR version-1 format (dense n_Q x n_Q plan matrices)
+  // by hand and loads it: the deployed-artifact back-compat promise.
+  RepairPlanSet plans = DesignedPlans(8);
+  const std::string path = TempPath("plans_v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    auto u32 = [&](uint32_t v) { out.write(reinterpret_cast<const char*>(&v), sizeof(v)); };
+    auto u64 = [&](uint64_t v) { out.write(reinterpret_cast<const char*>(&v), sizeof(v)); };
+    auto f64 = [&](double v) { out.write(reinterpret_cast<const char*>(&v), sizeof(v)); };
+    auto doubles = [&](const std::vector<double>& v) {
+      out.write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(v.size() * sizeof(double)));
+    };
+    auto measure = [&](const ot::DiscreteMeasure& m) {
+      u64(m.size());
+      doubles(m.support());
+      doubles(m.weights());
+    };
+    u32(0x4F544652);  // "OTFR"
+    u32(1);           // the legacy dense version
+    u64(plans.dim());
+    f64(plans.target_t());
+    for (const std::string& name : plans.feature_names()) {
+      u64(name.size());
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    }
+    for (int u = 0; u <= 1; ++u) {
+      for (size_t k = 0; k < plans.dim(); ++k) {
+        const ChannelPlan& channel = plans.At(u, k);
+        u64(channel.grid.size());
+        f64(channel.grid.lo());
+        f64(channel.grid.hi());
+        for (int s = 0; s <= 1; ++s) measure(channel.marginal[static_cast<size_t>(s)]);
+        measure(channel.barycenter);
+        for (int s = 0; s <= 1; ++s) {
+          const common::Matrix dense = channel.plan[static_cast<size_t>(s)].ToDense();
+          out.write(reinterpret_cast<const char*>(dense.data()),
+                    static_cast<std::streamsize>(dense.size() * sizeof(double)));
+        }
+      }
+    }
+  }
+  auto loaded = RepairPlanSet::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->dim(), plans.dim());
+  for (int u = 0; u <= 1; ++u) {
+    for (size_t k = 0; k < plans.dim(); ++k) {
+      for (int s = 0; s <= 1; ++s) {
+        const auto& original = plans.At(u, k).plan[static_cast<size_t>(s)];
+        const auto& roundtripped = loaded->At(u, k).plan[static_cast<size_t>(s)];
+        EXPECT_EQ(original.nnz(), roundtripped.nnz()) << "u=" << u << " k=" << k;
+        EXPECT_EQ(original.MaxAbsDiff(roundtripped), 0.0) << "u=" << u << " k=" << k;
+      }
+    }
   }
 }
 

@@ -114,6 +114,66 @@ TEST(SolverTest, IdentitySolveOnSharedSupport) {
   }
 }
 
+TEST(SolverTest, Solve1DSparseMatchesDenseForEveryBackend) {
+  const DiscreteMeasure mu = MakeMeasure({-1.0, 0.0, 0.5, 2.0}, {0.1, 0.4, 0.3, 0.2});
+  const DiscreteMeasure nu = MakeMeasure({-0.5, 0.25, 1.0}, {0.3, 0.3, 0.4});
+  for (const char* name : {"monotone", "exact", "sinkhorn"}) {
+    auto solver = *MakeSolver(name);
+    auto sparse = solver->Solve1DSparse(mu, nu);
+    auto dense = solver->Solve1DDense(mu, nu);
+    ASSERT_TRUE(sparse.ok() && dense.ok()) << name;
+    EXPECT_EQ(sparse->rows(), mu.size()) << name;
+    EXPECT_EQ(sparse->cols(), nu.size()) << name;
+    EXPECT_LT(sparse->ToDense().MaxAbsDiff(*dense), 1e-9) << name;
+  }
+}
+
+TEST(SolverTest, Solve1DSparseRequiresSortedSupports) {
+  const DiscreteMeasure unsorted = MakeMeasure({1.0, 0.0}, {0.5, 0.5});
+  const DiscreteMeasure sorted = MakeMeasure({0.0, 1.0}, {0.5, 0.5});
+  for (const char* name : {"monotone", "exact", "sinkhorn"}) {
+    auto solver = *MakeSolver(name);
+    EXPECT_FALSE(solver->Solve1DSparse(unsorted, sorted).ok()) << name;
+    EXPECT_FALSE(solver->Solve1DSparse(sorted, unsorted).ok()) << name;
+  }
+}
+
+TEST(SolverTest, MonotoneSparsePlanIsAStaircase) {
+  // n + m - 1 entries at most, CSR-sorted, marginals exact.
+  const DiscreteMeasure mu = MakeMeasure({0.0, 1.0, 2.0, 3.0}, {0.25, 0.25, 0.25, 0.25});
+  const DiscreteMeasure nu = MakeMeasure({0.5, 1.5, 2.5}, {0.4, 0.3, 0.3});
+  auto sparse = (*MakeSolver("monotone"))->Solve1DSparse(mu, nu);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_LE(sparse->nnz(), mu.size() + nu.size() - 1);
+  EXPECT_TRUE(sparse->columns_sorted());
+  const std::vector<double> rows = sparse->RowSums();
+  for (size_t i = 0; i < mu.size(); ++i) EXPECT_NEAR(rows[i], mu.weight_at(i), 1e-15);
+  const std::vector<double> cols = sparse->ColSums();
+  for (size_t j = 0; j < nu.size(); ++j) EXPECT_NEAR(cols[j], nu.weight_at(j), 1e-15);
+}
+
+TEST(SolverTest, SinkhornSparseTruncationShrinksThePlan) {
+  // Spread-out supports + small epsilon: the off-band entries underflow
+  // the mass-relative threshold and the truncated CSR is strictly
+  // smaller than dense, with marginals held to solver tolerance.
+  std::vector<double> support(24);
+  std::vector<double> weights(24, 1.0 / 24.0);
+  for (size_t i = 0; i < support.size(); ++i) support[i] = static_cast<double>(i) * 0.25;
+  const DiscreteMeasure mu = MakeMeasure(support, weights);
+  SolverOptions options;
+  options.sinkhorn.epsilon = 0.02;
+  options.sinkhorn.log_domain = true;
+  auto sparse = (*MakeSolver("sinkhorn", options))->Solve1DSparse(mu, mu);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_LT(sparse->nnz(), mu.size() * mu.size());
+  const std::vector<double> rows = sparse->RowSums();
+  const std::vector<double> cols = sparse->ColSums();
+  for (size_t i = 0; i < mu.size(); ++i) {
+    EXPECT_NEAR(rows[i], mu.weight_at(i), 1e-6) << i;
+    EXPECT_NEAR(cols[i], mu.weight_at(i), 1e-6) << i;
+  }
+}
+
 TEST(SolverTest, SolverOptionsReachTheBackend) {
   // A Sinkhorn backend built with a huge tolerance and one iteration
   // produces a sloppier plan than the defaults — proving the registry

@@ -193,9 +193,15 @@ int RunInspect(const FlagParser& flags) {
     for (int u = 0; u <= 1; ++u) {
       for (size_t k = 0; k < plans->dim(); ++k) {
         const auto& channel = plans->At(u, k);
-        std::printf("  channel (u=%d, %s): n_Q=%zu, range [%.4g, %.4g]\n", u,
-                    plans->feature_names()[k].c_str(), channel.grid.size(),
-                    channel.grid.lo(), channel.grid.hi());
+        const size_t nq = channel.grid.size();
+        const size_t nnz = channel.plan[0].nnz() + channel.plan[1].nnz();
+        const size_t bytes = channel.plan[0].MemoryBytes() + channel.plan[1].MemoryBytes();
+        std::printf(
+            "  channel (u=%d, %s): n_Q=%zu, range [%.4g, %.4g], "
+            "plans nnz=%zu (%.1f KiB CSR vs %.1f KiB dense)\n",
+            u, plans->feature_names()[k].c_str(), nq, channel.grid.lo(), channel.grid.hi(),
+            nnz, static_cast<double>(bytes) / 1024.0,
+            static_cast<double>(2 * nq * nq * sizeof(double)) / 1024.0);
       }
     }
     return 0;
