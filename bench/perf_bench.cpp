@@ -20,6 +20,12 @@
 //                      sparse speedup claim.
 //   plan_memory        resident CSR bytes and nnz per channel plan vs the
 //                      dense n_Q x n_Q equivalent (not timed).
+//   serve_throughput   rows/sec through the serving stack (RepairService
+//                      + micro-batching Batcher, replay workload), per
+//                      thread count — measures batching overhead against
+//                      repair_throughput.
+//   serve_p99_latency_us  request latency quantiles from the serving
+//                      metrics histogram on the same replay workload.
 //
 // Flags:
 //   --out=FILE         JSON output path (default: perf_bench.json)
@@ -43,6 +49,8 @@
 #include "ot/cost.h"
 #include "ot/exact.h"
 #include "ot/sinkhorn.h"
+#include "serve/batcher.h"
+#include "serve/repair_service.h"
 #include "sim/gaussian_mixture.h"
 #include "stats/sampling.h"
 
@@ -65,6 +73,8 @@ struct BenchCase {
   double nnz_per_plan = 0.0;          // plan_memory only
   double sparse_bytes_per_plan = 0.0; // plan_memory only
   double dense_bytes_per_plan = 0.0;  // plan_memory only
+  double latency_p50_us = 0.0;        // serve latency only
+  double latency_p99_us = 0.0;        // serve latency only
 };
 
 /// Paper-style mixture generalized to `dim` features: the +/-1 mean
@@ -204,6 +214,81 @@ int main(int argc, char** argv) {
       cases.push_back(c);
       std::fprintf(stderr, "repair_throughput threads=%d  %10.2f ms  (%.0f rows/s)\n", t, ms,
                    c.rows_per_sec);
+    }
+  }
+
+  // --- serve_throughput / serve_p99_latency_us ----------------------------
+  {
+    otfair::core::DesignOptions design_options;
+    design_options.n_q = design_nq;
+    auto plans = otfair::core::DesignDistributionalRepair(*research, design_options);
+    if (!plans.ok()) Die(plans.status().ToString());
+    const size_t rows = archive->size();
+    for (int t : thread_counts) {
+      otfair::serve::ServiceOptions service_options;
+      service_options.threads = t;
+      auto service = otfair::serve::RepairService::Create(*plans, service_options);
+      if (!service.ok()) Die(service.status().ToString());
+      otfair::serve::BatcherOptions batcher_options;
+      batcher_options.max_batch = 256;
+      batcher_options.max_queue_depth = 4096;
+      batcher_options.background_flush = false;  // replay flushes explicitly
+      size_t responses = 0;
+      otfair::serve::Batcher batcher(
+          service->get(), batcher_options,
+          [&](const otfair::serve::RowResponse& response) {
+            if (response.status.ok()) ++responses;
+          });
+      // The replay workload: one session submitting every archive row as
+      // a single-row request — the serving path the CLI's --replay mode
+      // drives, micro-batching included.
+      const double ms = BestWallMs(repeats, [&] {
+        for (size_t i = 0; i < rows; ++i) {
+          otfair::serve::RowRequest request;
+          request.session_id = 0;
+          request.row_index = i;
+          request.u = archive->u(i);
+          request.s = archive->s(i);
+          const double* row = archive->features().row(i);
+          request.features.assign(row, row + dim);
+          while (!batcher.Submit(std::move(request)).ok()) batcher.Flush();
+        }
+        batcher.Flush();
+      });
+      // `responses` accumulates across repeats; every repeat must have
+      // delivered every row.
+      if (responses < rows * static_cast<size_t>(repeats)) Die("serve bench dropped rows");
+      const auto metrics = (*service)->metrics().Snapshot();
+      BenchCase c;
+      c.name = "serve_throughput";
+      c.threads = t;
+      std::snprintf(params, sizeof(params),
+                    "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu, \"max_batch\": %zu}",
+                    dim, n_archive, design_nq, batcher_options.max_batch);
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = ms;
+      c.rows_per_sec = static_cast<double>(rows) / (ms / 1e3);
+      cases.push_back(c);
+      std::fprintf(stderr, "serve_throughput  threads=%d  %10.2f ms  (%.0f rows/s)\n", t, ms,
+                   c.rows_per_sec);
+      if (t == 1) {
+        c = BenchCase{};
+        c.name = "serve_p99_latency_us";
+        c.threads = 1;
+        std::snprintf(params, sizeof(params),
+                      "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu, \"max_batch\": %zu}",
+                      dim, n_archive, design_nq, batcher_options.max_batch);
+        c.params_json = params;
+        c.repeats = repeats;
+        c.wall_ms = ms;
+        c.latency_p50_us = metrics.latency_p50_us;
+        c.latency_p99_us = metrics.latency_p99_us;
+        cases.push_back(c);
+        std::fprintf(stderr, "serve_p99_latency threads=1  p50=%.0fus p99=%.0fus (%llu samples)\n",
+                     metrics.latency_p50_us, metrics.latency_p99_us,
+                     static_cast<unsigned long long>(metrics.latency_samples));
+      }
     }
   }
 
@@ -424,6 +509,9 @@ int main(int argc, char** argv) {
                    ", \"nnz_per_plan\": %.1f, \"sparse_bytes_per_plan\": %.0f, "
                    "\"dense_bytes_per_plan\": %.0f",
                    c.nnz_per_plan, c.sparse_bytes_per_plan, c.dense_bytes_per_plan);
+    if (c.latency_p99_us > 0.0)
+      std::fprintf(out, ", \"latency_p50_us\": %.1f, \"latency_p99_us\": %.1f",
+                   c.latency_p50_us, c.latency_p99_us);
     std::fprintf(out, "}%s\n", i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

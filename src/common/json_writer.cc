@@ -1,0 +1,139 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace otfair::common {
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::Raw(const std::string& text) {
+  BeforeValue();
+  out_ += text;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  OTFAIR_CHECK(!needs_comma_.empty());
+  OTFAIR_CHECK(!pending_key_);
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  OTFAIR_CHECK(!needs_comma_.empty());
+  OTFAIR_CHECK(!pending_key_);
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  OTFAIR_CHECK(!needs_comma_.empty());
+  OTFAIR_CHECK(!pending_key_);
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += JsonEscape(value);
+  quoted += '"';
+  Raw(quoted);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) return Null();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  Raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Raw(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Raw("null");
+  return *this;
+}
+
+}  // namespace otfair::common

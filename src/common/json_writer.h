@@ -1,0 +1,64 @@
+#ifndef OTFAIR_COMMON_JSON_WRITER_H_
+#define OTFAIR_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace otfair::common {
+
+/// Minimal streaming JSON writer for the machine-readable CLI surfaces
+/// (`otfair inspect --json`, `otfair drift --json`) and the serving
+/// layer's metrics/health snapshots. Emits compact one-line JSON with
+/// proper string escaping; commas are inserted automatically.
+///
+/// The writer is append-only and does not validate the overall shape
+/// beyond nesting: callers must pair Begin/End calls and emit a Key
+/// before every value inside an object. Violations are programmer
+/// errors (CHECK).
+///
+///     JsonWriter w;
+///     w.BeginObject().Key("rows").Uint(42).Key("drifted").Bool(false);
+///     w.EndObject();
+///     std::string line = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the member name for the next value; valid only inside an
+  /// object.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  /// Shortest round-trip formatting; non-finite values become null (JSON
+  /// has no NaN/Inf).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The JSON produced so far. Complete once every Begin has been Ended.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  void Raw(const std::string& text);
+
+  std::string out_;
+  /// One frame per open object/array: whether a separator is needed
+  /// before the next member.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// Escapes `value` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& value);
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_JSON_WRITER_H_

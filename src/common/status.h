@@ -23,6 +23,10 @@ enum class StatusCode {
   kUnimplemented = 6,
   kIoError = 7,
   kNotConverged = 8,
+  /// Transient refusal: the resource exists but cannot take the request
+  /// right now (queue full, service shut down). Retry-able, unlike
+  /// kInvalidArgument. Used by the serving layer for backpressure.
+  kUnavailable = 9,
 };
 
 /// Human-readable name of a status code (e.g. "INVALID_ARGUMENT").
@@ -69,6 +73,9 @@ class Status {
   }
   static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,145 @@
+#ifndef OTFAIR_COMMON_WORK_QUEUE_H_
+#define OTFAIR_COMMON_WORK_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace otfair::common {
+
+/// Bounded multi-producer / multi-consumer work queue with batch pops —
+/// the condition-variable primitive underneath `serve::Batcher`.
+///
+/// Design points:
+///  - `TryPush` never blocks: a full (or closed) queue is reported to the
+///    producer immediately, which is what turns queue pressure into an
+///    explicit backpressure rejection at the serving boundary instead of
+///    an unbounded buffer.
+///  - `PopBatch` coalesces: it waits until `max_items` are available, the
+///    wait budget expires, or the queue closes — then drains up to
+///    `max_items` in FIFO order. This is the micro-batching wait loop.
+///  - Consumers that want work *now* (caller-runs execution) use
+///    `TryPopBatch`.
+///
+/// All operations are linearizable under the internal mutex; the queue
+/// never drops an accepted item — after `Close()`, pops keep draining
+/// whatever was accepted before the close.
+///
+/// Storage is a preallocated ring of default-constructed `T` slots
+/// (`T` must be default-constructible and movable): pushes move-assign
+/// into recycled moved-from slots, so steady-state operation performs no
+/// allocations of its own.
+template <typename T>
+class BoundedWorkQueue {
+ public:
+  explicit BoundedWorkQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
+
+  BoundedWorkQueue(const BoundedWorkQueue&) = delete;
+  BoundedWorkQueue& operator=(const BoundedWorkQueue&) = delete;
+
+  /// Appends an item unless the queue is full or closed. When `size_after`
+  /// is non-null it receives the queue size including the new item (only
+  /// meaningful on success) — producers use it to detect a full batch
+  /// without a second lock.
+  bool TryPush(T&& item, size_t* size_after = nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || count_ >= capacity_) return false;
+      slots_[(head_ + count_) % capacity_] = std::move(item);
+      ++count_;
+      if (size_after != nullptr) *size_after = count_;
+    }
+    if (waiters_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
+    return true;
+  }
+
+  /// Drains up to `max_items` into `out` (appending; existing capacity is
+  /// reused) without blocking. Returns the number popped.
+  size_t TryPopBatch(size_t max_items, std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return DrainLocked(max_items, out);
+  }
+
+  /// Blocks until `max_items` are queued, `max_wait` has elapsed since the
+  /// call, or the queue is closed — then drains up to `max_items` into
+  /// `out`. Returns the number popped (0 only on timeout-with-empty-queue
+  /// or a closed-and-drained queue).
+  size_t PopBatch(size_t max_items, std::vector<T>* out, std::chrono::microseconds max_wait) {
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    std::unique_lock<std::mutex> lock(mu_);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait_until(lock, deadline, [&] { return closed_ || count_ >= max_items; });
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return DrainLocked(max_items, out);
+  }
+
+  /// As PopBatch but with no deadline while the queue is empty: blocks for
+  /// the first item (or close), then gives stragglers `max_wait` to fill
+  /// the batch. This is the idle loop of a background flusher — it sleeps
+  /// indefinitely on an idle queue yet bounds the latency of a partial
+  /// batch once traffic arrives.
+  size_t PopBatchWhenReady(size_t max_items, std::vector<T>* out,
+                           std::chrono::microseconds max_wait) {
+    std::unique_lock<std::mutex> lock(mu_);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait(lock, [&] { return closed_ || count_ > 0; });
+    if (!closed_ && count_ < max_items) {
+      const auto deadline = std::chrono::steady_clock::now() + max_wait;
+      cv_.wait_until(lock, deadline, [&] { return closed_ || count_ >= max_items; });
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return DrainLocked(max_items, out);
+  }
+
+  /// Closes the queue: further pushes fail, blocked pops wake and drain
+  /// what remains.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t DrainLocked(size_t max_items, std::vector<T>* out) {
+    size_t popped = 0;
+    while (popped < max_items && count_ > 0) {
+      out->push_back(std::move(slots_[head_]));
+      head_ = (head_ + 1) % capacity_;
+      --count_;
+      ++popped;
+    }
+    return popped;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> slots_;  // ring: [head_, head_ + count_) mod capacity_
+  size_t head_ = 0;
+  size_t count_ = 0;
+  std::atomic<int> waiters_{0};
+  bool closed_ = false;
+};
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_WORK_QUEUE_H_

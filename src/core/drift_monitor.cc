@@ -38,6 +38,11 @@ Result<DriftMonitor> DriftMonitor::Create(const RepairPlanSet& plans,
         state.grid = channel.grid.points();
         state.design_pmf = channel.marginal[static_cast<size_t>(s)].weights();
         state.counts.assign(state.grid.size(), 0);
+        state.lo = state.grid.front();
+        state.hi = state.grid.back();
+        const double step =
+            (state.hi - state.lo) / static_cast<double>(state.grid.size() - 1);
+        state.inv_step = step > 0.0 ? 1.0 / step : 0.0;
       }
     }
   }
@@ -58,12 +63,9 @@ const DriftMonitor::ChannelState& DriftMonitor::StateFor(int u, int s, size_t k)
 void DriftMonitor::Observe(int u, int s, size_t k, double x) {
   ChannelState& state = StateFor(u, s, k);
   ++state.total;
-  const double lo = state.grid.front();
-  const double hi = state.grid.back();
-  if (x < lo || x > hi) ++state.out_of_range;
-  // Nearest grid state (uniform spacing).
-  const double step = (hi - lo) / static_cast<double>(state.grid.size() - 1);
-  double offset = (x - lo) / step;
+  if (x < state.lo || x > state.hi) ++state.out_of_range;
+  // Nearest grid state (uniform spacing, precomputed reciprocal).
+  double offset = (x - state.lo) * state.inv_step;
   if (offset < 0.0) offset = 0.0;
   size_t idx = static_cast<size_t>(offset + 0.5);
   if (idx >= state.grid.size()) idx = state.grid.size() - 1;
@@ -112,6 +114,23 @@ DriftReport DriftMonitor::Report() const {
     }
   }
   return report;
+}
+
+common::Status DriftMonitor::MergeFrom(const DriftMonitor& other) {
+  if (dim_ != other.dim_ || states_.size() != other.states_.size())
+    return Status::InvalidArgument("cannot merge drift monitors of different shapes");
+  for (size_t i = 0; i < states_.size(); ++i) {
+    ChannelState& dst = states_[i];
+    const ChannelState& src = other.states_[i];
+    if (dst.counts.size() != src.counts.size() || dst.grid != src.grid ||
+        dst.design_pmf != src.design_pmf)
+      return Status::InvalidArgument(
+          "cannot merge drift monitors built from different plan sets");
+    for (size_t q = 0; q < dst.counts.size(); ++q) dst.counts[q] += src.counts[q];
+    dst.total += src.total;
+    dst.out_of_range += src.out_of_range;
+  }
+  return Status::Ok();
 }
 
 void DriftMonitor::Reset() {

@@ -75,6 +75,20 @@ class DriftMonitor {
   /// Current drift assessment.
   DriftReport Report() const;
 
+  /// Snapshot form of Report() for incremental accumulation: Observe() is
+  /// already O(1) per value, and the histogram state is pure integer
+  /// counts, so judging after every micro-batch reproduces the one-shot
+  /// batch report exactly — same counts, same W1, same verdict. The
+  /// serving layer polls this under live traffic.
+  DriftReport SnapshotReport() const { return Report(); }
+
+  /// Folds another monitor's accumulated counts into this one. The two
+  /// monitors must have been created from the same plan set (same
+  /// channels, same grids); the serving layer shards observation across
+  /// monitors and merges on snapshot. Commutative integer addition, so
+  /// merge order cannot change the combined report.
+  common::Status MergeFrom(const DriftMonitor& other);
+
   /// Drops all accumulated counts (e.g. after a re-design).
   void Reset();
 
@@ -83,6 +97,12 @@ class DriftMonitor {
     std::vector<double> design_pmf;   // mu_{u,s,k} on the grid
     std::vector<double> grid;         // grid points
     std::vector<size_t> counts;       // streamed histogram (per grid state)
+    // Cached grid geometry: Observe is the serving hot path (8 calls per
+    // repaired row), so the bounds and the reciprocal spacing are
+    // precomputed instead of re-derived (two divisions) per value.
+    double lo = 0.0;
+    double hi = 0.0;
+    double inv_step = 0.0;
     size_t total = 0;
     size_t out_of_range = 0;
   };

@@ -82,6 +82,17 @@ class OffSampleRepairer {
   /// internally with per-row stats slots.
   double RepairValue(int u, int s, size_t k, double x, common::Rng& rng);
 
+  /// Const, schedule-free streaming repair against caller-owned rng and
+  /// stats slots — the serving layer's primitive. Unlike the non-const
+  /// RepairValue overloads it touches no repairer state, so any number of
+  /// threads may call it concurrently on one shared repairer; repairing
+  /// row i of a dataset with `Rng::ForStream(seed, i)` (channels in k
+  /// order) reproduces the RepairDataset batch output bit-for-bit.
+  double RepairValueAt(int u, int s, size_t k, double x, common::Rng& rng,
+                       RepairStats& stats) const {
+    return RepairValueImpl(u, s, k, x, rng, stats);
+  }
+
   /// Soft-label streaming repair for probabilistic protected attributes
   /// (§VI / ref. [39]): draws s ~ Bernoulli(pr_s1) and repairs under the
   /// drawn class, so the marginal of the output is the posterior-weighted

@@ -1,0 +1,108 @@
+#include "serve/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/json_writer.h"
+
+namespace otfair::serve {
+
+size_t Metrics::BucketIndex(uint64_t us) {
+  // Slots 0..7 are exact for [0, 8); above that, 8 linear sub-buckets per
+  // power of two: bucket = 8 + 8 * (exp - 3) + top-3-bits-below-leading.
+  if (us < 8) return static_cast<size_t>(us);
+  const int exp = 63 - std::countl_zero(us);  // >= 3
+  const size_t sub = static_cast<size_t>((us >> (exp - 3)) & 0x7u);
+  size_t bucket = 8 + 8 * static_cast<size_t>(exp - 3) + sub;
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  return bucket;
+}
+
+double Metrics::BucketValueUs(size_t bucket) {
+  if (bucket < 8) return static_cast<double>(bucket);
+  const size_t exp = 3 + (bucket - 8) / 8;
+  const size_t sub = (bucket - 8) % 8;
+  const double lo = std::ldexp(1.0 + static_cast<double>(sub) / 8.0, static_cast<int>(exp));
+  const double width = std::ldexp(1.0 / 8.0, static_cast<int>(exp));
+  return lo + width / 2.0;
+}
+
+void Metrics::RecordLatencyUs(double us) {
+  if (!(us > 0.0)) us = 0.0;
+  const uint64_t v = static_cast<uint64_t>(us);
+  latency_buckets_[BucketIndex(v)].fetch_add(1, kRelaxed);
+  // Racy max update is fine: losing an update can only under-report by
+  // one concurrent sample.
+  uint64_t seen = latency_max_us_.load(kRelaxed);
+  while (v > seen && !latency_max_us_.compare_exchange_weak(seen, v, kRelaxed)) {
+  }
+}
+
+double Metrics::QuantileUs(double q, uint64_t samples,
+                           const std::array<uint64_t, kBuckets>& counts) const {
+  if (samples == 0) return 0.0;
+  // Nearest-rank: the smallest value with at least ceil(q * n) samples at
+  // or below it.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(samples)));
+  if (rank < 1) rank = 1;
+  if (rank > samples) rank = samples;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) return BucketValueUs(b);
+  }
+  return BucketValueUs(kBuckets - 1);
+}
+
+MetricsSnapshot Metrics::Snapshot(uint64_t queue_depth) const {
+  MetricsSnapshot snap;
+  snap.rows_accepted = rows_accepted_.load(kRelaxed);
+  snap.rows_repaired = rows_repaired_.load(kRelaxed);
+  snap.rows_invalid = rows_invalid_.load(kRelaxed);
+  snap.rows_rejected = rows_rejected_.load(kRelaxed);
+  snap.batches = batches_.load(kRelaxed);
+  snap.reloads = reloads_.load(kRelaxed);
+  snap.queue_depth = queue_depth;
+  snap.uptime_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  snap.rows_per_second =
+      snap.uptime_seconds > 0.0 ? static_cast<double>(snap.rows_repaired) / snap.uptime_seconds : 0.0;
+
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t samples = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = latency_buckets_[b].load(kRelaxed);
+    samples += counts[b];
+  }
+  // The sample total is derived from the bucket reads themselves, so the
+  // quantile rank can never exceed the summed counts even when writers
+  // land between loads.
+  snap.latency_samples = samples;
+  snap.latency_p50_us = QuantileUs(0.50, snap.latency_samples, counts);
+  snap.latency_p90_us = QuantileUs(0.90, snap.latency_samples, counts);
+  snap.latency_p99_us = QuantileUs(0.99, snap.latency_samples, counts);
+  snap.latency_max_us = static_cast<double>(latency_max_us_.load(kRelaxed));
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  common::JsonWriter w;
+  w.BeginObject()
+      .Key("rows_accepted").Uint(rows_accepted)
+      .Key("rows_repaired").Uint(rows_repaired)
+      .Key("rows_invalid").Uint(rows_invalid)
+      .Key("rows_rejected").Uint(rows_rejected)
+      .Key("batches").Uint(batches)
+      .Key("reloads").Uint(reloads)
+      .Key("queue_depth").Uint(queue_depth)
+      .Key("uptime_seconds").Double(uptime_seconds)
+      .Key("rows_per_second").Double(rows_per_second)
+      .Key("latency_samples").Uint(latency_samples)
+      .Key("latency_p50_us").Double(latency_p50_us)
+      .Key("latency_p90_us").Double(latency_p90_us)
+      .Key("latency_p99_us").Double(latency_p99_us)
+      .Key("latency_max_us").Double(latency_max_us)
+      .EndObject();
+  return w.str();
+}
+
+}  // namespace otfair::serve

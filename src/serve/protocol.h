@@ -1,0 +1,54 @@
+#ifndef OTFAIR_SERVE_PROTOCOL_H_
+#define OTFAIR_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "serve/repair_service.h"
+
+namespace otfair::serve {
+
+/// The newline-delimited request/response protocol `otfair serve` speaks
+/// on stdin/stdout. One request per line, whitespace-separated fields:
+///
+///   repair <session_id> <row_index> <u> <s> <x_1> ... <x_d>
+///   metrics              -> one-line JSON metrics snapshot
+///   health               -> one-line JSON drift/health verdict
+///   reload <plan_path>   -> hot-swaps the serving plan
+///   quit                 -> drains pending work and exits
+///
+/// Responses (one line each):
+///
+///   ok <session_id> <row_index> <y_1> ... <y_d>     repaired row
+///   err <session_id> <row_index> <CODE> <message>   per-row failure
+///   ok reload <version>                             after a reload
+///   {...}                                           metrics / health JSON
+///
+/// Repaired values are printed with %.17g, so a round trip through the
+/// protocol is bit-exact.
+
+enum class RequestKind { kRepair, kMetrics, kHealth, kReload, kQuit };
+
+struct ProtocolRequest {
+  RequestKind kind = RequestKind::kRepair;
+  RowRequest row;         // kRepair
+  std::string plan_path;  // kReload
+};
+
+/// Parses one request line. `dim` is the serving dimensionality; a repair
+/// line must carry exactly `dim` features. Blank lines are invalid.
+common::Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim);
+
+/// Formats the `ok .../err ...` response line for one repaired row
+/// (no trailing newline).
+std::string FormatRowResponse(const RowResponse& response);
+
+/// Formats a request-level failure (parse errors, rejected submits) as an
+/// `err` line; session/row are echoed when known, `-` otherwise.
+std::string FormatErrorLine(const common::Status& status);
+std::string FormatErrorLine(uint64_t session_id, uint64_t row_index,
+                            const common::Status& status);
+
+}  // namespace otfair::serve
+
+#endif  // OTFAIR_SERVE_PROTOCOL_H_

@@ -1,0 +1,235 @@
+#include "serve/repair_service.h"
+
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace otfair::serve {
+
+using common::Result;
+using common::Status;
+
+/// The unit of hot-swap: everything a request needs, built once per
+/// (re)load and immutable afterwards except the internally-locked drift
+/// shards. Readers hold it through shared_ptr, so a snapshot outlives the
+/// swap for as long as any in-flight request still uses it.
+struct RepairService::Snapshot {
+  core::OffSampleRepairer repairer;
+  uint64_t version;
+
+  struct DriftShard {
+    std::mutex mu;
+    core::DriftMonitor monitor;
+    explicit DriftShard(core::DriftMonitor m) : monitor(std::move(m)) {}
+  };
+  /// unique_ptr per shard: mutexes are neither movable nor copyable.
+  std::vector<std::unique_ptr<DriftShard>> drift_shards;
+
+  Snapshot(core::OffSampleRepairer r, uint64_t v) : repairer(std::move(r)), version(v) {}
+
+  /// Stable shard choice for a request identity (any deterministic spread
+  /// works — this only balances lock contention).
+  size_t ShardFor(uint64_t session_id, uint64_t row_index) const {
+    uint64_t h = row_index * 0x9e3779b97f4a7c15ULL + session_id;
+    h ^= h >> 29;
+    return static_cast<size_t>(h % drift_shards.size());
+  }
+};
+
+std::string ServiceHealth::ToJson() const {
+  common::JsonWriter w;
+  w.BeginObject()
+      .Key("healthy").Bool(!drifted)
+      .Key("drifted").Bool(drifted)
+      .Key("worst_w1").Double(worst_w1)
+      .Key("worst_out_of_range").Double(worst_out_of_range)
+      .Key("values_observed").Uint(values_observed)
+      .Key("plan_version").Uint(plan_version)
+      .EndObject();
+  return w.str();
+}
+
+RepairService::RepairService(size_t dim, const ServiceOptions& options)
+    : dim_(dim), options_(options) {}
+
+RepairService::~RepairService() = default;
+
+Result<std::shared_ptr<RepairService::Snapshot>> RepairService::BuildSnapshot(
+    core::RepairPlanSet plans, const ServiceOptions& options, uint64_t version) {
+  core::RepairOptions repair_options;
+  repair_options.seed = options.seed;  // unused: serving supplies per-row rngs
+  repair_options.mode = options.mode;
+  repair_options.strength = options.strength;
+  repair_options.threads = options.threads;
+  // The drift monitors copy what they need from the plans before the
+  // repairer takes ownership.
+  std::vector<std::unique_ptr<Snapshot::DriftShard>> shards;
+  shards.reserve(options.drift_shards);
+  for (size_t i = 0; i < options.drift_shards; ++i) {
+    auto monitor = core::DriftMonitor::Create(plans, options.drift);
+    if (!monitor.ok()) return monitor.status();
+    shards.push_back(std::make_unique<Snapshot::DriftShard>(std::move(*monitor)));
+  }
+  auto repairer = core::OffSampleRepairer::Create(std::move(plans), repair_options);
+  if (!repairer.ok()) return repairer.status();
+  auto snapshot = std::make_shared<Snapshot>(std::move(*repairer), version);
+  snapshot->drift_shards = std::move(shards);
+  return snapshot;
+}
+
+Result<std::unique_ptr<RepairService>> RepairService::Create(core::RepairPlanSet plans,
+                                                             const ServiceOptions& options) {
+  if (options.drift_shards == 0)
+    return Status::InvalidArgument("drift_shards must be >= 1");
+  const size_t dim = plans.dim();
+  if (dim == 0) return Status::InvalidArgument("plan set is empty");
+  auto snapshot = BuildSnapshot(std::move(plans), options, 1);
+  if (!snapshot.ok()) return snapshot.status();
+  std::unique_ptr<RepairService> service(new RepairService(dim, options));
+  service->snapshot_.store(std::move(*snapshot), std::memory_order_release);
+  return service;
+}
+
+uint64_t RepairService::SessionSeed(uint64_t session_id) const {
+  if (session_id == 0) return options_.seed;
+  return common::Rng::ForStream(options_.seed, session_id).Next64();
+}
+
+bool RepairService::RepairRowOnSnapshot(const Snapshot& snap, const RowRequest& request,
+                                        RowResponse* response) const {
+  response->session_id = request.session_id;
+  response->row_index = request.row_index;
+  if (request.features.size() != dim_) {
+    response->repaired.clear();
+    response->status = Status::InvalidArgument(
+        "row has " + std::to_string(request.features.size()) + " features, plan expects " +
+        std::to_string(dim_));
+    return false;
+  }
+  if ((request.u != 0 && request.u != 1) || (request.s != 0 && request.s != 1)) {
+    response->repaired.clear();
+    response->status = Status::InvalidArgument("u and s labels must be binary");
+    return false;
+  }
+  // The determinism contract: randomness is a pure function of
+  // (seed, session, row) — see RowRequest.
+  common::Rng rng = common::Rng::ForStream(SessionSeed(request.session_id), request.row_index);
+  core::RepairStats stats;
+  response->repaired.resize(dim_);
+  for (size_t k = 0; k < dim_; ++k) {
+    response->repaired[k] =
+        snap.repairer.RepairValueAt(request.u, request.s, k, request.features[k], rng, stats);
+  }
+  response->status = Status::Ok();
+  return true;
+}
+
+Status RepairService::RepairRow(const RowRequest& request, RowResponse* response) {
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  metrics_.AddAccepted(1);
+  metrics_.AddBatch();
+  if (RepairRowOnSnapshot(*snap, request, response)) {
+    metrics_.AddRepaired(1);
+    // Feed the (pre-repair) values into the drift accumulator: drift is a
+    // property of the incoming archival stream vs the design marginals.
+    Snapshot::DriftShard& shard =
+        *snap->drift_shards[snap->ShardFor(request.session_id, request.row_index)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t k = 0; k < dim_; ++k)
+      shard.monitor.Observe(request.u, request.s, k, request.features[k]);
+  } else {
+    metrics_.AddInvalid(1);
+  }
+  return response->status;
+}
+
+void RepairService::RepairBatch(const RowRequest* requests, size_t count,
+                                std::vector<RowResponse>* responses) {
+  // One snapshot acquisition per batch: every row of a batch is served by
+  // the same plan version, and the atomic load amortizes to nothing.
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  responses->resize(count);
+  if (count == 0) return;
+  metrics_.AddAccepted(count);
+  metrics_.AddBatch();
+  std::atomic<uint64_t> invalid{0};
+  common::parallel::ParallelFor(
+      0, count,
+      [&](size_t i) {
+        if (!RepairRowOnSnapshot(*snap, requests[i], &(*responses)[i]))
+          invalid.fetch_add(1, std::memory_order_relaxed);
+      },
+      static_cast<size_t>(options_.threads));
+  const uint64_t bad = invalid.load(std::memory_order_relaxed);
+  metrics_.AddRepaired(count - bad);
+  if (bad > 0) metrics_.AddInvalid(bad);
+
+  // Drift observation, amortized: the whole batch lands in one shard
+  // (rotating across batches), so the serial pass takes the shard lock
+  // once per ~max_batch rows instead of once per row. Concurrent batch
+  // executors rotate onto different shards.
+  Snapshot::DriftShard& shard =
+      *snap->drift_shards[batch_counter_.fetch_add(1, std::memory_order_relaxed) %
+                          snap->drift_shards.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(*responses)[i].status.ok()) continue;
+    const RowRequest& request = requests[i];
+    for (size_t k = 0; k < dim_; ++k)
+      shard.monitor.Observe(request.u, request.s, k, request.features[k]);
+  }
+}
+
+Status RepairService::ReloadPlan(core::RepairPlanSet plans) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  if (plans.dim() != dim_)
+    return Status::InvalidArgument("reload plan has dim " + std::to_string(plans.dim()) +
+                                   ", service serves dim " + std::to_string(dim_));
+  const uint64_t next_version = snapshot_.load(std::memory_order_acquire)->version + 1;
+  auto snapshot = BuildSnapshot(std::move(plans), options_, next_version);
+  if (!snapshot.ok()) return snapshot.status();
+  // The swap itself: one release store. Readers that loaded the old
+  // snapshot keep it alive until their request completes.
+  snapshot_.store(std::move(*snapshot), std::memory_order_release);
+  metrics_.AddReload();
+  return Status::Ok();
+}
+
+Status RepairService::ReloadPlanFromFile(const std::string& path) {
+  auto plans = core::RepairPlanSet::LoadFromFile(path);
+  if (!plans.ok()) return plans.status();
+  return ReloadPlan(std::move(*plans));
+}
+
+uint64_t RepairService::plan_version() const {
+  return snapshot_.load(std::memory_order_acquire)->version;
+}
+
+core::DriftReport RepairService::DriftSnapshot() const {
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  core::DriftMonitor merged = [&] {
+    std::lock_guard<std::mutex> lock(snap->drift_shards[0]->mu);
+    return snap->drift_shards[0]->monitor;  // copy under the shard lock
+  }();
+  for (size_t i = 1; i < snap->drift_shards.size(); ++i) {
+    std::lock_guard<std::mutex> lock(snap->drift_shards[i]->mu);
+    // Same plan set by construction; merge cannot fail.
+    merged.MergeFrom(snap->drift_shards[i]->monitor);
+  }
+  return merged.SnapshotReport();
+}
+
+ServiceHealth RepairService::Health() const {
+  const core::DriftReport report = DriftSnapshot();
+  ServiceHealth health;
+  health.drifted = report.drifted;
+  health.worst_w1 = report.worst_w1;
+  health.worst_out_of_range = report.worst_out_of_range;
+  for (const core::ChannelDrift& c : report.channels) health.values_observed += c.count;
+  health.plan_version = plan_version();
+  return health;
+}
+
+}  // namespace otfair::serve

@@ -1,0 +1,176 @@
+#ifndef OTFAIR_SERVE_REPAIR_SERVICE_H_
+#define OTFAIR_SERVE_REPAIR_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/drift_monitor.h"
+#include "core/repair_plan.h"
+#include "core/repairer.h"
+#include "serve/metrics.h"
+
+namespace otfair::serve {
+
+/// One row of one client session's archival stream.
+///
+/// `(session_id, row_index)` is the determinism contract: the service
+/// repairs this row with `Rng::ForStream(SessionSeed(session_id),
+/// row_index)`, channels in k order — exactly how `OffSampleRepairer::
+/// RepairDataset` treats row `row_index` under seed
+/// `SessionSeed(session_id)`. A session replaying an archive therefore
+/// gets output bit-identical to the offline batch repair of that archive,
+/// regardless of submission order, interleaving with other sessions,
+/// thread counts, or plan hot-swaps to an identical plan.
+struct RowRequest {
+  uint64_t session_id = 0;
+  uint64_t row_index = 0;
+  int u = 0;
+  int s = 0;
+  /// Full feature row, length dim(), in feature (k) order.
+  std::vector<double> features;
+};
+
+/// The repaired row, tagged with the request identity. `status` is OK for
+/// a repaired row; on a per-row validation failure `repaired` is empty
+/// and `status` says why.
+struct RowResponse {
+  uint64_t session_id = 0;
+  uint64_t row_index = 0;
+  std::vector<double> repaired;
+  common::Status status;
+};
+
+/// Drift-based health verdict of the live plan snapshot.
+struct ServiceHealth {
+  bool drifted = false;
+  double worst_w1 = 0.0;
+  double worst_out_of_range = 0.0;
+  /// Total values streamed into the drift accumulator since the current
+  /// plan snapshot was installed.
+  uint64_t values_observed = 0;
+  uint64_t plan_version = 1;
+
+  std::string ToJson() const;
+};
+
+/// Options fixed at service construction. `seed`, `mode` and `strength`
+/// define the repair semantics (the offline-equivalence contract binds
+/// them); they survive plan reloads.
+struct ServiceOptions {
+  uint64_t seed = 0x07fa12u;
+  core::TransportMode mode = core::TransportMode::kStochastic;
+  double strength = 1.0;
+  /// Lanes for RepairBatch (0: process default, 1: serial).
+  int threads = 0;
+  /// Shards of the drift accumulator; more shards = less observation
+  /// contention under concurrent traffic.
+  size_t drift_shards = 8;
+  core::DriftMonitorOptions drift;
+};
+
+/// A long-lived, thread-safe repair server over a `RepairPlanSet`.
+///
+/// The plan, its O(1) sampling tables, and the drift accumulator live in
+/// one immutable-by-readers snapshot held through
+/// `std::atomic<std::shared_ptr>`:
+///
+///  - The read path (`RepairRow` / `RepairBatch`) takes no lock — it
+///    atomically acquires the current snapshot, repairs against it, and
+///    drops the reference. Any number of threads repair concurrently.
+///  - `ReloadPlan` builds a complete replacement snapshot off to the side
+///    (plan validation + alias tables) and swaps it in with one atomic
+///    store. In-flight requests finish on the snapshot they acquired; no
+///    request is ever dropped, blocked, or torn by a reload.
+///
+/// Determinism: repair randomness derives only from
+/// `(seed, session_id, row_index)` — never from service state, thread
+/// schedule, or snapshot identity — so concurrent serving is bit-
+/// identical to offline batch repair per session (see RowRequest).
+///
+/// Drift: every observed row also feeds a sharded `core::DriftMonitor`;
+/// `Health()` merges the shards and applies the configured thresholds, so
+/// operators learn when the serving plan has gone stale (the paper's
+/// stationarity assumption, §IV/§VI). Reloading a plan resets the
+/// accumulator — drift is always judged against the live design.
+class RepairService {
+ public:
+  /// Validates the plans and options and builds the first snapshot.
+  static common::Result<std::unique_ptr<RepairService>> Create(
+      core::RepairPlanSet plans, const ServiceOptions& options = {});
+
+  ~RepairService();
+
+  RepairService(const RepairService&) = delete;
+  RepairService& operator=(const RepairService&) = delete;
+
+  /// The per-session repair seed: session 0 keeps the base seed (a
+  /// single-session service is literally the offline batch repairer);
+  /// other sessions get decorrelated sub-seeds. Exposed so tests and
+  /// clients can construct the equivalent offline repairer.
+  uint64_t SessionSeed(uint64_t session_id) const;
+
+  /// Repairs one row. Lock-free on the plan path; thread-safe.
+  common::Status RepairRow(const RowRequest& request, RowResponse* response);
+
+  /// Repairs a batch of rows, fanning out over `options.threads` lanes on
+  /// the process thread pool. Per-row failures land in the matching
+  /// response's `status`; the batch itself always completes. `responses`
+  /// is resized to match and its element capacity is reused.
+  void RepairBatch(const RowRequest* requests, size_t count,
+                   std::vector<RowResponse>* responses);
+
+  /// Atomically replaces the serving plan. The new plan must have the
+  /// same dimensionality. Existing traffic is never blocked or dropped;
+  /// requests concurrent with the swap use whichever snapshot they
+  /// acquired first. The drift accumulator restarts against the new plan.
+  common::Status ReloadPlan(core::RepairPlanSet plans);
+  common::Status ReloadPlanFromFile(const std::string& path);
+
+  /// Monotone snapshot version; 1 for the construction-time plan.
+  uint64_t plan_version() const;
+
+  size_t dim() const { return dim_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Merged drift report over all shards of the live snapshot.
+  core::DriftReport DriftSnapshot() const;
+
+  /// Cheap health verdict (thresholds from options.drift).
+  ServiceHealth Health() const;
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  struct Snapshot;
+
+  RepairService(size_t dim, const ServiceOptions& options);
+
+  static common::Result<std::shared_ptr<Snapshot>> BuildSnapshot(
+      core::RepairPlanSet plans, const ServiceOptions& options, uint64_t version);
+
+  /// The shared inner row repair; returns false on validation failure.
+  /// Drift observation is the caller's job (per-row for RepairRow, one
+  /// amortized shard pass per batch for RepairBatch).
+  bool RepairRowOnSnapshot(const Snapshot& snap, const RowRequest& request,
+                           RowResponse* response) const;
+
+  size_t dim_ = 0;
+  ServiceOptions options_;
+  Metrics metrics_;
+  std::atomic<std::shared_ptr<Snapshot>> snapshot_;
+  /// Rotates batches across drift shards (see RepairBatch).
+  std::atomic<uint64_t> batch_counter_{0};
+  /// Serializes reloads (readers never touch it).
+  std::mutex reload_mu_;
+};
+
+}  // namespace otfair::serve
+
+#endif  // OTFAIR_SERVE_REPAIR_SERVICE_H_

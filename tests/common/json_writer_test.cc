@@ -1,0 +1,65 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace otfair::common {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name").String("otfair")
+      .Key("rows").Uint(42)
+      .Key("delta").Int(-7)
+      .Key("ok").Bool(true)
+      .Key("none").Null()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"otfair\",\"rows\":42,\"delta\":-7,\"ok\":true,\"none\":null}");
+}
+
+TEST(JsonWriterTest, NestedObjectsAndArrays) {
+  JsonWriter w;
+  w.BeginObject().Key("channels").BeginArray();
+  for (int i = 0; i < 2; ++i) w.BeginObject().Key("k").Int(i).EndObject();
+  w.EndArray().Key("empty").BeginArray().EndArray().EndObject();
+  EXPECT_EQ(w.str(), "{\"channels\":[{\"k\":0},{\"k\":1}],\"empty\":[]}");
+}
+
+TEST(JsonWriterTest, ArrayOfScalars) {
+  JsonWriter w;
+  w.BeginArray().Int(1).Int(2).Double(0.5).EndArray();
+  EXPECT_EQ(w.str(), "[1,2,0.5]");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter w;
+  w.BeginObject().Key("msg").String("a\"b\\c\nd\te\r\x01").EndObject();
+  EXPECT_EQ(w.str(), "{\"msg\":\"a\\\"b\\\\c\\nd\\te\\r\\u0001\"}");
+}
+
+TEST(JsonWriterTest, KeyEscaping) {
+  JsonWriter w;
+  w.BeginObject().Key("we\"ird").Int(1).EndObject();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":1}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Double(std::numeric_limits<double>::quiet_NaN())
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(1.25)
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1.25]");
+}
+
+TEST(JsonWriterTest, JsonEscapePassthrough) {
+  EXPECT_EQ(JsonEscape("plain text 123"), "plain text 123");
+}
+
+}  // namespace
+}  // namespace otfair::common

@@ -23,6 +23,7 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
 }
@@ -36,6 +37,7 @@ TEST(StatusTest, OkCodeClearsMessage) {
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::InvalidArgument("bad").ToString(), "INVALID_ARGUMENT: bad");
   EXPECT_EQ(Status::NotConverged("slow").ToString(), "NOT_CONVERGED: slow");
+  EXPECT_EQ(Status::Unavailable("busy").ToString(), "UNAVAILABLE: busy");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,139 @@
+#include "common/work_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace otfair::common {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(BoundedWorkQueueTest, FifoThroughTryPushTryPop) {
+  BoundedWorkQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    size_t size_after = 0;
+    EXPECT_TRUE(queue.TryPush(int(i), &size_after));
+    EXPECT_EQ(size_after, static_cast<size_t>(i + 1));
+  }
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryPopBatch(3, &out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.TryPopBatch(10, &out), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.TryPopBatch(1, &out), 0u);
+}
+
+TEST(BoundedWorkQueueTest, CapacityBoundsPushes) {
+  BoundedWorkQueue<int> queue(3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(queue.TryPush(int(i)));
+  EXPECT_FALSE(queue.TryPush(99));  // full -> backpressure
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryPopBatch(1, &out), 1u);
+  EXPECT_TRUE(queue.TryPush(99));  // slot freed
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(BoundedWorkQueueTest, RingWrapsAroundManyTimes) {
+  BoundedWorkQueue<std::string> queue(4);
+  std::vector<std::string> out;
+  for (int round = 0; round < 25; ++round) {
+    std::string a = "a";
+    a += std::to_string(round);
+    std::string b = "b";
+    b += std::to_string(round);
+    EXPECT_TRUE(queue.TryPush(std::string(a)));
+    EXPECT_TRUE(queue.TryPush(std::string(b)));
+    out.clear();
+    ASSERT_EQ(queue.TryPopBatch(2, &out), 2u);
+    EXPECT_EQ(out[0], a);
+    EXPECT_EQ(out[1], b);
+  }
+}
+
+TEST(BoundedWorkQueueTest, PopBatchTimesOutWithPartialBatch) {
+  BoundedWorkQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  std::vector<int> out;
+  // Wants 4, only 2 exist: returns them after the deadline.
+  EXPECT_EQ(queue.PopBatch(4, &out, microseconds(2000)), 2u);
+}
+
+TEST(BoundedWorkQueueTest, PopBatchWhenReadyBlocksForFirstItem) {
+  BoundedWorkQueue<int> queue(8);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.TryPush(7);
+  });
+  std::vector<int> out;
+  // No deadline while empty: waits for the producer, then gives
+  // stragglers a short window.
+  EXPECT_EQ(queue.PopBatchWhenReady(4, &out, microseconds(500)), 1u);
+  EXPECT_EQ(out[0], 7);
+  producer.join();
+}
+
+TEST(BoundedWorkQueueTest, PopBatchReturnsImmediatelyWhenFull) {
+  BoundedWorkQueue<int> queue(8);
+  for (int i = 0; i < 4; ++i) queue.TryPush(int(i));
+  std::vector<int> out;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.PopBatch(4, &out, microseconds(5'000'000)), 4u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(1));
+}
+
+TEST(BoundedWorkQueueTest, CloseWakesBlockedConsumerAndDrains) {
+  BoundedWorkQueue<int> queue(8);
+  queue.TryPush(5);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Close();
+  });
+  std::vector<int> out;
+  // Accepted items survive the close.
+  EXPECT_EQ(queue.PopBatchWhenReady(8, &out, microseconds(60'000'000)), 1u);
+  closer.join();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(6));
+  EXPECT_EQ(queue.PopBatchWhenReady(8, &out, microseconds(0)), 0u);
+}
+
+TEST(BoundedWorkQueueTest, ConcurrentProducersLoseNothing) {
+  BoundedWorkQueue<int> queue(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        while (!queue.TryPush(std::move(value))) std::this_thread::yield();
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  std::vector<int> drained;
+  while (drained.size() < kProducers * kPerProducer) {
+    std::vector<int> out;
+    if (queue.PopBatch(32, &out, microseconds(1000)) > 0)
+      drained.insert(drained.end(), out.begin(), out.end());
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int v : drained) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[v]) << "duplicate " << v;
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace otfair::common

@@ -1,5 +1,9 @@
 #include "core/drift_monitor.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -133,6 +137,77 @@ TEST(DriftMonitorTest, RejectsBadOptions) {
   DriftMonitorOptions options;
   options.min_count = 0;
   EXPECT_FALSE(DriftMonitor::Create(fx.plans, options).ok());
+}
+
+void ExpectReportsIdentical(const DriftReport& a, const DriftReport& b) {
+  EXPECT_EQ(a.drifted, b.drifted);
+  EXPECT_EQ(a.worst_w1, b.worst_w1);
+  EXPECT_EQ(a.worst_out_of_range, b.worst_out_of_range);
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (size_t i = 0; i < a.channels.size(); ++i) {
+    EXPECT_EQ(a.channels[i].count, b.channels[i].count);
+    // Exact equality is the point: integer counts plus an identical W1
+    // summation order mean incremental accumulation must be bit-equal.
+    EXPECT_EQ(a.channels[i].w1_normalized, b.channels[i].w1_normalized);
+    EXPECT_EQ(a.channels[i].out_of_range_rate, b.channels[i].out_of_range_rate);
+  }
+}
+
+TEST(DriftMonitorTest, IncrementalSnapshotsReproduceOneShotReport) {
+  // The serving layer observes in micro-batches and snapshots between
+  // them; the final judgement must match the single batch run exactly.
+  Fixture fx = MakeFixture(14);
+  auto one_shot = DriftMonitor::Create(fx.plans);
+  auto incremental = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(one_shot.ok() && incremental.ok());
+  common::Rng rng_a(15);
+  common::Rng rng_b(15);
+  StreamMixture(*one_shot, fx.config, 10000, 0.7, rng_a);
+  size_t left = 10000;
+  while (left > 0) {
+    const size_t chunk = std::min<size_t>(left, 37);
+    StreamMixture(*incremental, fx.config, chunk, 0.7, rng_b);
+    incremental->SnapshotReport();  // snapshots must not disturb state
+    left -= chunk;
+  }
+  ExpectReportsIdentical(one_shot->Report(), incremental->SnapshotReport());
+}
+
+TEST(DriftMonitorTest, MergedShardsReproduceOneShotReport) {
+  Fixture fx = MakeFixture(16);
+  auto one_shot = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(one_shot.ok());
+  std::vector<DriftMonitor> shards;
+  for (int i = 0; i < 3; ++i) {
+    auto shard = DriftMonitor::Create(fx.plans);
+    ASSERT_TRUE(shard.ok());
+    shards.push_back(std::move(*shard));
+  }
+  common::Rng rng(17);
+  for (size_t i = 0; i < 6000; ++i) {
+    const int u = rng.Bernoulli(fx.config.pr_u0) ? 0 : 1;
+    const int s = rng.Bernoulli(0.5) ? 0 : 1;
+    for (size_t k = 0; k < 2; ++k) {
+      const double x = rng.Normal(fx.config.mean[u][s][k] + 0.5, fx.config.sigma);
+      one_shot->Observe(u, s, k, x);
+      shards[i % shards.size()].Observe(u, s, k, x);
+    }
+  }
+  DriftMonitor merged = std::move(shards[0]);
+  for (size_t i = 1; i < shards.size(); ++i)
+    ASSERT_TRUE(merged.MergeFrom(shards[i]).ok());
+  ExpectReportsIdentical(one_shot->Report(), merged.SnapshotReport());
+}
+
+TEST(DriftMonitorTest, MergeRejectsMismatchedShapes) {
+  Fixture fx = MakeFixture(18);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  // A monitor designed on different research data has different grids.
+  Fixture other = MakeFixture(19);
+  auto mismatched = DriftMonitor::Create(other.plans);
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_FALSE(monitor->MergeFrom(*mismatched).ok());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -56,6 +57,25 @@ class CliTest : public ::testing::Test {
         std::string(OTFAIR_CLI_PATH) + " " + args + " > /dev/null 2>&1";
     const int status = std::system(command.c_str());
     return WEXITSTATUS(status);
+  }
+
+  /// Runs the CLI and captures stdout (stderr discarded); exit code via
+  /// `exit_code`.
+  std::string RunCapture(const std::string& args, int* exit_code = nullptr) {
+    const std::string command = std::string(OTFAIR_CLI_PATH) + " " + args + " 2> /dev/null";
+    std::FILE* pipe = ::popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    if (pipe == nullptr) {
+      if (exit_code != nullptr) *exit_code = -1;
+      return "";
+    }
+    std::string output;
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) output.append(buffer, n);
+    const int status = ::pclose(pipe);
+    if (exit_code != nullptr) *exit_code = WEXITSTATUS(status);
+    return output;
   }
 
   std::string dir_;
@@ -164,6 +184,111 @@ TEST_F(CliTest, BadInvocationsFailCleanly) {
   EXPECT_EQ(Run("repair --plan=" + plan_path_ + " --input=" + archive_path_ +
                 " --output=" + repaired_path_ + " --mode=bogus"),
             2);
+}
+
+TEST_F(CliTest, UsageAndPerCommandHelp) {
+  // Top-level help exits 0 and lists every subcommand.
+  int exit_code = -1;
+  const std::string usage = RunCapture("--help", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  for (const std::string command :
+       {"design", "repair", "serve", "inspect", "drift", "simulate"}) {
+    EXPECT_NE(usage.find(command), std::string::npos) << command;
+  }
+  // Per-command --help exits 0 and names the command's flags.
+  const std::string serve_help = RunCapture("serve --help", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(serve_help.find("--replay"), std::string::npos);
+  EXPECT_NE(serve_help.find("--max_batch"), std::string::npos);
+  EXPECT_EQ(RunCapture("design --help", &exit_code).find("usage: otfair design"), 0u);
+  EXPECT_EQ(exit_code, 0);
+  // Unknown commands and missing required flags exit 2.
+  EXPECT_EQ(Run("not-a-command"), 2);
+  EXPECT_EQ(Run("serve"), 2);
+  EXPECT_EQ(Run("simulate"), 2);
+}
+
+TEST_F(CliTest, JsonOutputs) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  int exit_code = -1;
+  const std::string plan_json =
+      RunCapture("inspect --plan=" + plan_path_ + " --json", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_EQ(plan_json.front(), '{');
+  EXPECT_NE(plan_json.find("\"kind\":\"plan\""), std::string::npos);
+  EXPECT_NE(plan_json.find("\"channels\":["), std::string::npos);
+  EXPECT_NE(plan_json.find("\"nnz\":"), std::string::npos);
+
+  const std::string data_json =
+      RunCapture("inspect --data=" + archive_path_ + " --json", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(data_json.find("\"kind\":\"data\""), std::string::npos);
+  EXPECT_NE(data_json.find("\"e_aggregate\":"), std::string::npos);
+
+  const std::string drift_json = RunCapture(
+      "drift --plan=" + plan_path_ + " --input=" + archive_path_ + " --json", &exit_code);
+  EXPECT_EQ(exit_code, 0);  // stationary stream
+  EXPECT_NE(drift_json.find("\"drifted\":false"), std::string::npos);
+  EXPECT_NE(drift_json.find("\"worst_w1\":"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateGeneratesLoadableData) {
+  const std::string sim_path = dir_ + "/sim.csv";
+  ASSERT_EQ(Run("simulate --out=" + sim_path + " --rows=600 --seed=5"), 0);
+  auto dataset = data::ReadCsv(sim_path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 600u);
+  EXPECT_EQ(dataset->dim(), 2u);
+  // The generated data designs a working plan.
+  EXPECT_EQ(Run("design --research=" + sim_path + " --plan=" + dir_ + "/sim_plan.bin" +
+                " --n_q=30"),
+            0);
+}
+
+TEST_F(CliTest, ServeReplayHealthyAndDriftedExits) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  // Stationary replay: exit 0, JSON metrics + health on stdout.
+  int exit_code = -1;
+  const std::string output = RunCapture("serve --plan=" + plan_path_ + " --replay=" +
+                                            archive_path_ + " --sessions=2 --max_batch=64",
+                                        &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(output.find("\"rows_repaired\":6000"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"healthy\":true"), std::string::npos) << output;
+  // Drifted replay: exit 3.
+  const std::string drifted_path = dir_ + "/serve_drifted.csv";
+  ASSERT_EQ(Run("simulate --out=" + drifted_path + " --rows=3000 --seed=6 --shift=2.5"),
+            0);
+  EXPECT_EQ(Run("serve --plan=" + plan_path_ + " --replay=" + drifted_path +
+                " --sessions=1"),
+            3);
+}
+
+TEST_F(CliTest, ServeStdioProtocolRoundTrip) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  const std::string input_path = dir_ + "/serve_input.txt";
+  std::FILE* f = std::fopen(input_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "repair 0 0 0 1 0.5 -0.5\n"
+      "health\n"
+      "bogus-verb\n"
+      "quit\n",
+      f);
+  std::fclose(f);
+  int exit_code = -1;
+  const std::string output = RunCapture(
+      "serve --plan=" + plan_path_ + " --max_wait_us=100 < " + input_path, &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(output.find("ok 0 0 "), std::string::npos) << output;
+  EXPECT_NE(output.find("\"plan_version\":1"), std::string::npos) << output;
+  EXPECT_NE(output.find("err - - INVALID_ARGUMENT"), std::string::npos) << output;
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#include "serve/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace otfair::serve {
+namespace {
+
+TEST(MetricsTest, CountersAccumulate) {
+  Metrics metrics;
+  metrics.AddAccepted(10);
+  metrics.AddRepaired(8);
+  metrics.AddInvalid(2);
+  metrics.AddRejected(3);
+  metrics.AddBatch();
+  metrics.AddBatch();
+  metrics.AddReload();
+  const MetricsSnapshot snap = metrics.Snapshot(17);
+  EXPECT_EQ(snap.rows_accepted, 10u);
+  EXPECT_EQ(snap.rows_repaired, 8u);
+  EXPECT_EQ(snap.rows_invalid, 2u);
+  EXPECT_EQ(snap.rows_rejected, 3u);
+  EXPECT_EQ(snap.batches, 2u);
+  EXPECT_EQ(snap.reloads, 1u);
+  EXPECT_EQ(snap.queue_depth, 17u);
+  EXPECT_GT(snap.uptime_seconds, 0.0);
+}
+
+TEST(MetricsTest, LatencyQuantilesWithinBucketResolution) {
+  Metrics metrics;
+  // 980 fast requests at 100us, 20 slow ones at 10000us: nearest-rank p99
+  // (rank 990 of 1000) lands in the slow population.
+  for (int i = 0; i < 980; ++i) metrics.RecordLatencyUs(100.0);
+  for (int i = 0; i < 20; ++i) metrics.RecordLatencyUs(10000.0);
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.latency_samples, 1000u);
+  // Log-linear buckets are exact to within 12.5%.
+  EXPECT_NEAR(snap.latency_p50_us, 100.0, 100.0 * 0.15);
+  EXPECT_NEAR(snap.latency_p90_us, 100.0, 100.0 * 0.15);
+  EXPECT_NEAR(snap.latency_p99_us, 10000.0, 10000.0 * 0.15);
+  EXPECT_EQ(snap.latency_max_us, 10000.0);
+}
+
+TEST(MetricsTest, LatencyEdgeValues) {
+  Metrics metrics;
+  metrics.RecordLatencyUs(-5.0);  // clamps to 0
+  metrics.RecordLatencyUs(0.0);
+  metrics.RecordLatencyUs(3.0);   // exact low buckets
+  metrics.RecordLatencyUs(1e12);  // far tail still lands in a bucket
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.latency_samples, 4u);
+  EXPECT_EQ(snap.latency_p50_us, 0.0);  // nearest-rank 2 of 4
+  EXPECT_GT(snap.latency_p99_us, 1e9);  // nearest-rank 4 of 4: the tail sample
+}
+
+TEST(MetricsTest, SnapshotUnderConcurrentWriters) {
+  Metrics metrics;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        metrics.AddAccepted(1);
+        metrics.AddRepaired(1);
+        metrics.RecordLatencyUs(50.0);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.rows_accepted, 40000u);
+  EXPECT_EQ(snap.rows_repaired, 40000u);
+  EXPECT_EQ(snap.latency_samples, 40000u);
+}
+
+TEST(MetricsTest, ToJsonCarriesTheCounters) {
+  Metrics metrics;
+  metrics.AddAccepted(5);
+  metrics.AddRepaired(5);
+  const std::string json = metrics.Snapshot(2).ToJson();
+  EXPECT_NE(json.find("\"rows_accepted\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_depth\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_p99_us\":"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace otfair::serve

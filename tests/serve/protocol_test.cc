@@ -1,0 +1,76 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace otfair::serve {
+namespace {
+
+TEST(ProtocolTest, ParsesRepairLine) {
+  auto request = ParseRequestLine("repair 3 17 1 0 0.25 -1.5", 2);
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->kind, RequestKind::kRepair);
+  EXPECT_EQ(request->row.session_id, 3u);
+  EXPECT_EQ(request->row.row_index, 17u);
+  EXPECT_EQ(request->row.u, 1);
+  EXPECT_EQ(request->row.s, 0);
+  ASSERT_EQ(request->row.features.size(), 2u);
+  EXPECT_EQ(request->row.features[0], 0.25);
+  EXPECT_EQ(request->row.features[1], -1.5);
+}
+
+TEST(ProtocolTest, ToleratesExtraWhitespace) {
+  auto request = ParseRequestLine("  repair  0\t0  0 1   1.0  2.0 ", 2);
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->row.s, 1);
+}
+
+TEST(ProtocolTest, RejectsMalformedRepairLines) {
+  EXPECT_FALSE(ParseRequestLine("", 2).ok());
+  EXPECT_FALSE(ParseRequestLine("repair", 2).ok());
+  EXPECT_FALSE(ParseRequestLine("repair 0 0 0 1 1.0", 2).ok());          // missing feature
+  EXPECT_FALSE(ParseRequestLine("repair 0 0 0 1 1.0 2.0 3.0", 2).ok());  // extra feature
+  EXPECT_FALSE(ParseRequestLine("repair 0 0 2 0 1.0 2.0", 2).ok());      // u out of range
+  EXPECT_FALSE(ParseRequestLine("repair 0 0 0 1 1.0 abc", 2).ok());      // bad number
+  EXPECT_FALSE(ParseRequestLine("repair x 0 0 1 1.0 2.0", 2).ok());      // bad session
+  EXPECT_FALSE(ParseRequestLine("repair -1 0 0 1 1.0 2.0", 2).ok());     // negative session
+  EXPECT_FALSE(ParseRequestLine("repair 0 -3 0 1 1.0 2.0", 2).ok());     // negative row
+  EXPECT_FALSE(ParseRequestLine("unknown-verb 1 2 3", 2).ok());
+}
+
+TEST(ProtocolTest, ParsesControlVerbs) {
+  EXPECT_EQ(ParseRequestLine("metrics", 2)->kind, RequestKind::kMetrics);
+  EXPECT_EQ(ParseRequestLine("health", 2)->kind, RequestKind::kHealth);
+  EXPECT_EQ(ParseRequestLine("quit", 2)->kind, RequestKind::kQuit);
+  auto reload = ParseRequestLine("reload /tmp/plan.bin", 2);
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->kind, RequestKind::kReload);
+  EXPECT_EQ(reload->plan_path, "/tmp/plan.bin");
+  EXPECT_FALSE(ParseRequestLine("reload", 2).ok());
+  EXPECT_FALSE(ParseRequestLine("reload a b", 2).ok());
+}
+
+TEST(ProtocolTest, FormatsOkResponseWithRoundTripPrecision) {
+  RowResponse response;
+  response.session_id = 4;
+  response.row_index = 9;
+  response.repaired = {0.1, -2.0};
+  const std::string line = FormatRowResponse(response);
+  EXPECT_EQ(line.substr(0, 7), "ok 4 9 ");
+  // %.17g survives a strtod round trip bit-exactly.
+  double parsed = 0.0;
+  ASSERT_EQ(std::sscanf(line.c_str(), "ok 4 9 %lf", &parsed), 1);
+  EXPECT_EQ(parsed, 0.1);
+}
+
+TEST(ProtocolTest, FormatsErrorResponses) {
+  RowResponse response;
+  response.session_id = 2;
+  response.row_index = 5;
+  response.status = common::Status::InvalidArgument("bad row");
+  EXPECT_EQ(FormatRowResponse(response), "err 2 5 INVALID_ARGUMENT bad row");
+  EXPECT_EQ(FormatErrorLine(common::Status::Unavailable("full")),
+            "err - - UNAVAILABLE full");
+}
+
+}  // namespace
+}  // namespace otfair::serve

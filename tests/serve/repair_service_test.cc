@@ -1,0 +1,311 @@
+// Serving-layer contract tests. The load-bearing ones:
+//
+//  - N concurrent sessions replaying a shuffled archive through the
+//    batcher produce output bit-identical to OffSampleRepairer batch
+//    repair per session, at any thread count, and across mid-stream
+//    ReloadPlan() calls with an identical plan (the hot-swap acceptance
+//    criterion).
+//  - ReloadPlan under continuous traffic never drops or corrupts a
+//    request.
+
+#include "serve/repair_service.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/designer.h"
+#include "core/repairer.h"
+#include "serve/batcher.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::serve {
+namespace {
+
+struct Fixture {
+  data::Dataset research;
+  data::Dataset archive;
+  core::RepairPlanSet plans;
+};
+
+Fixture MakeFixture(uint64_t seed, size_t archive_rows = 1500) {
+  Fixture fx;
+  common::Rng rng(seed);
+  auto research =
+      sim::SimulateGaussianMixture(800, sim::GaussianSimConfig::PaperDefault(), rng);
+  auto archive = sim::SimulateGaussianMixture(
+      archive_rows, sim::GaussianSimConfig::PaperDefault(), rng);
+  EXPECT_TRUE(research.ok() && archive.ok());
+  fx.research = std::move(*research);
+  fx.archive = std::move(*archive);
+  auto plans = core::DesignDistributionalRepair(fx.research, {});
+  EXPECT_TRUE(plans.ok());
+  fx.plans = std::move(*plans);
+  return fx;
+}
+
+RowRequest ArchiveRequest(const data::Dataset& archive, uint64_t session, size_t row) {
+  RowRequest request;
+  request.session_id = session;
+  request.row_index = row;
+  request.u = archive.u(row);
+  request.s = archive.s(row);
+  request.features = archive.Row(row);
+  return request;
+}
+
+/// The offline ground truth for one session: OffSampleRepairer batch
+/// repair of the whole archive under the session's seed.
+data::Dataset OfflineRepair(const Fixture& fx, const RepairService& service,
+                            uint64_t session) {
+  core::RepairOptions options;
+  options.seed = service.SessionSeed(session);
+  options.threads = 1;
+  auto repairer = core::OffSampleRepairer::Create(fx.plans, options);
+  EXPECT_TRUE(repairer.ok());
+  auto repaired = repairer->RepairDataset(fx.archive);
+  EXPECT_TRUE(repaired.ok());
+  return std::move(*repaired);
+}
+
+TEST(RepairServiceTest, SingleRowsMatchOfflineBatchBitForBit) {
+  Fixture fx = MakeFixture(1);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  const data::Dataset offline = OfflineRepair(fx, **service, 0);
+  RowResponse response;
+  for (size_t i = 0; i < fx.archive.size(); ++i) {
+    ASSERT_TRUE((*service)->RepairRow(ArchiveRequest(fx.archive, 0, i), &response).ok());
+    for (size_t k = 0; k < fx.archive.dim(); ++k)
+      ASSERT_EQ(response.repaired[k], offline.feature(i, k)) << "row " << i << " k " << k;
+  }
+}
+
+TEST(RepairServiceTest, SessionSeedContract) {
+  Fixture fx = MakeFixture(2);
+  ServiceOptions options;
+  options.seed = 1234;
+  auto service = RepairService::Create(fx.plans, options);
+  ASSERT_TRUE(service.ok());
+  // Session 0 is literally the offline batch seed; other sessions get
+  // decorrelated sub-seeds, stable across calls.
+  EXPECT_EQ((*service)->SessionSeed(0), 1234u);
+  EXPECT_NE((*service)->SessionSeed(1), 1234u);
+  EXPECT_EQ((*service)->SessionSeed(7), (*service)->SessionSeed(7));
+  EXPECT_NE((*service)->SessionSeed(1), (*service)->SessionSeed(2));
+}
+
+TEST(RepairServiceTest, RepairBatchMatchesSingleRows) {
+  Fixture fx = MakeFixture(3);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  std::vector<RowRequest> requests;
+  for (size_t i = 0; i < 200; ++i) requests.push_back(ArchiveRequest(fx.archive, 5, i));
+  std::vector<RowResponse> batch;
+  (*service)->RepairBatch(requests.data(), requests.size(), &batch);
+  RowResponse single;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batch[i].status.ok());
+    ASSERT_TRUE((*service)->RepairRow(requests[i], &single).ok());
+    EXPECT_EQ(batch[i].repaired, single.repaired) << "row " << i;
+  }
+}
+
+/// The full determinism gauntlet: kSessions threads replay the archive in
+/// per-session shuffled orders through a shared Batcher while the main
+/// thread hot-swaps an identical plan several times mid-stream. Every
+/// session's collected output must equal its offline batch repair
+/// bit-for-bit, for every service thread count.
+void RunConcurrentReplay(int service_threads, bool reload_mid_stream) {
+  Fixture fx = MakeFixture(4);
+  ServiceOptions service_options;
+  service_options.threads = service_threads;
+  auto service = RepairService::Create(fx.plans, service_options);
+  ASSERT_TRUE(service.ok());
+  constexpr uint64_t kSessions = 4;
+  const size_t rows = fx.archive.size();
+  const size_t dim = fx.archive.dim();
+
+  // Responses land here keyed by (session, row); the sink is concurrent.
+  std::vector<std::vector<double>> collected(kSessions * rows);
+  std::vector<std::atomic<int>> delivered(kSessions * rows);
+  std::atomic<uint64_t> failures{0};
+  BatcherOptions batcher_options;
+  batcher_options.max_batch = 64;
+  batcher_options.max_queue_depth = 256;
+  batcher_options.background_flush = true;
+  batcher_options.max_wait_us = 200;
+  Batcher batcher(service->get(), batcher_options,
+                  [&](const RowResponse& response) {
+                    if (!response.status.ok()) {
+                      failures.fetch_add(1);
+                      return;
+                    }
+                    const size_t slot =
+                        response.session_id * rows + response.row_index;
+                    collected[slot] = response.repaired;
+                    delivered[slot].fetch_add(1);
+                  });
+
+  std::atomic<bool> done{false};
+  std::thread reloader;
+  if (reload_mid_stream) {
+    reloader = std::thread([&] {
+      // Same plan, new snapshot: output must not change, nothing may drop.
+      while (!done.load()) {
+        EXPECT_TRUE((*service)->ReloadPlan(fx.plans).ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  std::vector<std::thread> sessions;
+  for (uint64_t session = 0; session < kSessions; ++session) {
+    sessions.emplace_back([&, session] {
+      // Each session replays in its own shuffled order: determinism must
+      // not depend on submission order.
+      common::Rng order_rng(900 + session);
+      const std::vector<size_t> order = order_rng.Permutation(rows);
+      for (const size_t row : order) {
+        RowRequest request = ArchiveRequest(fx.archive, session, row);
+        while (true) {
+          if (batcher.Submit(std::move(request)).ok()) break;
+          batcher.Flush();  // backpressure: help drain, retry
+        }
+      }
+    });
+  }
+  for (auto& t : sessions) t.join();
+  batcher.Close();
+  done.store(true);
+  if (reloader.joinable()) reloader.join();
+
+  ASSERT_EQ(failures.load(), 0u);
+  for (uint64_t session = 0; session < kSessions; ++session) {
+    const data::Dataset offline = OfflineRepair(fx, **service, session);
+    for (size_t i = 0; i < rows; ++i) {
+      const size_t slot = session * rows + i;
+      ASSERT_EQ(delivered[slot].load(), 1)
+          << "session " << session << " row " << i << " delivered "
+          << delivered[slot].load() << " times";
+      for (size_t k = 0; k < dim; ++k)
+        ASSERT_EQ(collected[slot][k], offline.feature(i, k))
+            << "session " << session << " row " << i << " k " << k;
+    }
+  }
+  if (reload_mid_stream) {
+    EXPECT_GT((*service)->plan_version(), 1u);
+  }
+}
+
+TEST(RepairServiceTest, ConcurrentShuffledSessionsMatchOfflineSerial) {
+  RunConcurrentReplay(/*service_threads=*/1, /*reload_mid_stream=*/false);
+}
+
+TEST(RepairServiceTest, ConcurrentShuffledSessionsMatchOfflineParallel) {
+  RunConcurrentReplay(/*service_threads=*/4, /*reload_mid_stream=*/false);
+}
+
+TEST(RepairServiceTest, HotSwapUnderTrafficDropsAndCorruptsNothing) {
+  RunConcurrentReplay(/*service_threads=*/2, /*reload_mid_stream=*/true);
+}
+
+TEST(RepairServiceTest, ReloadRejectsMismatchedDim) {
+  Fixture fx = MakeFixture(5);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  common::Rng rng(6);
+  sim::GaussianSimConfig wide = sim::GaussianSimConfig::PaperDefault();
+  wide.dim = 3;
+  for (int u = 0; u <= 1; ++u)
+    for (int s = 0; s <= 1; ++s) wide.mean[u][s].resize(3, 0.0);
+  auto research = sim::SimulateGaussianMixture(600, wide, rng);
+  ASSERT_TRUE(research.ok());
+  auto other_plans = core::DesignDistributionalRepair(*research, {});
+  ASSERT_TRUE(other_plans.ok());
+  EXPECT_FALSE((*service)->ReloadPlan(std::move(*other_plans)).ok());
+  EXPECT_EQ((*service)->plan_version(), 1u);  // failed reload does not swap
+}
+
+TEST(RepairServiceTest, ReloadBumpsVersionAndResetsDrift) {
+  Fixture fx = MakeFixture(7);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  RowResponse response;
+  for (size_t i = 0; i < 50; ++i)
+    ASSERT_TRUE((*service)->RepairRow(ArchiveRequest(fx.archive, 0, i), &response).ok());
+  EXPECT_GT((*service)->Health().values_observed, 0u);
+  ASSERT_TRUE((*service)->ReloadPlan(fx.plans).ok());
+  EXPECT_EQ((*service)->plan_version(), 2u);
+  EXPECT_EQ((*service)->metrics().Snapshot().reloads, 1u);
+  // Drift restarts against the freshly installed design.
+  EXPECT_EQ((*service)->Health().values_observed, 0u);
+}
+
+TEST(RepairServiceTest, DriftHealthFlagsShiftedTraffic) {
+  Fixture fx = MakeFixture(8, /*archive_rows=*/3000);
+  ServiceOptions options;
+  options.drift_shards = 3;
+  auto service = RepairService::Create(fx.plans, options);
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE((*service)->Health().drifted);
+  // Stream a shifted mixture: every channel moves by 2 sigma.
+  common::Rng rng(9);
+  std::vector<RowRequest> requests;
+  for (size_t i = 0; i < 3000; ++i) {
+    RowRequest request = ArchiveRequest(fx.archive, 0, i);
+    for (double& x : request.features) x += 2.0;
+    requests.push_back(std::move(request));
+  }
+  std::vector<RowResponse> responses;
+  (*service)->RepairBatch(requests.data(), requests.size(), &responses);
+  const ServiceHealth health = (*service)->Health();
+  EXPECT_TRUE(health.drifted);
+  EXPECT_GT(health.worst_w1, 0.1);
+  EXPECT_EQ(health.values_observed, 3000u * fx.archive.dim());
+  const core::DriftReport report = (*service)->DriftSnapshot();
+  EXPECT_TRUE(report.drifted);
+  // JSON surfaces the verdict for the health endpoint.
+  EXPECT_NE(health.ToJson().find("\"drifted\":true"), std::string::npos);
+}
+
+TEST(RepairServiceTest, InvalidRowsReportPerRowStatus) {
+  Fixture fx = MakeFixture(10);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  RowRequest bad_dim = ArchiveRequest(fx.archive, 0, 0);
+  bad_dim.features.pop_back();
+  RowRequest bad_label = ArchiveRequest(fx.archive, 0, 1);
+  bad_label.u = 2;
+  RowRequest good = ArchiveRequest(fx.archive, 0, 2);
+  std::vector<RowRequest> requests;
+  requests.push_back(std::move(bad_dim));
+  requests.push_back(std::move(bad_label));
+  requests.push_back(std::move(good));
+  std::vector<RowResponse> responses;
+  (*service)->RepairBatch(requests.data(), requests.size(), &responses);
+  EXPECT_EQ(responses[0].status.code(), common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(responses[1].status.code(), common::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(responses[2].status.ok());
+  const MetricsSnapshot metrics = (*service)->metrics().Snapshot();
+  EXPECT_EQ(metrics.rows_invalid, 2u);
+  EXPECT_EQ(metrics.rows_repaired, 1u);
+  // Invalid rows must not pollute the drift accumulator.
+  EXPECT_EQ((*service)->Health().values_observed, fx.archive.dim());
+}
+
+TEST(RepairServiceTest, RejectsBadOptions) {
+  Fixture fx = MakeFixture(11);
+  ServiceOptions options;
+  options.drift_shards = 0;
+  EXPECT_FALSE(RepairService::Create(fx.plans, options).ok());
+}
+
+}  // namespace
+}  // namespace otfair::serve

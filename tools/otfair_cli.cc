@@ -1,30 +1,36 @@
 // otfair — command-line front end for the repair pipeline.
 //
 // Subcommands:
-//   design   fit a repair plan on a labelled research CSV and save it
-//   repair   apply a saved plan to an archive CSV (hard, estimated or
-//            Monge-map modes)
-//   inspect  print a plan artifact's structure and a CSV's fairness report
-//   drift    compare an archive CSV against a plan's design distribution
+//   design    fit a repair plan on a labelled research CSV and save it
+//   repair    apply a saved plan to an archive CSV (hard, estimated or
+//             Monge-map modes)
+//   serve     long-lived serving loop: micro-batched repairs over a
+//             newline protocol on stdin/stdout, plan hot-swap, drift
+//             health (plus a --replay self-driving load mode)
+//   inspect   print a plan artifact's structure and a CSV's fairness
+//             report (--json for machine-readable output)
+//   drift     compare an archive CSV against a plan's design
+//             distribution (--json for machine-readable output)
+//   simulate  draw a synthetic labelled dataset (the paper's Gaussian
+//             mixture) — fixtures for scripts, smoke tests and demos
 //
-// Examples:
-//   otfair design  --research=research.csv --plan=plan.bin --n_q=50
-//   otfair design  --research=research.csv --plan=plan.bin --solver=sinkhorn
-//                  --epsilon=0.05
-//   otfair repair  --plan=plan.bin --input=archive.csv --output=repaired.csv
-//   otfair repair  --plan=plan.bin --input=archive.csv --output=o.csv
-//                  --mode=quantile --estimate_labels --research=research.csv
-//   otfair inspect --plan=plan.bin
-//   otfair inspect --data=archive.csv
-//   otfair drift   --plan=plan.bin --input=archive.csv
+// `otfair <command> --help` prints the command's flags. Unknown commands
+// and missing required flags exit 2; operational failures exit 1; drift
+// detection exits 3.
 //
 // CSV layout: header `s,u[,y],<feature names...>`, binary labels.
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/json_writer.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 #include "core/designer.h"
 #include "core/drift_monitor.h"
 #include "core/label_estimator.h"
@@ -34,10 +40,15 @@
 #include "data/csv.h"
 #include "fairness/report.h"
 #include "ot/solver.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "serve/repair_service.h"
+#include "sim/gaussian_mixture.h"
 
 namespace {
 
 using otfair::common::FlagParser;
+using otfair::common::JsonWriter;
 using otfair::common::Status;
 
 int Fail(const Status& status) {
@@ -59,31 +70,130 @@ otfair::common::Result<int> ResolveThreadsFlag(const FlagParser& flags) {
   return threads;
 }
 
-int Usage() {
+std::string SolverNames() {
   std::string solvers;
   for (const std::string& name : otfair::ot::SolverRegistry::Global().Names()) {
     if (!solvers.empty()) solvers += "|";
     solvers += name;
   }
-  std::fprintf(stderr,
-               "usage: otfair <design|repair|inspect|drift> [flags]\n"
-               "  design  --research=R.csv --plan=P.bin [--n_q=50] [--target_t=0.5]\n"
-               "          [--solver=%s] [--epsilon=0.05] [--threads=N]\n",
-               solvers.c_str());
-  std::fprintf(stderr,
-               "  repair  --plan=P.bin --input=A.csv --output=O.csv\n"
-               "          [--mode=stochastic|mean|quantile] [--strength=1.0] [--seed=N]\n"
-               "          [--estimate_labels --research=R.csv]\n"
-               "          [--threads=N  (stochastic/mean modes; quantile is serial)]\n"
-               "  inspect --plan=P.bin | --data=D.csv\n"
-               "  drift   --plan=P.bin --input=A.csv\n");
+  return solvers;
+}
+
+// --- per-command usage blocks ----------------------------------------------
+
+void PrintDesignUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair design --research=R.csv --plan=P.bin [flags]\n"
+               "  Fits Algorithm 1 repair plans on a labelled research CSV.\n"
+               "    --research=R.csv   labelled research data (required)\n"
+               "    --plan=P.bin       output plan artifact (required)\n"
+               "    --n_q=50           support grid resolution\n"
+               "    --target_t=0.5     barycentre position t in [0, 1]\n"
+               "    --solver=%s   OT backend\n"
+               "    --epsilon=0.05     Sinkhorn regularization\n"
+               "    --threads=N        worker threads\n",
+               SolverNames().c_str());
+}
+
+void PrintRepairUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair repair --plan=P.bin --input=A.csv --output=O.csv [flags]\n"
+               "  Applies a saved plan to an archive CSV (Algorithm 2).\n"
+               "    --mode=stochastic|mean|quantile   transport mode\n"
+               "    --strength=1.0     partial-repair strength in [0, 1]\n"
+               "    --seed=N           RNG seed (stochastic mode)\n"
+               "    --estimate_labels  estimate archive s-labels (needs --research)\n"
+               "    --research=R.csv   research data for label estimation\n"
+               "    --threads=N        worker threads (stochastic/mean; quantile is serial)\n");
+}
+
+void PrintServeUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair serve --plan=P.bin [flags]\n"
+               "  Long-lived repair server. Default mode speaks a newline protocol on\n"
+               "  stdin/stdout:\n"
+               "    repair <session> <row> <u> <s> <x_1..x_d>   -> ok <session> <row> <y...>\n"
+               "    metrics | health                            -> one-line JSON\n"
+               "    reload <plan_path>                          -> ok reload <version>\n"
+               "    quit\n"
+               "  Flags:\n"
+               "    --seed=N           base repair seed (session 0 = offline batch seed)\n"
+               "    --mode=stochastic|mean\n"
+               "    --strength=1.0     partial-repair strength\n"
+               "    --threads=N        repair lanes per batch\n"
+               "    --max_batch=256    rows coalesced per micro-batch\n"
+               "    --max_wait_us=1000 partial-batch flush deadline\n"
+               "    --queue_depth=4096 pending-row bound (backpressure above)\n"
+               "    --drift_shards=8   drift accumulator shards\n"
+               "    --w1_threshold=0.10 --oor_threshold=0.05  drift thresholds\n"
+               "  Replay mode (self-driving load, no sockets):\n"
+               "    --replay=A.csv     archive to replay\n"
+               "    --sessions=N       concurrent replay sessions\n"
+               "  Replay prints metrics and health JSON lines, then exits 0 when\n"
+               "  healthy, 3 on drift, 1 on any dropped/failed row.\n");
+}
+
+void PrintInspectUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair inspect --plan=P.bin | --data=D.csv [--json]\n"
+               "  Prints a plan artifact's structure or a CSV's fairness report.\n"
+               "    --json   one-line machine-readable JSON on stdout\n");
+}
+
+void PrintDriftUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair drift --plan=P.bin --input=A.csv [--json]\n"
+               "  Compares an archive against the plan's design distribution.\n"
+               "  Exits 0 when stationary, 3 when drift is detected.\n"
+               "    --json   one-line machine-readable JSON on stdout\n");
+}
+
+void PrintSimulateUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair simulate --out=D.csv --rows=N [flags]\n"
+               "  Draws a labelled dataset from the paper's Gaussian mixture.\n"
+               "    --seed=1     RNG seed\n"
+               "    --dim=2      feature count (2 = the paper's config)\n"
+               "    --shift=0.0  added to every component mean (creates drift)\n");
+}
+
+/// The top-level usage block; `out` distinguishes requested help (stdout,
+/// exit 0) from invocation errors (stderr, exit 2).
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair <command> [flags]\n"
+               "commands:\n"
+               "  design    fit repair plans on a research CSV -> plan artifact\n"
+               "  repair    apply a plan artifact to an archive CSV\n"
+               "  serve     long-lived repair server (stdin/stdout protocol, --replay)\n"
+               "  inspect   show a plan artifact or a CSV fairness report\n"
+               "  drift     check an archive against the design distribution\n"
+               "  simulate  generate a synthetic labelled CSV\n"
+               "run `otfair <command> --help` for the command's flags\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
+/// True when the command asked for its own help; prints it to stdout.
+bool WantsHelp(const FlagParser& flags, void (*print)(std::FILE*)) {
+  if (!flags.GetBool("help", false)) return false;
+  print(stdout);
+  return true;
+}
+
+// --- design ----------------------------------------------------------------
+
 int RunDesign(const FlagParser& flags) {
+  if (WantsHelp(flags, PrintDesignUsage)) return 0;
   const std::string research_path = flags.GetString("research", "");
   const std::string plan_path = flags.GetString("plan", "");
-  if (research_path.empty() || plan_path.empty()) return Usage();
+  if (research_path.empty() || plan_path.empty()) {
+    PrintDesignUsage(stderr);
+    return 2;
+  }
   auto research = otfair::data::ReadCsv(research_path);
   if (!research.ok()) return Fail(research.status());
 
@@ -119,11 +229,17 @@ int RunDesign(const FlagParser& flags) {
   return 0;
 }
 
+// --- repair ----------------------------------------------------------------
+
 int RunRepair(const FlagParser& flags) {
+  if (WantsHelp(flags, PrintRepairUsage)) return 0;
   const std::string plan_path = flags.GetString("plan", "");
   const std::string input_path = flags.GetString("input", "");
   const std::string output_path = flags.GetString("output", "");
-  if (plan_path.empty() || input_path.empty() || output_path.empty()) return Usage();
+  if (plan_path.empty() || input_path.empty() || output_path.empty()) {
+    PrintRepairUsage(stderr);
+    return 2;
+  }
   auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
   if (!plans.ok()) return Fail(plans.status());
   auto archive = otfair::data::ReadCsv(input_path);
@@ -181,12 +297,254 @@ int RunRepair(const FlagParser& flags) {
   return 0;
 }
 
+// --- serve -----------------------------------------------------------------
+
+/// Builds the service + batcher options shared by both serve modes.
+otfair::common::Result<otfair::serve::ServiceOptions> ServeServiceOptions(
+    const FlagParser& flags) {
+  otfair::serve::ServiceOptions options;
+  options.seed = flags.GetUint64("seed", 0x07fa12u);
+  options.strength = flags.GetDouble("strength", 1.0);
+  const std::string mode = flags.GetString("mode", "stochastic");
+  if (mode == "mean") {
+    options.mode = otfair::core::TransportMode::kConditionalMean;
+  } else if (mode == "stochastic") {
+    options.mode = otfair::core::TransportMode::kStochastic;
+  } else {
+    return Status::InvalidArgument("serve supports --mode=stochastic|mean (got " + mode + ")");
+  }
+  auto threads = ResolveThreadsFlag(flags);
+  if (!threads.ok()) return threads.status();
+  options.threads = *threads;
+  const int shards = flags.GetInt("drift_shards", 8);
+  if (shards < 1) return Status::InvalidArgument("--drift_shards must be >= 1");
+  options.drift_shards = static_cast<size_t>(shards);
+  options.drift.w1_threshold = flags.GetDouble("w1_threshold", options.drift.w1_threshold);
+  options.drift.out_of_range_threshold =
+      flags.GetDouble("oor_threshold", options.drift.out_of_range_threshold);
+  return options;
+}
+
+otfair::common::Result<otfair::serve::BatcherOptions> ServeBatcherOptions(
+    const FlagParser& flags, bool background_flush) {
+  otfair::serve::BatcherOptions options;
+  const int max_batch = flags.GetInt("max_batch", 256);
+  const int queue_depth = flags.GetInt("queue_depth", 4096);
+  const int max_wait_us = flags.GetInt("max_wait_us", 1000);
+  if (max_batch < 1 || queue_depth < 1 || max_wait_us < 0)
+    return Status::InvalidArgument(
+        "--max_batch/--queue_depth must be >= 1 and --max_wait_us >= 0");
+  options.max_batch = static_cast<size_t>(max_batch);
+  options.max_queue_depth = static_cast<size_t>(queue_depth);
+  options.max_wait_us = max_wait_us;
+  options.background_flush = background_flush;
+  return options;
+}
+
+/// Self-driving load mode: N concurrent sessions replay an archive CSV
+/// through the batcher, then metrics/health are printed as JSON lines.
+/// This is how serving throughput is measured in CI without sockets.
+int RunServeReplay(otfair::serve::RepairService& service,
+                   const otfair::serve::BatcherOptions& batcher_options,
+                   const otfair::data::Dataset& archive, size_t sessions) {
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> failures{0};
+  otfair::serve::Batcher batcher(
+      &service, batcher_options,
+      [&](const otfair::serve::RowResponse& response) {
+        responses.fetch_add(1, std::memory_order_relaxed);
+        if (!response.status.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  const size_t dim = archive.dim();
+  otfair::common::Timer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(sessions);
+  for (size_t session = 0; session < sessions; ++session) {
+    workers.emplace_back([&, session] {
+      for (size_t i = 0; i < archive.size(); ++i) {
+        otfair::serve::RowRequest request;
+        request.session_id = session;
+        request.row_index = i;
+        request.u = archive.u(i);
+        request.s = archive.s(i);
+        const double* row = archive.features().row(i);
+        request.features.assign(row, row + dim);
+        // Backpressure: on a full queue the submitter drains a batch
+        // itself and retries — replay never drops a row.
+        while (true) {
+          Status status = batcher.Submit(std::move(request));
+          if (status.ok()) break;
+          batcher.Flush();
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  batcher.Flush();
+  batcher.Close();
+  const double seconds = timer.ElapsedSeconds();
+
+  const uint64_t expected = static_cast<uint64_t>(sessions) * archive.size();
+  const auto metrics = service.metrics().Snapshot(batcher.queue_depth());
+  const auto health = service.Health();
+  std::printf("%s\n%s\n", metrics.ToJson().c_str(), health.ToJson().c_str());
+  std::fprintf(stderr,
+               "replayed %llu rows over %zu sessions in %.2fs (%.0f rows/s)  "
+               "p50=%.0fus p99=%.0fus  %s\n",
+               static_cast<unsigned long long>(responses.load()), sessions, seconds,
+               seconds > 0 ? static_cast<double>(responses.load()) / seconds : 0.0,
+               metrics.latency_p50_us, metrics.latency_p99_us,
+               health.drifted ? "DRIFT DETECTED" : "healthy");
+  if (responses.load() != expected || failures.load() > 0) {
+    std::fprintf(stderr, "error: %llu/%llu responses, %llu failures\n",
+                 static_cast<unsigned long long>(responses.load()),
+                 static_cast<unsigned long long>(expected),
+                 static_cast<unsigned long long>(failures.load()));
+    return 1;
+  }
+  return health.drifted ? 3 : 0;
+}
+
+/// Interactive mode: the newline protocol on stdin/stdout.
+int RunServeStdio(otfair::serve::RepairService& service,
+                  const otfair::serve::BatcherOptions& batcher_options) {
+  std::mutex out_mu;
+  otfair::serve::Batcher batcher(
+      &service, batcher_options, [&](const otfair::serve::RowResponse& response) {
+        std::lock_guard<std::mutex> lock(out_mu);
+        std::fputs(otfair::serve::FormatRowResponse(response).c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      });
+  auto respond = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+
+  char* line_buf = nullptr;
+  size_t line_cap = 0;
+  ssize_t line_len;
+  while ((line_len = ::getline(&line_buf, &line_cap, stdin)) >= 0) {
+    std::string line(line_buf, static_cast<size_t>(line_len));
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+    if (line.empty()) continue;
+    auto request = otfair::serve::ParseRequestLine(line, service.dim());
+    if (!request.ok()) {
+      respond(otfair::serve::FormatErrorLine(request.status()));
+      continue;
+    }
+    using otfair::serve::RequestKind;
+    if (request->kind == RequestKind::kQuit) break;
+    switch (request->kind) {
+      case RequestKind::kRepair: {
+        const uint64_t session = request->row.session_id;
+        const uint64_t row = request->row.row_index;
+        if (Status status = batcher.Submit(std::move(request->row)); !status.ok())
+          respond(otfair::serve::FormatErrorLine(session, row, status));
+        break;
+      }
+      case RequestKind::kMetrics:
+        respond(service.metrics().Snapshot(batcher.queue_depth()).ToJson());
+        break;
+      case RequestKind::kHealth:
+        respond(service.Health().ToJson());
+        break;
+      case RequestKind::kReload: {
+        if (Status status = service.ReloadPlanFromFile(request->plan_path); !status.ok()) {
+          respond(otfair::serve::FormatErrorLine(status));
+        } else {
+          respond("ok reload " + std::to_string(service.plan_version()));
+        }
+        break;
+      }
+      case RequestKind::kQuit:
+        break;
+    }
+  }
+  std::free(line_buf);
+  batcher.Close();
+  return 0;
+}
+
+int RunServe(const FlagParser& flags) {
+  if (WantsHelp(flags, PrintServeUsage)) return 0;
+  const std::string plan_path = flags.GetString("plan", "");
+  if (plan_path.empty()) {
+    PrintServeUsage(stderr);
+    return 2;
+  }
+  auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
+  if (!plans.ok()) return Fail(plans.status());
+  auto service_options = ServeServiceOptions(flags);
+  if (!service_options.ok()) return Fail(service_options.status());
+  auto service = otfair::serve::RepairService::Create(std::move(*plans), *service_options);
+  if (!service.ok()) return Fail(service.status());
+
+  const std::string replay_path = flags.GetString("replay", "");
+  if (!replay_path.empty()) {
+    auto archive = otfair::data::ReadCsv(replay_path);
+    if (!archive.ok()) return Fail(archive.status());
+    if (archive->dim() != (*service)->dim())
+      return Fail(Status::InvalidArgument("replay archive/plan dimensionality mismatch"));
+    const int sessions = flags.GetInt("sessions", 1);
+    if (sessions < 1) return Fail(Status::InvalidArgument("--sessions must be >= 1"));
+    // Replay drives traffic flat-out and flushes explicitly; a flusher
+    // thread would only add wakeups.
+    auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/false);
+    if (!batcher_options.ok()) return Fail(batcher_options.status());
+    return RunServeReplay(**service, *batcher_options, *archive,
+                          static_cast<size_t>(sessions));
+  }
+  auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/true);
+  if (!batcher_options.ok()) return Fail(batcher_options.status());
+  return RunServeStdio(**service, *batcher_options);
+}
+
+// --- inspect ---------------------------------------------------------------
+
 int RunInspect(const FlagParser& flags) {
+  if (WantsHelp(flags, PrintInspectUsage)) return 0;
   const std::string plan_path = flags.GetString("plan", "");
   const std::string data_path = flags.GetString("data", "");
+  const bool json = flags.GetBool("json", false);
   if (!plan_path.empty()) {
     auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
     if (!plans.ok()) return Fail(plans.status());
+    if (json) {
+      JsonWriter w;
+      w.BeginObject()
+          .Key("kind").String("plan")
+          .Key("path").String(plan_path)
+          .Key("dim").Uint(plans->dim())
+          .Key("target_t").Double(plans->target_t())
+          .Key("features").BeginArray();
+      for (const std::string& name : plans->feature_names()) w.String(name);
+      w.EndArray().Key("channels").BeginArray();
+      for (int u = 0; u <= 1; ++u) {
+        for (size_t k = 0; k < plans->dim(); ++k) {
+          const auto& channel = plans->At(u, k);
+          const size_t nq = channel.grid.size();
+          w.BeginObject()
+              .Key("u").Int(u)
+              .Key("k").Uint(k)
+              .Key("feature").String(plans->feature_names()[k])
+              .Key("n_q").Uint(nq)
+              .Key("lo").Double(channel.grid.lo())
+              .Key("hi").Double(channel.grid.hi())
+              .Key("nnz").Uint(channel.plan[0].nnz() + channel.plan[1].nnz())
+              .Key("csr_bytes").Uint(channel.plan[0].MemoryBytes() +
+                                     channel.plan[1].MemoryBytes())
+              .Key("dense_bytes").Uint(2 * nq * nq * sizeof(double))
+              .EndObject();
+        }
+      }
+      w.EndArray().EndObject();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
     std::printf("plan artifact %s\n  features (%zu):", plan_path.c_str(), plans->dim());
     for (const std::string& name : plans->feature_names()) std::printf(" %s", name.c_str());
     std::printf("\n  barycentre position t = %.3f\n", plans->target_t());
@@ -211,16 +569,42 @@ int RunInspect(const FlagParser& flags) {
     if (!dataset.ok()) return Fail(dataset.status());
     auto report = otfair::fairness::MakeFairnessReport(*dataset);
     if (!report.ok()) return Fail(report.status());
+    if (json) {
+      JsonWriter w;
+      w.BeginObject()
+          .Key("kind").String("data")
+          .Key("path").String(data_path)
+          .Key("rows").Uint(report->rows)
+          .Key("features").BeginArray();
+      for (const std::string& name : report->feature_names) w.String(name);
+      w.EndArray().Key("e_per_feature").BeginArray();
+      for (const double e : report->e_per_feature) w.Double(e);
+      w.EndArray()
+          .Key("e_aggregate").Double(report->e_aggregate)
+          .Key("pr_u1").Double(report->pr_u1)
+          .Key("pr_s1_given_u0").Double(report->pr_s1_given_u0)
+          .Key("pr_s1_given_u1").Double(report->pr_s1_given_u1)
+          .EndObject();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
     std::printf("%s\n%s", data_path.c_str(), report->ToString().c_str());
     return 0;
   }
-  return Usage();
+  PrintInspectUsage(stderr);
+  return 2;
 }
 
+// --- drift -----------------------------------------------------------------
+
 int RunDrift(const FlagParser& flags) {
+  if (WantsHelp(flags, PrintDriftUsage)) return 0;
   const std::string plan_path = flags.GetString("plan", "");
   const std::string input_path = flags.GetString("input", "");
-  if (plan_path.empty() || input_path.empty()) return Usage();
+  if (plan_path.empty() || input_path.empty()) {
+    PrintDriftUsage(stderr);
+    return 2;
+  }
   auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
   if (!plans.ok()) return Fail(plans.status());
   auto archive = otfair::data::ReadCsv(input_path);
@@ -234,8 +618,65 @@ int RunDrift(const FlagParser& flags) {
       monitor->Observe(archive->u(i), archive->s(i), k, archive->feature(i, k));
   }
   const otfair::core::DriftReport report = monitor->Report();
-  std::printf("%s", report.ToString().c_str());
+  if (flags.GetBool("json", false)) {
+    JsonWriter w;
+    w.BeginObject()
+        .Key("drifted").Bool(report.drifted)
+        .Key("worst_w1").Double(report.worst_w1)
+        .Key("worst_out_of_range").Double(report.worst_out_of_range)
+        .Key("channels").BeginArray();
+    for (const auto& c : report.channels) {
+      w.BeginObject()
+          .Key("u").Int(c.u)
+          .Key("s").Int(c.s)
+          .Key("k").Uint(c.k)
+          .Key("count").Uint(c.count)
+          .Key("w1").Double(c.w1_normalized)
+          .Key("out_of_range_rate").Double(c.out_of_range_rate)
+          .EndObject();
+    }
+    w.EndArray().EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%s", report.ToString().c_str());
+  }
   return report.drifted ? 3 : 0;  // non-zero exit signals drift to scripts
+}
+
+// --- simulate --------------------------------------------------------------
+
+int RunSimulate(const FlagParser& flags) {
+  if (WantsHelp(flags, PrintSimulateUsage)) return 0;
+  const std::string out_path = flags.GetString("out", "");
+  const int rows = flags.GetInt("rows", 0);
+  if (out_path.empty() || rows < 1) {
+    PrintSimulateUsage(stderr);
+    return 2;
+  }
+  const int dim = flags.GetInt("dim", 2);
+  if (dim < 1) return Fail(Status::InvalidArgument("--dim must be >= 1"));
+  const double shift = flags.GetDouble("shift", 0.0);
+  otfair::sim::GaussianSimConfig config = otfair::sim::GaussianSimConfig::PaperDefault();
+  if (static_cast<size_t>(dim) != config.dim) {
+    // The paper's +/-1 mean separation replicated across `dim` channels.
+    config.dim = static_cast<size_t>(dim);
+    config.mean[0][0].assign(config.dim, -1.0);
+    config.mean[0][1].assign(config.dim, 0.0);
+    config.mean[1][0].assign(config.dim, 1.0);
+    config.mean[1][1].assign(config.dim, 0.0);
+  }
+  for (int u = 0; u <= 1; ++u)
+    for (int s = 0; s <= 1; ++s)
+      for (double& m : config.mean[u][s]) m += shift;
+  otfair::common::Rng rng(flags.GetUint64("seed", 1));
+  auto dataset =
+      otfair::sim::SimulateGaussianMixture(static_cast<size_t>(rows), config, rng);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (Status status = otfair::data::WriteCsv(*dataset, out_path); !status.ok())
+    return Fail(status);
+  std::printf("simulated %d rows (dim=%d, shift=%.2f) -> %s\n", rows, dim, shift,
+              out_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -243,10 +684,17 @@ int RunDrift(const FlagParser& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintUsage(stdout);
+    return 0;
+  }
   FlagParser flags(argc - 1, argv + 1);
   if (command == "design") return RunDesign(flags);
   if (command == "repair") return RunRepair(flags);
+  if (command == "serve") return RunServe(flags);
   if (command == "inspect") return RunInspect(flags);
   if (command == "drift") return RunDrift(flags);
+  if (command == "simulate") return RunSimulate(flags);
+  std::fprintf(stderr, "otfair: unknown command '%s'\n", command.c_str());
   return Usage();
 }
