@@ -8,6 +8,10 @@
 //                      count (the paper's Algorithm 1: 2*dim channels).
 //   repair_throughput  OffSampleRepairer::RepairDataset rows/sec, per
 //                      thread count (Algorithm 2 batch path).
+//   design_step_s4     the same stages on a 4-level protected attribute
+//   repair_throughput_s4  (|S| = 4): the multi-group K-scaling rows —
+//                      design does |S| solves per channel, repair carries
+//                      |S| x |U| x dim tables.
 //   sinkhorn_standard  single-thread entropic solve, n x n, standard
 //   sinkhorn_log       domain and log domain; ms_per_iter is the
 //                      schedule-independent metric.
@@ -213,6 +217,70 @@ int main(int argc, char** argv) {
       c.rows_per_sec = static_cast<double>(n_archive) / (ms / 1e3);
       cases.push_back(c);
       std::fprintf(stderr, "repair_throughput threads=%d  %10.2f ms  (%.0f rows/s)\n", t, ms,
+                   c.rows_per_sec);
+    }
+  }
+
+  // --- multi-group scaling: |S| = 4 design / repair ------------------------
+  // The K-group pipeline does |S| OT solves per (u, k) channel and |S| x
+  // |U| x dim repair tables, so these rows track the K-scaling cost
+  // against the binary design_step/repair_throughput rows above.
+  {
+    Rng mg_rng(0xbe9d);
+    const otfair::sim::MultiGroupSimConfig mg_config =
+        otfair::sim::MultiGroupSimConfig::Default(4, 2, dim);
+    auto mg_research =
+        otfair::sim::SimulateMultiGroupGaussian(n_research, mg_config, mg_rng);
+    if (!mg_research.ok()) Die(mg_research.status().ToString());
+    auto mg_archive = otfair::sim::SimulateMultiGroupGaussian(n_archive, mg_config, mg_rng);
+    if (!mg_archive.ok()) Die(mg_archive.status().ToString());
+
+    for (int t : thread_counts) {
+      otfair::core::DesignOptions options;
+      options.n_q = design_nq;
+      options.threads = t;
+      const double ms = BestWallMs(repeats, [&] {
+        auto plans = otfair::core::DesignDistributionalRepair(*mg_research, options);
+        if (!plans.ok()) Die(plans.status().ToString());
+      });
+      BenchCase c;
+      c.name = "design_step_s4";
+      c.threads = t;
+      std::snprintf(params, sizeof(params),
+                    "{\"dim\": %zu, \"n_research\": %zu, \"n_q\": %zu, \"s_levels\": 4}", dim,
+                    n_research, design_nq);
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = ms;
+      cases.push_back(c);
+      std::fprintf(stderr, "design_step_s4    threads=%d  %10.2f ms\n", t, ms);
+    }
+
+    otfair::core::DesignOptions design_options;
+    design_options.n_q = design_nq;
+    auto plans = otfair::core::DesignDistributionalRepair(*mg_research, design_options);
+    if (!plans.ok()) Die(plans.status().ToString());
+    for (int t : thread_counts) {
+      otfair::core::RepairOptions options;
+      options.threads = t;
+      auto repairer = otfair::core::OffSampleRepairer::Create(*plans, options);
+      if (!repairer.ok()) Die(repairer.status().ToString());
+      const double ms = BestWallMs(repeats, [&] {
+        auto repaired = repairer->RepairDataset(*mg_archive);
+        if (!repaired.ok()) Die(repaired.status().ToString());
+      });
+      BenchCase c;
+      c.name = "repair_throughput_s4";
+      c.threads = t;
+      std::snprintf(params, sizeof(params),
+                    "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu, \"s_levels\": 4}", dim,
+                    n_archive, design_nq);
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = ms;
+      c.rows_per_sec = static_cast<double>(n_archive) / (ms / 1e3);
+      cases.push_back(c);
+      std::fprintf(stderr, "repair_throughput_s4 threads=%d %9.2f ms  (%.0f rows/s)\n", t, ms,
                    c.rows_per_sec);
     }
   }

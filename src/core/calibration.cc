@@ -40,9 +40,9 @@ Result<ResearchSufficiency> CheckResearchSufficiency(const data::Dataset& resear
   ResearchSufficiency verdict;
   verdict.sufficient = true;
 
-  for (int u = 0; u <= 1; ++u) {
-    for (int s = 0; s <= 1; ++s) {
-      const std::vector<size_t> indices = research.GroupIndices({u, s});
+  for (const data::GroupKey& group : research.Groups()) {
+    {
+      const std::vector<size_t> indices = research.GroupIndices(group);
       for (size_t k = 0; k < research.dim(); ++k) {
         double instability = 1.0;  // pessimistic default: not estimable
         if (indices.size() >= 2 * options.min_group_size) {
@@ -73,8 +73,8 @@ Result<ResearchSufficiency> CheckResearchSufficiency(const data::Dataset& resear
         verdict.instability.push_back(instability);
         if (instability > verdict.worst_instability) {
           verdict.worst_instability = instability;
-          verdict.worst_channel = "u=" + std::to_string(u) + ",s=" + std::to_string(s) +
-                                  ",k=" + std::to_string(k);
+          verdict.worst_channel = "u=" + std::to_string(group.u) +
+                                  ",s=" + std::to_string(group.s) + ",k=" + std::to_string(k);
         }
         if (instability > options.threshold) verdict.sufficient = false;
       }
@@ -94,9 +94,10 @@ Result<size_t> SelectSupportResolution(const data::Dataset& research,
     const size_t refined = std::min(2 * n_q, options.max_n_q);
     double worst = 0.0;
     bool estimable = true;
-    for (int u = 0; u <= 1 && estimable; ++u) {
-      for (int s = 0; s <= 1 && estimable; ++s) {
-        const std::vector<size_t> indices = research.GroupIndices({u, s});
+    for (const data::GroupKey& group : research.Groups()) {
+      if (!estimable) break;
+      {
+        const std::vector<size_t> indices = research.GroupIndices(group);
         if (indices.size() < options.min_group_size) {
           estimable = false;
           break;

@@ -23,33 +23,50 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
   if (options.threads < 0)
     return Status::InvalidArgument("threads must be >= 1 (or 0 for the process default)");
   const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
+  const size_t s_levels = research.s_levels();
+  const size_t u_levels = research.u_levels();
 
-  RepairPlanSet plans(research.dim(), research.feature_names());
-  plans.set_target_t(options.target_t);
+  // Resolve the barycentric weights (see ResolveLambdas: the binary
+  // default {1 - t, t} keeps the paper's single-knob geodesic
+  // parameterization and its exact arithmetic).
+  auto lambdas = ResolveLambdas(options.lambdas, options.target_t, s_levels);
+  if (!lambdas.ok()) return lambdas.status();
+
+  RepairPlanSet plans(research.dim(), research.feature_names(), s_levels, u_levels);
+  if (Status status = plans.set_lambdas(std::move(*lambdas)); !status.ok()) return status;
+  // Post-normalization weights drive the barycenters below. In the
+  // default binary case the raw target_t is used directly, so the paper's
+  // t-parameterized path is untouched by the normalization roundoff.
+  const std::vector<double>& lam = plans.lambdas();
+  const double pairwise_t = options.lambdas.empty() ? options.target_t : lam[1];
+  // The persisted t metadata reflects the geodesic position actually
+  // designed at: explicit binary lambdas override options.target_t.
+  plans.set_target_t(s_levels == 2 ? pairwise_t : options.target_t);
 
   // Row-index strata, gathered (and validated) up front so the channel
   // designs below are fully independent of one another.
   struct Stratum {
-    std::vector<size_t> idx0;     // (u, s=0) rows
-    std::vector<size_t> idx1;     // (u, s=1) rows
-    std::vector<size_t> idx_all;  // all u rows
+    std::vector<std::vector<size_t>> idx_by_s;  // per s level
+    std::vector<size_t> idx_all;                // all u rows
   };
-  Stratum strata[2];
-  for (int u = 0; u <= 1; ++u) {
+  std::vector<Stratum> strata(u_levels);
+  for (size_t u = 0; u < u_levels; ++u) {
     Stratum& stratum = strata[u];
-    stratum.idx0 = research.GroupIndices({u, 0});
-    stratum.idx1 = research.GroupIndices({u, 1});
-    if (stratum.idx0.size() < options.min_group_size ||
-        stratum.idx1.size() < options.min_group_size)
-      return Status::FailedPrecondition(
-          "research group (u=" + std::to_string(u) +
-          ") lacks labelled rows for one or both s classes; collect more research data");
-    stratum.idx_all = research.UIndices(u);
+    stratum.idx_by_s.resize(s_levels);
+    for (size_t s = 0; s < s_levels; ++s) {
+      stratum.idx_by_s[s] =
+          research.GroupIndices({static_cast<int>(u), static_cast<int>(s)});
+      if (stratum.idx_by_s[s].size() < options.min_group_size)
+        return Status::FailedPrecondition(
+            "research group (u=" + std::to_string(u) + ", s=" + std::to_string(s) +
+            ") lacks labelled rows; collect more research data");
+    }
+    stratum.idx_all = research.UIndices(static_cast<int>(u));
   }
 
-  auto design_channel = [&](int u, size_t k) -> Status {
+  auto design_channel = [&](size_t u, size_t k) -> Status {
     const Stratum& stratum = strata[u];
-    ChannelPlan& channel = plans.At(u, k);
+    ChannelPlan& channel = plans.At(static_cast<int>(u), k);
 
     // (i) Interpolated support over the u-stratum's research range
     // (Algorithm 1, lines 3-5).
@@ -59,30 +76,34 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
     channel.grid = std::move(*grid);
 
     // (ii) KDE-interpolated s-conditional marginals (line 8, Eq. 11).
-    for (int s = 0; s <= 1; ++s) {
-      auto marginal = InterpolateMarginal(
-          research.FeatureColumn(k, s == 0 ? stratum.idx0 : stratum.idx1), channel.grid,
-          options.marginal);
+    for (size_t s = 0; s < s_levels; ++s) {
+      auto marginal = InterpolateMarginal(research.FeatureColumn(k, stratum.idx_by_s[s]),
+                                          channel.grid, options.marginal);
       if (!marginal.ok()) return marginal.status();
-      channel.marginal[static_cast<size_t>(s)] = std::move(*marginal);
+      channel.marginal[s] = std::move(*marginal);
     }
 
     // (iii) Barycentric repair target on the same support (line 9, Eq. 7).
-    auto barycenter = ot::QuantileBarycenterOnGrid(channel.marginal[0], channel.marginal[1],
-                                                   options.target_t, channel.grid.points());
+    // |S| = 2 takes the paper's pairwise t-geodesic path (bit-identical to
+    // the binary-era pipeline); |S| > 2 the N-measure weighted-quantile
+    // barycenter F^{-1} = sum_s lambda_s F_s^{-1}.
+    Result<ot::DiscreteMeasure> barycenter =
+        s_levels == 2
+            ? ot::QuantileBarycenterOnGrid(channel.marginal[0], channel.marginal[1],
+                                           pairwise_t, channel.grid.points())
+            : ot::QuantileBarycenterOnGrid(channel.marginal, lam, channel.grid.points());
     if (!barycenter.ok()) return barycenter.status();
     channel.barycenter = std::move(*barycenter);
 
-    // (iv) The two OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
+    // (iv) The |S| OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
     // and barycentre all live on the sorted grid, so the backend's 1-D
     // solve applies directly and its entries index grid states. The
     // sparse-native solve keeps the monotone staircase (and the exact
     // solver's support set) in CSR form end to end — nothing densifies.
-    for (int s = 0; s <= 1; ++s) {
-      auto plan =
-          solver.Solve1DSparse(channel.marginal[static_cast<size_t>(s)], channel.barycenter);
+    for (size_t s = 0; s < s_levels; ++s) {
+      auto plan = solver.Solve1DSparse(channel.marginal[s], channel.barycenter);
       if (!plan.ok()) return plan.status();
-      channel.plan[static_cast<size_t>(s)] = std::move(*plan);
+      channel.plan[s] = std::move(*plan);
     }
     return Status::Ok();
   };
@@ -93,8 +114,8 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
   // the historical serial loop.
   const size_t dim = research.dim();
   Status status = common::parallel::ParallelForStatus(
-      0, 2 * dim,
-      [&](size_t task) { return design_channel(task < dim ? 0 : 1, task % dim); },
+      0, u_levels * dim,
+      [&](size_t task) { return design_channel(task / dim, task % dim); },
       static_cast<size_t>(options.threads));
   if (!status.ok()) return status;
   return plans;

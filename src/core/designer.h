@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/result.h"
 #include "core/marginals.h"
@@ -18,9 +19,15 @@ struct DesignOptions {
   /// paper finds performance converges for n_Q ≳ 30 on Gaussian channels
   /// (§V-A2b) and uses 250 for Adult (§V-B).
   size_t n_q = 50;
-  /// Barycentre position t along the W2 geodesic (Eq. 7); 0.5 is the
-  /// paper's fair barycentre, equidistant from both s-conditionals.
+  /// Barycentre position t along the W2 geodesic (Eq. 7) for the binary
+  /// |S| = 2 case; 0.5 is the paper's fair barycentre, equidistant from
+  /// both s-conditionals. Ignored when `lambdas` is set explicitly.
   double target_t = 0.5;
+  /// Barycentric weights lambda_s, one per s level (normalized
+  /// internally). Empty selects the default: {1 - target_t, target_t} for
+  /// |S| = 2 (the paper's geodesic position) and uniform 1/|S| otherwise —
+  /// the multi-group fair barycentre equidistant from every class.
+  std::vector<double> lambdas;
   /// OT backend for the per-channel plans pi*_{u,s,k} (Eq. 13). Null
   /// means `ot::DefaultSolver()` — the O(n_Q) monotone map, exact for the
   /// 1-D squared-Euclidean cost used here. Any backend registered in
@@ -39,15 +46,17 @@ struct DesignOptions {
 };
 
 /// Algorithm 1: designs the (u, s, k)-indexed distributional repair plans
-/// from the s|u-labelled research data.
+/// from the s|u-labelled research data, for any |S| >= 2 and |U| >= 1
+/// (taken from the dataset's level counts).
 ///
 /// For every u-stratum and feature k it (i) builds the uniform interpolated
 /// support Q_{u,k} over the stratum's research range, (ii) KDE-interpolates
-/// the two s-conditional marginals onto Q (Eq. 11), (iii) computes the
-/// t-barycentre nu on Q (Eq. 7), and (iv) solves the two OT problems
-/// mu_s -> nu (Eq. 13). Complexity is dominated by the d*|U|*|S| OT solves
-/// on n_Q states — independent of the archive size, which is the point of
-/// the method.
+/// the |S| s-conditional marginals onto Q (Eq. 11), (iii) computes the
+/// lambda-weighted N-measure quantile barycentre nu on Q (Eq. 7; for
+/// |S| = 2 the paper's t-geodesic point), and (iv) solves the |S| OT
+/// problems mu_s -> nu (Eq. 13). Complexity is dominated by the
+/// d*|U|*|S| OT solves on n_Q states — independent of the archive size,
+/// which is the point of the method.
 common::Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
                                                          const DesignOptions& options = {});
 

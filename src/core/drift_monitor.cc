@@ -28,15 +28,16 @@ Result<DriftMonitor> DriftMonitor::Create(const RepairPlanSet& plans,
   Status valid = plans.Validate(1e-5);
   if (!valid.ok()) return valid;
   if (options.min_count == 0) return Status::InvalidArgument("min_count must be positive");
-  DriftMonitor monitor(plans.dim(), options);
-  monitor.states_.resize(4 * plans.dim());
-  for (int u = 0; u <= 1; ++u) {
-    for (int s = 0; s <= 1; ++s) {
+  DriftMonitor monitor(plans.dim(), plans.s_levels(), plans.u_levels(), options);
+  monitor.states_.resize(plans.u_levels() * plans.s_levels() * plans.dim());
+  for (size_t u = 0; u < plans.u_levels(); ++u) {
+    for (size_t s = 0; s < plans.s_levels(); ++s) {
       for (size_t k = 0; k < plans.dim(); ++k) {
-        const ChannelPlan& channel = plans.At(u, k);
-        ChannelState& state = monitor.StateFor(u, s, k);
+        const ChannelPlan& channel = plans.At(static_cast<int>(u), k);
+        ChannelState& state =
+            monitor.StateFor(static_cast<int>(u), static_cast<int>(s), k);
         state.grid = channel.grid.points();
-        state.design_pmf = channel.marginal[static_cast<size_t>(s)].weights();
+        state.design_pmf = channel.marginal[s].weights();
         state.counts.assign(state.grid.size(), 0);
         state.lo = state.grid.front();
         state.hi = state.grid.back();
@@ -50,10 +51,10 @@ Result<DriftMonitor> DriftMonitor::Create(const RepairPlanSet& plans,
 }
 
 DriftMonitor::ChannelState& DriftMonitor::StateFor(int u, int s, size_t k) {
-  OTFAIR_CHECK(u == 0 || u == 1);
-  OTFAIR_CHECK(s == 0 || s == 1);
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < u_levels_);
+  OTFAIR_CHECK(s >= 0 && static_cast<size_t>(s) < s_levels_);
   OTFAIR_CHECK_LT(k, dim_);
-  return states_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * dim_ + k];
+  return states_[(static_cast<size_t>(u) * s_levels_ + static_cast<size_t>(s)) * dim_ + k];
 }
 
 const DriftMonitor::ChannelState& DriftMonitor::StateFor(int u, int s, size_t k) const {
@@ -74,13 +75,13 @@ void DriftMonitor::Observe(int u, int s, size_t k, double x) {
 
 DriftReport DriftMonitor::Report() const {
   DriftReport report;
-  for (int u = 0; u <= 1; ++u) {
-    for (int s = 0; s <= 1; ++s) {
+  for (size_t u = 0; u < u_levels_; ++u) {
+    for (size_t s = 0; s < s_levels_; ++s) {
       for (size_t k = 0; k < dim_; ++k) {
-        const ChannelState& state = StateFor(u, s, k);
+        const ChannelState& state = StateFor(static_cast<int>(u), static_cast<int>(s), k);
         ChannelDrift drift;
-        drift.u = u;
-        drift.s = s;
+        drift.u = static_cast<int>(u);
+        drift.s = static_cast<int>(s);
         drift.k = k;
         drift.count = state.total;
         if (state.total > 0) {
@@ -117,7 +118,8 @@ DriftReport DriftMonitor::Report() const {
 }
 
 common::Status DriftMonitor::MergeFrom(const DriftMonitor& other) {
-  if (dim_ != other.dim_ || states_.size() != other.states_.size())
+  if (dim_ != other.dim_ || s_levels_ != other.s_levels_ || u_levels_ != other.u_levels_ ||
+      states_.size() != other.states_.size())
     return Status::InvalidArgument("cannot merge drift monitors of different shapes");
   for (size_t i = 0; i < states_.size(); ++i) {
     ChannelState& dst = states_[i];

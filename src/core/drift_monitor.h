@@ -107,15 +107,18 @@ class DriftMonitor {
     size_t out_of_range = 0;
   };
 
-  DriftMonitor(size_t dim, const DriftMonitorOptions& options)
-      : dim_(dim), options_(options) {}
+  DriftMonitor(size_t dim, size_t s_levels, size_t u_levels,
+               const DriftMonitorOptions& options)
+      : dim_(dim), s_levels_(s_levels), u_levels_(u_levels), options_(options) {}
 
   ChannelState& StateFor(int u, int s, size_t k);
   const ChannelState& StateFor(int u, int s, size_t k) const;
 
   size_t dim_ = 0;
+  size_t s_levels_ = 2;
+  size_t u_levels_ = 2;
   DriftMonitorOptions options_;
-  std::vector<ChannelState> states_;  // index: (u * 2 + s) * dim + k
+  std::vector<ChannelState> states_;  // index: (u * |S| + s) * dim + k
 };
 
 }  // namespace otfair::core

@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "common/status.h"
+#include "core/repair_plan.h"
 #include "ot/measure.h"
 #include "ot/plan.h"
 
@@ -15,34 +16,72 @@ namespace otfair::core {
 using common::Result;
 using common::Status;
 
+namespace {
+
+/// One s-class of one u-stratum's channel: samples in sorted order plus
+/// the permutation back to dataset rows.
+struct SortedClass {
+  std::vector<size_t> rows;    // dataset row indices (unsorted order)
+  std::vector<size_t> order;   // sorted position -> local index into rows
+  std::vector<double> sorted;  // sorted sample values
+};
+
+SortedClass SortClass(const data::Dataset& research, const std::vector<size_t>& idx,
+                      size_t k) {
+  SortedClass out;
+  out.rows = idx;
+  const std::vector<double> x = research.FeatureColumn(k, idx);
+  out.order.resize(x.size());
+  std::iota(out.order.begin(), out.order.end(), 0);
+  std::stable_sort(out.order.begin(), out.order.end(),
+                   [&](size_t a, size_t b) { return x[a] < x[b]; });
+  out.sorted.resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out.sorted[i] = x[out.order[i]];
+  return out;
+}
+
+}  // namespace
+
 Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
                                              const GeometricOptions& options) {
   if (research.empty()) return Status::InvalidArgument("empty research dataset");
   if (!(options.t >= 0.0 && options.t <= 1.0))
     return Status::InvalidArgument("t must lie in [0, 1]");
   const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
+  const size_t s_levels = research.s_levels();
+  const size_t u_levels = research.u_levels();
+
+  // Class weights (shared contract: ResolveLambdas).
+  auto resolved = ResolveLambdas(options.lambdas, options.t, s_levels);
+  if (!resolved.ok()) return resolved.status();
+  const std::vector<double> lam = std::move(*resolved);
+  // The binary path below consumes t directly (Eqs. 8-9, kept verbatim);
+  // honour explicit lambdas by re-deriving it.
+  const double t = options.lambdas.empty() ? options.t : lam[1];
 
   data::Dataset repaired = research.Clone();
 
   // Per-u row strata, validated up front so the per-channel repairs below
   // are independent tasks.
   struct Stratum {
-    std::vector<size_t> idx0;
-    std::vector<size_t> idx1;
+    std::vector<std::vector<size_t>> idx_by_s;
   };
-  Stratum strata[2];
-  for (int u = 0; u <= 1; ++u) {
-    strata[u].idx0 = research.GroupIndices({u, 0});
-    strata[u].idx1 = research.GroupIndices({u, 1});
-    if (strata[u].idx0.size() < options.min_group_size ||
-        strata[u].idx1.size() < options.min_group_size)
-      return Status::FailedPrecondition("research group (u=" + std::to_string(u) +
-                                        ") lacks rows for one or both s classes");
+  std::vector<Stratum> strata(u_levels);
+  for (size_t u = 0; u < u_levels; ++u) {
+    strata[u].idx_by_s.resize(s_levels);
+    for (size_t s = 0; s < s_levels; ++s) {
+      strata[u].idx_by_s[s] =
+          research.GroupIndices({static_cast<int>(u), static_cast<int>(s)});
+      if (strata[u].idx_by_s[s].size() < options.min_group_size)
+        return Status::FailedPrecondition("research group (u=" + std::to_string(u) +
+                                          ", s=" + std::to_string(s) + ") lacks rows");
+    }
   }
 
-  auto repair_channel = [&](int u, size_t k) -> Status {
-    const std::vector<size_t>& idx0 = strata[u].idx0;
-    const std::vector<size_t>& idx1 = strata[u].idx1;
+  // The paper's binary channel repair (Eqs. 8-9), preserved bit-for-bit.
+  auto repair_channel_binary = [&](size_t u, size_t k) -> Status {
+    const std::vector<size_t>& idx0 = strata[u].idx_by_s[0];
+    const std::vector<size_t>& idx1 = strata[u].idx_by_s[1];
     const double n0 = static_cast<double>(idx0.size());
     const double n1 = static_cast<double>(idx1.size());
 
@@ -81,19 +120,66 @@ Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
     std::vector<double> transport1(sorted1.size(), 0.0);
     for (size_t i = 0; i < coupling->rows(); ++i) {
       const ot::SparsePlan::RowView row = coupling->Row(i);
-      for (size_t t = 0; t < row.nnz; ++t) {
-        transport0[i] += row.values[t] * sorted1[row.cols[t]];
-        transport1[row.cols[t]] += row.values[t] * sorted0[i];
+      for (size_t e = 0; e < row.nnz; ++e) {
+        transport0[i] += row.values[e] * sorted1[row.cols[e]];
+        transport1[row.cols[e]] += row.values[e] * sorted0[i];
       }
     }
 
     for (size_t i = 0; i < sorted0.size(); ++i) {
-      const double value = (1.0 - options.t) * sorted0[i] + n0 * options.t * transport0[i];
+      const double value = (1.0 - t) * sorted0[i] + n0 * t * transport0[i];
       repaired.set_feature(idx0[order0[i]], k, value);
     }
     for (size_t j = 0; j < sorted1.size(); ++j) {
-      const double value = n1 * (1.0 - options.t) * transport1[j] + options.t * sorted1[j];
+      const double value = n1 * (1.0 - t) * transport1[j] + t * sorted1[j];
       repaired.set_feature(idx1[order1[j]], k, value);
+    }
+    return Status::Ok();
+  };
+
+  // Multi-group channel repair: every class moves to the lambda-weighted
+  // barycenter of all classes, accumulating one coupled conditional mean
+  // per foreign class. Couplings are solved once per unordered pair and
+  // swept in both directions.
+  auto repair_channel_multi = [&](size_t u, size_t k) -> Status {
+    std::vector<SortedClass> classes(s_levels);
+    std::vector<ot::DiscreteMeasure> mu(s_levels);
+    for (size_t s = 0; s < s_levels; ++s) {
+      classes[s] = SortClass(research, strata[u].idx_by_s[s], k);
+      auto m = ot::DiscreteMeasure::FromSamples(classes[s].sorted);
+      if (!m.ok()) return m.status();
+      mu[s] = std::move(*m);
+    }
+
+    // accum[s][i]: sum over foreign classes s' of
+    // lambda_{s'} * n_s * sum_j pi^{s->s'}_{ij} x_{s',j}.
+    std::vector<std::vector<double>> accum(s_levels);
+    for (size_t s = 0; s < s_levels; ++s) accum[s].assign(classes[s].sorted.size(), 0.0);
+    for (size_t a = 0; a < s_levels; ++a) {
+      const double na = static_cast<double>(classes[a].sorted.size());
+      for (size_t b = a + 1; b < s_levels; ++b) {
+        const double nb = static_cast<double>(classes[b].sorted.size());
+        auto coupling = solver.Solve1DSparse(mu[a], mu[b]);
+        if (!coupling.ok()) return coupling.status();
+        for (size_t i = 0; i < coupling->rows(); ++i) {
+          const ot::SparsePlan::RowView row = coupling->Row(i);
+          for (size_t e = 0; e < row.nnz; ++e) {
+            const size_t j = row.cols[e];
+            // pi rows sum to 1/n_a, columns to 1/n_b: scaling turns the
+            // sweeps into the two conditional means.
+            accum[a][i] += lam[b] * na * row.values[e] * classes[b].sorted[j];
+            accum[b][j] += lam[a] * nb * row.values[e] * classes[a].sorted[i];
+          }
+        }
+      }
+    }
+
+    for (size_t s = 0; s < s_levels; ++s) {
+      const SortedClass& cls = classes[s];
+      for (size_t i = 0; i < cls.sorted.size(); ++i) {
+        const double value = lam[s] * cls.sorted[i] + accum[s][i];
+        repaired.set_feature(cls.rows[cls.order[i]], k, value);
+      }
     }
     return Status::Ok();
   };
@@ -102,8 +188,10 @@ Result<data::Dataset> GeometricRepairDataset(const data::Dataset& research,
   // the writes are disjoint and any schedule yields bit-identical output
   // (and a deterministic first error).
   const size_t dim = research.dim();
-  Status status = common::parallel::ParallelForStatus(0, 2 * dim, [&](size_t task) {
-    return repair_channel(task < dim ? 0 : 1, task % dim);
+  Status status = common::parallel::ParallelForStatus(0, u_levels * dim, [&](size_t task) {
+    const size_t u = task / dim;
+    const size_t k = task % dim;
+    return s_levels == 2 ? repair_channel_binary(u, k) : repair_channel_multi(u, k);
   });
   if (!status.ok()) return status;
   return repaired;

@@ -11,9 +11,15 @@ namespace otfair::core {
 
 /// Options for the geometric (on-sample) repair baseline.
 struct GeometricOptions {
-  /// Geodesic position t (paper Eqs. 8-9); 0.5 meets both classes at the
-  /// fair barycentre, matching the distributional repair's default target.
+  /// Geodesic position t (paper Eqs. 8-9) for the binary |S| = 2 case;
+  /// 0.5 meets both classes at the fair barycentre, matching the
+  /// distributional repair's default target. Ignored when `lambdas` is
+  /// set.
   double t = 0.5;
+  /// Barycentric class weights for the multi-group extension (one per s
+  /// level, normalized internally). Empty selects {1 - t, t} for |S| = 2
+  /// and uniform weights otherwise.
+  std::vector<double> lambdas;
   /// Minimum rows per (u, s) group.
   size_t min_group_size = 2;
   /// OT backend for the empirical coupling pi* between the s-conditional
@@ -32,7 +38,15 @@ struct GeometricOptions {
 ///
 /// with pi* the optimal coupling between the *empirical* s-conditional
 /// measures of the research data (computed here by the 1-D monotone
-/// solver, which is exact for the squared-Euclidean cost).
+/// solver, which is exact for the squared-Euclidean cost). For |S| > 2
+/// classes the same construction moves every record toward the
+/// lambda-weighted empirical barycenter:
+///
+///     x'_{s,i} = lambda_s x_{s,i}
+///              + sum_{s' != s} lambda_{s'} n_s sum_j pi*^{s->s'}_{ij} x_{s',j}
+///
+/// which reduces to Eqs. 8-9 at |S| = 2 (that binary path is preserved
+/// bit-for-bit).
 ///
 /// This repair is defined point-wise on the research sample, so — as the
 /// paper stresses — it cannot repair off-sample (archival) points; it only

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/status.h"
+#include "core/repair_plan.h"
 #include "stats/kde2d.h"
 
 namespace otfair::core {
@@ -76,26 +77,25 @@ SeparableKernel BuildKernel(const SupportGrid& gx, const SupportGrid& gy, double
   return kernel;
 }
 
-/// Entropic barycenter of two pmfs on the shared product grid (iterative
-/// Bregman projections).
+/// Entropic barycenter of N pmfs on the shared product grid (iterative
+/// Bregman projections with barycentric weights `lambda`).
 Result<std::vector<double>> EntropicBarycenter(const SeparableKernel& kernel,
-                                               const std::vector<double>& p0,
-                                               const std::vector<double>& p1, double t,
+                                               const std::vector<std::vector<double>>& p,
+                                               const std::vector<double>& lambda,
                                                size_t max_iterations, double tolerance) {
-  const size_t states = p0.size();
-  const double lambda[2] = {1.0 - t, t};
-  const std::vector<double>* p[2] = {&p0, &p1};
-  std::vector<std::vector<double>> scaling(2, std::vector<double>(states, 1.0));
+  const size_t num = p.size();
+  const size_t states = p[0].size();
+  std::vector<std::vector<double>> scaling(num, std::vector<double>(states, 1.0));
   std::vector<double> bary(states, 1.0 / static_cast<double>(states));
   std::vector<double> prev(states, 0.0);
 
   for (size_t iter = 0; iter < max_iterations; ++iter) {
     std::vector<double> log_bary(states, 0.0);
-    std::vector<std::vector<double>> kv(2);
-    for (int m = 0; m < 2; ++m) {
+    std::vector<std::vector<double>> kv(num);
+    for (size_t m = 0; m < num; ++m) {
       std::vector<double> ku = kernel.Apply(scaling[m]);
       std::vector<double> v(states, 0.0);
-      for (size_t i = 0; i < states; ++i) v[i] = ku[i] > 0.0 ? (*p[m])[i] / ku[i] : 0.0;
+      for (size_t i = 0; i < states; ++i) v[i] = ku[i] > 0.0 ? p[m][i] / ku[i] : 0.0;
       kv[m] = kernel.Apply(v);
       for (size_t i = 0; i < states; ++i)
         log_bary[i] += lambda[m] * (kv[m][i] > 0.0 ? std::log(kv[m][i]) : -1e30);
@@ -107,7 +107,7 @@ Result<std::vector<double>> EntropicBarycenter(const SeparableKernel& kernel,
       total += bary[i];
     }
     if (total <= 0.0) return Status::NotConverged("joint barycenter lost all mass");
-    for (int m = 0; m < 2; ++m) {
+    for (size_t m = 0; m < num; ++m) {
       for (size_t i = 0; i < states; ++i)
         scaling[m][i] = kv[m][i] > 0.0 ? bary[i] / kv[m][i] : 0.0;
     }
@@ -196,19 +196,34 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
     return Status::Unimplemented("joint repair solves product-grid (2-D) problems; backend '" +
                                  options.solver->name() + "' supports 1-D costs only");
 
+  const size_t s_levels = research.s_levels();
+  const size_t u_levels = research.u_levels();
+
+  // Barycentric class weights (shared contract: ResolveLambdas).
+  auto resolved = ResolveLambdas(options.lambdas, options.target_t, s_levels);
+  if (!resolved.ok()) return resolved.status();
+  const std::vector<double> lam = std::move(*resolved);
+
   JointPairRepairer repairer;
   repairer.k1_ = k1;
   repairer.k2_ = k2;
+  repairer.s_levels_ = s_levels;
+  repairer.strata_.resize(u_levels);
 
-  for (int u = 0; u <= 1; ++u) {
-    const std::vector<size_t> idx0 = research.GroupIndices({u, 0});
-    const std::vector<size_t> idx1 = research.GroupIndices({u, 1});
-    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size)
-      return Status::FailedPrecondition("research group (u=" + std::to_string(u) +
-                                        ") too small for joint design");
-    const std::vector<size_t> idx_all = research.UIndices(u);
+  for (size_t u = 0; u < u_levels; ++u) {
+    std::vector<std::vector<size_t>> idx_by_s(s_levels);
+    for (size_t s = 0; s < s_levels; ++s) {
+      idx_by_s[s] = research.GroupIndices({static_cast<int>(u), static_cast<int>(s)});
+      if (idx_by_s[s].size() < options.min_group_size)
+        return Status::FailedPrecondition("research group (u=" + std::to_string(u) +
+                                          ") too small for joint design");
+    }
+    const std::vector<size_t> idx_all = research.UIndices(static_cast<int>(u));
 
-    StratumPlan& stratum = repairer.strata_[static_cast<size_t>(u)];
+    StratumPlan& stratum = repairer.strata_[u];
+    stratum.plan.resize(s_levels);
+    stratum.alias.resize(s_levels);
+    stratum.fallback_row.resize(s_levels);
     auto grid_x = SupportGrid::FromSamples(research.FeatureColumn(k1, idx_all), options.n_q);
     if (!grid_x.ok()) return grid_x.status();
     auto grid_y = SupportGrid::FromSamples(research.FeatureColumn(k2, idx_all), options.n_q);
@@ -226,9 +241,9 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
     const SeparableKernel kernel = BuildKernel(stratum.grid_x, stratum.grid_y, epsilon);
 
     // 2-D KDE-interpolated joint marginals, flattened row-major.
-    std::array<std::vector<double>, 2> marginal;
-    for (int s = 0; s <= 1; ++s) {
-      const std::vector<size_t>& idx = (s == 0) ? idx0 : idx1;
+    std::vector<std::vector<double>> marginal(s_levels);
+    for (size_t s = 0; s < s_levels; ++s) {
+      const std::vector<size_t>& idx = idx_by_s[s];
       auto kde = options.bandwidth > 0.0
                      ? stats::GaussianKde2d::Fit(research.FeatureColumn(k1, idx),
                                                  research.FeatureColumn(k2, idx),
@@ -238,12 +253,11 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
       if (!kde.ok()) return kde.status();
       auto pmf = kde->PmfOnGrid(stratum.grid_x.points(), stratum.grid_y.points());
       if (!pmf.ok()) return pmf.status();
-      marginal[static_cast<size_t>(s)].assign(pmf->data(), pmf->data() + pmf->size());
+      marginal[s].assign(pmf->data(), pmf->data() + pmf->size());
     }
 
-    auto barycenter =
-        EntropicBarycenter(kernel, marginal[0], marginal[1], options.target_t,
-                           options.max_iterations, options.tolerance);
+    auto barycenter = EntropicBarycenter(kernel, marginal, lam, options.max_iterations,
+                                         options.tolerance);
     if (!barycenter.ok()) return barycenter.status();
 
     // An injected backend solves the dense product-grid problem under the
@@ -260,22 +274,21 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
       return std::move(solved->coupling);
     };
 
-    for (int s = 0; s <= 1; ++s) {
-      Result<Matrix> plan = solve_plan(marginal[static_cast<size_t>(s)]);
+    for (size_t s = 0; s < s_levels; ++s) {
+      Result<Matrix> plan = solve_plan(marginal[s]);
       if (!plan.ok()) return plan.status();
       // Truncated CSR extraction: the dense n_q^2 x n_q^2 coupling is a
       // solver intermediate; only its effective support is retained.
-      stratum.plan[static_cast<size_t>(s)] =
-          ot::TruncateToSparse(*plan, kJointPlanTruncation);
+      stratum.plan[s] = ot::TruncateToSparse(*plan, kJointPlanTruncation);
 
       // Alias tables + fallbacks per row, O(nnz) over the CSR support
       // (value spans read in place, no per-row copies).
-      auto& alias = stratum.alias[static_cast<size_t>(s)];
-      auto& fallback = stratum.fallback_row[static_cast<size_t>(s)];
+      auto& alias = stratum.alias[s];
+      auto& fallback = stratum.fallback_row[s];
       alias.resize(states);
       fallback.assign(states, 0);
       std::vector<char> has_mass(states, 0);
-      const ot::SparsePlan& pi = stratum.plan[static_cast<size_t>(s)];
+      const ot::SparsePlan& pi = stratum.plan[s];
       for (size_t q = 0; q < states; ++q) {
         const ot::SparsePlan::RowView row = pi.Row(q);
         double mass = 0.0;
@@ -312,13 +325,13 @@ Result<JointPairRepairer> JointPairRepairer::Design(const data::Dataset& researc
 }
 
 const JointPairRepairer::StratumPlan& JointPairRepairer::PlanFor(int u) const {
-  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < strata_.size());
   return strata_[static_cast<size_t>(u)];
 }
 
 std::pair<double, double> JointPairRepairer::RepairPair(int u, int s, double x, double y,
                                                         Rng& rng) const {
-  OTFAIR_CHECK(s == 0 || s == 1);
+  OTFAIR_CHECK(s >= 0 && static_cast<size_t>(s) < s_levels_);
   const StratumPlan& stratum = PlanFor(u);
   const size_t ny = stratum.grid_y.size();
 
@@ -342,6 +355,11 @@ Result<data::Dataset> JointPairRepairer::RepairDataset(const data::Dataset& data
                                                        uint64_t seed) const {
   if (k1_ >= dataset.dim() || k2_ >= dataset.dim())
     return Status::InvalidArgument("dataset lacks the designed feature pair");
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.s(i) < 0 || static_cast<size_t>(dataset.s(i)) >= s_levels_ ||
+        dataset.u(i) < 0 || static_cast<size_t>(dataset.u(i)) >= strata_.size())
+      return Status::InvalidArgument("dataset labels exceed the designed group levels");
+  }
   data::Dataset repaired = dataset.Clone();
   // Row i draws from sub-stream (seed, i), so rows are order-independent
   // and the parallel batch is bit-identical to the serial one.

@@ -1,7 +1,6 @@
 #ifndef OTFAIR_CORE_JOINT_REPAIR_H_
 #define OTFAIR_CORE_JOINT_REPAIR_H_
 
-#include <array>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -23,8 +22,13 @@ struct JointDesignOptions {
   /// keep this moderate (the curse of dimensionality the paper's
   /// per-feature stratification avoids, quantified here).
   size_t n_q = 24;
-  /// Barycentre position along the (entropic) geodesic.
+  /// Barycentre position along the (entropic) geodesic for |S| = 2;
+  /// ignored when `lambdas` is set.
   double target_t = 0.5;
+  /// Barycentric class weights (one per s level, normalized internally).
+  /// Empty selects {1 - target_t, target_t} for |S| = 2 and uniform
+  /// weights otherwise.
+  std::vector<double> lambdas;
   /// Entropic regularization for the 2-D barycenter and plans. Exact 2-D
   /// OT on n_q^2 states is prohibitively slow for n_q beyond ~12, which is
   /// itself part of the ablation's message.
@@ -89,12 +93,12 @@ class JointPairRepairer {
     /// a * n_qy + b, column = target state), stored CSR: the entropic
     /// coupling concentrates on a band, so truncated extraction cuts the
     /// n_q^2 x n_q^2 artifact to its effective support.
-    std::array<ot::SparsePlan, 2> plan;
+    std::vector<ot::SparsePlan> plan;  // indexed by s
     /// Alias tables per plan row over the row's CSR support (empty
     /// optional = massless row); sampled local indices map to flattened
     /// states through the row's column indices.
-    std::array<std::vector<std::optional<stats::AliasTable>>, 2> alias;
-    std::array<std::vector<size_t>, 2> fallback_row;
+    std::vector<std::vector<std::optional<stats::AliasTable>>> alias;
+    std::vector<std::vector<size_t>> fallback_row;
   };
 
   JointPairRepairer() = default;
@@ -103,7 +107,8 @@ class JointPairRepairer {
 
   size_t k1_ = 0;
   size_t k2_ = 0;
-  std::array<StratumPlan, 2> strata_;
+  size_t s_levels_ = 2;
+  std::vector<StratumPlan> strata_;  // one per u stratum
 };
 
 }  // namespace otfair::core

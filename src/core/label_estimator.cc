@@ -13,8 +13,10 @@ using common::Status;
 Result<LabelEstimator> LabelEstimator::Fit(const data::Dataset& research) {
   if (research.empty()) return Status::InvalidArgument("empty research dataset");
   LabelEstimator estimator;
-  for (int u = 0; u <= 1; ++u) {
-    const std::vector<size_t> indices = research.UIndices(u);
+  estimator.s_levels_ = research.s_levels();
+  estimator.models_.reserve(research.u_levels());
+  for (size_t u = 0; u < research.u_levels(); ++u) {
+    const std::vector<size_t> indices = research.UIndices(static_cast<int>(u));
     if (indices.empty())
       return Status::FailedPrecondition("research data has no rows for one u stratum");
     Matrix features(indices.size(), research.dim());
@@ -24,32 +26,39 @@ Result<LabelEstimator> LabelEstimator::Fit(const data::Dataset& research) {
         features(r, k) = research.feature(indices[r], k);
       labels[r] = static_cast<size_t>(research.s(indices[r]));
     }
-    auto model = stats::GaussianMixture::FitSupervised(features, labels, 2);
+    auto model = stats::GaussianMixture::FitSupervised(features, labels, research.s_levels());
     if (!model.ok())
       return Status(model.status().code(),
                     "u=" + std::to_string(u) + " stratum: " + model.status().message());
-    (u == 0 ? estimator.model_u0_ : estimator.model_u1_) = std::move(*model);
+    estimator.models_.push_back(std::move(*model));
   }
   return estimator;
 }
 
 int LabelEstimator::EstimateOne(int u, const std::vector<double>& x) const {
-  OTFAIR_CHECK(u == 0 || u == 1);
-  const stats::GaussianMixture& model = (u == 0) ? *model_u0_ : *model_u1_;
-  return static_cast<int>(model.Classify(x));
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < models_.size());
+  return static_cast<int>(models_[static_cast<size_t>(u)].Classify(x));
 }
 
 double LabelEstimator::PosteriorS1(int u, const std::vector<double>& x) const {
-  OTFAIR_CHECK(u == 0 || u == 1);
-  const stats::GaussianMixture& model = (u == 0) ? *model_u0_ : *model_u1_;
-  return model.Responsibilities(x)[1];
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < models_.size());
+  OTFAIR_CHECK_EQ(s_levels_, 2u);
+  return models_[static_cast<size_t>(u)].Responsibilities(x)[1];
+}
+
+std::vector<double> LabelEstimator::PosteriorsFor(int u, const std::vector<double>& x) const {
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < models_.size());
+  return models_[static_cast<size_t>(u)].Responsibilities(x);
 }
 
 Result<std::vector<int>> LabelEstimator::EstimateS(const data::Dataset& dataset) const {
-  if (!model_u0_.has_value() || !model_u1_.has_value())
-    return Status::FailedPrecondition("estimator not fitted");
-  if (dataset.dim() != model_u0_->dim())
+  if (models_.empty()) return Status::FailedPrecondition("estimator not fitted");
+  if (dataset.dim() != models_[0].dim())
     return Status::InvalidArgument("dataset dimensionality does not match the fitted models");
+  for (int u : dataset.u_labels()) {
+    if (u < 0 || static_cast<size_t>(u) >= models_.size())
+      return Status::InvalidArgument("dataset u labels exceed the fitted u strata");
+  }
   std::vector<int> out;
   out.reserve(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i)
@@ -58,10 +67,15 @@ Result<std::vector<int>> LabelEstimator::EstimateS(const data::Dataset& dataset)
 }
 
 Result<std::vector<double>> LabelEstimator::PosteriorsS1(const data::Dataset& dataset) const {
-  if (!model_u0_.has_value() || !model_u1_.has_value())
-    return Status::FailedPrecondition("estimator not fitted");
-  if (dataset.dim() != model_u0_->dim())
+  if (models_.empty()) return Status::FailedPrecondition("estimator not fitted");
+  if (s_levels_ != 2)
+    return Status::FailedPrecondition("Pr[s = 1] posteriors are defined for binary s only");
+  if (dataset.dim() != models_[0].dim())
     return Status::InvalidArgument("dataset dimensionality does not match the fitted models");
+  for (int u : dataset.u_labels()) {
+    if (u < 0 || static_cast<size_t>(u) >= models_.size())
+      return Status::InvalidArgument("dataset u labels exceed the fitted u strata");
+  }
   std::vector<double> out;
   out.reserve(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i)

@@ -1,7 +1,6 @@
 #ifndef OTFAIR_CORE_LABEL_ESTIMATOR_H_
 #define OTFAIR_CORE_LABEL_ESTIMATOR_H_
 
-#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -16,13 +15,13 @@ namespace otfair::core {
 /// The archival stream typically lacks S; the paper identifies the
 /// u-conditional mixture F(x|u) = sum_s F(x|s,u) Pr[s|u] by "standard
 /// methods" [Bishop 2006] and assigns MAP labels. This estimator fits, per
-/// u-stratum, a two-component diagonal-Gaussian model *supervised* on the
-/// s-labelled research data (so component identities stay aligned with s),
-/// then classifies archival rows with the stratum model of their observed
-/// u.
+/// u-stratum, an |S|-component diagonal-Gaussian model *supervised* on the
+/// s-labelled research data (so component identities stay aligned with the
+/// s levels), then classifies archival rows with the stratum model of
+/// their observed u.
 class LabelEstimator {
  public:
-  /// Fits both u-stratum models from the labelled research data; every
+  /// Fits every u-stratum model from the labelled research data; every
   /// (u, s) group must contain at least one row.
   static common::Result<LabelEstimator> Fit(const data::Dataset& research);
 
@@ -31,7 +30,12 @@ class LabelEstimator {
 
   /// Posterior Pr[s = 1 | x, u] for one row — the probabilistic protected
   /// attribute of §VI / ref. [39], consumed by the soft repair modes.
+  /// Binary |S| = 2 fits only; use PosteriorsFor for the general
+  /// per-level posteriors.
   double PosteriorS1(int u, const std::vector<double>& x) const;
+
+  /// Posterior distribution over all |S| levels for one row.
+  std::vector<double> PosteriorsFor(int u, const std::vector<double>& x) const;
 
   /// MAP estimates for every row of `dataset` (uses each row's u label;
   /// ignores its s label if present).
@@ -47,8 +51,8 @@ class LabelEstimator {
  private:
   LabelEstimator() = default;
 
-  std::optional<stats::GaussianMixture> model_u0_;
-  std::optional<stats::GaussianMixture> model_u1_;
+  size_t s_levels_ = 2;
+  std::vector<stats::GaussianMixture> models_;  // one per u stratum
 };
 
 }  // namespace otfair::core

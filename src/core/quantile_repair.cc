@@ -67,17 +67,18 @@ Result<QuantileMapRepairer> QuantileMapRepairer::Create(RepairPlanSet plans, dou
 
 void QuantileMapRepairer::BuildTables() {
   const size_t dim = plans_.dim();
-  source_.resize(4 * dim);
-  target_.resize(2 * dim);
-  for (int u = 0; u <= 1; ++u) {
+  const size_t s_levels = plans_.s_levels();
+  const size_t u_levels = plans_.u_levels();
+  source_.resize(u_levels * s_levels * dim);
+  target_.resize(u_levels * dim);
+  for (size_t u = 0; u < u_levels; ++u) {
     for (size_t k = 0; k < dim; ++k) {
-      const ChannelPlan& channel = plans_.At(u, k);
-      for (int s = 0; s <= 1; ++s) {
-        CdfTable& table =
-            source_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * dim + k];
-        BuildCdfTable(channel.marginal[static_cast<size_t>(s)], &table.knots, &table.cdf);
+      const ChannelPlan& channel = plans_.At(static_cast<int>(u), k);
+      for (size_t s = 0; s < s_levels; ++s) {
+        CdfTable& table = source_[(u * s_levels + s) * dim + k];
+        BuildCdfTable(channel.marginal[s], &table.knots, &table.cdf);
       }
-      CdfTable& target = target_[static_cast<size_t>(u) * dim + k];
+      CdfTable& target = target_[u * dim + k];
       BuildCdfTable(channel.barycenter, &target.knots, &target.cdf);
     }
   }
@@ -85,14 +86,16 @@ void QuantileMapRepairer::BuildTables() {
 
 const QuantileMapRepairer::CdfTable& QuantileMapRepairer::SourceCdf(int u, int s,
                                                                     size_t k) const {
-  OTFAIR_CHECK(u == 0 || u == 1);
-  OTFAIR_CHECK(s == 0 || s == 1);
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < plans_.u_levels());
+  OTFAIR_CHECK(s >= 0 && static_cast<size_t>(s) < plans_.s_levels());
   OTFAIR_CHECK_LT(k, plans_.dim());
-  return source_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * plans_.dim() + k];
+  return source_[(static_cast<size_t>(u) * plans_.s_levels() + static_cast<size_t>(s)) *
+                     plans_.dim() +
+                 k];
 }
 
 const QuantileMapRepairer::CdfTable& QuantileMapRepairer::TargetCdf(int u, size_t k) const {
-  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < plans_.u_levels());
   OTFAIR_CHECK_LT(k, plans_.dim());
   return target_[static_cast<size_t>(u) * plans_.dim() + k];
 }
@@ -105,6 +108,7 @@ double QuantileMapRepairer::RepairValue(int u, int s, size_t k, double x) const 
 
 double QuantileMapRepairer::RepairValueSoft(int u, double pr_s1, size_t k, double x) const {
   OTFAIR_CHECK(pr_s1 >= 0.0 && pr_s1 <= 1.0);
+  OTFAIR_CHECK_EQ(plans_.s_levels(), 2u);
   const double repaired0 = RepairValue(u, 0, k, x);
   const double repaired1 = RepairValue(u, 1, k, x);
   return (1.0 - pr_s1) * repaired0 + pr_s1 * repaired1;
@@ -121,7 +125,13 @@ Result<data::Dataset> QuantileMapRepairer::RepairDatasetWithLabels(
   if (s_labels.size() != dataset.size())
     return Status::InvalidArgument("s_labels length must match dataset size");
   for (int s : s_labels) {
-    if (s != 0 && s != 1) return Status::InvalidArgument("s_labels must be binary");
+    if (s < 0 || static_cast<size_t>(s) >= plans_.s_levels())
+      return Status::InvalidArgument("s_labels must lie in [0, " +
+                                     std::to_string(plans_.s_levels()) + ")");
+  }
+  for (int u : dataset.u_labels()) {
+    if (u < 0 || static_cast<size_t>(u) >= plans_.u_levels())
+      return Status::InvalidArgument("dataset u labels exceed the plan's u levels");
   }
   data::Dataset repaired = dataset.Clone();
   for (size_t i = 0; i < dataset.size(); ++i) {
@@ -139,6 +149,9 @@ Result<data::Dataset> QuantileMapRepairer::RepairDatasetSoft(
     return Status::InvalidArgument("dataset dimensionality does not match the plan set");
   if (pr_s1.size() != dataset.size())
     return Status::InvalidArgument("pr_s1 length must match dataset size");
+  if (plans_.s_levels() != 2)
+    return Status::InvalidArgument(
+        "soft (probabilistic) repair is defined for binary s only");
   for (double p : pr_s1) {
     if (!(p >= 0.0 && p <= 1.0))
       return Status::InvalidArgument("posteriors must lie in [0, 1]");

@@ -50,6 +50,7 @@ class QuantileMapRepairer {
   /// Soft-label repair for archives with probabilistic protected
   /// attributes (paper §VI, refs [37]/[39]): the posterior-weighted mix of
   /// the two class maps, `(1 - p1) T_{u,0,k}(x) + p1 T_{u,1,k}(x)`.
+  /// Binary |S| = 2 plans only.
   double RepairValueSoft(int u, double pr_s1, size_t k, double x) const;
 
   /// Repairs a whole dataset using its own labels.
@@ -86,7 +87,7 @@ class QuantileMapRepairer {
 
   RepairPlanSet plans_;
   double strength_ = 1.0;
-  std::vector<CdfTable> source_;  // index: (u * 2 + s) * dim + k
+  std::vector<CdfTable> source_;  // index: (u * |S| + s) * dim + k
   std::vector<CdfTable> target_;  // index: u * dim + k
 };
 

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "data/dataset.h"
 
 namespace otfair::core {
 
@@ -15,10 +16,13 @@ using common::Status;
 namespace {
 
 constexpr uint32_t kMagic = 0x4F544652;  // "OTFR"
-// v1 stored dense n_Q x n_Q plan matrices; v2 stores CSR plans. Loading
-// accepts both (v1 converts on the way in), saving always writes v2.
+// v1 stored dense n_Q x n_Q plan matrices; v2 stores CSR plans; v3 adds
+// the |U|/|S| level counts and barycentric lambdas of the multi-group
+// pipeline. Loading accepts all three (v1/v2 map to the binary levels),
+// saving always writes v3.
 constexpr uint32_t kVersionDense = 1;
 constexpr uint32_t kVersionCsr = 2;
+constexpr uint32_t kVersionMultiGroup = 3;
 
 void WriteU32(std::ofstream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -94,14 +98,35 @@ Result<ot::DiscreteMeasure> ReadMeasure(std::ifstream& in) {
 
 }  // namespace
 
+Result<std::vector<double>> ResolveLambdas(const std::vector<double>& lambdas, double t,
+                                           size_t s_levels) {
+  if (lambdas.empty()) {
+    if (s_levels == 2) return std::vector<double>{1.0 - t, t};
+    return std::vector<double>(s_levels, 1.0 / static_cast<double>(s_levels));
+  }
+  if (lambdas.size() != s_levels)
+    return Status::InvalidArgument("lambdas must carry one weight per s level");
+  double total = 0.0;
+  for (double l : lambdas) {
+    if (!(l >= 0.0)) return Status::InvalidArgument("lambdas must be non-negative");
+    total += l;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("lambdas must not all be zero");
+  std::vector<double> out(lambdas);
+  for (double& l : out) l /= total;
+  return out;
+}
+
 Status ChannelPlan::Validate(double tolerance) const {
   const size_t nq = grid.size();
   if (nq < 2) return Status::FailedPrecondition("channel grid too small");
+  if (marginal.size() < 2 || plan.size() != marginal.size())
+    return Status::FailedPrecondition("channel must carry one marginal and plan per s level");
   if (barycenter.size() != nq)
     return Status::FailedPrecondition("barycenter support size mismatch");
-  for (int s = 0; s <= 1; ++s) {
-    const ot::SparsePlan& pi = plan[static_cast<size_t>(s)];
-    const ot::DiscreteMeasure& mu = marginal[static_cast<size_t>(s)];
+  for (size_t s = 0; s < marginal.size(); ++s) {
+    const ot::SparsePlan& pi = plan[s];
+    const ot::DiscreteMeasure& mu = marginal[s];
     if (mu.size() != nq) return Status::FailedPrecondition("marginal support size mismatch");
     if (pi.rows() != nq || pi.cols() != nq)
       return Status::FailedPrecondition("plan matrix shape mismatch");
@@ -118,29 +143,59 @@ Status ChannelPlan::Validate(double tolerance) const {
   return Status::Ok();
 }
 
-RepairPlanSet::RepairPlanSet(size_t dim, std::vector<std::string> feature_names)
-    : dim_(dim), feature_names_(std::move(feature_names)), channels_(2 * dim) {
+RepairPlanSet::RepairPlanSet(size_t dim, std::vector<std::string> feature_names,
+                             size_t s_levels, size_t u_levels)
+    : dim_(dim),
+      s_levels_(s_levels),
+      u_levels_(u_levels),
+      feature_names_(std::move(feature_names)),
+      channels_(u_levels * dim) {
   OTFAIR_CHECK_GT(dim_, 0u);
+  OTFAIR_CHECK_GE(s_levels_, 2u);
+  OTFAIR_CHECK_GE(u_levels_, 1u);
   OTFAIR_CHECK_EQ(feature_names_.size(), dim_);
+  // Default lambdas: uniform over the s levels ({0.5, 0.5} for binary).
+  lambdas_.assign(s_levels_, 1.0 / static_cast<double>(s_levels_));
+  for (ChannelPlan& channel : channels_) {
+    channel.marginal.resize(s_levels_);
+    channel.plan.resize(s_levels_);
+  }
 }
 
 ChannelPlan& RepairPlanSet::At(int u, size_t k) {
-  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < u_levels_);
   OTFAIR_CHECK_LT(k, dim_);
   return channels_[static_cast<size_t>(u) * dim_ + k];
 }
 
 const ChannelPlan& RepairPlanSet::At(int u, size_t k) const {
-  OTFAIR_CHECK(u == 0 || u == 1);
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < u_levels_);
   OTFAIR_CHECK_LT(k, dim_);
   return channels_[static_cast<size_t>(u) * dim_ + k];
 }
 
+Status RepairPlanSet::set_lambdas(std::vector<double> lambdas) {
+  // Explicit weights only — the setter never defaults, so an empty vector
+  // is a size mismatch, and ResolveLambdas carries the one validation/
+  // normalization contract (its t is unused on the explicit path).
+  if (lambdas.empty())
+    return Status::InvalidArgument("lambdas must carry one weight per s level");
+  auto resolved = ResolveLambdas(lambdas, /*t=*/0.0, s_levels_);
+  if (!resolved.ok()) return resolved.status();
+  lambdas_ = std::move(*resolved);
+  return Status::Ok();
+}
+
 Status RepairPlanSet::Validate(double tolerance) const {
   if (dim_ == 0) return Status::FailedPrecondition("empty plan set");
-  for (int u = 0; u <= 1; ++u) {
+  for (size_t u = 0; u < u_levels_; ++u) {
     for (size_t k = 0; k < dim_; ++k) {
-      Status status = At(u, k).Validate(tolerance);
+      const ChannelPlan& channel = At(static_cast<int>(u), k);
+      if (channel.s_levels() != s_levels_)
+        return Status::FailedPrecondition("channel (u=" + std::to_string(u) +
+                                          ", k=" + std::to_string(k) +
+                                          "): s-level count mismatch");
+      Status status = channel.Validate(tolerance);
       if (!status.ok())
         return Status(status.code(), "channel (u=" + std::to_string(u) +
                                          ", k=" + std::to_string(k) + "): " + status.message());
@@ -154,24 +209,27 @@ Status RepairPlanSet::SaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   WriteU32(out, kMagic);
-  WriteU32(out, kVersionCsr);
+  WriteU32(out, kVersionMultiGroup);
   WriteU64(out, dim_);
   WriteF64(out, target_t_);
+  WriteU32(out, static_cast<uint32_t>(u_levels_));
+  WriteU32(out, static_cast<uint32_t>(s_levels_));
+  WriteDoubles(out, lambdas_.data(), lambdas_.size());
   for (const std::string& name : feature_names_) WriteString(out, name);
-  for (int u = 0; u <= 1; ++u) {
+  for (size_t u = 0; u < u_levels_; ++u) {
     for (size_t k = 0; k < dim_; ++k) {
-      const ChannelPlan& channel = At(u, k);
+      const ChannelPlan& channel = At(static_cast<int>(u), k);
       WriteU64(out, channel.grid.size());
       WriteF64(out, channel.grid.lo());
       WriteF64(out, channel.grid.hi());
-      for (int s = 0; s <= 1; ++s) WriteMeasure(out, channel.marginal[static_cast<size_t>(s)]);
+      for (size_t s = 0; s < s_levels_; ++s) WriteMeasure(out, channel.marginal[s]);
       WriteMeasure(out, channel.barycenter);
-      for (int s = 0; s <= 1; ++s) {
+      for (size_t s = 0; s < s_levels_; ++s) {
         // CSR payload: nnz, then offsets / column indices / values, each
         // as one contiguous write. The artifact shrinks from O(n_Q^2) to
         // O(nnz) doubles per plan. Offsets go through a u64 staging
         // buffer so the on-disk width is fixed regardless of size_t.
-        const ot::SparsePlan& pi = channel.plan[static_cast<size_t>(s)];
+        const ot::SparsePlan& pi = channel.plan[s];
         WriteU64(out, pi.nnz());
         const std::vector<uint64_t> offsets(pi.row_offsets().begin(), pi.row_offsets().end());
         WriteU64s(out, offsets.data(), offsets.size());
@@ -191,23 +249,43 @@ Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
   uint32_t version = 0;
   if (!ReadU32(in, &magic) || magic != kMagic)
     return Status::IoError("not a repair-plan file: " + path);
-  if (!ReadU32(in, &version) || (version != kVersionDense && version != kVersionCsr))
+  if (!ReadU32(in, &version) ||
+      (version != kVersionDense && version != kVersionCsr && version != kVersionMultiGroup))
     return Status::IoError("unsupported plan version in " + path);
   uint64_t dim = 0;
   double target_t = 0.5;
   if (!ReadU64(in, &dim) || dim == 0 || dim > (1u << 16))
     return Status::IoError("corrupt plan header: " + path);
   if (!ReadF64(in, &target_t)) return Status::IoError("corrupt plan header: " + path);
+  // v1/v2 are the binary-era formats: two u strata, two s classes, the
+  // barycentric weights implied by t.
+  size_t u_levels = 2;
+  size_t s_levels = 2;
+  std::vector<double> lambdas = {1.0 - target_t, target_t};
+  if (version == kVersionMultiGroup) {
+    uint32_t raw_u = 0;
+    uint32_t raw_s = 0;
+    if (!ReadU32(in, &raw_u) || !ReadU32(in, &raw_s) || raw_u < 1 || raw_s < 2 ||
+        raw_u > data::kMaxAttributeLevels || raw_s > data::kMaxAttributeLevels)
+      return Status::IoError("corrupt level counts in " + path);
+    u_levels = raw_u;
+    s_levels = raw_s;
+    lambdas.assign(s_levels, 0.0);
+    if (!ReadDoubles(in, lambdas.data(), lambdas.size()))
+      return Status::IoError("truncated lambdas in " + path);
+  }
   std::vector<std::string> names(dim);
   for (uint64_t k = 0; k < dim; ++k) {
     if (!ReadString(in, &names[k])) return Status::IoError("corrupt feature names: " + path);
   }
 
-  RepairPlanSet set(dim, std::move(names));
+  RepairPlanSet set(dim, std::move(names), s_levels, u_levels);
   set.set_target_t(target_t);
-  for (int u = 0; u <= 1; ++u) {
+  if (Status status = set.set_lambdas(std::move(lambdas)); !status.ok())
+    return Status::IoError("corrupt lambdas in " + path + ": " + status.message());
+  for (size_t u = 0; u < u_levels; ++u) {
     for (size_t k = 0; k < dim; ++k) {
-      ChannelPlan& channel = set.At(u, k);
+      ChannelPlan& channel = set.At(static_cast<int>(u), k);
       uint64_t nq = 0;
       double lo = 0.0;
       double hi = 0.0;
@@ -218,21 +296,21 @@ Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
       auto grid = SupportGrid::Create(lo, hi, nq);
       if (!grid.ok()) return grid.status();
       channel.grid = std::move(*grid);
-      for (int s = 0; s <= 1; ++s) {
+      for (size_t s = 0; s < s_levels; ++s) {
         auto m = ReadMeasure(in);
         if (!m.ok()) return m.status();
-        channel.marginal[static_cast<size_t>(s)] = std::move(*m);
+        channel.marginal[s] = std::move(*m);
       }
       auto bary = ReadMeasure(in);
       if (!bary.ok()) return bary.status();
       channel.barycenter = std::move(*bary);
-      for (int s = 0; s <= 1; ++s) {
+      for (size_t s = 0; s < s_levels; ++s) {
         if (version == kVersionDense) {
           // Legacy dense payload: read the full matrix and compress.
           Matrix pi(nq, nq);
           if (!ReadDoubles(in, pi.data(), pi.size()))
             return Status::IoError("truncated plan matrix: " + path);
-          channel.plan[static_cast<size_t>(s)] = ot::SparsePlan::FromDense(pi);
+          channel.plan[s] = ot::SparsePlan::FromDense(pi);
           continue;
         }
         uint64_t nnz = 0;
@@ -252,7 +330,7 @@ Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
             std::move(cols), std::move(values));
         if (!pi.ok())
           return Status::IoError("corrupt CSR plan in " + path + ": " + pi.status().message());
-        channel.plan[static_cast<size_t>(s)] = std::move(*pi);
+        channel.plan[s] = std::move(*pi);
       }
     }
   }

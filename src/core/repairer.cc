@@ -58,12 +58,14 @@ OffSampleRepairer::OffSampleRepairer(RepairPlanSet plans, const RepairOptions& o
 
 Status OffSampleRepairer::BuildTables() {
   const size_t dim = plans_.dim();
-  tables_.resize(4 * dim);
-  for (int u = 0; u <= 1; ++u) {
-    for (int s = 0; s <= 1; ++s) {
+  const size_t s_levels = plans_.s_levels();
+  const size_t u_levels = plans_.u_levels();
+  tables_.resize(u_levels * s_levels * dim);
+  for (size_t u = 0; u < u_levels; ++u) {
+    for (size_t s = 0; s < s_levels; ++s) {
       for (size_t k = 0; k < dim; ++k) {
-        const ChannelPlan& channel = plans_.At(u, k);
-        const ot::SparsePlan& pi = channel.plan[static_cast<size_t>(s)];
+        const ChannelPlan& channel = plans_.At(static_cast<int>(u), k);
+        const ot::SparsePlan& pi = channel.plan[s];
         const size_t nq = channel.grid.size();
         RowTables tables;
         tables.alias.resize(nq);
@@ -116,8 +118,7 @@ Status OffSampleRepairer::BuildTables() {
             }
           }
         }
-        tables_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * dim + k] =
-            std::move(tables);
+        tables_[(u * s_levels + s) * dim + k] = std::move(tables);
       }
     }
   }
@@ -125,10 +126,12 @@ Status OffSampleRepairer::BuildTables() {
 }
 
 const OffSampleRepairer::RowTables& OffSampleRepairer::TablesFor(int u, int s, size_t k) const {
-  OTFAIR_CHECK(u == 0 || u == 1);
-  OTFAIR_CHECK(s == 0 || s == 1);
+  OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < plans_.u_levels());
+  OTFAIR_CHECK(s >= 0 && static_cast<size_t>(s) < plans_.s_levels());
   OTFAIR_CHECK_LT(k, plans_.dim());
-  return tables_[(static_cast<size_t>(u) * 2 + static_cast<size_t>(s)) * plans_.dim() + k];
+  return tables_[(static_cast<size_t>(u) * plans_.s_levels() + static_cast<size_t>(s)) *
+                     plans_.dim() +
+                 k];
 }
 
 double OffSampleRepairer::RepairValue(int u, int s, size_t k, double x) {
@@ -186,6 +189,9 @@ double OffSampleRepairer::RepairValueImpl(int u, int s, size_t k, double x, comm
 
 double OffSampleRepairer::RepairValueSoft(int u, double pr_s1, size_t k, double x) {
   OTFAIR_CHECK(pr_s1 >= 0.0 && pr_s1 <= 1.0);
+  // Soft labels are the binary probabilistic-attribute mode (§VI); the
+  // multi-group pipeline uses hard categorical labels.
+  OTFAIR_CHECK_EQ(plans_.s_levels(), 2u);
   const int s = rng_.Bernoulli(pr_s1) ? 1 : 0;
   return RepairValue(u, s, k, x);
 }
@@ -201,7 +207,13 @@ Result<data::Dataset> OffSampleRepairer::RepairDatasetWithLabels(
   if (s_labels.size() != dataset.size())
     return Status::InvalidArgument("s_labels length must match dataset size");
   for (int s : s_labels) {
-    if (s != 0 && s != 1) return Status::InvalidArgument("s_labels must be binary");
+    if (s < 0 || static_cast<size_t>(s) >= plans_.s_levels())
+      return Status::InvalidArgument("s_labels must lie in [0, " +
+                                     std::to_string(plans_.s_levels()) + ")");
+  }
+  for (int u : dataset.u_labels()) {
+    if (u < 0 || static_cast<size_t>(u) >= plans_.u_levels())
+      return Status::InvalidArgument("dataset u labels exceed the plan's u levels");
   }
   data::Dataset repaired = dataset.Clone();
   const size_t n = dataset.size();
@@ -235,6 +247,9 @@ Result<data::Dataset> OffSampleRepairer::RepairDatasetSoft(const data::Dataset& 
     return Status::InvalidArgument("dataset dimensionality does not match the plan set");
   if (pr_s1.size() != dataset.size())
     return Status::InvalidArgument("pr_s1 length must match dataset size");
+  if (plans_.s_levels() != 2)
+    return Status::InvalidArgument(
+        "soft (probabilistic) repair is defined for binary s only");
   for (double p : pr_s1) {
     if (!(p >= 0.0 && p <= 1.0))
       return Status::InvalidArgument("posteriors must lie in [0, 1]");

@@ -96,7 +96,7 @@ class OffSampleRepairer {
   /// Soft-label streaming repair for probabilistic protected attributes
   /// (§VI / ref. [39]): draws s ~ Bernoulli(pr_s1) and repairs under the
   /// drawn class, so the marginal of the output is the posterior-weighted
-  /// mixture of the two class repairs.
+  /// mixture of the two class repairs. Binary |S| = 2 plans only.
   double RepairValueSoft(int u, double pr_s1, size_t k, double x);
 
   /// Repairs every feature of every row, using the dataset's own (u, s)
@@ -149,7 +149,7 @@ class OffSampleRepairer {
   RepairOptions options_;
   common::Rng rng_;
   RepairStats stats_;
-  std::vector<RowTables> tables_;  // index: (u * 2 + s) * dim + k
+  std::vector<RowTables> tables_;  // index: (u * |S| + s) * dim + k
 };
 
 }  // namespace otfair::core

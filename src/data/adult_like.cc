@@ -72,6 +72,48 @@ GroupParams ParamsFor(int u, int s, double drift) {
   return p;
 }
 
+/// Multi-level parameters: bilinear interpolation of the four calibrated
+/// binary corners over (uf, sf) = (u/(|U|-1), s/(|S|-1)). At the binary
+/// corners the interpolated values agree with ParamsFor up to roundoff;
+/// the binary generator still calls ParamsFor directly so its output stays
+/// bit-identical.
+GroupParams ParamsForLevels(double uf, double sf, double drift) {
+  auto bilerp = [&](double p00, double p01, double p10, double p11) {
+    return (1.0 - uf) * ((1.0 - sf) * p00 + sf * p01) +
+           uf * ((1.0 - sf) * p10 + sf * p11);
+  };
+  GroupParams p{};
+  p.age_mean = bilerp(36.5, 38.5, 39.5, 42.0);
+  p.age_sd = bilerp(13.5, 13.5, 12.5, 12.5);
+  p.w_parttime = bilerp(0.35, 0.15, 0.20, 0.10);
+  p.w_spike40 = bilerp(0.45, 0.50, 0.50, 0.45);
+  p.w_overtime = bilerp(0.20, 0.35, 0.30, 0.45);
+  p.parttime_mean = bilerp(24.0, 26.0, 26.0, 28.0);
+  p.overtime_mean = bilerp(50.0, 52.0, 52.0, 55.0);
+  p.age_mean += 2.0 * drift;
+  p.w_overtime += 0.08 * drift;
+  p.w_spike40 -= 0.04 * drift;
+  p.w_parttime -= 0.04 * drift;
+  p.w_parttime = std::max(p.w_parttime, 0.01);
+  p.w_spike40 = std::max(p.w_spike40, 0.01);
+  return p;
+}
+
+/// Geometric-odds level prior: weight_j ∝ odds^j, normalized. odds > 1
+/// tilts mass toward the higher levels (as Adult tilts toward s = 1).
+std::vector<double> GeometricLevelPrior(size_t levels, double odds) {
+  std::vector<double> w(levels);
+  double total = 0.0;
+  double cur = 1.0;
+  for (size_t j = 0; j < levels; ++j) {
+    w[j] = cur;
+    total += cur;
+    cur *= odds;
+  }
+  for (double& v : w) v /= total;
+  return w;
+}
+
 double SampleAge(Rng& rng, const GroupParams& p) {
   // Shifted gamma: age = 17 + Gamma(shape, scale) with matched mean/sd.
   const double offset_mean = p.age_mean - 17.0;
@@ -96,9 +138,11 @@ double SampleHours(Rng& rng, const GroupParams& p) {
 }
 
 /// Income model: logistic in (age, hours, u, s), calibrated to ~24% positive
-/// rate overall with the male/college premiums Adult exhibits.
-int SampleOutcome(Rng& rng, double age, double hours, int u, int s) {
-  const double z = -7.2 + 0.055 * age + 0.050 * hours + 1.15 * u + 0.85 * s;
+/// rate overall with the male/college premiums Adult exhibits. `uf`/`sf`
+/// are the level fractions u/(|U|-1), s/(|S|-1) — identical to the raw
+/// labels in the binary case.
+int SampleOutcome(Rng& rng, double age, double hours, double uf, double sf) {
+  const double z = -7.2 + 0.055 * age + 0.050 * hours + 1.15 * uf + 0.85 * sf;
   const double prob = 1.0 / (1.0 + std::exp(-z));
   return rng.Bernoulli(prob) ? 1 : 0;
 }
@@ -109,10 +153,30 @@ Result<Dataset> GenerateAdultLike(size_t n, Rng& rng, const AdultLikeOptions& op
   if (n == 0) return Status::InvalidArgument("n must be positive");
   if (!(options.drift >= 0.0 && options.drift <= 1.0))
     return Status::InvalidArgument("drift must lie in [0, 1]");
+  if (options.s_levels < 2 || options.u_levels < 2)
+    return Status::InvalidArgument("s_levels and u_levels must be >= 2");
 
   constexpr double kProbU1 = 0.27;
   constexpr double kProbS1GivenU0 = 0.64;
   constexpr double kProbS1GivenU1 = 0.72;
+
+  const bool binary = options.s_levels == 2 && options.u_levels == 2;
+  const size_t s_levels = options.s_levels;
+  const size_t u_levels = options.u_levels;
+  // Multi-level priors: u tilts toward level 0 (non-college majority), s|u
+  // toward the top level with college-increasing odds — the same direction
+  // as the published binary marginals.
+  std::vector<double> prior_u;
+  std::vector<std::vector<double>> prior_s_given_u;
+  if (!binary) {
+    prior_u = GeometricLevelPrior(u_levels, kProbU1 / (1.0 - kProbU1));
+    prior_s_given_u.resize(u_levels);
+    for (size_t m = 0; m < u_levels; ++m) {
+      const double uf = static_cast<double>(m) / static_cast<double>(u_levels - 1);
+      const double pr_s_top = kProbS1GivenU0 + (kProbS1GivenU1 - kProbS1GivenU0) * uf;
+      prior_s_given_u[m] = GeometricLevelPrior(s_levels, pr_s_top / (1.0 - pr_s_top));
+    }
+  }
 
   Matrix features(n, 2);
   std::vector<int> s(n);
@@ -121,9 +185,19 @@ Result<Dataset> GenerateAdultLike(size_t n, Rng& rng, const AdultLikeOptions& op
   if (options.with_outcome) y.resize(n);
 
   for (size_t i = 0; i < n; ++i) {
-    u[i] = rng.Bernoulli(kProbU1) ? 1 : 0;
-    s[i] = rng.Bernoulli(u[i] ? kProbS1GivenU1 : kProbS1GivenU0) ? 1 : 0;
-    const GroupParams params = ParamsFor(u[i], s[i], options.drift);
+    GroupParams params;
+    if (binary) {
+      // The paper's binary path, preserved bit-for-bit.
+      u[i] = rng.Bernoulli(kProbU1) ? 1 : 0;
+      s[i] = rng.Bernoulli(u[i] ? kProbS1GivenU1 : kProbS1GivenU0) ? 1 : 0;
+      params = ParamsFor(u[i], s[i], options.drift);
+    } else {
+      u[i] = static_cast<int>(rng.Categorical(prior_u));
+      s[i] = static_cast<int>(rng.Categorical(prior_s_given_u[static_cast<size_t>(u[i])]));
+      params = ParamsForLevels(
+          static_cast<double>(u[i]) / static_cast<double>(u_levels - 1),
+          static_cast<double>(s[i]) / static_cast<double>(s_levels - 1), options.drift);
+    }
     features(i, 0) = SampleAge(rng, params);
     features(i, 1) = SampleHours(rng, params);
     if (options.integer_valued) {
@@ -131,11 +205,13 @@ Result<Dataset> GenerateAdultLike(size_t n, Rng& rng, const AdultLikeOptions& op
       features(i, 1) = std::round(features(i, 1));
     }
     if (options.with_outcome)
-      y[i] = SampleOutcome(rng, features(i, 0), features(i, 1), u[i], s[i]);
+      y[i] = SampleOutcome(rng, features(i, 0), features(i, 1),
+                           static_cast<double>(u[i]) / static_cast<double>(u_levels - 1),
+                           static_cast<double>(s[i]) / static_cast<double>(s_levels - 1));
   }
 
   return Dataset::Create(std::move(features), std::move(s), std::move(u),
-                         {"age", "hours_per_week"}, std::move(y));
+                         {"age", "hours_per_week"}, std::move(y), s_levels, u_levels);
 }
 
 }  // namespace otfair::data

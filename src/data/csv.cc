@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -14,6 +16,14 @@ using common::Status;
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
+  // Level counts that inference cannot recover (a declared level with no
+  // observed rows, or a single declared u stratum) are persisted in a
+  // comment line. Datasets whose levels match inference — every
+  // binary-era file — are written byte-identically to earlier releases.
+  if (dataset.s_levels() != Dataset::InferLevels(dataset.s_labels()) ||
+      dataset.u_levels() != Dataset::InferLevels(dataset.u_labels())) {
+    out << "# s_levels=" << dataset.s_levels() << " u_levels=" << dataset.u_levels() << "\n";
+  }
   out << "s,u";
   if (dataset.has_outcome()) out << ",y";
   for (const std::string& name : dataset.feature_names()) out << "," << name;
@@ -35,6 +45,23 @@ Result<Dataset> ReadCsv(const std::string& path) {
 
   std::string line;
   if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  // Optional level-count comment (written by WriteCsv when inference
+  // would under-count; see above). A comment line that is not a valid
+  // level declaration is an error, not silently ignored — dropping a
+  // malformed declaration would let the dataset load with the wrong |S|.
+  size_t s_levels = 0;
+  size_t u_levels = 0;
+  if (!line.empty() && line[0] == '#') {
+    int s_parsed = 0;
+    int u_parsed = 0;
+    if (std::sscanf(line.c_str(), "# s_levels=%d u_levels=%d", &s_parsed, &u_parsed) != 2 ||
+        s_parsed < 2 || u_parsed < 1)
+      return Status::InvalidArgument(
+          "unrecognized comment header (expected '# s_levels=K u_levels=M'): " + path);
+    s_levels = static_cast<size_t>(s_parsed);
+    u_levels = static_cast<size_t>(u_parsed);
+    if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  }
   std::vector<std::string> header = common::Split(common::Trim(line), ',');
   if (header.size() < 3 || common::Trim(header[0]) != "s" || common::Trim(header[1]) != "u")
     return Status::InvalidArgument("header must be 's,u[,y],<features...>': " + path);
@@ -59,28 +86,26 @@ Result<Dataset> ReadCsv(const std::string& path) {
     if (cells.size() != header.size())
       return Status::InvalidArgument("row " + std::to_string(line_number) +
                                      ": wrong column count in " + path);
-    auto parse_label = [&](const std::string& cell, int* out_label) -> bool {
+    // s/u are categorical levels (any non-negative integer); y stays 0/1.
+    auto parse_level = [&](const std::string& cell, int* out_label) -> bool {
       const std::string t = common::Trim(cell);
-      if (t == "0") {
-        *out_label = 0;
-        return true;
-      }
-      if (t == "1") {
-        *out_label = 1;
-        return true;
-      }
-      return false;
+      if (t.empty()) return false;
+      char* end = nullptr;
+      const long v = std::strtol(t.c_str(), &end, 10);
+      if (end == t.c_str() || *end != '\0' || v < 0 || v > (1 << 20)) return false;
+      *out_label = static_cast<int>(v);
+      return true;
     };
     int si = 0;
     int ui = 0;
-    if (!parse_label(cells[0], &si) || !parse_label(cells[1], &ui))
+    if (!parse_level(cells[0], &si) || !parse_level(cells[1], &ui))
       return Status::InvalidArgument("row " + std::to_string(line_number) +
-                                     ": labels must be 0/1 in " + path);
+                                     ": labels must be non-negative integers in " + path);
     s.push_back(si);
     u.push_back(ui);
     if (has_outcome) {
       int yi = 0;
-      if (!parse_label(cells[2], &yi))
+      if (!parse_level(cells[2], &yi) || yi > 1)
         return Status::InvalidArgument("row " + std::to_string(line_number) +
                                        ": outcome must be 0/1 in " + path);
       y.push_back(yi);
@@ -98,7 +123,7 @@ Result<Dataset> ReadCsv(const std::string& path) {
   }
   if (rows.empty()) return Status::InvalidArgument("no data rows in " + path);
   return Dataset::Create(common::Matrix::FromRows(rows), std::move(s), std::move(u),
-                         std::move(names), std::move(y));
+                         std::move(names), std::move(y), s_levels, u_levels);
 }
 
 }  // namespace otfair::data

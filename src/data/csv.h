@@ -12,17 +12,27 @@ namespace otfair::data {
 /// CSV persistence for datasets.
 ///
 /// File layout: a header row `s,u[,y],<feature names...>` followed by one
-/// row per record. `s`, `u` (and `y` when present) are 0/1; features are
-/// decimal doubles. This is the interchange format for loading externally
-/// prepared data (e.g. a preprocessed copy of the genuine UCI Adult file)
-/// into the repair pipeline.
+/// row per record. `s` and `u` are non-negative categorical levels
+/// (0, 1, ..., L-1); `y`, when present, is 0/1; features are decimal
+/// doubles. This is the interchange format for loading externally prepared
+/// data (e.g. a preprocessed copy of the genuine UCI Adult file) into the
+/// repair pipeline.
+///
+/// When a dataset's declared level counts exceed what inference would
+/// recover from the labels (an unobserved top level, or |U| = 1), an
+/// optional first line `# s_levels=K u_levels=M` persists them; binary-era
+/// files never need (and never get) the comment, so their byte layout is
+/// unchanged.
 
 /// Writes `dataset` to `path`, overwriting any existing file.
 common::Status WriteCsv(const Dataset& dataset, const std::string& path);
 
 /// Reads a dataset from `path`. The header must start with `s,u`
 /// (optionally followed by `y`), and every row must parse as numbers with
-/// binary labels.
+/// non-negative integer s/u levels (binary y). Level counts come from the
+/// `# s_levels=.. u_levels=..` comment when present, otherwise they are
+/// inferred from the data (max label + 1, floored at 2), matching
+/// Dataset::Create.
 common::Result<Dataset> ReadCsv(const std::string& path);
 
 }  // namespace otfair::data

@@ -1,5 +1,7 @@
 #include "data/dataset.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/status.h"
 
@@ -10,12 +12,38 @@ using common::Result;
 using common::Rng;
 using common::Status;
 
-std::vector<GroupKey> AllGroups() {
-  return {GroupKey{0, 0}, GroupKey{0, 1}, GroupKey{1, 0}, GroupKey{1, 1}};
+namespace {
+
+/// Resolves an attribute's level count: explicit wins (validated against
+/// `min_levels`), otherwise Dataset::InferLevels.
+Result<size_t> ResolveLevels(const std::vector<int>& labels, size_t explicit_levels,
+                             size_t min_levels, const char* name) {
+  size_t levels = explicit_levels;
+  if (levels == 0) levels = Dataset::InferLevels(labels);
+  if (levels < min_levels)
+    return Status::InvalidArgument(std::string(name) + "_levels must be >= " +
+                                   std::to_string(min_levels));
+  if (levels > kMaxAttributeLevels)
+    return Status::InvalidArgument(std::string(name) + "_levels exceeds the supported maximum");
+  for (int v : labels) {
+    if (v < 0 || static_cast<size_t>(v) >= levels)
+      return Status::InvalidArgument(std::string(name) + " labels must lie in [0, " +
+                                     std::to_string(levels) + ")");
+  }
+  return levels;
+}
+
+}  // namespace
+
+size_t Dataset::InferLevels(const std::vector<int>& labels) {
+  int max_label = 0;
+  for (int v : labels) max_label = std::max(max_label, v);
+  return std::max<size_t>(static_cast<size_t>(max_label) + 1, 2);
 }
 
 Result<Dataset> Dataset::Create(Matrix features, std::vector<int> s, std::vector<int> u,
-                                std::vector<std::string> feature_names, std::vector<int> outcome) {
+                                std::vector<std::string> feature_names, std::vector<int> outcome,
+                                size_t s_levels, size_t u_levels) {
   const size_t n = features.rows();
   if (n == 0) return Status::InvalidArgument("dataset must have at least one row");
   if (s.size() != n || u.size() != n)
@@ -24,9 +52,11 @@ Result<Dataset> Dataset::Create(Matrix features, std::vector<int> s, std::vector
     return Status::InvalidArgument("outcome vector must match the number of rows");
   if (feature_names.size() != features.cols())
     return Status::InvalidArgument("feature_names must match the number of feature columns");
+  auto resolved_s = ResolveLevels(s, s_levels, 2, "s");
+  if (!resolved_s.ok()) return resolved_s.status();
+  auto resolved_u = ResolveLevels(u, u_levels, 1, "u");
+  if (!resolved_u.ok()) return resolved_u.status();
   for (size_t i = 0; i < n; ++i) {
-    if (s[i] != 0 && s[i] != 1) return Status::InvalidArgument("s labels must be binary");
-    if (u[i] != 0 && u[i] != 1) return Status::InvalidArgument("u labels must be binary");
     if (!outcome.empty() && outcome[i] != 0 && outcome[i] != 1)
       return Status::InvalidArgument("outcomes must be binary");
   }
@@ -36,6 +66,8 @@ Result<Dataset> Dataset::Create(Matrix features, std::vector<int> s, std::vector
   out.u_ = std::move(u);
   out.y_ = std::move(outcome);
   out.feature_names_ = std::move(feature_names);
+  out.s_levels_ = *resolved_s;
+  out.u_levels_ = *resolved_u;
   return out;
 }
 
@@ -44,12 +76,29 @@ std::vector<double> Dataset::Row(size_t i) const {
   return std::vector<double>(features_.row(i), features_.row(i) + dim());
 }
 
+std::vector<GroupKey> Dataset::Groups() const {
+  std::vector<GroupKey> out;
+  out.reserve(u_levels_ * s_levels_);
+  for (size_t u = 0; u < u_levels_; ++u) {
+    for (size_t s = 0; s < s_levels_; ++s)
+      out.push_back(GroupKey{static_cast<int>(u), static_cast<int>(s)});
+  }
+  return out;
+}
+
 std::vector<size_t> Dataset::GroupIndices(const GroupKey& group) const {
   std::vector<size_t> out;
   for (size_t i = 0; i < size(); ++i) {
     if (u_[i] == group.u && s_[i] == group.s) out.push_back(i);
   }
   return out;
+}
+
+std::vector<std::vector<size_t>> Dataset::GroupIndexBuckets() const {
+  std::vector<std::vector<size_t>> buckets(u_levels_ * s_levels_);
+  for (size_t i = 0; i < size(); ++i)
+    buckets[static_cast<size_t>(u_[i]) * s_levels_ + static_cast<size_t>(s_[i])].push_back(i);
+  return buckets;
 }
 
 std::vector<size_t> Dataset::UIndices(int u) const {
@@ -81,27 +130,31 @@ std::vector<double> Dataset::FeatureColumn(size_t k) const {
 
 std::map<GroupKey, size_t> Dataset::GroupCounts() const {
   std::map<GroupKey, size_t> counts;
-  for (const GroupKey& g : AllGroups()) counts[g] = 0;
+  for (const GroupKey& g : Groups()) counts[g] = 0;
   for (size_t i = 0; i < size(); ++i) ++counts[GroupKey{u_[i], s_[i]}];
   return counts;
 }
 
-double Dataset::ProportionU1() const {
+double Dataset::ProportionU1() const { return ProportionU(1); }
+
+double Dataset::ProportionS1GivenU(int u) const { return ProportionSGivenU(1, u); }
+
+double Dataset::ProportionU(int level) const {
   size_t count = 0;
-  for (int u : u_) count += static_cast<size_t>(u);
+  for (int u : u_) count += static_cast<size_t>(u == level);
   return static_cast<double>(count) / static_cast<double>(size());
 }
 
-double Dataset::ProportionS1GivenU(int u) const {
+double Dataset::ProportionSGivenU(int level, int u) const {
   size_t in_group = 0;
-  size_t s1 = 0;
+  size_t hits = 0;
   for (size_t i = 0; i < size(); ++i) {
     if (u_[i] == u) {
       ++in_group;
-      s1 += static_cast<size_t>(s_[i]);
+      hits += static_cast<size_t>(s_[i] == level);
     }
   }
-  return in_group == 0 ? 0.0 : static_cast<double>(s1) / static_cast<double>(in_group);
+  return in_group == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(in_group);
 }
 
 Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
@@ -111,6 +164,8 @@ Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
   out.u_.reserve(indices.size());
   if (has_outcome()) out.y_.reserve(indices.size());
   out.feature_names_ = feature_names_;
+  out.s_levels_ = s_levels_;
+  out.u_levels_ = u_levels_;
   for (size_t r = 0; r < indices.size(); ++r) {
     const size_t i = indices[r];
     OTFAIR_CHECK_LT(i, size());

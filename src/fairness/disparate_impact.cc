@@ -1,5 +1,6 @@
 #include "fairness/disparate_impact.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/status.h"
@@ -82,6 +83,49 @@ Result<double> StatisticalParityDifference(const data::Dataset& dataset,
   auto rate1 = PositiveRate(dataset, predictions, u, 1);
   if (!rate1.ok()) return rate1.status();
   return *rate1 - *rate0;
+}
+
+Result<std::vector<double>> PositiveRatesPerLevel(const data::Dataset& dataset,
+                                                  const std::vector<int>& predictions, int u) {
+  OTFAIR_RETURN_IF_ERROR(ValidatePredictions(dataset, predictions));
+  if (u < 0 || static_cast<size_t>(u) >= dataset.u_levels())
+    return Status::InvalidArgument("u level out of range");
+  std::vector<double> rates;
+  rates.reserve(dataset.s_levels());
+  for (size_t s = 0; s < dataset.s_levels(); ++s) {
+    const Rate r = RateOver(predictions, dataset.GroupIndices({u, static_cast<int>(s)}));
+    if (!r.ok) return Status::FailedPrecondition("empty (u, s) group");
+    rates.push_back(r.value);
+  }
+  return rates;
+}
+
+namespace {
+
+/// (min, max) positive rate across the s levels of stratum u — the two
+/// rates every worst-pair metric reduces to.
+Result<std::pair<double, double>> RateExtremes(const data::Dataset& dataset,
+                                               const std::vector<int>& predictions, int u) {
+  auto rates = PositiveRatesPerLevel(dataset, predictions, u);
+  if (!rates.ok()) return rates.status();
+  const auto [lo, hi] = std::minmax_element(rates->begin(), rates->end());
+  return std::make_pair(*lo, *hi);
+}
+
+}  // namespace
+
+Result<double> DisparateImpactWorstPair(const data::Dataset& dataset,
+                                        const std::vector<int>& predictions, int u) {
+  auto extremes = RateExtremes(dataset, predictions, u);
+  if (!extremes.ok()) return extremes.status();
+  return Ratio(extremes->first, extremes->second);
+}
+
+Result<double> StatisticalParityWorstPair(const data::Dataset& dataset,
+                                          const std::vector<int>& predictions, int u) {
+  auto extremes = RateExtremes(dataset, predictions, u);
+  if (!extremes.ok()) return extremes.status();
+  return extremes->second - extremes->first;
 }
 
 Result<double> Accuracy(const data::Dataset& dataset, const std::vector<int>& predictions) {

@@ -31,6 +31,30 @@ common::Result<double> DisparateImpactUnconditional(const data::Dataset& dataset
 common::Result<double> StatisticalParityDifference(const data::Dataset& dataset,
                                                    const std::vector<int>& predictions, int u);
 
+/// Multi-group disparate impact, worst pair (u-conditional):
+///
+///     DI_worst(g, u) = min_{s, s'} Pr[g=1 | s, u] / Pr[g=1 | s', u]
+///                    = (min_s rate_s) / (max_s rate_s)
+///
+/// 1 is parity; the EEOC four-fifths rule generalizes to DI_worst > 0.8
+/// (every class pair passes). At |S| = 2 this is min(DI, 1/DI) of the
+/// binary DisparateImpact — direction-free, so it works for any level
+/// ordering. Returns 1 when no group receives positives; fails if any
+/// (u, s) group is empty.
+common::Result<double> DisparateImpactWorstPair(const data::Dataset& dataset,
+                                                const std::vector<int>& predictions, int u);
+
+/// Multi-group statistical parity, worst pair:
+/// max_s Pr[g=1|s,u] - min_s Pr[g=1|s,u]; 0 is parity.
+common::Result<double> StatisticalParityWorstPair(const data::Dataset& dataset,
+                                                  const std::vector<int>& predictions, int u);
+
+/// One-vs-rest positive rates: element s is Pr[g=1 | s, u] — the |S|
+/// per-class rates behind the worst-pair metrics, for reporting.
+common::Result<std::vector<double>> PositiveRatesPerLevel(const data::Dataset& dataset,
+                                                          const std::vector<int>& predictions,
+                                                          int u);
+
 /// Positive-prediction rate within group (u, s); the building block of both
 /// proxies, exposed for reporting.
 common::Result<double> PositiveRate(const data::Dataset& dataset,

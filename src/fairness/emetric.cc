@@ -37,53 +37,123 @@ Result<EMetricBreakdown> FeatureEMetric(const data::Dataset& dataset, size_t k,
   if (k >= dataset.dim()) return Status::InvalidArgument("feature index out of range");
   if (options.grid_size < 2) return Status::InvalidArgument("grid_size must be >= 2");
 
+  const size_t s_levels = dataset.s_levels();
+  const size_t u_levels = dataset.u_levels();
   EMetricBreakdown out;
-  out.e_u.assign(2, std::numeric_limits<double>::quiet_NaN());
-  out.pr_u.assign(2, 0.0);
+  out.e_u.assign(u_levels, std::numeric_limits<double>::quiet_NaN());
+  out.pr_u.assign(u_levels, 0.0);
 
   const double n_total = static_cast<double>(dataset.size());
   double usable_weight = 0.0;
   double weighted_e = 0.0;
 
-  for (int u = 0; u <= 1; ++u) {
-    const std::vector<size_t> idx0 = dataset.GroupIndices({u, 0});
-    const std::vector<size_t> idx1 = dataset.GroupIndices({u, 1});
-    const double pr_u = static_cast<double>(idx0.size() + idx1.size()) / n_total;
-    out.pr_u[static_cast<size_t>(u)] = pr_u;
-    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size) {
+  // All |U| * |S| group index sets in one dataset pass.
+  const std::vector<std::vector<size_t>> groups = dataset.GroupIndexBuckets();
+
+  for (size_t u = 0; u < u_levels; ++u) {
+    // Gather the stratum's estimable s-group samples (classes below
+    // min_group_size are skipped individually); the shared KDE grid spans
+    // their combined range. A stratum needs at least two estimable
+    // classes to yield a pair — which for the binary case reproduces the
+    // original all-or-nothing two-group computation exactly.
+    std::vector<std::vector<double>> samples;
+    double pr_u_count = 0.0;
+    for (size_t s = 0; s < s_levels; ++s) {
+      const std::vector<size_t>& idx = groups[u * s_levels + s];
+      pr_u_count += static_cast<double>(idx.size());
+      if (idx.size() < options.min_group_size) continue;
+      samples.push_back(dataset.FeatureColumn(k, idx));
+    }
+    const double pr_u = pr_u_count / n_total;
+    out.pr_u[u] = pr_u;
+    if (samples.size() < 2) {
       continue;  // stratum not estimable; weight renormalized below
     }
 
-    const std::vector<double> x0 = dataset.FeatureColumn(k, idx0);
-    const std::vector<double> x1 = dataset.FeatureColumn(k, idx1);
-
-    double lo = std::min(*std::min_element(x0.begin(), x0.end()),
-                         *std::min_element(x1.begin(), x1.end()));
-    double hi = std::max(*std::max_element(x0.begin(), x0.end()),
-                         *std::max_element(x1.begin(), x1.end()));
+    double lo = samples[0][0];
+    double hi = samples[0][0];
+    for (const std::vector<double>& x : samples) {
+      lo = std::min(lo, *std::min_element(x.begin(), x.end()));
+      hi = std::max(hi, *std::max_element(x.begin(), x.end()));
+    }
     const std::vector<double> grid = UniformGrid(lo, hi, options.grid_size);
 
-    auto kde0 = stats::GaussianKde::FitSilverman(x0);
-    if (!kde0.ok()) return kde0.status();
-    auto kde1 = stats::GaussianKde::FitSilverman(x1);
-    if (!kde1.ok()) return kde1.status();
-    auto pmf0 = kde0->PmfOnGrid(grid);
-    if (!pmf0.ok()) return pmf0.status();
-    auto pmf1 = kde1->PmfOnGrid(grid);
-    if (!pmf1.ok()) return pmf1.status();
+    std::vector<std::vector<double>> pmfs;
+    pmfs.reserve(samples.size());
+    for (const std::vector<double>& x : samples) {
+      auto kde = stats::GaussianKde::FitSilverman(x);
+      if (!kde.ok()) return kde.status();
+      auto pmf = kde->PmfOnGrid(grid);
+      if (!pmf.ok()) return pmf.status();
+      pmfs.push_back(std::move(*pmf));
+    }
 
-    auto e_u = stats::SymmetrizedKl(*pmf0, *pmf1, options.kl_floor);
-    if (!e_u.ok()) return e_u.status();
+    // Max over pairs: the worst-separated class pair is the stratum's E.
+    double e_u = 0.0;
+    for (size_t a = 0; a < pmfs.size(); ++a) {
+      for (size_t b = a + 1; b < pmfs.size(); ++b) {
+        auto pair_e = stats::SymmetrizedKl(pmfs[a], pmfs[b], options.kl_floor);
+        if (!pair_e.ok()) return pair_e.status();
+        e_u = std::max(e_u, *pair_e);
+      }
+    }
 
-    out.e_u[static_cast<size_t>(u)] = *e_u;
+    out.e_u[u] = e_u;
     usable_weight += pr_u;
-    weighted_e += pr_u * (*e_u);
+    weighted_e += pr_u * e_u;
   }
 
   if (usable_weight <= 0.0)
     return Status::FailedPrecondition(
-        "no u-stratum has both s-groups populated; E is undefined");
+        "no u-stratum has enough populated s-groups; E is undefined");
   out.e = weighted_e / usable_weight;
+  return out;
+}
+
+Result<std::vector<double>> OneVsRestEMetric(const data::Dataset& dataset, int u, size_t k,
+                                             const EMetricOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (k >= dataset.dim()) return Status::InvalidArgument("feature index out of range");
+  if (u < 0 || static_cast<size_t>(u) >= dataset.u_levels())
+    return Status::InvalidArgument("u level out of range");
+  if (options.grid_size < 2) return Status::InvalidArgument("grid_size must be >= 2");
+
+  const size_t s_levels = dataset.s_levels();
+  std::vector<std::vector<double>> per_level(s_levels);
+  std::vector<double> pooled;
+  for (size_t s = 0; s < s_levels; ++s) {
+    per_level[s] =
+        dataset.FeatureColumn(k, dataset.GroupIndices({u, static_cast<int>(s)}));
+    pooled.insert(pooled.end(), per_level[s].begin(), per_level[s].end());
+  }
+  if (pooled.empty()) return Status::FailedPrecondition("u stratum is empty");
+  const double lo = *std::min_element(pooled.begin(), pooled.end());
+  const double hi = *std::max_element(pooled.begin(), pooled.end());
+  const std::vector<double> grid = UniformGrid(lo, hi, options.grid_size);
+
+  std::vector<double> out(s_levels, std::numeric_limits<double>::quiet_NaN());
+  for (size_t s = 0; s < s_levels; ++s) {
+    // Rest = the pooled complement of level s.
+    std::vector<double> rest;
+    rest.reserve(pooled.size() - per_level[s].size());
+    for (size_t other = 0; other < s_levels; ++other) {
+      if (other == s) continue;
+      rest.insert(rest.end(), per_level[other].begin(), per_level[other].end());
+    }
+    if (per_level[s].size() < options.min_group_size || rest.size() < options.min_group_size)
+      continue;
+    auto kde_s = stats::GaussianKde::FitSilverman(per_level[s]);
+    if (!kde_s.ok()) return kde_s.status();
+    auto kde_rest = stats::GaussianKde::FitSilverman(rest);
+    if (!kde_rest.ok()) return kde_rest.status();
+    auto pmf_s = kde_s->PmfOnGrid(grid);
+    if (!pmf_s.ok()) return pmf_s.status();
+    auto pmf_rest = kde_rest->PmfOnGrid(grid);
+    if (!pmf_rest.ok()) return pmf_rest.status();
+    auto e = stats::SymmetrizedKl(*pmf_s, *pmf_rest, options.kl_floor);
+    if (!e.ok()) return e.status();
+    out[s] = *e;
+  }
   return out;
 }
 

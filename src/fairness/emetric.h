@@ -25,9 +25,9 @@ struct EMetricOptions {
 
 /// Per-u-stratum breakdown of the s|u-dependence metric for one feature.
 struct EMetricBreakdown {
-  double e = 0.0;                   // the u-weighted aggregate E_k (Eq. 3)
-  std::vector<double> e_u;          // E_{u,k} per u in {0, 1}; NaN if skipped
-  std::vector<double> pr_u;         // empirical Pr[u]
+  double e = 0.0;           // the u-weighted aggregate E_k (Eq. 3)
+  std::vector<double> e_u;  // E_{u,k} per u level; NaN if skipped
+  std::vector<double> pr_u; // empirical Pr[u]
 };
 
 /// The paper's fairness measure for feature k (Def. 2.4 + Eq. 3):
@@ -37,10 +37,25 @@ struct EMetricBreakdown {
 ///
 /// where the conditional densities are Gaussian-KDE estimates (Silverman
 /// bandwidth) evaluated on a shared uniform grid spanning the combined
-/// sample range of the u-stratum. Lower is fairer; 0 means the
-/// s|u-conditionals are indistinguishable.
+/// sample range of the u-stratum's estimable s groups. Lower is fairer; 0
+/// means the s|u-conditionals are indistinguishable.
+///
+/// Multi-group extension (|S| > 2): E_{u,k} is the MAXIMUM symmetrized KL
+/// over all s-level pairs within the stratum — repair is only complete
+/// when every pair of classes is indistinguishable, so the worst pair is
+/// the binding measure. At |S| = 2 the single pair makes this exactly the
+/// paper's binary definition.
 common::Result<EMetricBreakdown> FeatureEMetric(const data::Dataset& dataset, size_t k,
                                                 const EMetricOptions& options = {});
+
+/// One-vs-rest view for a single stratum/feature: the symmetrized KL of
+/// each s level's conditional against the pooled density of all other
+/// levels, on the stratum's shared grid. Levels with fewer than
+/// `options.min_group_size` samples come back NaN. Useful for locating
+/// WHICH class a multi-group repair left behind.
+common::Result<std::vector<double>> OneVsRestEMetric(const data::Dataset& dataset, int u,
+                                                     size_t k,
+                                                     const EMetricOptions& options = {});
 
 /// Convenience: just the scalar E_k.
 common::Result<double> FeatureE(const data::Dataset& dataset, size_t k,

@@ -45,46 +45,65 @@ Result<double> JointFeaturePairE(const data::Dataset& dataset, size_t k1, size_t
   double usable_weight = 0.0;
   double weighted_e = 0.0;
 
-  for (int u = 0; u <= 1; ++u) {
-    const std::vector<size_t> idx0 = dataset.GroupIndices({u, 0});
-    const std::vector<size_t> idx1 = dataset.GroupIndices({u, 1});
-    const double pr_u = static_cast<double>(idx0.size() + idx1.size()) / n_total;
-    if (idx0.size() < options.min_group_size || idx1.size() < options.min_group_size)
-      continue;
+  const size_t s_levels = dataset.s_levels();
+  // All |U| * |S| group index sets in one dataset pass.
+  const std::vector<std::vector<size_t>> groups = dataset.GroupIndexBuckets();
+  for (size_t u = 0; u < dataset.u_levels(); ++u) {
+    // Gather every estimable s-group of the stratum (small classes are
+    // skipped individually); as in the 1-D FeatureEMetric, the
+    // multi-group E is the max over class pairs of the pairwise (here:
+    // joint 2-D) symmetrized KL. Binary data takes the identical
+    // single-pair computation.
+    std::vector<std::vector<double>> xs;
+    std::vector<std::vector<double>> ys;
+    double pr_u_count = 0.0;
+    for (size_t s = 0; s < s_levels; ++s) {
+      const std::vector<size_t>& idx = groups[u * s_levels + s];
+      pr_u_count += static_cast<double>(idx.size());
+      if (idx.size() < options.min_group_size) continue;
+      xs.push_back(dataset.FeatureColumn(k1, idx));
+      ys.push_back(dataset.FeatureColumn(k2, idx));
+    }
+    const double pr_u = pr_u_count / n_total;
+    if (xs.size() < 2) continue;
 
-    const std::vector<double> x0 = dataset.FeatureColumn(k1, idx0);
-    const std::vector<double> y0 = dataset.FeatureColumn(k2, idx0);
-    const std::vector<double> x1 = dataset.FeatureColumn(k1, idx1);
-    const std::vector<double> y1 = dataset.FeatureColumn(k2, idx1);
-
-    const double lo_x = std::min(*std::min_element(x0.begin(), x0.end()),
-                                 *std::min_element(x1.begin(), x1.end()));
-    const double hi_x = std::max(*std::max_element(x0.begin(), x0.end()),
-                                 *std::max_element(x1.begin(), x1.end()));
-    const double lo_y = std::min(*std::min_element(y0.begin(), y0.end()),
-                                 *std::min_element(y1.begin(), y1.end()));
-    const double hi_y = std::max(*std::max_element(y0.begin(), y0.end()),
-                                 *std::max_element(y1.begin(), y1.end()));
+    double lo_x = xs[0][0];
+    double hi_x = xs[0][0];
+    double lo_y = ys[0][0];
+    double hi_y = ys[0][0];
+    for (size_t g = 0; g < xs.size(); ++g) {
+      lo_x = std::min(lo_x, *std::min_element(xs[g].begin(), xs[g].end()));
+      hi_x = std::max(hi_x, *std::max_element(xs[g].begin(), xs[g].end()));
+      lo_y = std::min(lo_y, *std::min_element(ys[g].begin(), ys[g].end()));
+      hi_y = std::max(hi_y, *std::max_element(ys[g].begin(), ys[g].end()));
+    }
     const std::vector<double> grid_x = UniformGrid(lo_x, hi_x, options.grid_size);
     const std::vector<double> grid_y = UniformGrid(lo_y, hi_y, options.grid_size);
 
-    auto kde0 = stats::GaussianKde2d::FitSilverman(x0, y0);
-    if (!kde0.ok()) return kde0.status();
-    auto kde1 = stats::GaussianKde2d::FitSilverman(x1, y1);
-    if (!kde1.ok()) return kde1.status();
-    auto pmf0 = kde0->PmfOnGrid(grid_x, grid_y);
-    if (!pmf0.ok()) return pmf0.status();
-    auto pmf1 = kde1->PmfOnGrid(grid_x, grid_y);
-    if (!pmf1.ok()) return pmf1.status();
+    std::vector<std::vector<double>> pmfs;
+    pmfs.reserve(xs.size());
+    for (size_t g = 0; g < xs.size(); ++g) {
+      auto kde = stats::GaussianKde2d::FitSilverman(xs[g], ys[g]);
+      if (!kde.ok()) return kde.status();
+      auto pmf = kde->PmfOnGrid(grid_x, grid_y);
+      if (!pmf.ok()) return pmf.status();
+      pmfs.push_back(Flatten(*pmf));
+    }
 
-    auto e_u = stats::SymmetrizedKl(Flatten(*pmf0), Flatten(*pmf1), options.kl_floor);
-    if (!e_u.ok()) return e_u.status();
+    double e_u = 0.0;
+    for (size_t a = 0; a < pmfs.size(); ++a) {
+      for (size_t b = a + 1; b < pmfs.size(); ++b) {
+        auto pair_e = stats::SymmetrizedKl(pmfs[a], pmfs[b], options.kl_floor);
+        if (!pair_e.ok()) return pair_e.status();
+        e_u = std::max(e_u, *pair_e);
+      }
+    }
     usable_weight += pr_u;
-    weighted_e += pr_u * (*e_u);
+    weighted_e += pr_u * e_u;
   }
 
   if (usable_weight <= 0.0)
-    return Status::FailedPrecondition("no u-stratum has both s-groups populated");
+    return Status::FailedPrecondition("no u-stratum has enough populated s-groups");
   return weighted_e / usable_weight;
 }
 

@@ -10,9 +10,19 @@ using common::Result;
 
 std::string FairnessReport::ToString() const {
   std::ostringstream os;
-  os << "rows=" << rows << "  Pr[u=1]=" << common::FormatDouble(pr_u1, 3)
-     << "  Pr[s=1|u=0]=" << common::FormatDouble(pr_s1_given_u0, 3)
-     << "  Pr[s=1|u=1]=" << common::FormatDouble(pr_s1_given_u1, 3) << "\n";
+  if (s_levels == 2 && u_levels == 2) {
+    os << "rows=" << rows << "  Pr[u=1]=" << common::FormatDouble(pr_u1, 3)
+       << "  Pr[s=1|u=0]=" << common::FormatDouble(pr_s1_given_u0, 3)
+       << "  Pr[s=1|u=1]=" << common::FormatDouble(pr_s1_given_u1, 3) << "\n";
+  } else {
+    os << "rows=" << rows << "  |S|=" << s_levels << "  |U|=" << u_levels << "\n";
+    for (size_t u = 0; u < u_levels && u < pr_u.size(); ++u) {
+      os << "  u=" << u << " Pr=" << common::FormatDouble(pr_u[u], 3) << "  Pr[s|u]:";
+      for (size_t s = 0; s < pr_s_given_u[u].size(); ++s)
+        os << " " << common::FormatDouble(pr_s_given_u[u][s], 3);
+      os << "\n";
+    }
+  }
   for (size_t k = 0; k < feature_names.size(); ++k) {
     os << "  E[" << feature_names[k] << "] = " << common::FormatDouble(e_per_feature[k], 4)
        << "\n";
@@ -29,6 +39,17 @@ Result<FairnessReport> MakeFairnessReport(const data::Dataset& dataset,
   report.pr_u1 = dataset.ProportionU1();
   report.pr_s1_given_u0 = dataset.ProportionS1GivenU(0);
   report.pr_s1_given_u1 = dataset.ProportionS1GivenU(1);
+  report.s_levels = dataset.s_levels();
+  report.u_levels = dataset.u_levels();
+  report.pr_u.resize(report.u_levels);
+  report.pr_s_given_u.resize(report.u_levels);
+  for (size_t u = 0; u < report.u_levels; ++u) {
+    report.pr_u[u] = dataset.ProportionU(static_cast<int>(u));
+    report.pr_s_given_u[u].resize(report.s_levels);
+    for (size_t s = 0; s < report.s_levels; ++s)
+      report.pr_s_given_u[u][s] =
+          dataset.ProportionSGivenU(static_cast<int>(s), static_cast<int>(u));
+  }
   double acc = 0.0;
   for (size_t k = 0; k < dataset.dim(); ++k) {
     auto e = FeatureE(dataset, k, options);

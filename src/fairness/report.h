@@ -16,12 +16,22 @@ struct FairnessReport {
   std::vector<std::string> feature_names;
   std::vector<double> e_per_feature;
   double e_aggregate = 0.0;
+  /// Binary-era composition summary (still filled for any level counts:
+  /// these are the level-1 shares).
   double pr_u1 = 0.0;
   double pr_s1_given_u0 = 0.0;
   double pr_s1_given_u1 = 0.0;
   size_t rows = 0;
+  /// Attribute cardinalities and the full composition table
+  /// pr_s_given_u[u][s] = Pr[s | u] for the multi-group rendering.
+  size_t s_levels = 2;
+  size_t u_levels = 2;
+  std::vector<double> pr_u;                      // per u level
+  std::vector<std::vector<double>> pr_s_given_u; // [u][s]
 
-  /// Multi-line fixed-width rendering.
+  /// Multi-line fixed-width rendering. Binary datasets render the
+  /// original one-line composition header; multi-group datasets add a
+  /// per-stratum composition table.
   std::string ToString() const;
 };
 

@@ -59,6 +59,95 @@ Result<DiscreteMeasure> QuantileBarycenterOnGrid(const DiscreteMeasure& mu0,
   return ProjectToGrid(*atoms, grid);
 }
 
+Result<DiscreteMeasure> QuantileBarycenter1D(const std::vector<DiscreteMeasure>& measures,
+                                             const std::vector<double>& lambdas) {
+  if (measures.empty()) return Status::InvalidArgument("need at least one measure");
+  if (measures.size() != lambdas.size())
+    return Status::InvalidArgument("measures/lambdas length mismatch");
+  double lambda_total = 0.0;
+  for (double l : lambdas) {
+    if (!(l >= 0.0)) return Status::InvalidArgument("lambdas must be non-negative");
+    lambda_total += l;
+  }
+  if (lambda_total <= 0.0) return Status::InvalidArgument("lambdas must not all be zero");
+  std::vector<double> lam(lambdas);
+  for (double& l : lam) l /= lambda_total;
+  const size_t num = measures.size();
+  for (const DiscreteMeasure& m : measures) {
+    if (m.empty()) return Status::InvalidArgument("empty measure");
+    if (!m.IsSorted())
+      return Status::InvalidArgument("quantile barycenter requires sorted measures");
+  }
+
+  // Simultaneous sweep over the common refinement of the N quantile
+  // functions: every measure holds a cursor (atom index + mass left in
+  // that atom); each step consumes the smallest remaining chunk from all
+  // cursors at once and emits one barycenter atom at the lambda-weighted
+  // position. A measure whose mass runs out early (inputs are normalized
+  // only to roundoff) pins to its last atom.
+  struct Cursor {
+    size_t idx = 0;
+    double remaining = 0.0;
+    bool exhausted = false;
+  };
+  std::vector<Cursor> cursors(num);
+  size_t total_atoms = 0;
+  for (size_t s = 0; s < num; ++s) {
+    cursors[s].remaining = measures[s].weight_at(0);
+    total_atoms += measures[s].size();
+  }
+
+  std::vector<double> support;
+  std::vector<double> weights;
+  support.reserve(total_atoms);
+  weights.reserve(total_atoms);
+  while (true) {
+    bool all_exhausted = true;
+    double delta = 0.0;
+    for (const Cursor& c : cursors) {
+      if (c.exhausted) continue;
+      delta = all_exhausted ? c.remaining : std::min(delta, c.remaining);
+      all_exhausted = false;
+    }
+    if (all_exhausted) break;
+    double pos = 0.0;
+    for (size_t s = 0; s < num; ++s)
+      pos += lam[s] * measures[s].support_at(cursors[s].idx);
+    if (delta > 0.0) {
+      if (!support.empty() && pos == support.back()) {
+        weights.back() += delta;
+      } else {
+        support.push_back(pos);
+        weights.push_back(delta);
+      }
+    }
+    for (Cursor& c : cursors) {
+      if (c.exhausted) continue;
+      c.remaining -= delta;
+      if (c.remaining <= 0.0) {
+        const size_t n = measures[&c - cursors.data()].size();
+        if (c.idx + 1 < n) {
+          ++c.idx;
+          c.remaining = measures[&c - cursors.data()].weight_at(c.idx);
+        } else {
+          c.exhausted = true;  // pinned to the last atom for any residual
+        }
+      }
+    }
+  }
+  if (support.empty())
+    return Status::InvalidArgument("barycenter inputs carry no mass");
+  return DiscreteMeasure::Create(std::move(support), std::move(weights));
+}
+
+Result<DiscreteMeasure> QuantileBarycenterOnGrid(const std::vector<DiscreteMeasure>& measures,
+                                                 const std::vector<double>& lambdas,
+                                                 const std::vector<double>& grid) {
+  auto atoms = QuantileBarycenter1D(measures, lambdas);
+  if (!atoms.ok()) return atoms.status();
+  return ProjectToGrid(*atoms, grid);
+}
+
 Result<DiscreteMeasure> BregmanBarycenter(const std::vector<DiscreteMeasure>& measures,
                                           const std::vector<double>& lambdas,
                                           const std::vector<double>& grid,

@@ -34,6 +34,25 @@ common::Result<DiscreteMeasure> QuantileBarycenterOnGrid(const DiscreteMeasure& 
                                                          const DiscreteMeasure& mu1, double t,
                                                          const std::vector<double>& grid);
 
+/// Exact N-measure W2 barycenter of sorted 1-D measures with barycentric
+/// weights `lambdas` (non-negative, normalized internally):
+///
+///     F_nu^{-1} = sum_s lambda_s F_s^{-1}
+///
+/// — the closed form that makes the 1-D case special (weighted quantile
+/// averaging; Agueh & Carlier 2011). Computed by a simultaneous sweep over
+/// the common refinement of the input CDFs, so the result has at most
+/// sum_s n_s atoms and is returned sorted. The two-measure case with
+/// lambdas {1 - t, t} coincides with QuantileBarycenter1D(mu0, mu1, t).
+common::Result<DiscreteMeasure> QuantileBarycenter1D(
+    const std::vector<DiscreteMeasure>& measures, const std::vector<double>& lambdas);
+
+/// N-measure barycenter projected onto a fixed grid (see the two-measure
+/// QuantileBarycenterOnGrid).
+common::Result<DiscreteMeasure> QuantileBarycenterOnGrid(
+    const std::vector<DiscreteMeasure>& measures, const std::vector<double>& lambdas,
+    const std::vector<double>& grid);
+
 /// Options for the general fixed-support entropic barycenter.
 struct BregmanBarycenterOptions {
   double epsilon = 0.05;

@@ -50,7 +50,8 @@ bool ParseDouble(const std::string& text, double* out) {
 
 }  // namespace
 
-Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim) {
+Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim, size_t u_levels,
+                                         size_t s_levels) {
   const std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return Status::InvalidArgument("empty request line");
   ProtocolRequest request;
@@ -84,7 +85,7 @@ Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim) {
     uint64_t s = 0;
     if (!ParseU64(tokens[1], &request.row.session_id) ||
         !ParseU64(tokens[2], &request.row.row_index) || !ParseU64(tokens[3], &u) ||
-        !ParseU64(tokens[4], &s) || u > 1 || s > 1)
+        !ParseU64(tokens[4], &s) || u >= u_levels || s >= s_levels)
       return Status::InvalidArgument("bad session/row/u/s fields");
     request.row.u = static_cast<int>(u);
     request.row.s = static_cast<int>(s);

@@ -36,8 +36,11 @@ struct ProtocolRequest {
 };
 
 /// Parses one request line. `dim` is the serving dimensionality; a repair
-/// line must carry exactly `dim` features. Blank lines are invalid.
-common::Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim);
+/// line must carry exactly `dim` features. `u_levels`/`s_levels` bound the
+/// categorical group labels (the binary protocol is u_levels = s_levels =
+/// 2). Blank lines are invalid.
+common::Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim,
+                                                 size_t u_levels = 2, size_t s_levels = 2);
 
 /// Formats the `ok .../err ...` response line for one repaired row
 /// (no trailing newline).

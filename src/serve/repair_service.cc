@@ -51,8 +51,9 @@ std::string ServiceHealth::ToJson() const {
   return w.str();
 }
 
-RepairService::RepairService(size_t dim, const ServiceOptions& options)
-    : dim_(dim), options_(options) {}
+RepairService::RepairService(size_t dim, size_t s_levels, size_t u_levels,
+                             const ServiceOptions& options)
+    : dim_(dim), s_levels_(s_levels), u_levels_(u_levels), options_(options) {}
 
 RepairService::~RepairService() = default;
 
@@ -85,9 +86,12 @@ Result<std::unique_ptr<RepairService>> RepairService::Create(core::RepairPlanSet
     return Status::InvalidArgument("drift_shards must be >= 1");
   const size_t dim = plans.dim();
   if (dim == 0) return Status::InvalidArgument("plan set is empty");
+  const size_t s_levels = plans.s_levels();
+  const size_t u_levels = plans.u_levels();
   auto snapshot = BuildSnapshot(std::move(plans), options, 1);
   if (!snapshot.ok()) return snapshot.status();
-  std::unique_ptr<RepairService> service(new RepairService(dim, options));
+  std::unique_ptr<RepairService> service(
+      new RepairService(dim, s_levels, u_levels, options));
   service->snapshot_.store(std::move(*snapshot), std::memory_order_release);
   return service;
 }
@@ -108,9 +112,12 @@ bool RepairService::RepairRowOnSnapshot(const Snapshot& snap, const RowRequest& 
         std::to_string(dim_));
     return false;
   }
-  if ((request.u != 0 && request.u != 1) || (request.s != 0 && request.s != 1)) {
+  if (request.u < 0 || static_cast<size_t>(request.u) >= u_levels_ || request.s < 0 ||
+      static_cast<size_t>(request.s) >= s_levels_) {
     response->repaired.clear();
-    response->status = Status::InvalidArgument("u and s labels must be binary");
+    response->status = Status::InvalidArgument(
+        "u and s labels must lie in [0, " + std::to_string(u_levels_) + ") x [0, " +
+        std::to_string(s_levels_) + ")");
     return false;
   }
   // The determinism contract: randomness is a pure function of
@@ -187,6 +194,11 @@ Status RepairService::ReloadPlan(core::RepairPlanSet plans) {
   if (plans.dim() != dim_)
     return Status::InvalidArgument("reload plan has dim " + std::to_string(plans.dim()) +
                                    ", service serves dim " + std::to_string(dim_));
+  if (plans.s_levels() != s_levels_ || plans.u_levels() != u_levels_)
+    return Status::InvalidArgument(
+        "reload plan has |S|=" + std::to_string(plans.s_levels()) + ", |U|=" +
+        std::to_string(plans.u_levels()) + "; service serves |S|=" +
+        std::to_string(s_levels_) + ", |U|=" + std::to_string(u_levels_));
   const uint64_t next_version = snapshot_.load(std::memory_order_acquire)->version + 1;
   auto snapshot = BuildSnapshot(std::move(plans), options_, next_version);
   if (!snapshot.ok()) return snapshot.status();

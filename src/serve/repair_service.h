@@ -30,6 +30,8 @@ namespace otfair::serve {
 struct RowRequest {
   uint64_t session_id = 0;
   uint64_t row_index = 0;
+  /// Categorical group labels; validated against the serving plan's
+  /// u_levels()/s_levels() per row.
   int u = 0;
   int s = 0;
   /// Full feature row, length dim(), in feature (k) order.
@@ -126,9 +128,11 @@ class RepairService {
                    std::vector<RowResponse>* responses);
 
   /// Atomically replaces the serving plan. The new plan must have the
-  /// same dimensionality. Existing traffic is never blocked or dropped;
-  /// requests concurrent with the swap use whichever snapshot they
-  /// acquired first. The drift accumulator restarts against the new plan.
+  /// same dimensionality and |U|/|S| level counts (the group-label wire
+  /// contract of live sessions must not change under them). Existing
+  /// traffic is never blocked or dropped; requests concurrent with the
+  /// swap use whichever snapshot they acquired first. The drift
+  /// accumulator restarts against the new plan.
   common::Status ReloadPlan(core::RepairPlanSet plans);
   common::Status ReloadPlanFromFile(const std::string& path);
 
@@ -136,6 +140,9 @@ class RepairService {
   uint64_t plan_version() const;
 
   size_t dim() const { return dim_; }
+  /// Serving group cardinalities, fixed at construction.
+  size_t s_levels() const { return s_levels_; }
+  size_t u_levels() const { return u_levels_; }
   const ServiceOptions& options() const { return options_; }
 
   /// Merged drift report over all shards of the live snapshot.
@@ -150,7 +157,7 @@ class RepairService {
  private:
   struct Snapshot;
 
-  RepairService(size_t dim, const ServiceOptions& options);
+  RepairService(size_t dim, size_t s_levels, size_t u_levels, const ServiceOptions& options);
 
   static common::Result<std::shared_ptr<Snapshot>> BuildSnapshot(
       core::RepairPlanSet plans, const ServiceOptions& options, uint64_t version);
@@ -162,6 +169,8 @@ class RepairService {
                            RowResponse* response) const;
 
   size_t dim_ = 0;
+  size_t s_levels_ = 2;
+  size_t u_levels_ = 2;
   ServiceOptions options_;
   Metrics metrics_;
   std::atomic<std::shared_ptr<Snapshot>> snapshot_;

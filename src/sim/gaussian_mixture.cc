@@ -75,4 +75,95 @@ Result<data::Dataset> SimulateGaussianMixture(size_t n, const GaussianSimConfig&
                                std::move(names));
 }
 
+MultiGroupSimConfig MultiGroupSimConfig::Default(size_t s_levels, size_t u_levels, size_t dim) {
+  MultiGroupSimConfig config;
+  config.dim = dim;
+  config.sigma = 1.0;
+  config.mean.resize(u_levels);
+  config.pr_u.assign(u_levels, 1.0 / static_cast<double>(u_levels));
+  config.pr_s_given_u.resize(u_levels);
+  for (size_t m = 0; m < u_levels; ++m) {
+    // Stratum centres spread over [-1, 1] (the binary default's u = 0/1
+    // centres sit at the ends); a single stratum sits at the origin.
+    const double centre =
+        u_levels > 1
+            ? -1.0 + 2.0 * static_cast<double>(m) / static_cast<double>(u_levels - 1)
+            : 0.0;
+    config.mean[m].resize(s_levels);
+    for (size_t j = 0; j < s_levels; ++j) {
+      // s levels fan out over [centre - 1, centre + 1]: adjacent levels are
+      // separated by 2/(|S|-1), giving every pair a repairable offset. A
+      // degenerate single level (rejected by the simulator anyway) sits at
+      // the centre rather than dividing by zero.
+      const double offset =
+          s_levels > 1
+              ? -1.0 + 2.0 * static_cast<double>(j) / static_cast<double>(s_levels - 1)
+              : 0.0;
+      config.mean[m][j].assign(dim, centre + offset);
+    }
+    // Mild imbalance toward higher s levels, echoing the paper's 0.3/0.7
+    // binary prior: weight_j ∝ 1 + j.
+    std::vector<double>& pr_s = config.pr_s_given_u[m];
+    pr_s.resize(s_levels);
+    double total = 0.0;
+    for (size_t j = 0; j < s_levels; ++j) total += static_cast<double>(1 + j);
+    for (size_t j = 0; j < s_levels; ++j)
+      pr_s[j] = static_cast<double>(1 + j) / total;
+  }
+  return config;
+}
+
+Result<data::Dataset> SimulateMultiGroupGaussian(size_t n, const MultiGroupSimConfig& config,
+                                                 Rng& rng) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (config.dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (!(config.sigma > 0.0)) return Status::InvalidArgument("sigma must be positive");
+  const size_t u_levels = config.u_levels();
+  const size_t s_levels = config.s_levels();
+  if (u_levels < 1 || s_levels < 2)
+    return Status::InvalidArgument("need |U| >= 1 and |S| >= 2 component grids");
+  if (config.pr_u.size() != u_levels || config.pr_s_given_u.size() != u_levels)
+    return Status::InvalidArgument("prior shapes must match the component grid");
+  for (size_t m = 0; m < u_levels; ++m) {
+    if (config.mean[m].size() != s_levels)
+      return Status::InvalidArgument("component grid must be rectangular");
+    if (config.pr_s_given_u[m].size() != s_levels)
+      return Status::InvalidArgument("prior shapes must match the component grid");
+    for (size_t j = 0; j < s_levels; ++j) {
+      if (config.mean[m][j].size() != config.dim)
+        return Status::InvalidArgument("component mean has wrong dimension");
+    }
+  }
+  auto valid_prior = [](const std::vector<double>& p) {
+    double total = 0.0;
+    for (double v : p) {
+      if (!(v >= 0.0)) return false;
+      total += v;
+    }
+    return total > 0.0;
+  };
+  if (!valid_prior(config.pr_u)) return Status::InvalidArgument("pr_u must be a distribution");
+  for (size_t m = 0; m < u_levels; ++m) {
+    if (!valid_prior(config.pr_s_given_u[m]))
+      return Status::InvalidArgument("pr_s_given_u rows must be distributions");
+  }
+
+  Matrix features(n, config.dim);
+  std::vector<int> s_labels(n);
+  std::vector<int> u_labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t u = rng.Categorical(config.pr_u);
+    const size_t s = rng.Categorical(config.pr_s_given_u[u]);
+    u_labels[i] = static_cast<int>(u);
+    s_labels[i] = static_cast<int>(s);
+    for (size_t k = 0; k < config.dim; ++k)
+      features(i, k) = config.mean[u][s][k] + config.sigma * rng.Normal();
+  }
+
+  std::vector<std::string> names;
+  for (size_t k = 0; k < config.dim; ++k) names.push_back("x" + std::to_string(k + 1));
+  return data::Dataset::Create(std::move(features), std::move(s_labels), std::move(u_labels),
+                               std::move(names), /*outcome=*/{}, s_levels, u_levels);
+}
+
 }  // namespace otfair::sim

@@ -141,5 +141,58 @@ TEST(AdultLikeTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(AdultLikeMultiGroupTest, GeneratesRequestedLevels) {
+  common::Rng rng(71);
+  AdultLikeOptions options;
+  options.s_levels = 4;
+  options.u_levels = 3;
+  auto d = GenerateAdultLike(20000, rng, options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->s_levels(), 4u);
+  EXPECT_EQ(d->u_levels(), 3u);
+  // Every (u, s) group is populated at this sample size (the rarest cell,
+  // top-u x bottom-s, still carries a few hundredths of the mass).
+  for (const auto& [group, count] : d->GroupCounts())
+    EXPECT_GT(count, 20u) << "u=" << group.u << " s=" << group.s;
+  // The interpolated parameters keep the published feature ranges.
+  for (size_t i = 0; i < d->size(); ++i) {
+    EXPECT_GE(d->feature(i, 0), 17.0);
+    EXPECT_LE(d->feature(i, 0), 90.0);
+    EXPECT_GE(d->feature(i, 1), 1.0);
+    EXPECT_LE(d->feature(i, 1), 99.0);
+  }
+}
+
+TEST(AdultLikeMultiGroupTest, LevelsOrderTheAgeGradient) {
+  // The bilinear interpolation keeps the published corner monotonicity:
+  // higher education and higher s levels mean older groups.
+  common::Rng rng(72);
+  AdultLikeOptions options;
+  options.s_levels = 3;
+  options.u_levels = 3;
+  options.integer_valued = false;
+  auto d = GenerateAdultLike(30000, rng, options);
+  ASSERT_TRUE(d.ok());
+  auto mean_age = [&](int u, int s) {
+    const auto idx = d->GroupIndices({u, s});
+    double total = 0.0;
+    for (size_t i : idx) total += d->feature(i, 0);
+    return total / static_cast<double>(idx.size());
+  };
+  EXPECT_LT(mean_age(0, 0), mean_age(2, 2));
+  EXPECT_LT(mean_age(0, 0), mean_age(0, 2));
+  EXPECT_LT(mean_age(0, 0), mean_age(2, 0));
+}
+
+TEST(AdultLikeMultiGroupTest, RejectsDegenerateLevels) {
+  common::Rng rng(73);
+  AdultLikeOptions options;
+  options.s_levels = 1;
+  EXPECT_FALSE(GenerateAdultLike(10, rng, options).ok());
+  options.s_levels = 2;
+  options.u_levels = 0;
+  EXPECT_FALSE(GenerateAdultLike(10, rng, options).ok());
+}
+
 }  // namespace
 }  // namespace otfair::data

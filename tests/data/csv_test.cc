@@ -95,10 +95,88 @@ TEST_F(CsvTest, RejectsHeaderWithoutFeatures) {
   EXPECT_FALSE(ReadCsv(path).ok());
 }
 
-TEST_F(CsvTest, RejectsNonBinaryLabels) {
-  const std::string path = TempPath("badlabel.csv");
-  WriteFile(path, "s,u,x\n2,0,1.0\n");
+TEST_F(CsvTest, AcceptsCategoricalLabels) {
+  // Multi-level s/u columns load with inferred cardinalities.
+  const std::string path = TempPath("multilabel.csv");
+  WriteFile(path, "s,u,x\n2,0,1.0\n0,3,2.0\n1,1,3.0\n");
+  auto d = ReadCsv(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->s_levels(), 3u);
+  EXPECT_EQ(d->u_levels(), 4u);
+  EXPECT_EQ(d->s(0), 2);
+  EXPECT_EQ(d->u(1), 3);
+}
+
+TEST_F(CsvTest, RejectsBadLabels) {
+  // Negative and non-integer labels are still rejected.
+  const std::string neg = TempPath("neglabel.csv");
+  WriteFile(neg, "s,u,x\n-1,0,1.0\n");
+  EXPECT_FALSE(ReadCsv(neg).ok());
+  const std::string frac = TempPath("fraclabel.csv");
+  WriteFile(frac, "s,u,x\n0.5,0,1.0\n");
+  EXPECT_FALSE(ReadCsv(frac).ok());
+  // Outcomes stay binary.
+  const std::string bady = TempPath("bady.csv");
+  WriteFile(bady, "s,u,y,x\n0,0,2,1.0\n");
+  EXPECT_FALSE(ReadCsv(bady).ok());
+}
+
+TEST_F(CsvTest, RoundTripPreservesDeclaredLevels) {
+  // Levels inference cannot recover — an unobserved top s level and a
+  // single declared u stratum — survive the CSV round trip via the
+  // level-comment line.
+  common::Matrix f = common::Matrix::FromRows({{1.0}, {2.0}});
+  auto d = Dataset::Create(std::move(f), {0, 1}, {0, 0}, {"x"}, {}, /*s_levels=*/4,
+                           /*u_levels=*/1);
+  ASSERT_TRUE(d.ok());
+  const std::string path = TempPath("declared_levels.csv");
+  ASSERT_TRUE(WriteCsv(*d, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->s_levels(), 4u);
+  EXPECT_EQ(back->u_levels(), 1u);
+}
+
+TEST_F(CsvTest, MalformedLevelCommentIsRejected) {
+  // A comment line that is not a valid level declaration must error, not
+  // silently degrade to inference.
+  const std::string path = TempPath("bad_comment.csv");
+  WriteFile(path, "# s_levels=4\ns,u,x\n0,0,1.0\n");
   EXPECT_FALSE(ReadCsv(path).ok());
+  const std::string swapped = TempPath("swapped_comment.csv");
+  WriteFile(swapped, "# u_levels=3 s_levels=4\ns,u,x\n0,0,1.0\n");
+  EXPECT_FALSE(ReadCsv(swapped).ok());
+}
+
+TEST_F(CsvTest, BinaryDatasetsGetNoLevelComment) {
+  // Binary-era files must stay byte-identical: when inference recovers
+  // the level counts, no comment line is written.
+  common::Matrix f = common::Matrix::FromRows({{1.0}, {2.0}});
+  auto d = Dataset::Create(std::move(f), {0, 1}, {1, 0}, {"x"});
+  ASSERT_TRUE(d.ok());
+  const std::string path = TempPath("no_comment.csv");
+  ASSERT_TRUE(WriteCsv(*d, path).ok());
+  std::ifstream in(path);
+  std::string first;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, first)));
+  EXPECT_EQ(first, "s,u,x");
+}
+
+TEST_F(CsvTest, MultiGroupRoundTrip) {
+  common::Matrix f = common::Matrix::FromRows({{1.5}, {2.5}, {3.5}});
+  auto d = Dataset::Create(std::move(f), {0, 2, 1}, {1, 0, 2}, {"x"});
+  ASSERT_TRUE(d.ok());
+  const std::string path = TempPath("multi_roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(*d, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->s_levels(), 3u);
+  EXPECT_EQ(back->u_levels(), 3u);
+  for (size_t i = 0; i < d->size(); ++i) {
+    EXPECT_EQ(back->s(i), d->s(i));
+    EXPECT_EQ(back->u(i), d->u(i));
+    EXPECT_DOUBLE_EQ(back->feature(i, 0), d->feature(i, 0));
+  }
 }
 
 TEST_F(CsvTest, RejectsNonNumericFeature) {

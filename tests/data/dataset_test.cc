@@ -30,11 +30,55 @@ TEST(DatasetTest, CreateValidatesShapes) {
   EXPECT_FALSE(Dataset::Create(Matrix(), {}, {}, {}).ok());
 }
 
-TEST(DatasetTest, CreateValidatesBinaryLabels) {
+TEST(DatasetTest, CreateValidatesLabels) {
   Matrix f = Matrix::FromRows({{1.0}});
-  EXPECT_FALSE(Dataset::Create(f, {2}, {0}, {"x"}).ok());
+  // Negative levels and non-binary outcomes are always rejected.
+  EXPECT_FALSE(Dataset::Create(f, {-1}, {0}, {"x"}).ok());
   EXPECT_FALSE(Dataset::Create(f, {0}, {-1}, {"x"}).ok());
   EXPECT_FALSE(Dataset::Create(f, {0}, {0}, {"x"}, {3}).ok());
+  // Labels beyond an explicit level count are rejected.
+  EXPECT_FALSE(Dataset::Create(f, {2}, {0}, {"x"}, {}, /*s_levels=*/2).ok());
+  EXPECT_FALSE(Dataset::Create(f, {0}, {3}, {"x"}, {}, 0, /*u_levels=*/2).ok());
+  // s needs at least two levels; u may be a single declared stratum.
+  EXPECT_FALSE(Dataset::Create(f, {0}, {0}, {"x"}, {}, /*s_levels=*/1).ok());
+  EXPECT_TRUE(Dataset::Create(f, {0}, {0}, {"x"}, {}, 0, /*u_levels=*/1).ok());
+}
+
+TEST(DatasetTest, LevelInferenceFloorsAtTwo) {
+  Matrix f = Matrix::FromRows({{1.0}, {2.0}});
+  auto d = Dataset::Create(f, {0, 0}, {0, 0}, {"x"});
+  ASSERT_TRUE(d.ok());
+  // The binary-era contract: an all-zero label column still means a
+  // two-level attribute whose second level is unobserved.
+  EXPECT_EQ(d->s_levels(), 2u);
+  EXPECT_EQ(d->u_levels(), 2u);
+}
+
+TEST(DatasetTest, MultiLevelInferenceAndGroups) {
+  Matrix f = Matrix::FromRows({{1.0}, {2.0}, {3.0}, {4.0}});
+  auto d = Dataset::Create(f, {0, 1, 2, 3}, {0, 1, 2, 0}, {"x"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->s_levels(), 4u);
+  EXPECT_EQ(d->u_levels(), 3u);
+  const auto groups = d->Groups();
+  ASSERT_EQ(groups.size(), 12u);
+  EXPECT_EQ(groups[0], (GroupKey{0, 0}));
+  EXPECT_EQ(groups[11], (GroupKey{2, 3}));
+  // Canonical order is u-major, s-minor.
+  EXPECT_EQ(groups[4], (GroupKey{1, 0}));
+  auto counts = d->GroupCounts();
+  EXPECT_EQ(counts.size(), 12u);
+  EXPECT_EQ((counts[GroupKey{1, 1}]), 1u);
+  EXPECT_EQ((counts[GroupKey{2, 1}]), 0u);
+}
+
+TEST(DatasetTest, MultiLevelProportions) {
+  Matrix f = Matrix::FromRows({{1.0}, {2.0}, {3.0}, {4.0}});
+  auto d = Dataset::Create(f, {0, 1, 2, 2}, {0, 0, 1, 1}, {"x"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->ProportionU(1), 0.5, 1e-12);
+  EXPECT_NEAR(d->ProportionSGivenU(2, 1), 1.0, 1e-12);
+  EXPECT_NEAR(d->ProportionSGivenU(0, 0), 0.5, 1e-12);
 }
 
 TEST(DatasetTest, BasicAccessors) {
@@ -66,6 +110,19 @@ TEST(DatasetTest, GroupIndices) {
   EXPECT_EQ(d.GroupIndices({0, 1}), (std::vector<size_t>{1}));
   EXPECT_EQ(d.GroupIndices({1, 0}), (std::vector<size_t>{2, 4}));
   EXPECT_EQ(d.GroupIndices({1, 1}), (std::vector<size_t>{3, 5}));
+}
+
+TEST(DatasetTest, GroupIndexBucketsMatchPerGroupScans) {
+  Matrix f = Matrix::FromRows({{1.0}, {2.0}, {3.0}, {4.0}, {5.0}});
+  auto d = Dataset::Create(f, {0, 2, 1, 2, 0}, {1, 0, 1, 1, 0}, {"x"});
+  ASSERT_TRUE(d.ok());
+  const auto buckets = d->GroupIndexBuckets();
+  ASSERT_EQ(buckets.size(), d->u_levels() * d->s_levels());
+  for (const GroupKey& g : d->Groups()) {
+    EXPECT_EQ(buckets[static_cast<size_t>(g.u) * d->s_levels() + static_cast<size_t>(g.s)],
+              d->GroupIndices(g))
+        << "u=" << g.u << " s=" << g.s;
+  }
 }
 
 TEST(DatasetTest, UIndices) {
@@ -116,11 +173,21 @@ TEST(DatasetTest, CloneIsDeep) {
   EXPECT_DOUBLE_EQ(d.feature(0, 0), 1.0);
 }
 
-TEST(DatasetTest, AllGroupsCanonicalOrder) {
-  const auto groups = AllGroups();
+TEST(DatasetTest, GroupsCanonicalOrder) {
+  const auto groups = SmallDataset().Groups();
   ASSERT_EQ(groups.size(), 4u);
   EXPECT_EQ(groups[0], (GroupKey{0, 0}));
   EXPECT_EQ(groups[3], (GroupKey{1, 1}));
+}
+
+TEST(DatasetTest, SubsetInheritsLevelCounts) {
+  Matrix f = Matrix::FromRows({{1.0}, {2.0}, {3.0}});
+  auto d = Dataset::Create(f, {0, 1, 2}, {0, 1, 0}, {"x"});
+  ASSERT_TRUE(d.ok());
+  Dataset sub = d->Subset({0});
+  // Sub-sampling must not shrink the attribute cardinalities.
+  EXPECT_EQ(sub.s_levels(), 3u);
+  EXPECT_EQ(sub.u_levels(), 2u);
 }
 
 TEST(SplitTest, SizesAndDisjointness) {

@@ -131,5 +131,63 @@ TEST(ValidationTest, EmptyGroupReported) {
   EXPECT_EQ(di.status().code(), common::StatusCode::kFailedPrecondition);
 }
 
+TEST(DisparateImpactMultiGroupTest, WorstPairBoundsEveryRatio) {
+  // Three s levels in one u stratum with positive rates 1.0 / 0.5 / 0.25:
+  // worst pair = 0.25, worst parity gap = 0.75.
+  common::Matrix f = common::Matrix::FromRows({{1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0},
+                                               {1.0}});
+  std::vector<int> s = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2};
+  std::vector<int> u(12, 0);
+  auto d = data::Dataset::Create(std::move(f), std::move(s), std::move(u), {"x"}, {}, 0,
+                                 /*u_levels=*/1);
+  ASSERT_TRUE(d.ok());
+  const std::vector<int> predictions = {1, 1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0};
+  auto rates = PositiveRatesPerLevel(*d, predictions, 0);
+  ASSERT_TRUE(rates.ok());
+  ASSERT_EQ(rates->size(), 3u);
+  EXPECT_DOUBLE_EQ((*rates)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*rates)[1], 0.5);
+  EXPECT_DOUBLE_EQ((*rates)[2], 0.25);
+  auto worst = DisparateImpactWorstPair(*d, predictions, 0);
+  ASSERT_TRUE(worst.ok());
+  EXPECT_DOUBLE_EQ(*worst, 0.25);
+  auto gap = StatisticalParityWorstPair(*d, predictions, 0);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_DOUBLE_EQ(*gap, 0.75);
+}
+
+TEST(DisparateImpactMultiGroupTest, BinaryWorstPairIsDirectionFree) {
+  common::Matrix f = common::Matrix::FromRows({{1.0}, {1.0}, {1.0}, {1.0}});
+  auto d = data::Dataset::Create(std::move(f), {0, 0, 1, 1}, {0, 0, 0, 0}, {"x"});
+  ASSERT_TRUE(d.ok());
+  // rate(s=0) = 1.0, rate(s=1) = 0.5: DI = 2, worst pair = min(DI, 1/DI).
+  const std::vector<int> predictions = {1, 1, 1, 0};
+  auto di = DisparateImpact(*d, predictions, 0);
+  auto worst = DisparateImpactWorstPair(*d, predictions, 0);
+  ASSERT_TRUE(di.ok() && worst.ok());
+  EXPECT_DOUBLE_EQ(*di, 2.0);
+  EXPECT_DOUBLE_EQ(*worst, 0.5);
+}
+
+TEST(DisparateImpactMultiGroupTest, WorstPairAtParityIsOne) {
+  common::Matrix f = common::Matrix::FromRows({{1.0}, {1.0}, {1.0}});
+  auto d = data::Dataset::Create(std::move(f), {0, 1, 2}, {0, 0, 0}, {"x"}, {}, 0, 1);
+  ASSERT_TRUE(d.ok());
+  // Nobody receives positives: trivially at parity.
+  auto worst = DisparateImpactWorstPair(*d, {0, 0, 0}, 0);
+  ASSERT_TRUE(worst.ok());
+  EXPECT_DOUBLE_EQ(*worst, 1.0);
+}
+
 }  // namespace
 }  // namespace otfair::fairness

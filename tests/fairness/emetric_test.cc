@@ -161,5 +161,85 @@ TEST(EMetricTest, GridResolutionStableAboveThreshold) {
   EXPECT_NEAR(*ec, *ef, 0.05 * std::max(*ec, *ef) + 0.01);
 }
 
+TEST(EMetricMultiGroupTest, IdenticalLevelsScoreNearZero) {
+  // Three s levels drawn from the same distribution: the max-over-pairs E
+  // must be near zero.
+  common::Rng rng(91);
+  const size_t n = 3000;
+  common::Matrix f(n, 1);
+  std::vector<int> s(n);
+  std::vector<int> u(n);
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<int>(rng.UniformInt(3));
+    u[i] = static_cast<int>(rng.UniformInt(2));
+    f(i, 0) = rng.Normal();
+  }
+  auto d = data::Dataset::Create(std::move(f), std::move(s), std::move(u), {"x"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->s_levels(), 3u);
+  auto e = FeatureE(*d, 0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_LT(*e, 0.05);
+}
+
+TEST(EMetricMultiGroupTest, MaxOverPairsCatchesOneOutlierLevel) {
+  // Levels 0 and 1 coincide; level 2 is shifted. The worst pair dominates
+  // E, so it must be close to the (0 vs 2) separation, not the average.
+  common::Rng rng(92);
+  const size_t n = 6000;
+  common::Matrix f(n, 1);
+  std::vector<int> s(n);
+  std::vector<int> u(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<int>(rng.UniformInt(3));
+    f(i, 0) = rng.Normal() + (s[i] == 2 ? 3.0 : 0.0);
+  }
+  auto d = data::Dataset::Create(std::move(f), std::move(s), std::move(u), {"x"}, {}, 0,
+                                 /*u_levels=*/1);
+  ASSERT_TRUE(d.ok());
+  auto breakdown = FeatureEMetric(*d, 0);
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_GT(breakdown->e, 1.0);
+}
+
+TEST(EMetricMultiGroupTest, TinyClassIsSkippedNotTheStratum) {
+  // Two well-populated classes plus one class below min_group_size: E
+  // must come from the estimable pair, not fail the whole stratum.
+  common::Rng rng(94);
+  const size_t n = 2001;
+  common::Matrix f(n, 1);
+  std::vector<int> s(n);
+  std::vector<int> u(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = i == 0 ? 2 : static_cast<int>(rng.UniformInt(2));
+    f(i, 0) = rng.Normal() + (s[i] == 1 ? 2.0 : 0.0);
+  }
+  auto d = data::Dataset::Create(std::move(f), std::move(s), std::move(u), {"x"}, {}, 3, 1);
+  ASSERT_TRUE(d.ok());
+  auto e = FeatureE(*d, 0);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_GT(*e, 0.5);  // the 0-vs-1 separation is measured
+}
+
+TEST(EMetricMultiGroupTest, OneVsRestLocatesTheOutlier) {
+  common::Rng rng(93);
+  const size_t n = 6000;
+  common::Matrix f(n, 1);
+  std::vector<int> s(n);
+  std::vector<int> u(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<int>(rng.UniformInt(3));
+    f(i, 0) = rng.Normal() + (s[i] == 2 ? 3.0 : 0.0);
+  }
+  auto d = data::Dataset::Create(std::move(f), std::move(s), std::move(u), {"x"}, {}, 0,
+                                 /*u_levels=*/1);
+  ASSERT_TRUE(d.ok());
+  auto ovr = OneVsRestEMetric(*d, 0, 0);
+  ASSERT_TRUE(ovr.ok());
+  ASSERT_EQ(ovr->size(), 3u);
+  // The shifted level separates from the rest far more than the others.
+  EXPECT_GT((*ovr)[2], 2.0 * std::max((*ovr)[0], (*ovr)[1]));
+}
+
 }  // namespace
 }  // namespace otfair::fairness

@@ -171,6 +171,11 @@ TEST_F(CliTest, DriftExitCodes) {
   const std::string drifted_path = dir_ + "/drifted.csv";
   ASSERT_TRUE(data::WriteCsv(*drifted, drifted_path).ok());
   EXPECT_EQ(Run("drift --plan=" + plan_path_ + " --input=" + drifted_path), 3);
+  // A multi-group archive against a binary plan is an operational error
+  // (exit 1), not a crash.
+  const std::string multi_path = dir_ + "/drift_multi.csv";
+  ASSERT_EQ(Run("simulate --out=" + multi_path + " --rows=500 --seed=7 --s-levels=4"), 0);
+  EXPECT_EQ(Run("drift --plan=" + plan_path_ + " --input=" + multi_path), 1);
 }
 
 TEST_F(CliTest, BadInvocationsFailCleanly) {

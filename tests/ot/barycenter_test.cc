@@ -163,5 +163,91 @@ TEST(BregmanBarycenterTest, RejectsBadInputs) {
   EXPECT_FALSE(BregmanBarycenter({*mu}, {-1.0}, grid, {}).ok());
 }
 
+TEST(QuantileBarycenterNTest, TwoMeasureCaseMatchesPairwise) {
+  auto mu0 = DiscreteMeasure::Create({0.0, 1.0, 2.0}, {0.2, 0.5, 0.3});
+  auto mu1 = DiscreteMeasure::Create({1.0, 3.0, 4.0, 6.0}, {0.1, 0.4, 0.3, 0.2});
+  ASSERT_TRUE(mu0.ok() && mu1.ok());
+  for (double t : {0.0, 0.25, 0.5, 1.0}) {
+    auto pairwise = QuantileBarycenter1D(*mu0, *mu1, t);
+    auto n_measure = QuantileBarycenter1D({*mu0, *mu1}, {1.0 - t, t});
+    ASSERT_TRUE(pairwise.ok() && n_measure.ok());
+    EXPECT_NEAR(pairwise->Mean(), n_measure->Mean(), 1e-12);
+    EXPECT_NEAR(pairwise->Variance(), n_measure->Variance(), 1e-12);
+    // Same quantile function everywhere, not just matching moments.
+    for (double q : {0.05, 0.3, 0.5, 0.8, 0.95})
+      EXPECT_NEAR(pairwise->Quantile(q), n_measure->Quantile(q), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(QuantileBarycenterNTest, WeightedQuantileAveragingOfTranslates) {
+  // Translates of one shape: the barycenter is the lambda-weighted
+  // translate, exactly (the 1-D closed form).
+  auto base = DiscreteMeasure::Create({0.0, 1.0, 2.0}, {0.25, 0.5, 0.25});
+  ASSERT_TRUE(base.ok());
+  std::vector<DiscreteMeasure> measures;
+  const std::vector<double> shifts = {0.0, 2.0, 5.0};
+  for (double shift : shifts) {
+    std::vector<double> support;
+    for (double x : base->support()) support.push_back(x + shift);
+    measures.push_back(*DiscreteMeasure::Create(support, base->weights()));
+  }
+  const std::vector<double> lambdas = {0.5, 0.3, 0.2};
+  auto bary = QuantileBarycenter1D(measures, lambdas);
+  ASSERT_TRUE(bary.ok());
+  double expected_shift = 0.0;
+  for (size_t i = 0; i < shifts.size(); ++i) expected_shift += lambdas[i] * shifts[i];
+  EXPECT_NEAR(bary->Mean(), base->Mean() + expected_shift, 1e-12);
+  EXPECT_NEAR(bary->Variance(), base->Variance(), 1e-12);
+}
+
+TEST(QuantileBarycenterNTest, SingleMeasureIsIdentity) {
+  auto mu = DiscreteMeasure::Create({0.0, 2.0, 5.0}, {0.3, 0.4, 0.3});
+  ASSERT_TRUE(mu.ok());
+  auto bary = QuantileBarycenter1D({*mu}, {1.0});
+  ASSERT_TRUE(bary.ok());
+  ASSERT_EQ(bary->size(), mu->size());
+  for (size_t i = 0; i < mu->size(); ++i) {
+    EXPECT_DOUBLE_EQ(bary->support_at(i), mu->support_at(i));
+    EXPECT_NEAR(bary->weight_at(i), mu->weight_at(i), 1e-15);
+  }
+}
+
+TEST(QuantileBarycenterNTest, CrossCheckAgainstBregman) {
+  // Three Gaussians-on-a-grid: the exact quantile barycenter and the
+  // entropic Bregman barycenter must agree up to the entropic smoothing.
+  std::vector<double> grid;
+  for (int i = 0; i <= 120; ++i) grid.push_back(-4.0 + i * (12.0 / 120.0));
+  auto gaussian_on = [&](double mean) {
+    std::vector<double> w;
+    for (double x : grid) w.push_back(std::exp(-0.5 * (x - mean) * (x - mean)));
+    return *DiscreteMeasure::Create(grid, w);
+  };
+  const std::vector<DiscreteMeasure> measures = {gaussian_on(-1.0), gaussian_on(1.5),
+                                                 gaussian_on(4.0)};
+  const std::vector<double> lambdas = {0.5, 0.25, 0.25};
+  auto exact = QuantileBarycenterOnGrid(measures, lambdas, grid);
+  ASSERT_TRUE(exact.ok());
+  BregmanBarycenterOptions options;
+  options.epsilon = 0.05;
+  auto entropic = BregmanBarycenter(measures, lambdas, grid, options);
+  ASSERT_TRUE(entropic.ok());
+  // Means agree tightly; the entropic one is smoothed, so variances only
+  // roughly.
+  EXPECT_NEAR(exact->Mean(), entropic->Mean(), 0.05);
+  EXPECT_NEAR(exact->Variance(), entropic->Variance(), 0.3);
+}
+
+TEST(QuantileBarycenterNTest, RejectsBadArguments) {
+  auto mu = DiscreteMeasure::Create({0.0, 1.0}, {0.5, 0.5});
+  ASSERT_TRUE(mu.ok());
+  EXPECT_FALSE(QuantileBarycenter1D({}, {}).ok());
+  EXPECT_FALSE(QuantileBarycenter1D({*mu}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(QuantileBarycenter1D({*mu, *mu}, {0.5, -0.5}).ok());
+  EXPECT_FALSE(QuantileBarycenter1D({*mu, *mu}, {0.0, 0.0}).ok());
+  auto unsorted = DiscreteMeasure::Create({2.0, 0.0}, {0.5, 0.5});
+  ASSERT_TRUE(unsorted.ok());
+  EXPECT_FALSE(QuantileBarycenter1D({*unsorted, *mu}, {0.5, 0.5}).ok());
+}
+
 }  // namespace
 }  // namespace otfair::ot

@@ -72,5 +72,20 @@ TEST(ProtocolTest, FormatsErrorResponses) {
             "err - - UNAVAILABLE full");
 }
 
+TEST(ProtocolMultiGroupTest, AcceptsLabelsWithinConfiguredLevels) {
+  auto request = ParseRequestLine("repair 1 2 2 3 0.5 1.5", 2, /*u_levels=*/3,
+                                  /*s_levels=*/4);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->row.u, 2);
+  EXPECT_EQ(request->row.s, 3);
+}
+
+TEST(ProtocolMultiGroupTest, RejectsLabelsBeyondConfiguredLevels) {
+  EXPECT_FALSE(ParseRequestLine("repair 1 2 3 0 0.5 1.5", 2, 3, 4).ok());  // u = |U|
+  EXPECT_FALSE(ParseRequestLine("repair 1 2 0 4 0.5 1.5", 2, 3, 4).ok());  // s = |S|
+  // The default bounds stay binary.
+  EXPECT_FALSE(ParseRequestLine("repair 1 2 2 0 0.5 1.5", 2).ok());
+}
+
 }  // namespace
 }  // namespace otfair::serve

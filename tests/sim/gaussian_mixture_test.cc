@@ -143,5 +143,52 @@ TEST(GaussianMixtureTest, RejectsBadConfig) {
   EXPECT_FALSE(SimulateGaussianMixture(10, bad_prob, rng).ok());
 }
 
+TEST(MultiGroupSimTest, DefaultConfigSeparatesAdjacentLevels) {
+  common::Rng rng(41);
+  auto d = SimulateMultiGroupGaussian(20000, MultiGroupSimConfig::Default(4, 3), rng);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->s_levels(), 4u);
+  EXPECT_EQ(d->u_levels(), 3u);
+  EXPECT_EQ(d->dim(), 2u);
+  // Within each u stratum the s-conditional means are strictly ordered
+  // (the fanned-out default geometry) — the separation the repair targets.
+  for (int u = 0; u < 3; ++u) {
+    double prev = -1e30;
+    for (int s = 0; s < 4; ++s) {
+      const auto idx = d->GroupIndices({u, s});
+      ASSERT_GT(idx.size(), 200u);
+      double mean = 0.0;
+      for (size_t i : idx) mean += d->feature(i, 0);
+      mean /= static_cast<double>(idx.size());
+      EXPECT_GT(mean, prev + 0.2) << "u=" << u << " s=" << s;
+      prev = mean;
+    }
+  }
+}
+
+TEST(MultiGroupSimTest, ValidatesConfigShapes) {
+  common::Rng rng(42);
+  MultiGroupSimConfig config = MultiGroupSimConfig::Default(3, 2);
+  config.mean[0].pop_back();  // ragged component grid
+  EXPECT_FALSE(SimulateMultiGroupGaussian(10, config, rng).ok());
+  config = MultiGroupSimConfig::Default(3, 2);
+  config.pr_u = {1.0};  // prior shape mismatch
+  EXPECT_FALSE(SimulateMultiGroupGaussian(10, config, rng).ok());
+  config = MultiGroupSimConfig::Default(3, 2);
+  config.pr_s_given_u[1] = {-1.0, 1.0, 1.0};  // negative prior
+  EXPECT_FALSE(SimulateMultiGroupGaussian(10, config, rng).ok());
+  config = MultiGroupSimConfig::Default(3, 2);
+  config.mean[1][2] = {0.0};  // wrong dimension
+  EXPECT_FALSE(SimulateMultiGroupGaussian(10, config, rng).ok());
+}
+
+TEST(MultiGroupSimTest, SingleUStratumIsSupported) {
+  common::Rng rng(43);
+  auto d = SimulateMultiGroupGaussian(500, MultiGroupSimConfig::Default(3, 1), rng);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->u_levels(), 1u);
+  for (size_t i = 0; i < d->size(); ++i) EXPECT_EQ(d->u(i), 0);
+}
+
 }  // namespace
 }  // namespace otfair::sim

@@ -30,6 +30,7 @@
 #include "common/flags.h"
 #include "common/json_writer.h"
 #include "common/parallel.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "core/designer.h"
 #include "core/drift_monitor.h"
@@ -84,11 +85,15 @@ std::string SolverNames() {
 void PrintDesignUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: otfair design --research=R.csv --plan=P.bin [flags]\n"
-               "  Fits Algorithm 1 repair plans on a labelled research CSV.\n"
+               "  Fits Algorithm 1 repair plans on a labelled research CSV. The\n"
+               "  attribute cardinalities |S|/|U| come from the data (any K-valued\n"
+               "  categorical levels 0..K-1); one plan per (u, s, feature) channel.\n"
                "    --research=R.csv   labelled research data (required)\n"
                "    --plan=P.bin       output plan artifact (required)\n"
                "    --n_q=50           support grid resolution\n"
-               "    --target_t=0.5     barycentre position t in [0, 1]\n"
+               "    --target_t=0.5     barycentre position t in [0, 1] (binary |S|)\n"
+               "    --lambdas=l0,l1,.. barycentric weights, one per s level\n"
+               "                       (default: {1-t, t} binary, uniform otherwise)\n"
                "    --solver=%s   OT backend\n"
                "    --epsilon=0.05     Sinkhorn regularization\n"
                "    --threads=N        worker threads\n",
@@ -152,9 +157,12 @@ void PrintSimulateUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: otfair simulate --out=D.csv --rows=N [flags]\n"
                "  Draws a labelled dataset from the paper's Gaussian mixture.\n"
-               "    --seed=1     RNG seed\n"
-               "    --dim=2      feature count (2 = the paper's config)\n"
-               "    --shift=0.0  added to every component mean (creates drift)\n");
+               "    --seed=1      RNG seed\n"
+               "    --dim=2       feature count (2 = the paper's config)\n"
+               "    --shift=0.0   added to every component mean (creates drift)\n"
+               "    --s-levels=2  protected-attribute levels |S| (2 = the paper's\n"
+               "                  binary config, bit-identical to earlier releases)\n"
+               "    --u-levels=2  unprotected-attribute levels |U|\n");
 }
 
 /// The top-level usage block; `out` distinguishes requested help (stdout,
@@ -202,6 +210,21 @@ int RunDesign(const FlagParser& flags) {
   otfair::core::PipelineOptions options;
   options.design.n_q = static_cast<size_t>(flags.GetInt("n_q", 50));
   options.design.target_t = flags.GetDouble("target_t", 0.5);
+  if (flags.Has("lambdas")) {
+    // Comma-separated barycentric weights, one per s level; validated
+    // against the data's |S| inside the designer.
+    for (const std::string& cell :
+         otfair::common::Split(flags.GetString("lambdas", ""), ',')) {
+      char* end = nullptr;
+      const std::string trimmed = otfair::common::Trim(cell);
+      const double value = std::strtod(trimmed.c_str(), &end);
+      if (trimmed.empty() || end == trimmed.c_str() || *end != '\0')
+        return Fail(Status::InvalidArgument("--lambdas must be a comma-separated list of "
+                                            "numbers (got '" +
+                                            trimmed + "')"));
+      options.design.lambdas.push_back(value);
+    }
+  }
   auto threads = ResolveThreadsFlag(flags);
   if (!threads.ok()) return Fail(threads.status());
   options.design.threads = *threads;
@@ -223,8 +246,10 @@ int RunDesign(const FlagParser& flags) {
         "); with --solver=sinkhorn, try a larger --epsilon"));
   if (Status status = plans->SaveToFile(plan_path); !status.ok()) return Fail(status);
   std::printf(
-      "designed %zu channels (n_Q=%zu, t=%.2f, solver=%s) from %zu research rows -> %s\n",
-      2 * plans->dim(), options.design.n_q, options.design.target_t,
+      "designed %zu channels (|U|=%zu, |S|=%zu, n_Q=%zu, t=%.2f, solver=%s) from %zu "
+      "research rows -> %s\n",
+      plans->u_levels() * plans->dim(), plans->u_levels(), plans->s_levels(),
+      options.design.n_q, options.design.target_t,
       options.design.solver->name().c_str(), research->size(), plan_path.c_str());
   return 0;
 }
@@ -431,7 +456,8 @@ int RunServeStdio(otfair::serve::RepairService& service,
     std::string line(line_buf, static_cast<size_t>(line_len));
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
     if (line.empty()) continue;
-    auto request = otfair::serve::ParseRequestLine(line, service.dim());
+    auto request = otfair::serve::ParseRequestLine(line, service.dim(), service.u_levels(),
+                                                   service.s_levels());
     if (!request.ok()) {
       respond(otfair::serve::FormatErrorLine(request.status()));
       continue;
@@ -513,6 +539,19 @@ int RunInspect(const FlagParser& flags) {
   if (!plan_path.empty()) {
     auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
     if (!plans.ok()) return Fail(plans.status());
+    const size_t s_levels = plans->s_levels();
+    const size_t u_levels = plans->u_levels();
+    // Per-channel nnz/bytes sum over all |S| plans of the channel.
+    auto channel_nnz = [&](const otfair::core::ChannelPlan& channel) {
+      size_t nnz = 0;
+      for (size_t s = 0; s < s_levels; ++s) nnz += channel.plan[s].nnz();
+      return nnz;
+    };
+    auto channel_bytes = [&](const otfair::core::ChannelPlan& channel) {
+      size_t bytes = 0;
+      for (size_t s = 0; s < s_levels; ++s) bytes += channel.plan[s].MemoryBytes();
+      return bytes;
+    };
     if (json) {
       JsonWriter w;
       w.BeginObject()
@@ -520,24 +559,27 @@ int RunInspect(const FlagParser& flags) {
           .Key("path").String(plan_path)
           .Key("dim").Uint(plans->dim())
           .Key("target_t").Double(plans->target_t())
-          .Key("features").BeginArray();
+          .Key("s_levels").Uint(s_levels)
+          .Key("u_levels").Uint(u_levels)
+          .Key("lambdas").BeginArray();
+      for (const double l : plans->lambdas()) w.Double(l);
+      w.EndArray().Key("features").BeginArray();
       for (const std::string& name : plans->feature_names()) w.String(name);
       w.EndArray().Key("channels").BeginArray();
-      for (int u = 0; u <= 1; ++u) {
+      for (size_t u = 0; u < u_levels; ++u) {
         for (size_t k = 0; k < plans->dim(); ++k) {
-          const auto& channel = plans->At(u, k);
+          const auto& channel = plans->At(static_cast<int>(u), k);
           const size_t nq = channel.grid.size();
           w.BeginObject()
-              .Key("u").Int(u)
+              .Key("u").Int(static_cast<int>(u))
               .Key("k").Uint(k)
               .Key("feature").String(plans->feature_names()[k])
               .Key("n_q").Uint(nq)
               .Key("lo").Double(channel.grid.lo())
               .Key("hi").Double(channel.grid.hi())
-              .Key("nnz").Uint(channel.plan[0].nnz() + channel.plan[1].nnz())
-              .Key("csr_bytes").Uint(channel.plan[0].MemoryBytes() +
-                                     channel.plan[1].MemoryBytes())
-              .Key("dense_bytes").Uint(2 * nq * nq * sizeof(double))
+              .Key("nnz").Uint(channel_nnz(channel))
+              .Key("csr_bytes").Uint(channel_bytes(channel))
+              .Key("dense_bytes").Uint(s_levels * nq * nq * sizeof(double))
               .EndObject();
         }
       }
@@ -547,19 +589,22 @@ int RunInspect(const FlagParser& flags) {
     }
     std::printf("plan artifact %s\n  features (%zu):", plan_path.c_str(), plans->dim());
     for (const std::string& name : plans->feature_names()) std::printf(" %s", name.c_str());
-    std::printf("\n  barycentre position t = %.3f\n", plans->target_t());
-    for (int u = 0; u <= 1; ++u) {
+    std::printf("\n  groups: |U|=%zu x |S|=%zu", u_levels, s_levels);
+    std::printf("\n  barycentre position t = %.3f, lambdas =", plans->target_t());
+    for (const double l : plans->lambdas()) std::printf(" %.3f", l);
+    std::printf("\n");
+    for (size_t u = 0; u < u_levels; ++u) {
       for (size_t k = 0; k < plans->dim(); ++k) {
-        const auto& channel = plans->At(u, k);
+        const auto& channel = plans->At(static_cast<int>(u), k);
         const size_t nq = channel.grid.size();
-        const size_t nnz = channel.plan[0].nnz() + channel.plan[1].nnz();
-        const size_t bytes = channel.plan[0].MemoryBytes() + channel.plan[1].MemoryBytes();
+        const size_t nnz = channel_nnz(channel);
+        const size_t bytes = channel_bytes(channel);
         std::printf(
-            "  channel (u=%d, %s): n_Q=%zu, range [%.4g, %.4g], "
+            "  channel (u=%zu, %s): n_Q=%zu, range [%.4g, %.4g], "
             "plans nnz=%zu (%.1f KiB CSR vs %.1f KiB dense)\n",
             u, plans->feature_names()[k].c_str(), nq, channel.grid.lo(), channel.grid.hi(),
             nnz, static_cast<double>(bytes) / 1024.0,
-            static_cast<double>(2 * nq * nq * sizeof(double)) / 1024.0);
+            static_cast<double>(s_levels * nq * nq * sizeof(double)) / 1024.0);
       }
     }
     return 0;
@@ -575,6 +620,8 @@ int RunInspect(const FlagParser& flags) {
           .Key("kind").String("data")
           .Key("path").String(data_path)
           .Key("rows").Uint(report->rows)
+          .Key("s_levels").Uint(report->s_levels)
+          .Key("u_levels").Uint(report->u_levels)
           .Key("features").BeginArray();
       for (const std::string& name : report->feature_names) w.String(name);
       w.EndArray().Key("e_per_feature").BeginArray();
@@ -611,6 +658,18 @@ int RunDrift(const FlagParser& flags) {
   if (!archive.ok()) return Fail(archive.status());
   if (archive->dim() != plans->dim())
     return Fail(Status::InvalidArgument("archive/plan dimensionality mismatch"));
+  // Archives carry arbitrary categorical labels; reject actual label
+  // values outside the plan's level grid here rather than letting
+  // Observe() CHECK-fail (declared-but-unobserved archive levels are
+  // fine — only values matter).
+  for (size_t i = 0; i < archive->size(); ++i) {
+    if (static_cast<size_t>(archive->s(i)) >= plans->s_levels() ||
+        static_cast<size_t>(archive->u(i)) >= plans->u_levels())
+      return Fail(Status::InvalidArgument(
+          "archive row " + std::to_string(i) + " has (u=" + std::to_string(archive->u(i)) +
+          ", s=" + std::to_string(archive->s(i)) + ") but the plan was designed for |U|=" +
+          std::to_string(plans->u_levels()) + ", |S|=" + std::to_string(plans->s_levels())));
+  }
   auto monitor = otfair::core::DriftMonitor::Create(*plans);
   if (!monitor.ok()) return Fail(monitor.status());
   for (size_t i = 0; i < archive->size(); ++i) {
@@ -656,26 +715,44 @@ int RunSimulate(const FlagParser& flags) {
   const int dim = flags.GetInt("dim", 2);
   if (dim < 1) return Fail(Status::InvalidArgument("--dim must be >= 1"));
   const double shift = flags.GetDouble("shift", 0.0);
-  otfair::sim::GaussianSimConfig config = otfair::sim::GaussianSimConfig::PaperDefault();
-  if (static_cast<size_t>(dim) != config.dim) {
-    // The paper's +/-1 mean separation replicated across `dim` channels.
-    config.dim = static_cast<size_t>(dim);
-    config.mean[0][0].assign(config.dim, -1.0);
-    config.mean[0][1].assign(config.dim, 0.0);
-    config.mean[1][0].assign(config.dim, 1.0);
-    config.mean[1][1].assign(config.dim, 0.0);
-  }
-  for (int u = 0; u <= 1; ++u)
-    for (int s = 0; s <= 1; ++s)
-      for (double& m : config.mean[u][s]) m += shift;
+  // Both spellings accepted: the hyphenated form is documented, the
+  // underscore form matches every other flag's convention.
+  const int s_levels = flags.GetInt("s-levels", flags.GetInt("s_levels", 2));
+  const int u_levels = flags.GetInt("u-levels", flags.GetInt("u_levels", 2));
+  if (s_levels < 2 || u_levels < 1)
+    return Fail(Status::InvalidArgument("--s-levels must be >= 2 and --u-levels >= 1"));
   otfair::common::Rng rng(flags.GetUint64("seed", 1));
-  auto dataset =
-      otfair::sim::SimulateGaussianMixture(static_cast<size_t>(rows), config, rng);
+  otfair::common::Result<otfair::data::Dataset> dataset(Status::Internal("unreachable"));
+  if (s_levels == 2 && u_levels == 2) {
+    // The paper's binary configuration — kept on the original code path so
+    // seeded fixtures stay bit-identical across releases.
+    otfair::sim::GaussianSimConfig config = otfair::sim::GaussianSimConfig::PaperDefault();
+    if (static_cast<size_t>(dim) != config.dim) {
+      // The paper's +/-1 mean separation replicated across `dim` channels.
+      config.dim = static_cast<size_t>(dim);
+      config.mean[0][0].assign(config.dim, -1.0);
+      config.mean[0][1].assign(config.dim, 0.0);
+      config.mean[1][0].assign(config.dim, 1.0);
+      config.mean[1][1].assign(config.dim, 0.0);
+    }
+    for (int u = 0; u <= 1; ++u)
+      for (int s = 0; s <= 1; ++s)
+        for (double& m : config.mean[u][s]) m += shift;
+    dataset = otfair::sim::SimulateGaussianMixture(static_cast<size_t>(rows), config, rng);
+  } else {
+    otfair::sim::MultiGroupSimConfig config = otfair::sim::MultiGroupSimConfig::Default(
+        static_cast<size_t>(s_levels), static_cast<size_t>(u_levels),
+        static_cast<size_t>(dim));
+    for (auto& stratum : config.mean)
+      for (auto& component : stratum)
+        for (double& m : component) m += shift;
+    dataset = otfair::sim::SimulateMultiGroupGaussian(static_cast<size_t>(rows), config, rng);
+  }
   if (!dataset.ok()) return Fail(dataset.status());
   if (Status status = otfair::data::WriteCsv(*dataset, out_path); !status.ok())
     return Fail(status);
-  std::printf("simulated %d rows (dim=%d, shift=%.2f) -> %s\n", rows, dim, shift,
-              out_path.c_str());
+  std::printf("simulated %d rows (dim=%d, |S|=%d, |U|=%d, shift=%.2f) -> %s\n", rows, dim,
+              s_levels, u_levels, shift, out_path.c_str());
   return 0;
 }
 
