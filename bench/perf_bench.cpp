@@ -30,13 +30,27 @@
 //                      repair_throughput.
 //   serve_p99_latency_us  request latency quantiles from the serving
 //                      metrics histogram on the same replay workload.
+//   repair_throughput_soa     the default SoA batch-repair path (rows
+//   repair_throughput_s4_soa  grouped by (u, s), channel-major RepairSpan
+//                      with prefetch); the plain repair_throughput rows
+//                      force soa_batch=false, so the pair isolates the
+//                      layout win. _s4 again tracks K-scaling.
+//   lse_reduction      the fused log-sum-exp kernel (simd::LseDiff) on an
+//                      n-length row — the log-domain Sinkhorn inner loop
+//                      in isolation.
+//   alias_lookup_batch alias-arena draws/sec on a repair-shaped table
+//                      (n_q rows, CSR-support-sized), prefetched batch
+//                      loop — the repair table lookup in isolation.
 //
 // Flags:
 //   --out=FILE         JSON output path (default: perf_bench.json)
 //   --smoke            tiny sizes: a CI harness check, not a measurement
 //   --threads=1,2,4,8  thread counts for the scaling benchmarks
 //   --repeats=3        repetitions; the minimum wall time is reported
+//   --no_simd          force the scalar kernels (the JSON meta records
+//                      the dispatched ISA either way)
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -47,6 +61,7 @@
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "core/designer.h"
 #include "core/repairer.h"
@@ -140,10 +155,12 @@ void Die(const std::string& what) {
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  if (auto status = flags.Validate({"out", "smoke", "threads", "repeats"}); !status.ok())
+  if (auto status = flags.Validate({"out", "smoke", "threads", "repeats", "no_simd"});
+      !status.ok())
     Die(status.ToString());
   const std::string out_path = flags.GetString("out", "perf_bench.json");
   const bool smoke = flags.GetBool("smoke", false);
+  if (flags.GetBool("no_simd", false)) otfair::common::simd::SetForceScalar(true);
   const std::vector<int> thread_counts = flags.GetIntList("threads", {1, 2, 4, 8});
   const int repeats = flags.GetInt("repeats", smoke ? 1 : 3);
   for (int t : thread_counts) {
@@ -197,27 +214,33 @@ int main(int argc, char** argv) {
     design_options.n_q = design_nq;
     auto plans = otfair::core::DesignDistributionalRepair(*research, design_options);
     if (!plans.ok()) Die(plans.status().ToString());
-    for (int t : thread_counts) {
-      otfair::core::RepairOptions options;
-      options.threads = t;
-      auto repairer = otfair::core::OffSampleRepairer::Create(*plans, options);
-      if (!repairer.ok()) Die(repairer.status().ToString());
-      const double ms = BestWallMs(repeats, [&] {
-        auto repaired = repairer->RepairDataset(*archive);
-        if (!repaired.ok()) Die(repaired.status().ToString());
-      });
-      BenchCase c;
-      c.name = "repair_throughput";
-      c.threads = t;
-      std::snprintf(params, sizeof(params), "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu}",
-                    dim, n_archive, design_nq);
-      c.params_json = params;
-      c.repeats = repeats;
-      c.wall_ms = ms;
-      c.rows_per_sec = static_cast<double>(n_archive) / (ms / 1e3);
-      cases.push_back(c);
-      std::fprintf(stderr, "repair_throughput threads=%d  %10.2f ms  (%.0f rows/s)\n", t, ms,
-                   c.rows_per_sec);
+    // soa_batch=false is the row-by-row baseline; the _soa row is the
+    // default SoA batch path — same tables, same output, layout isolated.
+    for (const bool soa : {false, true}) {
+      for (int t : thread_counts) {
+        otfair::core::RepairOptions options;
+        options.threads = t;
+        options.soa_batch = soa;
+        auto repairer = otfair::core::OffSampleRepairer::Create(*plans, options);
+        if (!repairer.ok()) Die(repairer.status().ToString());
+        const double ms = BestWallMs(repeats, [&] {
+          auto repaired = repairer->RepairDataset(*archive);
+          if (!repaired.ok()) Die(repaired.status().ToString());
+        });
+        BenchCase c;
+        c.name = soa ? "repair_throughput_soa" : "repair_throughput";
+        c.threads = t;
+        std::snprintf(params, sizeof(params),
+                      "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu, \"soa\": %s}", dim,
+                      n_archive, design_nq, soa ? "true" : "false");
+        c.params_json = params;
+        c.repeats = repeats;
+        c.wall_ms = ms;
+        c.rows_per_sec = static_cast<double>(n_archive) / (ms / 1e3);
+        cases.push_back(c);
+        std::fprintf(stderr, "%-21s threads=%d  %8.2f ms  (%.0f rows/s)\n", c.name.c_str(), t,
+                     ms, c.rows_per_sec);
+      }
     }
   }
 
@@ -260,28 +283,32 @@ int main(int argc, char** argv) {
     design_options.n_q = design_nq;
     auto plans = otfair::core::DesignDistributionalRepair(*mg_research, design_options);
     if (!plans.ok()) Die(plans.status().ToString());
-    for (int t : thread_counts) {
-      otfair::core::RepairOptions options;
-      options.threads = t;
-      auto repairer = otfair::core::OffSampleRepairer::Create(*plans, options);
-      if (!repairer.ok()) Die(repairer.status().ToString());
-      const double ms = BestWallMs(repeats, [&] {
-        auto repaired = repairer->RepairDataset(*mg_archive);
-        if (!repaired.ok()) Die(repaired.status().ToString());
-      });
-      BenchCase c;
-      c.name = "repair_throughput_s4";
-      c.threads = t;
-      std::snprintf(params, sizeof(params),
-                    "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu, \"s_levels\": 4}", dim,
-                    n_archive, design_nq);
-      c.params_json = params;
-      c.repeats = repeats;
-      c.wall_ms = ms;
-      c.rows_per_sec = static_cast<double>(n_archive) / (ms / 1e3);
-      cases.push_back(c);
-      std::fprintf(stderr, "repair_throughput_s4 threads=%d %9.2f ms  (%.0f rows/s)\n", t, ms,
-                   c.rows_per_sec);
+    for (const bool soa : {false, true}) {
+      for (int t : thread_counts) {
+        otfair::core::RepairOptions options;
+        options.threads = t;
+        options.soa_batch = soa;
+        auto repairer = otfair::core::OffSampleRepairer::Create(*plans, options);
+        if (!repairer.ok()) Die(repairer.status().ToString());
+        const double ms = BestWallMs(repeats, [&] {
+          auto repaired = repairer->RepairDataset(*mg_archive);
+          if (!repaired.ok()) Die(repaired.status().ToString());
+        });
+        BenchCase c;
+        c.name = soa ? "repair_throughput_s4_soa" : "repair_throughput_s4";
+        c.threads = t;
+        std::snprintf(
+            params, sizeof(params),
+            "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu, \"s_levels\": 4, \"soa\": %s}",
+            dim, n_archive, design_nq, soa ? "true" : "false");
+        c.params_json = params;
+        c.repeats = repeats;
+        c.wall_ms = ms;
+        c.rows_per_sec = static_cast<double>(n_archive) / (ms / 1e3);
+        cases.push_back(c);
+        std::fprintf(stderr, "%-24s threads=%d %8.2f ms  (%.0f rows/s)\n", c.name.c_str(), t,
+                     ms, c.rows_per_sec);
+      }
     }
   }
 
@@ -534,6 +561,86 @@ int main(int argc, char** argv) {
     otfair::common::parallel::SetThreadCount(0);
   }
 
+  // --- lse_reduction: the fused log-sum-exp kernel in isolation ------------
+  // One sinkhorn_n-length LseDiff per "iteration": exactly the inner loop
+  // of a log-domain Sinkhorn row update. The accumulator sink keeps the
+  // call observable so the optimizer cannot drop it.
+  {
+    Rng lse_rng(0x15e0);
+    std::vector<double> other(sinkhorn_n);
+    std::vector<double> cost_row(sinkhorn_n);
+    for (double& v : other) v = lse_rng.Uniform(-2.0, 2.0);
+    for (double& v : cost_row) v = lse_rng.Uniform(0.0, 4.0);
+    const size_t iters = smoke ? 2000 : 200000;
+    double sink = 0.0;
+    const double ms = BestWallMs(repeats, [&] {
+      for (size_t i = 0; i < iters; ++i)
+        sink += otfair::common::simd::LseDiff(other.data(), cost_row.data(), sinkhorn_n);
+    });
+    if (!std::isfinite(sink)) Die("lse_reduction produced non-finite sink");
+    BenchCase c;
+    c.name = "lse_reduction";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params), "{\"n\": %zu, \"calls\": %zu}", sinkhorn_n, iters);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = ms;
+    c.iterations = iters;
+    c.ms_per_iter = ms / static_cast<double>(iters);
+    cases.push_back(c);
+    std::fprintf(stderr, "lse_reduction     threads=1  %10.2f ms  (%zu calls, %.5f ms/call)\n",
+                 ms, iters, c.ms_per_iter);
+  }
+
+  // --- alias_lookup_batch: arena draws in isolation ------------------------
+  // A repair-shaped arena (design_nq rows, narrow CSR-like support) drawn
+  // from in the same prefetched pattern RepairSpan uses; rows_per_sec is
+  // draws/sec. Row indices are precomputed so the timed loop is lookup
+  // plus RNG only.
+  {
+    Rng build_rng(0xa11a);
+    otfair::stats::AliasArena arena;
+    const size_t support = 8;  // typical CSR row width from monotone plans
+    arena.Reserve(design_nq, design_nq * support);
+    std::vector<double> w(support);
+    std::vector<uint32_t> c_ids(support);
+    for (size_t q = 0; q < design_nq; ++q) {
+      for (size_t i = 0; i < support; ++i) {
+        w[i] = build_rng.Uniform(0.01, 1.0);
+        c_ids[i] = static_cast<uint32_t>((q + i) % design_nq);
+      }
+      if (auto status = arena.AppendRow(w.data(), c_ids.data(), support); !status.ok())
+        Die(status.ToString());
+    }
+    const size_t draws = smoke ? 20000 : 2000000;
+    std::vector<uint32_t> row_ids(draws);
+    for (uint32_t& r : row_ids)
+      r = static_cast<uint32_t>(build_rng.UniformInt(design_nq));
+    constexpr size_t kPrefetchAhead = 8;  // matches RepairSpan
+    uint64_t sink = 0;
+    const double ms = BestWallMs(repeats, [&] {
+      Rng draw_rng(0xd4a3);
+      for (size_t t = 0; t < draws; ++t) {
+        if (t + kPrefetchAhead < draws) arena.PrefetchRow(row_ids[t + kPrefetchAhead]);
+        sink += arena.SampleCol(row_ids[t], draw_rng);
+      }
+    });
+    if (sink == 0) Die("alias_lookup_batch produced implausible sink");
+    BenchCase c;
+    c.name = "alias_lookup_batch";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params),
+                  "{\"rows\": %zu, \"support\": %zu, \"draws\": %zu}", design_nq, support,
+                  draws);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = ms;
+    c.rows_per_sec = static_cast<double>(draws) / (ms / 1e3);
+    cases.push_back(c);
+    std::fprintf(stderr, "alias_lookup_batch threads=1 %10.2f ms  (%.0f draws/s)\n", ms,
+                 c.rows_per_sec);
+  }
+
   // --- exact solver --------------------------------------------------------
   {
     otfair::common::parallel::SetThreadCount(1);
@@ -558,9 +665,9 @@ int main(int argc, char** argv) {
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) Die("cannot open " + out_path);
   std::fprintf(out, "{\n  \"schema\": \"otfair-bench-v1\",\n");
-  std::fprintf(out, "  \"meta\": {\"hardware_threads\": %zu, \"smoke\": %s},\n",
+  std::fprintf(out, "  \"meta\": {\"hardware_threads\": %zu, \"smoke\": %s, \"simd_isa\": \"%s\"},\n",
                static_cast<size_t>(otfair::common::parallel::DefaultThreadCount()),
-               smoke ? "true" : "false");
+               smoke ? "true" : "false", otfair::common::simd::ActiveIsa());
   std::fprintf(out, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < cases.size(); ++i) {
     const BenchCase& c = cases[i];

@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/simd.h"
+
 namespace otfair::common {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -46,21 +48,16 @@ double Matrix::Sum() const {
 
 std::vector<double> Matrix::RowSums() const {
   std::vector<double> sums(rows_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* p = row(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < cols_; ++c) acc += p[c];
-    sums[r] = acc;
-  }
+  for (size_t r = 0; r < rows_; ++r) sums[r] = simd::Sum(row(r), cols_);
   return sums;
 }
 
 std::vector<double> Matrix::ColSums() const {
+  // Row-major streaming accumulation; the element-wise vector add keeps
+  // the per-column summation order (row 0, row 1, ...) bit-identical to
+  // the scalar loop.
   std::vector<double> sums(cols_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* p = row(r);
-    for (size_t c = 0; c < cols_; ++c) sums[c] += p[c];
-  }
+  for (size_t r = 0; r < rows_; ++r) simd::AddInPlace(sums.data(), row(r), cols_);
   return sums;
 }
 

@@ -1,0 +1,454 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define OTFAIR_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define OTFAIR_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace otfair::common::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These mirror the loop idioms the hot paths used
+// before this layer existed, so forcing the scalar table reproduces the
+// pre-SIMD numerics exactly.
+// ---------------------------------------------------------------------------
+
+double ScalarSum(const double* x, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+double ScalarDot(const double* x, const double* y, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double ScalarMax(const double* x, size_t n) {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] > hi) hi = x[i];
+  }
+  return hi;
+}
+
+double ScalarMaxAbsDiff(const double* x, const double* y, size_t n) {
+  double hi = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::abs(x[i] - y[i]);
+    if (d > hi) hi = d;
+  }
+  return hi;
+}
+
+void ScalarAddInPlace(double* dst, const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += x[i];
+}
+
+void ScalarScaledMul(double* dst, const double* x, const double* y, double c,
+                     size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = c * x[i] * y[i];
+}
+
+// Two-pass fused log-sum-exp over a difference, matching the former
+// ot::RowLogSumExp: subtract the running max so every exp argument is <= 0.
+double ScalarLseDiff(const double* x, const double* y, size_t n) {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = x[i] - y[i];
+    if (d > hi) hi = d;
+  }
+  if (!std::isfinite(hi)) return hi;  // all -inf (or empty): LSE is -inf
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += std::exp((x[i] - y[i]) - hi);
+  return hi + std::log(acc);
+}
+
+constexpr Ops kScalarOps = {
+    "scalar",        ScalarSum,        ScalarDot,      ScalarMax,
+    ScalarMaxAbsDiff, ScalarAddInPlace, ScalarScaledMul, ScalarLseDiff,
+};
+
+#if defined(OTFAIR_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels. Compiled with per-function target attributes so the
+// default (no -mavx2) build still contains them; dispatch checks
+// __builtin_cpu_supports("avx2") before installing this table.
+// Reductions keep 4 independent accumulators to break the dependency chain,
+// then fold lanes in a fixed order so results are deterministic run-to-run
+// (though not bit-equal to the scalar single-accumulator order).
+// ---------------------------------------------------------------------------
+
+#define OTFAIR_AVX2 __attribute__((target("avx2,fma")))
+
+OTFAIR_AVX2 inline double HAdd(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(lo) + _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+}
+
+OTFAIR_AVX2 inline double HMax(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_max_pd(lo, hi);
+  const double a = _mm_cvtsd_f64(lo);
+  const double b = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+  return a > b ? a : b;
+}
+
+OTFAIR_AVX2 double Avx2Sum(const double* x, size_t n) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    a0 = _mm256_add_pd(a0, _mm256_loadu_pd(x + i));
+    a1 = _mm256_add_pd(a1, _mm256_loadu_pd(x + i + 4));
+    a2 = _mm256_add_pd(a2, _mm256_loadu_pd(x + i + 8));
+    a3 = _mm256_add_pd(a3, _mm256_loadu_pd(x + i + 12));
+  }
+  for (; i + 4 <= n; i += 4) a0 = _mm256_add_pd(a0, _mm256_loadu_pd(x + i));
+  double acc = HAdd(_mm256_add_pd(_mm256_add_pd(a0, a1), _mm256_add_pd(a2, a3)));
+  for (; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+OTFAIR_AVX2 double Avx2Dot(const double* x, const double* y, size_t n) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    a0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), a0);
+    a1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4),
+                         a1);
+    a2 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 8), _mm256_loadu_pd(y + i + 8),
+                         a2);
+    a3 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 12),
+                         _mm256_loadu_pd(y + i + 12), a3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    a0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), a0);
+  }
+  double acc = HAdd(_mm256_add_pd(_mm256_add_pd(a0, a1), _mm256_add_pd(a2, a3)));
+  for (; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+OTFAIR_AVX2 double Avx2Max(const double* x, size_t n) {
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d m = _mm256_loadu_pd(x);
+    for (i = 4; i + 4 <= n; i += 4) {
+      m = _mm256_max_pd(m, _mm256_loadu_pd(x + i));
+    }
+    hi = HMax(m);
+  }
+  for (; i < n; ++i) {
+    if (x[i] > hi) hi = x[i];
+  }
+  return hi;
+}
+
+OTFAIR_AVX2 double Avx2MaxAbsDiff(const double* x, const double* y, size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d m = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    m = _mm256_max_pd(m, _mm256_andnot_pd(sign_mask, d));
+  }
+  double hi = HMax(m);
+  if (hi < 0.0) hi = 0.0;  // n < 4: HMax of the zero vector is 0 already
+  for (; i < n; ++i) {
+    const double d = std::abs(x[i] - y[i]);
+    if (d > hi) hi = d;
+  }
+  return hi;
+}
+
+OTFAIR_AVX2 void Avx2AddInPlace(double* dst, const double* x, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i,
+                     _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                   _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) dst[i] += x[i];
+}
+
+OTFAIR_AVX2 void Avx2ScaledMul(double* dst, const double* x, const double* y,
+                               double c, size_t n) {
+  const __m256d vc = _mm256_set1_pd(c);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Two explicit rounded multiplies, c*x then *y, matching the scalar
+    // `c * x[i] * y[i]` evaluation order with no FMA contraction.
+    const __m256d cx = _mm256_mul_pd(vc, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(cx, _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) dst[i] = c * x[i] * y[i];
+}
+
+// Cephes-style vectorized exp(x) for doubles (accurate to < 2 ulp over the
+// finite range; clamps to 0 / +inf at the double exp under/overflow bounds).
+// Range reduction: x = n*ln2 + r, exp(x) = 2^n * exp(r) with exp(r)
+// approximated by the classic P/Q rational form.
+OTFAIR_AVX2 inline __m256d Avx2Exp(__m256d x) {
+  const __m256d kLog2E = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d kLn2Hi = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d kLn2Lo = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d kP0 = _mm256_set1_pd(1.26177193074810590878e-4);
+  const __m256d kP1 = _mm256_set1_pd(3.02994407707441961300e-2);
+  const __m256d kP2 = _mm256_set1_pd(9.99999999999999999910e-1);
+  const __m256d kQ0 = _mm256_set1_pd(3.00198505138664455042e-6);
+  const __m256d kQ1 = _mm256_set1_pd(2.52448340349684104192e-3);
+  const __m256d kQ2 = _mm256_set1_pd(2.27265548208155028766e-1);
+  const __m256d kQ3 = _mm256_set1_pd(2.00000000000000000005e0);
+  const __m256d kMaxArg = _mm256_set1_pd(709.4);
+  const __m256d kMinArg = _mm256_set1_pd(-708.39);
+
+  const __m256d too_hi = _mm256_cmp_pd(x, kMaxArg, _CMP_GT_OQ);
+  const __m256d too_lo = _mm256_cmp_pd(x, kMinArg, _CMP_LT_OQ);
+  x = _mm256_min_pd(_mm256_max_pd(x, kMinArg), kMaxArg);
+
+  // n = round(x * log2(e)); r = x - n*ln2 in two pieces for accuracy.
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, kLog2E), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(n, kLn2Hi, x);
+  r = _mm256_fnmadd_pd(n, kLn2Lo, r);
+
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  __m256d p = _mm256_fmadd_pd(kP0, r2, kP1);
+  p = _mm256_fmadd_pd(p, r2, kP2);
+  p = _mm256_mul_pd(p, r);
+  __m256d q = _mm256_fmadd_pd(kQ0, r2, kQ1);
+  q = _mm256_fmadd_pd(q, r2, kQ2);
+  q = _mm256_fmadd_pd(q, r2, kQ3);
+  // exp(r) = 1 + 2p/(q - p)
+  __m256d e = _mm256_add_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_div_pd(_mm256_add_pd(p, p), _mm256_sub_pd(q, p)));
+
+  // Scale by 2^n via the exponent field: (n + 1023) << 52.
+  const __m128i ni = _mm256_cvtpd_epi32(n);
+  const __m256i ni64 = _mm256_cvtepi32_epi64(ni);
+  const __m256i pow2 =
+      _mm256_slli_epi64(_mm256_add_epi64(ni64, _mm256_set1_epi64x(1023)), 52);
+  e = _mm256_mul_pd(e, _mm256_castsi256_pd(pow2));
+
+  e = _mm256_blendv_pd(e, _mm256_setzero_pd(), too_lo);
+  e = _mm256_blendv_pd(e, _mm256_set1_pd(std::numeric_limits<double>::infinity()),
+                       too_hi);
+  return e;
+}
+
+OTFAIR_AVX2 double Avx2LseDiff(const double* x, const double* y, size_t n) {
+  // Pass 1: max of (x - y).
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d m = _mm256_sub_pd(_mm256_loadu_pd(x), _mm256_loadu_pd(y));
+    for (i = 4; i + 4 <= n; i += 4) {
+      m = _mm256_max_pd(
+          m, _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    }
+    hi = HMax(m);
+  }
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    if (d > hi) hi = d;
+  }
+  if (!std::isfinite(hi)) return hi;
+
+  // Pass 2: sum exp((x - y) - hi); every argument is <= 0 so Avx2Exp never
+  // hits its overflow clamp, and -inf terms (zero-mass entries) flush to 0
+  // through the underflow clamp exactly like std::exp.
+  const __m256d vhi = _mm256_set1_pd(hi);
+  __m256d vacc = _mm256_setzero_pd();
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    vacc = _mm256_add_pd(vacc, Avx2Exp(_mm256_sub_pd(d, vhi)));
+  }
+  double acc = HAdd(vacc);
+  for (; i < n; ++i) acc += std::exp((x[i] - y[i]) - hi);
+  return hi + std::log(acc);
+}
+
+#undef OTFAIR_AVX2
+
+constexpr Ops kAvx2Ops = {
+    "avx2",         Avx2Sum,        Avx2Dot,      Avx2Max,
+    Avx2MaxAbsDiff, Avx2AddInPlace, Avx2ScaledMul, Avx2LseDiff,
+};
+
+#endif  // OTFAIR_SIMD_X86
+
+#if defined(OTFAIR_SIMD_NEON)
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64) kernels: 2-lane doubles. exp stays scalar in LseDiff — the
+// reduction and max passes are still vectorized, which is where the win is
+// for the small rows this path sees.
+// ---------------------------------------------------------------------------
+
+double NeonSum(const double* x, size_t n) {
+  float64x2_t a0 = vdupq_n_f64(0.0), a1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 = vaddq_f64(a0, vld1q_f64(x + i));
+    a1 = vaddq_f64(a1, vld1q_f64(x + i + 2));
+  }
+  double acc = vaddvq_f64(vaddq_f64(a0, a1));
+  for (; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+double NeonDot(const double* x, const double* y, size_t n) {
+  float64x2_t a0 = vdupq_n_f64(0.0), a1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 = vfmaq_f64(a0, vld1q_f64(x + i), vld1q_f64(y + i));
+    a1 = vfmaq_f64(a1, vld1q_f64(x + i + 2), vld1q_f64(y + i + 2));
+  }
+  double acc = vaddvq_f64(vaddq_f64(a0, a1));
+  for (; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double NeonMax(const double* x, size_t n) {
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t i = 0;
+  if (n >= 2) {
+    float64x2_t m = vld1q_f64(x);
+    for (i = 2; i + 2 <= n; i += 2) m = vmaxq_f64(m, vld1q_f64(x + i));
+    hi = vmaxvq_f64(m);
+  }
+  for (; i < n; ++i) {
+    if (x[i] > hi) hi = x[i];
+  }
+  return hi;
+}
+
+double NeonMaxAbsDiff(const double* x, const double* y, size_t n) {
+  float64x2_t m = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    m = vmaxq_f64(m, vabdq_f64(vld1q_f64(x + i), vld1q_f64(y + i)));
+  }
+  double hi = vmaxvq_f64(m);
+  for (; i < n; ++i) {
+    const double d = std::abs(x[i] - y[i]);
+    if (d > hi) hi = d;
+  }
+  return hi;
+}
+
+void NeonAddInPlace(double* dst, const double* x, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vaddq_f64(vld1q_f64(dst + i), vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) dst[i] += x[i];
+}
+
+void NeonScaledMul(double* dst, const double* x, const double* y, double c,
+                   size_t n) {
+  const float64x2_t vc = vdupq_n_f64(c);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t cx = vmulq_f64(vc, vld1q_f64(x + i));
+    vst1q_f64(dst + i, vmulq_f64(cx, vld1q_f64(y + i)));
+  }
+  for (; i < n; ++i) dst[i] = c * x[i] * y[i];
+}
+
+double NeonLseDiff(const double* x, const double* y, size_t n) {
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t i = 0;
+  if (n >= 2) {
+    float64x2_t m = vsubq_f64(vld1q_f64(x), vld1q_f64(y));
+    for (i = 2; i + 2 <= n; i += 2) {
+      m = vmaxq_f64(m, vsubq_f64(vld1q_f64(x + i), vld1q_f64(y + i)));
+    }
+    hi = vmaxvq_f64(m);
+  }
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    if (d > hi) hi = d;
+  }
+  if (!std::isfinite(hi)) return hi;
+  double acc = 0.0;
+  for (i = 0; i < n; ++i) acc += std::exp((x[i] - y[i]) - hi);
+  return hi + std::log(acc);
+}
+
+constexpr Ops kNeonOps = {
+    "neon",         NeonSum,        NeonDot,      NeonMax,
+    NeonMaxAbsDiff, NeonAddInPlace, NeonScaledMul, NeonLseDiff,
+};
+
+#endif  // OTFAIR_SIMD_NEON
+
+const Ops* DetectBest() {
+#if defined(OTFAIR_SIMD_X86)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &kAvx2Ops;
+  }
+#elif defined(OTFAIR_SIMD_NEON)
+  return &kNeonOps;  // NEON is architecturally guaranteed on aarch64
+#endif
+  return &kScalarOps;
+}
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("OTFAIR_NO_SIMD");
+  if (v == nullptr) return false;
+  // Any value other than an explicit "0"/"" disables SIMD.
+  return v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& ForceScalarFlag() {
+  static std::atomic<bool> flag{EnvForcesScalar()};
+  return flag;
+}
+
+}  // namespace
+
+const Ops& ScalarOps() { return kScalarOps; }
+
+const Ops& BestOps() {
+  static const Ops* best = DetectBest();
+  return *best;
+}
+
+const Ops& Active() {
+  return ForceScalarFlag().load(std::memory_order_relaxed) ? kScalarOps
+                                                           : BestOps();
+}
+
+void SetForceScalar(bool force) {
+  ForceScalarFlag().store(force, std::memory_order_relaxed);
+}
+
+bool ForcedScalar() {
+  return ForceScalarFlag().load(std::memory_order_relaxed);
+}
+
+const char* ActiveIsa() { return Active().isa; }
+
+}  // namespace otfair::common::simd

@@ -1,0 +1,98 @@
+#ifndef OTFAIR_COMMON_SIMD_H_
+#define OTFAIR_COMMON_SIMD_H_
+
+#include <cstddef>
+
+namespace otfair::common::simd {
+
+/// Thin SIMD wrapper for the repair/Sinkhorn hot paths.
+///
+/// One kernel table per instruction set (AVX2+FMA on x86-64, NEON on
+/// aarch64, plus a portable scalar fallback) is compiled in; which table
+/// actually runs is decided once, at first use, by a runtime check:
+/// the CPU must support the compiled ISA (`__builtin_cpu_supports`) and
+/// the `OTFAIR_NO_SIMD` environment variable (or a `SetForceScalar`
+/// call — the CLI `--no-simd` flag lands there) must not force the
+/// scalar path. The AVX2 kernels carry per-function target attributes,
+/// so no global `-march` flag is needed — the default build dispatches
+/// to AVX2 on supporting hardware and to scalar elsewhere.
+///
+/// Numerical contract: every kernel computes the same mathematical
+/// quantity as its scalar reference, but the vector reductions (Sum,
+/// Dot, LseDiff) accumulate in lane-parallel partials, so their results
+/// may differ from the scalar path in the last bits — they are only
+/// used in tolerance-checked contexts (Sinkhorn iterations, plan
+/// validation). Element-wise kernels (AddInPlace, ScaledMul) and the
+/// exact comparisons (Max, and the repair table *lookup* paths built on
+/// this layer) are bit-identical to scalar. Nothing here touches RNG
+/// streams, so repair output is bit-identical across scalar/SIMD — the
+/// determinism suite asserts exactly that.
+struct Ops {
+  /// Short ISA tag: "avx2", "neon", or "scalar".
+  const char* isa;
+  /// sum_i x[i]
+  double (*sum)(const double* x, size_t n);
+  /// sum_i x[i] * y[i]
+  double (*dot)(const double* x, const double* y, size_t n);
+  /// max_i x[i]; -inf for n == 0. NaN inputs are not propagated
+  /// (comparisons ignore them), matching the scalar `if (v > hi)` idiom.
+  double (*max)(const double* x, size_t n);
+  /// max_i |x[i] - y[i]|; 0 for n == 0.
+  double (*max_abs_diff)(const double* x, const double* y, size_t n);
+  /// dst[i] += x[i] (element-wise, bit-identical to scalar)
+  void (*add_in_place)(double* dst, const double* x, size_t n);
+  /// dst[i] = c * x[i] * y[i] (element-wise, no FMA contraction, so
+  /// bit-identical to scalar)
+  void (*scaled_mul)(double* dst, const double* x, const double* y, double c,
+                     size_t n);
+  /// log sum_i exp(x[i] - y[i]), the fused two-pass (max, then exp-sum)
+  /// log-sum-exp over a difference; -inf when n == 0 or every term is
+  /// -inf. The AVX2 path uses a Cephes-style vector exp (< 2 ulp).
+  double (*lse_diff)(const double* x, const double* y, size_t n);
+};
+
+/// The portable scalar reference table (always available).
+const Ops& ScalarOps();
+
+/// The widest kernel table compiled in AND supported by this CPU,
+/// ignoring any force-scalar override. Equals ScalarOps() on hardware
+/// without a compiled vector ISA.
+const Ops& BestOps();
+
+/// The dispatched table: BestOps(), unless `OTFAIR_NO_SIMD` was set in
+/// the environment at first use or `SetForceScalar(true)` was called.
+const Ops& Active();
+
+/// Forces (or un-forces) the scalar fallback at runtime; the CLI/bench
+/// `--no-simd` escape hatch. Takes effect on subsequent Active() calls.
+void SetForceScalar(bool force);
+
+/// True when the scalar path is currently forced (env or SetForceScalar).
+bool ForcedScalar();
+
+/// ISA tag of the table Active() dispatches to right now.
+const char* ActiveIsa();
+
+// Convenience forwarders through the dispatched table.
+inline double Sum(const double* x, size_t n) { return Active().sum(x, n); }
+inline double Dot(const double* x, const double* y, size_t n) {
+  return Active().dot(x, y, n);
+}
+inline double Max(const double* x, size_t n) { return Active().max(x, n); }
+inline double MaxAbsDiff(const double* x, const double* y, size_t n) {
+  return Active().max_abs_diff(x, y, n);
+}
+inline void AddInPlace(double* dst, const double* x, size_t n) {
+  Active().add_in_place(dst, x, n);
+}
+inline void ScaledMul(double* dst, const double* x, const double* y, double c,
+                      size_t n) {
+  Active().scaled_mul(dst, x, y, c, n);
+}
+inline double LseDiff(const double* x, const double* y, size_t n) {
+  return Active().lse_diff(x, y, n);
+}
+
+}  // namespace otfair::common::simd
+
+#endif  // OTFAIR_COMMON_SIMD_H_

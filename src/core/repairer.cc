@@ -67,16 +67,17 @@ Status OffSampleRepairer::BuildTables() {
         const ChannelPlan& channel = plans_.At(static_cast<int>(u), k);
         const ot::SparsePlan& pi = channel.plan[s];
         const size_t nq = channel.grid.size();
-        RowTables tables;
-        tables.alias.resize(nq);
+        ChannelTables tables;
+        tables.alias.Reserve(nq, pi.nnz());
         tables.conditional_mean.assign(nq, 0.0);
         tables.fallback_row.assign(nq, 0);
 
         // One pass over the CSR support per row — O(nnz) for the whole
-        // channel instead of the dense O(n_Q^2) scan. Alias tables are
-        // built over the row's support only (no copy: the builder reads
-        // the CSR value span in place); sampling maps the drawn local
-        // index back through the row's column indices.
+        // channel instead of the dense O(n_Q^2) scan. Each massive row
+        // becomes one slot-major arena row over its support only (the
+        // builder reads the CSR value span in place), with the grid
+        // columns stored as slot payloads so a draw never touches the
+        // plan again.
         std::vector<char> has_mass(nq, 0);
         for (size_t q = 0; q < nq; ++q) {
           const ot::SparsePlan::RowView row = pi.Row(q);
@@ -89,11 +90,12 @@ Status OffSampleRepairer::BuildTables() {
           if (mass > kRowMassFloor) {
             has_mass[q] = 1;
             tables.conditional_mean[q] = mean / mass;
-            auto alias = stats::AliasTable::Build(row.values, row.nnz);
+            Status alias = tables.alias.AppendRow(row.values, row.cols, row.nnz);
             if (!alias.ok())
               return Status::Internal("alias build failed on massive row: " +
-                                      alias.status().message());
-            tables.alias[q] = std::move(*alias);
+                                      alias.message());
+          } else {
+            tables.alias.AppendEmptyRow();
           }
         }
 
@@ -104,16 +106,16 @@ Status OffSampleRepairer::BuildTables() {
           return Status::FailedPrecondition("plan channel has no transportable mass");
         for (size_t q = 0; q < nq; ++q) {
           if (has_mass[q]) {
-            tables.fallback_row[q] = q;
+            tables.fallback_row[q] = static_cast<uint32_t>(q);
             continue;
           }
           for (size_t delta = 1; delta < nq; ++delta) {
             if (q >= delta && has_mass[q - delta]) {
-              tables.fallback_row[q] = q - delta;
+              tables.fallback_row[q] = static_cast<uint32_t>(q - delta);
               break;
             }
             if (q + delta < nq && has_mass[q + delta]) {
-              tables.fallback_row[q] = q + delta;
+              tables.fallback_row[q] = static_cast<uint32_t>(q + delta);
               break;
             }
           }
@@ -125,7 +127,8 @@ Status OffSampleRepairer::BuildTables() {
   return Status::Ok();
 }
 
-const OffSampleRepairer::RowTables& OffSampleRepairer::TablesFor(int u, int s, size_t k) const {
+const OffSampleRepairer::ChannelTables& OffSampleRepairer::TablesFor(int u, int s,
+                                                                     size_t k) const {
   OTFAIR_CHECK(u >= 0 && static_cast<size_t>(u) < plans_.u_levels());
   OTFAIR_CHECK(s >= 0 && static_cast<size_t>(s) < plans_.s_levels());
   OTFAIR_CHECK_LT(k, plans_.dim());
@@ -145,7 +148,7 @@ double OffSampleRepairer::RepairValue(int u, int s, size_t k, double x, common::
 double OffSampleRepairer::RepairValueImpl(int u, int s, size_t k, double x, common::Rng& rng,
                                           RepairStats& stats) const {
   const ChannelPlan& channel = plans_.At(u, k);
-  const RowTables& tables = TablesFor(u, s, k);
+  const ChannelTables& tables = TablesFor(u, s, k);
   const SupportGrid::Location loc = channel.grid.Locate(x);
   ++stats.values_repaired;
   if (loc.clamped) ++stats.values_clamped;
@@ -153,28 +156,25 @@ double OffSampleRepairer::RepairValueImpl(int u, int s, size_t k, double x, comm
   double transported;
   if (options_.mode == TransportMode::kStochastic) {
     // Algorithm 2 lines 6-9: Bernoulli neighbour choice, then one draw from
-    // the normalized plan row (Eq. 15).
+    // the normalized plan row (Eq. 15). The arena slot carries the grid
+    // column payload, so the draw is one slot load.
     size_t q = loc.lower;
     if (rng.Bernoulli(loc.tau) && q + 1 < channel.grid.size()) ++q;
-    if (!tables.alias[q].has_value()) {
+    if (!tables.alias.RowHasMass(q)) {
       ++stats.empty_row_fallbacks;
       q = tables.fallback_row[q];
     }
-    // The alias table indexes the CSR row's support; map the local draw
-    // back to its grid column.
-    const size_t j = tables.alias[q]->Sample(rng);
-    const ot::SparsePlan& pi = channel.plan[static_cast<size_t>(s)];
-    transported = channel.grid.point(pi.Row(q).cols[j]);
+    transported = channel.grid.point(tables.alias.SampleCol(q, rng));
   } else {
     // Deterministic ablation: tau-weighted mix of neighbouring rows'
     // conditional means.
     size_t q0 = loc.lower;
     size_t q1 = std::min(q0 + 1, channel.grid.size() - 1);
-    if (!tables.alias[q0].has_value()) {
+    if (!tables.alias.RowHasMass(q0)) {
       ++stats.empty_row_fallbacks;
       q0 = tables.fallback_row[q0];
     }
-    if (!tables.alias[q1].has_value()) {
+    if (!tables.alias.RowHasMass(q1)) {
       ++stats.empty_row_fallbacks;
       q1 = tables.fallback_row[q1];
     }
@@ -185,6 +185,66 @@ double OffSampleRepairer::RepairValueImpl(int u, int s, size_t k, double x, comm
   // Partial repair (strength < 1) interpolates toward the transported
   // value.
   return (1.0 - options_.strength) * x + options_.strength * transported;
+}
+
+void OffSampleRepairer::RepairSpan(int u, int s, size_t k, const double* xs, size_t count,
+                                   common::Rng* rngs, double* out, RepairStats& stats,
+                                   SpanScratch& scratch) const {
+  const ChannelPlan& channel = plans_.At(u, k);
+  const ChannelTables& tables = TablesFor(u, s, k);
+  const size_t nq = channel.grid.size();
+  const double strength = options_.strength;
+
+  // Pass 1: locate every record on the grid. Pure arithmetic, no table
+  // traffic, so it pipelines independently of the lookup pass.
+  scratch.q.resize(count);
+  scratch.tau.resize(count);
+  stats.values_repaired += count;
+  for (size_t t = 0; t < count; ++t) {
+    const SupportGrid::Location loc = channel.grid.Locate(xs[t]);
+    scratch.q[t] = static_cast<uint32_t>(loc.lower);
+    scratch.tau[t] = loc.tau;
+    if (loc.clamped) ++stats.values_clamped;
+  }
+
+  if (options_.mode == TransportMode::kStochastic) {
+    // Pass 2: alias draws with the slot row of record t+8 prefetched —
+    // far enough ahead to cover an L2 miss, close enough that the line
+    // is still resident when its draw executes. The prefetch targets the
+    // located lower row; the Bernoulli neighbour bump moves at most one
+    // row over, which in the slot-major arena is the adjacent span.
+    constexpr size_t kPrefetchAhead = 8;
+    for (size_t t = 0; t < count; ++t) {
+      if (t + kPrefetchAhead < count)
+        tables.alias.PrefetchRow(scratch.q[t + kPrefetchAhead]);
+      common::Rng& rng = rngs[t];
+      size_t q = scratch.q[t];
+      if (rng.Bernoulli(scratch.tau[t]) && q + 1 < nq) ++q;
+      if (!tables.alias.RowHasMass(q)) {
+        ++stats.empty_row_fallbacks;
+        q = tables.fallback_row[q];
+      }
+      const double transported = channel.grid.point(tables.alias.SampleCol(q, rng));
+      out[t] = (1.0 - strength) * xs[t] + strength * transported;
+    }
+  } else {
+    for (size_t t = 0; t < count; ++t) {
+      const double tau = scratch.tau[t];
+      size_t q0 = scratch.q[t];
+      size_t q1 = std::min(q0 + 1, nq - 1);
+      if (!tables.alias.RowHasMass(q0)) {
+        ++stats.empty_row_fallbacks;
+        q0 = tables.fallback_row[q0];
+      }
+      if (!tables.alias.RowHasMass(q1)) {
+        ++stats.empty_row_fallbacks;
+        q1 = tables.fallback_row[q1];
+      }
+      const double transported =
+          (1.0 - tau) * tables.conditional_mean[q0] + tau * tables.conditional_mean[q1];
+      out[t] = (1.0 - strength) * xs[t] + strength * transported;
+    }
+  }
 }
 
 double OffSampleRepairer::RepairValueSoft(int u, double pr_s1, size_t k, double x) {
@@ -223,20 +283,76 @@ Result<data::Dataset> OffSampleRepairer::RepairDatasetWithLabels(
   // (see RepairDataset). The tallies fold into shared counters with
   // commutative integer adds — totals are schedule-independent too.
   StatCounters counters;
-  common::parallel::ParallelFor(
-      0, n,
-      [&](size_t i) {
-        common::Rng rng = common::Rng::ForStream(options_.seed, i);
-        const int u = dataset.u(i);
-        const int s = s_labels[i];
-        RepairStats local;
-        for (size_t k = 0; k < dim; ++k) {
-          repaired.set_feature(i, k,
-                               RepairValueImpl(u, s, k, dataset.feature(i, k), rng, local));
-        }
-        counters.Add(local);
-      },
-      static_cast<size_t>(options_.threads));
+  if (options_.soa_batch) {
+    // SoA batch path: bucket rows by their (u, s) label pair, then repair
+    // fixed-size chunks channel by channel through RepairSpan, so every
+    // lookup run stays inside one channel's slot-major arena. Chunks are
+    // the parallel work unit; per-row ForStream generators make the
+    // output independent of the chunk schedule — and bit-identical to
+    // the row-by-row path below, which replays the same per-row draws.
+    const size_t s_levels = plans_.s_levels();
+    std::vector<std::vector<uint32_t>> buckets(plans_.u_levels() * s_levels);
+    for (size_t i = 0; i < n; ++i) {
+      buckets[static_cast<size_t>(dataset.u(i)) * s_levels + static_cast<size_t>(s_labels[i])]
+          .push_back(static_cast<uint32_t>(i));
+    }
+    constexpr size_t kChunk = 256;
+    struct Chunk {
+      uint32_t bucket;
+      uint32_t begin;
+      uint32_t end;
+    };
+    std::vector<Chunk> chunks;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      for (size_t begin = 0; begin < buckets[b].size(); begin += kChunk) {
+        const size_t end = std::min(begin + kChunk, buckets[b].size());
+        chunks.push_back(Chunk{static_cast<uint32_t>(b), static_cast<uint32_t>(begin),
+                               static_cast<uint32_t>(end)});
+      }
+    }
+    common::parallel::ParallelFor(
+        0, chunks.size(),
+        [&](size_t ci) {
+          const Chunk& c = chunks[ci];
+          const uint32_t* ids = buckets[c.bucket].data() + c.begin;
+          const int u = static_cast<int>(c.bucket / s_levels);
+          const int s = static_cast<int>(c.bucket % s_levels);
+          const size_t m = c.end - c.begin;
+          // k-major gather: channel k's values for the whole chunk form
+          // one contiguous span, repaired in place by RepairSpan.
+          std::vector<double> buf(m * dim);
+          std::vector<common::Rng> rngs;
+          rngs.reserve(m);
+          for (size_t t = 0; t < m; ++t)
+            rngs.push_back(common::Rng::ForStream(options_.seed, ids[t]));
+          for (size_t k = 0; k < dim; ++k)
+            for (size_t t = 0; t < m; ++t) buf[k * m + t] = dataset.feature(ids[t], k);
+          RepairStats local;
+          SpanScratch scratch;
+          for (size_t k = 0; k < dim; ++k)
+            RepairSpan(u, s, k, buf.data() + k * m, m, rngs.data(), buf.data() + k * m, local,
+                       scratch);
+          for (size_t k = 0; k < dim; ++k)
+            for (size_t t = 0; t < m; ++t) repaired.set_feature(ids[t], k, buf[k * m + t]);
+          counters.Add(local);
+        },
+        static_cast<size_t>(options_.threads));
+  } else {
+    common::parallel::ParallelFor(
+        0, n,
+        [&](size_t i) {
+          common::Rng rng = common::Rng::ForStream(options_.seed, i);
+          const int u = dataset.u(i);
+          const int s = s_labels[i];
+          RepairStats local;
+          for (size_t k = 0; k < dim; ++k) {
+            repaired.set_feature(i, k,
+                                 RepairValueImpl(u, s, k, dataset.feature(i, k), rng, local));
+          }
+          counters.Add(local);
+        },
+        static_cast<size_t>(options_.threads));
+  }
   counters.FlushInto(stats_);
   return repaired;
 }

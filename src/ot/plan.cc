@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/status.h"
 
 namespace otfair::ot {
@@ -164,9 +165,8 @@ SparsePlan::RowView SparsePlan::Row(size_t r) const {
 
 double SparsePlan::RowSum(size_t r) const {
   OTFAIR_DCHECK(r < rows_);
-  double acc = 0.0;
-  for (size_t t = row_offsets_[r]; t < row_offsets_[r + 1]; ++t) acc += values_[t];
-  return acc;
+  const size_t begin = row_offsets_[r];
+  return common::simd::Sum(values_.data() + begin, row_offsets_[r + 1] - begin);
 }
 
 std::vector<double> SparsePlan::RowSums() const {
@@ -193,9 +193,9 @@ std::vector<double> SparsePlan::ColSums() const {
 }
 
 double SparsePlan::Sum() const {
-  double acc = 0.0;
-  for (double v : values_) acc += v;
-  return acc;
+  // The SIMD reduction reassociates across lanes; every caller compares
+  // the total against 1 (or a mass floor) under a tolerance.
+  return common::simd::Sum(values_.data(), values_.size());
 }
 
 SparsePlan SparsePlan::Transposed() const {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/status.h"
 
 namespace otfair::ot {
@@ -43,14 +44,15 @@ size_t RowUpdateThreads(size_t n, size_t m) { return n * m < 16384 ? 1 : 0; }
 /// to the returned plan, same contract as before the rewrite.
 
 /// Worst marginal violation of the plan itself (the certifying check).
+/// Both the marginal sums and the |sums - target| reductions run through
+/// the SIMD layer; this feeds a tolerance comparison, so the lane
+/// reassociation in the sums is harmless.
 double MarginalViolation(const Matrix& plan, const std::vector<double>& a,
                          const std::vector<double>& b) {
-  double err = 0.0;
-  std::vector<double> rows = plan.RowSums();
-  std::vector<double> cols = plan.ColSums();
-  for (size_t i = 0; i < a.size(); ++i) err = std::max(err, std::fabs(rows[i] - a[i]));
-  for (size_t j = 0; j < b.size(); ++j) err = std::max(err, std::fabs(cols[j] - b[j]));
-  return err;
+  const std::vector<double> rows = plan.RowSums();
+  const std::vector<double> cols = plan.ColSums();
+  return std::max(common::simd::MaxAbsDiff(rows.data(), a.data(), a.size()),
+                  common::simd::MaxAbsDiff(cols.data(), b.data(), b.size()));
 }
 
 Result<SinkhornResult> SolveStandard(const std::vector<double>& a, const std::vector<double>& b,
@@ -79,19 +81,17 @@ Result<SinkhornResult> SolveStandard(const std::vector<double>& a, const std::ve
   bool plan_current = false;
   auto rebuild_plan = [&] {
     ParallelFor(0, n, [&](size_t i) {
-      const double* krow = kernel.row(i);
-      double* prow = plan.row(i);
-      const double ui = u[i];
-      for (size_t j = 0; j < m; ++j) prow[j] = ui * krow[j] * v[j];
+      // prow = u_i * krow ∘ v, element-wise with scalar evaluation order
+      // (no FMA contraction), so the rebuilt plan is ISA-independent.
+      common::simd::ScaledMul(plan.row(i), kernel.row(i), v.data(), u[i], m);
     }, row_threads);
   };
 
   for (size_t iter = 1; iter <= opt.max_iterations; ++iter) {
-    // u = a ./ (K v)
+    // u = a ./ (K v) — the row-kernel dot is the standard iteration's
+    // inner loop and vectorizes to a straight fused multiply-add chain.
     ParallelFor(0, n, [&](size_t i) {
-      const double* krow = kernel.row(i);
-      double denom = 0.0;
-      for (size_t j = 0; j < m; ++j) denom += krow[j] * v[j];
+      const double denom = common::simd::Dot(kernel.row(i), v.data(), m);
       u[i] = (denom > 0.0) ? a[i] / denom : 0.0;
     }, row_threads);
     for (size_t i = 0; i < n; ++i) {
@@ -100,9 +100,7 @@ Result<SinkhornResult> SolveStandard(const std::vector<double>& a, const std::ve
     }
     // v = b ./ (K' u); col_err records the pre-update column violation.
     ParallelFor(0, m, [&](size_t j) {
-      const double* trow = kernel_t.row(j);
-      double denom = 0.0;
-      for (size_t i = 0; i < n; ++i) denom += trow[i] * u[i];
+      const double denom = common::simd::Dot(kernel_t.row(j), u.data(), n);
       col_err[j] = std::fabs(v[j] * denom - b[j]);
       v[j] = (denom > 0.0) ? b[j] / denom : 0.0;
     }, row_threads);
@@ -111,8 +109,7 @@ Result<SinkhornResult> SolveStandard(const std::vector<double>& a, const std::ve
         return Status::NotConverged("sinkhorn diverged (NaN scaling); use log_domain or larger epsilon");
     }
     out.iterations = iter;
-    double err = 0.0;
-    for (size_t j = 0; j < m; ++j) err = std::max(err, col_err[j]);
+    const double err = common::simd::Max(col_err.data(), m);
     if (err < opt.tolerance || iter == opt.max_iterations) {
       // Candidate convergence: certify on the plan actually returned.
       rebuild_plan();
@@ -129,22 +126,6 @@ Result<SinkhornResult> SolveStandard(const std::vector<double>& a, const std::ve
   out.plan.cost = plan.Dot(cost);
   out.plan.coupling = std::move(plan);
   return out;
-}
-
-/// LSE_k(x_k - row_k) over a contiguous row, fused two-pass (max, then
-/// exp-sum) with no scratch buffer; the caller pre-scales both operands
-/// by 1/eps. Empty/all -inf input gives -inf.
-double RowLogSumExp(const double* row, const std::vector<double>& x) {
-  const size_t len = x.size();
-  double hi = kNegInf;
-  for (size_t k = 0; k < len; ++k) {
-    const double t = x[k] - row[k];
-    if (t > hi) hi = t;
-  }
-  if (hi == kNegInf) return kNegInf;
-  double acc = 0.0;
-  for (size_t k = 0; k < len; ++k) acc += std::exp(x[k] - row[k] - hi);
-  return hi + std::log(acc);
 }
 
 Result<SinkhornResult> SolveLogDomain(const std::vector<double>& a, const std::vector<double>& b,
@@ -193,13 +174,15 @@ Result<SinkhornResult> SolveLogDomain(const std::vector<double>& a, const std::v
   };
 
   for (size_t iter = 1; iter <= opt.max_iterations; ++iter) {
-    // fs_i = log a_i - LSE_j(gs_j - C_ij/eps)
+    // fs_i = log a_i - LSE_j(gs_j - C_ij/eps). The fused two-pass LSE
+    // (max, then exp-sum, no scratch buffer) lives in the SIMD layer:
+    // the AVX2 table runs both passes 4 lanes wide with a vectorized exp.
     ParallelFor(0, n, [&](size_t i) {
       if (log_a[i] == kNegInf) {
         fs[i] = kNegInf;
         return;
       }
-      fs[i] = log_a[i] - RowLogSumExp(cost_scaled.row(i), gs);
+      fs[i] = log_a[i] - common::simd::LseDiff(gs.data(), cost_scaled.row(i), m);
     }, row_threads);
     // gs_j = log b_j - LSE_i(fs_i - C_ij/eps); col_err records the
     // pre-update column violation exp(gs_j + LSE) vs b_j.
@@ -212,14 +195,13 @@ Result<SinkhornResult> SolveLogDomain(const std::vector<double>& a, const std::v
         col_err[j] = 0.0;
         return;
       }
-      const double lse = RowLogSumExp(cost_scaled_t.row(j), fs);
+      const double lse = common::simd::LseDiff(fs.data(), cost_scaled_t.row(j), n);
       const double log_col = gs[j] == kNegInf ? kNegInf : gs[j] + lse;
       col_err[j] = std::fabs((log_col == kNegInf ? 0.0 : std::exp(log_col)) - b[j]);
       gs[j] = log_b[j] - lse;
     }, row_threads);
     out.iterations = iter;
-    double err = 0.0;
-    for (size_t j = 0; j < m; ++j) err = std::max(err, col_err[j]);
+    const double err = common::simd::Max(col_err.data(), m);
     if (err < opt.tolerance || iter == opt.max_iterations) {
       // Candidate convergence: certify on the plan actually returned.
       rebuild_plan();

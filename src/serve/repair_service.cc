@@ -101,8 +101,7 @@ uint64_t RepairService::SessionSeed(uint64_t session_id) const {
   return common::Rng::ForStream(options_.seed, session_id).Next64();
 }
 
-bool RepairService::RepairRowOnSnapshot(const Snapshot& snap, const RowRequest& request,
-                                        RowResponse* response) const {
+bool RepairService::ValidateRequest(const RowRequest& request, RowResponse* response) const {
   response->session_id = request.session_id;
   response->row_index = request.row_index;
   if (request.features.size() != dim_) {
@@ -120,6 +119,12 @@ bool RepairService::RepairRowOnSnapshot(const Snapshot& snap, const RowRequest& 
         std::to_string(s_levels_) + ")");
     return false;
   }
+  return true;
+}
+
+bool RepairService::RepairRowOnSnapshot(const Snapshot& snap, const RowRequest& request,
+                                        RowResponse* response) const {
+  if (!ValidateRequest(request, response)) return false;
   // The determinism contract: randomness is a pure function of
   // (seed, session, row) — see RowRequest.
   common::Rng rng = common::Rng::ForStream(SessionSeed(request.session_id), request.row_index);
@@ -161,17 +166,74 @@ void RepairService::RepairBatch(const RowRequest* requests, size_t count,
   if (count == 0) return;
   metrics_.AddAccepted(count);
   metrics_.AddBatch();
-  std::atomic<uint64_t> invalid{0};
-  common::parallel::ParallelFor(
-      0, count,
-      [&](size_t i) {
-        if (!RepairRowOnSnapshot(*snap, requests[i], &(*responses)[i]))
-          invalid.fetch_add(1, std::memory_order_relaxed);
-      },
-      static_cast<size_t>(options_.threads));
-  const uint64_t bad = invalid.load(std::memory_order_relaxed);
+
+  // Validation pass, serial and cheap, doubling as the SoA grouping pass:
+  // valid rows are bucketed by their (u, s) label pair so the repair pass
+  // can run channel-major through OffSampleRepairer::RepairSpan — every
+  // table lookup run stays inside one channel's slot-major alias arena
+  // instead of cycling through all dim_ channels per row. Per-row
+  // (session, row) generators keep each response a pure function of the
+  // request, so regrouping cannot change any output (the single-row path
+  // and this batch path agree bit-for-bit).
+  uint64_t bad = 0;
+  std::vector<std::vector<uint32_t>> buckets(u_levels_ * s_levels_);
+  for (size_t i = 0; i < count; ++i) {
+    if (ValidateRequest(requests[i], &(*responses)[i])) {
+      buckets[static_cast<size_t>(requests[i].u) * s_levels_ +
+              static_cast<size_t>(requests[i].s)]
+          .push_back(static_cast<uint32_t>(i));
+    } else {
+      ++bad;
+    }
+  }
   metrics_.AddRepaired(count - bad);
   if (bad > 0) metrics_.AddInvalid(bad);
+
+  constexpr size_t kChunk = 256;
+  struct Chunk {
+    uint32_t bucket;
+    uint32_t begin;
+    uint32_t end;
+  };
+  std::vector<Chunk> chunks;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    for (size_t begin = 0; begin < buckets[b].size(); begin += kChunk) {
+      const size_t end = std::min(begin + kChunk, buckets[b].size());
+      chunks.push_back(Chunk{static_cast<uint32_t>(b), static_cast<uint32_t>(begin),
+                             static_cast<uint32_t>(end)});
+    }
+  }
+  common::parallel::ParallelFor(
+      0, chunks.size(),
+      [&](size_t ci) {
+        const Chunk& c = chunks[ci];
+        const uint32_t* ids = buckets[c.bucket].data() + c.begin;
+        const int u = static_cast<int>(c.bucket / s_levels_);
+        const int s = static_cast<int>(c.bucket % s_levels_);
+        const size_t m = c.end - c.begin;
+        std::vector<double> buf(m * dim_);
+        std::vector<common::Rng> rngs;
+        rngs.reserve(m);
+        for (size_t t = 0; t < m; ++t) {
+          const RowRequest& request = requests[ids[t]];
+          rngs.push_back(
+              common::Rng::ForStream(SessionSeed(request.session_id), request.row_index));
+        }
+        for (size_t k = 0; k < dim_; ++k)
+          for (size_t t = 0; t < m; ++t) buf[k * m + t] = requests[ids[t]].features[k];
+        core::RepairStats stats;
+        core::OffSampleRepairer::SpanScratch scratch;
+        for (size_t k = 0; k < dim_; ++k)
+          snap->repairer.RepairSpan(u, s, k, buf.data() + k * m, m, rngs.data(),
+                                    buf.data() + k * m, stats, scratch);
+        for (size_t t = 0; t < m; ++t) {
+          RowResponse& response = (*responses)[ids[t]];
+          response.repaired.resize(dim_);
+          for (size_t k = 0; k < dim_; ++k) response.repaired[k] = buf[k * m + t];
+          response.status = Status::Ok();
+        }
+      },
+      static_cast<size_t>(options_.threads));
 
   // Drift observation, amortized: the whole batch lands in one shard
   // (rotating across batches), so the serial pass takes the shard lock

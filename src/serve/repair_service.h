@@ -162,6 +162,11 @@ class RepairService {
   static common::Result<std::shared_ptr<Snapshot>> BuildSnapshot(
       core::RepairPlanSet plans, const ServiceOptions& options, uint64_t version);
 
+  /// Checks feature count and label ranges, stamping the response's
+  /// identity and (on failure) its error status. Shared by the single-row
+  /// path and RepairBatch's grouping pass.
+  bool ValidateRequest(const RowRequest& request, RowResponse* response) const;
+
   /// The shared inner row repair; returns false on validation failure.
   /// Drift observation is the caller's job (per-row for RepairRow, one
   /// amortized shard pass per batch for RepairBatch).

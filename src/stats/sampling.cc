@@ -69,6 +69,64 @@ size_t AliasTable::Sample(Rng& rng) const {
 
 double AliasTable::Probability(size_t i) const { return i < pmf_.size() ? pmf_[i] : 0.0; }
 
+void AliasArena::Reserve(size_t rows, size_t total_slots) {
+  offsets_.reserve(rows + 1);
+  slots_.reserve(total_slots);
+}
+
+void AliasArena::AppendEmptyRow() { offsets_.push_back(slots_.size()); }
+
+Status AliasArena::AppendRow(const double* weights, const uint32_t* cols,
+                             size_t count) {
+  if (count == 0) return Status::InvalidArgument("empty weight vector");
+  const size_t n = count;
+  // The arithmetic below must stay term-for-term identical to
+  // AliasTable::Build: the resulting acceptance probabilities feed
+  // Rng::Bernoulli, whose draw *count* depends on degenerate values, so
+  // any bit drift here would desynchronize downstream random streams.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    if (!(w >= 0.0) || !std::isfinite(w))
+      return Status::InvalidArgument("weights must be non-negative and finite");
+    total += w;
+  }
+  if (!(total > 0.0)) return Status::InvalidArgument("weights must not all be zero");
+
+  scaled_.resize(n);
+  for (size_t i = 0; i < n; ++i)
+    scaled_[i] = (weights[i] / total) * static_cast<double>(n);
+  small_.clear();
+  large_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    (scaled_[i] < 1.0 ? small_ : large_).push_back(static_cast<uint32_t>(i));
+  }
+
+  prob_scratch_.assign(n, 1.0);
+  alias_scratch_.resize(n);
+  for (size_t i = 0; i < n; ++i) alias_scratch_[i] = static_cast<uint32_t>(i);
+
+  while (!small_.empty() && !large_.empty()) {
+    const uint32_t s = small_.back();
+    small_.pop_back();
+    const uint32_t l = large_.back();
+    large_.pop_back();
+    prob_scratch_[s] = scaled_[s];
+    alias_scratch_[s] = l;
+    scaled_[l] = (scaled_[l] + scaled_[s]) - 1.0;
+    (scaled_[l] < 1.0 ? small_ : large_).push_back(l);
+  }
+  // Leftovers are numerically 1 (prob_scratch_ starts at 1.0).
+
+  const size_t begin = slots_.size();
+  slots_.resize(begin + n);
+  for (size_t i = 0; i < n; ++i) {
+    slots_[begin + i] = Slot{prob_scratch_[i], cols[i], cols[alias_scratch_[i]]};
+  }
+  offsets_.push_back(slots_.size());
+  return Status::Ok();
+}
+
 std::vector<size_t> SampleCategorical(const std::vector<double>& weights, size_t n, Rng& rng) {
   std::vector<size_t> out;
   out.reserve(n);

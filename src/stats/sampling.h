@@ -2,6 +2,7 @@
 #define OTFAIR_STATS_SAMPLING_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -42,6 +43,88 @@ class AliasTable {
   std::vector<double> prob_;    // acceptance probability per bucket
   std::vector<size_t> alias_;   // fallback index per bucket
   std::vector<double> pmf_;     // normalized input, kept for Probability()
+};
+
+/// A packed arena of Walker/Vose alias tables, one per "row", laid out
+/// slot-major: every bucket of a row is one contiguous 16-byte Slot
+/// carrying the acceptance probability AND both candidate payloads, and
+/// all rows share a single arena allocation.
+///
+/// This is the batch-repair replacement for a vector<AliasTable>: the
+/// per-table layout (three separate heap vectors per row) costs two or
+/// three dependent cache misses per draw once the channel count grows —
+/// measured as a ~22% repair-throughput loss going from K=2 to K=4
+/// feature channels. The arena makes a draw exactly one slot load after
+/// the bucket pick, and rows can be software-prefetched ahead of use.
+///
+/// Determinism contract: construction replicates AliasTable::Build's
+/// arithmetic exactly (same normalization and Vose pairing order), and
+/// SampleCol consumes the generator exactly like AliasTable::Sample (one
+/// UniformInt, then one Bernoulli on a bit-identical probability — which
+/// for degenerate probabilities consumes nothing, so even the *count* of
+/// draws matches). Swapping a table for an arena row cannot change any
+/// downstream random stream.
+class AliasArena {
+ public:
+  struct Slot {
+    double prob;         // acceptance probability of this bucket
+    uint32_t col;        // payload returned when the bucket accepts
+    uint32_t alias_col;  // payload returned when it rejects (Vose alias)
+  };
+  static_assert(sizeof(Slot) == 16, "Slot must pack to 16 bytes");
+
+  /// Pre-sizes the arena (rows and total buckets are both known up front
+  /// when building from a CSR plan: rows() and nnz()).
+  void Reserve(size_t rows, size_t total_slots);
+
+  /// Appends one row built from unnormalized non-negative weights (at
+  /// least one strictly positive) and their payload columns.
+  common::Status AppendRow(const double* weights, const uint32_t* cols,
+                           size_t count);
+
+  /// Appends a row with no buckets (a zero-mass plan row; the caller's
+  /// fallback machinery must redirect draws elsewhere).
+  void AppendEmptyRow();
+
+  size_t rows() const { return offsets_.size() - 1; }
+  bool RowHasMass(size_t row) const { return offsets_[row + 1] > offsets_[row]; }
+  size_t RowSize(size_t row) const { return offsets_[row + 1] - offsets_[row]; }
+
+  /// Draws a payload column from row `row` (which must have mass). RNG
+  /// consumption is identical to AliasTable::Sample on the same weights.
+  uint32_t SampleCol(size_t row, common::Rng& rng) const {
+    const size_t begin = offsets_[row];
+    const size_t bucket =
+        static_cast<size_t>(rng.UniformInt(offsets_[row + 1] - begin));
+    const Slot& slot = slots_[begin + bucket];
+    return rng.Bernoulli(slot.prob) ? slot.col : slot.alias_col;
+  }
+
+  /// Hints the first cache lines of a row into L1 ahead of SampleCol — the
+  /// batch repair loop issues this a few records ahead of the draw.
+  void PrefetchRow(size_t row) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const Slot* p = slots_.data() + offsets_[row];
+    __builtin_prefetch(p, 0, 1);
+    if (RowSize(row) > 4) __builtin_prefetch(p + 4, 0, 1);
+#else
+    (void)row;
+#endif
+  }
+
+  /// Bucket view for tests (parity against AliasTable).
+  const Slot* RowSlots(size_t row) const { return slots_.data() + offsets_[row]; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::vector<size_t> offsets_ = {0};
+  // Construction scratch, reused across AppendRow calls so building one
+  // arena per channel does O(rows) allocations, not O(rows * nnz).
+  std::vector<double> scaled_;
+  std::vector<double> prob_scratch_;
+  std::vector<uint32_t> alias_scratch_;
+  std::vector<uint32_t> small_;
+  std::vector<uint32_t> large_;
 };
 
 /// Draws `n` indices from the pmf by inverse CDF (reference implementation

@@ -225,12 +225,20 @@ TEST_F(CliTest, JsonOutputs) {
   EXPECT_NE(plan_json.find("\"kind\":\"plan\""), std::string::npos);
   EXPECT_NE(plan_json.find("\"channels\":["), std::string::npos);
   EXPECT_NE(plan_json.find("\"nnz\":"), std::string::npos);
+  // Bench harnesses record which vector ISA actually ran from this key.
+  EXPECT_NE(plan_json.find("\"simd_isa\":\""), std::string::npos);
 
   const std::string data_json =
       RunCapture("inspect --data=" + archive_path_ + " --json", &exit_code);
   EXPECT_EQ(exit_code, 0);
   EXPECT_NE(data_json.find("\"kind\":\"data\""), std::string::npos);
   EXPECT_NE(data_json.find("\"e_aggregate\":"), std::string::npos);
+
+  // --no-simd forces the scalar table and the JSON reports it.
+  const std::string scalar_json =
+      RunCapture("inspect --plan=" + plan_path_ + " --json --no-simd", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(scalar_json.find("\"simd_isa\":\"scalar\""), std::string::npos);
 
   const std::string drift_json = RunCapture(
       "drift --plan=" + plan_path_ + " --input=" + archive_path_ + " --json", &exit_code);

@@ -30,6 +30,7 @@
 #include "common/flags.h"
 #include "common/json_writer.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/designer.h"
@@ -142,6 +143,8 @@ void PrintInspectUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: otfair inspect --plan=P.bin | --data=D.csv [--json]\n"
                "  Prints a plan artifact's structure or a CSV's fairness report.\n"
+               "  JSON output includes \"simd_isa\", the vector instruction set the\n"
+               "  process dispatched to (avx2|neon|scalar).\n"
                "    --json   one-line machine-readable JSON on stdout\n");
 }
 
@@ -177,6 +180,9 @@ void PrintUsage(std::FILE* out) {
                "  inspect   show a plan artifact or a CSV fairness report\n"
                "  drift     check an archive against the design distribution\n"
                "  simulate  generate a synthetic labelled CSV\n"
+               "global flags:\n"
+               "  --no-simd   force the scalar kernels (same as OTFAIR_NO_SIMD=1);\n"
+               "              output is bit-identical for repair either way\n"
                "run `otfair <command> --help` for the command's flags\n");
 }
 
@@ -557,6 +563,7 @@ int RunInspect(const FlagParser& flags) {
       w.BeginObject()
           .Key("kind").String("plan")
           .Key("path").String(plan_path)
+          .Key("simd_isa").String(otfair::common::simd::ActiveIsa())
           .Key("dim").Uint(plans->dim())
           .Key("target_t").Double(plans->target_t())
           .Key("s_levels").Uint(s_levels)
@@ -619,6 +626,7 @@ int RunInspect(const FlagParser& flags) {
       w.BeginObject()
           .Key("kind").String("data")
           .Key("path").String(data_path)
+          .Key("simd_isa").String(otfair::common::simd::ActiveIsa())
           .Key("rows").Uint(report->rows)
           .Key("s_levels").Uint(report->s_levels)
           .Key("u_levels").Uint(report->u_levels)
@@ -766,6 +774,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   FlagParser flags(argc - 1, argv + 1);
+  // Global escape hatch, resolved before any command touches a kernel.
+  // The env var OTFAIR_NO_SIMD is read by the dispatch layer itself; the
+  // flag covers invocations where exporting a variable is awkward (both
+  // spellings accepted, matching the --s-levels convention).
+  if (flags.GetBool("no-simd", false) || flags.GetBool("no_simd", false))
+    otfair::common::simd::SetForceScalar(true);
   if (command == "design") return RunDesign(flags);
   if (command == "repair") return RunRepair(flags);
   if (command == "serve") return RunServe(flags);

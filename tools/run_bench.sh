@@ -14,6 +14,30 @@
 # The legacy Google-Benchmark microbenches (ot_microbench etc.) still
 # build when libbenchmark is installed; run those binaries directly for
 # per-op microbenchmarks.
+#
+# Methodology for committed BENCH_*.json snapshots (the numbers cited
+# in README "Performance" and in perf-PR claims):
+#   * Interleaved min-of-N: run the harness several times (>= 3
+#     invocations of --repeats=3, i.e. >= 9 timed runs per row) and take
+#     the per-row minimum across invocations. Interleaving whole
+#     invocations — rather than one long run per benchmark — spreads
+#     thermal/frequency drift and background noise across every row
+#     instead of biasing whichever row ran last. Merge with e.g.:
+#       for i in 1 2 3; do tools/run_bench.sh /tmp/bench_$i.json; done
+#       # then take the min wall_ms per (name, threads) across the three
+#   * Min, not mean: wall-clock noise on a quiet machine is one-sided
+#     (interference only adds time), so the minimum is the best
+#     estimate of the true cost of the code.
+#   * Same build type for every snapshot: Release, default flags — no
+#     -march=native — so committed trajectories compare codegen the
+#     repo actually ships. The SIMD kernels select AVX2/NEON at runtime
+#     regardless of flags; pass --no_simd to measure the scalar
+#     baseline, and check the "simd_isa" field in the JSON meta to see
+#     what actually dispatched.
+#   * Paired rows isolate one effect each: repair_throughput vs
+#     repair_throughput_soa (memory layout), sinkhorn_standard across
+#     snapshots (kernel vectorization), table_build vs
+#     table_build_dense (sparsity). Compare like against like.
 
 set -euo pipefail
 
