@@ -41,6 +41,13 @@
 //   alias_lookup_batch alias-arena draws/sec on a repair-shaped table
 //                      (n_q rows, CSR-support-sized), prefetched batch
 //                      loop — the repair table lookup in isolation.
+//   sketch_update_ns   ns per QuantileSketch::Add on a Gaussian stream —
+//                      the per-value cost the serve path pays when channel
+//                      sketches are enabled.
+//   redesign_to_reload_ms  one full self-heal redesign on a drift-tripped
+//                      service: sketch snapshot -> design -> validation ->
+//                      hot ReloadPlan (Redesigner::AttemptRedesign), the
+//                      recovery-latency half of the self-healing claim.
 //
 // Flags:
 //   --out=FILE         JSON output path (default: perf_bench.json)
@@ -50,6 +57,7 @@
 //   --no_simd          force the scalar kernels (the JSON meta records
 //                      the dispatched ISA either way)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -69,8 +77,10 @@
 #include "ot/exact.h"
 #include "ot/sinkhorn.h"
 #include "serve/batcher.h"
+#include "serve/redesigner.h"
 #include "serve/repair_service.h"
 #include "sim/gaussian_mixture.h"
+#include "stats/quantile_sketch.h"
 #include "stats/sampling.h"
 
 namespace {
@@ -94,6 +104,7 @@ struct BenchCase {
   double dense_bytes_per_plan = 0.0;  // plan_memory only
   double latency_p50_us = 0.0;        // serve latency only
   double latency_p99_us = 0.0;        // serve latency only
+  double ns_per_op = 0.0;             // sketch_update only
 };
 
 /// Paper-style mixture generalized to `dim` features: the +/-1 mean
@@ -385,6 +396,98 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(metrics.latency_samples));
       }
     }
+  }
+
+  // --- sketch_update_ns: streaming sketch ingest in isolation --------------
+  // The per-value cost the serve path pays per sampled channel when
+  // sketches are on (ServiceOptions::sketch_sample_every > 0): one
+  // QuantileSketch::Add per (u, s, k) observation.
+  {
+    Rng sketch_rng(0x5ce7);
+    const size_t values = smoke ? 50000 : 5000000;
+    std::vector<double> stream(values);
+    for (double& v : stream) v = sketch_rng.Normal(0.0, 2.0);
+    uint64_t sink = 0;
+    double alpha = 0.0;
+    const double ms = BestWallMs(repeats, [&] {
+      otfair::stats::QuantileSketch sketch;
+      for (double v : stream) sketch.Add(v);
+      sink += sketch.count();
+      alpha = sketch.relative_accuracy();
+    });
+    if (sink == 0) Die("sketch_update produced implausible sink");
+    BenchCase c;
+    c.name = "sketch_update_ns";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params), "{\"values\": %zu, \"alpha\": %.3f}", values,
+                  alpha);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = ms;
+    c.ns_per_op = ms * 1e6 / static_cast<double>(values);
+    cases.push_back(c);
+    std::fprintf(stderr, "sketch_update_ns  threads=1  %10.2f ms  (%.1f ns/value)\n", ms,
+                 c.ns_per_op);
+  }
+
+  // --- redesign_to_reload_ms: one self-heal episode's critical path --------
+  // A drift-tripped service (shifted replay filled the channel sketches),
+  // then exactly what the background loop runs per attempt: sketch
+  // snapshot -> DesignFromQuantileFunctions -> validation -> hot
+  // ReloadPlan. A successful reload resets the drift state, so each repeat
+  // rebuilds the service and re-streams the shifted rows untimed.
+  {
+    otfair::core::DesignOptions design_options;
+    design_options.n_q = design_nq;
+    auto plans = otfair::core::DesignDistributionalRepair(*research, design_options);
+    if (!plans.ok()) Die(plans.status().ToString());
+    const double shift = 2.0;
+    const size_t heal_rows = std::min<size_t>(n_archive, smoke ? 2000 : 20000);
+    std::vector<otfair::serve::RowRequest> requests(heal_rows);
+    for (size_t i = 0; i < heal_rows; ++i) {
+      otfair::serve::RowRequest& request = requests[i];
+      request.session_id = 0;
+      request.row_index = i;
+      request.u = archive->u(i);
+      request.s = archive->s(i);
+      const double* row = archive->features().row(i);
+      request.features.resize(dim);
+      for (size_t k = 0; k < dim; ++k) request.features[k] = row[k] + shift;
+    }
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      otfair::serve::ServiceOptions service_options;
+      service_options.sketch_sample_every = 1;
+      auto service = otfair::serve::RepairService::Create(*plans, service_options);
+      if (!service.ok()) Die(service.status().ToString());
+      otfair::serve::RedesignerOptions heal_options;
+      heal_options.poll_interval_ms = 1000000;  // inert loop; timed call is manual
+      auto redesigner = otfair::serve::Redesigner::Create(service->get(), heal_options);
+      if (!redesigner.ok()) Die(redesigner.status().ToString());
+      std::vector<otfair::serve::RowResponse> responses;
+      (*service)->RepairBatch(requests.data(), requests.size(), &responses);
+      for (const auto& response : responses)
+        if (!response.status.ok()) Die("redesign bench dropped a row");
+      if (!(*service)->Health().drifted) Die("redesign bench: drift did not trip");
+      Timer timer;
+      const auto status = (*redesigner)->AttemptRedesign();
+      const double ms = timer.ElapsedMillis();
+      if (!status.ok()) Die("redesign bench: " + status.ToString());
+      if ((*service)->plan_version() != 2) Die("redesign bench: reload did not land");
+      (*redesigner)->Stop();
+      if (r == 0 || ms < best) best = ms;
+    }
+    BenchCase c;
+    c.name = "redesign_to_reload_ms";
+    c.threads = 1;
+    std::snprintf(params, sizeof(params),
+                  "{\"dim\": %zu, \"rows\": %zu, \"n_q\": %zu, \"shift\": %.1f}", dim,
+                  heal_rows, design_nq, shift);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = best;
+    cases.push_back(c);
+    std::fprintf(stderr, "redesign_to_reload threads=1 %10.2f ms\n", best);
   }
 
   // --- table_build / plan_memory: sparse vs dense repair tables -----------
@@ -687,6 +790,7 @@ int main(int argc, char** argv) {
     if (c.latency_p99_us > 0.0)
       std::fprintf(out, ", \"latency_p50_us\": %.1f, \"latency_p99_us\": %.1f",
                    c.latency_p50_us, c.latency_p99_us);
+    if (c.ns_per_op > 0.0) std::fprintf(out, ", \"ns_per_op\": %.2f", c.ns_per_op);
     std::fprintf(out, "}%s\n", i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

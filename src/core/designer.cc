@@ -1,5 +1,8 @@
 #include "core/designer.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,17 +17,19 @@ namespace otfair::core {
 using common::Result;
 using common::Status;
 
-Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
-                                                 const DesignOptions& options) {
-  if (research.empty()) return Status::InvalidArgument("empty research dataset");
+namespace {
+
+/// Shared option validation + plan-set skeleton for both design entry
+/// points. On success the plan set has its lambdas and target_t resolved;
+/// `pairwise_t` receives the binary geodesic position actually designed at.
+Result<RepairPlanSet> PreparePlans(size_t dim, std::vector<std::string> feature_names,
+                                   size_t s_levels, size_t u_levels,
+                                   const DesignOptions& options, double* pairwise_t) {
   if (options.n_q < 2) return Status::InvalidArgument("n_q must be >= 2");
   if (!(options.target_t >= 0.0 && options.target_t <= 1.0))
     return Status::InvalidArgument("target_t must lie in [0, 1]");
   if (options.threads < 0)
     return Status::InvalidArgument("threads must be >= 1 (or 0 for the process default)");
-  const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
-  const size_t s_levels = research.s_levels();
-  const size_t u_levels = research.u_levels();
 
   // Resolve the barycentric weights (see ResolveLambdas: the binary
   // default {1 - t, t} keeps the paper's single-knob geodesic
@@ -32,16 +37,81 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
   auto lambdas = ResolveLambdas(options.lambdas, options.target_t, s_levels);
   if (!lambdas.ok()) return lambdas.status();
 
-  RepairPlanSet plans(research.dim(), research.feature_names(), s_levels, u_levels);
+  RepairPlanSet plans(dim, std::move(feature_names), s_levels, u_levels);
   if (Status status = plans.set_lambdas(std::move(*lambdas)); !status.ok()) return status;
   // Post-normalization weights drive the barycenters below. In the
   // default binary case the raw target_t is used directly, so the paper's
   // t-parameterized path is untouched by the normalization roundoff.
-  const std::vector<double>& lam = plans.lambdas();
-  const double pairwise_t = options.lambdas.empty() ? options.target_t : lam[1];
+  *pairwise_t = options.lambdas.empty() ? options.target_t : plans.lambdas()[1];
   // The persisted t metadata reflects the geodesic position actually
   // designed at: explicit binary lambdas override options.target_t.
-  plans.set_target_t(s_levels == 2 ? pairwise_t : options.target_t);
+  plans.set_target_t(s_levels == 2 ? *pairwise_t : options.target_t);
+  return plans;
+}
+
+/// Steps (i)-(iv) of Algorithm 1 for one (u, k) channel, from materialized
+/// samples: `stratum_samples` spans the whole u-stratum (support range),
+/// `samples_by_s` carries the |S| conditional samples. Both design entry
+/// points funnel through here, so plan geometry is independent of whether
+/// the samples came from research rows or sketch quantile probes.
+Status DesignChannelFromSamples(const DesignOptions& options, const ot::Solver& solver,
+                                const std::vector<double>& lam, double pairwise_t,
+                                size_t s_levels, const std::vector<double>& stratum_samples,
+                                const std::vector<std::vector<double>>& samples_by_s,
+                                ChannelPlan* channel) {
+  // (i) Interpolated support over the stratum's range (Algorithm 1,
+  // lines 3-5).
+  auto grid = SupportGrid::FromSamples(stratum_samples, options.n_q);
+  if (!grid.ok()) return grid.status();
+  channel->grid = std::move(*grid);
+
+  // (ii) KDE-interpolated s-conditional marginals (line 8, Eq. 11).
+  for (size_t s = 0; s < s_levels; ++s) {
+    auto marginal = InterpolateMarginal(samples_by_s[s], channel->grid, options.marginal);
+    if (!marginal.ok()) return marginal.status();
+    channel->marginal[s] = std::move(*marginal);
+  }
+
+  // (iii) Barycentric repair target on the same support (line 9, Eq. 7).
+  // |S| = 2 takes the paper's pairwise t-geodesic path (bit-identical to
+  // the binary-era pipeline); |S| > 2 the N-measure weighted-quantile
+  // barycenter F^{-1} = sum_s lambda_s F_s^{-1}.
+  Result<ot::DiscreteMeasure> barycenter =
+      s_levels == 2
+          ? ot::QuantileBarycenterOnGrid(channel->marginal[0], channel->marginal[1],
+                                         pairwise_t, channel->grid.points())
+          : ot::QuantileBarycenterOnGrid(channel->marginal, lam, channel->grid.points());
+  if (!barycenter.ok()) return barycenter.status();
+  channel->barycenter = std::move(*barycenter);
+
+  // (iv) The |S| OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
+  // and barycentre all live on the sorted grid, so the backend's 1-D
+  // solve applies directly and its entries index grid states. The
+  // sparse-native solve keeps the monotone staircase (and the exact
+  // solver's support set) in CSR form end to end — nothing densifies.
+  for (size_t s = 0; s < s_levels; ++s) {
+    auto plan = solver.Solve1DSparse(channel->marginal[s], channel->barycenter);
+    if (!plan.ok()) return plan.status();
+    channel->plan[s] = std::move(*plan);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
+                                                 const DesignOptions& options) {
+  if (research.empty()) return Status::InvalidArgument("empty research dataset");
+  const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
+  const size_t s_levels = research.s_levels();
+  const size_t u_levels = research.u_levels();
+
+  double pairwise_t = options.target_t;
+  auto prepared = PreparePlans(research.dim(), research.feature_names(), s_levels, u_levels,
+                               options, &pairwise_t);
+  if (!prepared.ok()) return prepared.status();
+  RepairPlanSet plans = std::move(*prepared);
+  const std::vector<double>& lam = plans.lambdas();
 
   // Row-index strata, gathered (and validated) up front so the channel
   // designs below are fully independent of one another.
@@ -66,46 +136,12 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
 
   auto design_channel = [&](size_t u, size_t k) -> Status {
     const Stratum& stratum = strata[u];
-    ChannelPlan& channel = plans.At(static_cast<int>(u), k);
-
-    // (i) Interpolated support over the u-stratum's research range
-    // (Algorithm 1, lines 3-5).
-    auto grid = SupportGrid::FromSamples(research.FeatureColumn(k, stratum.idx_all),
-                                         options.n_q);
-    if (!grid.ok()) return grid.status();
-    channel.grid = std::move(*grid);
-
-    // (ii) KDE-interpolated s-conditional marginals (line 8, Eq. 11).
-    for (size_t s = 0; s < s_levels; ++s) {
-      auto marginal = InterpolateMarginal(research.FeatureColumn(k, stratum.idx_by_s[s]),
-                                          channel.grid, options.marginal);
-      if (!marginal.ok()) return marginal.status();
-      channel.marginal[s] = std::move(*marginal);
-    }
-
-    // (iii) Barycentric repair target on the same support (line 9, Eq. 7).
-    // |S| = 2 takes the paper's pairwise t-geodesic path (bit-identical to
-    // the binary-era pipeline); |S| > 2 the N-measure weighted-quantile
-    // barycenter F^{-1} = sum_s lambda_s F_s^{-1}.
-    Result<ot::DiscreteMeasure> barycenter =
-        s_levels == 2
-            ? ot::QuantileBarycenterOnGrid(channel.marginal[0], channel.marginal[1],
-                                           pairwise_t, channel.grid.points())
-            : ot::QuantileBarycenterOnGrid(channel.marginal, lam, channel.grid.points());
-    if (!barycenter.ok()) return barycenter.status();
-    channel.barycenter = std::move(*barycenter);
-
-    // (iv) The |S| OT plans mu_s -> nu (lines 10-11, Eq. 13). Marginals
-    // and barycentre all live on the sorted grid, so the backend's 1-D
-    // solve applies directly and its entries index grid states. The
-    // sparse-native solve keeps the monotone staircase (and the exact
-    // solver's support set) in CSR form end to end — nothing densifies.
-    for (size_t s = 0; s < s_levels; ++s) {
-      auto plan = solver.Solve1DSparse(channel.marginal[s], channel.barycenter);
-      if (!plan.ok()) return plan.status();
-      channel.plan[s] = std::move(*plan);
-    }
-    return Status::Ok();
+    std::vector<std::vector<double>> samples_by_s(s_levels);
+    for (size_t s = 0; s < s_levels; ++s)
+      samples_by_s[s] = research.FeatureColumn(k, stratum.idx_by_s[s]);
+    return DesignChannelFromSamples(options, solver, lam, pairwise_t, s_levels,
+                                    research.FeatureColumn(k, stratum.idx_all), samples_by_s,
+                                    &plans.At(static_cast<int>(u), k));
   };
 
   // The d * |U| channels are independent: each task writes only its own
@@ -113,6 +149,83 @@ Result<RepairPlanSet> DesignDistributionalRepair(const data::Dataset& research,
   // a deterministic first error). Task order (u-major, k-minor) matches
   // the historical serial loop.
   const size_t dim = research.dim();
+  Status status = common::parallel::ParallelForStatus(
+      0, u_levels * dim,
+      [&](size_t task) { return design_channel(task / dim, task % dim); },
+      static_cast<size_t>(options.threads));
+  if (!status.ok()) return status;
+  return plans;
+}
+
+Result<RepairPlanSet> DesignFromQuantileFunctions(
+    size_t dim, std::vector<std::string> feature_names, size_t s_levels, size_t u_levels,
+    const std::vector<StreamChannelQuantiles>& channels, const DesignOptions& options) {
+  if (dim == 0) return Status::InvalidArgument("dim must be >= 1");
+  if (s_levels < 2) return Status::InvalidArgument("s_levels must be >= 2");
+  if (u_levels < 1) return Status::InvalidArgument("u_levels must be >= 1");
+  if (channels.size() != u_levels * s_levels * dim)
+    return Status::InvalidArgument(
+        "expected " + std::to_string(u_levels * s_levels * dim) + " channels (" +
+        "(u * s_levels + s) * dim + k order), got " + std::to_string(channels.size()));
+  if (options.quantile_pseudo_samples < 2)
+    return Status::InvalidArgument("quantile_pseudo_samples must be >= 2");
+  const ot::Solver& solver = options.solver ? *options.solver : *ot::DefaultSolver();
+
+  double pairwise_t = options.target_t;
+  auto prepared = PreparePlans(dim, std::move(feature_names), s_levels, u_levels, options,
+                               &pairwise_t);
+  if (!prepared.ok()) return prepared.status();
+  RepairPlanSet plans = std::move(*prepared);
+  const std::vector<double>& lam = plans.lambdas();
+
+  // Materialize each channel's quantile function as midpoint probes
+  // Q((i + 0.5) / n) — deterministic, and an unbiased stand-in for an
+  // n-point equal-mass sample of the streamed distribution. Rejects thin
+  // channels (mirroring the dataset path's min_group_size gate) and
+  // broken quantile functions up front, before any solver work.
+  auto probe_channel = [&](size_t u, size_t s, size_t k,
+                           std::vector<double>* out) -> Status {
+    const StreamChannelQuantiles& channel = channels[(u * s_levels + s) * dim + k];
+    const std::string tag = "(u=" + std::to_string(u) + ", s=" + std::to_string(s) +
+                            ", k=" + std::to_string(k) + ")";
+    if (!channel.quantile)
+      return Status::InvalidArgument("channel " + tag + " has no quantile function");
+    if (channel.count < options.min_group_size)
+      return Status::FailedPrecondition(
+          "stream channel " + tag + " has only " + std::to_string(channel.count) +
+          " observations; need " + std::to_string(options.min_group_size) +
+          " before redesign");
+    const size_t n = std::min<uint64_t>(channel.count, options.quantile_pseudo_samples);
+    out->resize(n);
+    double prev = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+      const double x = channel.quantile(p);
+      if (!std::isfinite(x))
+        return Status::InvalidArgument("quantile function for channel " + tag +
+                                       " returned a non-finite value");
+      if (x < prev)
+        return Status::InvalidArgument("quantile function for channel " + tag +
+                                       " is not monotone");
+      prev = x;
+      (*out)[i] = x;
+    }
+    return Status::Ok();
+  };
+
+  auto design_channel = [&](size_t u, size_t k) -> Status {
+    std::vector<std::vector<double>> samples_by_s(s_levels);
+    std::vector<double> stratum_samples;
+    for (size_t s = 0; s < s_levels; ++s) {
+      OTFAIR_RETURN_IF_ERROR(probe_channel(u, s, k, &samples_by_s[s]));
+      stratum_samples.insert(stratum_samples.end(), samples_by_s[s].begin(),
+                             samples_by_s[s].end());
+    }
+    return DesignChannelFromSamples(options, solver, lam, pairwise_t, s_levels,
+                                    stratum_samples, samples_by_s,
+                                    &plans.At(static_cast<int>(u), k));
+  };
+
   Status status = common::parallel::ParallelForStatus(
       0, u_levels * dim,
       [&](size_t task) { return design_channel(task / dim, task % dim); },

@@ -62,6 +62,7 @@ MetricsSnapshot Metrics::Snapshot(uint64_t queue_depth) const {
   snap.rows_rejected = rows_rejected_.load(kRelaxed);
   snap.batches = batches_.load(kRelaxed);
   snap.reloads = reloads_.load(kRelaxed);
+  snap.reloads_failed = reloads_failed_.load(kRelaxed);
   snap.queue_depth = queue_depth;
   snap.uptime_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   snap.rows_per_second =
@@ -93,6 +94,7 @@ std::string MetricsSnapshot::ToJson() const {
       .Key("rows_rejected").Uint(rows_rejected)
       .Key("batches").Uint(batches)
       .Key("reloads").Uint(reloads)
+      .Key("reloads_failed").Uint(reloads_failed)
       .Key("queue_depth").Uint(queue_depth)
       .Key("uptime_seconds").Double(uptime_seconds)
       .Key("rows_per_second").Double(rows_per_second)

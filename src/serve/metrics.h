@@ -24,6 +24,9 @@ struct MetricsSnapshot {
   uint64_t batches = 0;
   /// Plan hot-swaps served so far.
   uint64_t reloads = 0;
+  /// Plan reloads rejected (validation failure, unreadable file); the
+  /// serving snapshot was left untouched each time.
+  uint64_t reloads_failed = 0;
   /// Latency samples recorded (batcher-path requests only).
   uint64_t latency_samples = 0;
   double latency_p50_us = 0.0;
@@ -64,6 +67,7 @@ class Metrics {
   void AddRejected(uint64_t rows) { rows_rejected_.fetch_add(rows, kRelaxed); }
   void AddBatch() { batches_.fetch_add(1, kRelaxed); }
   void AddReload() { reloads_.fetch_add(1, kRelaxed); }
+  void AddReloadFailed() { reloads_failed_.fetch_add(1, kRelaxed); }
 
   /// Records one request latency in microseconds (negative values clamp
   /// to 0).
@@ -93,6 +97,7 @@ class Metrics {
   std::atomic<uint64_t> rows_rejected_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reloads_failed_{0};
   std::atomic<uint64_t> latency_max_us_{0};
   std::array<std::atomic<uint64_t>, kBuckets> latency_buckets_{};
 };

@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -44,14 +45,31 @@ bool ParseDouble(const std::string& text, double* out) {
   char* end = nullptr;
   const double v = std::strtod(text.c_str(), &end);
   if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  // strtod accepts "nan"/"inf" spellings; a non-finite feature would
+  // poison the repair tables and the drift/sketch accumulators, so the
+  // protocol rejects it at the boundary.
+  if (!std::isfinite(v)) return false;
   *out = v;
   return true;
+}
+
+/// Echoes at most a 32-char prefix of an input token inside an error
+/// message, with control characters replaced: the token may be huge or
+/// binary junk, and the rendered `err` line must stay one sane line.
+std::string SanitizeToken(const std::string& token) {
+  std::string shown = token.substr(0, 32);
+  for (char& c : shown)
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) c = '?';
+  return shown;
 }
 
 }  // namespace
 
 Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim, size_t u_levels,
                                          size_t s_levels) {
+  if (line.size() > kMaxRequestLineBytes)
+    return Status::InvalidArgument("request line exceeds " +
+                                   std::to_string(kMaxRequestLineBytes) + " bytes");
   const std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return Status::InvalidArgument("empty request line");
   ProtocolRequest request;
@@ -92,11 +110,13 @@ Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim, si
     request.row.features.resize(dim);
     for (size_t k = 0; k < dim; ++k) {
       if (!ParseDouble(tokens[5 + k], &request.row.features[k]))
-        return Status::InvalidArgument("bad feature value '" + tokens[5 + k] + "'");
+        return Status::InvalidArgument("bad feature value '" +
+                                       SanitizeToken(tokens[5 + k]) +
+                                       "' (must be a finite number)");
     }
     return request;
   }
-  return Status::InvalidArgument("unknown request '" + verb + "'");
+  return Status::InvalidArgument("unknown request '" + SanitizeToken(verb) + "'");
 }
 
 std::string FormatRowResponse(const RowResponse& response) {

@@ -29,6 +29,12 @@ namespace otfair::serve {
 
 enum class RequestKind { kRepair, kMetrics, kHealth, kReload, kQuit };
 
+/// Hard ceiling on one request line's length. A well-formed repair line is
+/// ~25 bytes per feature, so 64 KiB comfortably covers dim in the
+/// thousands; anything longer is garbage (or a protocol abuse) and is
+/// rejected with a structured error before tokenization touches it.
+inline constexpr size_t kMaxRequestLineBytes = 64 * 1024;
+
 struct ProtocolRequest {
   RequestKind kind = RequestKind::kRepair;
   RowRequest row;         // kRepair
@@ -39,6 +45,13 @@ struct ProtocolRequest {
 /// line must carry exactly `dim` features. `u_levels`/`s_levels` bound the
 /// categorical group labels (the binary protocol is u_levels = s_levels =
 /// 2). Blank lines are invalid.
+///
+/// Hardened against garbage input: any malformed line — truncated
+/// commands, out-of-range labels, non-numeric or non-finite (nan/inf)
+/// feature payloads, oversized lines (> kMaxRequestLineBytes), binary
+/// junk — comes back as an InvalidArgument status (rendered by
+/// FormatErrorLine into a structured `err` line). Parsing never throws,
+/// crashes, or silently coerces a bad field.
 common::Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim,
                                                  size_t u_levels = 2, size_t s_levels = 2);
 

@@ -1,0 +1,316 @@
+#include "serve/redesigner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/drift_monitor.h"
+#include "ot/measure.h"
+
+namespace otfair::serve {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Normalized W1 between the sketch's streamed distribution and a design
+/// marginal, both expressed on the marginal's grid — the same statistic
+/// (and normalization) DriftMonitor judges the live plan by, so the
+/// candidate's fit is directly comparable to the drift level that
+/// triggered the redesign.
+double SketchFitW1(const stats::QuantileSketch& sketch, const core::SupportGrid& grid,
+                   const ot::DiscreteMeasure& marginal) {
+  const std::vector<double>& points = grid.points();
+  const size_t n = points.size();
+  if (n < 2 || sketch.count() == 0) return 0.0;
+  double gap_sum = 0.0;
+  double cum_design = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    // CDF at the midpoint between states i and i+1: every streamed value
+    // below it bins to state <= i (nearest-state binning, as the drift
+    // histogram does). Out-of-range mass clamps into the end states.
+    const double cum_stream = sketch.Cdf(0.5 * (points[i] + points[i + 1]));
+    cum_design += marginal.weight_at(i);
+    gap_sum += std::fabs(cum_stream - cum_design);
+  }
+  const double span = grid.hi() - grid.lo();
+  return span > 0.0 ? grid.step() * gap_sum / span : 0.0;
+}
+
+}  // namespace
+
+Redesigner::Redesigner(RepairService* service, const RedesignerOptions& options,
+                       FaultInjector faults)
+    : service_(service), options_(options), faults_(std::move(faults)) {
+  cooldown_until_ = Clock::now();
+}
+
+Result<std::unique_ptr<Redesigner>> Redesigner::Create(RepairService* service,
+                                                       const RedesignerOptions& options) {
+  if (service == nullptr) return Status::InvalidArgument("service must not be null");
+  if (options.poll_interval_ms <= 0)
+    return Status::InvalidArgument("poll_interval_ms must be >= 1");
+  if (options.max_retries < 1) return Status::InvalidArgument("max_retries must be >= 1");
+  if (options.backoff_initial_ms < 0 || options.backoff_max_ms < options.backoff_initial_ms)
+    return Status::InvalidArgument("backoff must satisfy 0 <= initial <= max");
+  if (options.redesign_timeout_ms <= 0)
+    return Status::InvalidArgument("redesign_timeout_ms must be >= 1");
+  if (options.cooldown_ms < 0) return Status::InvalidArgument("cooldown_ms must be >= 0");
+  if (options.fresh_sketch_wait_ms < 0)
+    return Status::InvalidArgument("fresh_sketch_wait_ms must be >= 0");
+  if (service->options().sketch_sample_every == 0)
+    return Status::FailedPrecondition(
+        "service has sketch_sample_every = 0: no streaming sketches to redesign from");
+  // Fault spec precedence: redesigner options, then service options, then
+  // the OTFAIR_FAULTS environment.
+  Result<FaultInjector> faults =
+      !options.faults.empty()
+          ? FaultInjector::Parse(options.faults)
+          : (!service->options().faults.empty()
+                 ? FaultInjector::Parse(service->options().faults)
+                 : FaultInjector::FromEnv());
+  if (!faults.ok()) return faults.status();
+  std::unique_ptr<Redesigner> redesigner(
+      new Redesigner(service, options, std::move(*faults)));
+  redesigner->thread_ = std::thread([r = redesigner.get()] { r->Loop(); });
+  return redesigner;
+}
+
+Redesigner::~Redesigner() { Stop(); }
+
+void Redesigner::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+RedesignerStats Redesigner::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status Redesigner::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+bool Redesigner::SleepUnlessStopped(int ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(ms), [&] { return stop_; });
+  return !stop_;
+}
+
+void Redesigner::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                   [&] { return stop_; });
+      if (stop_) return;
+    }
+    StepOnce();
+  }
+}
+
+void Redesigner::StepOnce() {
+  if (Clock::now() < [&] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return cooldown_until_;
+      }())
+    return;
+  // Degraded is sticky: the loop stands down until a successful reload
+  // (operator `reload`, or this loop's own later success is impossible —
+  // it gave up) clears the flag on the service.
+  if (service_->degraded()) return;
+  if (!service_->Health().drifted) {
+    fresh_sketches_ = false;
+    return;
+  }
+  // A drift episode opens: stash the accumulated sketches and restart
+  // them, so the redesign input reflects post-drift traffic only.
+  // Sketches accumulated since plan install are dominated by the
+  // pre-shift distribution — designing from that mixture would install a
+  // plan the ongoing stream immediately drifts against.
+  if (!fresh_sketches_) {
+    stashed_sketches_ = service_->SketchSnapshot();
+    service_->ResetSketches();
+    fresh_since_ = Clock::now();
+    fresh_sketches_ = true;
+    return;
+  }
+  // Thin sketches: drift tripped but the restarted sketches haven't seen
+  // enough sampled rows per channel yet. Keep waiting — burning the retry
+  // budget here would flag degraded on a stream that merely needs time.
+  // If the stream went quiet instead (a finite replay draining after the
+  // shift), fall back to the pre-trip stash after `fresh_sketch_wait_ms`:
+  // it still contains the drifted suffix, and a mixture-fit plan beats
+  // waiting forever on traffic that will never come.
+  const std::vector<stats::QuantileSketch>* sketches_override = nullptr;
+  {
+    const std::vector<stats::QuantileSketch> sketches = service_->SketchSnapshot();
+    const uint64_t need =
+        std::max<uint64_t>(options_.min_channel_count, options_.design.min_group_size);
+    bool ripe = true;
+    for (const stats::QuantileSketch& sketch : sketches)
+      if (sketch.count() < need) {
+        ripe = false;
+        break;
+      }
+    if (!ripe) {
+      if (Clock::now() <
+          fresh_since_ + std::chrono::milliseconds(options_.fresh_sketch_wait_ms))
+        return;
+      sketches_override = &stashed_sketches_;
+    }
+  }
+
+  // A drift episode: attempt, retry with doubling backoff, and either
+  // hot-swap or flag degraded. The serving snapshot is untouched by
+  // everything except a successful ReloadPlan.
+  busy_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.drift_trips;
+  }
+  Status status;
+  int backoff_ms = options_.backoff_initial_ms;
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) break;
+      ++stats_.attempts;
+    }
+    status = AttemptRedesign(sketches_override);
+    if (status.ok()) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+      last_error_ = status;
+    }
+    if (attempt + 1 < options_.max_retries && !SleepUnlessStopped(backoff_ms)) break;
+    backoff_ms = std::min(backoff_ms > 0 ? backoff_ms * 2 : 1, options_.backoff_max_ms);
+  }
+  bool stopped_mid_episode = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_mid_episode = stop_;
+    if (status.ok()) {
+      ++stats_.reloads;
+    } else if (!stopped_mid_episode) {
+      ++stats_.gave_up;
+    }
+    cooldown_until_ = Clock::now() + std::chrono::milliseconds(options_.cooldown_ms);
+  }
+  // Exhausted every retry: degrade — but keep serving. A Stop() mid-episode
+  // is not a verdict.
+  if (!status.ok() && !stopped_mid_episode) service_->SetDegraded(true);
+  // The episode is over either way; the next one starts from fresh
+  // sketches again (a successful reload already reset them structurally).
+  fresh_sketches_ = false;
+  stashed_sketches_.clear();
+  busy_.store(false, std::memory_order_relaxed);
+}
+
+Status Redesigner::AttemptRedesign(
+    const std::vector<stats::QuantileSketch>* sketches_override) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.redesign_timeout_ms);
+  auto past_deadline = [&] { return Clock::now() > deadline; };
+
+  if (faults_.ShouldInject(Fault::kRedesignThrow))
+    return Status::Internal("injected fault: redesign throw");
+  if (faults_.ShouldInject(Fault::kSlowSketchMerge))
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Stage 1: bounded-memory inputs. The sketch snapshot and the drift
+  // level the candidate must beat are taken back to back, so both describe
+  // the same serving snapshot (a concurrent reload would reset both).
+  std::vector<stats::QuantileSketch> sketches =
+      sketches_override != nullptr ? *sketches_override : service_->SketchSnapshot();
+  if (sketches.empty())
+    return Status::FailedPrecondition("sketches disabled; cannot redesign from stream");
+  const core::DriftReport current = service_->DriftSnapshot();
+
+  if (faults_.ShouldInject(Fault::kRedesignTimeout))
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.redesign_timeout_ms + 20));
+  if (past_deadline())
+    return Status::Unavailable("redesign exceeded " +
+                               std::to_string(options_.redesign_timeout_ms) +
+                               " ms deadline after sketch snapshot; result discarded");
+
+  // Stage 2: rebuild through the designer, inheriting the live plan's
+  // geometry so the replacement is drop-in compatible.
+  const RepairService::PlanGeometry geometry = service_->Geometry();
+  core::DesignOptions design = options_.design;
+  design.n_q = geometry.n_q;
+  design.lambdas = geometry.lambdas;
+  design.target_t = geometry.target_t;
+
+  const size_t dim = service_->dim();
+  const size_t s_levels = service_->s_levels();
+  auto shared =
+      std::make_shared<const std::vector<stats::QuantileSketch>>(std::move(sketches));
+  std::vector<core::StreamChannelQuantiles> channels(shared->size());
+  for (size_t c = 0; c < shared->size(); ++c) {
+    channels[c].count = (*shared)[c].count();
+    channels[c].quantile = [shared, c](double p) { return (*shared)[c].Quantile(p); };
+  }
+  auto candidate = core::DesignFromQuantileFunctions(dim, geometry.feature_names, s_levels,
+                                                     service_->u_levels(), channels, design);
+  if (!candidate.ok()) return candidate.status();
+  if (past_deadline())
+    return Status::Unavailable("redesign exceeded " +
+                               std::to_string(options_.redesign_timeout_ms) +
+                               " ms deadline after design; result discarded");
+
+  // Stage 3: validation. Structural invariants, then the fit gate: the
+  // candidate's own drift statistic against the streamed distribution must
+  // clear the drift threshold AND improve on the current plan's drift
+  // level (the E-improvement proxy — both are the normalized W1 the
+  // monitor alarms on; the integration test closes the loop on the real
+  // E-metric).
+  if (faults_.ShouldInject(Fault::kInvalidPlan))
+    return Status::FailedPrecondition("injected fault: candidate plan invalid");
+  if (Status status = candidate->Validate(1e-5); !status.ok())
+    return Status::FailedPrecondition("candidate plan failed validation: " +
+                                      status.message());
+  double worst_fit = 0.0;
+  const size_t u_levels = service_->u_levels();
+  for (size_t u = 0; u < u_levels; ++u) {
+    for (size_t k = 0; k < dim; ++k) {
+      const core::ChannelPlan& channel = candidate->At(static_cast<int>(u), k);
+      for (size_t s = 0; s < s_levels; ++s) {
+        const double fit = SketchFitW1((*shared)[(u * s_levels + s) * dim + k],
+                                       channel.grid, channel.marginal[s]);
+        worst_fit = std::max(worst_fit, fit);
+      }
+    }
+  }
+  const double threshold = service_->options().drift.w1_threshold;
+  if (worst_fit > threshold)
+    return Status::FailedPrecondition(
+        "candidate plan still drifted against the stream (worst W1 " +
+        std::to_string(worst_fit) + " > threshold " + std::to_string(threshold) + ")");
+  if (current.drifted && worst_fit >= current.worst_w1)
+    return Status::FailedPrecondition(
+        "candidate plan does not improve on the live plan (worst W1 " +
+        std::to_string(worst_fit) + " vs current " + std::to_string(current.worst_w1) + ")");
+  if (past_deadline())
+    return Status::Unavailable("redesign exceeded " +
+                               std::to_string(options_.redesign_timeout_ms) +
+                               " ms deadline after validation; result discarded");
+
+  // Stage 4: the hot swap (also clears any degraded verdict).
+  return service_->ReloadPlan(std::move(*candidate));
+}
+
+}  // namespace otfair::serve

@@ -1,0 +1,161 @@
+#ifndef OTFAIR_SERVE_REDESIGNER_H_
+#define OTFAIR_SERVE_REDESIGNER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/designer.h"
+#include "serve/fault_injector.h"
+#include "serve/repair_service.h"
+
+namespace otfair::serve {
+
+/// Knobs of the self-heal loop. The defaults favour stability over
+/// reaction speed: one poll every 200 ms, three attempts per drift episode
+/// with doubling backoff, and a cooldown after every episode so a stream
+/// oscillating around the drift threshold cannot flap the plan.
+struct RedesignerOptions {
+  /// Health-poll cadence of the background thread.
+  int poll_interval_ms = 200;
+  /// Quiet period after an episode (successful or exhausted) before drift
+  /// is judged again.
+  int cooldown_ms = 5000;
+  /// Redesign attempts per drift episode before declaring `degraded`.
+  int max_retries = 3;
+  /// Backoff before the 2nd attempt; doubles per retry, capped below.
+  int backoff_initial_ms = 250;
+  int backoff_max_ms = 5000;
+  /// Cooperative wall-clock deadline for one redesign attempt (sketch
+  /// snapshot + design + validation). Checked between stages: a late
+  /// result is discarded, never installed.
+  int redesign_timeout_ms = 30000;
+  /// Minimum sketch observations per (u, s, k) channel before a redesign
+  /// is attempted; below it the loop keeps waiting (drift stays flagged)
+  /// rather than burning retry budget on thin data.
+  uint64_t min_channel_count = 32;
+  /// How long an episode waits for post-drift sketches to ripen before
+  /// falling back to the pre-trip sketch snapshot. A live stream ripens
+  /// fresh sketches well inside this and gets a pure post-shift redesign;
+  /// a stream that went quiet right after tripping (e.g. a finite replay
+  /// draining) falls back to the stashed mixture — which still contains
+  /// the drifted suffix — instead of waiting forever.
+  int fresh_sketch_wait_ms = 2000;
+  /// Designer knobs for the rebuilt plan. Grid resolution (n_q), lambdas
+  /// and target_t are always inherited from the live plan so the
+  /// replacement is drop-in compatible; the solver/marginal/pseudo-sample
+  /// fields apply as-is.
+  core::DesignOptions design;
+  /// Fault-injection spec (see FaultInjector). Empty falls back to
+  /// `ServiceOptions::faults`, then the OTFAIR_FAULTS environment
+  /// variable.
+  std::string faults;
+};
+
+/// Counters of the self-heal loop (monotone over the redesigner lifetime).
+struct RedesignerStats {
+  /// Drift episodes started (ready sketches + tripped thresholds).
+  uint64_t drift_trips = 0;
+  /// Redesign attempts, including retries.
+  uint64_t attempts = 0;
+  /// Failed attempts (any stage: snapshot, design, validation, reload).
+  uint64_t failures = 0;
+  /// Successful redesign hot-swaps.
+  uint64_t reloads = 0;
+  /// Episodes that exhausted every retry and flagged `degraded`.
+  uint64_t gave_up = 0;
+};
+
+/// The self-healing loop: a background thread that watches the service's
+/// drift verdict and, when it trips, rebuilds the repair plan from the
+/// streaming quantile sketches and hot-swaps it — no raw-row retention, no
+/// restart, no dropped requests.
+///
+/// One drift episode runs: restart the channel sketches (so the redesign
+/// sees post-drift traffic only, not the stale mixture accumulated since
+/// plan install) -> wait until every channel ripens past
+/// `min_channel_count` -> snapshot sketches -> DesignFromQuantileFunctions
+/// (inheriting the live plan's geometry) -> validate (structural Validate,
+/// sketch-fit W1 must clear the drift threshold AND improve on the current
+/// drift level) -> ReloadPlan. Failures retry with exponential backoff up
+/// to `max_retries`; the old snapshot serves untouched throughout, and
+/// exhaustion flags the service `degraded` instead of dying. A successful
+/// reload resets the drift accumulator and sketches by construction (they
+/// live in the plan snapshot), and the episode cooldown guards against
+/// flapping. Degraded is sticky until the next successful reload (the
+/// loop's own later success, after cooldown, or an operator `reload`).
+class Redesigner {
+ public:
+  /// Validates options, resolves the fault spec and starts the thread.
+  /// `service` must outlive the redesigner.
+  static common::Result<std::unique_ptr<Redesigner>> Create(
+      RepairService* service, const RedesignerOptions& options = {});
+
+  ~Redesigner();
+
+  Redesigner(const Redesigner&) = delete;
+  Redesigner& operator=(const Redesigner&) = delete;
+
+  /// Stops and joins the background thread (idempotent).
+  void Stop();
+
+  RedesignerStats stats() const;
+
+  /// True while a drift episode is being worked (redesign or backoff in
+  /// progress). Replay drivers drain on this before judging final health.
+  bool busy() const { return busy_.load(std::memory_order_relaxed); }
+
+  /// Last attempt failure (Ok if none); for logs and tests.
+  common::Status last_error() const;
+
+  /// One synchronous redesign attempt — the unit the background loop
+  /// retries. Public for tests and the redesign_to_reload benchmark; the
+  /// background loop calls exactly this. `sketches_override`, when given,
+  /// replaces the live sketch snapshot as the design input (the loop's
+  /// stale-stream fallback); the caller keeps ownership.
+  common::Status AttemptRedesign(
+      const std::vector<stats::QuantileSketch>* sketches_override = nullptr);
+
+ private:
+  Redesigner(RepairService* service, const RedesignerOptions& options,
+             FaultInjector faults);
+
+  void Loop();
+  /// One poll: cooldown/degraded/drift checks, then a full episode
+  /// (attempts + backoff) if drift tripped and sketches are ready.
+  void StepOnce();
+  /// Interruptible sleep; returns false if stopped while waiting.
+  bool SleepUnlessStopped(int ms);
+
+  RepairService* service_;
+  RedesignerOptions options_;
+  FaultInjector faults_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  /// Episode-open state (loop thread only). See StepOnce: a tripped
+  /// monitor first stashes and resets the sketches, then waits for
+  /// post-drift traffic to ripen fresh ones — falling back to the stash
+  /// after `fresh_sketch_wait_ms` if the stream went quiet.
+  bool fresh_sketches_ = false;
+  std::vector<stats::QuantileSketch> stashed_sketches_;
+  std::chrono::steady_clock::time_point fresh_since_;
+  RedesignerStats stats_;
+  common::Status last_error_;
+  std::chrono::steady_clock::time_point cooldown_until_;
+
+  std::atomic<bool> busy_{false};
+  std::thread thread_;
+};
+
+}  // namespace otfair::serve
+
+#endif  // OTFAIR_SERVE_REDESIGNER_H_

@@ -22,7 +22,33 @@ struct RepairService::Snapshot {
   struct DriftShard {
     std::mutex mu;
     core::DriftMonitor monitor;
+    /// Per-channel streaming quantile sketches (same (u, s, k) state order
+    /// as the monitor), fed on sampled rows under the same shard lock.
+    /// Empty when sketching is disabled.
+    std::vector<stats::QuantileSketch> sketches;
     explicit DriftShard(core::DriftMonitor m) : monitor(std::move(m)) {}
+
+    /// One valid row into the drift histograms and (on sampled row
+    /// indices) the quantile sketches. Sampling keys off the request's
+    /// row_index — deterministic in the request identity, so replays
+    /// sketch identically regardless of interleaving. Caller holds `mu`.
+    void ObserveRow(const RowRequest& request, size_t dim, size_t s_levels,
+                    uint64_t sketch_every) {
+      for (size_t k = 0; k < dim; ++k)
+        monitor.Observe(request.u, request.s, k, request.features[k]);
+      if (sketches.empty()) return;
+      // Sampling keys off row_index alone, so the hot path pays one mask
+      // (the default cadence 16 — any power of two — avoids the 64-bit
+      // modulo) and the 15/16 unsampled rows skip the sketch loop cold.
+      const bool sampled = (sketch_every & (sketch_every - 1)) == 0
+                               ? (request.row_index & (sketch_every - 1)) == 0
+                               : request.row_index % sketch_every == 0;
+      if (!sampled) return;
+      const size_t base = (static_cast<size_t>(request.u) * s_levels +
+                           static_cast<size_t>(request.s)) *
+                          dim;
+      for (size_t k = 0; k < dim; ++k) sketches[base + k].Add(request.features[k]);
+    }
   };
   /// unique_ptr per shard: mutexes are neither movable nor copyable.
   std::vector<std::unique_ptr<DriftShard>> drift_shards;
@@ -41,12 +67,16 @@ struct RepairService::Snapshot {
 std::string ServiceHealth::ToJson() const {
   common::JsonWriter w;
   w.BeginObject()
-      .Key("healthy").Bool(!drifted)
+      .Key("healthy").Bool(!drifted && !degraded)
+      .Key("state").String(state())
       .Key("drifted").Bool(drifted)
+      .Key("degraded").Bool(degraded)
       .Key("worst_w1").Double(worst_w1)
       .Key("worst_out_of_range").Double(worst_out_of_range)
       .Key("values_observed").Uint(values_observed)
       .Key("plan_version").Uint(plan_version)
+      .Key("reloads_total").Uint(reloads_total)
+      .Key("reloads_failed").Uint(reloads_failed)
       .EndObject();
   return w.str();
 }
@@ -66,12 +96,15 @@ Result<std::shared_ptr<RepairService::Snapshot>> RepairService::BuildSnapshot(
   repair_options.threads = options.threads;
   // The drift monitors copy what they need from the plans before the
   // repairer takes ownership.
+  const size_t sketch_channels =
+      options.sketch_sample_every > 0 ? plans.u_levels() * plans.s_levels() * plans.dim() : 0;
   std::vector<std::unique_ptr<Snapshot::DriftShard>> shards;
   shards.reserve(options.drift_shards);
   for (size_t i = 0; i < options.drift_shards; ++i) {
     auto monitor = core::DriftMonitor::Create(plans, options.drift);
     if (!monitor.ok()) return monitor.status();
     shards.push_back(std::make_unique<Snapshot::DriftShard>(std::move(*monitor)));
+    shards.back()->sketches.resize(sketch_channels);
   }
   auto repairer = core::OffSampleRepairer::Create(std::move(plans), repair_options);
   if (!repairer.ok()) return repairer.status();
@@ -149,8 +182,7 @@ Status RepairService::RepairRow(const RowRequest& request, RowResponse* response
     Snapshot::DriftShard& shard =
         *snap->drift_shards[snap->ShardFor(request.session_id, request.row_index)];
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (size_t k = 0; k < dim_; ++k)
-      shard.monitor.Observe(request.u, request.s, k, request.features[k]);
+    shard.ObserveRow(request, dim_, s_levels_, options_.sketch_sample_every);
   } else {
     metrics_.AddInvalid(1);
   }
@@ -245,40 +277,65 @@ void RepairService::RepairBatch(const RowRequest* requests, size_t count,
   std::lock_guard<std::mutex> lock(shard.mu);
   for (size_t i = 0; i < count; ++i) {
     if (!(*responses)[i].status.ok()) continue;
-    const RowRequest& request = requests[i];
-    for (size_t k = 0; k < dim_; ++k)
-      shard.monitor.Observe(request.u, request.s, k, request.features[k]);
+    shard.ObserveRow(requests[i], dim_, s_levels_, options_.sketch_sample_every);
   }
 }
 
 Status RepairService::ReloadPlan(core::RepairPlanSet plans) {
+  // Concurrent reloads serialize here and resolve last-writer-wins: each
+  // successful caller reads the then-current version under the lock and
+  // installs version + 1, so Version() is strictly monotone and the final
+  // snapshot is the last caller's plan.
   std::lock_guard<std::mutex> lock(reload_mu_);
-  if (plans.dim() != dim_)
-    return Status::InvalidArgument("reload plan has dim " + std::to_string(plans.dim()) +
-                                   ", service serves dim " + std::to_string(dim_));
-  if (plans.s_levels() != s_levels_ || plans.u_levels() != u_levels_)
-    return Status::InvalidArgument(
-        "reload plan has |S|=" + std::to_string(plans.s_levels()) + ", |U|=" +
-        std::to_string(plans.u_levels()) + "; service serves |S|=" +
-        std::to_string(s_levels_) + ", |U|=" + std::to_string(u_levels_));
-  const uint64_t next_version = snapshot_.load(std::memory_order_acquire)->version + 1;
-  auto snapshot = BuildSnapshot(std::move(plans), options_, next_version);
-  if (!snapshot.ok()) return snapshot.status();
-  // The swap itself: one release store. Readers that loaded the old
-  // snapshot keep it alive until their request completes.
-  snapshot_.store(std::move(*snapshot), std::memory_order_release);
+  Status status = [&]() -> Status {
+    if (plans.dim() != dim_)
+      return Status::InvalidArgument("reload plan has dim " + std::to_string(plans.dim()) +
+                                     ", service serves dim " + std::to_string(dim_));
+    if (plans.s_levels() != s_levels_ || plans.u_levels() != u_levels_)
+      return Status::InvalidArgument(
+          "reload plan has |S|=" + std::to_string(plans.s_levels()) + ", |U|=" +
+          std::to_string(plans.u_levels()) + "; service serves |S|=" +
+          std::to_string(s_levels_) + ", |U|=" + std::to_string(u_levels_));
+    const uint64_t next_version = snapshot_.load(std::memory_order_acquire)->version + 1;
+    auto snapshot = BuildSnapshot(std::move(plans), options_, next_version);
+    if (!snapshot.ok()) return snapshot.status();
+    // The swap itself: one release store. Readers that loaded the old
+    // snapshot keep it alive until their request completes.
+    snapshot_.store(std::move(*snapshot), std::memory_order_release);
+    return Status::Ok();
+  }();
+  if (!status.ok()) {
+    metrics_.AddReloadFailed();
+    return status;
+  }
   metrics_.AddReload();
+  // A fresh healthy plan supersedes any stuck self-heal verdict.
+  degraded_.store(false, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status RepairService::ReloadPlanFromFile(const std::string& path) {
   auto plans = core::RepairPlanSet::LoadFromFile(path);
-  if (!plans.ok()) return plans.status();
+  if (!plans.ok()) {
+    metrics_.AddReloadFailed();
+    return plans.status();
+  }
   return ReloadPlan(std::move(*plans));
 }
 
 uint64_t RepairService::plan_version() const {
   return snapshot_.load(std::memory_order_acquire)->version;
+}
+
+RepairService::PlanGeometry RepairService::Geometry() const {
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  const core::RepairPlanSet& plans = snap->repairer.plans();
+  PlanGeometry geometry;
+  geometry.feature_names = plans.feature_names();
+  geometry.n_q = plans.At(0, 0).grid.size();
+  geometry.lambdas = plans.lambdas();
+  geometry.target_t = plans.target_t();
+  return geometry;
 }
 
 core::DriftReport RepairService::DriftSnapshot() const {
@@ -295,14 +352,45 @@ core::DriftReport RepairService::DriftSnapshot() const {
   return merged.SnapshotReport();
 }
 
+std::vector<stats::QuantileSketch> RepairService::SketchSnapshot() const {
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  std::vector<stats::QuantileSketch> merged;
+  for (const auto& shard : snap->drift_shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->sketches.empty()) continue;
+    if (merged.empty()) {
+      merged = shard->sketches;  // copy under the shard lock
+      continue;
+    }
+    // Identical bucket geometry by construction; Merge cannot fail.
+    for (size_t c = 0; c < merged.size(); ++c) {
+      Status merge_status = merged[c].Merge(shard->sketches[c]);
+      (void)merge_status;
+    }
+  }
+  return merged;
+}
+
+void RepairService::ResetSketches() {
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  for (const auto& shard : snap->drift_shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (stats::QuantileSketch& sketch : shard->sketches) sketch.Reset();
+  }
+}
+
 ServiceHealth RepairService::Health() const {
   const core::DriftReport report = DriftSnapshot();
+  const MetricsSnapshot metrics = metrics_.Snapshot();
   ServiceHealth health;
   health.drifted = report.drifted;
+  health.degraded = degraded();
   health.worst_w1 = report.worst_w1;
   health.worst_out_of_range = report.worst_out_of_range;
   for (const core::ChannelDrift& c : report.channels) health.values_observed += c.count;
   health.plan_version = plan_version();
+  health.reloads_total = metrics.reloads;
+  health.reloads_failed = metrics.reloads_failed;
   return health;
 }
 

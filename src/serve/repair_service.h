@@ -14,6 +14,7 @@
 #include "core/repair_plan.h"
 #include "core/repairer.h"
 #include "serve/metrics.h"
+#include "stats/quantile_sketch.h"
 
 namespace otfair::serve {
 
@@ -49,14 +50,30 @@ struct RowResponse {
 };
 
 /// Drift-based health verdict of the live plan snapshot.
+///
+/// The overall state is one of three strings (in `state()` / the JSON
+/// "state" field): "healthy", "drifted" (the drift thresholds tripped and
+/// no redesign has landed yet), or "degraded" (self-heal exhausted its
+/// retries — the service keeps serving the last good snapshot, but an
+/// operator should intervene). Degraded dominates drifted.
 struct ServiceHealth {
   bool drifted = false;
+  /// Self-heal gave up (see RepairService::SetDegraded); serving continues
+  /// on the old snapshot. Cleared by the next successful plan reload.
+  bool degraded = false;
   double worst_w1 = 0.0;
   double worst_out_of_range = 0.0;
   /// Total values streamed into the drift accumulator since the current
   /// plan snapshot was installed.
   uint64_t values_observed = 0;
   uint64_t plan_version = 1;
+  /// Plan hot-swaps served / rejected over the service lifetime.
+  uint64_t reloads_total = 0;
+  uint64_t reloads_failed = 0;
+
+  const char* state() const {
+    return degraded ? "degraded" : (drifted ? "drifted" : "healthy");
+  }
 
   std::string ToJson() const;
 };
@@ -74,6 +91,15 @@ struct ServiceOptions {
   /// contention under concurrent traffic.
   size_t drift_shards = 8;
   core::DriftMonitorOptions drift;
+  /// Per-channel streaming quantile sketches feed on every
+  /// `sketch_sample_every`-th row index (the same 1/16 cadence as batcher
+  /// latency sampling, so hot-path cost stays negligible). 0 disables
+  /// sketch accumulation (and with it sketch-based redesign).
+  uint64_t sketch_sample_every = 16;
+  /// Fault-injection spec for the self-heal path (see serve::FaultInjector
+  /// for the syntax). Empty defers to the OTFAIR_FAULTS environment
+  /// variable; production leaves both unset.
+  std::string faults;
 };
 
 /// A long-lived, thread-safe repair server over a `RepairPlanSet`.
@@ -132,7 +158,18 @@ class RepairService {
   /// contract of live sessions must not change under them). Existing
   /// traffic is never blocked or dropped; requests concurrent with the
   /// swap use whichever snapshot they acquired first. The drift
-  /// accumulator restarts against the new plan.
+  /// accumulator (and the streaming sketches) restart against the new
+  /// plan, and a successful reload clears any `degraded` verdict.
+  ///
+  /// Concurrent reloads: calls serialize on an internal mutex (readers
+  /// never touch it) and resolve last-writer-wins — each successful call
+  /// installs its own plan with a version strictly greater than every
+  /// snapshot installed before it, so `plan_version()` is monotone and the
+  /// final state is the last caller's plan, never a torn mix. There is no
+  /// timeout: a reload blocks only on the preceding reload's snapshot
+  /// build (validation + alias tables), which is bounded CPU work, not
+  /// I/O. A failed reload (validation error) leaves the serving snapshot
+  /// untouched and counts into `reloads_failed`.
   common::Status ReloadPlan(core::RepairPlanSet plans);
   common::Status ReloadPlanFromFile(const std::string& path);
 
@@ -145,11 +182,44 @@ class RepairService {
   size_t u_levels() const { return u_levels_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// Design geometry of the live plan — what an online redesign inherits
+  /// so the rebuilt plan set stays drop-in compatible (the level-grid
+  /// contract): feature names, the n_Q support resolution, and the
+  /// barycentric weights/position.
+  struct PlanGeometry {
+    std::vector<std::string> feature_names;
+    size_t n_q = 0;
+    std::vector<double> lambdas;
+    double target_t = 0.5;
+  };
+  PlanGeometry Geometry() const;
+
   /// Merged drift report over all shards of the live snapshot.
   core::DriftReport DriftSnapshot() const;
 
+  /// Merged per-channel quantile sketches of the live snapshot, indexed
+  /// `(u * s_levels + s) * dim + k` (the DriftMonitor state order). Shard
+  /// merge order is irrelevant — QuantileSketch::Merge is exactly
+  /// commutative/associative — so the result is deterministic for a given
+  /// set of observed rows. Empty when `sketch_sample_every` is 0.
+  std::vector<stats::QuantileSketch> SketchSnapshot() const;
+
+  /// Restarts every channel sketch of the live snapshot (the drift
+  /// accumulator is untouched). The self-heal loop calls this when a drift
+  /// episode opens, so the redesign input reflects post-drift traffic only
+  /// — sketches accumulated since plan install are dominated by the
+  /// pre-shift distribution and would bake the stale mixture into the
+  /// redesigned plan. No-op when sketching is disabled.
+  void ResetSketches();
+
   /// Cheap health verdict (thresholds from options.drift).
   ServiceHealth Health() const;
+
+  /// Flags (or clears) the degraded verdict — set by the self-heal loop
+  /// after retry exhaustion; cleared automatically by a successful
+  /// ReloadPlan. Serving is never interrupted either way.
+  void SetDegraded(bool degraded) { degraded_.store(degraded, std::memory_order_relaxed); }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
@@ -183,6 +253,7 @@ class RepairService {
   std::atomic<uint64_t> batch_counter_{0};
   /// Serializes reloads (readers never touch it).
   std::mutex reload_mu_;
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace otfair::serve

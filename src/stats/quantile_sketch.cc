@@ -1,0 +1,174 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace otfair::stats {
+
+using common::Status;
+
+namespace {
+
+/// Magnitudes below this collapse into the zero bucket; above the inverse,
+/// into the top bucket. Together with the log-bin geometry this caps the
+/// key span (and therefore sketch memory) at a constant.
+constexpr double kMinAbs = 1e-12;
+constexpr double kMaxAbs = 1e12;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(const Options& options) {
+  alpha_ = std::min(0.25, std::max(1e-4, options.relative_accuracy));
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  min_key_ = static_cast<int>(std::ceil(std::log(kMinAbs) * inv_log_gamma_));
+  max_key_ = static_cast<int>(std::ceil(std::log(kMaxAbs) * inv_log_gamma_));
+}
+
+void QuantileSketch::Store::Add(int key, uint64_t n) {
+  if (counts.empty()) {
+    base = key;
+    counts.push_back(n);
+    return;
+  }
+  if (key < base) {
+    counts.insert(counts.begin(), static_cast<size_t>(base - key), 0);
+    base = key;
+  } else if (key >= base + static_cast<int>(counts.size())) {
+    counts.resize(static_cast<size_t>(key - base) + 1, 0);
+  }
+  counts[static_cast<size_t>(key - base)] += n;
+}
+
+int QuantileSketch::KeyFor(double abs_value) const {
+  const double k = std::ceil(std::log(abs_value) * inv_log_gamma_);
+  if (k <= min_key_) return min_key_;
+  if (k >= max_key_) return max_key_;
+  return static_cast<int>(k);
+}
+
+double QuantileSketch::BucketValue(int key) const {
+  // Midpoint (in the relative sense) of the bucket (gamma^{k-1}, gamma^k]:
+  // worst-case relative error alpha for any value in the bucket.
+  return 2.0 * std::pow(gamma_, key) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::Add(double x) {
+  if (!std::isfinite(x)) {
+    ++dropped_;
+    return;
+  }
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double ax = std::fabs(x);
+  if (ax < kMinAbs) {
+    ++zero_count_;
+  } else if (x > 0.0) {
+    positive_.Add(KeyFor(ax), 1);
+  } else {
+    negative_.Add(KeyFor(ax), 1);
+  }
+}
+
+Status QuantileSketch::Merge(const QuantileSketch& other) {
+  if (std::fabs(alpha_ - other.alpha_) > 1e-12)
+    return Status::InvalidArgument("cannot merge sketches with different relative accuracy");
+  for (size_t i = 0; i < other.negative_.counts.size(); ++i)
+    if (other.negative_.counts[i] > 0)
+      negative_.Add(other.negative_.base + static_cast<int>(i), other.negative_.counts[i]);
+  for (size_t i = 0; i < other.positive_.counts.size(); ++i)
+    if (other.positive_.counts[i] > 0)
+      positive_.Add(other.positive_.base + static_cast<int>(i), other.positive_.counts[i]);
+  zero_count_ += other.zero_count_;
+  dropped_ += other.dropped_;
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+  }
+  return Status::Ok();
+}
+
+double QuantileSketch::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double QuantileSketch::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+template <typename Fn>
+void QuantileSketch::ForEachBucketAscending(Fn&& fn) const {
+  for (size_t i = negative_.counts.size(); i-- > 0;) {
+    if (negative_.counts[i] > 0)
+      fn(-BucketValue(negative_.base + static_cast<int>(i)), negative_.counts[i]);
+  }
+  if (zero_count_ > 0) fn(0.0, zero_count_);
+  for (size_t i = 0; i < positive_.counts.size(); ++i) {
+    if (positive_.counts[i] > 0)
+      fn(BucketValue(positive_.base + static_cast<int>(i)), positive_.counts[i]);
+  }
+}
+
+double QuantileSketch::Quantile(double p) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::min(1.0, std::max(0.0, p));
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
+  // 0-based rank of the order statistic the estimate targets.
+  const uint64_t rank =
+      static_cast<uint64_t>(p * static_cast<double>(count_ - 1));
+  uint64_t cumulative = 0;
+  double result = max_;
+  bool found = false;
+  ForEachBucketAscending([&](double value, uint64_t n) {
+    if (found) return;
+    cumulative += n;
+    if (cumulative > rank) {
+      result = value;
+      found = true;
+    }
+  });
+  return std::min(max_, std::max(min_, result));
+}
+
+double QuantileSketch::Cdf(double x) const {
+  if (count_ == 0) return 0.0;
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  uint64_t below = 0;
+  ForEachBucketAscending([&](double value, uint64_t n) {
+    if (value <= x) below += n;
+  });
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+void QuantileSketch::Reset() {
+  negative_.counts.clear();
+  positive_.counts.clear();
+  negative_.base = 0;
+  positive_.base = 0;
+  zero_count_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+size_t QuantileSketch::bucket_count() const {
+  return negative_.counts.size() + positive_.counts.size() + (zero_count_ > 0 ? 1 : 0);
+}
+
+}  // namespace otfair::stats

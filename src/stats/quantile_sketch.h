@@ -1,0 +1,111 @@
+#ifndef OTFAIR_STATS_QUANTILE_SKETCH_H_
+#define OTFAIR_STATS_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace otfair::stats {
+
+/// A mergeable, bounded-memory streaming quantile sketch with relative
+/// value-accuracy guarantees (DDSketch-style log-binned buckets).
+///
+/// Every finite value lands in a bucket keyed by ceil(log_gamma |x|), with
+/// gamma = (1 + alpha) / (1 - alpha), so any returned quantile q satisfies
+/// |q - x_true| <= alpha * |x_true| for the value it estimates (plus the
+/// usual half-rank discretization). Keys are clamped to the magnitude range
+/// [1e-12, 1e12], which bounds the sketch at ~5.5k buckets (~44 KB) at the
+/// default alpha = 0.01 no matter how many values stream in — in practice a
+/// serving channel touches a few hundred buckets. Exact min/max/count are
+/// tracked on the side, so extreme quantiles are exact.
+///
+/// Determinism and merge algebra: the sketch holds no RNG state and merging
+/// is element-wise integer addition of bucket counts, so `Merge` is exactly
+/// commutative and associative — per-thread sketches merged in ANY order
+/// yield bit-identical quantile estimates. This is the property the serving
+/// redesign path leans on: sharded per-channel sketches can be snapshotted
+/// and combined without coordinating with writers' merge order.
+class QuantileSketch {
+ public:
+  struct Options {
+    /// Relative value accuracy alpha in (0, 0.25]; values outside are
+    /// clamped. Smaller alpha = finer buckets = more memory (the bucket
+    /// ceiling scales as 1/alpha).
+    double relative_accuracy = 0.01;
+  };
+
+  QuantileSketch() : QuantileSketch(Options{}) {}
+  explicit QuantileSketch(const Options& options);
+
+  /// Streams one value in. Non-finite values are dropped (counted in
+  /// `dropped()`), never folded into the distribution.
+  void Add(double x);
+
+  /// Folds `other` into this sketch. Requires identical relative accuracy
+  /// (bucket geometry). Commutative and associative in the exact sense.
+  common::Status Merge(const QuantileSketch& other);
+
+  /// Finite values observed.
+  uint64_t count() const { return count_; }
+  /// Non-finite values rejected by Add.
+  uint64_t dropped() const { return dropped_; }
+  /// Exact extremes of the observed values; NaN when empty.
+  double min() const;
+  double max() const;
+
+  /// Estimated p-quantile (p clamped to [0, 1]); NaN when empty. p = 0 and
+  /// p = 1 return the exact min/max, and every estimate is clamped into
+  /// [min, max].
+  double Quantile(double p) const;
+
+  /// Estimated fraction of observed mass <= x; 0 when empty.
+  double Cdf(double x) const;
+
+  /// Drops all observed state, keeping the bucket geometry.
+  void Reset();
+
+  /// Occupied bucket-array length (a memory gauge, exposed for tests and
+  /// the bounded-memory claim).
+  size_t bucket_count() const;
+
+  double relative_accuracy() const { return alpha_; }
+
+ private:
+  /// One sign's bucket array: counts over a contiguous key range starting
+  /// at `base`. Grown on demand; key clamping bounds its length.
+  struct Store {
+    std::vector<uint64_t> counts;
+    int base = 0;
+
+    void Add(int key, uint64_t n);
+    bool empty() const { return counts.empty(); }
+  };
+
+  int KeyFor(double abs_value) const;
+  double BucketValue(int key) const;
+
+  /// Invokes fn(value_estimate, count) over every non-empty bucket in
+  /// ascending value order: negatives (descending key), zero, positives
+  /// (ascending key).
+  template <typename Fn>
+  void ForEachBucketAscending(Fn&& fn) const;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  int min_key_;
+  int max_key_;
+
+  Store negative_;
+  Store positive_;
+  uint64_t zero_count_ = 0;
+  uint64_t count_ = 0;
+  uint64_t dropped_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace otfair::stats
+
+#endif  // OTFAIR_STATS_QUANTILE_SKETCH_H_

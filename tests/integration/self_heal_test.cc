@@ -1,0 +1,237 @@
+// The self-healing serving loop, end to end and in-process: a stream that
+// shifts mid-flight trips the drift monitor, the background redesigner
+// rebuilds the plan from streaming quantile sketches (no raw-row
+// retention) and hot-swaps it — zero dropped requests, no restart — and
+// the paper's E-metric on service-repaired post-shift traffic lands back
+// below threshold. This closes the loop the redesigner's internal W1 fit
+// gate only proxies.
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/designer.h"
+#include "core/repairer.h"
+#include "data/dataset.h"
+#include "fairness/emetric.h"
+#include "serve/redesigner.h"
+#include "serve/repair_service.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shifts every feature of `dataset` by `shift`, keeping labels — the
+/// mid-stream covariate shift of the acceptance scenario.
+data::Dataset Shifted(const data::Dataset& dataset, double shift) {
+  common::Matrix features(dataset.size(), dataset.dim());
+  for (size_t i = 0; i < dataset.size(); ++i)
+    for (size_t k = 0; k < dataset.dim(); ++k)
+      features(i, k) = dataset.feature(i, k) + shift;
+  auto shifted = data::Dataset::Create(std::move(features), dataset.s_labels(),
+                                       dataset.u_labels(), dataset.feature_names());
+  EXPECT_TRUE(shifted.ok());
+  return std::move(*shifted);
+}
+
+/// Streams rows [begin, end) of `archive` through the service as session
+/// `session`, asserting zero drops, and returns the repaired features.
+/// `row_base` offsets the request row indices (default: the dataset row),
+/// for continuing streams that recycle archive rows.
+common::Matrix StreamRows(serve::RepairService* service, const data::Dataset& archive,
+                          size_t begin, size_t end, uint64_t session = 0,
+                          uint64_t row_base = static_cast<uint64_t>(-1)) {
+  std::vector<serve::RowRequest> requests;
+  requests.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    serve::RowRequest request;
+    request.session_id = session;
+    request.row_index = row_base == static_cast<uint64_t>(-1) ? i : row_base + (i - begin);
+    request.u = archive.u(i);
+    request.s = archive.s(i);
+    request.features = archive.Row(i);
+    requests.push_back(std::move(request));
+  }
+  std::vector<serve::RowResponse> responses;
+  service->RepairBatch(requests.data(), requests.size(), &responses);
+  common::Matrix repaired(end - begin, archive.dim());
+  EXPECT_EQ(responses.size(), end - begin);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << "row " << begin + i << " dropped: "
+                                          << responses[i].status;
+    for (size_t k = 0; k < archive.dim(); ++k)
+      repaired(i, k) = responses[i].repaired[k];
+  }
+  return repaired;
+}
+
+double EMetricOf(common::Matrix features, const data::Dataset& labels_from, size_t begin,
+                 size_t end) {
+  std::vector<int> s(labels_from.s_labels().begin() + static_cast<ptrdiff_t>(begin),
+                     labels_from.s_labels().begin() + static_cast<ptrdiff_t>(end));
+  std::vector<int> u(labels_from.u_labels().begin() + static_cast<ptrdiff_t>(begin),
+                     labels_from.u_labels().begin() + static_cast<ptrdiff_t>(end));
+  auto dataset = data::Dataset::Create(std::move(features), std::move(s), std::move(u),
+                                       labels_from.feature_names());
+  EXPECT_TRUE(dataset.ok());
+  auto e = fairness::AggregateE(*dataset);
+  EXPECT_TRUE(e.ok()) << e.status();
+  return *e;
+}
+
+TEST(SelfHealIntegrationTest, MidStreamShiftConvergesBelowThresholdWithZeroDrops) {
+  // Design on research data, then serve a stream whose distribution shifts
+  // a third of the way in: rows [0, cut) match the design, rows [cut, n)
+  // are shifted by +2 sigma in every channel.
+  common::Rng rng(1);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(800, config, rng);
+  auto archive = sim::SimulateGaussianMixture(9000, config, rng);
+  ASSERT_TRUE(research.ok() && archive.ok());
+  auto plans = core::DesignDistributionalRepair(*research, {});
+  ASSERT_TRUE(plans.ok());
+  const size_t cut = 3000;
+  const data::Dataset shifted = Shifted(*archive, 2.0);
+
+  serve::ServiceOptions service_options;
+  service_options.sketch_sample_every = 1;
+  auto service = serve::RepairService::Create(*plans, service_options);
+  ASSERT_TRUE(service.ok());
+  serve::RedesignerOptions heal_options;
+  heal_options.poll_interval_ms = 5;
+  heal_options.backoff_initial_ms = 1;
+  auto redesigner = serve::Redesigner::Create(service->get(), heal_options);
+  ASSERT_TRUE(redesigner.ok());
+
+  // Phase 1: pre-shift traffic. Healthy, no redesign.
+  StreamRows(service->get(), *archive, 0, cut);
+  EXPECT_FALSE((*service)->Health().drifted);
+  EXPECT_EQ((*service)->plan_version(), 1u);
+
+  // Phase 2: the shift hits. Keep streaming shifted traffic (row indices
+  // keep counting, archive rows recycle) until the self-heal loop trips,
+  // restarts its sketches, ripens them on the post-shift stream, redesigns
+  // and hot-swaps — mid-stream, on the live service, with every row still
+  // answered.
+  size_t next = cut;
+  const Clock::time_point deadline = Clock::now() + std::chrono::seconds(120);
+  while ((*service)->plan_version() < 2 && Clock::now() < deadline) {
+    const size_t src = next % shifted.size();
+    const size_t end = std::min(src + 500, shifted.size());
+    StreamRows(service->get(), shifted, src, end, /*session=*/0, /*row_base=*/next);
+    next += end - src;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE((*service)->plan_version(), 2u)
+      << "self-heal never reloaded; last error: " << (*redesigner)->last_error();
+
+  // Phase 3: post-heal traffic — a fresh session replaying the shifted
+  // tail. The redesigned plan serves it; drift must stay quiet and the
+  // E-metric on the repaired rows must land back below threshold.
+  const size_t tail_begin = cut;
+  const common::Matrix healed = StreamRows((*service).get(), shifted, tail_begin,
+                                           shifted.size(), /*session=*/1);
+  const serve::ServiceHealth health = (*service)->Health();
+  EXPECT_FALSE(health.drifted) << "worst_w1 " << health.worst_w1;
+  EXPECT_FALSE(health.degraded);
+  EXPECT_STREQ(health.state(), "healthy");
+
+  // Zero drops across all phases: every accepted row was repaired.
+  const serve::MetricsSnapshot metrics = (*service)->metrics().Snapshot();
+  EXPECT_EQ(metrics.rows_invalid, 0u);
+  EXPECT_EQ(metrics.rows_rejected, 0u);
+  EXPECT_EQ(metrics.rows_repaired, metrics.rows_accepted);
+
+  // The convergence claim, on the paper's own measure. A uniform shift
+  // leaves the raw s|u dependence intact (~0.5), the STALE plan repairs
+  // the shifted stream poorly, and the redesigned plan restores E to the
+  // repaired regime (threshold 0.05; the seed design achieves ~0.006 on
+  // in-distribution data).
+  const double e_raw = EMetricOf(
+      [&] {
+        common::Matrix raw(shifted.size() - tail_begin, shifted.dim());
+        for (size_t i = tail_begin; i < shifted.size(); ++i)
+          for (size_t k = 0; k < shifted.dim(); ++k)
+            raw(i - tail_begin, k) = shifted.feature(i, k);
+        return raw;
+      }(),
+      shifted, tail_begin, shifted.size());
+  core::RepairOptions stale_options;
+  stale_options.seed = (*service)->SessionSeed(1);
+  auto stale_repairer = core::OffSampleRepairer::Create(*plans, stale_options);
+  ASSERT_TRUE(stale_repairer.ok());
+  auto stale_repaired = stale_repairer->RepairDataset(shifted);
+  ASSERT_TRUE(stale_repaired.ok());
+  double e_stale = EMetricOf(
+      [&] {
+        common::Matrix stale(shifted.size() - tail_begin, shifted.dim());
+        for (size_t i = tail_begin; i < shifted.size(); ++i)
+          for (size_t k = 0; k < shifted.dim(); ++k)
+            stale(i - tail_begin, k) = stale_repaired->feature(i, k);
+        return stale;
+      }(),
+      shifted, tail_begin, shifted.size());
+  const double e_healed = EMetricOf(healed, shifted, tail_begin, shifted.size());
+
+  EXPECT_GT(e_raw, 0.3);          // the shift does not hide the unfairness
+  EXPECT_LT(e_healed, 0.05);      // the acceptance threshold
+  EXPECT_LT(e_healed, e_stale);   // strictly better than serving the stale plan
+  EXPECT_LT(e_healed, e_raw / 5); // and a real repair, not a no-op
+
+  (*redesigner)->Stop();
+}
+
+TEST(SelfHealIntegrationTest, InjectedFaultDegradesWithoutDroppingTraffic) {
+  // The graceful-degradation acceptance: with redesign forced to fail,
+  // the same shifted stream ends degraded-but-serving — every row
+  // answered on the old snapshot, health says degraded, process alive.
+  common::Rng rng(2);
+  const auto config = sim::GaussianSimConfig::PaperDefault();
+  auto research = sim::SimulateGaussianMixture(800, config, rng);
+  auto archive = sim::SimulateGaussianMixture(4000, config, rng);
+  ASSERT_TRUE(research.ok() && archive.ok());
+  auto plans = core::DesignDistributionalRepair(*research, {});
+  ASSERT_TRUE(plans.ok());
+  const data::Dataset shifted = Shifted(*archive, 2.0);
+
+  serve::ServiceOptions service_options;
+  service_options.sketch_sample_every = 1;
+  service_options.faults = "redesign_throw";  // every attempt fails
+  auto service = serve::RepairService::Create(*plans, service_options);
+  ASSERT_TRUE(service.ok());
+  serve::RedesignerOptions heal_options;
+  heal_options.poll_interval_ms = 5;
+  heal_options.max_retries = 2;
+  heal_options.backoff_initial_ms = 1;
+  heal_options.backoff_max_ms = 4;
+  auto redesigner = serve::Redesigner::Create(service->get(), heal_options);
+  ASSERT_TRUE(redesigner.ok());
+
+  StreamRows(service->get(), shifted, 0, shifted.size());
+  const Clock::time_point deadline = Clock::now() + std::chrono::seconds(30);
+  while (!(*service)->degraded() && Clock::now() < deadline) {
+    StreamRows(service->get(), shifted, 0, 200, /*session=*/7);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE((*service)->degraded());
+  // Still serving, on the original plan, with nothing dropped.
+  EXPECT_EQ((*service)->plan_version(), 1u);
+  StreamRows(service->get(), shifted, 0, 100, /*session=*/8);
+  const serve::MetricsSnapshot metrics = (*service)->metrics().Snapshot();
+  EXPECT_EQ(metrics.rows_invalid, 0u);
+  EXPECT_EQ(metrics.rows_rejected, 0u);
+  EXPECT_EQ(metrics.rows_repaired, metrics.rows_accepted);
+  EXPECT_STREQ((*service)->Health().state(), "degraded");
+  (*redesigner)->Stop();
+}
+
+}  // namespace
+}  // namespace otfair

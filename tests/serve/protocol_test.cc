@@ -1,5 +1,7 @@
 #include "serve/protocol.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace otfair::serve {
@@ -85,6 +87,83 @@ TEST(ProtocolMultiGroupTest, RejectsLabelsBeyondConfiguredLevels) {
   EXPECT_FALSE(ParseRequestLine("repair 1 2 0 4 0.5 1.5", 2, 3, 4).ok());  // s = |S|
   // The default bounds stay binary.
   EXPECT_FALSE(ParseRequestLine("repair 1 2 2 0 0.5 1.5", 2).ok());
+}
+
+// --- Hardening gauntlet -----------------------------------------------------
+//
+// Every case must come back as a clean InvalidArgument status — never a
+// crash, throw, or silently coerced field. The table covers truncation,
+// out-of-range labels, non-finite payloads, numeric-overflow spellings,
+// binary junk, and oversized lines.
+
+struct GarbageCase {
+  const char* name;
+  std::string line;
+};
+
+std::string RepeatChar(char c, size_t n) { return std::string(n, c); }
+
+TEST(ProtocolHardeningTest, GarbageLinesNeverCrashAndReportStructuredErrors) {
+  const GarbageCase kCases[] = {
+      {"empty", ""},
+      {"whitespace_only", "   \t  \t "},
+      {"truncated_verb", "rep"},
+      {"truncated_repair_no_fields", "repair"},
+      {"truncated_repair_mid_header", "repair 0 0"},
+      {"truncated_repair_missing_last_feature", "repair 0 0 0 1 1.0"},
+      {"nan_feature", "repair 0 0 0 1 nan 2.0"},
+      {"nan_uppercase", "repair 0 0 0 1 NaN 2.0"},
+      {"inf_feature", "repair 0 0 0 1 1.0 inf"},
+      {"negative_inf", "repair 0 0 0 1 -inf 2.0"},
+      {"infinity_spelled_out", "repair 0 0 0 1 Infinity 2.0"},
+      {"overflowing_double", "repair 0 0 0 1 1e999 2.0"},
+      {"hex_session", "repair 0x10 0 0 1 1.0 2.0"},
+      {"float_row_index", "repair 0 1.5 0 1 1.0 2.0"},
+      {"u_out_of_range", "repair 0 0 9 0 1.0 2.0"},
+      {"s_out_of_range", "repair 0 0 0 9 1.0 2.0"},
+      {"huge_u", "repair 0 0 18446744073709551615 0 1.0 2.0"},
+      {"overflow_session", "repair 99999999999999999999999 0 0 1 1.0 2.0"},
+      {"trailing_junk_on_number", "repair 0 0 0 1 1.0x 2.0"},
+      {"embedded_nul_like_junk", std::string("repair 0 0 0 1 1.0 2.0\x01\x02")},
+      {"binary_junk_verb", std::string("\xff\xfe\x00garbage", 10)},
+      {"reload_no_path", "reload"},
+      {"reload_two_paths", "reload a b"},
+      {"unknown_verb", "destroy everything"},
+      {"feature_is_binary_noise", "repair 0 0 0 1 \x07\x1b[31m 2.0"},
+      {"oversized_line", "repair 0 0 0 1 " + RepeatChar('9', kMaxRequestLineBytes + 64)},
+      {"oversized_whitespace", RepeatChar(' ', kMaxRequestLineBytes + 1)},
+  };
+  for (const GarbageCase& c : kCases) {
+    auto request = ParseRequestLine(c.line, 2);
+    ASSERT_FALSE(request.ok()) << "case " << c.name << " was accepted";
+    EXPECT_EQ(request.status().code(), common::StatusCode::kInvalidArgument)
+        << "case " << c.name;
+    // The error must render as a single sane response line: no control
+    // characters leaked from the input, no unbounded echo.
+    const std::string rendered = FormatErrorLine(request.status());
+    EXPECT_LT(rendered.size(), 512u) << "case " << c.name;
+    for (char ch : rendered)
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20)
+          << "case " << c.name << " leaked a control character";
+  }
+}
+
+TEST(ProtocolHardeningTest, BadFeatureEchoIsTruncatedAndSanitized) {
+  const std::string junk(500, 'z');
+  auto request = ParseRequestLine("repair 0 0 0 1 " + junk + " 2.0", 2);
+  ASSERT_FALSE(request.ok());
+  // At most a 32-char prefix of the offending token is echoed.
+  EXPECT_LT(request.status().message().size(), 128u);
+  EXPECT_NE(request.status().message().find("zzzz"), std::string::npos);
+}
+
+TEST(ProtocolHardeningTest, MaxSizedValidLineStillParses) {
+  // The ceiling rejects oversized lines, not long-but-valid ones.
+  std::string line = "repair 0 0 0 1 1.0 2.0";
+  line += RepeatChar(' ', kMaxRequestLineBytes - line.size());
+  EXPECT_TRUE(ParseRequestLine(line, 2).ok());
+  line += ' ';
+  EXPECT_FALSE(ParseRequestLine(line, 2).ok());
 }
 
 }  // namespace

@@ -300,6 +300,136 @@ TEST(RepairServiceTest, InvalidRowsReportPerRowStatus) {
   EXPECT_EQ((*service)->Health().values_observed, fx.archive.dim());
 }
 
+TEST(RepairServiceTest, ConcurrentReloadsAreMonotoneAndLastWriterWins) {
+  // The documented concurrent-reload contract: calls serialize, every
+  // successful call installs a strictly greater version (no torn or
+  // reordered installs), and observed versions never decrease.
+  Fixture fx = MakeFixture(12);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  constexpr int kThreads = 4;
+  constexpr int kReloadsPerThread = 25;
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> monotonicity_violations{0};
+  // A watcher hammers plan_version() and Health() during the storm: the
+  // version must be non-decreasing from any single observer's viewpoint.
+  std::thread watcher([&] {
+    uint64_t last = 0;
+    while (!done.load()) {
+      const uint64_t v = (*service)->plan_version();
+      if (v < last) monotonicity_violations.fetch_add(1);
+      last = v;
+      // Health snapshots ride the same atomic: never older than a version
+      // this observer already saw.
+      const ServiceHealth h = (*service)->Health();
+      if (h.plan_version < last) monotonicity_violations.fetch_add(1);
+      last = h.plan_version;
+    }
+  });
+  std::vector<std::thread> reloaders;
+  for (int t = 0; t < kThreads; ++t) {
+    reloaders.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < kReloadsPerThread; ++i)
+        EXPECT_TRUE((*service)->ReloadPlan(fx.plans).ok());
+    });
+  }
+  start.store(true);
+  for (auto& t : reloaders) t.join();
+  done.store(true);
+  watcher.join();
+  EXPECT_EQ(monotonicity_violations.load(), 0u);
+  // Every successful reload got its own version; the final state is the
+  // last writer's install.
+  EXPECT_EQ((*service)->plan_version(), 1u + kThreads * kReloadsPerThread);
+  const ServiceHealth health = (*service)->Health();
+  EXPECT_EQ(health.reloads_total, static_cast<uint64_t>(kThreads * kReloadsPerThread));
+  EXPECT_EQ(health.reloads_failed, 0u);
+}
+
+TEST(RepairServiceTest, FailedReloadCountsAndKeepsServingVersion) {
+  Fixture fx = MakeFixture(13);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  // A dim-mismatched plan is rejected: version unchanged, failure counted,
+  // and the health JSON carries both reload counters.
+  common::Rng rng(14);
+  sim::GaussianSimConfig wide = sim::GaussianSimConfig::PaperDefault();
+  wide.dim = 3;
+  for (int u = 0; u <= 1; ++u)
+    for (int s = 0; s <= 1; ++s) wide.mean[u][s].resize(3, 0.0);
+  auto research = sim::SimulateGaussianMixture(600, wide, rng);
+  ASSERT_TRUE(research.ok());
+  auto bad_plans = core::DesignDistributionalRepair(*research, {});
+  ASSERT_TRUE(bad_plans.ok());
+  EXPECT_FALSE((*service)->ReloadPlan(std::move(*bad_plans)).ok());
+  ASSERT_TRUE((*service)->ReloadPlan(fx.plans).ok());
+  const ServiceHealth health = (*service)->Health();
+  EXPECT_EQ(health.plan_version, 2u);
+  EXPECT_EQ(health.reloads_total, 1u);
+  EXPECT_EQ(health.reloads_failed, 1u);
+  const std::string json = health.ToJson();
+  EXPECT_NE(json.find("\"reloads_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"reloads_failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"healthy\""), std::string::npos);
+}
+
+TEST(RepairServiceTest, SuccessfulReloadClearsDegraded) {
+  Fixture fx = MakeFixture(15);
+  auto service = RepairService::Create(fx.plans, {});
+  ASSERT_TRUE(service.ok());
+  (*service)->SetDegraded(true);
+  EXPECT_STREQ((*service)->Health().state(), "degraded");
+  EXPECT_NE((*service)->Health().ToJson().find("\"state\":\"degraded\""),
+            std::string::npos);
+  ASSERT_TRUE((*service)->ReloadPlan(fx.plans).ok());
+  EXPECT_FALSE((*service)->degraded());
+  EXPECT_STREQ((*service)->Health().state(), "healthy");
+}
+
+TEST(RepairServiceTest, SketchesAccumulatePerChannelAndResetOnReload) {
+  Fixture fx = MakeFixture(16);
+  ServiceOptions options;
+  options.sketch_sample_every = 1;  // sketch every row
+  auto service = RepairService::Create(fx.plans, options);
+  ASSERT_TRUE(service.ok());
+  const size_t dim = fx.archive.dim();
+  std::vector<RowRequest> requests;
+  for (size_t i = 0; i < 500; ++i) requests.push_back(ArchiveRequest(fx.archive, 0, i));
+  std::vector<RowResponse> responses;
+  (*service)->RepairBatch(requests.data(), requests.size(), &responses);
+  const auto sketches = (*service)->SketchSnapshot();
+  ASSERT_EQ(sketches.size(), 2 * 2 * dim);  // (u, s, k) channels
+  uint64_t total = 0;
+  for (const auto& sketch : sketches) total += sketch.count();
+  EXPECT_EQ(total, 500 * dim);  // every row sketched exactly once
+  // Reload restarts the sketches with the drift accumulator.
+  ASSERT_TRUE((*service)->ReloadPlan(fx.plans).ok());
+  for (const auto& sketch : (*service)->SketchSnapshot()) EXPECT_EQ(sketch.count(), 0u);
+}
+
+TEST(RepairServiceTest, SketchSamplingHonorsCadence) {
+  Fixture fx = MakeFixture(17);
+  ServiceOptions options;
+  options.sketch_sample_every = 4;
+  auto service = RepairService::Create(fx.plans, options);
+  ASSERT_TRUE(service.ok());
+  RowResponse response;
+  for (size_t i = 0; i < 400; ++i)
+    ASSERT_TRUE((*service)->RepairRow(ArchiveRequest(fx.archive, 0, i), &response).ok());
+  uint64_t total = 0;
+  for (const auto& sketch : (*service)->SketchSnapshot()) total += sketch.count();
+  EXPECT_EQ(total, 100 * fx.archive.dim());  // rows 0, 4, 8, ...
+  // Disabled sketches: empty snapshot, zero overhead.
+  ServiceOptions off;
+  off.sketch_sample_every = 0;
+  auto plain = RepairService::Create(fx.plans, off);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE((*plain)->RepairRow(ArchiveRequest(fx.archive, 0, 0), &response).ok());
+  EXPECT_TRUE((*plain)->SketchSnapshot().empty());
+}
+
 TEST(RepairServiceTest, RejectsBadOptions) {
   Fixture fx = MakeFixture(11);
   ServiceOptions options;

@@ -1,0 +1,251 @@
+// QuantileSketch contract tests. The load-bearing ones:
+//
+//  - Merge algebra: sharded sketches merged in ANY order (and any
+//    grouping) produce bit-identical quantile estimates — the property
+//    the serving redesign path relies on when combining per-shard
+//    channel sketches.
+//  - Accuracy: against exact sample quantiles of simulated data (binary
+//    and K = 4 level mixtures), estimates honor the relative-accuracy
+//    guarantee |q_est - q_exact| <= alpha * |q_exact| plus one
+//    rank-discretization step.
+//  - Bounded memory: bucket occupancy stays under the documented ceiling
+//    no matter how many values stream in.
+
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/gaussian_mixture.h"
+
+namespace otfair::stats {
+namespace {
+
+std::vector<double> GaussianSample(size_t n, double mean, double sigma, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.Normal(mean, sigma);
+  return xs;
+}
+
+/// The sketch guarantee: relative error alpha on the value, plus one
+/// neighbor-rank step to absorb rank discretization at bucket boundaries.
+void ExpectQuantileWithinBound(const QuantileSketch& sketch, const std::vector<double>& xs,
+                               double p, double alpha) {
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(n - 1));
+  const double est = sketch.Quantile(p);
+  const size_t lo_rank = rank > 0 ? rank - 1 : 0;
+  const size_t hi_rank = rank + 1 < n ? rank + 1 : n - 1;
+  const double lo = sorted[lo_rank];
+  const double hi = sorted[hi_rank];
+  const double slack_lo = alpha * std::fabs(lo) + 1e-12;
+  const double slack_hi = alpha * std::fabs(hi) + 1e-12;
+  EXPECT_GE(est, lo - slack_lo) << "p=" << p;
+  EXPECT_LE(est, hi + slack_hi) << "p=" << p;
+}
+
+TEST(QuantileSketchTest, EmptySketchReportsNaN) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_TRUE(std::isnan(sketch.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(sketch.min()));
+  EXPECT_TRUE(std::isnan(sketch.max()));
+  EXPECT_EQ(sketch.Cdf(0.0), 0.0);
+}
+
+TEST(QuantileSketchTest, DropsNonFiniteValues) {
+  QuantileSketch sketch;
+  sketch.Add(1.0);
+  sketch.Add(std::nan(""));
+  sketch.Add(std::numeric_limits<double>::infinity());
+  sketch.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.dropped(), 3u);
+  EXPECT_EQ(sketch.Quantile(0.5), 1.0);
+}
+
+TEST(QuantileSketchTest, ExtremeQuantilesAreExact) {
+  QuantileSketch sketch;
+  const std::vector<double> xs = GaussianSample(5000, 1.5, 2.0, 11);
+  for (double x : xs) sketch.Add(x);
+  EXPECT_EQ(sketch.Quantile(0.0), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(sketch.Quantile(1.0), *std::max_element(xs.begin(), xs.end()));
+  EXPECT_EQ(sketch.min(), sketch.Quantile(0.0));
+  EXPECT_EQ(sketch.max(), sketch.Quantile(1.0));
+}
+
+TEST(QuantileSketchTest, AccuracyAgainstExactQuantilesGaussian) {
+  // Mixed-sign data exercises the negative store, the zero bucket, and the
+  // positive store in one stream.
+  QuantileSketch sketch;
+  std::vector<double> xs = GaussianSample(20000, 0.0, 1.0, 21);
+  xs.push_back(0.0);
+  for (double x : xs) sketch.Add(x);
+  EXPECT_EQ(sketch.count(), xs.size());
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99})
+    ExpectQuantileWithinBound(sketch, xs, p, sketch.relative_accuracy());
+}
+
+TEST(QuantileSketchTest, AccuracyOnBinarySimulatedChannels) {
+  // The serving use case: per-(u,s) channel streams from the paper's
+  // binary Gaussian mixture.
+  common::Rng rng(31);
+  auto dataset =
+      sim::SimulateGaussianMixture(8000, sim::GaussianSimConfig::PaperDefault(), rng);
+  ASSERT_TRUE(dataset.ok());
+  for (int s = 0; s <= 1; ++s) {
+    QuantileSketch sketch;
+    std::vector<double> xs;
+    for (size_t i = 0; i < dataset->size(); ++i) {
+      if (dataset->s(i) != s) continue;
+      xs.push_back(dataset->feature(i, 0));
+      sketch.Add(xs.back());
+    }
+    ASSERT_GT(xs.size(), 1000u);
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95})
+      ExpectQuantileWithinBound(sketch, xs, p, sketch.relative_accuracy());
+  }
+}
+
+TEST(QuantileSketchTest, AccuracyOnFourLevelMixture) {
+  // K = 4 strata with well-separated means: each stratum's sketch must
+  // track its own exact quantiles (the multi-group redesign input).
+  const double means[4] = {-6.0, -1.0, 1.5, 8.0};
+  for (int level = 0; level < 4; ++level) {
+    QuantileSketch sketch;
+    const std::vector<double> xs =
+        GaussianSample(6000, means[level], 0.7, 40 + static_cast<uint64_t>(level));
+    for (double x : xs) sketch.Add(x);
+    for (double p : {0.1, 0.5, 0.9})
+      ExpectQuantileWithinBound(sketch, xs, p, sketch.relative_accuracy());
+  }
+}
+
+TEST(QuantileSketchTest, MergeMatchesSingleStreamExactly) {
+  // Values split across shards and merged must reproduce the single-sketch
+  // estimates bit-for-bit: bucket counts are integers, so there is no
+  // floating-point merge drift.
+  const std::vector<double> xs = GaussianSample(12000, -0.5, 3.0, 51);
+  QuantileSketch whole;
+  QuantileSketch shards[3];
+  for (size_t i = 0; i < xs.size(); ++i) {
+    whole.Add(xs[i]);
+    shards[i % 3].Add(xs[i]);
+  }
+  QuantileSketch merged;
+  for (const QuantileSketch& shard : shards) ASSERT_TRUE(merged.Merge(shard).ok());
+  ASSERT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  for (double p = 0.0; p <= 1.0; p += 0.05)
+    EXPECT_EQ(merged.Quantile(p), whole.Quantile(p)) << "p=" << p;
+}
+
+TEST(QuantileSketchTest, MergeIsCommutativeAndAssociativeBitForBit) {
+  // Build 5 shard sketches, then combine them in several distinct orders
+  // and groupings; every combination must yield identical estimates at a
+  // fine grid of quantiles.
+  constexpr size_t kShards = 5;
+  QuantileSketch shards[kShards];
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    const std::vector<double> xs =
+        GaussianSample(3000 + 500 * shard, static_cast<double>(shard) - 2.0, 1.0 + 0.3 * shard,
+                       60 + shard);
+    for (double x : xs) shards[shard].Add(x);
+  }
+  auto combine = [&](const std::vector<size_t>& order) {
+    QuantileSketch out;
+    for (size_t i : order) EXPECT_TRUE(out.Merge(shards[i]).ok());
+    return out;
+  };
+  const QuantileSketch forward = combine({0, 1, 2, 3, 4});
+  const QuantileSketch backward = combine({4, 3, 2, 1, 0});
+  const QuantileSketch shuffled = combine({2, 0, 4, 1, 3});
+  // Associativity: ((0+1)+(2+3))+4 as a different grouping.
+  QuantileSketch left, right, grouped;
+  ASSERT_TRUE(left.Merge(shards[0]).ok() && left.Merge(shards[1]).ok());
+  ASSERT_TRUE(right.Merge(shards[2]).ok() && right.Merge(shards[3]).ok());
+  ASSERT_TRUE(grouped.Merge(left).ok() && grouped.Merge(right).ok() &&
+              grouped.Merge(shards[4]).ok());
+  for (double p = 0.0; p <= 1.0; p += 0.01) {
+    const double reference = forward.Quantile(p);
+    EXPECT_EQ(backward.Quantile(p), reference) << "p=" << p;
+    EXPECT_EQ(shuffled.Quantile(p), reference) << "p=" << p;
+    EXPECT_EQ(grouped.Quantile(p), reference) << "p=" << p;
+  }
+  EXPECT_EQ(backward.count(), forward.count());
+  EXPECT_EQ(grouped.bucket_count(), forward.bucket_count());
+}
+
+TEST(QuantileSketchTest, MergeRejectsMismatchedGeometry) {
+  QuantileSketch::Options coarse;
+  coarse.relative_accuracy = 0.05;
+  QuantileSketch a;
+  QuantileSketch b(coarse);
+  b.Add(1.0);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(QuantileSketchTest, BoundedMemoryUnderAdversarialStream) {
+  // Stream values spanning far beyond the clamped magnitude range; bucket
+  // occupancy must stay below the documented ceiling (~5.5k at alpha=0.01).
+  QuantileSketch sketch;
+  common::Rng rng(71);
+  for (int i = 0; i < 200000; ++i) {
+    const double exponent = rng.Uniform() * 40.0 - 20.0;  // 1e-20 .. 1e20
+    const double sign = rng.Uniform() < 0.5 ? -1.0 : 1.0;
+    sketch.Add(sign * std::pow(10.0, exponent));
+  }
+  sketch.Add(0.0);
+  EXPECT_EQ(sketch.count(), 200001u);
+  EXPECT_LT(sketch.bucket_count(), 6000u);
+  // Quantiles remain ordered even with clamped tails.
+  double prev = sketch.Quantile(0.0);
+  for (double p = 0.1; p <= 1.0; p += 0.1) {
+    const double q = sketch.Quantile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+}
+
+TEST(QuantileSketchTest, CdfIsMonotoneAndMatchesEmpirical) {
+  QuantileSketch sketch;
+  const std::vector<double> xs = GaussianSample(10000, 0.0, 1.0, 81);
+  for (double x : xs) sketch.Add(x);
+  double prev = 0.0;
+  for (double x = -4.0; x <= 4.0; x += 0.25) {
+    const double c = sketch.Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+    const double empirical =
+        static_cast<double>(std::count_if(xs.begin(), xs.end(),
+                                          [&](double v) { return v <= x; })) /
+        static_cast<double>(xs.size());
+    EXPECT_NEAR(c, empirical, 0.02) << "x=" << x;
+  }
+  EXPECT_EQ(sketch.Cdf(-100.0), 0.0);
+  EXPECT_EQ(sketch.Cdf(100.0), 1.0);
+}
+
+TEST(QuantileSketchTest, ResetClearsObservedStateKeepsGeometry) {
+  QuantileSketch sketch;
+  for (double x : GaussianSample(1000, 2.0, 1.0, 91)) sketch.Add(x);
+  ASSERT_GT(sketch.bucket_count(), 0u);
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.bucket_count(), 0u);
+  EXPECT_TRUE(std::isnan(sketch.Quantile(0.5)));
+  sketch.Add(3.0);
+  EXPECT_EQ(sketch.Quantile(0.5), 3.0);
+}
+
+}  // namespace
+}  // namespace otfair::stats

@@ -21,10 +21,13 @@
 // CSV layout: header `s,u[,y],<feature names...>`, binary labels.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -44,6 +47,7 @@
 #include "ot/solver.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
+#include "serve/redesigner.h"
 #include "serve/repair_service.h"
 #include "sim/gaussian_mixture.h"
 
@@ -135,8 +139,22 @@ void PrintServeUsage(std::FILE* out) {
                "  Replay mode (self-driving load, no sockets):\n"
                "    --replay=A.csv     archive to replay\n"
                "    --sessions=N       concurrent replay sessions\n"
+               "  Self-healing (drift -> sketch-based redesign -> hot reload):\n"
+               "    --self-heal        enable the background redesigner\n"
+               "    --sketch_every=16  sketch sampling stride (0 disables sketches)\n"
+               "    --heal_poll_ms=200 --heal_cooldown_ms=5000 --heal_retries=3\n"
+               "    --heal_backoff_ms=250 --heal_backoff_max_ms=5000\n"
+               "    --heal_timeout_ms=30000   per-redesign deadline\n"
+               "    --heal_min_channel=32     sketch samples per channel needed\n"
+               "    --heal_fresh_wait_ms=2000 wait for post-drift sketches before\n"
+               "                       falling back to the pre-trip snapshot\n"
+               "    --heal_drain_ms=20000     replay: settle wait before exit\n"
+               "    --faults=SPEC      fault injection (also OTFAIR_FAULTS env);\n"
+               "                       name[:count] list, see README\n"
                "  Replay prints metrics and health JSON lines, then exits 0 when\n"
-               "  healthy, 3 on drift, 1 on any dropped/failed row.\n");
+               "  healthy or degraded-but-serving (see the health \"state\" field),\n"
+               "  3 when drifted with self-heal disabled or unresolved, 1 on any\n"
+               "  dropped/failed row.\n");
 }
 
 void PrintInspectUsage(std::FILE* out) {
@@ -163,6 +181,10 @@ void PrintSimulateUsage(std::FILE* out) {
                "    --seed=1      RNG seed\n"
                "    --dim=2       feature count (2 = the paper's config)\n"
                "    --shift=0.0   added to every component mean (creates drift)\n"
+               "    --shift-at=F  apply --shift only from row floor(F*N) on (F in\n"
+               "                  (0, 1)): a mid-stream distribution shift for\n"
+               "                  self-heal simulations; rows before the cut are\n"
+               "                  bit-identical to an unshifted run\n"
                "    --s-levels=2  protected-attribute levels |S| (2 = the paper's\n"
                "                  binary config, bit-identical to earlier releases)\n"
                "    --u-levels=2  unprotected-attribute levels |U|\n");
@@ -353,6 +375,26 @@ otfair::common::Result<otfair::serve::ServiceOptions> ServeServiceOptions(
   options.drift.w1_threshold = flags.GetDouble("w1_threshold", options.drift.w1_threshold);
   options.drift.out_of_range_threshold =
       flags.GetDouble("oor_threshold", options.drift.out_of_range_threshold);
+  const int sketch_every = flags.GetInt("sketch_every", 16);
+  if (sketch_every < 0) return Status::InvalidArgument("--sketch_every must be >= 0");
+  options.sketch_sample_every = static_cast<uint64_t>(sketch_every);
+  options.faults = flags.GetString("faults", "");
+  return options;
+}
+
+/// Builds the self-heal knobs from flags (used when --self-heal is set).
+otfair::serve::RedesignerOptions ServeRedesignerOptions(const FlagParser& flags) {
+  otfair::serve::RedesignerOptions options;
+  options.poll_interval_ms = flags.GetInt("heal_poll_ms", options.poll_interval_ms);
+  options.cooldown_ms = flags.GetInt("heal_cooldown_ms", options.cooldown_ms);
+  options.max_retries = flags.GetInt("heal_retries", options.max_retries);
+  options.backoff_initial_ms = flags.GetInt("heal_backoff_ms", options.backoff_initial_ms);
+  options.backoff_max_ms = flags.GetInt("heal_backoff_max_ms", options.backoff_max_ms);
+  options.redesign_timeout_ms = flags.GetInt("heal_timeout_ms", options.redesign_timeout_ms);
+  options.min_channel_count =
+      flags.GetUint64("heal_min_channel", options.min_channel_count);
+  options.fresh_sketch_wait_ms =
+      flags.GetInt("heal_fresh_wait_ms", options.fresh_sketch_wait_ms);
   return options;
 }
 
@@ -377,7 +419,8 @@ otfair::common::Result<otfair::serve::BatcherOptions> ServeBatcherOptions(
 /// This is how serving throughput is measured in CI without sockets.
 int RunServeReplay(otfair::serve::RepairService& service,
                    const otfair::serve::BatcherOptions& batcher_options,
-                   const otfair::data::Dataset& archive, size_t sessions) {
+                   const otfair::data::Dataset& archive, size_t sessions,
+                   otfair::serve::Redesigner* redesigner, int heal_drain_ms) {
   std::atomic<uint64_t> responses{0};
   std::atomic<uint64_t> failures{0};
   otfair::serve::Batcher batcher(
@@ -416,6 +459,20 @@ int RunServeReplay(otfair::serve::RepairService& service,
   batcher.Close();
   const double seconds = timer.ElapsedSeconds();
 
+  // With self-heal on, let the redesigner settle before judging health:
+  // drift that tripped near the end of the replay may still be mid-episode
+  // (redesign in flight or backing off). The wait is bounded — a stream
+  // whose sketches never ripened stays drifted and exits 3 below.
+  if (redesigner != nullptr) {
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(heal_drain_ms);
+    while (std::chrono::steady_clock::now() < drain_deadline) {
+      const auto verdict = service.Health();
+      if (!redesigner->busy() && (!verdict.drifted || verdict.degraded)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
   const uint64_t expected = static_cast<uint64_t>(sessions) * archive.size();
   const auto metrics = service.metrics().Snapshot(batcher.queue_depth());
   const auto health = service.Health();
@@ -425,8 +482,7 @@ int RunServeReplay(otfair::serve::RepairService& service,
                "p50=%.0fus p99=%.0fus  %s\n",
                static_cast<unsigned long long>(responses.load()), sessions, seconds,
                seconds > 0 ? static_cast<double>(responses.load()) / seconds : 0.0,
-               metrics.latency_p50_us, metrics.latency_p99_us,
-               health.drifted ? "DRIFT DETECTED" : "healthy");
+               metrics.latency_p50_us, metrics.latency_p99_us, health.state());
   if (responses.load() != expected || failures.load() > 0) {
     std::fprintf(stderr, "error: %llu/%llu responses, %llu failures\n",
                  static_cast<unsigned long long>(responses.load()),
@@ -434,6 +490,11 @@ int RunServeReplay(otfair::serve::RepairService& service,
                  static_cast<unsigned long long>(failures.load()));
     return 1;
   }
+  // Degraded means self-heal gave up but every row was served on the old
+  // snapshot — that is the graceful-degradation contract, exit 0 (the
+  // health JSON above carries "state":"degraded" for operators). Exit 3 is
+  // reserved for drift with no self-heal resolution.
+  if (health.degraded) return 0;
   return health.drifted ? 3 : 0;
 }
 
@@ -515,6 +576,17 @@ int RunServe(const FlagParser& flags) {
   auto service = otfair::serve::RepairService::Create(std::move(*plans), *service_options);
   if (!service.ok()) return Fail(service.status());
 
+  // The self-heal loop runs identically under both modes; it only talks to
+  // the service. Held here so it outlives whichever mode runs and stops
+  // (thread join) before the service dies.
+  std::unique_ptr<otfair::serve::Redesigner> redesigner;
+  if (flags.GetBool("self-heal", false) || flags.GetBool("self_heal", false)) {
+    auto created =
+        otfair::serve::Redesigner::Create(service->get(), ServeRedesignerOptions(flags));
+    if (!created.ok()) return Fail(created.status());
+    redesigner = std::move(*created);
+  }
+
   const std::string replay_path = flags.GetString("replay", "");
   if (!replay_path.empty()) {
     auto archive = otfair::data::ReadCsv(replay_path);
@@ -527,12 +599,17 @@ int RunServe(const FlagParser& flags) {
     // thread would only add wakeups.
     auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/false);
     if (!batcher_options.ok()) return Fail(batcher_options.status());
-    return RunServeReplay(**service, *batcher_options, *archive,
-                          static_cast<size_t>(sessions));
+    const int ret = RunServeReplay(**service, *batcher_options, *archive,
+                                   static_cast<size_t>(sessions), redesigner.get(),
+                                   flags.GetInt("heal_drain_ms", 20000));
+    if (redesigner) redesigner->Stop();
+    return ret;
   }
   auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/true);
   if (!batcher_options.ok()) return Fail(batcher_options.status());
-  return RunServeStdio(**service, *batcher_options);
+  const int ret = RunServeStdio(**service, *batcher_options);
+  if (redesigner) redesigner->Stop();
+  return ret;
 }
 
 // --- inspect ---------------------------------------------------------------
@@ -729,32 +806,76 @@ int RunSimulate(const FlagParser& flags) {
   const int u_levels = flags.GetInt("u-levels", flags.GetInt("u_levels", 2));
   if (s_levels < 2 || u_levels < 1)
     return Fail(Status::InvalidArgument("--s-levels must be >= 2 and --u-levels >= 1"));
+  const double shift_at = flags.GetDouble("shift-at", flags.GetDouble("shift_at", 0.0));
+  if (shift_at < 0.0 || shift_at >= 1.0)
+    return Fail(Status::InvalidArgument("--shift-at must lie in [0, 1)"));
   otfair::common::Rng rng(flags.GetUint64("seed", 1));
-  otfair::common::Result<otfair::data::Dataset> dataset(Status::Internal("unreachable"));
-  if (s_levels == 2 && u_levels == 2) {
-    // The paper's binary configuration — kept on the original code path so
-    // seeded fixtures stay bit-identical across releases.
-    otfair::sim::GaussianSimConfig config = otfair::sim::GaussianSimConfig::PaperDefault();
-    if (static_cast<size_t>(dim) != config.dim) {
-      // The paper's +/-1 mean separation replicated across `dim` channels.
-      config.dim = static_cast<size_t>(dim);
-      config.mean[0][0].assign(config.dim, -1.0);
-      config.mean[0][1].assign(config.dim, 0.0);
-      config.mean[1][0].assign(config.dim, 1.0);
-      config.mean[1][1].assign(config.dim, 0.0);
+
+  // Simulates `n` rows with the component means offset by `mean_shift`,
+  // continuing `rng` — so a --shift-at run's prefix segment consumes the
+  // stream exactly like a plain run and stays bit-identical to it.
+  auto simulate_segment =
+      [&](size_t n,
+          double mean_shift) -> otfair::common::Result<otfair::data::Dataset> {
+    if (s_levels == 2 && u_levels == 2) {
+      // The paper's binary configuration — kept on the original code path
+      // so seeded fixtures stay bit-identical across releases.
+      otfair::sim::GaussianSimConfig config = otfair::sim::GaussianSimConfig::PaperDefault();
+      if (static_cast<size_t>(dim) != config.dim) {
+        // The paper's +/-1 mean separation replicated across `dim` channels.
+        config.dim = static_cast<size_t>(dim);
+        config.mean[0][0].assign(config.dim, -1.0);
+        config.mean[0][1].assign(config.dim, 0.0);
+        config.mean[1][0].assign(config.dim, 1.0);
+        config.mean[1][1].assign(config.dim, 0.0);
+      }
+      for (int u = 0; u <= 1; ++u)
+        for (int s = 0; s <= 1; ++s)
+          for (double& m : config.mean[u][s]) m += mean_shift;
+      return otfair::sim::SimulateGaussianMixture(n, config, rng);
     }
-    for (int u = 0; u <= 1; ++u)
-      for (int s = 0; s <= 1; ++s)
-        for (double& m : config.mean[u][s]) m += shift;
-    dataset = otfair::sim::SimulateGaussianMixture(static_cast<size_t>(rows), config, rng);
-  } else {
     otfair::sim::MultiGroupSimConfig config = otfair::sim::MultiGroupSimConfig::Default(
         static_cast<size_t>(s_levels), static_cast<size_t>(u_levels),
         static_cast<size_t>(dim));
     for (auto& stratum : config.mean)
       for (auto& component : stratum)
-        for (double& m : component) m += shift;
-    dataset = otfair::sim::SimulateMultiGroupGaussian(static_cast<size_t>(rows), config, rng);
+        for (double& m : component) m += mean_shift;
+    return otfair::sim::SimulateMultiGroupGaussian(n, config, rng);
+  };
+
+  otfair::common::Result<otfair::data::Dataset> dataset(Status::Internal("unreachable"));
+  if (shift_at == 0.0) {
+    dataset = simulate_segment(static_cast<size_t>(rows), shift);
+  } else {
+    // Mid-stream shift: an unshifted prefix and a shifted suffix drawn
+    // from one continuing RNG stream, concatenated in row order.
+    const size_t cut = static_cast<size_t>(shift_at * static_cast<double>(rows));
+    if (cut < 1 || cut >= static_cast<size_t>(rows))
+      return Fail(Status::InvalidArgument(
+          "--shift-at leaves an empty segment; pick F with 1 <= floor(F*N) < N"));
+    auto before = simulate_segment(cut, 0.0);
+    if (!before.ok()) return Fail(before.status());
+    auto after = simulate_segment(static_cast<size_t>(rows) - cut, shift);
+    if (!after.ok()) return Fail(after.status());
+    const size_t n = before->size() + after->size();
+    otfair::common::Matrix features(n, static_cast<size_t>(dim));
+    std::vector<int> s_labels(n);
+    std::vector<int> u_labels(n);
+    std::vector<int> outcomes;
+    if (before->has_outcome() && after->has_outcome()) outcomes.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const otfair::data::Dataset& part = i < before->size() ? *before : *after;
+      const size_t j = i < before->size() ? i : i - before->size();
+      for (size_t k = 0; k < static_cast<size_t>(dim); ++k)
+        features(i, k) = part.feature(j, k);
+      s_labels[i] = part.s(j);
+      u_labels[i] = part.u(j);
+      if (!outcomes.empty()) outcomes[i] = part.y(j);
+    }
+    dataset = otfair::data::Dataset::Create(
+        std::move(features), std::move(s_labels), std::move(u_labels),
+        before->feature_names(), std::move(outcomes), static_cast<size_t>(s_levels),
+        static_cast<size_t>(u_levels));
   }
   if (!dataset.ok()) return Fail(dataset.status());
   if (Status status = otfair::data::WriteCsv(*dataset, out_path); !status.ok())
