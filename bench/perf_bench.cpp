@@ -77,6 +77,7 @@
 #include "ot/exact.h"
 #include "ot/sinkhorn.h"
 #include "serve/batcher.h"
+#include "serve/checkpointer.h"
 #include "serve/redesigner.h"
 #include "serve/repair_service.h"
 #include "sim/gaussian_mixture.h"
@@ -335,6 +336,17 @@ int main(int argc, char** argv) {
       service_options.threads = t;
       auto service = otfair::serve::RepairService::Create(*plans, service_options);
       if (!service.ok()) Die(service.status().ToString());
+      // Checkpointing runs at its production default during the
+      // measurement: the number reported is the throughput of the
+      // crash-safe configuration, not an idealized one.
+      char ckpt_template[] = "/tmp/otfair_bench_serve_ckpt.XXXXXX";
+      const char* ckpt_dir = ::mkdtemp(ckpt_template);
+      if (ckpt_dir == nullptr) Die("mkdtemp failed for serve bench");
+      otfair::serve::CheckpointerOptions serve_ckpt_options;
+      serve_ckpt_options.dir = ckpt_dir;
+      auto serve_checkpointer = otfair::serve::Checkpointer::Create(
+          service->get(), serve_ckpt_options);
+      if (!serve_checkpointer.ok()) Die(serve_checkpointer.status().ToString());
       otfair::serve::BatcherOptions batcher_options;
       batcher_options.max_batch = 256;
       batcher_options.max_queue_depth = 4096;
@@ -395,7 +407,90 @@ int main(int argc, char** argv) {
                      metrics.latency_p50_us, metrics.latency_p99_us,
                      static_cast<unsigned long long>(metrics.latency_samples));
       }
+      const uint64_t last_generation = (*serve_checkpointer)->generation();
+      serve_checkpointer->reset();  // stop the background thread first
+      for (uint64_t g = 1; g <= last_generation; ++g)
+        ::remove(otfair::serve::CheckpointPath(ckpt_dir, g).c_str());
+      ::remove(ckpt_dir);
     }
+  }
+
+  // --- checkpoint_write_ms / recover_ms -----------------------------------
+  // The crash-safety tax: how long one atomic checkpoint of a loaded
+  // service takes (capture + serialize + write-temp + fsync + rename +
+  // prune), and how long recovery takes end to end (scan dir, validate the
+  // newest file, rebuild the service, fold the drift/sketch state back in).
+  // Checkpointing runs on a background thread, so write cost bounds the
+  // fsync pressure, not serve latency; recover cost is restart downtime.
+  {
+    otfair::core::DesignOptions design_options;
+    design_options.n_q = design_nq;
+    auto plans = otfair::core::DesignDistributionalRepair(*research, design_options);
+    if (!plans.ok()) Die(plans.status().ToString());
+    otfair::serve::ServiceOptions service_options;
+    service_options.sketch_sample_every = 4;
+    auto service = otfair::serve::RepairService::Create(*plans, service_options);
+    if (!service.ok()) Die(service.status().ToString());
+    // Populate drift counts and sketches so the checkpoint carries a
+    // realistic observed-state payload, not empty accumulators.
+    otfair::serve::RowResponse response;
+    for (size_t i = 0; i < archive->size(); ++i) {
+      otfair::serve::RowRequest request;
+      request.session_id = 0;
+      request.row_index = i;
+      request.u = archive->u(i);
+      request.s = archive->s(i);
+      const double* row = archive->features().row(i);
+      request.features.assign(row, row + dim);
+      if (!(*service)->RepairRow(request, &response).ok()) Die("checkpoint bench repair");
+    }
+    char dir_template[] = "/tmp/otfair_bench_ckpt.XXXXXX";
+    const char* dir_cstr = ::mkdtemp(dir_template);
+    if (dir_cstr == nullptr) Die("mkdtemp failed for checkpoint bench");
+    const std::string dir = dir_cstr;
+    otfair::serve::CheckpointerOptions ckpt_options;
+    ckpt_options.dir = dir;
+    ckpt_options.interval_ms = 3600 * 1000;  // only explicit WriteNow calls
+    auto checkpointer = otfair::serve::Checkpointer::Create(service->get(), ckpt_options);
+    if (!checkpointer.ok()) Die(checkpointer.status().ToString());
+    const double write_ms = BestWallMs(repeats, [&] {
+      if (!(*checkpointer)->WriteNow().ok()) Die("checkpoint write failed");
+    });
+    BenchCase c;
+    c.name = "checkpoint_write_ms";
+    std::snprintf(params, sizeof(params),
+                  "{\"dim\": %zu, \"n_archive\": %zu, \"n_q\": %zu}", dim, n_archive,
+                  design_nq);
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = write_ms;
+    cases.push_back(c);
+    std::fprintf(stderr, "checkpoint_write   %10.3f ms\n", write_ms);
+
+    const double recover_ms = BestWallMs(repeats, [&] {
+      auto recovered = otfair::serve::RecoverNewestCheckpoint(dir);
+      if (!recovered.ok()) Die("recover failed: " + recovered.status().ToString());
+      otfair::serve::ServiceOptions recover_options = service_options;
+      recover_options.seed = recovered->data.seed;
+      recover_options.initial_plan_version = recovered->data.plan_version;
+      auto revived =
+          otfair::serve::RepairService::Create(recovered->data.plans, recover_options);
+      if (!revived.ok()) Die("recover create failed");
+      if (!(*revived)->RestoreObservedState(recovered->data.drift_counts,
+                                            recovered->data.sketches).ok())
+        Die("recover restore failed");
+    });
+    c = BenchCase{};
+    c.name = "recover_ms";
+    c.params_json = params;
+    c.repeats = repeats;
+    c.wall_ms = recover_ms;
+    cases.push_back(c);
+    std::fprintf(stderr, "recover            %10.3f ms\n", recover_ms);
+    // Leave no bench litter behind.
+    for (int g = 1; g <= repeats + 1; ++g)
+      ::remove(otfair::serve::CheckpointPath(dir, static_cast<uint64_t>(g)).c_str());
+    ::remove(dir.c_str());
   }
 
   // --- sketch_update_ns: streaming sketch ingest in isolation --------------

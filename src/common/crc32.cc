@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace otfair::common {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Final(Crc32Update(kCrc32Init, data, len));
+}
+
+}  // namespace otfair::common

@@ -1,0 +1,144 @@
+#include "common/file_util.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace otfair::common {
+namespace {
+
+// A descriptor that makes zero progress this many times in a row (EINTR
+// included) is treated as broken rather than retried forever.
+constexpr int kMaxZeroProgressRetries = 100;
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+int OpenRetry(const char* path, int flags, mode_t mode) {
+  for (int attempt = 0; attempt < kMaxZeroProgressRetries; ++attempt) {
+    int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+  return -1;
+}
+
+// Writes all of `data`, retrying EINTR and short writes (bounded).
+bool WriteAll(int fd, const char* data, size_t len) {
+  int stalls = 0;
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n > 0) {
+      data += n;
+      len -= static_cast<size_t>(n);
+      stalls = 0;
+      continue;
+    }
+    if (n < 0 && errno != EINTR) return false;
+    if (++stalls >= kMaxZeroProgressRetries) {
+      errno = EIO;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FsyncRetry(int fd) {
+  for (int attempt = 0; attempt < kMaxZeroProgressRetries; ++attempt) {
+    if (::fsync(fd) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+  return false;
+}
+
+// Fsyncs the directory containing `path` so a just-completed rename in it
+// survives a crash. Best-effort on filesystems that reject directory fds.
+void FsyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = (slash == std::string::npos) ? "." : path.substr(0, slash + 1);
+  int fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  if (fd < 0) return;
+  FsyncRetry(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = OpenRetry(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) return Status::IoError(Errno("failed to open", path));
+
+  std::string out;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
+  }
+
+  char buf[1 << 16];
+  int stalls = 0;
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      stalls = 0;
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno != EINTR) {
+      Status err = Status::IoError(Errno("failed to read", path));
+      ::close(fd);
+      return err;
+    }
+    if (++stalls >= kMaxZeroProgressRetries) {
+      ::close(fd);
+      return Status::IoError("read of '" + path + "' made no progress after repeated EINTR");
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  // The temp file must live in the same directory for rename() to be atomic.
+  std::string tmp = path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = OpenRetry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(Errno("failed to create", tmp));
+
+  if (!WriteAll(fd, contents.data(), contents.size())) {
+    Status err = Status::IoError(Errno("failed to write", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (!FsyncRetry(fd)) {
+    Status err = Status::IoError(Errno("failed to fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::close(fd) != 0) {
+    Status err = Status::IoError(Errno("failed to close", tmp));
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status err = Status::IoError(Errno("failed to rename into", path));
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  FsyncParentDir(path);
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace otfair::common

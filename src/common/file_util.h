@@ -1,0 +1,34 @@
+#ifndef OTFAIR_COMMON_FILE_UTIL_H_
+#define OTFAIR_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace otfair::common {
+
+/// Reads an entire file into a string using raw POSIX I/O.
+///
+/// Unlike the naive ifstream read it replaces, this loop retries on EINTR
+/// and on short reads (both are routine under signals and on network
+/// filesystems), so a transient interruption never surfaces as a permanent
+/// load failure. Retries are bounded: a descriptor that yields zero
+/// progress repeatedly is reported as kIoError rather than spinning.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `contents`.
+///
+/// Writes to a temporary file in the same directory, fsyncs it, renames it
+/// over `path`, then fsyncs the parent directory so the rename itself is
+/// durable. A crash at any point leaves either the old file or the new one
+/// — never a torn mix. Write/fsync failures remove the temporary and
+/// return kIoError; EINTR on write is retried.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// True when `path` exists and is a regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace otfair::common
+
+#endif  // OTFAIR_COMMON_FILE_UTIL_H_

@@ -143,4 +143,76 @@ void DriftMonitor::Reset() {
   }
 }
 
+void DriftMonitor::SerializeCounts(common::ByteWriter& writer) const {
+  writer.U64(dim_);
+  writer.U64(s_levels_);
+  writer.U64(u_levels_);
+  writer.U64(states_.size());
+  for (const ChannelState& state : states_) {
+    writer.U64(state.counts.size());
+    // Grid bounds fingerprint the design the counts were binned against:
+    // a same-shaped monitor built from a DIFFERENT plan set must refuse
+    // the payload rather than reinterpret it on the wrong grid.
+    writer.F64(state.lo);
+    writer.F64(state.hi);
+    for (size_t c : state.counts) writer.U64(c);
+    writer.U64(state.total);
+    writer.U64(state.out_of_range);
+  }
+}
+
+common::Status DriftMonitor::RestoreCounts(common::ByteReader& reader) {
+  uint64_t dim = 0, s_levels = 0, u_levels = 0, n_states = 0;
+  if (!reader.U64(&dim) || !reader.U64(&s_levels) || !reader.U64(&u_levels) ||
+      !reader.U64(&n_states))
+    return Status::InvalidArgument("drift counts: truncated header");
+  if (dim != dim_ || s_levels != s_levels_ || u_levels != u_levels_ ||
+      n_states != states_.size())
+    return Status::InvalidArgument(
+        "drift counts: shape does not match the monitor's plan set");
+
+  // Parse and validate fully into scratch before mutating any state.
+  struct Parsed {
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    uint64_t out_of_range = 0;
+  };
+  std::vector<Parsed> parsed(states_.size());
+  for (size_t i = 0; i < states_.size(); ++i) {
+    uint64_t n = 0;
+    if (!reader.U64(&n)) return Status::InvalidArgument("drift counts: truncated channel");
+    if (n != states_[i].counts.size())
+      return Status::InvalidArgument("drift counts: grid size mismatch");
+    double lo = 0.0, hi = 0.0;
+    if (!reader.F64(&lo) || !reader.F64(&hi))
+      return Status::InvalidArgument("drift counts: truncated channel");
+    if (lo != states_[i].lo || hi != states_[i].hi)
+      return Status::InvalidArgument(
+          "drift counts: grid bounds do not match the monitor's plan set");
+    if (!reader.Fits(n, sizeof(uint64_t)))
+      return Status::InvalidArgument("drift counts: truncated channel");
+    parsed[i].counts.resize(static_cast<size_t>(n));
+    if (!reader.U64s(parsed[i].counts.data(), parsed[i].counts.size()) ||
+        !reader.U64(&parsed[i].total) || !reader.U64(&parsed[i].out_of_range))
+      return Status::InvalidArgument("drift counts: truncated channel");
+    uint64_t sum = 0;
+    for (uint64_t c : parsed[i].counts) {
+      if (c > parsed[i].total || sum > parsed[i].total - c)
+        return Status::InvalidArgument("drift counts: channel counts exceed total");
+      sum += c;
+    }
+    if (sum != parsed[i].total || parsed[i].out_of_range > parsed[i].total)
+      return Status::InvalidArgument("drift counts: inconsistent channel totals");
+  }
+
+  for (size_t i = 0; i < states_.size(); ++i) {
+    ChannelState& state = states_[i];
+    for (size_t q = 0; q < state.counts.size(); ++q)
+      state.counts[q] += static_cast<size_t>(parsed[i].counts[q]);
+    state.total += static_cast<size_t>(parsed[i].total);
+    state.out_of_range += static_cast<size_t>(parsed[i].out_of_range);
+  }
+  return Status::Ok();
+}
+
 }  // namespace otfair::core

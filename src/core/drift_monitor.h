@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/byte_io.h"
 #include "common/result.h"
 #include "core/repair_plan.h"
 
@@ -91,6 +92,20 @@ class DriftMonitor {
 
   /// Drops all accumulated counts (e.g. after a re-design).
   void Reset();
+
+  /// Appends only the observed accumulators (shape header + per-channel
+  /// counts/total/out_of_range) to `writer`. Grids and design pmfs are NOT
+  /// serialized — at restore time they are rebuilt from the plan, which is
+  /// checkpointed alongside, so the counts can be validated against real
+  /// geometry instead of trusting bytes on disk.
+  void SerializeCounts(common::ByteWriter& writer) const;
+
+  /// Folds accumulators previously written by SerializeCounts into this
+  /// monitor (integer addition, same algebra as MergeFrom — restoring into
+  /// a freshly created monitor reproduces the serialized state exactly).
+  /// Returns kInvalidArgument on any shape mismatch, truncation, or
+  /// internally inconsistent counts, leaving this monitor untouched.
+  common::Status RestoreCounts(common::ByteReader& reader);
 
  private:
   struct ChannelState {

@@ -2,13 +2,17 @@
 
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 
+#include "common/byte_io.h"
 #include "common/check.h"
+#include "common/crc32.h"
+#include "common/file_util.h"
 #include "data/dataset.h"
 
 namespace otfair::core {
 
+using common::ByteReader;
+using common::ByteWriter;
 using common::Matrix;
 using common::Result;
 using common::Status;
@@ -23,77 +27,36 @@ constexpr uint32_t kMagic = 0x4F544652;  // "OTFR"
 constexpr uint32_t kVersionDense = 1;
 constexpr uint32_t kVersionCsr = 2;
 constexpr uint32_t kVersionMultiGroup = 3;
+// v4 = the v3 layout plus a trailing CRC32 of everything before it. The
+// structural checks catch truncation and inflated counts, but without a
+// checksum a bit flip inside a double payload is invisible — it just
+// shifts a weight by an undetectable amount. v4 closes that hole; v1-v3
+// files keep loading without one.
+constexpr uint32_t kVersionChecksummed = 4;
 
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteU64(std::ofstream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteF64(std::ofstream& out, double v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteString(std::ofstream& out, const std::string& s) {
-  WriteU64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-void WriteDoubles(std::ofstream& out, const double* data, size_t count) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(count * sizeof(double)));
-}
-void WriteU64s(std::ofstream& out, const uint64_t* data, size_t count) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(count * sizeof(uint64_t)));
-}
-void WriteU32s(std::ofstream& out, const uint32_t* data, size_t count) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(count * sizeof(uint32_t)));
+void WriteMeasure(ByteWriter& out, const ot::DiscreteMeasure& m) {
+  out.U64(m.size());
+  out.Doubles(m.support().data(), m.size());
+  out.Doubles(m.weights().data(), m.size());
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadU64(std::ifstream& in, uint64_t* v) {
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadF64(std::ifstream& in, double* v) {
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
-}
-bool ReadString(std::ifstream& in, std::string* s) {
-  uint64_t len = 0;
-  if (!ReadU64(in, &len)) return false;
-  if (len > (1u << 20)) return false;  // sanity bound on name length
-  s->resize(len);
-  return static_cast<bool>(in.read(s->data(), static_cast<std::streamsize>(len)));
-}
-bool ReadDoubles(std::ifstream& in, double* data, size_t count) {
-  return static_cast<bool>(
-      in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(count * sizeof(double))));
-}
-bool ReadU64s(std::ifstream& in, uint64_t* data, size_t count) {
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(data),
-                                   static_cast<std::streamsize>(count * sizeof(uint64_t))));
-}
-bool ReadU32s(std::ifstream& in, uint32_t* data, size_t count) {
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(data),
-                                   static_cast<std::streamsize>(count * sizeof(uint32_t))));
-}
-
-void WriteMeasure(std::ofstream& out, const ot::DiscreteMeasure& m) {
-  WriteU64(out, m.size());
-  WriteDoubles(out, m.support().data(), m.size());
-  WriteDoubles(out, m.weights().data(), m.size());
-}
-
-Result<ot::DiscreteMeasure> ReadMeasure(std::ifstream& in) {
+Result<ot::DiscreteMeasure> ReadMeasure(ByteReader& in) {
   uint64_t n = 0;
-  if (!ReadU64(in, &n) || n == 0 || n > (1u << 24))
+  if (!in.U64(&n) || n == 0 || n > (1u << 24))
     return Status::IoError("corrupt measure header");
+  // The payload is 2n doubles; reject before allocating when the bytes
+  // cannot possibly be there (a corrupt count field must not drive a
+  // multi-gigabyte allocation).
+  if (!in.Fits(2 * n, sizeof(double)))
+    return Status::IoError("truncated measure payload");
   std::vector<double> support(n);
   std::vector<double> weights(n);
-  if (!ReadDoubles(in, support.data(), n) || !ReadDoubles(in, weights.data(), n))
+  if (!in.Doubles(support.data(), n) || !in.Doubles(weights.data(), n))
     return Status::IoError("truncated measure payload");
-  return ot::DiscreteMeasure::Create(std::move(support), std::move(weights));
+  // FromNormalized keeps the stored weights bit-for-bit (the writer only
+  // ever serializes valid measures), so parse is an exact inverse of
+  // serialize and recovered plans re-serialize byte-identically.
+  return ot::DiscreteMeasure::FromNormalized(std::move(support), std::move(weights));
 }
 
 }  // namespace
@@ -204,24 +167,23 @@ Status RepairPlanSet::Validate(double tolerance) const {
   return Status::Ok();
 }
 
-Status RepairPlanSet::SaveToFile(const std::string& path) const {
-  if (dim_ == 0) return Status::FailedPrecondition("cannot save empty plan set");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  WriteU32(out, kMagic);
-  WriteU32(out, kVersionMultiGroup);
-  WriteU64(out, dim_);
-  WriteF64(out, target_t_);
-  WriteU32(out, static_cast<uint32_t>(u_levels_));
-  WriteU32(out, static_cast<uint32_t>(s_levels_));
-  WriteDoubles(out, lambdas_.data(), lambdas_.size());
-  for (const std::string& name : feature_names_) WriteString(out, name);
+std::string RepairPlanSet::SerializeToString() const {
+  std::string bytes;
+  ByteWriter out(&bytes);
+  out.U32(kMagic);
+  out.U32(kVersionChecksummed);
+  out.U64(dim_);
+  out.F64(target_t_);
+  out.U32(static_cast<uint32_t>(u_levels_));
+  out.U32(static_cast<uint32_t>(s_levels_));
+  out.Doubles(lambdas_.data(), lambdas_.size());
+  for (const std::string& name : feature_names_) out.String(name);
   for (size_t u = 0; u < u_levels_; ++u) {
     for (size_t k = 0; k < dim_; ++k) {
       const ChannelPlan& channel = At(static_cast<int>(u), k);
-      WriteU64(out, channel.grid.size());
-      WriteF64(out, channel.grid.lo());
-      WriteF64(out, channel.grid.hi());
+      out.U64(channel.grid.size());
+      out.F64(channel.grid.lo());
+      out.F64(channel.grid.hi());
       for (size_t s = 0; s < s_levels_; ++s) WriteMeasure(out, channel.marginal[s]);
       WriteMeasure(out, channel.barycenter);
       for (size_t s = 0; s < s_levels_; ++s) {
@@ -230,69 +192,81 @@ Status RepairPlanSet::SaveToFile(const std::string& path) const {
         // O(nnz) doubles per plan. Offsets go through a u64 staging
         // buffer so the on-disk width is fixed regardless of size_t.
         const ot::SparsePlan& pi = channel.plan[s];
-        WriteU64(out, pi.nnz());
+        out.U64(pi.nnz());
         const std::vector<uint64_t> offsets(pi.row_offsets().begin(), pi.row_offsets().end());
-        WriteU64s(out, offsets.data(), offsets.size());
-        WriteU32s(out, pi.col_indices().data(), pi.nnz());
-        WriteDoubles(out, pi.values().data(), pi.nnz());
+        out.U64s(offsets.data(), offsets.size());
+        out.U32s(pi.col_indices().data(), pi.nnz());
+        out.Doubles(pi.values().data(), pi.nnz());
       }
     }
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  out.U32(common::Crc32(bytes.data(), bytes.size()));
+  return bytes;
 }
 
-Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+Status RepairPlanSet::SaveToFile(const std::string& path) const {
+  if (dim_ == 0) return Status::FailedPrecondition("cannot save empty plan set");
+  // Serialize fully in memory, then replace the file atomically: a crash
+  // mid-save leaves the previous artifact intact, never a torn file.
+  return common::AtomicWriteFile(path, SerializeToString());
+}
+
+Result<RepairPlanSet> RepairPlanSet::ParseFromBuffer(const char* data, size_t size,
+                                                     const std::string& context) {
+  ByteReader in(data, size);
   uint32_t magic = 0;
   uint32_t version = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic)
-    return Status::IoError("not a repair-plan file: " + path);
-  if (!ReadU32(in, &version) ||
-      (version != kVersionDense && version != kVersionCsr && version != kVersionMultiGroup))
-    return Status::IoError("unsupported plan version in " + path);
+  if (!in.U32(&magic) || magic != kMagic)
+    return Status::IoError("not a repair-plan file: " + context);
+  if (!in.U32(&version) ||
+      (version != kVersionDense && version != kVersionCsr &&
+       version != kVersionMultiGroup && version != kVersionChecksummed))
+    return Status::IoError("unsupported plan version in " + context);
   uint64_t dim = 0;
   double target_t = 0.5;
-  if (!ReadU64(in, &dim) || dim == 0 || dim > (1u << 16))
-    return Status::IoError("corrupt plan header: " + path);
-  if (!ReadF64(in, &target_t)) return Status::IoError("corrupt plan header: " + path);
+  if (!in.U64(&dim) || dim == 0 || dim > (1u << 16))
+    return Status::IoError("corrupt plan header: " + context);
+  if (!in.F64(&target_t) || !std::isfinite(target_t))
+    return Status::IoError("corrupt plan header: " + context);
   // v1/v2 are the binary-era formats: two u strata, two s classes, the
   // barycentric weights implied by t.
   size_t u_levels = 2;
   size_t s_levels = 2;
   std::vector<double> lambdas = {1.0 - target_t, target_t};
-  if (version == kVersionMultiGroup) {
+  if (version >= kVersionMultiGroup) {
     uint32_t raw_u = 0;
     uint32_t raw_s = 0;
-    if (!ReadU32(in, &raw_u) || !ReadU32(in, &raw_s) || raw_u < 1 || raw_s < 2 ||
+    if (!in.U32(&raw_u) || !in.U32(&raw_s) || raw_u < 1 || raw_s < 2 ||
         raw_u > data::kMaxAttributeLevels || raw_s > data::kMaxAttributeLevels)
-      return Status::IoError("corrupt level counts in " + path);
+      return Status::IoError("corrupt level counts in " + context);
     u_levels = raw_u;
     s_levels = raw_s;
+    if (!in.Fits(s_levels, sizeof(double)))
+      return Status::IoError("truncated lambdas in " + context);
     lambdas.assign(s_levels, 0.0);
-    if (!ReadDoubles(in, lambdas.data(), lambdas.size()))
-      return Status::IoError("truncated lambdas in " + path);
+    if (!in.Doubles(lambdas.data(), lambdas.size()))
+      return Status::IoError("truncated lambdas in " + context);
   }
   std::vector<std::string> names(dim);
   for (uint64_t k = 0; k < dim; ++k) {
-    if (!ReadString(in, &names[k])) return Status::IoError("corrupt feature names: " + path);
+    if (!in.String(&names[k], /*max_len=*/1u << 20))
+      return Status::IoError("corrupt feature names: " + context);
   }
 
   RepairPlanSet set(dim, std::move(names), s_levels, u_levels);
   set.set_target_t(target_t);
   if (Status status = set.set_lambdas(std::move(lambdas)); !status.ok())
-    return Status::IoError("corrupt lambdas in " + path + ": " + status.message());
+    return Status::IoError("corrupt lambdas in " + context + ": " + status.message());
   for (size_t u = 0; u < u_levels; ++u) {
     for (size_t k = 0; k < dim; ++k) {
       ChannelPlan& channel = set.At(static_cast<int>(u), k);
       uint64_t nq = 0;
       double lo = 0.0;
       double hi = 0.0;
-      if (!ReadU64(in, &nq) || nq < 2 || nq > (1u << 24))
-        return Status::IoError("corrupt channel grid: " + path);
-      if (!ReadF64(in, &lo) || !ReadF64(in, &hi))
-        return Status::IoError("corrupt channel grid: " + path);
+      if (!in.U64(&nq) || nq < 2 || nq > (1u << 24))
+        return Status::IoError("corrupt channel grid: " + context);
+      if (!in.F64(&lo) || !in.F64(&hi))
+        return Status::IoError("corrupt channel grid: " + context);
       auto grid = SupportGrid::Create(lo, hi, nq);
       if (!grid.ok()) return grid.status();
       channel.grid = std::move(*grid);
@@ -306,37 +280,63 @@ Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
       channel.barycenter = std::move(*bary);
       for (size_t s = 0; s < s_levels; ++s) {
         if (version == kVersionDense) {
-          // Legacy dense payload: read the full matrix and compress.
+          // Legacy dense payload: read the full matrix and compress. The
+          // nq x nq doubles must actually be present before the matrix
+          // (up to gigabytes for a corrupt nq) is allocated.
+          if (!in.Fits(nq * nq, sizeof(double)))
+            return Status::IoError("truncated plan matrix: " + context);
           Matrix pi(nq, nq);
-          if (!ReadDoubles(in, pi.data(), pi.size()))
-            return Status::IoError("truncated plan matrix: " + path);
+          if (!in.Doubles(pi.data(), pi.size()))
+            return Status::IoError("truncated plan matrix: " + context);
           channel.plan[s] = ot::SparsePlan::FromDense(pi);
           continue;
         }
         uint64_t nnz = 0;
-        if (!ReadU64(in, &nnz) || nnz > nq * nq)
-          return Status::IoError("corrupt plan nnz: " + path);
+        if (!in.U64(&nnz) || nnz > nq * nq)
+          return Status::IoError("corrupt plan nnz: " + context);
+        if (!in.Fits(nq + 1, sizeof(uint64_t)) ||
+            in.remaining() < (nq + 1) * sizeof(uint64_t) +
+                                 nnz * (sizeof(uint32_t) + sizeof(double)))
+          return Status::IoError("truncated CSR plan in " + context);
         std::vector<uint64_t> raw_offsets(nq + 1);
         std::vector<uint32_t> cols(nnz);
         std::vector<double> values(nnz);
-        if (!ReadU64s(in, raw_offsets.data(), raw_offsets.size()))
-          return Status::IoError("truncated plan offsets: " + path);
-        if (nnz > 0 && !ReadU32s(in, cols.data(), nnz))
-          return Status::IoError("truncated plan columns: " + path);
-        if (nnz > 0 && !ReadDoubles(in, values.data(), nnz))
-          return Status::IoError("truncated plan values: " + path);
+        if (!in.U64s(raw_offsets.data(), raw_offsets.size()))
+          return Status::IoError("truncated plan offsets: " + context);
+        if (nnz > 0 && !in.U32s(cols.data(), nnz))
+          return Status::IoError("truncated plan columns: " + context);
+        if (nnz > 0 && !in.Doubles(values.data(), nnz))
+          return Status::IoError("truncated plan values: " + context);
         auto pi = ot::SparsePlan::FromCsr(
             nq, nq, std::vector<size_t>(raw_offsets.begin(), raw_offsets.end()),
             std::move(cols), std::move(values));
         if (!pi.ok())
-          return Status::IoError("corrupt CSR plan in " + path + ": " + pi.status().message());
+          return Status::IoError("corrupt CSR plan in " + context + ": " + pi.status().message());
         channel.plan[s] = std::move(*pi);
       }
     }
   }
+  if (version == kVersionChecksummed) {
+    uint32_t stored_crc = 0;
+    if (!in.U32(&stored_crc))
+      return Status::IoError("missing plan checksum in " + context);
+    if (!in.exhausted())
+      return Status::IoError("trailing bytes after plan payload in " + context);
+    const uint32_t actual_crc = common::Crc32(data, size - sizeof(uint32_t));
+    if (stored_crc != actual_crc)
+      return Status::IoError("plan checksum mismatch in " + context);
+  } else if (!in.exhausted()) {
+    return Status::IoError("trailing bytes after plan payload in " + context);
+  }
   Status valid = set.Validate(1e-5);
   if (!valid.ok()) return Status(valid.code(), "loaded plan invalid: " + valid.message());
   return set;
+}
+
+Result<RepairPlanSet> RepairPlanSet::LoadFromFile(const std::string& path) {
+  auto bytes = common::ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseFromBuffer(bytes->data(), bytes->size(), path);
 }
 
 }  // namespace otfair::core

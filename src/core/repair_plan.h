@@ -90,8 +90,22 @@ class RepairPlanSet {
   /// values; little-endian). Version-1 files (dense binary plans) and
   /// version-2 files (binary CSR plans) still load, mapping to
   /// |S| = |U| = 2 with lambdas {1 - t, t}.
+  /// File writes are atomic (write-temp + fsync + rename), so a crash
+  /// mid-save leaves the previous plan file intact; reads retry EINTR and
+  /// short reads. Loading validates every length field against the bytes
+  /// actually present before allocating, so truncated, oversized or
+  /// bit-flipped files come back as Status errors — never a crash or an
+  /// out-of-bounds read.
   common::Status SaveToFile(const std::string& path) const;
   static common::Result<RepairPlanSet> LoadFromFile(const std::string& path);
+
+  /// The same v3 byte format, in memory: SaveToFile is exactly
+  /// SerializeToString + atomic write, and ParseFromBuffer is the single
+  /// parser behind LoadFromFile, checkpoint recovery, and the fuzzers.
+  /// `context` labels error messages (a path or "checkpoint").
+  std::string SerializeToString() const;
+  static common::Result<RepairPlanSet> ParseFromBuffer(const char* data, size_t size,
+                                                       const std::string& context);
 
  private:
   size_t dim_ = 0;

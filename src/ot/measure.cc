@@ -30,6 +30,24 @@ Result<DiscreteMeasure> DiscreteMeasure::Create(std::vector<double> support,
   return DiscreteMeasure(std::move(support), std::move(weights));
 }
 
+Result<DiscreteMeasure> DiscreteMeasure::FromNormalized(std::vector<double> support,
+                                                        std::vector<double> weights) {
+  if (support.empty()) return Status::InvalidArgument("measure needs at least one atom");
+  if (support.size() != weights.size())
+    return Status::InvalidArgument("support/weights length mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0)) return Status::InvalidArgument("weights must be non-negative and finite");
+    total += w;
+  }
+  if (std::abs(total - 1.0) > 1e-6)
+    return Status::InvalidArgument("weights must already sum to one");
+  for (double x : support) {
+    if (!std::isfinite(x)) return Status::InvalidArgument("support atoms must be finite");
+  }
+  return DiscreteMeasure(std::move(support), std::move(weights));
+}
+
 Result<DiscreteMeasure> DiscreteMeasure::FromSamples(std::vector<double> samples) {
   if (samples.empty()) return Status::InvalidArgument("empty sample");
   std::vector<double> weights(samples.size(), 1.0 / static_cast<double>(samples.size()));

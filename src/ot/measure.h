@@ -27,6 +27,13 @@ class DiscreteMeasure {
   static common::Result<DiscreteMeasure> Create(std::vector<double> support,
                                                 std::vector<double> weights);
 
+  /// Builds a measure from weights that are ALREADY normalized (sum within
+  /// fp tolerance of one) and keeps them bit-for-bit as given — no division.
+  /// Deserializers use this so parse(serialize(m)) reproduces m exactly;
+  /// inputs whose weights do not sum to ~1 are rejected, not repaired.
+  static common::Result<DiscreteMeasure> FromNormalized(std::vector<double> support,
+                                                        std::vector<double> weights);
+
   /// Empirical measure of samples: every sample gets weight 1/n.
   /// Duplicate positions are kept as separate atoms.
   static common::Result<DiscreteMeasure> FromSamples(std::vector<double> samples);

@@ -63,6 +63,8 @@ MetricsSnapshot Metrics::Snapshot(uint64_t queue_depth) const {
   snap.batches = batches_.load(kRelaxed);
   snap.reloads = reloads_.load(kRelaxed);
   snap.reloads_failed = reloads_failed_.load(kRelaxed);
+  snap.checkpoints_written = checkpoints_written_.load(kRelaxed);
+  snap.checkpoints_failed = checkpoints_failed_.load(kRelaxed);
   snap.queue_depth = queue_depth;
   snap.uptime_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   snap.rows_per_second =
@@ -95,6 +97,8 @@ std::string MetricsSnapshot::ToJson() const {
       .Key("batches").Uint(batches)
       .Key("reloads").Uint(reloads)
       .Key("reloads_failed").Uint(reloads_failed)
+      .Key("checkpoints_written").Uint(checkpoints_written)
+      .Key("checkpoints_failed").Uint(checkpoints_failed)
       .Key("queue_depth").Uint(queue_depth)
       .Key("uptime_seconds").Double(uptime_seconds)
       .Key("rows_per_second").Double(rows_per_second)

@@ -27,6 +27,10 @@ struct MetricsSnapshot {
   /// Plan reloads rejected (validation failure, unreadable file); the
   /// serving snapshot was left untouched each time.
   uint64_t reloads_failed = 0;
+  /// Checkpoints persisted / failed (the serving path is unaffected by a
+  /// checkpoint failure — it only loses durability freshness).
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoints_failed = 0;
   /// Latency samples recorded (batcher-path requests only).
   uint64_t latency_samples = 0;
   double latency_p50_us = 0.0;
@@ -68,6 +72,8 @@ class Metrics {
   void AddBatch() { batches_.fetch_add(1, kRelaxed); }
   void AddReload() { reloads_.fetch_add(1, kRelaxed); }
   void AddReloadFailed() { reloads_failed_.fetch_add(1, kRelaxed); }
+  void AddCheckpoint() { checkpoints_written_.fetch_add(1, kRelaxed); }
+  void AddCheckpointFailed() { checkpoints_failed_.fetch_add(1, kRelaxed); }
 
   /// Records one request latency in microseconds (negative values clamp
   /// to 0).
@@ -98,6 +104,8 @@ class Metrics {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> reloads_failed_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> checkpoints_failed_{0};
   std::atomic<uint64_t> latency_max_us_{0};
   std::array<std::atomic<uint64_t>, kBuckets> latency_buckets_{};
 };

@@ -86,6 +86,10 @@ Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim, si
     request.kind = RequestKind::kQuit;
     return request;
   }
+  if (verb == "checkpoint") {
+    request.kind = RequestKind::kCheckpoint;
+    return request;
+  }
   if (verb == "reload") {
     if (tokens.size() != 2)
       return Status::InvalidArgument("usage: reload <plan_path>");

@@ -15,6 +15,7 @@ namespace otfair::serve {
 ///   metrics              -> one-line JSON metrics snapshot
 ///   health               -> one-line JSON drift/health verdict
 ///   reload <plan_path>   -> hot-swaps the serving plan
+///   checkpoint           -> forces a synchronous checkpoint write
 ///   quit                 -> drains pending work and exits
 ///
 /// Responses (one line each):
@@ -22,12 +23,13 @@ namespace otfair::serve {
 ///   ok <session_id> <row_index> <y_1> ... <y_d>     repaired row
 ///   err <session_id> <row_index> <CODE> <message>   per-row failure
 ///   ok reload <version>                             after a reload
+///   ok checkpoint <generation>                      after a forced write
 ///   {...}                                           metrics / health JSON
 ///
 /// Repaired values are printed with %.17g, so a round trip through the
 /// protocol is bit-exact.
 
-enum class RequestKind { kRepair, kMetrics, kHealth, kReload, kQuit };
+enum class RequestKind { kRepair, kMetrics, kHealth, kReload, kCheckpoint, kQuit };
 
 /// Hard ceiling on one request line's length. A well-formed repair line is
 /// ~25 bytes per feature, so 64 KiB comfortably covers dim in the

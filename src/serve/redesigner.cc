@@ -132,6 +132,7 @@ void Redesigner::StepOnce() {
   if (service_->degraded()) return;
   if (!service_->Health().drifted) {
     fresh_sketches_ = false;
+    episode_open_.store(false, std::memory_order_relaxed);
     return;
   }
   // A drift episode opens: stash the accumulated sketches and restart
@@ -144,6 +145,7 @@ void Redesigner::StepOnce() {
     service_->ResetSketches();
     fresh_since_ = Clock::now();
     fresh_sketches_ = true;
+    episode_open_.store(true, std::memory_order_relaxed);
     return;
   }
   // Thin sketches: drift tripped but the restarted sketches haven't seen
@@ -216,6 +218,7 @@ void Redesigner::StepOnce() {
   // sketches again (a successful reload already reset them structurally).
   fresh_sketches_ = false;
   stashed_sketches_.clear();
+  episode_open_.store(false, std::memory_order_relaxed);
   busy_.store(false, std::memory_order_relaxed);
 }
 

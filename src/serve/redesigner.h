@@ -112,6 +112,13 @@ class Redesigner {
   /// progress). Replay drivers drain on this before judging final health.
   bool busy() const { return busy_.load(std::memory_order_relaxed); }
 
+  /// True from the moment a drift episode opens (sketches stashed and
+  /// restarted) until it closes (reload landed, retries exhausted, or the
+  /// drift verdict cleared on its own). The checkpointer records this so a
+  /// post-crash operator can see the crash landed mid-episode; recovery
+  /// restarts the episode from the restored drift accumulators.
+  bool episode_open() const { return episode_open_.load(std::memory_order_relaxed); }
+
   /// Last attempt failure (Ok if none); for logs and tests.
   common::Status last_error() const;
 
@@ -153,6 +160,7 @@ class Redesigner {
   std::chrono::steady_clock::time_point cooldown_until_;
 
   std::atomic<bool> busy_{false};
+  std::atomic<bool> episode_open_{false};
   std::thread thread_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/byte_io.h"
 #include "common/json_writer.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -77,6 +78,10 @@ std::string ServiceHealth::ToJson() const {
       .Key("plan_version").Uint(plan_version)
       .Key("reloads_total").Uint(reloads_total)
       .Key("reloads_failed").Uint(reloads_failed)
+      .Key("recovered").Bool(recovered)
+      .Key("recovered_generation").Uint(recovered_generation)
+      .Key("checkpoints_written").Uint(checkpoints_written)
+      .Key("checkpoints_failed").Uint(checkpoints_failed)
       .EndObject();
   return w.str();
 }
@@ -119,9 +124,11 @@ Result<std::unique_ptr<RepairService>> RepairService::Create(core::RepairPlanSet
     return Status::InvalidArgument("drift_shards must be >= 1");
   const size_t dim = plans.dim();
   if (dim == 0) return Status::InvalidArgument("plan set is empty");
+  if (options.initial_plan_version == 0)
+    return Status::InvalidArgument("initial_plan_version must be >= 1");
   const size_t s_levels = plans.s_levels();
   const size_t u_levels = plans.u_levels();
-  auto snapshot = BuildSnapshot(std::move(plans), options, 1);
+  auto snapshot = BuildSnapshot(std::move(plans), options, options.initial_plan_version);
   if (!snapshot.ok()) return snapshot.status();
   std::unique_ptr<RepairService> service(
       new RepairService(dim, s_levels, u_levels, options));
@@ -379,6 +386,61 @@ void RepairService::ResetSketches() {
   }
 }
 
+RepairService::CheckpointState RepairService::StateForCheckpoint() const {
+  // ONE snapshot acquisition: plan, version, and observed state all
+  // describe the same serving snapshot, even mid-reload.
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  CheckpointState state;
+  state.plan_version = snap->version;
+  state.degraded = degraded();
+  state.plans = snap->repairer.plans();
+  state.drift = [&] {
+    std::lock_guard<std::mutex> lock(snap->drift_shards[0]->mu);
+    return snap->drift_shards[0]->monitor;  // copy under the shard lock
+  }();
+  for (size_t i = 1; i < snap->drift_shards.size(); ++i) {
+    std::lock_guard<std::mutex> lock(snap->drift_shards[i]->mu);
+    // Same plan set by construction; merge cannot fail.
+    state.drift->MergeFrom(snap->drift_shards[i]->monitor);
+  }
+  for (const auto& shard : snap->drift_shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->sketches.empty()) continue;
+    if (state.sketches.empty()) {
+      state.sketches = shard->sketches;  // copy under the shard lock
+      continue;
+    }
+    for (size_t c = 0; c < state.sketches.size(); ++c) {
+      Status merge_status = state.sketches[c].Merge(shard->sketches[c]);
+      (void)merge_status;
+    }
+  }
+  return state;
+}
+
+Status RepairService::RestoreObservedState(const std::string& drift_counts,
+                                           const std::vector<stats::QuantileSketch>& sketches) {
+  std::shared_ptr<Snapshot> snap = snapshot_.load(std::memory_order_acquire);
+  Snapshot::DriftShard& shard = *snap->drift_shards[0];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!drift_counts.empty()) {
+    common::ByteReader reader(drift_counts);
+    OTFAIR_RETURN_IF_ERROR(shard.monitor.RestoreCounts(reader));
+    if (!reader.exhausted())
+      return Status::InvalidArgument("trailing bytes after drift counts");
+  }
+  if (!sketches.empty()) {
+    if (shard.sketches.size() != sketches.size())
+      return Status::InvalidArgument(
+          "checkpoint carries " + std::to_string(sketches.size()) +
+          " sketches, service has " + std::to_string(shard.sketches.size()) +
+          " channels");
+    for (size_t c = 0; c < sketches.size(); ++c)
+      OTFAIR_RETURN_IF_ERROR(shard.sketches[c].Merge(sketches[c]));
+  }
+  return Status::Ok();
+}
+
 ServiceHealth RepairService::Health() const {
   const core::DriftReport report = DriftSnapshot();
   const MetricsSnapshot metrics = metrics_.Snapshot();
@@ -391,6 +453,10 @@ ServiceHealth RepairService::Health() const {
   health.plan_version = plan_version();
   health.reloads_total = metrics.reloads;
   health.reloads_failed = metrics.reloads_failed;
+  health.recovered_generation = recovered_generation();
+  health.recovered = health.recovered_generation > 0;
+  health.checkpoints_written = metrics.checkpoints_written;
+  health.checkpoints_failed = metrics.checkpoints_failed;
   return health;
 }
 

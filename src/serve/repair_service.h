@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,13 @@ struct ServiceHealth {
   /// Plan hot-swaps served / rejected over the service lifetime.
   uint64_t reloads_total = 0;
   uint64_t reloads_failed = 0;
+  /// True when this process recovered its state from a checkpoint at
+  /// startup; `recovered_generation` is the generation it loaded.
+  bool recovered = false;
+  uint64_t recovered_generation = 0;
+  /// Checkpoints written / failed over the service lifetime.
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoints_failed = 0;
 
   const char* state() const {
     return degraded ? "degraded" : (drifted ? "drifted" : "healthy");
@@ -100,6 +108,11 @@ struct ServiceOptions {
   /// for the syntax). Empty defers to the OTFAIR_FAULTS environment
   /// variable; production leaves both unset.
   std::string faults;
+  /// Version stamped on the construction-time snapshot. Recovery passes
+  /// the checkpointed version here so a recovered process serves (and
+  /// reports) the same plan version the pre-crash process did — the
+  /// bit-identity contract includes the version a session observed.
+  uint64_t initial_plan_version = 1;
 };
 
 /// A long-lived, thread-safe repair server over a `RepairPlanSet`.
@@ -212,6 +225,43 @@ class RepairService {
   /// redesigned plan. No-op when sketching is disabled.
   void ResetSketches();
 
+  /// Everything the checkpointer persists, captured from ONE atomic
+  /// snapshot acquisition so the plan, its version, and the observed
+  /// drift/sketch state are mutually coherent even when a reload lands
+  /// concurrently (the pieces all describe the same snapshot — a reload
+  /// concurrent with the capture is either entirely before or entirely
+  /// after it).
+  struct CheckpointState {
+    uint64_t plan_version = 1;
+    bool degraded = false;
+    core::RepairPlanSet plans;
+    /// Merged drift accumulator (engaged whenever the capture succeeded;
+    /// optional only because DriftMonitor has no default construction).
+    std::optional<core::DriftMonitor> drift;
+    /// Merged channel sketches; empty when sketching is disabled.
+    std::vector<stats::QuantileSketch> sketches;
+  };
+  CheckpointState StateForCheckpoint() const;
+
+  /// Folds checkpointed observed state into the live snapshot (shard 0):
+  /// `drift_counts` is a DriftMonitor::SerializeCounts payload, validated
+  /// against the live monitor's real geometry before anything mutates;
+  /// `sketches` merge channel-wise (the exactly-commutative integer-count
+  /// merge, so restoring into a fresh service reproduces the checkpointed
+  /// sketches bit-identically). Call once, right after Create, before
+  /// traffic. An empty `drift_counts` / `sketches` restores nothing.
+  common::Status RestoreObservedState(const std::string& drift_counts,
+                                      const std::vector<stats::QuantileSketch>& sketches);
+
+  /// Records that this service was started from a recovered checkpoint
+  /// (generation > 0); surfaces in Health().
+  void MarkRecovered(uint64_t generation) {
+    recovered_generation_.store(generation, std::memory_order_relaxed);
+  }
+  uint64_t recovered_generation() const {
+    return recovered_generation_.load(std::memory_order_relaxed);
+  }
+
   /// Cheap health verdict (thresholds from options.drift).
   ServiceHealth Health() const;
 
@@ -254,6 +304,8 @@ class RepairService {
   /// Serializes reloads (readers never touch it).
   std::mutex reload_mu_;
   std::atomic<bool> degraded_{false};
+  /// Checkpoint generation this process recovered from (0 = cold start).
+  std::atomic<uint64_t> recovered_generation_{0};
 };
 
 }  // namespace otfair::serve

@@ -171,4 +171,76 @@ size_t QuantileSketch::bucket_count() const {
   return negative_.counts.size() + positive_.counts.size() + (zero_count_ > 0 ? 1 : 0);
 }
 
+void QuantileSketch::SerializeTo(common::ByteWriter& writer) const {
+  writer.F64(alpha_);
+  for (const Store* store : {&negative_, &positive_}) {
+    writer.I32(store->base);
+    writer.U64(store->counts.size());
+    writer.U64s(store->counts.data(), store->counts.size());
+  }
+  writer.U64(zero_count_);
+  writer.U64(count_);
+  writer.U64(dropped_);
+  writer.F64(min_);
+  writer.F64(max_);
+}
+
+Status QuantileSketch::DeserializeFrom(common::ByteReader& reader) {
+  double alpha = 0.0;
+  if (!reader.F64(&alpha)) return Status::InvalidArgument("sketch: truncated alpha");
+  if (!std::isfinite(alpha) || alpha < 1e-4 || alpha > 0.25)
+    return Status::InvalidArgument("sketch: relative accuracy out of range");
+
+  // Rebuild the geometry from alpha, then validate every bucket span
+  // against it before any state is committed.
+  QuantileSketch fresh(Options{alpha});
+
+  const size_t key_span =
+      static_cast<size_t>(fresh.max_key_ - fresh.min_key_) + 1;
+  for (Store* store : {&fresh.negative_, &fresh.positive_}) {
+    int32_t base = 0;
+    uint64_t size = 0;
+    if (!reader.I32(&base) || !reader.U64(&size))
+      return Status::InvalidArgument("sketch: truncated store header");
+    if (size > key_span)
+      return Status::InvalidArgument("sketch: store size exceeds key span");
+    if (size > 0 &&
+        (base < fresh.min_key_ ||
+         base + static_cast<int64_t>(size) - 1 > fresh.max_key_))
+      return Status::InvalidArgument("sketch: store base outside key range");
+    if (!reader.Fits(size, sizeof(uint64_t)))
+      return Status::InvalidArgument("sketch: store counts truncated");
+    store->base = base;
+    store->counts.resize(static_cast<size_t>(size));
+    if (!reader.U64s(store->counts.data(), store->counts.size()))
+      return Status::InvalidArgument("sketch: store counts truncated");
+  }
+
+  if (!reader.U64(&fresh.zero_count_) || !reader.U64(&fresh.count_) ||
+      !reader.U64(&fresh.dropped_) || !reader.F64(&fresh.min_) ||
+      !reader.F64(&fresh.max_))
+    return Status::InvalidArgument("sketch: truncated tail");
+
+  uint64_t sum = fresh.zero_count_;
+  for (const Store* store : {&fresh.negative_, &fresh.positive_}) {
+    for (uint64_t c : store->counts) {
+      if (c > fresh.count_ || sum > fresh.count_ - c)
+        return Status::InvalidArgument("sketch: bucket counts exceed total");
+      sum += c;
+    }
+  }
+  if (sum != fresh.count_)
+    return Status::InvalidArgument("sketch: bucket counts do not sum to total");
+  if (fresh.count_ > 0) {
+    if (!std::isfinite(fresh.min_) || !std::isfinite(fresh.max_) ||
+        fresh.min_ > fresh.max_)
+      return Status::InvalidArgument("sketch: invalid min/max");
+  } else if (fresh.min_ != 0.0 || fresh.max_ != 0.0) {
+    return Status::InvalidArgument("sketch: empty sketch with nonzero extremes");
+  }
+
+  *this = std::move(fresh);
+  return Status::Ok();
+}
+
 }  // namespace otfair::stats

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/byte_io.h"
 #include "common/status.h"
 
 namespace otfair::stats {
@@ -64,6 +65,19 @@ class QuantileSketch {
 
   /// Drops all observed state, keeping the bucket geometry.
   void Reset();
+
+  /// Appends the full sketch state (geometry parameter + every bucket
+  /// count + exact min/max/count) to `writer`. A sketch restored with
+  /// DeserializeFrom is bit-identical to this one: same buckets, same
+  /// counts, same extremes — so Quantile/Cdf answer identically. This is
+  /// the property checkpoint recovery relies on.
+  void SerializeTo(common::ByteWriter& writer) const;
+
+  /// Replaces this sketch's state with one previously written by
+  /// SerializeTo, validating every field: truncated input, impossible
+  /// bucket spans, count mismatches, and non-finite extremes all return
+  /// kInvalidArgument and leave the sketch untouched.
+  common::Status DeserializeFrom(common::ByteReader& reader);
 
   /// Occupied bucket-array length (a memory gauge, exposed for tests and
   /// the bounded-memory claim).

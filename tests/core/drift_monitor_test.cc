@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/byte_io.h"
 #include "common/rng.h"
 #include "core/designer.h"
 #include "sim/gaussian_mixture.h"
@@ -208,6 +209,70 @@ TEST(DriftMonitorTest, MergeRejectsMismatchedShapes) {
   auto mismatched = DriftMonitor::Create(other.plans);
   ASSERT_TRUE(mismatched.ok());
   EXPECT_FALSE(monitor->MergeFrom(*mismatched).ok());
+}
+
+TEST(DriftMonitorSerializationTest, CountsRoundTripReproducesReportExactly) {
+  Fixture fx = MakeFixture(20);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  common::Rng rng(20);
+  StreamMixture(*monitor, fx.config, 3000, 0.7, rng);
+
+  std::string bytes;
+  common::ByteWriter writer(&bytes);
+  monitor->SerializeCounts(writer);
+
+  // Restore into a FRESH monitor of the same geometry: addition into
+  // zeros is an exact restore.
+  auto restored = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(restored.ok());
+  common::ByteReader reader(bytes);
+  ASSERT_TRUE(restored->RestoreCounts(reader).ok());
+  EXPECT_TRUE(reader.exhausted());
+
+  const DriftReport before = monitor->SnapshotReport();
+  const DriftReport after = restored->SnapshotReport();
+  EXPECT_EQ(after.drifted, before.drifted);
+  EXPECT_EQ(after.worst_w1, before.worst_w1);
+  EXPECT_EQ(after.worst_out_of_range, before.worst_out_of_range);
+  ASSERT_EQ(after.channels.size(), before.channels.size());
+  for (size_t i = 0; i < before.channels.size(); ++i) {
+    EXPECT_EQ(after.channels[i].count, before.channels[i].count);
+    EXPECT_EQ(after.channels[i].w1_normalized, before.channels[i].w1_normalized);
+    EXPECT_EQ(after.channels[i].out_of_range_rate, before.channels[i].out_of_range_rate);
+  }
+}
+
+TEST(DriftMonitorSerializationTest, RestoreRejectsMismatchedGeometryAndCorruptPayloads) {
+  Fixture fx = MakeFixture(21);
+  auto monitor = DriftMonitor::Create(fx.plans);
+  ASSERT_TRUE(monitor.ok());
+  common::Rng rng(21);
+  StreamMixture(*monitor, fx.config, 500, 0.0, rng);
+  std::string bytes;
+  common::ByteWriter writer(&bytes);
+  monitor->SerializeCounts(writer);
+
+  // A monitor with different grids must refuse the payload (the counts
+  // would be reinterpreted against the wrong design distribution).
+  Fixture other = MakeFixture(22);
+  auto mismatched = DriftMonitor::Create(other.plans);
+  ASSERT_TRUE(mismatched.ok());
+  {
+    common::ByteReader reader(bytes);
+    EXPECT_FALSE(mismatched->RestoreCounts(reader).ok());
+  }
+  // Truncations fail without mutating the target.
+  for (size_t len : {size_t{0}, bytes.size() / 3, bytes.size() - 1}) {
+    auto target = DriftMonitor::Create(fx.plans);
+    ASSERT_TRUE(target.ok());
+    common::ByteReader reader(bytes.data(), len);
+    EXPECT_FALSE(target->RestoreCounts(reader).ok()) << "prefix " << len;
+    uint64_t observed = 0;
+    for (const auto& channel : target->SnapshotReport().channels)
+      observed += channel.count;
+    EXPECT_EQ(observed, 0u) << "prefix " << len << " left a partial restore";
+  }
 }
 
 }  // namespace

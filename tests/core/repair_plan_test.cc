@@ -1,5 +1,6 @@
 #include "core/repair_plan.h"
 
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -187,6 +188,51 @@ TEST(RepairPlanTest, LoadMissingFileGivesIoError) {
   auto loaded = RepairPlanSet::LoadFromFile(TempPath("nope.bin"));
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), common::StatusCode::kIoError);
+}
+
+TEST(RepairPlanTest, ParseRejectsTrailingBytesAfterValidPayload) {
+  // An oversized file — a valid plan plus junk — must not load: the
+  // trailing bytes mean the file is not what the writer produced
+  // (e.g. two concatenated plans, or a torn overwrite).
+  RepairPlanSet plans = DesignedPlans(8);
+  std::string bytes = plans.SerializeToString();
+  ASSERT_TRUE(
+      RepairPlanSet::ParseFromBuffer(bytes.data(), bytes.size(), "pristine").ok());
+  bytes += "junk";
+  auto loaded = RepairPlanSet::ParseFromBuffer(bytes.data(), bytes.size(), "oversized");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(RepairPlanTest, ParseRejectsEveryTruncatedPrefix) {
+  RepairPlanSet plans = DesignedPlans(9, /*n_q=*/10);
+  const std::string bytes = plans.SerializeToString();
+  for (size_t len = 0; len < bytes.size(); len = len < 64 ? len + 1 : len + 131) {
+    auto loaded = RepairPlanSet::ParseFromBuffer(bytes.data(), len, "trunc");
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed as a plan";
+  }
+}
+
+TEST(RepairPlanTest, ParseRejectsInflatedLengthFieldWithoutHugeAllocation) {
+  // Blow up the first feature-name length field (offset 48 in a binary
+  // |S|=2 v3 file: magic, version, dim, target_t, u_levels, s_levels, two
+  // lambdas). The parser must bounds-check against the remaining bytes
+  // BEFORE allocating — under ASan an attempted 2^60-byte string would
+  // abort the test.
+  RepairPlanSet plans = DesignedPlans(10);
+  std::string bytes = plans.SerializeToString();
+  const uint64_t huge = 1ULL << 60;
+  ASSERT_GE(bytes.size(), 56u);
+  std::memcpy(bytes.data() + 48, &huge, sizeof(huge));
+  EXPECT_FALSE(RepairPlanSet::ParseFromBuffer(bytes.data(), bytes.size(), "huge").ok());
+}
+
+TEST(RepairPlanTest, SerializeParseRoundTripIsBitIdentical) {
+  RepairPlanSet plans = DesignedPlans(11);
+  const std::string bytes = plans.SerializeToString();
+  auto parsed = RepairPlanSet::ParseFromBuffer(bytes.data(), bytes.size(), "roundtrip");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->SerializeToString(), bytes);
 }
 
 TEST(RepairPlanTest, SaveEmptyPlanFails) {

@@ -1,0 +1,30 @@
+// libFuzzer entry point for the repair-plan reader. The parser must
+// return a clean Status on every input — any crash, sanitizer report, or
+// runaway allocation is a finding. Interesting inputs should be minimized
+// and committed to tests/data/corrupt/ so the table-driven regression
+// test (corrupt_corpus_test.cc) keeps covering them without a fuzzer.
+//
+// Build (needs Clang; the target is skipped under GCC):
+//   cmake -B build-fuzz -DCMAKE_CXX_COMPILER=clang++ -DOTFAIR_BUILD_FUZZERS=ON
+//   cmake --build build-fuzz --target otfair_plan_fuzzer
+// Run with the committed corpus as the seed set:
+//   build-fuzz/tests/fuzz/otfair_plan_fuzzer tests/data/corrupt
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/repair_plan.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  auto parsed = otfair::core::RepairPlanSet::ParseFromBuffer(
+      reinterpret_cast<const char*>(data), size, "fuzz");
+  if (parsed.ok()) {
+    // A valid plan must survive its own round trip: re-serializing and
+    // re-parsing exercises the writer against fuzzer-discovered shapes.
+    const std::string bytes = parsed->SerializeToString();
+    auto again = otfair::core::RepairPlanSet::ParseFromBuffer(bytes.data(), bytes.size(),
+                                                             "fuzz-roundtrip");
+    if (!again.ok()) __builtin_trap();
+  }
+  return 0;
+}

@@ -49,6 +49,10 @@ TEST(ProtocolTest, ParsesControlVerbs) {
   EXPECT_EQ(reload->plan_path, "/tmp/plan.bin");
   EXPECT_FALSE(ParseRequestLine("reload", 2).ok());
   EXPECT_FALSE(ParseRequestLine("reload a b", 2).ok());
+  EXPECT_EQ(ParseRequestLine("checkpoint", 2)->kind, RequestKind::kCheckpoint);
+  EXPECT_EQ(ParseRequestLine("  checkpoint  ", 2)->kind, RequestKind::kCheckpoint);
+  // No operands: a checkpoint request names nothing.
+  EXPECT_FALSE(ParseRequestLine("checkpointing", 2).ok());
 }
 
 TEST(ProtocolTest, FormatsOkResponseWithRoundTripPrecision) {

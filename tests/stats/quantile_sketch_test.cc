@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/byte_io.h"
 #include "common/rng.h"
 #include "sim/gaussian_mixture.h"
 
@@ -245,6 +246,78 @@ TEST(QuantileSketchTest, ResetClearsObservedStateKeepsGeometry) {
   EXPECT_TRUE(std::isnan(sketch.Quantile(0.5)));
   sketch.Add(3.0);
   EXPECT_EQ(sketch.Quantile(0.5), 3.0);
+}
+
+TEST(QuantileSketchSerializationTest, RoundTripRestoresBitIdenticalEstimates) {
+  QuantileSketch sketch;
+  // Positives, negatives, zeros, extremes — every store participates.
+  for (double x : GaussianSample(5000, 0.0, 3.0, 17)) sketch.Add(x);
+  sketch.Add(0.0);
+  sketch.Add(0.0);
+  std::string bytes;
+  common::ByteWriter writer(&bytes);
+  sketch.SerializeTo(writer);
+
+  QuantileSketch restored;
+  common::ByteReader reader(bytes);
+  ASSERT_TRUE(restored.DeserializeFrom(reader).ok());
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(restored.count(), sketch.count());
+  EXPECT_EQ(restored.dropped(), sketch.dropped());
+  EXPECT_EQ(restored.min(), sketch.min());
+  EXPECT_EQ(restored.max(), sketch.max());
+  for (double p : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0})
+    EXPECT_EQ(restored.Quantile(p), sketch.Quantile(p)) << "p=" << p;
+  // And the restored sketch re-serializes to the same bytes.
+  std::string again;
+  common::ByteWriter writer2(&again);
+  restored.SerializeTo(writer2);
+  EXPECT_EQ(again, bytes);
+}
+
+TEST(QuantileSketchSerializationTest, EmptySketchRoundTrips) {
+  QuantileSketch sketch;
+  std::string bytes;
+  common::ByteWriter writer(&bytes);
+  sketch.SerializeTo(writer);
+  QuantileSketch restored;
+  common::ByteReader reader(bytes);
+  ASSERT_TRUE(restored.DeserializeFrom(reader).ok());
+  EXPECT_EQ(restored.count(), 0u);
+  EXPECT_TRUE(std::isnan(restored.Quantile(0.5)));
+}
+
+TEST(QuantileSketchSerializationTest, CorruptPayloadsRejectedWithoutMutating) {
+  QuantileSketch sketch;
+  for (double x : GaussianSample(2000, 1.0, 1.0, 18)) sketch.Add(x);
+  std::string bytes;
+  common::ByteWriter writer(&bytes);
+  sketch.SerializeTo(writer);
+
+  // Truncations: every parse fails, and the target sketch keeps its prior
+  // state (commit-on-success semantics).
+  for (size_t len : {size_t{0}, size_t{4}, bytes.size() / 2, bytes.size() - 1}) {
+    QuantileSketch target;
+    target.Add(42.0);
+    common::ByteReader reader(bytes.data(), len);
+    EXPECT_FALSE(target.DeserializeFrom(reader).ok()) << "prefix " << len;
+    EXPECT_EQ(target.count(), 1u);
+    EXPECT_EQ(target.Quantile(0.5), 42.0);
+  }
+  // A bucket-count/total mismatch (flip a count byte) is caught by the
+  // overflow-safe sum check.
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] = static_cast<char>(flipped[flipped.size() / 2] ^ 0x01);
+  QuantileSketch target;
+  common::ByteReader reader(flipped);
+  // Either an invalid-structure error or (if the flip hit min/max) a
+  // finite-extremes failure; it must not be silently accepted as-is with
+  // inconsistent counts.
+  if (target.DeserializeFrom(reader).ok()) {
+    // The flip landed somewhere value-only (e.g. min/max mantissa) that
+    // keeps the invariants intact; counts must still be self-consistent.
+    EXPECT_EQ(target.count(), sketch.count());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerates tests/data/corrupt/ from pristine artifacts.
+
+Usage: make_corrupt_corpus.py <plan.bin> <checkpoint.otcp> <out_dir>
+
+Derives the structured corruption corpus the regression test
+(tests/integration/corrupt_corpus_test.cc) asserts over: every derived
+file must be rejected by the matching reader with a clean Status. The
+classes mirror what the fuzzers and the chaos harness exercise —
+truncation (torn write), bit flips (media corruption), oversize (trailing
+junk after a valid payload), header forgery (magic/version), length-field
+inflation (huge allocation guard), and outright garbage.
+
+Mutations are deterministic (fixed offsets, fixed XOR masks): rerunning on
+the same inputs reproduces the corpus byte for byte.
+"""
+
+import pathlib
+import struct
+import sys
+
+
+def mutations(data: bytes, huge_offset: int):
+    n = len(data)
+    # Torn writes: a header-only stump, a mid-header cut, mid-payload cuts.
+    yield "trunc_header", data[:6]
+    yield "trunc_quarter", data[: n // 4]
+    yield "trunc_half", data[: n // 2]
+    yield "trunc_tail", data[: n - 1]
+    # Bit flips spread across header and payload.
+    for tag, pos in (("flip_magic", 1), ("flip_early", 24),
+                     ("flip_mid", n // 2), ("flip_late", n - 2)):
+        flipped = bytearray(data)
+        flipped[pos] ^= 0x40
+        yield tag, bytes(flipped)
+    # Oversize: valid file plus trailing junk (size/CRC field must catch it).
+    yield "oversize", data + b"\xde\xad\xbe\xef" * 8
+    # Header forgery.
+    wrong_magic = bytearray(data)
+    wrong_magic[0:4] = b"NOPE"
+    yield "wrong_magic", bytes(wrong_magic)
+    wrong_version = bytearray(data)
+    wrong_version[4:8] = struct.pack("<I", 0x7FFFFFFF)
+    yield "wrong_version", bytes(wrong_version)
+    # Length-field inflation: a u64 length field becomes huge. The readers
+    # must bounds-check before allocating, not after — both formats carry a
+    # CRC (plan since v4) so any offset is also a checksum break, but the
+    # plan offset still lands on a real length field to prove the
+    # allocation guard fires even when the parse runs ahead of the CRC.
+    inflated = bytearray(data)
+    inflated[huge_offset : huge_offset + 8] = struct.pack("<Q", 1 << 60)
+    yield "huge_length", bytes(inflated)
+    # Garbage that never had the format.
+    yield "empty", b""
+    yield "zeros", b"\x00" * 256
+    yield "text", b"this is not a binary artifact\n" * 4
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    plan = pathlib.Path(sys.argv[1]).read_bytes()
+    checkpoint = pathlib.Path(sys.argv[2]).read_bytes()
+    out = pathlib.Path(sys.argv[3])
+    out.mkdir(parents=True, exist_ok=True)
+    count = 0
+    # 48 = the first feature-name length field of a v3/v4 plan with |S| = 2
+    # (magic 4 + version 4 + dim u64 + target_t f64 + u_levels u32 +
+    #  s_levels u32 + two lambda f64s).
+    for prefix, data, huge_offset in (("plan", plan, 48),
+                                      ("checkpoint", checkpoint, len(checkpoint) // 3)):
+        for tag, mutated in mutations(data, huge_offset):
+            (out / f"{prefix}_{tag}.bin").write_bytes(mutated)
+            count += 1
+    print(f"wrote {count} corpus files to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,9 +20,13 @@
 //
 // CSV layout: header `s,u[,y],<feature names...>`, binary labels.
 
+#include <signal.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +50,7 @@
 #include "fairness/report.h"
 #include "ot/solver.h"
 #include "serve/batcher.h"
+#include "serve/checkpointer.h"
 #include "serve/protocol.h"
 #include "serve/redesigner.h"
 #include "serve/repair_service.h"
@@ -60,6 +65,26 @@ using otfair::common::Status;
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Set (to the signal number) by SIGTERM/SIGINT during `serve`; both serve
+/// modes poll it and drain: stop accepting, flush in-flight rows, write a
+/// final checkpoint, exit 0.
+volatile std::sig_atomic_t g_drain_signal = 0;
+
+void HandleDrainSignal(int sig) { g_drain_signal = sig; }
+
+/// Installs the drain handlers WITHOUT SA_RESTART: the stdio loop blocks
+/// in getline(), which must come back with EINTR for the drain to start
+/// promptly instead of waiting for the next input line.
+void InstallDrainHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleDrainSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
 }
 
 /// Resolves the shared `--threads` flag: absent -> 0 (process default,
@@ -125,6 +150,7 @@ void PrintServeUsage(std::FILE* out) {
                "    repair <session> <row> <u> <s> <x_1..x_d>   -> ok <session> <row> <y...>\n"
                "    metrics | health                            -> one-line JSON\n"
                "    reload <plan_path>                          -> ok reload <version>\n"
+               "    checkpoint                                  -> ok checkpoint <generation>\n"
                "    quit\n"
                "  Flags:\n"
                "    --seed=N           base repair seed (session 0 = offline batch seed)\n"
@@ -151,6 +177,18 @@ void PrintServeUsage(std::FILE* out) {
                "    --heal_drain_ms=20000     replay: settle wait before exit\n"
                "    --faults=SPEC      fault injection (also OTFAIR_FAULTS env);\n"
                "                       name[:count] list, see README\n"
+               "  Crash safety (checkpoint / recover / drain):\n"
+               "    --checkpoint_dir=D        write periodic atomic checkpoints into D\n"
+               "    --checkpoint_interval_ms=1000  background checkpoint cadence\n"
+               "    --checkpoint_keep=3       generations retained (recovery window)\n"
+               "    --recover          start from the newest intact checkpoint in\n"
+               "                       --checkpoint_dir (plan, version, drift state,\n"
+               "                       sketches; seed/mode/strength come from the\n"
+               "                       checkpoint — the bit-identity contract), falling\n"
+               "                       back generation-by-generation past corrupt files\n"
+               "                       and cold-starting from --plan when none is intact\n"
+               "  SIGTERM/SIGINT drain gracefully: stop accepting input, flush\n"
+               "  in-flight rows, write a final checkpoint, exit 0.\n"
                "  Replay prints metrics and health JSON lines, then exits 0 when\n"
                "  healthy or degraded-but-serving (see the health \"state\" field),\n"
                "  3 when drifted with self-heal disabled or unresolved, 1 on any\n"
@@ -159,8 +197,10 @@ void PrintServeUsage(std::FILE* out) {
 
 void PrintInspectUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: otfair inspect --plan=P.bin | --data=D.csv [--json]\n"
-               "  Prints a plan artifact's structure or a CSV's fairness report.\n"
+               "usage: otfair inspect --plan=P.bin | --data=D.csv | --checkpoint=C [--json]\n"
+               "  Prints a plan artifact's structure, a CSV's fairness report, or a\n"
+               "  serve checkpoint's contents (after full header/CRC/payload\n"
+               "  validation — a corrupt file fails with the rejection reason).\n"
                "  JSON output includes \"simd_isa\", the vector instruction set the\n"
                "  process dispatched to (avx2|neon|scalar).\n"
                "    --json   one-line machine-readable JSON on stdout\n");
@@ -420,7 +460,9 @@ otfair::common::Result<otfair::serve::BatcherOptions> ServeBatcherOptions(
 int RunServeReplay(otfair::serve::RepairService& service,
                    const otfair::serve::BatcherOptions& batcher_options,
                    const otfair::data::Dataset& archive, size_t sessions,
-                   otfair::serve::Redesigner* redesigner, int heal_drain_ms) {
+                   otfair::serve::Redesigner* redesigner, int heal_drain_ms,
+                   otfair::serve::Checkpointer* checkpointer) {
+  std::atomic<uint64_t> submitted{0};
   std::atomic<uint64_t> responses{0};
   std::atomic<uint64_t> failures{0};
   otfair::serve::Batcher batcher(
@@ -437,6 +479,8 @@ int RunServeReplay(otfair::serve::RepairService& service,
   for (size_t session = 0; session < sessions; ++session) {
     workers.emplace_back([&, session] {
       for (size_t i = 0; i < archive.size(); ++i) {
+        // Drain: stop submitting; rows already accepted still complete.
+        if (g_drain_signal != 0) break;
         otfair::serve::RowRequest request;
         request.session_id = session;
         request.row_index = i;
@@ -451,6 +495,7 @@ int RunServeReplay(otfair::serve::RepairService& service,
           if (status.ok()) break;
           batcher.Flush();
         }
+        submitted.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -458,12 +503,14 @@ int RunServeReplay(otfair::serve::RepairService& service,
   batcher.Flush();
   batcher.Close();
   const double seconds = timer.ElapsedSeconds();
+  const bool drained = g_drain_signal != 0;
 
   // With self-heal on, let the redesigner settle before judging health:
   // drift that tripped near the end of the replay may still be mid-episode
   // (redesign in flight or backing off). The wait is bounded — a stream
-  // whose sketches never ripened stays drifted and exits 3 below.
-  if (redesigner != nullptr) {
+  // whose sketches never ripened stays drifted and exits 3 below. A drain
+  // skips the wait: the operator asked for a prompt exit.
+  if (redesigner != nullptr && !drained) {
     const auto drain_deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(heal_drain_ms);
     while (std::chrono::steady_clock::now() < drain_deadline) {
@@ -473,16 +520,27 @@ int RunServeReplay(otfair::serve::RepairService& service,
     }
   }
 
-  const uint64_t expected = static_cast<uint64_t>(sessions) * archive.size();
+  // A drain writes a final checkpoint so the next --recover resumes from
+  // the last row served, not the last background tick.
+  if (checkpointer != nullptr) {
+    if (Status status = checkpointer->WriteNow(); !status.ok())
+      std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                   status.ToString().c_str());
+  }
+
+  // Under a drain only the rows actually accepted are owed responses.
+  const uint64_t expected =
+      drained ? submitted.load() : static_cast<uint64_t>(sessions) * archive.size();
   const auto metrics = service.metrics().Snapshot(batcher.queue_depth());
   const auto health = service.Health();
   std::printf("%s\n%s\n", metrics.ToJson().c_str(), health.ToJson().c_str());
   std::fprintf(stderr,
                "replayed %llu rows over %zu sessions in %.2fs (%.0f rows/s)  "
-               "p50=%.0fus p99=%.0fus  %s\n",
+               "p50=%.0fus p99=%.0fus  %s%s\n",
                static_cast<unsigned long long>(responses.load()), sessions, seconds,
                seconds > 0 ? static_cast<double>(responses.load()) / seconds : 0.0,
-               metrics.latency_p50_us, metrics.latency_p99_us, health.state());
+               metrics.latency_p50_us, metrics.latency_p99_us, health.state(),
+               drained ? "  (drained on signal)" : "");
   if (responses.load() != expected || failures.load() > 0) {
     std::fprintf(stderr, "error: %llu/%llu responses, %llu failures\n",
                  static_cast<unsigned long long>(responses.load()),
@@ -490,6 +548,10 @@ int RunServeReplay(otfair::serve::RepairService& service,
                  static_cast<unsigned long long>(failures.load()));
     return 1;
   }
+  // A clean drain exits 0: every accepted row was answered and the final
+  // checkpoint landed (or its failure was logged); the process was asked
+  // to stop, so the drift verdict is advisory here.
+  if (drained) return 0;
   // Degraded means self-heal gave up but every row was served on the old
   // snapshot — that is the graceful-degradation contract, exit 0 (the
   // health JSON above carries "state":"degraded" for operators). Exit 3 is
@@ -498,9 +560,13 @@ int RunServeReplay(otfair::serve::RepairService& service,
   return health.drifted ? 3 : 0;
 }
 
-/// Interactive mode: the newline protocol on stdin/stdout.
+/// Interactive mode: the newline protocol on stdin/stdout. A SIGTERM/
+/// SIGINT interrupts getline (the handlers install without SA_RESTART) and
+/// drains: the loop exits, pending rows flush, and a final checkpoint is
+/// written before the clean exit-0 return.
 int RunServeStdio(otfair::serve::RepairService& service,
-                  const otfair::serve::BatcherOptions& batcher_options) {
+                  const otfair::serve::BatcherOptions& batcher_options,
+                  otfair::serve::Checkpointer* checkpointer) {
   std::mutex out_mu;
   otfair::serve::Batcher batcher(
       &service, batcher_options, [&](const otfair::serve::RowResponse& response) {
@@ -519,7 +585,8 @@ int RunServeStdio(otfair::serve::RepairService& service,
   char* line_buf = nullptr;
   size_t line_cap = 0;
   ssize_t line_len;
-  while ((line_len = ::getline(&line_buf, &line_cap, stdin)) >= 0) {
+  while (g_drain_signal == 0 &&
+         (line_len = ::getline(&line_buf, &line_cap, stdin)) >= 0) {
     std::string line(line_buf, static_cast<size_t>(line_len));
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
     if (line.empty()) continue;
@@ -553,45 +620,179 @@ int RunServeStdio(otfair::serve::RepairService& service,
         }
         break;
       }
+      case RequestKind::kCheckpoint: {
+        if (checkpointer == nullptr) {
+          respond(otfair::serve::FormatErrorLine(Status::FailedPrecondition(
+              "checkpointing disabled (serve with --checkpoint_dir)")));
+          break;
+        }
+        // Drain in-flight micro-batches first so the acked checkpoint
+        // covers every row accepted before the verb — without the flush
+        // a partial batch could still be queued and its drift/sketch
+        // updates would miss the snapshot.
+        batcher.Flush();
+        if (Status status = checkpointer->WriteNow(); !status.ok()) {
+          respond(otfair::serve::FormatErrorLine(status));
+        } else {
+          respond("ok checkpoint " + std::to_string(checkpointer->generation()));
+        }
+        break;
+      }
       case RequestKind::kQuit:
         break;
     }
   }
   std::free(line_buf);
+  // Drain (signal or quit/EOF): stop accepting, finish what was accepted,
+  // then persist the post-flush state so --recover resumes exactly here.
   batcher.Close();
+  if (checkpointer != nullptr) {
+    if (Status status = checkpointer->WriteNow(); !status.ok())
+      std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                   status.ToString().c_str());
+  }
+  if (g_drain_signal != 0)
+    std::fprintf(stderr, "drained on signal %d (final checkpoint generation %llu)\n",
+                 static_cast<int>(g_drain_signal),
+                 checkpointer != nullptr
+                     ? static_cast<unsigned long long>(checkpointer->generation())
+                     : 0ULL);
   return 0;
+}
+
+/// Builds the service from the newest intact checkpoint. The checkpoint's
+/// repair semantics (seed/mode/strength/sketch cadence) override any flags
+/// — they bind the bit-identity contract pre-crash sessions were served
+/// under — with a stderr warning when a flag would have disagreed. Returns
+/// kNotFound (checkpoint directory empty/corrupt-through) for the caller
+/// to cold-start; recovery never refuses to serve.
+otfair::common::Result<std::unique_ptr<otfair::serve::RepairService>> RecoverService(
+    const FlagParser& flags, const std::string& checkpoint_dir,
+    const otfair::serve::ServiceOptions& flag_options, uint64_t* recovered_generation) {
+  auto recovered = otfair::serve::RecoverNewestCheckpoint(checkpoint_dir);
+  if (!recovered.ok()) return recovered.status();
+  for (const std::string& note : recovered->skipped)
+    std::fprintf(stderr, "warning: skipped corrupt checkpoint: %s\n", note.c_str());
+  otfair::serve::CheckpointData& data = recovered->data;
+
+  otfair::serve::ServiceOptions options = flag_options;
+  auto warn_override = [&](const char* flag, bool differs) {
+    if (flags.Has(flag) && differs)
+      std::fprintf(stderr,
+                   "warning: --%s overridden by the recovered checkpoint (repair "
+                   "semantics are fixed by the pre-crash service)\n",
+                   flag);
+  };
+  warn_override("seed", options.seed != data.seed);
+  warn_override("mode", static_cast<uint32_t>(options.mode) != data.mode);
+  warn_override("strength", options.strength != data.strength);
+  warn_override("sketch_every", options.sketch_sample_every != data.sketch_sample_every);
+  options.seed = data.seed;
+  options.mode = static_cast<otfair::core::TransportMode>(data.mode);
+  options.strength = data.strength;
+  options.sketch_sample_every = data.sketch_sample_every;
+  options.initial_plan_version = data.plan_version;
+
+  auto service = otfair::serve::RepairService::Create(std::move(data.plans), options);
+  if (!service.ok()) return service.status();
+  // Observed state is best-effort: a restore failure costs drift history,
+  // not availability (fresh accumulators are the cold-start behaviour).
+  if (Status status = (*service)->RestoreObservedState(data.drift_counts, data.sketches);
+      !status.ok())
+    std::fprintf(stderr,
+                 "warning: checkpoint observed-state restore failed (%s); "
+                 "continuing with fresh drift state\n",
+                 status.ToString().c_str());
+  (*service)->SetDegraded(data.degraded);
+  (*service)->MarkRecovered(data.generation);
+  *recovered_generation = data.generation;
+  std::fprintf(stderr,
+               "recovered checkpoint generation %llu from %s (plan version %llu%s%s)\n",
+               static_cast<unsigned long long>(data.generation), recovered->path.c_str(),
+               static_cast<unsigned long long>(data.plan_version),
+               data.degraded ? ", degraded" : "",
+               data.episode_open ? ", drift episode was open" : "");
+  return service;
 }
 
 int RunServe(const FlagParser& flags) {
   if (WantsHelp(flags, PrintServeUsage)) return 0;
   const std::string plan_path = flags.GetString("plan", "");
-  if (plan_path.empty()) {
+  const std::string checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  const bool recover = flags.GetBool("recover", false);
+  if (recover && checkpoint_dir.empty())
+    return Fail(Status::InvalidArgument("--recover requires --checkpoint_dir"));
+  // --plan is optional under --recover (the checkpoint embeds the plan),
+  // but without either there is nothing to serve.
+  if (plan_path.empty() && !recover) {
     PrintServeUsage(stderr);
     return 2;
   }
-  auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
-  if (!plans.ok()) return Fail(plans.status());
   auto service_options = ServeServiceOptions(flags);
   if (!service_options.ok()) return Fail(service_options.status());
-  auto service = otfair::serve::RepairService::Create(std::move(*plans), *service_options);
-  if (!service.ok()) return Fail(service.status());
+
+  std::unique_ptr<otfair::serve::RepairService> service;
+  uint64_t recovered_generation = 0;
+  if (recover) {
+    auto recovered =
+        RecoverService(flags, checkpoint_dir, *service_options, &recovered_generation);
+    if (recovered.ok()) {
+      service = std::move(*recovered);
+    } else if (recovered.status().code() == otfair::common::StatusCode::kNotFound) {
+      if (plan_path.empty())
+        return Fail(Status::NotFound(
+            "no intact checkpoint in " + checkpoint_dir +
+            " and no --plan to cold-start from (" + recovered.status().message() + ")"));
+      std::fprintf(stderr, "warning: %s; cold-starting from %s\n",
+                   recovered.status().message().c_str(), plan_path.c_str());
+    } else {
+      return Fail(recovered.status());
+    }
+  }
+  if (!service) {
+    auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
+    if (!plans.ok()) return Fail(plans.status());
+    auto created = otfair::serve::RepairService::Create(std::move(*plans), *service_options);
+    if (!created.ok()) return Fail(created.status());
+    service = std::move(*created);
+  }
 
   // The self-heal loop runs identically under both modes; it only talks to
   // the service. Held here so it outlives whichever mode runs and stops
-  // (thread join) before the service dies.
+  // (thread join) before the service dies. After a crash mid-episode the
+  // restored drift accumulators still trip the monitor, so the loop
+  // re-opens the episode on its own — no episode state needs replaying.
   std::unique_ptr<otfair::serve::Redesigner> redesigner;
   if (flags.GetBool("self-heal", false) || flags.GetBool("self_heal", false)) {
     auto created =
-        otfair::serve::Redesigner::Create(service->get(), ServeRedesignerOptions(flags));
+        otfair::serve::Redesigner::Create(service.get(), ServeRedesignerOptions(flags));
     if (!created.ok()) return Fail(created.status());
     redesigner = std::move(*created);
   }
 
+  // The checkpoint loop starts after recovery so its write counter seeds
+  // past every pre-crash generation (new files sort strictly newer).
+  std::unique_ptr<otfair::serve::Checkpointer> checkpointer;
+  if (!checkpoint_dir.empty()) {
+    otfair::serve::CheckpointerOptions checkpoint_options;
+    checkpoint_options.dir = checkpoint_dir;
+    checkpoint_options.interval_ms =
+        flags.GetInt("checkpoint_interval_ms", checkpoint_options.interval_ms);
+    checkpoint_options.keep = flags.GetInt("checkpoint_keep", checkpoint_options.keep);
+    auto created = otfair::serve::Checkpointer::Create(
+        service.get(), checkpoint_options, redesigner.get(), recovered_generation);
+    if (!created.ok()) return Fail(created.status());
+    checkpointer = std::move(*created);
+  }
+
+  InstallDrainHandlers();
+
   const std::string replay_path = flags.GetString("replay", "");
+  int ret = 0;
   if (!replay_path.empty()) {
     auto archive = otfair::data::ReadCsv(replay_path);
     if (!archive.ok()) return Fail(archive.status());
-    if (archive->dim() != (*service)->dim())
+    if (archive->dim() != service->dim())
       return Fail(Status::InvalidArgument("replay archive/plan dimensionality mismatch"));
     const int sessions = flags.GetInt("sessions", 1);
     if (sessions < 1) return Fail(Status::InvalidArgument("--sessions must be >= 1"));
@@ -599,15 +800,18 @@ int RunServe(const FlagParser& flags) {
     // thread would only add wakeups.
     auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/false);
     if (!batcher_options.ok()) return Fail(batcher_options.status());
-    const int ret = RunServeReplay(**service, *batcher_options, *archive,
-                                   static_cast<size_t>(sessions), redesigner.get(),
-                                   flags.GetInt("heal_drain_ms", 20000));
-    if (redesigner) redesigner->Stop();
-    return ret;
+    ret = RunServeReplay(*service, *batcher_options, *archive,
+                         static_cast<size_t>(sessions), redesigner.get(),
+                         flags.GetInt("heal_drain_ms", 20000), checkpointer.get());
+  } else {
+    auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/true);
+    if (!batcher_options.ok()) return Fail(batcher_options.status());
+    ret = RunServeStdio(*service, *batcher_options, checkpointer.get());
   }
-  auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/true);
-  if (!batcher_options.ok()) return Fail(batcher_options.status());
-  const int ret = RunServeStdio(**service, *batcher_options);
+  // Stop order mirrors dependency order: the checkpoint loop reads the
+  // service and redesigner, so it stops first (the modes already wrote
+  // their final checkpoint synchronously).
+  if (checkpointer) checkpointer->Stop();
   if (redesigner) redesigner->Stop();
   return ret;
 }
@@ -618,7 +822,52 @@ int RunInspect(const FlagParser& flags) {
   if (WantsHelp(flags, PrintInspectUsage)) return 0;
   const std::string plan_path = flags.GetString("plan", "");
   const std::string data_path = flags.GetString("data", "");
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
   const bool json = flags.GetBool("json", false);
+  if (!checkpoint_path.empty()) {
+    auto data = otfair::serve::LoadCheckpointFile(checkpoint_path);
+    if (!data.ok()) return Fail(data.status());
+    uint64_t sketch_rows = 0;
+    for (const auto& sketch : data->sketches) sketch_rows += sketch.count();
+    const char* mode = data->mode == 1 ? "mean" : "stochastic";
+    if (json) {
+      JsonWriter w;
+      w.BeginObject()
+          .Key("kind").String("checkpoint")
+          .Key("path").String(checkpoint_path)
+          .Key("generation").Uint(data->generation)
+          .Key("plan_version").Uint(data->plan_version)
+          .Key("degraded").Bool(data->degraded)
+          .Key("episode_open").Bool(data->episode_open)
+          .Key("seed").Uint(data->seed)
+          .Key("mode").String(mode)
+          .Key("strength").Double(data->strength)
+          .Key("sketch_sample_every").Uint(data->sketch_sample_every)
+          .Key("sketches").Uint(data->sketches.size())
+          .Key("sketch_rows").Uint(sketch_rows)
+          .Key("drift_counts_bytes").Uint(data->drift_counts.size())
+          .Key("dim").Uint(data->plans.dim())
+          .Key("s_levels").Uint(data->plans.s_levels())
+          .Key("u_levels").Uint(data->plans.u_levels())
+          .EndObject();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
+    std::printf(
+        "checkpoint %s\n"
+        "  generation %llu, plan version %llu%s%s\n"
+        "  repair semantics: seed=%llu mode=%s strength=%.3f sketch_every=%llu\n"
+        "  plan: dim=%zu |S|=%zu |U|=%zu\n"
+        "  observed state: %zu sketches (%llu sampled values), %zu drift-count bytes\n",
+        checkpoint_path.c_str(), static_cast<unsigned long long>(data->generation),
+        static_cast<unsigned long long>(data->plan_version),
+        data->degraded ? ", degraded" : "", data->episode_open ? ", episode open" : "",
+        static_cast<unsigned long long>(data->seed), mode, data->strength,
+        static_cast<unsigned long long>(data->sketch_sample_every), data->plans.dim(),
+        data->plans.s_levels(), data->plans.u_levels(), data->sketches.size(),
+        static_cast<unsigned long long>(sketch_rows), data->drift_counts.size());
+    return 0;
+  }
   if (!plan_path.empty()) {
     auto plans = otfair::core::RepairPlanSet::LoadFromFile(plan_path);
     if (!plans.ok()) return Fail(plans.status());
