@@ -44,6 +44,10 @@
 //   sketch_update_ns   ns per QuantileSketch::Add on a Gaussian stream —
 //                      the per-value cost the serve path pays when channel
 //                      sketches are enabled.
+//   trace_overhead_disabled  ns per OTFAIR_TRACE_SPAN guard with span
+//   trace_overhead_enabled   collection off (the serving default — must
+//                      be branch-cheap) vs on (two clock reads plus a
+//                      wait-free ring push): the tracing-is-free claim.
 //   redesign_to_reload_ms  one full self-heal redesign on a drift-tripped
 //                      service: sketch snapshot -> design -> validation ->
 //                      hot ReloadPlan (Redesigner::AttemptRedesign), the
@@ -73,6 +77,7 @@
 #include "common/timer.h"
 #include "core/designer.h"
 #include "core/repairer.h"
+#include "obs/trace.h"
 #include "ot/cost.h"
 #include "ot/exact.h"
 #include "ot/sinkhorn.h"
@@ -523,6 +528,46 @@ int main(int argc, char** argv) {
     cases.push_back(c);
     std::fprintf(stderr, "sketch_update_ns  threads=1  %10.2f ms  (%.1f ns/value)\n", ms,
                  c.ns_per_op);
+  }
+
+  // --- trace_overhead_disabled / trace_overhead_enabled --------------------
+  // The span guard in isolation: a tight loop around OTFAIR_TRACE_SPAN.
+  // Disabled (the serving default, and how every row above is measured)
+  // must cost one relaxed load and a predicted branch — sub-ns, which is
+  // the "tracing compiled in costs nothing" claim. Enabled pays two
+  // steady-clock reads plus a wait-free ring push per span.
+  {
+    const size_t spans = smoke ? 100000 : 10000000;
+    auto spin = [&](size_t n) {
+      uint64_t acc = 0;
+      for (size_t i = 0; i < n; ++i) {
+        OTFAIR_TRACE_SPAN("bench_overhead");
+        acc += i;
+      }
+      return acc;
+    };
+    auto& collector = otfair::obs::TraceCollector::Global();
+    for (const bool enabled : {false, true}) {
+      if (enabled)
+        collector.Enable();
+      else
+        collector.Disable();
+      volatile uint64_t sink = 0;
+      const double ms = BestWallMs(repeats, [&] { sink = sink + spin(spans); });
+      collector.Disable();
+      collector.ResetForTest();  // discard the pushed spans, free the rings
+      BenchCase c;
+      c.name = enabled ? "trace_overhead_enabled" : "trace_overhead_disabled";
+      c.threads = 1;
+      std::snprintf(params, sizeof(params), "{\"spans\": %zu}", spans);
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = ms;
+      c.ns_per_op = ms * 1e6 / static_cast<double>(spans);
+      cases.push_back(c);
+      std::fprintf(stderr, "%-24s threads=1 %8.2f ms  (%.2f ns/span)\n", c.name.c_str(),
+                   ms, c.ns_per_op);
+    }
   }
 
   // --- redesign_to_reload_ms: one self-heal episode's critical path --------

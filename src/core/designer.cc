@@ -9,6 +9,7 @@
 
 #include "common/parallel.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "ot/barycenter.h"
 #include "ot/solver.h"
 
@@ -59,6 +60,7 @@ Status DesignChannelFromSamples(const DesignOptions& options, const ot::Solver& 
                                 size_t s_levels, const std::vector<double>& stratum_samples,
                                 const std::vector<std::vector<double>>& samples_by_s,
                                 ChannelPlan* channel) {
+  OTFAIR_TRACE_SPAN("design_channel");
   // (i) Interpolated support over the stratum's range (Algorithm 1,
   // lines 3-5).
   auto grid = SupportGrid::FromSamples(stratum_samples, options.n_q);
@@ -90,6 +92,7 @@ Status DesignChannelFromSamples(const DesignOptions& options, const ot::Solver& 
   // sparse-native solve keeps the monotone staircase (and the exact
   // solver's support set) in CSR form end to end — nothing densifies.
   for (size_t s = 0; s < s_levels; ++s) {
+    OTFAIR_TRACE_SPAN("channel_solve");
     auto plan = solver.Solve1DSparse(channel->marginal[s], channel->barycenter);
     if (!plan.ok()) return plan.status();
     channel->plan[s] = std::move(*plan);

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace otfair::core {
 
@@ -190,6 +191,7 @@ double OffSampleRepairer::RepairValueImpl(int u, int s, size_t k, double x, comm
 void OffSampleRepairer::RepairSpan(int u, int s, size_t k, const double* xs, size_t count,
                                    common::Rng* rngs, double* out, RepairStats& stats,
                                    SpanScratch& scratch) const {
+  OTFAIR_TRACE_SPAN("repair_span");
   const ChannelPlan& channel = plans_.At(u, k);
   const ChannelTables& tables = TablesFor(u, s, k);
   const size_t nq = channel.grid.size();

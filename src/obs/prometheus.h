@@ -1,0 +1,18 @@
+#ifndef OTFAIR_OBS_PROMETHEUS_H_
+#define OTFAIR_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace otfair::obs {
+
+/// Renders every family in `registry` in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` / `# TYPE` comments followed by
+/// sample lines. Histograms expose cumulative `_bucket{le="..."}` samples
+/// over a powers-of-4 microsecond ladder plus `_sum` and `_count`.
+std::string RenderPrometheusText(const Registry& registry);
+
+}  // namespace otfair::obs
+
+#endif  // OTFAIR_OBS_PROMETHEUS_H_

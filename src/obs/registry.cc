@@ -1,0 +1,262 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace otfair::obs {
+
+namespace {
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Gauge::Set(double v) { bits_.store(DoubleToBits(v), std::memory_order_relaxed); }
+
+double Gauge::Value() const { return BitsToDouble(bits_.load(std::memory_order_relaxed)); }
+
+int Histogram::BucketIndex(uint64_t us) {
+  if (us < 8) return static_cast<int>(us);
+  const int exp = 63 - std::countl_zero(us);
+  const int sub = static_cast<int>((us >> (exp - 3)) & 7);
+  const int bucket = 8 + 8 * (exp - 3) + sub;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketValueUs(int bucket) {
+  if (bucket < 8) return static_cast<uint64_t>(bucket);
+  const int exp = 3 + (bucket - 8) / 8;
+  const int sub = (bucket - 8) % 8;
+  const uint64_t lo = (uint64_t{1} << exp) + (static_cast<uint64_t>(sub) << (exp - 3));
+  const uint64_t width = uint64_t{1} << (exp - 3);
+  return lo + width / 2;
+}
+
+uint64_t Histogram::BucketUpperEdgeUs(int bucket) {
+  if (bucket < 8) return static_cast<uint64_t>(bucket);
+  const int exp = 3 + (bucket - 8) / 8;
+  const int sub = (bucket - 8) % 8;
+  const uint64_t lo = (uint64_t{1} << exp) + (static_cast<uint64_t>(sub) << (exp - 3));
+  const uint64_t width = uint64_t{1} << (exp - 3);
+  return lo + width - 1;
+}
+
+void Histogram::Record(uint64_t us) {
+  counts_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS-accumulate the double sum; contention here is bounded by the
+  // latency-sampling rate, not the row rate.
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const uint64_t new_bits = DoubleToBits(BitsToDouble(old_bits) + static_cast<double>(us));
+    if (sum_bits_.compare_exchange_weak(old_bits, new_bits, std::memory_order_relaxed)) break;
+  }
+  uint64_t old_max = max_.load(std::memory_order_relaxed);
+  while (us > old_max &&
+         !max_.compare_exchange_weak(old_max, us, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Read() const {
+  Snapshot snap;
+  snap.counts.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+Histogram::Snapshot Histogram::Delta(const Snapshot& cur, const Snapshot& prev) {
+  Snapshot delta;
+  delta.counts.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t p = i < static_cast<int>(prev.counts.size()) ? prev.counts[i] : 0;
+    delta.counts[i] = cur.counts[i] >= p ? cur.counts[i] - p : 0;
+  }
+  delta.count = cur.count >= prev.count ? cur.count - prev.count : 0;
+  delta.sum = cur.sum - prev.sum;
+  delta.max = cur.max;
+  return delta;
+}
+
+uint64_t Histogram::Snapshot::QuantileUs(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      const uint64_t v = Histogram::BucketValueUs(i);
+      return v < max ? v : max;
+    }
+  }
+  return max;
+}
+
+common::Status Registry::CheckName(const std::string& name) const {
+  if (!ValidMetricName(name)) {
+    return common::Status::InvalidArgument("invalid metric name: '" + name + "'");
+  }
+  if (instruments_.count(name) != 0) {
+    return common::Status::InvalidArgument("duplicate metric name: '" + name + "'");
+  }
+  for (const auto& [id, cb] : callbacks_) {
+    (void)id;
+    if (cb.name == name) {
+      return common::Status::InvalidArgument("duplicate metric name: '" + name + "'");
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Result<Counter*> Registry::AddCounter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OTFAIR_RETURN_IF_ERROR(CheckName(name));
+  Instrument& inst = instruments_[name];
+  inst.help = help;
+  inst.kind = MetricKind::kCounter;
+  inst.counter = std::make_unique<Counter>();
+  return inst.counter.get();
+}
+
+common::Result<Gauge*> Registry::AddGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OTFAIR_RETURN_IF_ERROR(CheckName(name));
+  Instrument& inst = instruments_[name];
+  inst.help = help;
+  inst.kind = MetricKind::kGauge;
+  inst.gauge = std::make_unique<Gauge>();
+  return inst.gauge.get();
+}
+
+common::Result<Histogram*> Registry::AddHistogram(const std::string& name,
+                                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OTFAIR_RETURN_IF_ERROR(CheckName(name));
+  Instrument& inst = instruments_[name];
+  inst.help = help;
+  inst.kind = MetricKind::kHistogram;
+  inst.histogram = std::make_unique<Histogram>();
+  return inst.histogram.get();
+}
+
+common::Result<CallbackHandle> Registry::AddCallback(const std::string& name,
+                                                     const std::string& help, MetricKind kind,
+                                                     MetricCallback fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OTFAIR_RETURN_IF_ERROR(CheckName(name));
+  const uint64_t id = next_callback_id_++;
+  callbacks_[id] = Callback{name, help, kind, std::move(fn)};
+  return CallbackHandle(this, id);
+}
+
+void Registry::RemoveCallback(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(id);
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(instruments_.size() + callbacks_.size());
+  for (const auto& [name, inst] : instruments_) {
+    (void)inst;
+    names.push_back(name);
+  }
+  for (const auto& [id, cb] : callbacks_) {
+    (void)id;
+    names.push_back(cb.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<MetricFamily> Registry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricFamily> families;
+  families.reserve(instruments_.size() + callbacks_.size());
+  for (const auto& [name, inst] : instruments_) {
+    MetricFamily family;
+    family.name = name;
+    family.help = inst.help;
+    family.kind = inst.kind;
+    switch (inst.kind) {
+      case MetricKind::kCounter:
+        family.samples.push_back({"", static_cast<double>(inst.counter->Value())});
+        break;
+      case MetricKind::kGauge:
+        family.samples.push_back({"", inst.gauge->Value()});
+        break;
+      case MetricKind::kHistogram:
+        family.histogram = inst.histogram->Read();
+        break;
+    }
+    families.push_back(std::move(family));
+  }
+  for (const auto& [id, cb] : callbacks_) {
+    (void)id;
+    MetricFamily family;
+    family.name = cb.name;
+    family.help = cb.help;
+    family.kind = cb.kind;
+    family.samples = cb.fn();
+    families.push_back(std::move(family));
+  }
+  std::sort(families.begin(), families.end(),
+            [](const MetricFamily& a, const MetricFamily& b) { return a.name < b.name; });
+  return families;
+}
+
+CallbackHandle::CallbackHandle(CallbackHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+CallbackHandle& CallbackHandle::operator=(CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) registry_->RemoveCallback(id_);
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+CallbackHandle::~CallbackHandle() {
+  if (registry_ != nullptr) registry_->RemoveCallback(id_);
+}
+
+}  // namespace otfair::obs

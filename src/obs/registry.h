@@ -1,0 +1,185 @@
+#ifndef OTFAIR_OBS_REGISTRY_H_
+#define OTFAIR_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace otfair::obs {
+
+/// Named-metric registry: subsystems register counters / gauges /
+/// histograms (and scrape-time callbacks for labeled families) instead of
+/// growing a hard-coded snapshot struct. Registration is mutex-guarded;
+/// the returned instrument pointers are lock-free and stay valid for the
+/// registry's lifetime.
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Monotonic counter. Increments are relaxed atomics: exact under
+/// concurrency (fetch_add), no ordering guarantees with other metrics.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time double value (bit-cast through an atomic word).
+class Gauge {
+ public:
+  void Set(double v);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// HdrHistogram-style log-linear histogram of microsecond values:
+/// 328 slots — values 0..7 exact, then 8 sub-buckets per power of two up
+/// to 2^44 µs. Records are lock-free; relative quantile error is bounded
+/// by the 1/8 sub-bucket width (~6%).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 328;
+
+  struct Snapshot {
+    std::vector<uint64_t> counts;  // kBuckets entries
+    uint64_t count = 0;
+    double sum = 0.0;
+    uint64_t max = 0;
+
+    /// Nearest-rank quantile (q in [0,1]) as a representative bucket
+    /// midpoint, 0 when empty.
+    uint64_t QuantileUs(double q) const;
+  };
+
+  void Record(uint64_t us);
+  Snapshot Read() const;
+
+  /// counts/count/sum of `cur` minus `prev`; max carries `cur.max`
+  /// (per-window max would need a resettable register — lifetime max is
+  /// the honest value we have).
+  static Snapshot Delta(const Snapshot& cur, const Snapshot& prev);
+
+  static int BucketIndex(uint64_t us);
+  /// Representative (midpoint) value for a bucket.
+  static uint64_t BucketValueUs(int bucket);
+  /// Inclusive upper edge of a bucket in µs (largest value mapping to it).
+  static uint64_t BucketUpperEdgeUs(int bucket);
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double, CAS-accumulated
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One sample from a callback family: optional pre-rendered label string
+/// (Prometheus `key="value"` form, no braces) plus the value.
+struct MetricSample {
+  std::string labels;  // e.g. "u=\"0\",s=\"1\",k=\"0\"" or empty
+  double value = 0.0;
+};
+
+using MetricCallback = std::function<std::vector<MetricSample>()>;
+
+class Registry;
+
+/// RAII registration of a callback family; unregisters on destruction.
+/// The registry must outlive the handle.
+class CallbackHandle {
+ public:
+  CallbackHandle() = default;
+  CallbackHandle(CallbackHandle&& other) noexcept;
+  CallbackHandle& operator=(CallbackHandle&& other) noexcept;
+  ~CallbackHandle();
+
+  CallbackHandle(const CallbackHandle&) = delete;
+  CallbackHandle& operator=(const CallbackHandle&) = delete;
+
+ private:
+  friend class Registry;
+  CallbackHandle(Registry* registry, uint64_t id) : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+/// A rendered family for exposition: direct instruments carry one
+/// unlabeled sample (or a histogram snapshot); callback families carry
+/// whatever the callback returned at collect time.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<MetricSample> samples;
+  std::optional<Histogram::Snapshot> histogram;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register instruments. Names must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* and be unique across the registry
+  /// (instruments and callbacks share the namespace); violations return
+  /// InvalidArgument. Returned pointers live as long as the registry.
+  common::Result<Counter*> AddCounter(const std::string& name, const std::string& help);
+  common::Result<Gauge*> AddGauge(const std::string& name, const std::string& help);
+  common::Result<Histogram*> AddHistogram(const std::string& name, const std::string& help);
+
+  /// Registers a scrape-time callback family (for labeled or computed
+  /// values). The callback runs under the registry mutex during Collect();
+  /// it must not re-enter the registry.
+  common::Result<CallbackHandle> AddCallback(const std::string& name, const std::string& help,
+                                             MetricKind kind, MetricCallback fn);
+
+  /// Registered metric names (instruments + callbacks), sorted. Does not
+  /// invoke callbacks.
+  std::vector<std::string> Names() const;
+
+  /// Reads every instrument and invokes every callback; families sorted
+  /// by name.
+  std::vector<MetricFamily> Collect() const;
+
+ private:
+  friend class CallbackHandle;
+  void RemoveCallback(uint64_t id);
+
+  struct Instrument {
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Callback {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    MetricCallback fn;
+  };
+
+  common::Status CheckName(const std::string& name) const;  // callers hold mu_
+
+  mutable std::mutex mu_;
+  std::map<std::string, Instrument> instruments_;
+  std::map<uint64_t, Callback> callbacks_;
+  uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace otfair::obs
+
+#endif  // OTFAIR_OBS_REGISTRY_H_

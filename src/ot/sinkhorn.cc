@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace otfair::ot {
 
@@ -88,6 +89,7 @@ Result<SinkhornResult> SolveStandard(const std::vector<double>& a, const std::ve
   };
 
   for (size_t iter = 1; iter <= opt.max_iterations; ++iter) {
+    OTFAIR_TRACE_SPAN("sinkhorn_iter");
     // u = a ./ (K v) — the row-kernel dot is the standard iteration's
     // inner loop and vectorizes to a straight fused multiply-add chain.
     ParallelFor(0, n, [&](size_t i) {
@@ -174,6 +176,7 @@ Result<SinkhornResult> SolveLogDomain(const std::vector<double>& a, const std::v
   };
 
   for (size_t iter = 1; iter <= opt.max_iterations; ++iter) {
+    OTFAIR_TRACE_SPAN("sinkhorn_iter");
     // fs_i = log a_i - LSE_j(gs_j - C_ij/eps). The fused two-pass LSE
     // (max, then exp-sum, no scratch buffer) lives in the SIMD layer:
     // the AVX2 table runs both passes 4 lanes wide with a vectorized exp.

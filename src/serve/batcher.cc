@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace otfair::serve {
 
 using common::Status;
@@ -23,6 +25,7 @@ Batcher::Batcher(RepairService* service, const BatcherOptions& options, Sink sin
 Batcher::~Batcher() { Close(); }
 
 Status Batcher::Submit(RowRequest&& request) {
+  OTFAIR_TRACE_SPAN("admit");
   if (closed_.load(std::memory_order_acquire))
     return Status::Unavailable("batcher is closed");
   Item item{std::move(request), {}, false};
@@ -58,6 +61,7 @@ size_t Batcher::ExecuteOne() {
 }
 
 void Batcher::ExecuteItems(std::vector<Item>* items) {
+  OTFAIR_TRACE_SPAN("batch_flush");
   const size_t n = items->size();
   exec_requests_.clear();
   exec_requests_.reserve(n);

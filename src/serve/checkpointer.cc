@@ -17,6 +17,7 @@
 #include "common/byte_io.h"
 #include "common/crc32.h"
 #include "common/file_util.h"
+#include "obs/trace.h"
 
 namespace otfair::serve {
 
@@ -228,8 +229,31 @@ Result<std::unique_ptr<Checkpointer>> Checkpointer::Create(RepairService* servic
                            "': " + std::strerror(errno));
   std::unique_ptr<Checkpointer> checkpointer(
       new Checkpointer(service, options, redesigner, start_generation));
+  // Best-effort gauges (a second checkpointer on the same service keeps
+  // serving; only the first one's gauges register).
+  Checkpointer* raw = checkpointer.get();
+  obs::Registry& registry = service->metrics().registry();
+  auto generation_cb = registry.AddCallback(
+      "otfair_serve_checkpoint_generation", "Last checkpoint generation written",
+      obs::MetricKind::kGauge, [raw] {
+        return std::vector<obs::MetricSample>{{"", static_cast<double>(raw->generation())}};
+      });
+  if (generation_cb.ok()) checkpointer->metric_callbacks_.push_back(std::move(*generation_cb));
+  auto age_cb = registry.AddCallback(
+      "otfair_serve_checkpoint_age_seconds",
+      "Seconds since the last successful checkpoint (-1 before the first)",
+      obs::MetricKind::kGauge, [raw] {
+        return std::vector<obs::MetricSample>{{"", raw->AgeSeconds()}};
+      });
+  if (age_cb.ok()) checkpointer->metric_callbacks_.push_back(std::move(*age_cb));
   checkpointer->thread_ = std::thread([c = checkpointer.get()] { c->Loop(); });
   return checkpointer;
+}
+
+double Checkpointer::AgeSeconds() const {
+  const uint64_t last = last_write_ns_.load(std::memory_order_relaxed);
+  if (last == 0) return -1.0;
+  return static_cast<double>(obs::TraceNowNs() - last) / 1e9;
 }
 
 Checkpointer::~Checkpointer() { Stop(); }
@@ -259,6 +283,7 @@ void Checkpointer::Loop() {
 }
 
 Status Checkpointer::WriteNow() {
+  OTFAIR_TRACE_SPAN("checkpoint_write");
   std::lock_guard<std::mutex> write_lock(write_mu_);
   const uint64_t generation = generation_.load(std::memory_order_relaxed) + 1;
 
@@ -280,13 +305,19 @@ Status Checkpointer::WriteNow() {
   }
   data.sketches = std::move(state.sketches);
 
-  Status status = common::AtomicWriteFile(CheckpointPath(options_.dir, generation),
-                                          SerializeCheckpoint(data));
+  Status status = [&] {
+    // The write-temp + fsync + rename is where a checkpoint actually
+    // stalls; a distinct span makes slow disks visible inside the write.
+    OTFAIR_TRACE_SPAN("checkpoint_fsync");
+    return common::AtomicWriteFile(CheckpointPath(options_.dir, generation),
+                                   SerializeCheckpoint(data));
+  }();
   if (!status.ok()) {
     service_->metrics().AddCheckpointFailed();
     return status;
   }
   generation_.store(generation, std::memory_order_relaxed);
+  last_write_ns_.store(obs::TraceNowNs(), std::memory_order_relaxed);
   service_->metrics().AddCheckpoint();
 
   // Prune: keep the last `keep` generations. Best-effort — a prune failure

@@ -132,6 +132,10 @@ class Checkpointer {
   /// first write lands).
   uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
 
+  /// Seconds since the last successful write; negative when none landed
+  /// yet. Feeds the checkpoint-age gauge.
+  double AgeSeconds() const;
+
   const CheckpointerOptions& options() const { return options_; }
 
  private:
@@ -148,9 +152,14 @@ class Checkpointer {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  /// Monotonic-clock stamp of the last successful write (0 = none yet).
+  std::atomic<uint64_t> last_write_ns_{0};
   /// Serializes WriteNow against itself (loop tick vs drain call).
   std::mutex write_mu_;
   std::thread thread_;
+  /// Generation/age gauges on the service registry; declared last so they
+  /// unregister first.
+  std::vector<obs::CallbackHandle> metric_callbacks_;
 };
 
 }  // namespace otfair::serve

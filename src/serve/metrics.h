@@ -1,11 +1,13 @@
 #ifndef OTFAIR_SERVE_METRICS_H_
 #define OTFAIR_SERVE_METRICS_H_
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
+
+#include "obs/registry.h"
 
 namespace otfair::serve {
 
@@ -43,71 +45,142 @@ struct MetricsSnapshot {
   double uptime_seconds = 0.0;
   /// rows_repaired / uptime — the coarse live-throughput gauge.
   double rows_per_second = 0.0;
+  /// Serving in degraded mode (redesign gave up; stale plan kept hot).
+  bool degraded = false;
+  /// Self-heal lifecycle counters, mirrored from the Redesigner.
+  uint64_t redesign_episodes = 0;
+  uint64_t redesign_attempts = 0;
+  uint64_t redesign_failures = 0;
+  uint64_t redesign_reloads = 0;
+  uint64_t redesign_gave_up = 0;
+  /// Latency quantiles over the last closed scrape window (delta between
+  /// the two most recent scrapes), as opposed to the lifetime aggregates
+  /// above. Zero until the first window closes.
+  uint64_t window_latency_samples = 0;
+  double window_latency_p50_us = 0.0;
+  double window_latency_p90_us = 0.0;
+  double window_latency_p99_us = 0.0;
 
   /// One-line JSON rendering (for the `metrics` protocol verb and the
-  /// replay-mode summary).
+  /// replay-mode summary). Pre-registry keys render first, byte-identical
+  /// to earlier releases; new keys are appended only.
   std::string ToJson() const;
 };
 
-/// Lock-free serving counters plus a log-linear latency histogram.
+/// Serving metrics facade over an `obs::Registry`.
 ///
-/// Every mutation is a relaxed atomic add — the hot path never takes a
-/// lock and never allocates, so metrics stay cheap enough to record per
-/// row at millions of rows per second. `Snapshot()` reads the counters
-/// without stopping writers; a snapshot taken under live traffic is a
-/// consistent-enough view (each counter is individually exact, cross-
-/// counter skew is bounded by in-flight requests).
+/// Every mutation is a relaxed atomic add on a registered instrument — the
+/// hot path never takes a lock and never allocates, so metrics stay cheap
+/// enough to record per row at millions of rows per second. `Snapshot()`
+/// reads the counters without stopping writers; a snapshot taken under
+/// live traffic is a consistent-enough view (each counter is individually
+/// exact, cross-counter skew is bounded by in-flight requests).
 ///
-/// The histogram is log-linear (HdrHistogram-style): 8 sub-buckets per
-/// power of two of microseconds, giving <= 12.5% relative quantile error
-/// over [1us, ~4000s] in a fixed 328-slot table.
+/// The registry is the extension point: other serve components
+/// (RepairService, Checkpointer, Redesigner) register their own gauges and
+/// callback families on `registry()`, and everything — the facade's
+/// instruments included — renders through one Prometheus exposition.
+///
+/// The latency histogram is log-linear (HdrHistogram-style): 8 sub-buckets
+/// per power of two of microseconds, <= 12.5% relative quantile error over
+/// [1us, ~4000s] in a fixed 328-slot table. Lifetime quantiles come from
+/// `Snapshot()`; `ScrapeSnapshot()` additionally closes a scrape window so
+/// p50/p99 over just the last interval stay visible after warm-up.
 class Metrics {
  public:
-  Metrics() : start_(std::chrono::steady_clock::now()) {}
+  Metrics();
 
-  void AddAccepted(uint64_t rows) { rows_accepted_.fetch_add(rows, kRelaxed); }
-  void AddRepaired(uint64_t rows) { rows_repaired_.fetch_add(rows, kRelaxed); }
-  void AddInvalid(uint64_t rows) { rows_invalid_.fetch_add(rows, kRelaxed); }
-  void AddRejected(uint64_t rows) { rows_rejected_.fetch_add(rows, kRelaxed); }
-  void AddBatch() { batches_.fetch_add(1, kRelaxed); }
-  void AddReload() { reloads_.fetch_add(1, kRelaxed); }
-  void AddReloadFailed() { reloads_failed_.fetch_add(1, kRelaxed); }
-  void AddCheckpoint() { checkpoints_written_.fetch_add(1, kRelaxed); }
-  void AddCheckpointFailed() { checkpoints_failed_.fetch_add(1, kRelaxed); }
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void AddAccepted(uint64_t rows) { rows_accepted_->Add(rows); }
+  void AddRepaired(uint64_t rows) { rows_repaired_->Add(rows); }
+  void AddInvalid(uint64_t rows) { rows_invalid_->Add(rows); }
+  void AddRejected(uint64_t rows) { rows_rejected_->Add(rows); }
+  void AddBatch() { batches_->Add(1); }
+  void AddReload() { reloads_->Add(1); }
+  void AddReloadFailed() { reloads_failed_->Add(1); }
+  void AddCheckpoint() { checkpoints_written_->Add(1); }
+  void AddCheckpointFailed() { checkpoints_failed_->Add(1); }
+
+  /// Self-heal lifecycle, mirrored by the Redesigner as episodes run.
+  void AddRedesignEpisode() { redesign_episodes_->Add(1); }
+  void AddRedesignAttempt() { redesign_attempts_->Add(1); }
+  void AddRedesignFailure() { redesign_failures_->Add(1); }
+  void AddRedesignReload() { redesign_reloads_->Add(1); }
+  void AddRedesignGaveUp() { redesign_gave_up_->Add(1); }
+  void SetDegraded(bool degraded) {
+    degraded_.store(degraded, std::memory_order_relaxed);
+    degraded_gauge_->Set(degraded ? 1.0 : 0.0);
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   /// Records one request latency in microseconds (negative values clamp
   /// to 0).
   void RecordLatencyUs(double us);
 
-  /// Reads everything; `queue_depth` is passed through into the snapshot.
+  /// Reads everything without side effects; `queue_depth` is passed
+  /// through into the snapshot. Window quantiles reflect the last window
+  /// closed by `ScrapeSnapshot()` — calling `Snapshot()` (e.g. from the
+  /// `health` verb) never consumes the scrape window.
   MetricsSnapshot Snapshot(uint64_t queue_depth = 0) const;
 
+  /// Snapshot() plus: closes the current latency window (quantiles over
+  /// samples recorded since the previous scrape) and refreshes the
+  /// exposition gauges (queue depth, uptime, window quantiles). Call this
+  /// from scrape paths (`metrics` verb, Prometheus dumps), once per
+  /// scrape.
+  MetricsSnapshot ScrapeSnapshot(uint64_t queue_depth = 0);
+
+  /// Closes the window and renders every registered metric in Prometheus
+  /// text exposition format.
+  std::string RenderPrometheus(uint64_t queue_depth = 0);
+
+  /// The underlying registry, for other components to register gauges,
+  /// histograms, and scrape callbacks on.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+
   /// Number of histogram slots (exposed for tests).
-  static constexpr size_t kBuckets = 328;
+  static constexpr size_t kBuckets = obs::Histogram::kBuckets;
 
  private:
-  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+  void FillLegacy(MetricsSnapshot* snap, uint64_t queue_depth) const;
 
-  /// Histogram slot for a microsecond value; log-linear, monotone.
-  static size_t BucketIndex(uint64_t us);
-  /// Representative latency (bucket midpoint) for a slot.
-  static double BucketValueUs(size_t bucket);
-  /// Smallest latency quantile q in [0, 1] from the histogram.
-  double QuantileUs(double q, uint64_t samples,
-                    const std::array<uint64_t, kBuckets>& counts) const;
-
+  obs::Registry registry_;
   std::chrono::steady_clock::time_point start_;
-  std::atomic<uint64_t> rows_accepted_{0};
-  std::atomic<uint64_t> rows_repaired_{0};
-  std::atomic<uint64_t> rows_invalid_{0};
-  std::atomic<uint64_t> rows_rejected_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> reloads_{0};
-  std::atomic<uint64_t> reloads_failed_{0};
-  std::atomic<uint64_t> checkpoints_written_{0};
-  std::atomic<uint64_t> checkpoints_failed_{0};
-  std::atomic<uint64_t> latency_max_us_{0};
-  std::array<std::atomic<uint64_t>, kBuckets> latency_buckets_{};
+  std::atomic<bool> degraded_{false};
+
+  obs::Counter* rows_accepted_;
+  obs::Counter* rows_repaired_;
+  obs::Counter* rows_invalid_;
+  obs::Counter* rows_rejected_;
+  obs::Counter* batches_;
+  obs::Counter* reloads_;
+  obs::Counter* reloads_failed_;
+  obs::Counter* checkpoints_written_;
+  obs::Counter* checkpoints_failed_;
+  obs::Counter* redesign_episodes_;
+  obs::Counter* redesign_attempts_;
+  obs::Counter* redesign_failures_;
+  obs::Counter* redesign_reloads_;
+  obs::Counter* redesign_gave_up_;
+  obs::Gauge* degraded_gauge_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* uptime_gauge_;
+  obs::Gauge* window_p50_gauge_;
+  obs::Gauge* window_p90_gauge_;
+  obs::Gauge* window_p99_gauge_;
+  obs::Histogram* latency_;
+
+  /// Scrape-window state: the histogram snapshot at the last scrape plus
+  /// the quantiles of the last CLOSED window (what Snapshot() reports).
+  mutable std::mutex window_mu_;
+  obs::Histogram::Snapshot window_base_;
+  uint64_t window_samples_ = 0;
+  double window_p50_us_ = 0.0;
+  double window_p90_us_ = 0.0;
+  double window_p99_us_ = 0.0;
 };
 
 }  // namespace otfair::serve

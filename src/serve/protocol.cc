@@ -75,6 +75,10 @@ Result<ProtocolRequest> ParseRequestLine(const std::string& line, size_t dim, si
   ProtocolRequest request;
   const std::string& verb = tokens[0];
   if (verb == "metrics") {
+    if (tokens.size() >= 2 && (tokens[1] == "--prom" || tokens[1] == "prom")) {
+      request.kind = RequestKind::kMetricsProm;
+      return request;
+    }
     request.kind = RequestKind::kMetrics;
     return request;
   }

@@ -13,6 +13,7 @@ namespace otfair::serve {
 ///
 ///   repair <session_id> <row_index> <u> <s> <x_1> ... <x_d>
 ///   metrics              -> one-line JSON metrics snapshot
+///   metrics --prom       -> Prometheus text exposition, "# EOF"-terminated
 ///   health               -> one-line JSON drift/health verdict
 ///   reload <plan_path>   -> hot-swaps the serving plan
 ///   checkpoint           -> forces a synchronous checkpoint write
@@ -26,10 +27,14 @@ namespace otfair::serve {
 ///   ok checkpoint <generation>                      after a forced write
 ///   {...}                                           metrics / health JSON
 ///
+/// `metrics --prom` is the one multi-line response: the full exposition
+/// text followed by a terminating "# EOF" line (a comment under the
+/// exposition grammar, so the payload stays checker-clean).
+///
 /// Repaired values are printed with %.17g, so a round trip through the
 /// protocol is bit-exact.
 
-enum class RequestKind { kRepair, kMetrics, kHealth, kReload, kCheckpoint, kQuit };
+enum class RequestKind { kRepair, kMetrics, kMetricsProm, kHealth, kReload, kCheckpoint, kQuit };
 
 /// Hard ceiling on one request line's length. A well-formed repair line is
 /// ~25 bytes per feature, so 64 KiB comfortably covers dim in the

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/drift_monitor.h"
+#include "obs/trace.h"
 #include "ot/measure.h"
 
 namespace otfair::serve {
@@ -77,6 +78,30 @@ Result<std::unique_ptr<Redesigner>> Redesigner::Create(RepairService* service,
   if (!faults.ok()) return faults.status();
   std::unique_ptr<Redesigner> redesigner(
       new Redesigner(service, options, std::move(*faults)));
+  // Best-effort gauges (a second redesigner on the same service keeps
+  // running; only the first one's gauges register).
+  Redesigner* raw = redesigner.get();
+  obs::Registry& registry = service->metrics().registry();
+  auto episode_cb = registry.AddCallback(
+      "otfair_serve_redesign_episode_open", "1 while a drift episode is open, else 0",
+      obs::MetricKind::kGauge, [raw] {
+        return std::vector<obs::MetricSample>{{"", raw->episode_open() ? 1.0 : 0.0}};
+      });
+  if (episode_cb.ok()) redesigner->metric_callbacks_.push_back(std::move(*episode_cb));
+  auto busy_cb = registry.AddCallback(
+      "otfair_serve_redesign_busy", "1 while a redesign attempt or backoff runs, else 0",
+      obs::MetricKind::kGauge, [raw] {
+        return std::vector<obs::MetricSample>{{"", raw->busy() ? 1.0 : 0.0}};
+      });
+  if (busy_cb.ok()) redesigner->metric_callbacks_.push_back(std::move(*busy_cb));
+  auto backoff_cb = registry.AddCallback(
+      "otfair_serve_redesign_backoff_ms",
+      "Backoff being served between redesign attempts (0 outside an episode)",
+      obs::MetricKind::kGauge, [raw] {
+        return std::vector<obs::MetricSample>{
+            {"", static_cast<double>(raw->current_backoff_ms_.load(std::memory_order_relaxed))}};
+      });
+  if (backoff_cb.ok()) redesigner->metric_callbacks_.push_back(std::move(*backoff_cb));
   redesigner->thread_ = std::thread([r = redesigner.get()] { r->Loop(); });
   return redesigner;
 }
@@ -177,11 +202,13 @@ void Redesigner::StepOnce() {
   // A drift episode: attempt, retry with doubling backoff, and either
   // hot-swap or flag degraded. The serving snapshot is untouched by
   // everything except a successful ReloadPlan.
+  OTFAIR_TRACE_SPAN("redesign_episode");
   busy_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.drift_trips;
   }
+  service_->metrics().AddRedesignEpisode();
   Status status;
   int backoff_ms = options_.backoff_initial_ms;
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
@@ -190,6 +217,7 @@ void Redesigner::StepOnce() {
       if (stop_) break;
       ++stats_.attempts;
     }
+    service_->metrics().AddRedesignAttempt();
     status = AttemptRedesign(sketches_override);
     if (status.ok()) break;
     {
@@ -197,7 +225,13 @@ void Redesigner::StepOnce() {
       ++stats_.failures;
       last_error_ = status;
     }
-    if (attempt + 1 < options_.max_retries && !SleepUnlessStopped(backoff_ms)) break;
+    service_->metrics().AddRedesignFailure();
+    if (attempt + 1 < options_.max_retries) {
+      current_backoff_ms_.store(backoff_ms, std::memory_order_relaxed);
+      const bool keep_going = SleepUnlessStopped(backoff_ms);
+      current_backoff_ms_.store(0, std::memory_order_relaxed);
+      if (!keep_going) break;
+    }
     backoff_ms = std::min(backoff_ms > 0 ? backoff_ms * 2 : 1, options_.backoff_max_ms);
   }
   bool stopped_mid_episode = false;
@@ -210,6 +244,11 @@ void Redesigner::StepOnce() {
       ++stats_.gave_up;
     }
     cooldown_until_ = Clock::now() + std::chrono::milliseconds(options_.cooldown_ms);
+  }
+  if (status.ok()) {
+    service_->metrics().AddRedesignReload();
+  } else if (!stopped_mid_episode) {
+    service_->metrics().AddRedesignGaveUp();
   }
   // Exhausted every retry: degrade — but keep serving. A Stop() mid-episode
   // is not a verdict.
@@ -224,6 +263,7 @@ void Redesigner::StepOnce() {
 
 Status Redesigner::AttemptRedesign(
     const std::vector<stats::QuantileSketch>* sketches_override) {
+  OTFAIR_TRACE_SPAN("redesign_attempt");
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(options_.redesign_timeout_ms);
   auto past_deadline = [&] { return Clock::now() > deadline; };
@@ -267,8 +307,11 @@ Status Redesigner::AttemptRedesign(
     channels[c].count = (*shared)[c].count();
     channels[c].quantile = [shared, c](double p) { return (*shared)[c].Quantile(p); };
   }
-  auto candidate = core::DesignFromQuantileFunctions(dim, geometry.feature_names, s_levels,
-                                                     service_->u_levels(), channels, design);
+  auto candidate = [&] {
+    OTFAIR_TRACE_SPAN("redesign_design");
+    return core::DesignFromQuantileFunctions(dim, geometry.feature_names, s_levels,
+                                             service_->u_levels(), channels, design);
+  }();
   if (!candidate.ok()) return candidate.status();
   if (past_deadline())
     return Status::Unavailable("redesign exceeded " +
@@ -281,32 +324,39 @@ Status Redesigner::AttemptRedesign(
   // level (the E-improvement proxy — both are the normalized W1 the
   // monitor alarms on; the integration test closes the loop on the real
   // E-metric).
-  if (faults_.ShouldInject(Fault::kInvalidPlan))
-    return Status::FailedPrecondition("injected fault: candidate plan invalid");
-  if (Status status = candidate->Validate(1e-5); !status.ok())
-    return Status::FailedPrecondition("candidate plan failed validation: " +
-                                      status.message());
-  double worst_fit = 0.0;
-  const size_t u_levels = service_->u_levels();
-  for (size_t u = 0; u < u_levels; ++u) {
-    for (size_t k = 0; k < dim; ++k) {
-      const core::ChannelPlan& channel = candidate->At(static_cast<int>(u), k);
-      for (size_t s = 0; s < s_levels; ++s) {
-        const double fit = SketchFitW1((*shared)[(u * s_levels + s) * dim + k],
-                                       channel.grid, channel.marginal[s]);
-        worst_fit = std::max(worst_fit, fit);
-      }
-    }
-  }
-  const double threshold = service_->options().drift.w1_threshold;
-  if (worst_fit > threshold)
-    return Status::FailedPrecondition(
-        "candidate plan still drifted against the stream (worst W1 " +
-        std::to_string(worst_fit) + " > threshold " + std::to_string(threshold) + ")");
-  if (current.drifted && worst_fit >= current.worst_w1)
-    return Status::FailedPrecondition(
-        "candidate plan does not improve on the live plan (worst W1 " +
-        std::to_string(worst_fit) + " vs current " + std::to_string(current.worst_w1) + ")");
+  if (Status validate_status = [&]() -> Status {
+        OTFAIR_TRACE_SPAN("redesign_validate");
+        if (faults_.ShouldInject(Fault::kInvalidPlan))
+          return Status::FailedPrecondition("injected fault: candidate plan invalid");
+        if (Status status = candidate->Validate(1e-5); !status.ok())
+          return Status::FailedPrecondition("candidate plan failed validation: " +
+                                            status.message());
+        double worst_fit = 0.0;
+        const size_t u_levels = service_->u_levels();
+        for (size_t u = 0; u < u_levels; ++u) {
+          for (size_t k = 0; k < dim; ++k) {
+            const core::ChannelPlan& channel = candidate->At(static_cast<int>(u), k);
+            for (size_t s = 0; s < s_levels; ++s) {
+              const double fit = SketchFitW1((*shared)[(u * s_levels + s) * dim + k],
+                                             channel.grid, channel.marginal[s]);
+              worst_fit = std::max(worst_fit, fit);
+            }
+          }
+        }
+        const double threshold = service_->options().drift.w1_threshold;
+        if (worst_fit > threshold)
+          return Status::FailedPrecondition(
+              "candidate plan still drifted against the stream (worst W1 " +
+              std::to_string(worst_fit) + " > threshold " + std::to_string(threshold) + ")");
+        if (current.drifted && worst_fit >= current.worst_w1)
+          return Status::FailedPrecondition(
+              "candidate plan does not improve on the live plan (worst W1 " +
+              std::to_string(worst_fit) + " vs current " +
+              std::to_string(current.worst_w1) + ")");
+        return Status::Ok();
+      }();
+      !validate_status.ok())
+    return validate_status;
   if (past_deadline())
     return Status::Unavailable("redesign exceeded " +
                                std::to_string(options_.redesign_timeout_ms) +

@@ -161,7 +161,13 @@ class Redesigner {
 
   std::atomic<bool> busy_{false};
   std::atomic<bool> episode_open_{false};
+  /// Backoff currently being served between attempts (0 outside an
+  /// episode); feeds the backoff gauge.
+  std::atomic<int> current_backoff_ms_{0};
   std::thread thread_;
+  /// Episode/backoff gauges on the service registry; declared last so
+  /// they unregister first.
+  std::vector<obs::CallbackHandle> metric_callbacks_;
 };
 
 }  // namespace otfair::serve

@@ -6,6 +6,7 @@
 #include "common/json_writer.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace otfair::serve {
 
@@ -133,6 +134,49 @@ Result<std::unique_ptr<RepairService>> RepairService::Create(core::RepairPlanSet
   std::unique_ptr<RepairService> service(
       new RepairService(dim, s_levels, u_levels, options));
   service->snapshot_.store(std::move(*snapshot), std::memory_order_release);
+
+  // Scrape-time callback families on the metric registry. The raw pointer
+  // captures are safe: the handles unregister in ~RepairService before any
+  // captured state dies.
+  RepairService* raw = service.get();
+  obs::Registry& registry = service->metrics_.registry();
+  auto plan_version_cb = registry.AddCallback(
+      "otfair_serve_plan_version", "Version of the live plan snapshot", obs::MetricKind::kGauge,
+      [raw] {
+        return std::vector<obs::MetricSample>{
+            {"", static_cast<double>(raw->plan_version())}};
+      });
+  if (plan_version_cb.ok())
+    service->metric_callbacks_.push_back(std::move(*plan_version_cb));
+  auto drift_cb = registry.AddCallback(
+      "otfair_serve_drift_channel_w1",
+      "Per-channel normalized W1 drift vs the design marginal", obs::MetricKind::kGauge,
+      [raw] {
+        std::vector<obs::MetricSample> samples;
+        for (const core::ChannelDrift& c : raw->DriftSnapshot().channels) {
+          samples.push_back({"u=\"" + std::to_string(c.u) + "\",s=\"" + std::to_string(c.s) +
+                                 "\",k=\"" + std::to_string(c.k) + "\"",
+                             c.w1_normalized});
+        }
+        return samples;
+      });
+  if (drift_cb.ok()) service->metric_callbacks_.push_back(std::move(*drift_cb));
+  auto sketch_cb = registry.AddCallback(
+      "otfair_serve_sketch_count", "Values accumulated per channel quantile sketch",
+      obs::MetricKind::kGauge, [raw, s_levels] {
+        std::vector<obs::MetricSample> samples;
+        const std::vector<stats::QuantileSketch> sketches = raw->SketchSnapshot();
+        const size_t dim = raw->dim();
+        for (size_t c = 0; c < sketches.size(); ++c) {
+          const size_t us = c / dim;
+          samples.push_back({"u=\"" + std::to_string(us / s_levels) + "\",s=\"" +
+                                 std::to_string(us % s_levels) + "\",k=\"" +
+                                 std::to_string(c % dim) + "\"",
+                             static_cast<double>(sketches[c].count())});
+        }
+        return samples;
+      });
+  if (sketch_cb.ok()) service->metric_callbacks_.push_back(std::move(*sketch_cb));
   return service;
 }
 
@@ -289,6 +333,7 @@ void RepairService::RepairBatch(const RowRequest* requests, size_t count,
 }
 
 Status RepairService::ReloadPlan(core::RepairPlanSet plans) {
+  OTFAIR_TRACE_SPAN("plan_reload");
   // Concurrent reloads serialize here and resolve last-writer-wins: each
   // successful caller reads the then-current version under the lock and
   // installs version + 1, so Version() is strictly monotone and the final
@@ -317,7 +362,7 @@ Status RepairService::ReloadPlan(core::RepairPlanSet plans) {
   }
   metrics_.AddReload();
   // A fresh healthy plan supersedes any stuck self-heal verdict.
-  degraded_.store(false, std::memory_order_relaxed);
+  SetDegraded(false);
   return Status::Ok();
 }
 

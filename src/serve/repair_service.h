@@ -268,7 +268,10 @@ class RepairService {
   /// Flags (or clears) the degraded verdict — set by the self-heal loop
   /// after retry exhaustion; cleared automatically by a successful
   /// ReloadPlan. Serving is never interrupted either way.
-  void SetDegraded(bool degraded) { degraded_.store(degraded, std::memory_order_relaxed); }
+  void SetDegraded(bool degraded) {
+    degraded_.store(degraded, std::memory_order_relaxed);
+    metrics_.SetDegraded(degraded);
+  }
   bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   Metrics& metrics() { return metrics_; }
@@ -306,6 +309,10 @@ class RepairService {
   std::atomic<bool> degraded_{false};
   /// Checkpoint generation this process recovered from (0 = cold start).
   std::atomic<uint64_t> recovered_generation_{0};
+  /// Scrape callbacks registered on metrics_.registry() (plan version,
+  /// per-channel drift levels, sketch fill counts). Declared last so they
+  /// unregister before anything they capture is torn down.
+  std::vector<obs::CallbackHandle> metric_callbacks_;
 };
 
 }  // namespace otfair::serve

@@ -1,0 +1,181 @@
+#include "obs/registry.h"
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "obs/prometheus.h"
+
+namespace otfair::obs {
+namespace {
+
+using otfair::common::StatusCode;
+
+TEST(RegistryTest, DuplicateNamesRejectedAcrossKinds) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddCounter("otfair_x_total", "a counter").ok());
+  // The namespace is shared: a second counter, a gauge, a histogram, and
+  // a callback under the same name must all bounce.
+  EXPECT_EQ(registry.AddCounter("otfair_x_total", "again").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.AddGauge("otfair_x_total", "as gauge").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.AddHistogram("otfair_x_total", "as histogram").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry
+                .AddCallback("otfair_x_total", "as callback", MetricKind::kGauge,
+                             [] { return std::vector<MetricSample>{}; })
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, InvalidNamesRejected) {
+  Registry registry;
+  EXPECT_FALSE(registry.AddCounter("", "empty").ok());
+  EXPECT_FALSE(registry.AddCounter("9starts_with_digit", "bad").ok());
+  EXPECT_FALSE(registry.AddCounter("has space", "bad").ok());
+  EXPECT_FALSE(registry.AddCounter("has-dash", "bad").ok());
+  EXPECT_TRUE(registry.AddCounter("ok_name:with_colon", "good").ok());
+  EXPECT_TRUE(registry.AddCounter("_underscore_first", "good").ok());
+}
+
+TEST(RegistryTest, RelaxedCounterIsExactUnderEightThreadHammering) {
+  Registry registry;
+  Counter* counter = registry.AddCounter("hammered_total", "hammered").value();
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 200000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // fetch_add is exact regardless of memory order: no lost updates.
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kAddsPerThread));
+}
+
+TEST(RegistryTest, GaugeRoundTripsDoubles) {
+  Registry registry;
+  Gauge* gauge = registry.AddGauge("g", "gauge").value();
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(3.5);
+  EXPECT_EQ(gauge->Value(), 3.5);
+  gauge->Set(-1.0);
+  EXPECT_EQ(gauge->Value(), -1.0);
+}
+
+TEST(RegistryTest, HistogramBucketLadderIsMonotoneAndTight) {
+  for (uint64_t us : {0ull, 1ull, 7ull, 8ull, 9ull, 100ull, 4095ull, 4096ull,
+                      1000000ull, (1ull << 40)}) {
+    const int bucket = Histogram::BucketIndex(us);
+    ASSERT_GE(bucket, 0);
+    ASSERT_LT(bucket, Histogram::kBuckets);
+    // The value maps inside its own bucket's [lower, upper] range.
+    EXPECT_LE(us, Histogram::BucketUpperEdgeUs(bucket)) << us;
+    if (bucket + 1 < Histogram::kBuckets) {
+      EXPECT_GT(Histogram::BucketUpperEdgeUs(bucket + 1),
+                Histogram::BucketUpperEdgeUs(bucket));
+    }
+    // Log-linear with 8 sub-buckets: midpoint within 1/8 relative error.
+    if (us >= 8) {
+      EXPECT_NEAR(static_cast<double>(Histogram::BucketValueUs(bucket)),
+                  static_cast<double>(us), static_cast<double>(us) / 8.0)
+          << us;
+    } else {
+      EXPECT_EQ(Histogram::BucketValueUs(bucket), us);
+    }
+  }
+}
+
+TEST(RegistryTest, HistogramRecordsCountSumMaxAndQuantiles) {
+  Registry registry;
+  Histogram* histogram = registry.AddHistogram("h_us", "latencies").value();
+  for (int i = 0; i < 90; ++i) histogram->Record(100);
+  for (int i = 0; i < 10; ++i) histogram->Record(10000);
+  const Histogram::Snapshot snap = histogram->Read();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.max, 10000u);
+  EXPECT_DOUBLE_EQ(snap.sum, 90 * 100.0 + 10 * 10000.0);
+  EXPECT_NEAR(static_cast<double>(snap.QuantileUs(0.5)), 100.0, 100.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(snap.QuantileUs(0.99)), 10000.0, 10000.0 * 0.125);
+}
+
+TEST(RegistryTest, HistogramDeltaIsolatesAWindow) {
+  Registry registry;
+  Histogram* histogram = registry.AddHistogram("h_us", "latencies").value();
+  for (int i = 0; i < 50; ++i) histogram->Record(10);
+  const Histogram::Snapshot before = histogram->Read();
+  for (int i = 0; i < 30; ++i) histogram->Record(2000);
+  const Histogram::Snapshot after = histogram->Read();
+  const Histogram::Snapshot window = Histogram::Delta(after, before);
+  EXPECT_EQ(window.count, 30u);
+  EXPECT_DOUBLE_EQ(window.sum, 30 * 2000.0);
+  // The old population cancels out: the window quantile sees only 2000s.
+  EXPECT_NEAR(static_cast<double>(window.QuantileUs(0.5)), 2000.0, 2000.0 * 0.125);
+}
+
+TEST(RegistryTest, NamesSortedAndCallbackHandleUnregisters) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddCounter("zz_total", "z").ok());
+  ASSERT_TRUE(registry.AddGauge("aa", "a").ok());
+  {
+    auto handle = registry.AddCallback("mm", "m", MetricKind::kGauge, [] {
+      return std::vector<MetricSample>{{"k=\"1\"", 42.0}};
+    });
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(registry.Names(), (std::vector<std::string>{"aa", "mm", "zz_total"}));
+    bool found = false;
+    for (const MetricFamily& family : registry.Collect()) {
+      if (family.name != "mm") continue;
+      found = true;
+      ASSERT_EQ(family.samples.size(), 1u);
+      EXPECT_EQ(family.samples[0].labels, "k=\"1\"");
+      EXPECT_EQ(family.samples[0].value, 42.0);
+    }
+    EXPECT_TRUE(found);
+  }
+  // Handle destruction frees the name for re-registration.
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"aa", "zz_total"}));
+  EXPECT_TRUE(registry
+                  .AddCallback("mm", "m2", MetricKind::kGauge,
+                               [] { return std::vector<MetricSample>{}; })
+                  .ok());
+}
+
+TEST(RegistryTest, PrometheusRenderingCoversEveryKind) {
+  Registry registry;
+  registry.AddCounter("demo_total", "a counter").value()->Add(7);
+  registry.AddGauge("demo_gauge", "a gauge").value()->Set(2.5);
+  Histogram* histogram = registry.AddHistogram("demo_us", "a histogram").value();
+  histogram->Record(3);
+  histogram->Record(700);
+  auto handle = registry.AddCallback("demo_labeled", "labeled", MetricKind::kGauge, [] {
+    return std::vector<MetricSample>{{"u=\"0\",s=\"1\"", 0.25}};
+  });
+  ASSERT_TRUE(handle.ok());
+
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE demo_total counter\ndemo_total 7\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE demo_gauge gauge\ndemo_gauge 2.5\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE demo_us histogram\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("demo_us_bucket{le=\"+Inf\"} 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("demo_us_sum 703\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("demo_us_count 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("demo_labeled{u=\"0\",s=\"1\"} 0.25\n"), std::string::npos) << text;
+  // Cumulative buckets: the le="4" bucket already holds the 3 µs record.
+  EXPECT_NE(text.find("demo_us_bucket{le=\"4\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("demo_us_bucket{le=\"1024\"} 2\n"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace otfair::obs

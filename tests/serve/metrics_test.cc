@@ -86,5 +86,98 @@ TEST(MetricsTest, ToJsonCarriesTheCounters) {
   EXPECT_EQ(json.back(), '}');
 }
 
+TEST(MetricsTest, LegacyJsonKeyOrderPreservedNewKeysAppended) {
+  Metrics metrics;
+  const std::string json = metrics.Snapshot().ToJson();
+  // Pre-registry keys must render first and in the historical order —
+  // consumers of the `metrics` verb parse positionally-diffable lines.
+  EXPECT_EQ(json.find("{\"rows_accepted\":"), 0u) << json;
+  const size_t legacy_tail = json.find("\"latency_max_us\":");
+  ASSERT_NE(legacy_tail, std::string::npos) << json;
+  for (const char* appended :
+       {"\"degraded\":false", "\"redesign_episodes\":0", "\"redesign_gave_up\":0",
+        "\"window_latency_samples\":0", "\"window_latency_p99_us\":0"}) {
+    const size_t pos = json.find(appended);
+    ASSERT_NE(pos, std::string::npos) << appended << " missing in " << json;
+    EXPECT_GT(pos, legacy_tail) << appended << " must append after the legacy keys";
+  }
+}
+
+TEST(MetricsTest, DegradedAndRedesignCountersFlowThrough) {
+  Metrics metrics;
+  metrics.SetDegraded(true);
+  metrics.AddRedesignEpisode();
+  metrics.AddRedesignAttempt();
+  metrics.AddRedesignAttempt();
+  metrics.AddRedesignFailure();
+  metrics.AddRedesignReload();
+  metrics.AddRedesignGaveUp();
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_TRUE(snap.degraded);
+  EXPECT_EQ(snap.redesign_episodes, 1u);
+  EXPECT_EQ(snap.redesign_attempts, 2u);
+  EXPECT_EQ(snap.redesign_failures, 1u);
+  EXPECT_EQ(snap.redesign_reloads, 1u);
+  EXPECT_EQ(snap.redesign_gave_up, 1u);
+  metrics.SetDegraded(false);
+  EXPECT_FALSE(metrics.Snapshot().degraded);
+}
+
+TEST(MetricsTest, ScrapeWindowIsolatesTheInterval) {
+  Metrics metrics;
+  for (int i = 0; i < 100; ++i) metrics.RecordLatencyUs(100.0);
+  // Snapshot() never consumes the window: before the first scrape the
+  // window quantiles stay zero no matter how often health is polled.
+  EXPECT_EQ(metrics.Snapshot().window_latency_samples, 0u);
+  EXPECT_EQ(metrics.Snapshot().window_latency_samples, 0u);
+
+  // First scrape closes window #1 (everything since start).
+  const MetricsSnapshot first = metrics.ScrapeSnapshot();
+  EXPECT_EQ(first.window_latency_samples, 100u);
+  EXPECT_NEAR(first.window_latency_p50_us, 100.0, 100.0 * 0.15);
+
+  // A slow interval: the next scrape's window sees ONLY the new samples,
+  // while the lifetime quantiles still blend both populations.
+  for (int i = 0; i < 100; ++i) metrics.RecordLatencyUs(10000.0);
+  const MetricsSnapshot second = metrics.ScrapeSnapshot();
+  EXPECT_EQ(second.window_latency_samples, 100u);
+  EXPECT_NEAR(second.window_latency_p50_us, 10000.0, 10000.0 * 0.15);
+  EXPECT_EQ(second.latency_samples, 200u);
+  EXPECT_NEAR(second.latency_p50_us, 100.0, 100.0 * 0.15);
+
+  // Non-scrape snapshots keep reporting the last CLOSED window.
+  EXPECT_EQ(metrics.Snapshot().window_latency_samples, 100u);
+  EXPECT_NEAR(metrics.Snapshot().window_latency_p50_us, 10000.0, 10000.0 * 0.15);
+}
+
+TEST(MetricsTest, RenderPrometheusExposesTheFacadeInstruments) {
+  Metrics metrics;
+  metrics.AddAccepted(3);
+  metrics.AddRepaired(3);
+  metrics.RecordLatencyUs(50.0);
+  const std::string text = metrics.RenderPrometheus(/*queue_depth=*/5);
+  EXPECT_NE(text.find("# TYPE otfair_serve_rows_accepted_total counter\n"
+                      "otfair_serve_rows_accepted_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("otfair_serve_queue_depth 5\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE otfair_serve_latency_us histogram\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("otfair_serve_latency_us_count 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("otfair_serve_latency_us_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsTest, RegistryIsTheExtensionPoint) {
+  Metrics metrics;
+  // Components hang their own gauges off the facade's registry and show
+  // up in the same exposition; name collisions with the facade bounce.
+  auto* gauge = metrics.registry().AddGauge("otfair_serve_custom", "component gauge").value();
+  gauge->Set(9.0);
+  EXPECT_NE(metrics.RenderPrometheus().find("otfair_serve_custom 9\n"), std::string::npos);
+  EXPECT_FALSE(metrics.registry().AddCounter("otfair_serve_rows_accepted_total", "dup").ok());
+}
+
 }  // namespace
 }  // namespace otfair::serve

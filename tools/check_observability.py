@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Validates otfair observability artifacts.
+
+Two independent checks, either or both:
+
+  --trace FILE   Chrome trace-event JSON written by `--trace=FILE`.
+                 Must parse, every event must be a complete ("X") span
+                 with the expected fields, and the spans of each thread
+                 must be well-nested (RAII scopes cannot partially
+                 overlap; a violation means a corrupt drain).
+                 --require-span NAME[,NAME...] additionally asserts the
+                 named spans appear at least once.
+
+  --prom FILE    Prometheus text exposition written by `--prom-dump` or
+                 the `metrics --prom` verb. Checked line-by-line against
+                 the text exposition format 0.0.4 grammar, plus
+                 structural rules: one HELP/TYPE per metric, TYPE before
+                 samples, histogram buckets cumulative with a +Inf
+                 bucket matching _count, and _sum/_count present.
+
+Exits 0 when every requested check passes, 1 with a diagnostic on the
+first failure. No third-party dependencies (CI runs it with a stock
+python3).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# A sample line: name[{labels}] value [timestamp]
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<ts>-?[0-9]+))?$"
+)
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALUE_RE = re.compile(r"^[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)$")
+
+
+def fail(message):
+    print(f"check_observability: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+# --- trace -------------------------------------------------------------------
+
+
+def check_trace(path, required_spans):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not parseable JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+
+    by_tid = {}
+    for i, ev in enumerate(events):
+        for key, kind in (
+            ("name", str),
+            ("ph", str),
+            ("pid", int),
+            ("tid", int),
+            ("ts", (int, float)),
+            ("dur", (int, float)),
+        ):
+            if key not in ev or not isinstance(ev[key], kind):
+                fail(f"{path}: event {i} missing/bad field '{key}': {ev}")
+        if ev["ph"] != "X":
+            fail(f"{path}: event {i} has ph={ev['ph']!r}, expected complete ('X')")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            fail(f"{path}: event {i} has negative ts/dur: {ev}")
+        by_tid.setdefault(ev["tid"], []).append(ev)
+
+    # Well-nestedness per thread: RAII spans from one thread either nest
+    # or are disjoint. Sweep in (start asc, end desc) order with a stack
+    # of open end-times; a child extending past its innermost open
+    # parent is a partial overlap.
+    for tid, spans in by_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -(e["ts"] + e["dur"])))
+        stack = []
+        for ev in spans:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and stack[-1] <= start:
+                stack.pop()
+            if stack and end > stack[-1]:
+                fail(
+                    f"{path}: tid {tid}: span '{ev['name']}' "
+                    f"[{start}, {end}] partially overlaps an enclosing span "
+                    f"ending at {stack[-1]}"
+                )
+            stack.append(end)
+
+    names = {ev["name"] for ev in events}
+    missing = [s for s in required_spans if s not in names]
+    if missing:
+        fail(f"{path}: required spans never appeared: {', '.join(missing)}")
+    print(
+        f"check_observability: trace OK: {len(events)} events, "
+        f"{len(by_tid)} threads, {len(names)} distinct spans"
+    )
+
+
+# --- prometheus --------------------------------------------------------------
+
+
+def parse_labels(raw):
+    """Returns the label dict, or None if `raw` is not a valid label body."""
+    if raw.strip() == "":
+        return {}
+    pos = 0
+    labels = {}
+    while pos < len(raw):
+        m = LABEL_PAIR_RE.match(raw, pos)
+        if not m:
+            return None
+        labels[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None
+            pos += 1
+    return labels
+
+
+def check_prom(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}")
+    if text and not text.endswith("\n"):
+        fail(f"{path}: final line not newline-terminated")
+
+    helped, typed, types = set(), set(), {}
+    sampled = set()
+    samples = {}  # base metric name -> [(labels, value)]
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_NAME_RE.match(parts[2]):
+                    fail(f"{path}:{lineno}: malformed {parts[1]} line: {line!r}")
+                name = parts[2]
+                if parts[1] == "HELP":
+                    if name in helped:
+                        fail(f"{path}:{lineno}: second HELP for {name}")
+                    helped.add(name)
+                else:
+                    if name in typed:
+                        fail(f"{path}:{lineno}: second TYPE for {name}")
+                    if name in sampled:
+                        fail(f"{path}:{lineno}: TYPE for {name} after its samples")
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                        "summary",
+                        "untyped",
+                    ):
+                        fail(f"{path}:{lineno}: bad TYPE value: {line!r}")
+                    typed.add(name)
+                    types[name] = parts[3]
+            # Other comments (including the protocol's "# EOF") are legal.
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{path}:{lineno}: not a valid sample line: {line!r}")
+        name, raw_labels, value = m.group("name"), m.group("labels"), m.group("value")
+        labels = parse_labels(raw_labels or "")
+        if labels is None:
+            fail(f"{path}:{lineno}: malformed labels: {line!r}")
+        for label in labels:
+            if not LABEL_NAME_RE.match(label):
+                fail(f"{path}:{lineno}: bad label name {label!r}")
+        if not VALUE_RE.match(value):
+            fail(f"{path}:{lineno}: bad sample value {value!r}")
+        # Histogram series (_bucket/_sum/_count) belong to their base
+        # metric's TYPE declaration.
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            fail(f"{path}:{lineno}: sample for {name} without a TYPE for {base}")
+        sampled.add(base)
+        samples.setdefault(base, []).append((name, labels, value))
+
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = samples.get(name, [])
+        buckets = [
+            (lb["le"], float(v))
+            for n, lb, v in series
+            if n == name + "_bucket" and "le" in lb
+        ]
+        if not buckets:
+            fail(f"{path}: histogram {name} has no _bucket samples")
+        if buckets[-1][0] != "+Inf":
+            fail(f"{path}: histogram {name} last bucket le={buckets[-1][0]!r}, want +Inf")
+        values = [v for _, v in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            fail(f"{path}: histogram {name} buckets are not cumulative")
+        counts = [float(v) for n, _, v in series if n == name + "_count"]
+        if not counts:
+            fail(f"{path}: histogram {name} missing _count")
+        if not any(n == name + "_sum" for n, _, _ in series):
+            fail(f"{path}: histogram {name} missing _sum")
+        if counts[0] != values[-1]:
+            fail(
+                f"{path}: histogram {name} +Inf bucket {values[-1]} != "
+                f"_count {counts[0]}"
+            )
+
+    print(
+        f"check_observability: prom OK: {len(types)} typed metrics, "
+        f"{sum(len(v) for v in samples.values())} samples"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace JSON to validate")
+    parser.add_argument(
+        "--require-span",
+        default="",
+        help="comma-separated span names that must appear in --trace",
+    )
+    parser.add_argument("--prom", help="Prometheus exposition file to validate")
+    args = parser.parse_args()
+    if not args.trace and not args.prom:
+        parser.error("nothing to check: pass --trace and/or --prom")
+    if args.trace:
+        required = [s for s in args.require_span.split(",") if s]
+        check_trace(args.trace, required)
+    if args.prom:
+        check_prom(args.prom)
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/file_util.h"
 #include "common/flags.h"
 #include "common/json_writer.h"
 #include "common/parallel.h"
@@ -48,9 +49,11 @@
 #include "core/repairer.h"
 #include "data/csv.h"
 #include "fairness/report.h"
+#include "obs/trace.h"
 #include "ot/solver.h"
 #include "serve/batcher.h"
 #include "serve/checkpointer.h"
+#include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "serve/redesigner.h"
 #include "serve/repair_service.h"
@@ -126,7 +129,10 @@ void PrintDesignUsage(std::FILE* out) {
                "                       (default: {1-t, t} binary, uniform otherwise)\n"
                "    --solver=%s   OT backend\n"
                "    --epsilon=0.05     Sinkhorn regularization\n"
-               "    --threads=N        worker threads\n",
+               "    --threads=N        worker threads\n"
+               "    --trace=F.json     write a Chrome trace of the design run\n"
+               "                       (per-channel solves, per-Sinkhorn-iteration\n"
+               "                       spans; load in Perfetto / chrome://tracing)\n",
                SolverNames().c_str());
 }
 
@@ -149,6 +155,7 @@ void PrintServeUsage(std::FILE* out) {
                "  stdin/stdout:\n"
                "    repair <session> <row> <u> <s> <x_1..x_d>   -> ok <session> <row> <y...>\n"
                "    metrics | health                            -> one-line JSON\n"
+               "    metrics --prom     -> Prometheus text exposition (\"# EOF\"-terminated)\n"
                "    reload <plan_path>                          -> ok reload <version>\n"
                "    checkpoint                                  -> ok checkpoint <generation>\n"
                "    quit\n"
@@ -187,6 +194,14 @@ void PrintServeUsage(std::FILE* out) {
                "                       checkpoint — the bit-identity contract), falling\n"
                "                       back generation-by-generation past corrupt files\n"
                "                       and cold-starting from --plan when none is intact\n"
+               "  Observability (tracing compiled in, zero-cost while disabled):\n"
+               "    --trace=F.json     collect spans (admission, batch flush, repair,\n"
+               "                       reload, checkpoint, redesign episodes); Chrome\n"
+               "                       trace JSON written at exit, loads in Perfetto\n"
+               "    --prom-dump=F.txt  periodically write the Prometheus text\n"
+               "                       exposition to F (atomic rename; final write at\n"
+               "                       exit)\n"
+               "    --prom-interval-ms=1000  dump cadence\n"
                "  SIGTERM/SIGINT drain gracefully: stop accepting input, flush\n"
                "  in-flight rows, write a final checkpoint, exit 0.\n"
                "  Replay prints metrics and health JSON lines, then exits 0 when\n"
@@ -201,8 +216,10 @@ void PrintInspectUsage(std::FILE* out) {
                "  Prints a plan artifact's structure, a CSV's fairness report, or a\n"
                "  serve checkpoint's contents (after full header/CRC/payload\n"
                "  validation — a corrupt file fails with the rejection reason).\n"
-               "  JSON output includes \"simd_isa\", the vector instruction set the\n"
-               "  process dispatched to (avx2|neon|scalar).\n"
+               "  JSON output includes \"simd_isa\" (the vector instruction set the\n"
+               "  process dispatched to: avx2|neon|scalar), \"trace_available\"\n"
+               "  (whether --trace span collection is compiled in), and\n"
+               "  \"metric_names\" (every metric the serve registry exports).\n"
                "    --json   one-line machine-readable JSON on stdout\n");
 }
 
@@ -260,6 +277,33 @@ bool WantsHelp(const FlagParser& flags, void (*print)(std::FILE*)) {
   return true;
 }
 
+/// Resolves `--trace=FILE` and, when present, turns span collection on
+/// before the traced work starts. Returns the output path ("" = tracing
+/// off); the caller writes the file with WriteTraceFile once the traced
+/// work has finished.
+std::string MaybeEnableTrace(const FlagParser& flags) {
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) otfair::obs::TraceCollector::Global().Enable();
+  return trace_path;
+}
+
+/// Drains every thread ring and writes the Chrome trace-event JSON
+/// (Perfetto-loadable). A write failure is a warning, not a run failure:
+/// the traced work itself already succeeded.
+void WriteTraceFile(const std::string& trace_path) {
+  if (trace_path.empty()) return;
+  auto& collector = otfair::obs::TraceCollector::Global();
+  collector.Disable();
+  const size_t spans = collector.Drain().size();
+  if (Status status = collector.WriteChromeTrace(trace_path); !status.ok()) {
+    std::fprintf(stderr, "warning: trace write failed: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "trace: %zu spans (%llu dropped) -> %s\n", spans,
+               static_cast<unsigned long long>(collector.dropped_total()),
+               trace_path.c_str());
+}
+
 // --- design ----------------------------------------------------------------
 
 int RunDesign(const FlagParser& flags) {
@@ -304,7 +348,9 @@ int RunDesign(const FlagParser& flags) {
   if (!solver.ok()) return Fail(solver.status());
   options.design.solver = std::move(*solver);
 
+  const std::string trace_path = MaybeEnableTrace(flags);
   auto plans = otfair::core::DesignDistributionalRepair(*research, options.design);
+  WriteTraceFile(trace_path);
   if (!plans.ok()) return Fail(plans.status());
   // Fail now, not at repair time: approximate backends can produce plans
   // whose marginals are too sloppy for the loader's 1e-5 check.
@@ -609,6 +655,16 @@ int RunServeStdio(otfair::serve::RepairService& service,
       case RequestKind::kMetrics:
         respond(service.metrics().Snapshot(batcher.queue_depth()).ToJson());
         break;
+      case RequestKind::kMetricsProm: {
+        // The one multi-line response: the exposition text (every line
+        // newline-terminated by the renderer) plus a "# EOF" marker so a
+        // line-oriented client knows where the payload ends. respond()
+        // appends the marker's own newline.
+        std::string text = service.metrics().RenderPrometheus(batcher.queue_depth());
+        text += "# EOF";
+        respond(text);
+        break;
+      }
       case RequestKind::kHealth:
         respond(service.Health().ToJson());
         break;
@@ -722,6 +778,15 @@ int RunServe(const FlagParser& flags) {
   const bool recover = flags.GetBool("recover", false);
   if (recover && checkpoint_dir.empty())
     return Fail(Status::InvalidArgument("--recover requires --checkpoint_dir"));
+  const std::string prom_dump =
+      flags.GetString("prom-dump", flags.GetString("prom_dump", ""));
+  const int prom_interval_ms =
+      flags.GetInt("prom-interval-ms", flags.GetInt("prom_interval_ms", 1000));
+  if (!prom_dump.empty() && prom_interval_ms < 1)
+    return Fail(Status::InvalidArgument("--prom-interval-ms must be >= 1"));
+  // Tracing turns on before the service exists so recovery and plan-load
+  // spans land in the file too.
+  const std::string trace_path = MaybeEnableTrace(flags);
   // --plan is optional under --recover (the checkpoint embeds the plan),
   // but without either there is nothing to serve.
   if (plan_path.empty() && !recover) {
@@ -785,6 +850,33 @@ int RunServe(const FlagParser& flags) {
     checkpointer = std::move(*created);
   }
 
+  // Periodic Prometheus dump: a helper thread renders the full registry
+  // (facade counters plus the service/checkpointer/redesigner gauges) and
+  // atomically replaces the file, so a scraper reading F never sees a torn
+  // exposition. The 50 ms stop-poll keeps shutdown prompt regardless of
+  // the dump interval; a final dump lands after the loops stop.
+  std::atomic<bool> prom_stop{false};
+  std::thread prom_thread;
+  if (!prom_dump.empty()) {
+    otfair::serve::RepairService* service_ptr = service.get();
+    prom_thread = std::thread([service_ptr, &prom_stop, prom_dump, prom_interval_ms] {
+      auto next =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(prom_interval_ms);
+      while (!prom_stop.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() >= next) {
+          if (Status status = otfair::common::AtomicWriteFile(
+                  prom_dump, service_ptr->metrics().RenderPrometheus());
+              !status.ok())
+            std::fprintf(stderr, "warning: prom dump failed: %s\n",
+                         status.ToString().c_str());
+          next = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(prom_interval_ms);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
   InstallDrainHandlers();
 
   const std::string replay_path = flags.GetString("replay", "");
@@ -813,6 +905,18 @@ int RunServe(const FlagParser& flags) {
   // their final checkpoint synchronously).
   if (checkpointer) checkpointer->Stop();
   if (redesigner) redesigner->Stop();
+  if (prom_thread.joinable()) {
+    prom_stop.store(true, std::memory_order_relaxed);
+    prom_thread.join();
+    // Final dump after the loops stop: the file reflects the end state
+    // (final checkpoint generation, settled redesign counters).
+    if (Status status = otfair::common::AtomicWriteFile(
+            prom_dump, service->metrics().RenderPrometheus());
+        !status.ok())
+      std::fprintf(stderr, "warning: final prom dump failed: %s\n",
+                   status.ToString().c_str());
+  }
+  WriteTraceFile(trace_path);
   return ret;
 }
 
@@ -824,6 +928,17 @@ int RunInspect(const FlagParser& flags) {
   const std::string data_path = flags.GetString("data", "");
   const std::string checkpoint_path = flags.GetString("checkpoint", "");
   const bool json = flags.GetBool("json", false);
+  // Observability introspection: whether --trace span collection is
+  // compiled into this binary, and every metric name the serve registry
+  // exports. A scratch Metrics instance supplies the facade's name set
+  // (component gauges register per live service, so they are not listed
+  // here).
+  auto write_obs_keys = [](JsonWriter& w) {
+    otfair::serve::Metrics scratch;
+    w.Key("trace_available").Bool(true).Key("metric_names").BeginArray();
+    for (const std::string& name : scratch.registry().Names()) w.String(name);
+    w.EndArray();
+  };
   if (!checkpoint_path.empty()) {
     auto data = otfair::serve::LoadCheckpointFile(checkpoint_path);
     if (!data.ok()) return Fail(data.status());
@@ -889,8 +1004,9 @@ int RunInspect(const FlagParser& flags) {
       w.BeginObject()
           .Key("kind").String("plan")
           .Key("path").String(plan_path)
-          .Key("simd_isa").String(otfair::common::simd::ActiveIsa())
-          .Key("dim").Uint(plans->dim())
+          .Key("simd_isa").String(otfair::common::simd::ActiveIsa());
+      write_obs_keys(w);
+      w.Key("dim").Uint(plans->dim())
           .Key("target_t").Double(plans->target_t())
           .Key("s_levels").Uint(s_levels)
           .Key("u_levels").Uint(u_levels)
@@ -952,8 +1068,9 @@ int RunInspect(const FlagParser& flags) {
       w.BeginObject()
           .Key("kind").String("data")
           .Key("path").String(data_path)
-          .Key("simd_isa").String(otfair::common::simd::ActiveIsa())
-          .Key("rows").Uint(report->rows)
+          .Key("simd_isa").String(otfair::common::simd::ActiveIsa());
+      write_obs_keys(w);
+      w.Key("rows").Uint(report->rows)
           .Key("s_levels").Uint(report->s_levels)
           .Key("u_levels").Uint(report->u_levels)
           .Key("features").BeginArray();
