@@ -30,6 +30,12 @@
 //                      repair_throughput.
 //   serve_p99_latency_us  request latency quantiles from the serving
 //                      metrics histogram on the same replay workload.
+//   serve_net_throughput  rows/sec through the epoll TCP front end
+//                      (in-process net::Server + library loadgen) at
+//                      1/16/64/256 client connections — prices the
+//                      network hop against serve_throughput.
+//   serve_net_p99_us   client-observed round-trip latency quantiles for
+//                      the same runs, per connection count.
 //   repair_throughput_soa     the default SoA batch-repair path (rows
 //   repair_throughput_s4_soa  grouped by (u, s), channel-major RepairSpan
 //                      with prefetch); the plain repair_throughput rows
@@ -77,6 +83,8 @@
 #include "common/timer.h"
 #include "core/designer.h"
 #include "core/repairer.h"
+#include "net/loadgen.h"
+#include "net/server.h"
 #include "obs/trace.h"
 #include "ot/cost.h"
 #include "ot/exact.h"
@@ -418,6 +426,81 @@ int main(int argc, char** argv) {
         ::remove(otfair::serve::CheckpointPath(ckpt_dir, g).c_str());
       ::remove(ckpt_dir);
     }
+  }
+
+  // --- serve_net_throughput / serve_net_p99_us -----------------------------
+  // The epoll TCP front end measured end to end: an in-process Server plus
+  // the library loadgen (one client thread per connection, window-bounded
+  // pipelining), reporting client-observed rows/sec and round-trip p99 per
+  // connection count. Server workers and client threads share this host's
+  // cores, so on a small machine these rows price protocol + syscall
+  // overhead under contention rather than multi-core scaling.
+  {
+    otfair::core::DesignOptions design_options;
+    design_options.n_q = design_nq;
+    auto plans = otfair::core::DesignDistributionalRepair(*research, design_options);
+    if (!plans.ok()) Die(plans.status().ToString());
+    auto service = otfair::serve::RepairService::Create(*plans, {});
+    if (!service.ok()) Die(service.status().ToString());
+    otfair::net::ServerOptions server_options;
+    server_options.net_threads = 2;
+    server_options.batcher.max_batch = 256;
+    // Deep enough that 256 windows of 64 outstanding rows never trip
+    // backpressure: the row being priced is throughput, not rejection.
+    server_options.batcher.max_queue_depth = 65536;
+    auto server = otfair::net::Server::Create(service->get(), server_options);
+    if (!server.ok()) Die(server.status().ToString());
+    const std::vector<size_t> connection_counts =
+        smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 16, 64, 256};
+    const uint64_t total_rows = smoke ? 2000 : 100000;
+    for (const size_t connections : connection_counts) {
+      otfair::net::LoadgenOptions loadgen_options;
+      loadgen_options.port = (*server)->port();
+      loadgen_options.connections = connections;
+      loadgen_options.rows_per_session =
+          std::max<uint64_t>(1, total_rows / connections);
+      loadgen_options.dim = dim;
+      otfair::net::LoadgenResult best;
+      for (int r = 0; r < repeats; ++r) {
+        auto result = otfair::net::RunLoadgen(loadgen_options);
+        if (!result.ok()) Die("serve_net bench: " + result.status().ToString());
+        if (result->rows_ok + result->rows_err != result->rows_sent)
+          Die("serve_net bench dropped rows");
+        if (result->rows_err > 0)
+          std::fprintf(stderr, "serve_net: %llu rows pushed back: %s\n",
+                       static_cast<unsigned long long>(result->rows_err),
+                       result->first_error.c_str());
+        if (r == 0 || result->rows_per_sec > best.rows_per_sec) best = *result;
+      }
+      std::snprintf(params, sizeof(params),
+                    "{\"connections\": %zu, \"rows_per_session\": %llu, \"dim\": %zu, "
+                    "\"window\": %zu, \"net_threads\": %d}",
+                    connections,
+                    static_cast<unsigned long long>(loadgen_options.rows_per_session),
+                    dim, loadgen_options.window, server_options.net_threads);
+      BenchCase c;
+      c.name = "serve_net_throughput";
+      c.threads = server_options.net_threads;
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = best.seconds * 1e3;
+      c.rows_per_sec = best.rows_per_sec;
+      cases.push_back(c);
+      std::fprintf(stderr, "serve_net_tput    conns=%-3zu  %10.2f ms  (%.0f rows/s)\n",
+                   connections, c.wall_ms, c.rows_per_sec);
+      c = BenchCase{};
+      c.name = "serve_net_p99_us";
+      c.threads = server_options.net_threads;
+      c.params_json = params;
+      c.repeats = repeats;
+      c.wall_ms = best.seconds * 1e3;
+      c.latency_p50_us = best.p50_us;
+      c.latency_p99_us = best.p99_us;
+      cases.push_back(c);
+      std::fprintf(stderr, "serve_net_p99     conns=%-3zu  p50=%.0fus p99=%.0fus\n",
+                   connections, best.p50_us, best.p99_us);
+    }
+    (*server)->Shutdown();
   }
 
   // --- checkpoint_write_ms / recover_ms -----------------------------------

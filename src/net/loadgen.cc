@@ -1,0 +1,359 @@
+#include "net/loadgen.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "net/socket.h"
+#include "obs/registry.h"
+
+namespace otfair::net {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ConnState {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t err = 0;
+  std::string first_error;
+  obs::Histogram latency;
+  Status status;  // fatal outcome of the connection (OK = clean)
+};
+
+/// Formats one deterministic repair row. Features derive from
+/// (seed, session, row) only — the same decorrelated-stream scheme batch
+/// repair uses — so every run (and every connection count) submits an
+/// identical workload.
+void FormatRow(const LoadgenOptions& opt, uint64_t session, uint64_t row, std::string* out) {
+  char head[96];
+  const int u = static_cast<int>((session + row) % static_cast<uint64_t>(opt.u_levels));
+  const int s = static_cast<int>(row % static_cast<uint64_t>(opt.s_levels));
+  std::snprintf(head, sizeof(head), "repair %llu %llu %d %d",
+                static_cast<unsigned long long>(session),
+                static_cast<unsigned long long>(row), u, s);
+  *out += head;
+  common::Rng rng = common::Rng::ForStream(opt.seed + session, row);
+  char num[40];
+  for (size_t k = 0; k < opt.dim; ++k) {
+    std::snprintf(num, sizeof(num), " %.9g", rng.Normal());
+    *out += num;
+  }
+  *out += '\n';
+}
+
+/// Parses "ok <session> <row> ..." / "err <session> <row> ..." identity.
+/// Returns false when the identity is absent ("err - -" global errors).
+bool ParseIdentity(const std::string& line, size_t off, uint64_t* session, uint64_t* row) {
+  const char* p = line.c_str() + off;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long s = std::strtoull(p, &end, 10);
+  if (end == p || *end != ' ' || errno != 0) return false;
+  p = end + 1;
+  const unsigned long long r = std::strtoull(p, &end, 10);
+  if (end == p || errno != 0) return false;
+  *session = s;
+  *row = r;
+  return true;
+}
+
+void RunConnection(const LoadgenOptions& opt, size_t conn_index, size_t total_sessions,
+                   ConnState* state) {
+  auto sock = ConnectTcp(opt.host, opt.port);
+  if (!sock.ok()) {
+    state->status = sock.status();
+    return;
+  }
+  SetNoDelay(sock->fd());
+  if (Status status = SetNonBlocking(sock->fd()); !status.ok()) {
+    state->status = status;
+    return;
+  }
+
+  // Sessions owned by this connection (the affinity assignment), driven
+  // row-major so sessions interleave on the wire like concurrent clients.
+  std::vector<uint64_t> sessions;
+  for (uint64_t s = conn_index; s < total_sessions; s += opt.connections) sessions.push_back(s);
+  const uint64_t total = static_cast<uint64_t>(sessions.size()) * opt.rows_per_session;
+
+  std::string sendbuf;
+  size_t send_off = 0;
+  std::string recvbuf;
+  std::unordered_map<uint64_t, Clock::time_point> outstanding;
+  outstanding.reserve(opt.window * 2);
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  auto last_progress = Clock::now();
+
+  auto key_of = [&](uint64_t session, uint64_t row) {
+    return session * opt.rows_per_session + row;
+  };
+
+  auto complete = [&](const std::string& line) -> Status {
+    const bool is_ok = line.rfind("ok ", 0) == 0;
+    const bool is_err = line.rfind("err ", 0) == 0;
+    if (!is_ok && !is_err)
+      return Status::Internal("unrecognized response line: " + line.substr(0, 64));
+    uint64_t session = 0;
+    uint64_t row = 0;
+    if (!ParseIdentity(line, is_ok ? 3 : 4, &session, &row)) {
+      // "err - -": the server rejected a line it could not attribute —
+      // the workload generator never sends one, so this is fatal.
+      return Status::Internal("unattributable error from server: " + line.substr(0, 128));
+    }
+    auto it = outstanding.find(key_of(session, row));
+    if (it == outstanding.end())
+      return Status::Internal("response for a row never sent: " + line.substr(0, 64));
+    const auto rtt =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - it->second);
+    state->latency.Record(static_cast<uint64_t>(rtt.count()));
+    outstanding.erase(it);
+    ++completed;
+    if (is_ok) {
+      ++state->ok;
+    } else {
+      ++state->err;
+      if (state->first_error.empty()) state->first_error = line;
+    }
+    return Status::Ok();
+  };
+
+  char buf[16384];
+  while (completed < total) {
+    // Top up the pipeline: format rows until the window is full (bounding
+    // the send buffer so a stalled server can't balloon memory).
+    while (outstanding.size() < opt.window && issued < total &&
+           sendbuf.size() - send_off < (1u << 20)) {
+      const uint64_t session = sessions[issued % sessions.size()];
+      const uint64_t row = issued / sessions.size();
+      outstanding.emplace(key_of(session, row), Clock::now());
+      FormatRow(opt, session, row, &sendbuf);
+      ++issued;
+      ++state->sent;
+    }
+
+    bool progressed = false;
+    if (send_off < sendbuf.size()) {
+      size_t n = 0;
+      bool would_block = false;
+      if (Status status = WriteSome(sock->fd(), sendbuf.data() + send_off,
+                                    sendbuf.size() - send_off, &n, &would_block);
+          !status.ok()) {
+        state->status = status;
+        return;
+      }
+      if (n > 0) {
+        progressed = true;
+        send_off += n;
+        if (send_off == sendbuf.size()) {
+          sendbuf.clear();
+          send_off = 0;
+        }
+      }
+    }
+
+    while (true) {
+      size_t n = 0;
+      bool would_block = false;
+      if (Status status = ReadSome(sock->fd(), buf, sizeof(buf), &n, &would_block);
+          !status.ok()) {
+        state->status = status;
+        return;
+      }
+      if (would_block) break;
+      if (n == 0) {
+        state->status = Status::Internal(
+            "server closed the connection with " +
+            std::to_string(total - completed) + " rows outstanding");
+        return;
+      }
+      progressed = true;
+      recvbuf.append(buf, n);
+      size_t start = 0;
+      size_t nl;
+      while ((nl = recvbuf.find('\n', start)) != std::string::npos) {
+        std::string line = recvbuf.substr(start, nl - start);
+        start = nl + 1;
+        while (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        if (Status status = complete(line); !status.ok()) {
+          state->status = status;
+          return;
+        }
+      }
+      recvbuf.erase(0, start);
+      if (completed >= total) break;
+    }
+
+    if (progressed) {
+      last_progress = Clock::now();
+      continue;
+    }
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - last_progress)
+            .count() > opt.timeout_ms) {
+      state->status = Status::Internal("loadgen connection stalled for " +
+                                       std::to_string(opt.timeout_ms) + " ms");
+      return;
+    }
+    pollfd pfd;
+    pfd.fd = sock->fd();
+    pfd.events = static_cast<short>(POLLIN | (send_off < sendbuf.size() ? POLLOUT : 0));
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0 && errno != EINTR) {
+      state->status = Status::Internal(std::string("poll: ") + std::strerror(errno));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<LoadgenResult> RunLoadgen(const LoadgenOptions& options) {
+  if (options.connections < 1) return Status::InvalidArgument("connections must be >= 1");
+  if (options.rows_per_session < 1)
+    return Status::InvalidArgument("rows_per_session must be >= 1");
+  if (options.dim < 1) return Status::InvalidArgument("dim must be >= 1");
+  if (options.window < 1) return Status::InvalidArgument("window must be >= 1");
+  if (options.u_levels < 1 || options.s_levels < 1)
+    return Status::InvalidArgument("u_levels/s_levels must be >= 1");
+  const size_t total_sessions =
+      options.sessions == 0 ? options.connections : options.sessions;
+  if (total_sessions < options.connections)
+    return Status::InvalidArgument("sessions must be >= connections (or 0 for 1:1)");
+
+  std::vector<ConnState> states(options.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  common::Timer timer;
+  for (size_t c = 0; c < options.connections; ++c)
+    threads.emplace_back(
+        [&, c] { RunConnection(options, c, total_sessions, &states[c]); });
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  LoadgenResult result;
+  obs::Histogram::Snapshot merged;
+  merged.counts.assign(obs::Histogram::kBuckets, 0);
+  for (const ConnState& state : states) {
+    if (!state.status.ok()) return state.status;
+    result.rows_sent += state.sent;
+    result.rows_ok += state.ok;
+    result.rows_err += state.err;
+    if (result.first_error.empty() && !state.first_error.empty())
+      result.first_error = state.first_error;
+    const obs::Histogram::Snapshot snap = state.latency.Read();
+    for (int b = 0; b < obs::Histogram::kBuckets; ++b) merged.counts[b] += snap.counts[b];
+    merged.count += snap.count;
+    merged.sum += snap.sum;
+    merged.max = std::max(merged.max, snap.max);
+  }
+  result.seconds = seconds;
+  result.rows_per_sec = seconds > 0 ? static_cast<double>(result.rows_ok) / seconds : 0.0;
+  result.latency_samples = merged.count;
+  result.p50_us = static_cast<double>(merged.QuantileUs(0.50));
+  result.p90_us = static_cast<double>(merged.QuantileUs(0.90));
+  result.p99_us = static_cast<double>(merged.QuantileUs(0.99));
+  result.max_us = static_cast<double>(merged.max);
+  return result;
+}
+
+Result<std::string> SendVerb(const std::string& host, uint16_t port, const std::string& verb,
+                             int timeout_ms) {
+  auto sock = ConnectTcp(host, port);
+  if (!sock.ok()) return sock.status();
+  const std::string request = verb + "\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    size_t n = 0;
+    bool would_block = false;
+    if (Status status =
+            WriteSome(sock->fd(), request.data() + off, request.size() - off, &n, &would_block);
+        !status.ok())
+      return status;
+    off += n;
+  }
+  // "metrics --prom" is the one multi-line response; everything else is a
+  // single line.
+  const bool multi_line = verb.rfind("metrics", 0) == 0 &&
+                          verb.find("prom") != std::string::npos;
+  std::string response;
+  char buf[8192];
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    pollfd pfd;
+    pfd.fd = sock->fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return Status::Internal("timed out waiting for '" + verb + "'");
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc < 0 && errno != EINTR)
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    if (rc <= 0) continue;
+    size_t n = 0;
+    bool would_block = false;
+    if (Status status = ReadSome(sock->fd(), buf, sizeof(buf), &n, &would_block); !status.ok())
+      return status;
+    if (would_block) continue;
+    if (n == 0) return Status::Internal("connection closed before a full response");
+    response.append(buf, n);
+    if (multi_line) {
+      if (response.find("# EOF\n") != std::string::npos) return response;
+    } else if (response.find('\n') != std::string::npos) {
+      return response;
+    }
+  }
+}
+
+std::string LoadgenResult::ToJson() const {
+  common::JsonWriter w;
+  w.BeginObject()
+      .Key("rows_sent").Uint(rows_sent)
+      .Key("rows_ok").Uint(rows_ok)
+      .Key("rows_err").Uint(rows_err)
+      .Key("seconds").Double(seconds)
+      .Key("rows_per_sec").Double(rows_per_sec)
+      .Key("latency_samples").Uint(latency_samples)
+      .Key("p50_us").Double(p50_us)
+      .Key("p90_us").Double(p90_us)
+      .Key("p99_us").Double(p99_us)
+      .Key("max_us").Double(max_us)
+      .Key("clean").Bool(clean())
+      .Key("first_error").String(first_error)
+      .EndObject();
+  return w.str();
+}
+
+std::string LoadgenResult::CsvHeader() {
+  return "rows_sent,rows_ok,rows_err,seconds,rows_per_sec,p50_us,p90_us,p99_us,max_us";
+}
+
+std::string LoadgenResult::CsvRow() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%llu,%llu,%llu,%.6f,%.1f,%.1f,%.1f,%.1f,%.1f",
+                static_cast<unsigned long long>(rows_sent),
+                static_cast<unsigned long long>(rows_ok),
+                static_cast<unsigned long long>(rows_err), seconds, rows_per_sec, p50_us,
+                p90_us, p99_us, max_us);
+  return buf;
+}
+
+}  // namespace otfair::net

@@ -1,0 +1,78 @@
+#ifndef OTFAIR_NET_LOADGEN_H_
+#define OTFAIR_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace otfair::net {
+
+/// Self-contained load generator for the TCP serve protocol: N client
+/// connections pipeline `repair` rows (window-bounded outstanding per
+/// connection) and record client-observed round-trip latency per row.
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t connections = 1;
+  /// Total session count; 0 means one session per connection. Session s
+  /// is driven by connection s % connections — the affinity contract: a
+  /// session's rows all flow over one connection, in row order.
+  size_t sessions = 0;
+  /// Rows submitted per session (row indices 0..rows_per_session-1).
+  uint64_t rows_per_session = 1000;
+  /// Feature count per row; must match the served plan's dim (a mismatch
+  /// fails the run with a structured error, not a hang).
+  size_t dim = 2;
+  int u_levels = 2;
+  int s_levels = 2;
+  /// Max outstanding (sent, unanswered) rows per connection.
+  size_t window = 64;
+  /// Seed for the synthetic feature stream: row features derive from
+  /// (seed, session, row) only, so any two runs submit identical rows.
+  uint64_t seed = 1;
+  /// Inactivity bound per connection; no byte in or out for this long
+  /// fails the run (a stuck server must not hang the client).
+  int timeout_ms = 30000;
+};
+
+struct LoadgenResult {
+  uint64_t rows_sent = 0;
+  uint64_t rows_ok = 0;
+  /// Per-row error lines received (backpressure, validation failures).
+  uint64_t rows_err = 0;
+  double seconds = 0.0;
+  /// rows_ok / seconds, aggregated over all connections.
+  double rows_per_sec = 0.0;
+  uint64_t latency_samples = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  /// First error line seen, for diagnostics ("" when rows_err == 0).
+  std::string first_error;
+
+  /// True when every submitted row came back ok — the zero-drop verdict.
+  bool clean() const { return rows_err == 0 && rows_ok == rows_sent; }
+
+  std::string ToJson() const;
+  static std::string CsvHeader();
+  std::string CsvRow() const;
+};
+
+/// Runs the load (one thread per connection) and aggregates counters and
+/// latency histograms. Returns an error on connect failure, inactivity
+/// timeout, a premature server close, or an unattributable (`err - -`)
+/// protocol error; per-row errors are reported in the result instead.
+common::Result<LoadgenResult> RunLoadgen(const LoadgenOptions& options);
+
+/// One-shot control-verb client: sends `verb` on a fresh connection and
+/// returns the response ("metrics --prom" reads up to the "# EOF" marker,
+/// every other verb one line).
+common::Result<std::string> SendVerb(const std::string& host, uint16_t port,
+                                     const std::string& verb, int timeout_ms = 30000);
+
+}  // namespace otfair::net
+
+#endif  // OTFAIR_NET_LOADGEN_H_

@@ -1,0 +1,131 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace otfair::net {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return Errno("fcntl(O_NONBLOCK)");
+  return Status::Ok();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0)
+    return Errno("setsockopt(TCP_NODELAY)");
+  return Status::Ok();
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                         uint16_t* bound_port) {
+  auto addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+    return Errno("setsockopt(SO_REUSEADDR)");
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0)
+    return Errno("setsockopt(SO_REUSEPORT)");
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) < 0)
+    return Errno("bind " + host + ":" + std::to_string(port));
+  if (::listen(sock.fd(), backlog) < 0) return Errno("listen");
+  if (Status status = SetNonBlocking(sock.fd()); !status.ok()) return status;
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual), &len) < 0)
+      return Errno("getsockname");
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  auto addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect " + host + ":" + std::to_string(port));
+  return sock;
+}
+
+Status ReadSome(int fd, char* buf, size_t cap, size_t* n, bool* would_block) {
+  *n = 0;
+  *would_block = false;
+  ssize_t rc;
+  do {
+    rc = ::recv(fd, buf, cap, 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Status::Ok();
+    }
+    return Errno("recv");
+  }
+  *n = static_cast<size_t>(rc);
+  return Status::Ok();
+}
+
+Status WriteSome(int fd, const char* buf, size_t len, size_t* n, bool* would_block) {
+  *n = 0;
+  *would_block = false;
+  ssize_t rc;
+  do {
+    rc = ::send(fd, buf, len, MSG_NOSIGNAL);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Status::Ok();
+    }
+    return Errno("send");
+  }
+  *n = static_cast<size_t>(rc);
+  return Status::Ok();
+}
+
+}  // namespace otfair::net

@@ -1,0 +1,73 @@
+#ifndef OTFAIR_NET_SOCKET_H_
+#define OTFAIR_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace otfair::net {
+
+/// RAII owner of a file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking IPv4 TCP listener bound to `host:port` with
+/// SO_REUSEADDR + SO_REUSEPORT (so N worker listeners can share one port
+/// and the kernel spreads accepts across them). `port` 0 binds an
+/// ephemeral port; `*bound_port` reports the actual port either way.
+common::Result<Socket> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                                 uint16_t* bound_port);
+
+/// Blocking IPv4 TCP connect (clients switch the fd to non-blocking
+/// afterwards if they need to).
+common::Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+common::Status SetNonBlocking(int fd);
+common::Status SetNoDelay(int fd);
+
+/// One recv() with EINTR retry. On success `*n` is the byte count (0 =
+/// orderly EOF) and `*would_block` is false; when the socket has no data
+/// and is non-blocking, `*would_block` is true and `*n` is 0.
+common::Status ReadSome(int fd, char* buf, size_t cap, size_t* n, bool* would_block);
+
+/// One send(MSG_NOSIGNAL) with EINTR retry; same out-parameter contract
+/// as ReadSome.
+common::Status WriteSome(int fd, const char* buf, size_t len, size_t* n, bool* would_block);
+
+}  // namespace otfair::net
+
+#endif  // OTFAIR_NET_SOCKET_H_

@@ -59,7 +59,8 @@ bool ParseDouble(const std::string& text, double* out) {
 std::string SanitizeToken(const std::string& token) {
   std::string shown = token.substr(0, 32);
   for (char& c : shown)
-    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) c = '?';
+    if (static_cast<unsigned char>(c) < 0x20 || static_cast<unsigned char>(c) >= 0x7f)
+      c = '?';
   return shown;
 }
 

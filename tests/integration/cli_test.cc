@@ -2,11 +2,17 @@
 // repair -> drift over real files, via std::system. The binary path is
 // injected by CMake (OTFAIR_CLI_PATH).
 
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -14,6 +20,7 @@
 #include "data/adult_like.h"
 #include "data/csv.h"
 #include "fairness/emetric.h"
+#include "net/socket.h"
 #include "sim/gaussian_mixture.h"
 
 #ifndef OTFAIR_CLI_PATH
@@ -47,9 +54,39 @@ class CliTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    StopTcpServe();
     // Fixtures are per-pid (see SetUp); remove them so repeated ctest
     // runs don't accumulate garbage in the shared temp dir.
     if (!dir_.empty()) std::system(("rm -rf " + dir_).c_str());
+  }
+
+  /// Starts `serve --listen=0` on the designed plan in the background and
+  /// returns the bound port (0 on failure). StopTcpServe / TearDown kill it.
+  int StartTcpServe(const std::string& extra_flags = "") {
+    const std::string port_file = dir_ + "/serve_port.txt";
+    pid_file_ = dir_ + "/serve_pid.txt";
+    std::remove(port_file.c_str());
+    const std::string command = std::string(OTFAIR_CLI_PATH) + " serve --plan=" +
+                                plan_path_ + " --listen=0 --port-file=" + port_file +
+                                " " + extra_flags + " > /dev/null 2>&1 & echo $! > " +
+                                pid_file_;
+    if (std::system(command.c_str()) != 0) return 0;
+    for (int i = 0; i < 200; ++i) {  // up to 10 s for design + bind
+      if (std::FILE* f = std::fopen(port_file.c_str(), "r")) {
+        int port = 0;
+        const bool got = std::fscanf(f, "%d", &port) == 1 && port > 0;
+        std::fclose(f);
+        if (got) return port;
+      }
+      ::usleep(50 * 1000);
+    }
+    return 0;
+  }
+
+  void StopTcpServe() {
+    if (pid_file_.empty()) return;
+    std::system(("kill -TERM $(cat " + pid_file_ + ") > /dev/null 2>&1").c_str());
+    pid_file_.clear();
   }
 
   int Run(const std::string& args) {
@@ -83,7 +120,64 @@ class CliTest : public ::testing::Test {
   std::string archive_path_;
   std::string plan_path_;
   std::string repaired_path_;
+  std::string pid_file_;
 };
+
+/// Blocking one-connection exchange against a TCP serve: sends `payload`,
+/// half-closes, and returns everything the server wrote until EOF.
+std::string TcpExchange(int port, const std::string& payload) {
+  auto sock = net::ConnectTcp("127.0.0.1", static_cast<uint16_t>(port));
+  EXPECT_TRUE(sock.ok()) << sock.status().message();
+  if (!sock.ok()) return "";
+  timeval tv{30, 0};
+  ::setsockopt(sock->fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n =
+        ::send(sock->fd(), payload.data() + off, payload.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ADD_FAILURE() << "send failed: " << std::strerror(errno);
+      return "";
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::shutdown(sock->fd(), SHUT_WR);
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(sock->fd(), buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+/// The `ok ...` repair-response lines of a serve transcript, in order.
+std::vector<std::string> OkLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    if (line.rfind("ok ", 0) == 0) lines.push_back(line);
+    start = nl + 1;
+  }
+  return lines;
+}
 
 TEST_F(CliTest, FullWorkflow) {
   // design
@@ -302,6 +396,115 @@ TEST_F(CliTest, ServeStdioProtocolRoundTrip) {
   EXPECT_NE(output.find("ok 0 0 "), std::string::npos) << output;
   EXPECT_NE(output.find("\"plan_version\":1"), std::string::npos) << output;
   EXPECT_NE(output.find("err - - INVALID_ARGUMENT"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, ServeListenAndReplayAreMutuallyExclusive) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  EXPECT_EQ(Run("serve --plan=" + plan_path_ + " --listen=0 --replay=" + archive_path_),
+            2);
+  // Loadgen without a port is the same class of usage error.
+  EXPECT_EQ(Run("loadgen"), 2);
+}
+
+TEST_F(CliTest, InspectJsonReportsNetworkServing) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  int exit_code = -1;
+  const std::string json =
+      RunCapture("inspect --plan=" + plan_path_ + " --json", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(json.find("\"net_available\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"net_listen\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line_cap_bytes\":65536"), std::string::npos) << json;
+}
+
+TEST_F(CliTest, ServeTcpMatchesStdioServeByteForByte) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  // The same request stream through both front ends. Values are arbitrary;
+  // both paths parse the identical bytes, so the %.17g responses must be
+  // byte-identical line for line.
+  const std::vector<std::string> requests = {
+      "repair 0 0 0 1 0.5 -0.5",     "repair 3 0 1 0 1.25 0.75",
+      "repair 0 1 0 0 -2.5 0.125",   "repair 3 1 1 1 3.5 -1.75",
+      "repair 0 2 1 1 0.0078125 42.5", "repair 3 2 0 0 -0.375 7.0",
+  };
+  std::string payload;
+  for (const std::string& request : requests) payload += request + "\n";
+
+  const std::string input_path = dir_ + "/tcp_vs_stdio_input.txt";
+  std::FILE* f = std::fopen(input_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs((payload + "quit\n").c_str(), f);
+  std::fclose(f);
+  int exit_code = -1;
+  const std::string stdio_output = RunCapture(
+      "serve --plan=" + plan_path_ + " --max_wait_us=100 < " + input_path, &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  const std::vector<std::string> stdio_lines = OkLines(stdio_output);
+  ASSERT_EQ(stdio_lines.size(), requests.size());
+
+  const int port = StartTcpServe("--net-threads=2");
+  ASSERT_GT(port, 0);
+  const std::vector<std::string> tcp_lines = OkLines(TcpExchange(port, payload));
+  EXPECT_EQ(tcp_lines, stdio_lines);
+  StopTcpServe();
+}
+
+TEST_F(CliTest, ServeTcpDrainsToExitZeroOnSigterm) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  // One shell: background the server, wait for the bound-port file, send
+  // SIGTERM, and propagate the server's own exit code through `wait`.
+  const std::string port_file = dir_ + "/drain_port.txt";
+  const std::string command =
+      std::string(OTFAIR_CLI_PATH) + " serve --plan=" + plan_path_ +
+      " --listen=0 --port-file=" + port_file + " > /dev/null 2>&1 & pid=$!; i=0;" +
+      " while [ ! -s " + port_file + " ] && [ $i -lt 200 ]; do sleep 0.05; i=$((i+1));" +
+      " done; kill -TERM $pid; wait $pid";
+  const int status = std::system(command.c_str());
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST_F(CliTest, LoadgenEndToEndAgainstServeTcp) {
+  ASSERT_EQ(Run("design --research=" + research_path_ + " --plan=" + plan_path_ +
+                " --n_q=40"),
+            0);
+  const int port = StartTcpServe("--net-threads=2");
+  ASSERT_GT(port, 0);
+  const std::string port_flag = " --port=" + std::to_string(port);
+
+  const std::string json_path = dir_ + "/loadgen.json";
+  const std::string csv_path = dir_ + "/loadgen.csv";
+  ASSERT_EQ(Run("loadgen" + port_flag +
+                " --connections=4 --sessions=8 --rows=200 --json=" + json_path +
+                " --csv=" + csv_path),
+            0);
+  int exit_code = -1;
+  const std::string json = ReadFileOrEmpty(json_path);
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rows_ok\":1600"), std::string::npos) << json;
+
+  // Control mode reaches the same server; the exposition carries the
+  // net-layer counters.
+  const std::string prom =
+      RunCapture("loadgen" + port_flag + " --verb='metrics --prom'", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(prom.find("otfair_net_connections_accepted_total"), std::string::npos);
+  EXPECT_NE(prom.find("# EOF"), std::string::npos);
+
+  // A second run appends one CSV row under the same header.
+  ASSERT_EQ(Run("loadgen" + port_flag + " --connections=2 --rows=50 --csv=" + csv_path),
+            0);
+  const std::string csv = ReadFileOrEmpty(csv_path);
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 3) << csv;
+  EXPECT_EQ(csv.rfind("rows_sent,", 0), 0u) << csv;
+  StopTcpServe();
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 // CSV layout: header `s,u[,y],<feature names...>`, binary labels.
 
 #include <signal.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -49,6 +50,8 @@
 #include "core/repairer.h"
 #include "data/csv.h"
 #include "fairness/report.h"
+#include "net/loadgen.h"
+#include "net/server.h"
 #include "obs/trace.h"
 #include "ot/solver.h"
 #include "serve/batcher.h"
@@ -172,6 +175,17 @@ void PrintServeUsage(std::FILE* out) {
                "  Replay mode (self-driving load, no sockets):\n"
                "    --replay=A.csv     archive to replay\n"
                "    --sessions=N       concurrent replay sessions\n"
+               "  Network mode (TCP, mutually exclusive with --replay):\n"
+               "    --listen=PORT      serve the same line protocol over TCP (0 binds\n"
+               "                       an ephemeral port, reported on stderr)\n"
+               "    --listen-host=IP   IPv4 bind address (default 127.0.0.1)\n"
+               "    --net-threads=N    epoll worker threads; each owns a SO_REUSEPORT\n"
+               "                       listener and a micro-batcher, and a connection\n"
+               "                       lives its whole life on the worker that\n"
+               "                       accepted it (session affinity)\n"
+               "    --max-conns=4096   connection cap (excess accepts are answered\n"
+               "                       with one UNAVAILABLE error line and closed)\n"
+               "    --port-file=F      write the bound port to F (for scripts/CI)\n"
                "  Self-healing (drift -> sketch-based redesign -> hot reload):\n"
                "    --self-heal        enable the background redesigner\n"
                "    --sketch_every=16  sketch sampling stride (0 disables sketches)\n"
@@ -210,6 +224,32 @@ void PrintServeUsage(std::FILE* out) {
                "  dropped/failed row.\n");
 }
 
+void PrintLoadgenUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: otfair loadgen --port=P [flags]\n"
+               "  TCP load generator for `otfair serve --listen`: N connections\n"
+               "  pipeline deterministic repair rows and record client-observed\n"
+               "  latency. Exits 0 only when every submitted row came back ok\n"
+               "  (zero drops, zero error lines); per-row errors exit 1.\n"
+               "    --port=P           server port (required)\n"
+               "    --host=127.0.0.1   server address\n"
+               "    --connections=1    concurrent client connections\n"
+               "    --sessions=N       total sessions, spread over the connections\n"
+               "                       (session s rides connection s %% N; default\n"
+               "                       one session per connection)\n"
+               "    --rows=1000        rows per session (row indices 0..R-1)\n"
+               "    --dim=2            features per row (must match the served plan)\n"
+               "    --u-levels=2 --s-levels=2  group-label ranges\n"
+               "    --window=64        max outstanding rows per connection\n"
+               "    --seed=1           synthetic feature stream seed\n"
+               "    --timeout_ms=30000 per-connection inactivity bound\n"
+               "    --json=F.json      write the result summary as one-line JSON\n"
+               "    --csv=F.csv        append the result as a CSV row (header\n"
+               "                       written when the file is new)\n"
+               "    --verb=V           control mode: send one verb (e.g. health,\n"
+               "                       \"metrics --prom\") and print the response\n");
+}
+
 void PrintInspectUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: otfair inspect --plan=P.bin | --data=D.csv | --checkpoint=C [--json]\n"
@@ -218,8 +258,10 @@ void PrintInspectUsage(std::FILE* out) {
                "  validation — a corrupt file fails with the rejection reason).\n"
                "  JSON output includes \"simd_isa\" (the vector instruction set the\n"
                "  process dispatched to: avx2|neon|scalar), \"trace_available\"\n"
-               "  (whether --trace span collection is compiled in), and\n"
-               "  \"metric_names\" (every metric the serve registry exports).\n"
+               "  (whether --trace span collection is compiled in),\n"
+               "  \"net_available\"/\"net_listen\" (TCP serving support and its\n"
+               "  default listen config), and \"metric_names\" (every metric the\n"
+               "  serve registry exports).\n"
                "    --json   one-line machine-readable JSON on stdout\n");
 }
 
@@ -255,7 +297,10 @@ void PrintUsage(std::FILE* out) {
                "commands:\n"
                "  design    fit repair plans on a research CSV -> plan artifact\n"
                "  repair    apply a plan artifact to an archive CSV\n"
-               "  serve     long-lived repair server (stdin/stdout protocol, --replay)\n"
+               "  serve     long-lived repair server (stdin/stdout protocol, --replay,\n"
+               "            or TCP via --listen)\n"
+               "  loadgen   TCP load generator for serve --listen (latency histogram,\n"
+               "            CSV/JSON output)\n"
                "  inspect   show a plan artifact or a CSV fairness report\n"
                "  drift     check an archive against the design distribution\n"
                "  simulate  generate a synthetic labelled CSV\n"
@@ -716,6 +761,63 @@ int RunServeStdio(otfair::serve::RepairService& service,
   return 0;
 }
 
+/// Network mode: the same protocol and drain semantics as stdio, served
+/// over TCP by `net::Server`. The main thread just parks until a drain
+/// signal; the workers own all socket I/O.
+int RunServeNet(otfair::serve::RepairService& service, const FlagParser& flags,
+                const otfair::serve::BatcherOptions& batcher_options,
+                otfair::serve::Checkpointer* checkpointer) {
+  otfair::net::ServerOptions options;
+  const int listen_port = flags.GetInt("listen", 0);
+  if (listen_port < 0 || listen_port > 65535)
+    return Fail(Status::InvalidArgument("--listen must be a port in [0, 65535]"));
+  options.port = static_cast<uint16_t>(listen_port);
+  options.host = flags.GetString("listen-host", flags.GetString("listen_host", "127.0.0.1"));
+  const int net_threads = flags.GetInt("net-threads", flags.GetInt("net_threads", 1));
+  if (net_threads < 1) return Fail(Status::InvalidArgument("--net-threads must be >= 1"));
+  options.net_threads = net_threads;
+  const int max_conns = flags.GetInt("max-conns", flags.GetInt("max_conns", 4096));
+  if (max_conns < 1) return Fail(Status::InvalidArgument("--max-conns must be >= 1"));
+  options.max_connections = static_cast<size_t>(max_conns);
+  options.batcher = batcher_options;
+  otfair::net::ServerHooks hooks;
+  if (checkpointer != nullptr) {
+    hooks.checkpoint = [checkpointer]() -> otfair::common::Result<uint64_t> {
+      if (Status status = checkpointer->WriteNow(); !status.ok()) return status;
+      return checkpointer->generation();
+    };
+  }
+  auto server = otfair::net::Server::Create(&service, options, std::move(hooks));
+  if (!server.ok()) return Fail(server.status());
+  const std::string port_file =
+      flags.GetString("port-file", flags.GetString("port_file", ""));
+  if (!port_file.empty()) {
+    if (Status status = otfair::common::AtomicWriteFile(
+            port_file, std::to_string((*server)->port()) + "\n");
+        !status.ok())
+      return Fail(status);
+  }
+  std::fprintf(stderr, "listening on %s:%u (%d net threads, %zu max connections)\n",
+               options.host.c_str(), (*server)->port(), options.net_threads,
+               options.max_connections);
+  while (g_drain_signal == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Graceful network drain: stop accepting, flush in-flight connections,
+  // write the final checkpoint, exit 0 — the PR-8 drain contract extended
+  // to sockets.
+  (*server)->Shutdown();
+  if (checkpointer != nullptr) {
+    if (Status status = checkpointer->WriteNow(); !status.ok())
+      std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                   status.ToString().c_str());
+  }
+  std::fprintf(stderr, "drained on signal %d (final checkpoint generation %llu)\n",
+               static_cast<int>(g_drain_signal),
+               checkpointer != nullptr
+                   ? static_cast<unsigned long long>(checkpointer->generation())
+                   : 0ULL);
+  return 0;
+}
+
 /// Builds the service from the newest intact checkpoint. The checkpoint's
 /// repair semantics (seed/mode/strength/sketch cadence) override any flags
 /// — they bind the bit-identity contract pre-crash sessions were served
@@ -773,6 +875,12 @@ otfair::common::Result<std::unique_ptr<otfair::serve::RepairService>> RecoverSer
 
 int RunServe(const FlagParser& flags) {
   if (WantsHelp(flags, PrintServeUsage)) return 0;
+  // One mode per process: --replay drives itself, --listen serves clients.
+  if (flags.Has("listen") && flags.Has("replay")) {
+    std::fprintf(stderr, "error: --listen and --replay are mutually exclusive\n\n");
+    PrintServeUsage(stderr);
+    return 2;
+  }
   const std::string plan_path = flags.GetString("plan", "");
   const std::string checkpoint_dir = flags.GetString("checkpoint_dir", "");
   const bool recover = flags.GetBool("recover", false);
@@ -895,6 +1003,13 @@ int RunServe(const FlagParser& flags) {
     ret = RunServeReplay(*service, *batcher_options, *archive,
                          static_cast<size_t>(sessions), redesigner.get(),
                          flags.GetInt("heal_drain_ms", 20000), checkpointer.get());
+  } else if (flags.Has("listen")) {
+    // Each net worker is its batcher's only submitter and flushes at the
+    // end of every epoll cycle; a flusher thread would race the workers'
+    // unlocked connection state for nothing.
+    auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/false);
+    if (!batcher_options.ok()) return Fail(batcher_options.status());
+    ret = RunServeNet(*service, flags, *batcher_options, checkpointer.get());
   } else {
     auto batcher_options = ServeBatcherOptions(flags, /*background_flush=*/true);
     if (!batcher_options.ok()) return Fail(batcher_options.status());
@@ -920,6 +1035,84 @@ int RunServe(const FlagParser& flags) {
   return ret;
 }
 
+// --- loadgen ---------------------------------------------------------------
+
+int RunLoadgenCmd(const FlagParser& flags) {
+  if (WantsHelp(flags, PrintLoadgenUsage)) return 0;
+  if (!flags.Has("port")) {
+    PrintLoadgenUsage(stderr);
+    return 2;
+  }
+  const int port = flags.GetInt("port", 0);
+  if (port < 1 || port > 65535)
+    return Fail(Status::InvalidArgument("--port must be in [1, 65535]"));
+  const std::string host = flags.GetString("host", "127.0.0.1");
+
+  // Control mode: one verb, print the response, done.
+  const std::string verb = flags.GetString("verb", "");
+  if (!verb.empty()) {
+    auto response = otfair::net::SendVerb(host, static_cast<uint16_t>(port), verb,
+                                          flags.GetInt("timeout_ms", 30000));
+    if (!response.ok()) return Fail(response.status());
+    std::fputs(response->c_str(), stdout);
+    return 0;
+  }
+
+  otfair::net::LoadgenOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  const int connections = flags.GetInt("connections", 1);
+  const int sessions = flags.GetInt("sessions", 0);
+  const int dim = flags.GetInt("dim", 2);
+  const int window = flags.GetInt("window", 64);
+  if (connections < 1 || sessions < 0 || dim < 1 || window < 1)
+    return Fail(Status::InvalidArgument(
+        "--connections/--dim/--window must be >= 1 and --sessions >= 0"));
+  options.connections = static_cast<size_t>(connections);
+  options.sessions = static_cast<size_t>(sessions);
+  options.rows_per_session = flags.GetUint64("rows", 1000);
+  options.dim = static_cast<size_t>(dim);
+  options.u_levels = flags.GetInt("u-levels", flags.GetInt("u_levels", 2));
+  options.s_levels = flags.GetInt("s-levels", flags.GetInt("s_levels", 2));
+  options.window = static_cast<size_t>(window);
+  options.seed = flags.GetUint64("seed", 1);
+  options.timeout_ms = flags.GetInt("timeout_ms", 30000);
+
+  auto result = otfair::net::RunLoadgen(options);
+  if (!result.ok()) return Fail(result.status());
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    if (Status status = otfair::common::AtomicWriteFile(json_path, result->ToJson() + "\n");
+        !status.ok())
+      return Fail(status);
+  }
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    const bool fresh = ::access(csv_path.c_str(), F_OK) != 0;
+    std::FILE* f = std::fopen(csv_path.c_str(), "a");
+    if (f == nullptr) return Fail(Status::IoError("cannot open " + csv_path));
+    if (fresh) std::fprintf(f, "%s\n", otfair::net::LoadgenResult::CsvHeader().c_str());
+    std::fprintf(f, "%s\n", result->CsvRow().c_str());
+    std::fclose(f);
+  }
+  std::printf(
+      "loadgen: %llu/%llu rows ok over %zu connections (%zu sessions) in %.2fs  "
+      "%.0f rows/s  p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n",
+      static_cast<unsigned long long>(result->rows_ok),
+      static_cast<unsigned long long>(result->rows_sent), options.connections,
+      options.sessions == 0 ? options.connections : options.sessions, result->seconds,
+      result->rows_per_sec, result->p50_us, result->p90_us, result->p99_us,
+      result->max_us);
+  if (!result->clean()) {
+    std::fprintf(stderr, "error: %llu error rows (first: %s)\n",
+                 static_cast<unsigned long long>(result->rows_err),
+                 result->first_error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 // --- inspect ---------------------------------------------------------------
 
 int RunInspect(const FlagParser& flags) {
@@ -935,7 +1128,19 @@ int RunInspect(const FlagParser& flags) {
   // here).
   auto write_obs_keys = [](JsonWriter& w) {
     otfair::serve::Metrics scratch;
-    w.Key("trace_available").Bool(true).Key("metric_names").BeginArray();
+    // Networked serving is compiled in unconditionally; "net_listen"
+    // reports the defaults `serve --listen` starts from.
+    const otfair::net::ServerOptions net_defaults;
+    w.Key("trace_available").Bool(true)
+        .Key("net_available").Bool(true)
+        .Key("net_listen").BeginObject()
+        .Key("host").String(net_defaults.host)
+        .Key("net_threads").Int(net_defaults.net_threads)
+        .Key("max_connections").Uint(net_defaults.max_connections)
+        .Key("backlog").Int(net_defaults.backlog)
+        .Key("line_cap_bytes").Uint(otfair::serve::kMaxRequestLineBytes)
+        .EndObject();
+    w.Key("metric_names").BeginArray();
     for (const std::string& name : scratch.registry().Names()) w.String(name);
     w.EndArray();
   };
@@ -1270,6 +1475,7 @@ int main(int argc, char** argv) {
   if (command == "design") return RunDesign(flags);
   if (command == "repair") return RunRepair(flags);
   if (command == "serve") return RunServe(flags);
+  if (command == "loadgen") return RunLoadgenCmd(flags);
   if (command == "inspect") return RunInspect(flags);
   if (command == "drift") return RunDrift(flags);
   if (command == "simulate") return RunSimulate(flags);

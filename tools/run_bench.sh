@@ -38,6 +38,12 @@
 #     repair_throughput_soa (memory layout), sinkhorn_standard across
 #     snapshots (kernel vectorization), table_build vs
 #     table_build_dense (sparsity). Compare like against like.
+#   * serve_net_* rows run real TCP loadgen client threads against the
+#     in-process epoll server, so they contend with the server for this
+#     machine's cores. On a many-core host the 64/256-connection rows
+#     show aggregate scaling over single-connection stdio serve; on a
+#     1-2 core host they price the protocol + syscall overhead instead
+#     — read them next to the "hardware_threads" field in the JSON meta.
 
 set -euo pipefail
 
